@@ -1,0 +1,39 @@
+# DepFast-Go developer entry points. Everything is plain `go` commands;
+# the Makefile just names the common ones.
+
+GO ?= go
+
+.PHONY: all build test race bench examples figures verify clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Every table/figure of the paper plus the ablations, as benchmarks.
+bench:
+	$(GO) test -bench=. -benchmem
+
+# Regenerate the paper's evaluation from the CLI (a few minutes).
+figures:
+	$(GO) run ./cmd/depfast-bench -exp all
+
+verify:
+	$(GO) run ./cmd/depfast-bench -exp verify
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/fastpath
+	$(GO) run ./examples/broadcast
+	$(GO) run ./examples/spg
+	$(GO) run ./examples/kvcluster
+
+clean:
+	$(GO) clean ./...

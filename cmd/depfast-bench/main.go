@@ -1,0 +1,250 @@
+// Command depfast-bench regenerates the paper's evaluation artifacts:
+//
+//	depfast-bench -exp table1    # Table 1: fault catalog + measured stretch
+//	depfast-bench -exp figure1   # Figure 1: baseline RSMs, normalized
+//	depfast-bench -exp figure2   # Figure 2: slowness propagation graph
+//	depfast-bench -exp figure3   # Figure 3: DepFastRaft, absolute
+//	depfast-bench -exp all       # everything, in paper order
+//
+// Extension experiments beyond the paper's figures:
+//
+//	depfast-bench -exp verify    # mechanical fail-slow-tolerance verification
+//	depfast-bench -exp transient # fault lands mid-run and clears (timeline)
+//	depfast-bench -exp sweep     # client-population capacity sweep
+//	depfast-bench -exp intensity # degradation vs fault magnitude curves
+//
+// One-off custom runs:
+//
+//	depfast-bench -exp run -system BufferRSM -fault net \
+//	    -workload "recordcount=1000,readproportion=0.95,updateproportion=0.05"
+//
+// Runs are scaled for a laptop: seconds per cell instead of the
+// paper's minutes per Azure deployment. Shapes — who degrades, by
+// roughly what factor, and that DepFastRaft stays within a few
+// percent — are the reproduction target, not absolute numbers.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"depfast/internal/clock"
+	"depfast/internal/failslow"
+	"depfast/internal/harness"
+	"depfast/internal/trace"
+	"depfast/internal/ycsb"
+)
+
+func main() {
+	var (
+		exp      = flag.String("exp", "all", "experiment: table1|figure1|figure2|figure3|all")
+		duration = flag.Duration("duration", 3*time.Second, "measurement window per cell")
+		warmup   = flag.Duration("warmup", 750*time.Millisecond, "warmup before measuring")
+		clients  = flag.Int("clients", 24, "closed-loop client population")
+		records  = flag.Int("records", 2000, "YCSB record population")
+		dotOut   = flag.String("dot", "", "write the Figure 2 SPG as Graphviz DOT to this file")
+		quiet    = flag.Bool("quiet", false, "suppress per-run progress lines")
+
+		// -exp run flags.
+		system   = flag.String("system", "DepFastRaft", "run: DepFastRaft|SyncRSM|BufferRSM|CallbackRSM")
+		faultArg = flag.String("fault", "none", "run: none|cpu|cpucontend|mem|disk|diskcontend|net")
+		workload = flag.String("workload", "", "run: YCSB property string or preset name (a-f, paper)")
+		nodes    = flag.Int("nodes", 3, "run: cluster size")
+	)
+	flag.Parse()
+
+	ecfg := harness.DefaultExperimentConfig()
+	ecfg.Duration = *duration
+	ecfg.Warmup = *warmup
+	ecfg.Clients = *clients
+	ecfg.Records = *records
+	if !*quiet {
+		ecfg.Progress = func(s string) { fmt.Fprintln(os.Stderr, "  "+s) }
+	}
+
+	fmt.Printf("depfast-bench: host sleep floor %v (see internal/clock)\n\n",
+		clock.SleepFloor().Round(10*time.Microsecond))
+
+	runTable1 := func() {
+		fmt.Println(harness.RenderTable1(harness.Table1(failslow.DefaultIntensity())))
+	}
+	runFigure1 := func() {
+		fig, err := harness.Figure1(ecfg)
+		exitOn(err)
+		fmt.Println(fig.Render(true))
+		for _, g := range fig.Order {
+			fmt.Printf("max drift %-12s: %5.1f%%\n", g, fig.MaxDrift(g)*100)
+		}
+		fmt.Println()
+	}
+	runFigure2 := func() {
+		g, col, err := harness.Figure2(30*time.Second, 40)
+		exitOn(err)
+		fmt.Println("== Figure 2: slowness propagation graph (3 shards, 3 clients) ==")
+		fmt.Println(g.ASCII())
+		fmt.Println(trace.Report(col.Records(), trace.VerifyConfig{AllowClientPrefix: "c"}))
+		if *dotOut != "" {
+			exitOn(os.WriteFile(*dotOut, []byte(g.DOT()), 0o644))
+			fmt.Printf("DOT written to %s\n", *dotOut)
+		}
+		fmt.Println()
+	}
+	runFigure3 := func() {
+		fig, err := harness.Figure3(ecfg)
+		exitOn(err)
+		fmt.Println(fig.Render(false))
+		for _, g := range fig.Order {
+			fmt.Printf("max drift %-12s: %5.1f%% (paper claim: within 5%%)\n",
+				g, fig.MaxDrift(g)*100)
+		}
+		fmt.Println()
+	}
+
+	runVerify := func() {
+		results, err := harness.VerifySystems(ecfg, []harness.System{
+			harness.DepFastRaft, harness.SyncRSM, harness.BufferRSM, harness.CallbackRSM,
+		})
+		exitOn(err)
+		fmt.Println("== Runtime verification: fail-slow-tolerance discipline ==")
+		fmt.Println(harness.RenderVerify(results))
+		fmt.Println("(SyncRSM's synchronous disk reads bypass the event abstraction")
+		fmt.Println(" and are invisible to event-based verification — the paper's")
+		fmt.Println(" argument for routing every wait through an event.)")
+		fmt.Println()
+	}
+	runTransient := func() {
+		fmt.Println("== Transient fault timeline (network slowness on one follower) ==")
+		for _, sys := range []harness.System{harness.DepFastRaft, harness.CallbackRSM} {
+			cfg := harness.DefaultRunConfig(sys)
+			cfg.Clients = *clients
+			cfg.Fault = failslow.NetSlow
+			res, err := harness.RunTransient(cfg, 4*time.Second, 500*time.Millisecond,
+				1200*time.Millisecond, 1500*time.Millisecond)
+			exitOn(err)
+			fmt.Println(res.Render())
+		}
+	}
+	runIntensity := func() {
+		delays := []time.Duration{10 * time.Millisecond, 20 * time.Millisecond,
+			40 * time.Millisecond, 80 * time.Millisecond}
+		res, err := harness.IntensitySweep(ecfg,
+			[]harness.System{harness.DepFastRaft, harness.SyncRSM, harness.BufferRSM, harness.CallbackRSM},
+			delays)
+		exitOn(err)
+		fmt.Println(res.Render())
+	}
+	runSweep := func() {
+		fmt.Println("== Client-population sweep (DepFastRaft, healthy) ==")
+		counts := []int{4, 8, 16, 32, 64}
+		cfg := harness.DefaultRunConfig(harness.DepFastRaft)
+		cfg.Duration = *duration
+		cfg.Warmup = *warmup
+		results, err := harness.Sweep(cfg, counts)
+		exitOn(err)
+		fmt.Println(harness.RenderSweep(results, counts))
+	}
+
+	runCustom := func() {
+		sys, err := systemByName(*system)
+		exitOn(err)
+		fault, err := faultByName(*faultArg)
+		exitOn(err)
+		cfg := harness.DefaultRunConfig(sys)
+		cfg.Nodes = *nodes
+		cfg.FaultFollowers = (*nodes - 1) / 2
+		cfg.Duration = *duration
+		cfg.Warmup = *warmup
+		cfg.Clients = *clients
+		cfg.Records = *records
+		cfg.Fault = fault
+		if *workload != "" {
+			wl, err := ycsb.Preset(*workload)
+			if err != nil {
+				wl, err = ycsb.Parse(*workload)
+				exitOn(err)
+			}
+			cfg.Workload = &wl
+		}
+		res, err := harness.RunStable(cfg, 3)
+		exitOn(err)
+		fmt.Println(res)
+	}
+
+	switch *exp {
+	case "run":
+		runCustom()
+	case "table1":
+		runTable1()
+	case "figure1":
+		runFigure1()
+	case "figure2", "spg":
+		runFigure2()
+	case "figure3":
+		runFigure3()
+	case "verify":
+		runVerify()
+	case "transient":
+		runTransient()
+	case "sweep":
+		runSweep()
+	case "intensity":
+		runIntensity()
+	case "all":
+		runTable1()
+		runFigure1()
+		runFigure2()
+		runFigure3()
+		runVerify()
+		runTransient()
+		runSweep()
+		runIntensity()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func exitOn(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "depfast-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func systemByName(name string) (harness.System, error) {
+	switch strings.ToLower(name) {
+	case "depfastraft", "depfast":
+		return harness.DepFastRaft, nil
+	case "syncrsm", "sync":
+		return harness.SyncRSM, nil
+	case "bufferrsm", "buffer":
+		return harness.BufferRSM, nil
+	case "callbackrsm", "callback":
+		return harness.CallbackRSM, nil
+	}
+	return 0, fmt.Errorf("unknown system %q", name)
+}
+
+func faultByName(name string) (failslow.Fault, error) {
+	switch strings.ToLower(name) {
+	case "", "none":
+		return failslow.None, nil
+	case "cpu":
+		return failslow.CPUSlow, nil
+	case "cpucontend":
+		return failslow.CPUContention, nil
+	case "mem":
+		return failslow.MemContention, nil
+	case "disk":
+		return failslow.DiskSlow, nil
+	case "diskcontend":
+		return failslow.DiskContention, nil
+	case "net":
+		return failslow.NetSlow, nil
+	}
+	return 0, fmt.Errorf("unknown fault %q", name)
+}

@@ -1,0 +1,268 @@
+// Command depfast-kv runs a DepFastRaft node (or client) over real
+// TCP, for multi-process deployments.
+//
+// Start a three-node cluster in three shells:
+//
+//	depfast-kv -node s1 -listen 127.0.0.1:7001 -peers s1=127.0.0.1:7001,s2=127.0.0.1:7002,s3=127.0.0.1:7003
+//	depfast-kv -node s2 -listen 127.0.0.1:7002 -peers s1=127.0.0.1:7001,s2=127.0.0.1:7002,s3=127.0.0.1:7003
+//	depfast-kv -node s3 -listen 127.0.0.1:7003 -peers s1=127.0.0.1:7001,s2=127.0.0.1:7002,s3=127.0.0.1:7003
+//
+// Then talk to it:
+//
+//	depfast-kv -client -peers s1=127.0.0.1:7001,s2=127.0.0.1:7002,s3=127.0.0.1:7003
+//	> put greeting hello
+//	> get greeting
+//	hello
+//
+// A node can be made fail-slow at runtime by sending SIGUSR-style
+// commands through the REPL's "fault" verb when started with -chaos.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"sort"
+	"strings"
+	"syscall"
+	"time"
+
+	"depfast/internal/core"
+	"depfast/internal/env"
+	"depfast/internal/failslow"
+	"depfast/internal/raft"
+	"depfast/internal/rpc"
+	"depfast/internal/storage"
+	"depfast/internal/transport"
+)
+
+func main() {
+	var (
+		node     = flag.String("node", "", "node name (server mode)")
+		listen   = flag.String("listen", "", "listen address (server mode)")
+		peersArg = flag.String("peers", "", "comma-separated name=addr pairs for all nodes")
+		client   = flag.Bool("client", false, "run the interactive client instead of a server")
+		fault    = flag.String("fault", "", "inject a fail-slow fault into this node at startup: cpu|cpucontend|disk|diskcontend|mem|net")
+		dataDir  = flag.String("data", "", "directory for durable Raft state (enables crash recovery)")
+	)
+	flag.Parse()
+
+	peers, addrs, err := parsePeers(*peersArg)
+	if err != nil {
+		fail(err)
+	}
+
+	if *client {
+		runClient(peers, addrs)
+		return
+	}
+	if *node == "" || *listen == "" {
+		fail(fmt.Errorf("server mode needs -node and -listen (or use -client)"))
+	}
+	runServer(*node, *listen, peers, addrs, *fault, *dataDir)
+}
+
+func parsePeers(arg string) ([]string, map[string]string, error) {
+	if arg == "" {
+		return nil, nil, fmt.Errorf("-peers is required")
+	}
+	addrs := make(map[string]string)
+	var names []string
+	for _, pair := range strings.Split(arg, ",") {
+		name, addr, ok := strings.Cut(strings.TrimSpace(pair), "=")
+		if !ok {
+			return nil, nil, fmt.Errorf("bad peer %q (want name=addr)", pair)
+		}
+		names = append(names, name)
+		addrs[name] = addr
+	}
+	sort.Strings(names)
+	return names, addrs, nil
+}
+
+func runServer(node, listen string, peers []string, addrs map[string]string, fault, dataDir string) {
+	tr := transport.NewTCP()
+	defer tr.Close()
+
+	cfg := raft.DefaultConfig(node, peers)
+	cfg.ElectionTimeoutMin = 300 * time.Millisecond
+	cfg.ElectionTimeoutMax = 600 * time.Millisecond
+	cfg.HeartbeatInterval = 75 * time.Millisecond
+	e := env.New(node, env.DefaultConfig())
+	if fault != "" {
+		f, err := faultByName(fault)
+		if err != nil {
+			fail(err)
+		}
+		failslow.Apply(e, f, failslow.DefaultIntensity())
+		fmt.Printf("%s: injected %v at startup\n", node, f)
+	}
+	var srv *raft.Server
+	if dataDir != "" {
+		fs, err := storage.OpenFileStore(dataDir)
+		if err != nil {
+			fail(err)
+		}
+		defer fs.Close()
+		cfg.Persister = fs
+		srv, err = raft.RecoverServer(cfg, e, tr)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("%s: recovered durable state from %s\n", node, dataDir)
+	} else {
+		srv = raft.NewServer(cfg, e, tr)
+	}
+
+	bound, err := tr.Listen(node, listen, srv.TransportHandler())
+	if err != nil {
+		fail(err)
+	}
+	for name, addr := range addrs {
+		if name != node {
+			tr.AddPeer(name, addr)
+		}
+	}
+	srv.Start()
+	fmt.Printf("%s: serving on %s, peers %v\n", node, bound, peers)
+
+	// Periodic status line until interrupted.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	tick := time.NewTicker(5 * time.Second)
+	defer tick.Stop()
+	for {
+		select {
+		case <-tick.C:
+			term, role, leader := srv.Status()
+			commit, applied := srv.CommitInfo()
+			fmt.Printf("%s: term=%d role=%v leader=%s commit=%d applied=%d\n",
+				node, term, role, leader, commit, applied)
+		case <-sig:
+			fmt.Printf("%s: shutting down\n", node)
+			srv.Stop()
+			return
+		}
+	}
+}
+
+func faultByName(name string) (failslow.Fault, error) {
+	switch name {
+	case "cpu":
+		return failslow.CPUSlow, nil
+	case "cpucontend":
+		return failslow.CPUContention, nil
+	case "disk":
+		return failslow.DiskSlow, nil
+	case "diskcontend":
+		return failslow.DiskContention, nil
+	case "mem":
+		return failslow.MemContention, nil
+	case "net":
+		return failslow.NetSlow, nil
+	}
+	return failslow.None, fmt.Errorf("unknown fault %q", name)
+}
+
+func runClient(peers []string, addrs map[string]string) {
+	tr := transport.NewTCP()
+	defer tr.Close()
+	rt := core.NewRuntime("client-cli")
+	defer rt.Stop()
+	ep := rpc.NewEndpoint("client-cli", rt, tr, rpc.WithCallTimeout(5*time.Second))
+	defer ep.Close()
+	if _, err := tr.Listen("client-cli", "127.0.0.1:0", ep.TransportHandler()); err != nil {
+		fail(err)
+	}
+	for name, addr := range addrs {
+		tr.AddPeer(name, addr)
+	}
+	cl := raft.NewClient(uint64(os.Getpid()), ep, peers, 5*time.Second)
+
+	fmt.Println("commands: get <k> | put <k> <v> | del <k> | scan <k> <n> | quit")
+	sc := bufio.NewScanner(os.Stdin)
+	for {
+		fmt.Print("> ")
+		if !sc.Scan() {
+			return
+		}
+		parts := strings.Fields(sc.Text())
+		if len(parts) == 0 {
+			continue
+		}
+		if parts[0] == "quit" || parts[0] == "exit" {
+			return
+		}
+		out := make(chan string, 1)
+		ok := rt.Spawn("cmd", func(co *core.Coroutine) {
+			out <- execute(co, cl, parts)
+		})
+		if !ok {
+			return
+		}
+		fmt.Println(<-out)
+	}
+}
+
+func execute(co *core.Coroutine, cl *raft.Client, parts []string) string {
+	switch parts[0] {
+	case "get":
+		if len(parts) != 2 {
+			return "usage: get <key>"
+		}
+		v, found, err := cl.Get(co, parts[1])
+		if err != nil {
+			return "error: " + err.Error()
+		}
+		if !found {
+			return "(not found)"
+		}
+		return string(v)
+	case "put":
+		if len(parts) < 3 {
+			return "usage: put <key> <value>"
+		}
+		if err := cl.Put(co, parts[1], []byte(strings.Join(parts[2:], " "))); err != nil {
+			return "error: " + err.Error()
+		}
+		return "ok"
+	case "del":
+		if len(parts) != 2 {
+			return "usage: del <key>"
+		}
+		found, err := cl.Delete(co, parts[1])
+		if err != nil {
+			return "error: " + err.Error()
+		}
+		if !found {
+			return "(not found)"
+		}
+		return "deleted"
+	case "scan":
+		if len(parts) != 3 {
+			return "usage: scan <key> <n>"
+		}
+		n := 0
+		fmt.Sscanf(parts[2], "%d", &n)
+		pairs, err := cl.Scan(co, parts[1], n)
+		if err != nil {
+			return "error: " + err.Error()
+		}
+		var b strings.Builder
+		for _, p := range pairs {
+			fmt.Fprintf(&b, "%s = %s\n", p.Key, p.Value)
+		}
+		if b.Len() == 0 {
+			return "(empty)"
+		}
+		return strings.TrimRight(b.String(), "\n")
+	}
+	return "unknown command"
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "depfast-kv:", err)
+	os.Exit(1)
+}

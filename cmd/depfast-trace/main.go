@@ -1,0 +1,61 @@
+// Command depfast-trace analyzes exported wait traces (JSON lines, as
+// written by depfast-spg -json or trace.WriteJSON): it rebuilds the
+// slowness propagation graph, verifies the fail-slow-tolerance
+// discipline, and prints the per-(node, kind) wait breakdown.
+//
+//	depfast-trace -in run.jsonl -breakdown -verify -spg
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"depfast/internal/trace"
+)
+
+func main() {
+	var (
+		in        = flag.String("in", "", "JSON-lines trace file (required)")
+		spg       = flag.Bool("spg", true, "print the slowness propagation graph")
+		breakdown = flag.Bool("breakdown", true, "print the per-node wait breakdown")
+		verify    = flag.Bool("verify", true, "run the fail-slow-tolerance verifier")
+		clients   = flag.String("client-prefix", "client", "node prefix exempt from the singular-wait rule")
+		dotOut    = flag.String("dot", "", "write the SPG as Graphviz DOT to this file")
+	)
+	flag.Parse()
+	if *in == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	f, err := os.Open(*in)
+	exitOn(err)
+	defer f.Close()
+	records, err := trace.ReadJSON(f)
+	exitOn(err)
+	fmt.Printf("%d wait records from %s\n\n", len(records), *in)
+
+	if *spg {
+		g := trace.BuildSPG(records)
+		fmt.Println("slowness propagation graph:")
+		fmt.Println(g.ASCII())
+		if *dotOut != "" {
+			exitOn(os.WriteFile(*dotOut, []byte(g.DOT()), 0o644))
+			fmt.Printf("DOT written to %s\n\n", *dotOut)
+		}
+	}
+	if *breakdown {
+		fmt.Println("wait breakdown:")
+		fmt.Println(trace.RenderBreakdown(trace.Breakdown(records)))
+	}
+	if *verify {
+		fmt.Println(trace.Report(records, trace.VerifyConfig{AllowClientPrefix: *clients}))
+	}
+}
+
+func exitOn(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "depfast-trace:", err)
+		os.Exit(1)
+	}
+}

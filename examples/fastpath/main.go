@@ -1,0 +1,89 @@
+// Fastpath: nested compound events expressing a fast-quorum protocol,
+// following §3.2 of the paper.
+//
+// A coordinator first tries the fast path (all 3 replicas must accept)
+// with an OrEvent over two QuorumEvents — fast_ok and fast_reject
+// ("minority-plus-one-reject"). When a replica rejects, the fast path
+// resolves *immediately* as failed (no timeout needed) and the
+// coordinator falls back to the classic majority slow path.
+//
+//	go run ./examples/fastpath
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"depfast"
+)
+
+// replica simulates one replica's accept/reject vote after a delay.
+func replica(rt *depfast.Runtime, accept bool, d time.Duration, ev *depfast.ResultEvent) {
+	rt.Spawn("replica", func(co *depfast.Coroutine) {
+		_ = co.Sleep(d)
+		if accept {
+			ev.Fire("accept", nil)
+		} else {
+			ev.Fire("reject", nil)
+		}
+	})
+}
+
+func main() {
+	rt := depfast.NewRuntime("coordinator")
+	defer rt.Stop()
+
+	done := make(chan struct{})
+	rt.Spawn("fastpath", func(co *depfast.Coroutine) {
+		defer close(done)
+
+		// Fast path: a fast quorum needs all 3; one reject kills it.
+		fastOK := depfast.NewQuorumEvent(3, 3)
+		votes := []struct {
+			accept bool
+			delay  time.Duration
+		}{
+			{true, 3 * time.Millisecond},
+			{false, 6 * time.Millisecond}, // one replica rejects
+			{true, 9 * time.Millisecond},
+		}
+		judge := func(v interface{}, _ error) bool { return v == "accept" }
+		for _, vote := range votes {
+			ev := depfast.NewResultEvent("rpc", "replica")
+			fastOK.AddJudged(ev, judge)
+			replica(rt, vote.accept, vote.delay, ev)
+		}
+
+		// fastpath resolves when the fast quorum is met OR provably
+		// unreachable (fast_reject = the quorum's reject view).
+		fastpath := depfast.NewOrEvent(fastOK, fastOK.RejectEvent())
+		start := time.Now()
+		if res := co.WaitFor(fastpath, time.Second); res != depfast.WaitReady {
+			fmt.Println("fast path timed out:", res)
+			return
+		}
+		if fastOK.Ready() {
+			fmt.Printf("fast path committed in %v\n", time.Since(start).Round(time.Millisecond))
+			return
+		}
+		fmt.Printf("fast path rejected after %v (acks=%d rejects=%d) — falling back\n",
+			time.Since(start).Round(time.Millisecond), fastOK.Acks(), fastOK.Rejects())
+
+		// Slow path: classic majority.
+		slowOK := depfast.NewMajorityEvent(3)
+		for i := 0; i < 3; i++ {
+			ev := depfast.NewResultEvent("rpc", "replica")
+			slowOK.AddJudged(ev, judge)
+			replica(rt, true, time.Duration(i+2)*time.Millisecond, ev)
+		}
+		switch co.WaitQuorum(slowOK, time.Second) {
+		case depfast.QuorumOK:
+			fmt.Printf("slow path committed in %v total\n", time.Since(start).Round(time.Millisecond))
+		case depfast.QuorumRejected:
+			fmt.Println("slow path rejected — retry at the protocol level")
+		default:
+			fmt.Println("slow path timed out — disconnect from the group")
+		}
+	})
+	<-done
+}

@@ -1,0 +1,66 @@
+// Quickstart: the DepFast programming model in one file.
+//
+// Three "replicas" answer a broadcast with different latencies; one of
+// them is fail-slow. A QuorumEvent lets the coordinator proceed as
+// soon as any majority answers — the slow replica never delays it —
+// which is the paper's core idea.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"depfast"
+)
+
+func main() {
+	rt := depfast.NewRuntime("coordinator")
+	defer rt.Stop()
+
+	done := make(chan struct{})
+	rt.Spawn("broadcast", func(co *depfast.Coroutine) {
+		defer close(done)
+
+		// One reply event per replica; the replicas answer after their
+		// own service times. Replica 3 is fail-slow: ten full seconds.
+		delays := map[string]time.Duration{
+			"replica-1": 5 * time.Millisecond,
+			"replica-2": 8 * time.Millisecond,
+			"replica-3": 10 * time.Second, // fail-slow!
+		}
+		quorum := depfast.NewMajorityEvent(3)
+		for name, d := range delays {
+			ev := depfast.NewResultEvent("rpc", name)
+			quorum.AddJudged(ev, nil)
+			name, d := name, d
+			co.Runtime().Spawn("replica-sim", func(rc *depfast.Coroutine) {
+				_ = rc.Sleep(d)
+				ev.Fire(fmt.Sprintf("ack from %s", name), nil)
+			})
+		}
+
+		start := time.Now()
+		outcome := co.WaitQuorum(quorum, 30*time.Second)
+		fmt.Printf("quorum outcome: %v after %v (acks=%d/%d)\n",
+			outcome, time.Since(start).Round(time.Millisecond),
+			quorum.Acks(), quorum.Total())
+
+		if outcome == depfast.QuorumOK {
+			fmt.Println("the fail-slow replica did not delay us — that is the whole point")
+		}
+
+		// Contrast: waiting on a single event propagates the slowness.
+		slow := depfast.NewResultEvent("rpc", "replica-3")
+		co.Runtime().Spawn("slow-reply", func(rc *depfast.Coroutine) {
+			_ = rc.Sleep(200 * time.Millisecond) // shortened for the demo
+			slow.Fire("late ack", nil)
+		})
+		start = time.Now()
+		res := co.WaitFor(slow, time.Second)
+		fmt.Printf("singular wait on the slow replica: %v after %v — slowness propagated\n",
+			res, time.Since(start).Round(time.Millisecond))
+	})
+	<-done
+}

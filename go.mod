@@ -1,0 +1,3 @@
+module depfast
+
+go 1.22

@@ -1,0 +1,471 @@
+// Package baseline implements three replicated state machines that
+// share DepFastRaft's substrate (transport, disk, WAL, workload) but
+// reproduce — one each — the confirmed fail-slow root-cause patterns
+// the paper found in production RSMs (§2.2):
+//
+//   - SyncRSM ("TiDB pattern"): a single region thread per shard; a
+//     lagging follower forces synchronous WAL reads for evicted
+//     entries on that thread, blocking all requests behind disk I/O.
+//   - BufferRSM ("RethinkDB pattern"): unbounded per-follower send
+//     buffers; backlog to a slow follower inflates resident memory,
+//     adds per-op bookkeeping cost, and can kill the leader (OOM).
+//   - CallbackRSM ("MongoDB pattern"): majority waits for commit, but
+//     a periodic flow-control pass gates admission on progress
+//     reports from *all* replicas, so one slow follower stretches the
+//     tail.
+//
+// The deltas against DepFastRaft therefore isolate the programming
+// discipline, which is exactly the comparison Figure 1 vs Figure 3
+// makes. Baselines use a static leader (Peers[0]) and a fixed term:
+// the paper's measurement keeps leaders healthy and injects faults
+// only into followers.
+package baseline
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"depfast/internal/codec"
+	"depfast/internal/core"
+	"depfast/internal/env"
+	"depfast/internal/kv"
+	"depfast/internal/metrics"
+	"depfast/internal/raft"
+	"depfast/internal/rpc"
+	"depfast/internal/storage"
+	"depfast/internal/transport"
+)
+
+// Kind selects the baseline discipline.
+type Kind int
+
+const (
+	// SyncRSM is the single-region-thread, synchronous-disk-read
+	// pattern.
+	SyncRSM Kind = iota
+	// BufferRSM is the unbounded-outgoing-buffer pattern.
+	BufferRSM
+	// CallbackRSM is the all-replica flow-control pattern.
+	CallbackRSM
+)
+
+// String names the baseline as used in experiment output.
+func (k Kind) String() string {
+	switch k {
+	case SyncRSM:
+		return "SyncRSM"
+	case BufferRSM:
+		return "BufferRSM"
+	case CallbackRSM:
+		return "CallbackRSM"
+	}
+	return "unknown"
+}
+
+// Config parameterizes a baseline server.
+type Config struct {
+	ID    string
+	Peers []string // Peers[0] is the static leader
+	Kind  Kind
+
+	LeaderComputePerOp   time.Duration
+	FollowerComputePerOp time.Duration
+	HeartbeatInterval    time.Duration
+	CommitTimeout        time.Duration
+	EntryCacheSize       int
+	OutboxWindow         int
+	DiskHelpers          int
+
+	// SyncRSM: max entries re-read per catch-up, per follower, per
+	// batch round.
+	CatchupBatch int
+
+	// BufferRSM: leader bookkeeping cost charged per 64KB of resident
+	// buffer per operation, and the OOM threshold (0 disables).
+	MemCostPer64KB time.Duration
+	MemLimitBytes  int64
+
+	// CallbackRSM: flow-control cadence and how long one pass may wait
+	// for all replicas.
+	FlowInterval time.Duration
+	FlowTimeout  time.Duration
+
+	// Tracer, when set, records every wait for runtime verification —
+	// which flags the baselines' singular cross-node waits, unlike
+	// DepFastRaft's.
+	Tracer core.Tracer
+}
+
+// DefaultConfig returns laptop-scale parameters matching the
+// DepFastRaft defaults where the disciplines overlap.
+func DefaultConfig(id string, peers []string, kind Kind) Config {
+	return Config{
+		ID:                   id,
+		Peers:                peers,
+		Kind:                 kind,
+		LeaderComputePerOp:   30 * time.Microsecond,
+		FollowerComputePerOp: 15 * time.Microsecond,
+		HeartbeatInterval:    30 * time.Millisecond,
+		CommitTimeout:        2 * time.Second,
+		EntryCacheSize:       32, // small: lagging followers fall out fast
+		OutboxWindow:         16,
+		DiskHelpers:          16,
+		CatchupBatch:         64,
+		MemCostPer64KB:       40 * time.Microsecond,
+		MemLimitBytes:        8 << 20,
+		FlowInterval:         50 * time.Millisecond,
+		FlowTimeout:          500 * time.Millisecond,
+	}
+}
+
+// ErrCrashed is reported once the leader has OOM-killed itself.
+var ErrCrashed = errors.New("baseline: leader crashed (OOM)")
+
+// proposal is one queued client command on the SyncRSM region thread.
+type proposal struct {
+	req  *kv.ClientRequest
+	done *core.SignalEvent
+	res  kv.Result
+	err  error
+}
+
+// Server is one baseline node.
+type Server struct {
+	cfg Config
+	rt  *core.Runtime
+	ep  *rpc.Endpoint
+	e   *env.Env
+
+	disk  *storage.Disk
+	wal   *storage.WAL
+	cache *storage.EntryCache
+	sm    *kv.Sessions
+
+	// Static-term replication state; baton context only.
+	term        uint64
+	commitIndex uint64
+	lastApplied uint64
+	nextIndex   map[string]uint64
+	matchIndex  map[string]uint64
+	outboxes    map[string]*rpc.Outbox
+	results     map[uint64]kv.Result
+
+	// SyncRSM region thread.
+	queue    []*proposal
+	queueSig *core.SignalEvent
+
+	// CallbackRSM admission gate: Ready (set) means open.
+	gate *core.SignalEvent
+
+	crashed bool
+	stopped bool
+
+	mu          sync.Mutex
+	snapCommit  uint64
+	snapApplied uint64
+	snapCrashed bool
+
+	Proposals     *metrics.Counter
+	Commits       *metrics.Counter
+	BlockingReads *metrics.Counter
+	FlowStalls    *metrics.Counter
+	OOMKills      *metrics.Counter
+}
+
+// NewServer builds a baseline node; register TransportHandler with
+// the transport under cfg.ID, then Start.
+func NewServer(cfg Config, e *env.Env, tr transport.Transport) *Server {
+	if cfg.EntryCacheSize <= 0 {
+		cfg.EntryCacheSize = 32
+	}
+	if cfg.CatchupBatch <= 0 {
+		cfg.CatchupBatch = 64
+	}
+	if cfg.DiskHelpers <= 0 {
+		cfg.DiskHelpers = 4
+	}
+	var rtOpts []core.Option
+	if cfg.Tracer != nil {
+		rtOpts = append(rtOpts, core.WithTracer(cfg.Tracer))
+	}
+	rt := core.NewRuntime(cfg.ID, rtOpts...)
+	s := &Server{
+		cfg:           cfg,
+		rt:            rt,
+		e:             e,
+		term:          1,
+		nextIndex:     make(map[string]uint64),
+		matchIndex:    make(map[string]uint64),
+		outboxes:      make(map[string]*rpc.Outbox),
+		results:       make(map[uint64]kv.Result),
+		sm:            kv.NewSessions(kv.NewStore()),
+		queueSig:      core.NewSignalEvent(),
+		gate:          core.NewSignalEvent(),
+		Proposals:     metrics.NewCounter("baseline.proposals"),
+		Commits:       metrics.NewCounter("baseline.commits"),
+		BlockingReads: metrics.NewCounter("baseline.blocking_reads"),
+		FlowStalls:    metrics.NewCounter("baseline.flow_stalls"),
+		OOMKills:      metrics.NewCounter("baseline.oom_kills"),
+	}
+	s.gate.Set() // admission open
+	s.disk = storage.NewDisk(rt, e, cfg.DiskHelpers)
+	s.wal = storage.NewWAL(s.disk)
+	s.cache = storage.NewEntryCache(cfg.EntryCacheSize)
+	s.ep = rpc.NewEndpoint(cfg.ID, rt, tr, rpc.WithCallTimeout(cfg.CommitTimeout))
+	if s.isLeader() {
+		for _, p := range s.others() {
+			capacity := 0 // BufferRSM: unbounded
+			if cfg.Kind != BufferRSM {
+				capacity = 4096
+			}
+			s.outboxes[p] = rpc.NewOutbox(s.ep, p, rpc.OutboxConfig{
+				Window:   cfg.OutboxWindow,
+				Capacity: capacity,
+				Env:      e,
+			})
+			s.nextIndex[p] = 1
+		}
+	}
+	s.ep.Handle(raft.TagAppendEntries, s.handleAppendEntries)
+	s.ep.Handle(kv.TagClientRequest, s.handleClientRequest)
+	return s
+}
+
+// TransportHandler returns the node's inbound handler.
+func (s *Server) TransportHandler() transport.Handler { return s.ep.TransportHandler() }
+
+// Env returns the node's environment.
+func (s *Server) Env() *env.Env { return s.e }
+
+// Runtime returns the node's runtime.
+func (s *Server) Runtime() *core.Runtime { return s.rt }
+
+// Leader returns the static leader's name.
+func (s *Server) Leader() string { return s.cfg.Peers[0] }
+
+func (s *Server) isLeader() bool { return s.cfg.ID == s.cfg.Peers[0] }
+
+func (s *Server) others() []string {
+	out := make([]string, 0, len(s.cfg.Peers)-1)
+	for _, p := range s.cfg.Peers {
+		if p != s.cfg.ID {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func (s *Server) majority() int { return len(s.cfg.Peers)/2 + 1 }
+
+// Start launches the leader machinery.
+func (s *Server) Start() {
+	if !s.isLeader() {
+		return
+	}
+	s.rt.Spawn("heartbeat", s.heartbeatLoop)
+	switch s.cfg.Kind {
+	case SyncRSM:
+		s.rt.Spawn("region-thread", s.regionLoop)
+	case CallbackRSM:
+		s.rt.Spawn("flow-control", s.flowControlLoop)
+	}
+}
+
+// Stop shuts the node down.
+func (s *Server) Stop() {
+	s.rt.Post(func() { s.stopped = true })
+	s.ep.Close()
+	s.rt.Stop()
+	s.disk.Close()
+}
+
+// Crashed reports whether the leader OOM-killed itself.
+func (s *Server) Crashed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.snapCrashed
+}
+
+// CommitInfo reports (commitIndex, lastApplied) as last published.
+func (s *Server) CommitInfo() (uint64, uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.snapCommit, s.snapApplied
+}
+
+// Store exposes the state machine for test verification.
+func (s *Server) Store() *kv.Store { return s.sm.Store() }
+
+// Outbox exposes the outbox toward peer, for instrumentation.
+func (s *Server) Outbox(peer string) *rpc.Outbox { return s.outboxes[peer] }
+
+func (s *Server) publish() {
+	s.mu.Lock()
+	s.snapCommit = s.commitIndex
+	s.snapApplied = s.lastApplied
+	s.snapCrashed = s.crashed
+	s.mu.Unlock()
+}
+
+// applyUpTo applies committed entries in order.
+func (s *Server) applyUpTo() {
+	limit := s.commitIndex
+	if last := s.wal.LastIndex(); limit > last {
+		limit = last
+	}
+	for s.lastApplied < limit {
+		s.lastApplied++
+		e, ok := s.wal.Entry(s.lastApplied)
+		if !ok {
+			panic(fmt.Sprintf("baseline %s: committed entry %d missing", s.cfg.ID, s.lastApplied))
+		}
+		if len(e.Data) == 0 {
+			continue
+		}
+		msg, err := codec.Unmarshal(e.Data)
+		if err != nil {
+			continue
+		}
+		req, ok := msg.(*kv.ClientRequest)
+		if !ok {
+			continue
+		}
+		res := s.sm.Apply(req.ClientID, req.Seq, req.Cmd)
+		if s.isLeader() {
+			s.results[s.lastApplied] = res
+		}
+		s.Commits.Inc()
+	}
+	if len(s.results) > 65536 {
+		for k := range s.results {
+			if k+32768 < s.lastApplied {
+				delete(s.results, k)
+			}
+		}
+	}
+	s.publish()
+}
+
+// termOf mirrors raft.Server.termOf for the shared message format.
+func (s *Server) termOf(idx uint64) uint64 {
+	if idx == 0 {
+		return 0
+	}
+	return s.wal.Term(idx)
+}
+
+// heartbeatLoop propagates the commit index to followers; hook-based
+// replies update progress.
+func (s *Server) heartbeatLoop(co *core.Coroutine) {
+	for !s.stopped && !s.crashed {
+		for _, p := range s.others() {
+			p := p
+			prev := s.nextIndex[p] - 1
+			ae := &raft.AppendEntries{
+				Term:         s.term,
+				Leader:       s.cfg.ID,
+				PrevLogIndex: prev,
+				PrevLogTerm:  s.termOf(prev),
+				LeaderCommit: s.commitIndex,
+			}
+			ev := s.ep.Call(p, ae)
+			core.OnEvent(ev, func() { s.noteReply(p, ev.Value(), ev.Err()) })
+		}
+		if err := co.Sleep(s.cfg.HeartbeatInterval); err != nil {
+			return
+		}
+	}
+}
+
+// noteReply folds an AppendEntries reply into progress bookkeeping.
+func (s *Server) noteReply(p string, v interface{}, err error) bool {
+	if err != nil {
+		return false
+	}
+	reply, ok := v.(*raft.AppendEntriesReply)
+	if !ok {
+		return false
+	}
+	if reply.Success {
+		if reply.LastIndex > s.matchIndex[p] {
+			s.matchIndex[p] = reply.LastIndex
+		}
+		if reply.LastIndex+1 > s.nextIndex[p] {
+			s.nextIndex[p] = reply.LastIndex + 1
+		}
+		return true
+	}
+	if n := reply.LastIndex + 1; n >= 1 && n < s.nextIndex[p] {
+		s.nextIndex[p] = n
+	} else if s.nextIndex[p] > 1 {
+		s.nextIndex[p]--
+	}
+	return false
+}
+
+// handleAppendEntries is the shared follower replication handler.
+func (s *Server) handleAppendEntries(co *core.Coroutine, from string, req codec.Message) codec.Message {
+	m := req.(*raft.AppendEntries)
+	s.e.Compute(s.cfg.FollowerComputePerOp)
+
+	if m.PrevLogIndex > 0 {
+		if m.PrevLogIndex > s.wal.LastIndex() || s.termOf(m.PrevLogIndex) != m.PrevLogTerm {
+			hint := s.wal.LastIndex()
+			if m.PrevLogIndex-1 < hint {
+				hint = m.PrevLogIndex - 1
+			}
+			return &raft.AppendEntriesReply{Term: s.term, Success: false, LastIndex: hint, From: s.cfg.ID}
+		}
+	}
+	toAppend := m.Entries
+	for len(toAppend) > 0 {
+		if _, ok := s.wal.Entry(toAppend[0].Index); !ok {
+			break
+		}
+		toAppend = toAppend[1:] // static term: duplicates are identical
+	}
+	if len(toAppend) > 0 {
+		fsync, err := s.wal.Append(toAppend)
+		if err != nil {
+			return &raft.AppendEntriesReply{Term: s.term, Success: false, LastIndex: s.wal.LastIndex(), From: s.cfg.ID}
+		}
+		for _, e := range toAppend {
+			s.cache.Put(e)
+		}
+		if werr := co.Wait(fsync); werr != nil {
+			return &raft.AppendEntriesReply{Term: s.term, Success: false, LastIndex: s.wal.LastIndex(), From: s.cfg.ID}
+		}
+	}
+	if m.LeaderCommit > s.commitIndex {
+		limit := s.wal.LastIndex()
+		if m.LeaderCommit < limit {
+			limit = m.LeaderCommit
+		}
+		s.commitIndex = limit
+		s.applyUpTo()
+	}
+	return &raft.AppendEntriesReply{Term: s.term, Success: true, LastIndex: s.wal.LastIndex(), From: s.cfg.ID}
+}
+
+// handleClientRequest dispatches to the kind-specific leader path.
+func (s *Server) handleClientRequest(co *core.Coroutine, from string, req codec.Message) codec.Message {
+	m := req.(*kv.ClientRequest)
+	if !s.isLeader() {
+		return &kv.ClientResponse{NotLeader: true, LeaderHint: s.Leader(), Err: "not leader"}
+	}
+	if s.crashed {
+		// A crashed process answers nothing; the client times out.
+		_ = co.Wait(core.NewNeverEvent())
+		return &kv.ClientResponse{OK: false, Err: ErrCrashed.Error()}
+	}
+	switch s.cfg.Kind {
+	case SyncRSM:
+		return s.syncPropose(co, m)
+	case BufferRSM:
+		return s.bufferPropose(co, m)
+	default:
+		return s.callbackPropose(co, m)
+	}
+}

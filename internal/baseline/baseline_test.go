@@ -1,0 +1,324 @@
+package baseline
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"depfast/internal/core"
+	"depfast/internal/env"
+	"depfast/internal/failslow"
+	"depfast/internal/kv"
+	"depfast/internal/raft"
+	"depfast/internal/rpc"
+	"depfast/internal/transport"
+)
+
+// bcluster is an in-process baseline deployment.
+type bcluster struct {
+	t        *testing.T
+	net      *transport.Network
+	names    []string
+	servers  map[string]*Server
+	envs     map[string]*env.Env
+	clientRT *core.Runtime
+	clientEP *rpc.Endpoint
+}
+
+func newBCluster(t *testing.T, kind Kind, n int, mutate func(*Config)) *bcluster {
+	t.Helper()
+	if n == 0 {
+		n = 3
+	}
+	c := &bcluster{
+		t:       t,
+		net:     transport.NewNetwork(),
+		servers: make(map[string]*Server),
+		envs:    make(map[string]*env.Env),
+	}
+	for i := 1; i <= n; i++ {
+		c.names = append(c.names, fmt.Sprintf("b%d", i))
+	}
+	ecfg := env.DefaultConfig()
+	for _, name := range c.names {
+		cfg := DefaultConfig(name, c.names, kind)
+		if mutate != nil {
+			mutate(&cfg)
+		}
+		e := env.New(name, ecfg)
+		s := NewServer(cfg, e, c.net)
+		c.net.Register(name, e, s.TransportHandler())
+		c.servers[name] = s
+		c.envs[name] = e
+	}
+	c.clientRT = core.NewRuntime("client-0")
+	c.clientEP = rpc.NewEndpoint("client-0", c.clientRT, c.net, rpc.WithCallTimeout(3*time.Second))
+	c.net.Register("client-0", env.New("client-0", ecfg), c.clientEP.TransportHandler())
+	for _, s := range c.servers {
+		s.Start()
+	}
+	t.Cleanup(func() {
+		for _, s := range c.servers {
+			s.Stop()
+		}
+		c.clientEP.Close()
+		c.clientRT.Stop()
+		c.net.Close()
+	})
+	return c
+}
+
+func (c *bcluster) client(id uint64) *raft.Client {
+	return raft.NewClient(id, c.clientEP, c.names, 3*time.Second)
+}
+
+func (c *bcluster) onClient(fn func(co *core.Coroutine)) {
+	c.t.Helper()
+	done := make(chan struct{})
+	c.clientRT.Spawn("test-client", func(co *core.Coroutine) {
+		defer close(done)
+		fn(co)
+	})
+	select {
+	case <-done:
+	case <-time.After(90 * time.Second):
+		c.t.Fatal("client coroutine timed out")
+	}
+}
+
+func (c *bcluster) leader() *Server { return c.servers[c.names[0]] }
+
+func testPutGetCycle(t *testing.T, kind Kind) {
+	t.Helper()
+	c := newBCluster(t, kind, 3, nil)
+	cl := c.client(1)
+	c.onClient(func(co *core.Coroutine) {
+		for i := 0; i < 25; i++ {
+			key := fmt.Sprintf("k%d", i)
+			if err := cl.Put(co, key, []byte{byte(i)}); err != nil {
+				t.Errorf("%v put %d: %v", kind, i, err)
+				return
+			}
+		}
+		for i := 0; i < 25; i++ {
+			key := fmt.Sprintf("k%d", i)
+			v, found, err := cl.Get(co, key)
+			if err != nil || !found || v[0] != byte(i) {
+				t.Errorf("%v get %d = %v %v %v", kind, i, v, found, err)
+				return
+			}
+		}
+	})
+}
+
+func TestSyncRSMPutGet(t *testing.T)     { testPutGetCycle(t, SyncRSM) }
+func TestBufferRSMPutGet(t *testing.T)   { testPutGetCycle(t, BufferRSM) }
+func TestCallbackRSMPutGet(t *testing.T) { testPutGetCycle(t, CallbackRSM) }
+
+func testFollowersConverge(t *testing.T, kind Kind) {
+	t.Helper()
+	c := newBCluster(t, kind, 3, nil)
+	cl := c.client(2)
+	c.onClient(func(co *core.Coroutine) {
+		for i := 0; i < 20; i++ {
+			if err := cl.Put(co, fmt.Sprintf("conv%d", i), []byte("v")); err != nil {
+				t.Errorf("put: %v", err)
+				return
+			}
+		}
+	})
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		all := true
+		for _, s := range c.servers {
+			_, la := s.CommitInfo()
+			if la < 20 {
+				all = false
+			}
+		}
+		if all {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	for name, s := range c.servers {
+		_, la := s.CommitInfo()
+		if la < 20 {
+			t.Errorf("%s applied %d/20", name, la)
+		}
+	}
+}
+
+func TestSyncRSMConverges(t *testing.T)     { testFollowersConverge(t, SyncRSM) }
+func TestBufferRSMConverges(t *testing.T)   { testFollowersConverge(t, BufferRSM) }
+func TestCallbackRSMConverges(t *testing.T) { testFollowersConverge(t, CallbackRSM) }
+
+func TestFollowerRedirectsToLeader(t *testing.T) {
+	c := newBCluster(t, CallbackRSM, 3, nil)
+	cl := raft.NewClient(3, c.clientEP, []string{c.names[1], c.names[0]}, 3*time.Second)
+	c.onClient(func(co *core.Coroutine) {
+		// First target is a follower; the hint must route to b1.
+		if err := cl.Put(co, "redir", []byte("v")); err != nil {
+			t.Errorf("put via follower: %v", err)
+		}
+	})
+}
+
+func TestSyncRSMBlockingReadsUnderLaggingFollower(t *testing.T) {
+	c := newBCluster(t, SyncRSM, 3, func(cfg *Config) {
+		cfg.EntryCacheSize = 8 // tiny cache: lag exceeds it immediately
+	})
+	// Make one follower fail-slow so it lags behind the cache window.
+	in := failslow.DefaultIntensity()
+	in.NetDelay = 60 * time.Millisecond
+	failslow.Apply(c.envs[c.names[2]], failslow.NetSlow, in)
+
+	cl := c.client(4)
+	c.onClient(func(co *core.Coroutine) {
+		for i := 0; i < 60; i++ {
+			if err := cl.Put(co, fmt.Sprintf("lag%d", i), []byte("v")); err != nil {
+				t.Errorf("put: %v", err)
+				return
+			}
+		}
+	})
+	if c.leader().BlockingReads.Value() == 0 {
+		t.Error("expected synchronous WAL reads on the region thread for the lagging follower")
+	}
+}
+
+func TestBufferRSMBacklogGrowsWithoutDiscard(t *testing.T) {
+	c := newBCluster(t, BufferRSM, 3, func(cfg *Config) {
+		cfg.OutboxWindow = 2
+		cfg.MemLimitBytes = 0 // no OOM in this test
+	})
+	in := failslow.DefaultIntensity()
+	in.NetDelay = 80 * time.Millisecond
+	failslow.Apply(c.envs[c.names[2]], failslow.NetSlow, in)
+
+	cl := c.client(5)
+	c.onClient(func(co *core.Coroutine) {
+		for i := 0; i < 60; i++ {
+			if err := cl.Put(co, fmt.Sprintf("bg%d", i), []byte("v")); err != nil {
+				t.Errorf("put: %v", err)
+				return
+			}
+		}
+	})
+	ob := c.leader().Outbox(c.names[2])
+	if ob.Discards.Value() != 0 {
+		t.Error("BufferRSM must never discard")
+	}
+	if c.leader().Env().Resident() == 0 && ob.QueueLen() == 0 {
+		t.Error("expected backlog toward the slow follower")
+	}
+}
+
+func TestBufferRSMOOMCrash(t *testing.T) {
+	c := newBCluster(t, BufferRSM, 3, func(cfg *Config) {
+		cfg.OutboxWindow = 1
+		cfg.MemLimitBytes = 8 << 10 // 8KB: crash fast
+	})
+	in := failslow.DefaultIntensity()
+	in.NetDelay = 150 * time.Millisecond
+	failslow.Apply(c.envs[c.names[2]], failslow.NetSlow, in)
+
+	// Short timeout: once the leader is dead every attempt times out,
+	// and the test only needs to observe the crash.
+	cl := raft.NewClient(6, c.clientEP, c.names, 300*time.Millisecond)
+	done := make(chan struct{})
+	c.clientRT.Spawn("oom-driver", func(co *core.Coroutine) {
+		defer close(done)
+		for i := 0; i < 400; i++ {
+			if err := cl.Put(co, fmt.Sprintf("oom%d", i), make([]byte, 128)); err != nil {
+				return // crash manifests as failed/timed-out puts
+			}
+			if c.leader().Crashed() {
+				return
+			}
+		}
+	})
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("driver hung")
+	}
+	if !c.leader().Crashed() {
+		t.Fatal("leader should have OOM-crashed under unbounded backlog")
+	}
+	if c.leader().OOMKills.Value() == 0 {
+		t.Error("OOM counter not incremented")
+	}
+}
+
+func TestCallbackRSMFlowStallsUnderSlowFollower(t *testing.T) {
+	c := newBCluster(t, CallbackRSM, 3, func(cfg *Config) {
+		cfg.FlowInterval = 20 * time.Millisecond
+	})
+	in := failslow.DefaultIntensity()
+	in.NetDelay = 50 * time.Millisecond
+	failslow.Apply(c.envs[c.names[2]], failslow.NetSlow, in)
+
+	cl := c.client(7)
+	c.onClient(func(co *core.Coroutine) {
+		for i := 0; i < 30; i++ {
+			if err := cl.Put(co, fmt.Sprintf("fc%d", i), []byte("v")); err != nil {
+				t.Errorf("put: %v", err)
+				return
+			}
+		}
+	})
+	if c.leader().FlowStalls.Value() == 0 {
+		t.Error("expected flow-control stalls with a slow follower")
+	}
+}
+
+func TestCallbackRSMHealthyHasFewStalls(t *testing.T) {
+	c := newBCluster(t, CallbackRSM, 3, func(cfg *Config) {
+		cfg.FlowInterval = 20 * time.Millisecond
+	})
+	cl := c.client(8)
+	c.onClient(func(co *core.Coroutine) {
+		for i := 0; i < 30; i++ {
+			if err := cl.Put(co, fmt.Sprintf("h%d", i), []byte("v")); err != nil {
+				t.Errorf("put: %v", err)
+				return
+			}
+		}
+	})
+	if stalls := c.leader().FlowStalls.Value(); stalls > 3 {
+		t.Errorf("healthy cluster had %d flow stalls", stalls)
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for _, tc := range []struct {
+		k    Kind
+		want string
+	}{{SyncRSM, "SyncRSM"}, {BufferRSM, "BufferRSM"}, {CallbackRSM, "CallbackRSM"}} {
+		if tc.k.String() != tc.want {
+			t.Errorf("%v != %s", tc.k, tc.want)
+		}
+	}
+}
+
+func TestExactlyOnceInBaselines(t *testing.T) {
+	c := newBCluster(t, SyncRSM, 3, nil)
+	c.onClient(func(co *core.Coroutine) {
+		// Two raw duplicate requests must apply once.
+		req := &kv.ClientRequest{ClientID: 77, Seq: 1,
+			Cmd: kv.Command{Op: kv.OpPut, Key: "dup", Value: []byte("first")}}
+		for i := 0; i < 2; i++ {
+			ev := c.clientEP.Call(c.names[0], req)
+			if co.WaitFor(ev, 5*time.Second) != core.WaitReady {
+				t.Error("raw call timeout")
+				return
+			}
+		}
+		cl := c.client(78)
+		v, found, err := cl.Get(co, "dup")
+		if err != nil || !found || string(v) != "first" {
+			t.Errorf("get = %q %v %v", v, found, err)
+		}
+	})
+}

@@ -1,0 +1,330 @@
+package baseline
+
+import (
+	"time"
+
+	"depfast/internal/codec"
+	"depfast/internal/core"
+	"depfast/internal/kv"
+	"depfast/internal/raft"
+	"depfast/internal/storage"
+)
+
+// --- SyncRSM: the TiDB single-region-thread pattern -----------------
+
+// syncPropose queues the command for the region thread and waits for
+// it locally. All replication work — including synchronous WAL reads
+// for followers that fell out of the entry cache — happens on that
+// one thread.
+func (s *Server) syncPropose(co *core.Coroutine, m *kv.ClientRequest) codec.Message {
+	p := &proposal{req: m, done: core.NewSignalEvent()}
+	s.queue = append(s.queue, p)
+	s.queueSig.Set()
+	if co.WaitFor(p.done, s.cfg.CommitTimeout) != core.WaitReady {
+		return &kv.ClientResponse{OK: false, Err: "region thread timeout"}
+	}
+	if p.err != nil {
+		return &kv.ClientResponse{OK: false, Err: p.err.Error()}
+	}
+	return &kv.ClientResponse{OK: true, Found: p.res.Found, Value: p.res.Value, Pairs: p.res.Pairs}
+}
+
+// regionLoop is the single region thread: it drains the proposal
+// queue into one batch, appends, replicates, waits for the quorum,
+// applies, and answers — strictly one batch at a time.
+func (s *Server) regionLoop(co *core.Coroutine) {
+	for !s.stopped {
+		if len(s.queue) == 0 {
+			s.queueSig = core.NewSignalEvent()
+			if err := co.Wait(s.queueSig); err != nil {
+				return
+			}
+			continue
+		}
+		batch := s.queue
+		s.queue = nil
+		s.processBatch(co, batch)
+	}
+}
+
+// processBatch replicates one batch of proposals.
+func (s *Server) processBatch(co *core.Coroutine, batch []*proposal) {
+	s.Proposals.Add(int64(len(batch)))
+	s.e.Compute(time.Duration(len(batch)) * s.cfg.LeaderComputePerOp)
+
+	first := s.wal.LastIndex() + 1
+	entries := make([]storage.Entry, len(batch))
+	for i, p := range batch {
+		entries[i] = storage.Entry{
+			Index: first + uint64(i),
+			Term:  s.term,
+			Data:  codec.Marshal(p.req),
+		}
+	}
+	last := first + uint64(len(batch)) - 1
+	fsync, err := s.wal.Append(entries)
+	if err != nil {
+		for _, p := range batch {
+			p.err = err
+			p.done.Set()
+		}
+		return
+	}
+	for _, e := range entries {
+		s.cache.Put(e)
+	}
+	// The region thread waits for its own fsync before fanning out —
+	// one more serialization point of the pattern.
+	if werr := co.Wait(fsync); werr != nil {
+		return
+	}
+
+	q := core.NewQuorumEvent(len(s.cfg.Peers), s.majority())
+	q.AddAck() // leader durable
+	for _, peer := range s.others() {
+		peer := peer
+		lo := s.nextIndex[peer]
+		if lo < s.wal.FirstIndex() {
+			lo = s.wal.FirstIndex()
+		}
+		hi := last
+		if limit := lo + uint64(s.cfg.CatchupBatch) - 1; hi > limit {
+			hi = limit
+		}
+		var send []storage.Entry
+		if lo >= first {
+			send = entries[lo-first : hi-first+1]
+		} else {
+			// The follower lags past this batch. Serve the gap from the
+			// entry cache when possible — and from the WAL with a
+			// SYNCHRONOUS read on this very thread when not: the
+			// confirmed TiDB root cause.
+			cached, ok := s.gatherCache(lo, hi)
+			if ok {
+				send = cached
+			} else {
+				// Raft-log reads are random accesses: one seek per
+				// small chunk, each synchronous on this thread.
+				for chunk := lo; chunk <= hi; chunk += 16 {
+					end := chunk + 15
+					if end > hi {
+						end = hi
+					}
+					s.BlockingReads.Inc()
+					send = append(send, s.wal.ReadBlocking(chunk, end)...)
+				}
+			}
+		}
+		if len(send) == 0 {
+			q.AddReject()
+			continue
+		}
+		prev := send[0].Index - 1
+		ae := &raft.AppendEntries{
+			Term:         s.term,
+			Leader:       s.cfg.ID,
+			PrevLogIndex: prev,
+			PrevLogTerm:  s.termOf(prev),
+			Entries:      send,
+			LeaderCommit: s.commitIndex,
+		}
+		ev := s.ep.Call(peer, ae)
+		needed := last
+		q.AddJudged(ev, func(v interface{}, err error) bool {
+			return s.noteReply(peer, v, err) && s.matchIndex[peer] >= needed
+		})
+	}
+
+	out := co.WaitQuorum(q, s.cfg.CommitTimeout)
+	if out != core.QuorumOK {
+		for _, p := range batch {
+			p.err = raft.ErrCommitTimeout
+			p.done.Set()
+		}
+		return
+	}
+	if last > s.commitIndex {
+		s.commitIndex = last
+	}
+	s.applyUpTo()
+	for i, p := range batch {
+		if res, ok := s.results[first+uint64(i)]; ok {
+			p.res = res
+			delete(s.results, first+uint64(i))
+		}
+		p.done.Set()
+	}
+}
+
+// gatherCache returns [lo,hi] if fully resident in the entry cache.
+func (s *Server) gatherCache(lo, hi uint64) ([]storage.Entry, bool) {
+	out := make([]storage.Entry, 0, hi-lo+1)
+	for i := lo; i <= hi; i++ {
+		e, ok := s.cache.Get(i)
+		if !ok {
+			return nil, false
+		}
+		out = append(out, e)
+	}
+	return out, true
+}
+
+// --- BufferRSM: the RethinkDB unbounded-buffer pattern ---------------
+
+// bufferPropose replicates one command with concurrent handlers, but
+// through unbounded per-follower buffers whose growth costs the
+// leader on every operation and can kill it.
+func (s *Server) bufferPropose(co *core.Coroutine, m *kv.ClientRequest) codec.Message {
+	s.Proposals.Inc()
+	// Bookkeeping over the resident buffers: the more backlog, the
+	// more each op costs (allocation, GC, accounting).
+	resident := s.e.Resident()
+	memCost := time.Duration(resident/(64<<10)) * s.cfg.MemCostPer64KB
+	s.e.Compute(s.cfg.LeaderComputePerOp + memCost)
+
+	if s.cfg.MemLimitBytes > 0 && s.e.OverLimit(s.cfg.MemLimitBytes) {
+		s.crashed = true
+		s.OOMKills.Inc()
+		s.publish()
+		_ = co.Wait(core.NewNeverEvent()) // the process is gone
+		return &kv.ClientResponse{OK: false, Err: ErrCrashed.Error()}
+	}
+
+	idx := s.wal.LastIndex() + 1
+	entry := storage.Entry{Index: idx, Term: s.term, Data: codec.Marshal(m)}
+	fsync, err := s.wal.Append([]storage.Entry{entry})
+	if err != nil {
+		return &kv.ClientResponse{OK: false, Err: err.Error()}
+	}
+	s.cache.Put(entry)
+
+	q := core.NewQuorumEvent(len(s.cfg.Peers), s.majority())
+	q.AddJudged(fsync, nil)
+	prev := idx - 1
+	prevTerm := s.termOf(prev)
+	for _, peer := range s.others() {
+		peer := peer
+		ae := &raft.AppendEntries{
+			Term:         s.term,
+			Leader:       s.cfg.ID,
+			PrevLogIndex: prev,
+			PrevLogTerm:  prevTerm,
+			Entries:      []storage.Entry{entry},
+			LeaderCommit: s.commitIndex,
+		}
+		ev := core.NewResultEvent("rpc", peer)
+		q.AddJudged(ev, func(v interface{}, err error) bool {
+			return s.noteReply(peer, v, err) && s.matchIndex[peer] >= idx
+		})
+		// Unbounded enqueue, never discarded: the backlog IS the bug.
+		s.outboxes[peer].Send(ae, ev, int64(idx))
+	}
+
+	if out := co.WaitQuorum(q, s.cfg.CommitTimeout); out != core.QuorumOK {
+		return &kv.ClientResponse{OK: false, Err: raft.ErrCommitTimeout.Error()}
+	}
+	if idx > s.commitIndex {
+		s.commitIndex = idx
+	}
+	s.applyUpTo()
+	res := s.results[idx]
+	delete(s.results, idx)
+	return &kv.ClientResponse{OK: true, Found: res.Found, Value: res.Value, Pairs: res.Pairs}
+}
+
+// --- CallbackRSM: the MongoDB all-replica flow-control pattern -------
+
+// callbackPropose is a majority-wait commit behind an admission gate.
+func (s *Server) callbackPropose(co *core.Coroutine, m *kv.ClientRequest) codec.Message {
+	// Admission control: while the flow-control pass is collecting
+	// progress from every replica, new work waits at the gate.
+	if !s.gate.Ready() {
+		if co.WaitFor(s.gate, s.cfg.CommitTimeout) != core.WaitReady {
+			return &kv.ClientResponse{OK: false, Err: "flow-control stall"}
+		}
+	}
+	s.Proposals.Inc()
+	s.e.Compute(s.cfg.LeaderComputePerOp)
+
+	idx := s.wal.LastIndex() + 1
+	entry := storage.Entry{Index: idx, Term: s.term, Data: codec.Marshal(m)}
+	fsync, err := s.wal.Append([]storage.Entry{entry})
+	if err != nil {
+		return &kv.ClientResponse{OK: false, Err: err.Error()}
+	}
+	s.cache.Put(entry)
+
+	q := core.NewQuorumEvent(len(s.cfg.Peers), s.majority())
+	q.AddJudged(fsync, nil)
+	prev := idx - 1
+	prevTerm := s.termOf(prev)
+	for _, peer := range s.others() {
+		peer := peer
+		ae := &raft.AppendEntries{
+			Term:         s.term,
+			Leader:       s.cfg.ID,
+			PrevLogIndex: prev,
+			PrevLogTerm:  prevTerm,
+			Entries:      []storage.Entry{entry},
+			LeaderCommit: s.commitIndex,
+		}
+		ev := core.NewResultEvent("rpc", peer)
+		q.AddJudged(ev, func(v interface{}, err error) bool {
+			return s.noteReply(peer, v, err) && s.matchIndex[peer] >= idx
+		})
+		s.outboxes[peer].Send(ae, ev, int64(idx))
+	}
+
+	if out := co.WaitQuorum(q, s.cfg.CommitTimeout); out != core.QuorumOK {
+		return &kv.ClientResponse{OK: false, Err: raft.ErrCommitTimeout.Error()}
+	}
+	if idx > s.commitIndex {
+		s.commitIndex = idx
+	}
+	s.applyUpTo()
+	res := s.results[idx]
+	delete(s.results, idx)
+	return &kv.ClientResponse{OK: true, Found: res.Found, Value: res.Value, Pairs: res.Pairs}
+}
+
+// flowControlLoop periodically closes the admission gate and waits for
+// progress reports from ALL replicas (an AndEvent — the all-wait that
+// lets one slow follower stretch every request's tail).
+func (s *Server) flowControlLoop(co *core.Coroutine) {
+	for !s.stopped {
+		if err := co.Sleep(s.cfg.FlowInterval); err != nil {
+			return
+		}
+		if s.stopped {
+			return
+		}
+		// Close the gate.
+		s.gate = core.NewSignalEvent()
+		and := core.NewAndEvent()
+		for _, peer := range s.others() {
+			prev := s.nextIndex[peer] - 1
+			ae := &raft.AppendEntries{
+				Term:         s.term,
+				Leader:       s.cfg.ID,
+				PrevLogIndex: prev,
+				PrevLogTerm:  s.termOf(prev),
+				LeaderCommit: s.commitIndex,
+			}
+			ev := s.ep.Call(peer, ae)
+			peer := peer
+			core.OnEvent(ev, func() { s.noteReply(peer, ev.Value(), ev.Err()) })
+			and.Add(ev)
+		}
+		start := time.Now()
+		res := co.WaitFor(and, s.cfg.FlowTimeout)
+		if res == core.WaitStopped {
+			s.gate.Set()
+			return
+		}
+		if waited := time.Since(start); waited > 2*s.cfg.HeartbeatInterval {
+			s.FlowStalls.Inc()
+		}
+		// Reopen the gate.
+		s.gate.Set()
+	}
+}

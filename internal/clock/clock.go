@@ -1,0 +1,51 @@
+// Package clock provides the delay primitive for the resource
+// simulation. The host kernel's sleep floor is coarse (~1.1ms for any
+// time.Sleep), which would flatten every sub-millisecond service time
+// to the same value. Precise therefore busy-waits for very short
+// delays — the healthy compute costs on the request path, tens of
+// microseconds — and sleeps for everything longer.
+//
+// The spin threshold is deliberately low because experiments may run
+// on a single core: only cheap, frequent, *healthy* costs spin;
+// fault-stretched costs (hundreds of microseconds and up) sleep, so a
+// fail-slow node yields the physical CPU instead of stealing it from
+// the healthy nodes co-located in the process. Sleeping overshoots by
+// the kernel floor, which errs toward making the faulted component
+// slower — conservative for every claim this repo measures.
+package clock
+
+import (
+	"runtime"
+	"time"
+)
+
+// SpinThreshold is the boundary between busy-wait and sleep.
+const SpinThreshold = 100 * time.Microsecond
+
+// Precise blocks for approximately d. Delays below SpinThreshold are
+// spun with sub-10µs accuracy; longer delays use time.Sleep and
+// inherit the kernel's floor (~1ms on coarse-tick hosts).
+func Precise(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	if d >= SpinThreshold {
+		time.Sleep(d)
+		return
+	}
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		runtime.Gosched()
+	}
+}
+
+// SleepFloor measures the host's minimum effective sleep, for
+// calibration output in experiment reports.
+func SleepFloor() time.Duration {
+	const n = 5
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		time.Sleep(time.Microsecond)
+	}
+	return time.Since(start) / n
+}

@@ -1,0 +1,51 @@
+package clock
+
+import (
+	"testing"
+	"time"
+)
+
+func TestPreciseZeroAndNegative(t *testing.T) {
+	start := time.Now()
+	Precise(0)
+	Precise(-time.Second)
+	if el := time.Since(start); el > 50*time.Millisecond {
+		t.Fatalf("non-positive delays took %v", el)
+	}
+}
+
+func TestPreciseShortDelaysSpinAccurately(t *testing.T) {
+	for _, d := range []time.Duration{5 * time.Microsecond, 20 * time.Microsecond, 80 * time.Microsecond} {
+		start := time.Now()
+		Precise(d)
+		el := time.Since(start)
+		if el < d {
+			t.Errorf("Precise(%v) returned early after %v", d, el)
+		}
+		// Spun delays must be far below the kernel sleep floor.
+		if el > d+500*time.Microsecond {
+			t.Errorf("Precise(%v) took %v; spin path not engaged?", d, el)
+		}
+	}
+}
+
+func TestPreciseLongDelaysSleep(t *testing.T) {
+	d := 5 * time.Millisecond
+	start := time.Now()
+	Precise(d)
+	el := time.Since(start)
+	if el < d {
+		t.Fatalf("Precise(%v) returned early after %v", d, el)
+	}
+	if el > d+50*time.Millisecond {
+		t.Fatalf("Precise(%v) took %v", d, el)
+	}
+}
+
+func TestSleepFloorPlausible(t *testing.T) {
+	f := SleepFloor()
+	if f <= 0 || f > time.Second {
+		t.Fatalf("sleep floor = %v", f)
+	}
+	t.Logf("host sleep floor: %v", f)
+}

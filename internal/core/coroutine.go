@@ -1,0 +1,278 @@
+package core
+
+import "time"
+
+// Coroutine is the unit of logic execution in a DepFast runtime. A
+// coroutine runs only while holding the runtime's baton and yields it
+// at every wait point, so logic code is effectively single-threaded
+// per runtime. Coroutine methods must only be called from inside the
+// coroutine's own function.
+type Coroutine struct {
+	id   uint64
+	name string
+	rt   *Runtime
+
+	resume   chan struct{}
+	finished bool
+	queued   bool // sitting in the ready queue
+	stopKill bool // woken by shutdown; waits return ErrStopped
+
+	waitGen      uint64 // incremented when a wait completes; invalidates timers
+	wakeTimedOut bool   // set by a timeout timer before waking the coroutine
+}
+
+// ID returns the coroutine's runtime-unique id.
+func (co *Coroutine) ID() uint64 { return co.id }
+
+// Name returns the coroutine's name as given to Spawn.
+func (co *Coroutine) Name() string { return co.name }
+
+// Runtime returns the owning runtime.
+func (co *Coroutine) Runtime() *Runtime { return co.rt }
+
+// park yields the baton and blocks until the scheduler resumes us.
+func (co *Coroutine) park() {
+	co.rt.parkedSet[co] = struct{}{}
+	co.rt.yielded <- struct{}{}
+	<-co.resume
+}
+
+// Yield gives up the baton but stays runnable, letting other ready
+// coroutines run first. Returns ErrStopped during shutdown.
+func (co *Coroutine) Yield() error {
+	co.queued = true
+	co.rt.ready = append(co.rt.ready, co)
+	co.rt.yielded <- struct{}{}
+	<-co.resume
+	if co.stopKill {
+		return ErrStopped
+	}
+	return nil
+}
+
+// WaitResult reports how a timed wait ended.
+type WaitResult int
+
+const (
+	// WaitReady: the event became ready.
+	WaitReady WaitResult = iota
+	// WaitTimeout: the deadline expired first.
+	WaitTimeout
+	// WaitStopped: the runtime shut down.
+	WaitStopped
+)
+
+// String renders the result for logs.
+func (r WaitResult) String() string {
+	switch r {
+	case WaitReady:
+		return "ready"
+	case WaitTimeout:
+		return "timeout"
+	case WaitStopped:
+		return "stopped"
+	}
+	return "unknown"
+}
+
+// Wait blocks the coroutine until ev is ready. This is the paper's
+// singular wait: waiting here on a cross-node event is exactly the
+// slowness-propagation hazard that QuorumEvent exists to remove, and
+// the trace verifier flags such waits. Returns ErrStopped if the
+// runtime shuts down while parked.
+func (co *Coroutine) Wait(ev Event) error {
+	start := time.Now()
+	for !ev.Ready() {
+		if co.stopKill || co.rt.stopping.Load() {
+			co.stopKill = true
+			co.trace(ev, start, false)
+			return ErrStopped
+		}
+		ev.addWaiter(co)
+		co.park()
+		ev.removeWaiter(co)
+		co.waitGen++
+		if co.stopKill {
+			co.trace(ev, start, false)
+			return ErrStopped
+		}
+	}
+	co.trace(ev, start, false)
+	return nil
+}
+
+// WaitFor blocks until ev is ready or the timeout elapses.
+func (co *Coroutine) WaitFor(ev Event, timeout time.Duration) WaitResult {
+	return co.waitForDesc(ev, timeout, nil)
+}
+
+// waitForDesc is WaitFor with an optional trace-description override,
+// so wrapper events (e.g. the Or over a quorum and its reject view)
+// are recorded as the wait they represent.
+func (co *Coroutine) waitForDesc(ev Event, timeout time.Duration, desc *EventDesc) WaitResult {
+	start := time.Now()
+	deadline := start.Add(timeout)
+	armed := false
+	for !ev.Ready() {
+		if co.stopKill || co.rt.stopping.Load() {
+			co.stopKill = true
+			co.traceDesc(ev, desc, start, false)
+			return WaitStopped
+		}
+		if !time.Now().Before(deadline) {
+			co.waitGen++
+			co.traceDesc(ev, desc, start, true)
+			return WaitTimeout
+		}
+		if !armed {
+			armed = true
+			gen := co.waitGen
+			co.rt.addTimer(deadline, func() {
+				if _, parked := co.rt.parkedSet[co]; parked && co.waitGen == gen {
+					co.wakeTimedOut = true
+					co.rt.makeReady(co)
+				}
+			})
+		}
+		ev.addWaiter(co)
+		co.park()
+		ev.removeWaiter(co)
+		if co.stopKill {
+			co.waitGen++
+			co.traceDesc(ev, desc, start, false)
+			return WaitStopped
+		}
+		if co.wakeTimedOut {
+			co.wakeTimedOut = false
+			if !ev.Ready() {
+				co.waitGen++
+				co.traceDesc(ev, desc, start, true)
+				return WaitTimeout
+			}
+		}
+	}
+	co.waitGen++
+	co.traceDesc(ev, desc, start, false)
+	return WaitReady
+}
+
+// Sleep parks the coroutine for d. Returns ErrStopped on shutdown.
+func (co *Coroutine) Sleep(d time.Duration) error {
+	if co.stopKill || co.rt.stopping.Load() {
+		co.stopKill = true
+		return ErrStopped
+	}
+	deadline := time.Now().Add(d)
+	for {
+		gen := co.waitGen
+		co.rt.addTimer(deadline, func() {
+			if _, parked := co.rt.parkedSet[co]; parked && co.waitGen == gen {
+				co.rt.makeReady(co)
+			}
+		})
+		co.park()
+		co.waitGen++
+		if co.stopKill {
+			return ErrStopped
+		}
+		if !time.Now().Before(deadline) {
+			return nil
+		}
+	}
+}
+
+// trace emits a wait record to the runtime's tracer, if any.
+func (co *Coroutine) trace(ev Event, start time.Time, timedOut bool) {
+	co.traceDesc(ev, nil, start, timedOut)
+}
+
+// traceDesc is trace with an optional description override.
+func (co *Coroutine) traceDesc(ev Event, desc *EventDesc, start time.Time, timedOut bool) {
+	if co.rt.tracer == nil {
+		return
+	}
+	d := ev.Desc()
+	if desc != nil {
+		d = *desc
+	}
+	co.rt.tracer.Record(WaitRecord{
+		Node:          co.rt.name,
+		CoroutineID:   co.id,
+		CoroutineName: co.name,
+		Event:         d,
+		Start:         start,
+		End:           time.Now(),
+		TimedOut:      timedOut,
+	})
+}
+
+// QuorumOutcome reports how a quorum wait resolved.
+type QuorumOutcome int
+
+const (
+	// QuorumOK: the ack quorum was reached.
+	QuorumOK QuorumOutcome = iota
+	// QuorumRejected: minority-plus-one rejects — the quorum can no
+	// longer succeed.
+	QuorumRejected
+	// QuorumTimeout: neither condition within the deadline.
+	QuorumTimeout
+	// QuorumStopped: runtime shutdown.
+	QuorumStopped
+)
+
+// String renders the outcome for logs.
+func (o QuorumOutcome) String() string {
+	switch o {
+	case QuorumOK:
+		return "ok"
+	case QuorumRejected:
+		return "rejected"
+	case QuorumTimeout:
+		return "timeout"
+	case QuorumStopped:
+		return "stopped"
+	}
+	return "unknown"
+}
+
+// Select waits until any of evs is ready or the timeout expires,
+// returning the index of the first ready event (lowest index wins on
+// ties) and how the wait ended. Sugar over an OrEvent, for protocol
+// code that branches on which condition resolved.
+func (co *Coroutine) Select(timeout time.Duration, evs ...Event) (int, WaitResult) {
+	if len(evs) == 0 {
+		return -1, WaitTimeout
+	}
+	or := NewOrEvent(evs...)
+	res := co.WaitFor(or, timeout)
+	if res != WaitReady {
+		return -1, res
+	}
+	for i, ev := range evs {
+		if ev.Ready() {
+			return i, WaitReady
+		}
+	}
+	return -1, WaitReady // unreachable: or.Ready implies a ready child
+}
+
+// WaitQuorum waits until q reaches its ack quorum, becomes
+// unsatisfiable (minority-plus-one rejects), or the timeout expires.
+// This is the canonical fail-slow-tolerant wait: the coroutine never
+// blocks on any single sub-event.
+func (co *Coroutine) WaitQuorum(q *QuorumEvent, timeout time.Duration) QuorumOutcome {
+	either := NewOrEvent(q, q.RejectEvent())
+	qd := q.Desc()
+	res := co.waitForDesc(either, timeout, &qd)
+	switch res {
+	case WaitStopped:
+		return QuorumStopped
+	case WaitTimeout:
+		return QuorumTimeout
+	}
+	if q.Ready() {
+		return QuorumOK
+	}
+	return QuorumRejected
+}

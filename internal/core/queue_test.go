@@ -1,0 +1,141 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+func TestQueuePushPop(t *testing.T) {
+	run(t, func(co *Coroutine) {
+		q := NewQueue[int]()
+		if _, ok := q.TryPop(); ok {
+			t.Error("empty queue popped")
+		}
+		q.Push(1)
+		q.Push(2)
+		if q.Len() != 2 {
+			t.Errorf("len = %d", q.Len())
+		}
+		v, ok := q.TryPop()
+		if !ok || v != 1 {
+			t.Errorf("pop = %v %v", v, ok)
+		}
+		v, err := q.PopWait(co)
+		if err != nil || v != 2 {
+			t.Errorf("popwait = %v %v", v, err)
+		}
+	})
+}
+
+func TestQueuePopWaitBlocksUntilPush(t *testing.T) {
+	rt := NewRuntime("q")
+	defer rt.Stop()
+	q := NewQueue[string]()
+	got := make(chan string, 1)
+	rt.Spawn("consumer", func(co *Coroutine) {
+		v, err := q.PopWait(co)
+		if err != nil {
+			got <- "err:" + err.Error()
+			return
+		}
+		got <- v
+	})
+	rt.Spawn("producer", func(co *Coroutine) {
+		_ = co.Sleep(10 * time.Millisecond)
+		q.Push("hello")
+	})
+	select {
+	case v := <-got:
+		if v != "hello" {
+			t.Fatalf("got %q", v)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("consumer hung")
+	}
+}
+
+func TestQueueDrainWaitBatches(t *testing.T) {
+	rt := NewRuntime("qd")
+	defer rt.Stop()
+	q := NewQueue[int]()
+	got := make(chan []int, 1)
+	rt.Spawn("producer", func(co *Coroutine) {
+		q.Push(1)
+		q.Push(2)
+		q.Push(3)
+		rt.Spawn("consumer", func(cc *Coroutine) {
+			batch, err := q.DrainWait(cc)
+			if err != nil {
+				got <- nil
+				return
+			}
+			got <- batch
+		})
+	})
+	select {
+	case batch := <-got:
+		if len(batch) != 3 || batch[0] != 1 || batch[2] != 3 {
+			t.Fatalf("batch = %v", batch)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("hung")
+	}
+	if q.Len() != 0 {
+		t.Fatalf("queue not drained: %d", q.Len())
+	}
+}
+
+func TestQueueMultipleRounds(t *testing.T) {
+	rt := NewRuntime("qr")
+	defer rt.Stop()
+	q := NewQueue[int]()
+	sum := make(chan int, 1)
+	rt.Spawn("consumer", func(co *Coroutine) {
+		total := 0
+		for i := 0; i < 10; i++ {
+			v, err := q.PopWait(co)
+			if err != nil {
+				sum <- -1
+				return
+			}
+			total += v
+		}
+		sum <- total
+	})
+	rt.Spawn("producer", func(co *Coroutine) {
+		for i := 1; i <= 10; i++ {
+			q.Push(i)
+			if err := co.Yield(); err != nil {
+				return
+			}
+		}
+	})
+	select {
+	case got := <-sum:
+		if got != 55 {
+			t.Fatalf("sum = %d", got)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("hung")
+	}
+}
+
+func TestQueueStoppedRuntime(t *testing.T) {
+	rt := NewRuntime("qs")
+	q := NewQueue[int]()
+	got := make(chan error, 1)
+	rt.Spawn("consumer", func(co *Coroutine) {
+		_, err := q.PopWait(co)
+		got <- err
+	})
+	time.Sleep(10 * time.Millisecond)
+	rt.Stop()
+	select {
+	case err := <-got:
+		if err != ErrStopped {
+			t.Fatalf("err = %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("stop did not wake consumer")
+	}
+}

@@ -1,0 +1,350 @@
+// Package core implements the DepFast programming model from
+// "Fail-slow fault tolerance needs programming support" (HotOS '21):
+// coroutines with cooperative scheduling, an event abstraction for
+// waiting points, and compound events (QuorumEvent, AndEvent, OrEvent)
+// that make quorum-style waits — rather than singular waits — the unit
+// of synchronization, preventing a single fail-slow component from
+// straggling the system.
+//
+// # Execution model
+//
+// A Runtime owns one scheduler goroutine. Coroutines are ordinary
+// goroutines that execute only while holding the runtime's baton; the
+// scheduler and the running coroutine strictly alternate, so at most
+// one piece of logic code runs at a time per Runtime. All event state
+// is therefore mutated without locks, exactly like the single-threaded
+// event loop + I/O helper threads design in the paper. External
+// completions (RPC replies, disk flushes, timers) enter through
+// Runtime.Post and are applied on the scheduler goroutine.
+package core
+
+import (
+	"container/heap"
+	"errors"
+	"log"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrStopped is returned from waits when the runtime shut down while
+// the coroutine was parked.
+var ErrStopped = errors.New("core: runtime stopped")
+
+// Tracer receives wait records for runtime verification and slowness
+// propagation analysis. Implementations must be safe for concurrent
+// use only if shared across runtimes; a single runtime invokes its
+// tracer from the scheduler baton only.
+type Tracer interface {
+	Record(WaitRecord)
+}
+
+// WaitRecord describes one completed wait on an event.
+type WaitRecord struct {
+	Node          string // runtime name
+	CoroutineID   uint64
+	CoroutineName string
+	Event         EventDesc
+	Start         time.Time
+	End           time.Time
+	TimedOut      bool
+}
+
+// Runtime is a DepFast runtime instance: a scheduler, its coroutines,
+// a timer wheel, and a queue of externally posted completions.
+type Runtime struct {
+	name   string
+	tracer Tracer
+
+	post    chan func()
+	ready   []*Coroutine
+	timers  timerHeap
+	yielded chan struct{}
+
+	done     chan struct{} // closed when the loop exits
+	stopping atomic.Bool
+	stopOnce sync.Once
+	loopWG   sync.WaitGroup
+
+	nextCoID  uint64
+	live      int                     // coroutines spawned and not yet finished
+	parkedSet map[*Coroutine]struct{} // coroutines parked on events/timers
+
+	// batonOwner guards against misuse: methods that require the baton
+	// panic when called from outside scheduler context in debug mode.
+	spawnedTotal atomic.Int64
+	panics       atomic.Int64
+}
+
+// Option configures a Runtime.
+type Option func(*Runtime)
+
+// WithTracer installs a tracer receiving every wait record.
+func WithTracer(t Tracer) Option {
+	return func(rt *Runtime) { rt.tracer = t }
+}
+
+// NewRuntime creates and starts a runtime named name. The name appears
+// in traces and slowness propagation graphs (e.g. "s1", "client-3").
+func NewRuntime(name string, opts ...Option) *Runtime {
+	rt := &Runtime{
+		name:      name,
+		post:      make(chan func(), 4096),
+		yielded:   make(chan struct{}),
+		done:      make(chan struct{}),
+		parkedSet: make(map[*Coroutine]struct{}),
+	}
+	for _, o := range opts {
+		o(rt)
+	}
+	rt.loopWG.Add(1)
+	go rt.loop()
+	return rt
+}
+
+// Name returns the runtime's name.
+func (rt *Runtime) Name() string { return rt.name }
+
+// SpawnCount returns the total number of coroutines ever spawned;
+// useful for tests and trace aggregation sanity checks.
+func (rt *Runtime) SpawnCount() int64 { return rt.spawnedTotal.Load() }
+
+// PanicCount returns how many coroutines died by panic (each one was
+// recovered and logged; the runtime kept running).
+func (rt *Runtime) PanicCount() int64 { return rt.panics.Load() }
+
+// Post schedules fn to run on the scheduler goroutine. It is the only
+// safe entry point for code outside the runtime (I/O helper threads,
+// transports, other runtimes). Post never blocks forever: if the
+// runtime has stopped, fn is dropped.
+func (rt *Runtime) Post(fn func()) {
+	select {
+	case <-rt.done:
+		return
+	default:
+	}
+	select {
+	case rt.post <- fn:
+	case <-rt.done:
+	}
+}
+
+// Spawn launches fn as a new coroutine. Safe to call from any
+// goroutine. The coroutine starts on the next scheduler iteration.
+// Returns false if the runtime has stopped.
+func (rt *Runtime) Spawn(name string, fn func(co *Coroutine)) bool {
+	if rt.stopping.Load() {
+		return false
+	}
+	rt.spawnedTotal.Add(1)
+	rt.Post(func() { rt.spawnLocked(name, fn) })
+	return true
+}
+
+// spawnLocked creates the coroutine; scheduler context only.
+func (rt *Runtime) spawnLocked(name string, fn func(co *Coroutine)) {
+	rt.nextCoID++
+	co := &Coroutine{
+		id:     rt.nextCoID,
+		name:   name,
+		rt:     rt,
+		resume: make(chan struct{}),
+	}
+	rt.live++
+	go func() {
+		<-co.resume // wait for first schedule
+		defer func() {
+			// A panicking coroutine must still return the baton or the
+			// scheduler deadlocks. Recover, count, and finish — the
+			// per-request isolation every server runtime needs.
+			if r := recover(); r != nil {
+				rt.panics.Add(1)
+				log.Printf("core: runtime %s: coroutine %q panicked: %v\n%s",
+					rt.name, co.name, r, debug.Stack())
+			}
+			co.finished = true
+			rt.yielded <- struct{}{}
+		}()
+		fn(co)
+	}()
+	rt.ready = append(rt.ready, co)
+}
+
+// Stop shuts the runtime down: parked coroutines are woken with
+// ErrStopped, the scheduler loop drains and exits. Stop blocks until
+// the loop has terminated. Safe to call multiple times.
+func (rt *Runtime) Stop() {
+	rt.stopOnce.Do(func() {
+		rt.stopping.Store(true)
+		// Nudge the loop in case it is blocked waiting for work.
+		select {
+		case rt.post <- func() {}:
+		case <-rt.done:
+		}
+	})
+	rt.loopWG.Wait()
+}
+
+// Stopped reports whether Stop has been requested.
+func (rt *Runtime) Stopped() bool { return rt.stopping.Load() }
+
+// loop is the scheduler: strictly alternates with coroutines via the
+// resume/yielded channels, applies posted completions, and fires
+// timers.
+func (rt *Runtime) loop() {
+	defer rt.loopWG.Done()
+	defer close(rt.done)
+	for {
+		// Apply all pending posted completions without blocking.
+	drain:
+		for {
+			select {
+			case fn := <-rt.post:
+				fn()
+			default:
+				break drain
+			}
+		}
+
+		// Fire expired timers.
+		now := time.Now()
+		for len(rt.timers) > 0 && !rt.timers[0].at.After(now) {
+			t := heap.Pop(&rt.timers).(*timer)
+			t.fire()
+		}
+
+		if rt.stopping.Load() {
+			rt.drainForStop()
+			return
+		}
+
+		// Run one ready coroutine to completion of its next yield.
+		if len(rt.ready) > 0 {
+			co := rt.ready[0]
+			copy(rt.ready, rt.ready[1:])
+			rt.ready = rt.ready[:len(rt.ready)-1]
+			co.queued = false
+			rt.runOne(co)
+			continue
+		}
+
+		// Idle: block until a post arrives or the next timer expires.
+		if len(rt.timers) > 0 {
+			d := time.Until(rt.timers[0].at)
+			if d <= 0 {
+				continue
+			}
+			tm := time.NewTimer(d)
+			select {
+			case fn := <-rt.post:
+				tm.Stop()
+				fn()
+			case <-tm.C:
+			}
+			continue
+		}
+		fn := <-rt.post
+		fn()
+	}
+}
+
+// runOne hands the baton to co and waits for it to yield or finish.
+func (rt *Runtime) runOne(co *Coroutine) {
+	co.resume <- struct{}{}
+	<-rt.yielded
+	if co.finished {
+		rt.live--
+	}
+}
+
+// drainForStop wakes every parked coroutine with the stopped flag and
+// runs coroutines until none remain (or they are unwakeable).
+func (rt *Runtime) drainForStop() {
+	// Wake everything that is parked: parked coroutines are exactly
+	// those registered as event waiters or timer owners; rather than
+	// track a global set, we track parked coroutines directly.
+	for pass := 0; pass < 1000; pass++ {
+		for _, co := range rt.parked() {
+			co.stopKill = true
+			delete(rt.parkedSet, co)
+			if !co.queued {
+				co.queued = true
+				rt.ready = append(rt.ready, co)
+			}
+		}
+		progress := false
+		for len(rt.ready) > 0 {
+			co := rt.ready[0]
+			rt.ready = rt.ready[1:]
+			co.queued = false
+			rt.runOne(co)
+			progress = true
+		}
+		// Apply any posts issued during unwinding (e.g. deferred cleanups).
+	drain:
+		for {
+			select {
+			case fn := <-rt.post:
+				fn()
+				progress = true
+			default:
+				break drain
+			}
+		}
+		if rt.live == 0 {
+			return
+		}
+		if !progress {
+			return // coroutines stuck outside our control; abandon
+		}
+	}
+}
+
+// parked returns the coroutines currently parked on events or timers.
+func (rt *Runtime) parked() []*Coroutine {
+	out := make([]*Coroutine, 0, len(rt.parkedSet))
+	for co := range rt.parkedSet {
+		out = append(out, co)
+	}
+	return out
+}
+
+// makeReady moves co to the runnable queue; scheduler/baton context only.
+func (rt *Runtime) makeReady(co *Coroutine) {
+	if co.queued || co.finished {
+		return
+	}
+	co.queued = true
+	delete(rt.parkedSet, co)
+	rt.ready = append(rt.ready, co)
+}
+
+// timer is a scheduled wakeup.
+type timer struct {
+	at   time.Time
+	fire func()
+	idx  int
+}
+
+type timerHeap []*timer
+
+func (h timerHeap) Len() int            { return len(h) }
+func (h timerHeap) Less(i, j int) bool  { return h[i].at.Before(h[j].at) }
+func (h timerHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i]; h[i].idx = i; h[j].idx = j }
+func (h *timerHeap) Push(x interface{}) { t := x.(*timer); t.idx = len(*h); *h = append(*h, t) }
+func (h *timerHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	t := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return t
+}
+
+// addTimer registers a wakeup at time at; baton/scheduler context only.
+func (rt *Runtime) addTimer(at time.Time, fire func()) *timer {
+	t := &timer{at: at, fire: fire}
+	heap.Push(&rt.timers, t)
+	return t
+}

@@ -1,0 +1,92 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSelectFirstReadyWins(t *testing.T) {
+	rt := NewRuntime("sel")
+	defer rt.Stop()
+	got := make(chan int, 1)
+	a, b, c := NewSignalEvent(), NewSignalEvent(), NewSignalEvent()
+	rt.Spawn("selector", func(co *Coroutine) {
+		idx, res := co.Select(time.Second, a, b, c)
+		if res != WaitReady {
+			got <- -100
+			return
+		}
+		got <- idx
+	})
+	rt.Spawn("setter", func(co *Coroutine) {
+		_ = co.Sleep(5 * time.Millisecond)
+		b.Set()
+	})
+	select {
+	case idx := <-got:
+		if idx != 1 {
+			t.Fatalf("selected %d, want 1", idx)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("hung")
+	}
+}
+
+func TestSelectTieBreaksLowestIndex(t *testing.T) {
+	run(t, func(co *Coroutine) {
+		a, b := NewSignalEvent(), NewSignalEvent()
+		a.Set()
+		b.Set()
+		idx, res := co.Select(time.Second, a, b)
+		if res != WaitReady || idx != 0 {
+			t.Errorf("select = %d %v, want 0 ready", idx, res)
+		}
+	})
+}
+
+func TestSelectTimeout(t *testing.T) {
+	run(t, func(co *Coroutine) {
+		idx, res := co.Select(20*time.Millisecond, NewNeverEvent(), NewNeverEvent())
+		if res != WaitTimeout || idx != -1 {
+			t.Errorf("select = %d %v, want -1 timeout", idx, res)
+		}
+	})
+}
+
+func TestSelectEmpty(t *testing.T) {
+	run(t, func(co *Coroutine) {
+		idx, res := co.Select(time.Second)
+		if idx != -1 || res != WaitTimeout {
+			t.Errorf("empty select = %d %v", idx, res)
+		}
+	})
+}
+
+func TestSelectMixedEventKinds(t *testing.T) {
+	rt := NewRuntime("selmix")
+	defer rt.Stop()
+	got := make(chan int, 1)
+	rt.Spawn("selector", func(co *Coroutine) {
+		q := NewQuorumEvent(3, 2)
+		res := NewResultEvent("rpc", "p")
+		timeoutish := NewNeverEvent()
+		co.Runtime().Spawn("acks", func(ac *Coroutine) {
+			q.AddAck()
+			q.AddAck()
+		})
+		idx, r := co.Select(time.Second, timeoutish, q, res)
+		if r != WaitReady {
+			got <- -100
+			return
+		}
+		got <- idx
+	})
+	select {
+	case idx := <-got:
+		if idx != 1 {
+			t.Fatalf("selected %d, want 1 (quorum)", idx)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("hung")
+	}
+}

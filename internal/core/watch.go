@@ -1,0 +1,33 @@
+package core
+
+// OnEvent invokes fn (under the runtime baton) when ev next fires.
+// It is a framework-level hook — logic code should wait on events from
+// coroutines instead — used by machinery like the RPC outbox that must
+// react to completions without owning a coroutine. fn runs at most
+// once per OnEvent call. If ev is already ready, fn runs immediately.
+func OnEvent(ev Event, fn func()) {
+	if ev.Ready() {
+		fn()
+		return
+	}
+	ev.addParent(&watcher{fn: fn})
+}
+
+// watcher adapts a callback to the compound-event child-notification
+// protocol. It is never waited on directly.
+type watcher struct {
+	baseEvent
+	fn   func()
+	done bool
+}
+
+func (w *watcher) Ready() bool     { return false }
+func (w *watcher) Desc() EventDesc { return EventDesc{Kind: "watcher", Quorum: 1, Total: 1} }
+
+func (w *watcher) childFired(Event) {
+	if w.done {
+		return
+	}
+	w.done = true
+	w.fn()
+}

@@ -1,0 +1,159 @@
+package core
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestOnEventFiresOnce(t *testing.T) {
+	rt := NewRuntime("watch")
+	defer rt.Stop()
+	done := make(chan int, 1)
+	rt.Spawn("main", func(co *Coroutine) {
+		calls := 0
+		ev := NewResultEvent("rpc", "p")
+		OnEvent(ev, func() { calls++ })
+		ev.Fire("x", nil)
+		ev.Fire("y", nil) // idempotent fire: no second callback
+		done <- calls
+	})
+	if got := <-done; got != 1 {
+		t.Fatalf("callback ran %d times, want 1", got)
+	}
+}
+
+func TestOnEventAlreadyReadyRunsImmediately(t *testing.T) {
+	rt := NewRuntime("watch2")
+	defer rt.Stop()
+	done := make(chan bool, 1)
+	rt.Spawn("main", func(co *Coroutine) {
+		ev := NewResultEvent("rpc")
+		ev.Fire("x", nil)
+		ran := false
+		OnEvent(ev, func() { ran = true })
+		done <- ran
+	})
+	if !<-done {
+		t.Fatal("callback not run for already-ready event")
+	}
+}
+
+func TestOnEventMultipleWatchers(t *testing.T) {
+	rt := NewRuntime("watch3")
+	defer rt.Stop()
+	done := make(chan int, 1)
+	rt.Spawn("main", func(co *Coroutine) {
+		ev := NewSignalEvent()
+		calls := 0
+		for i := 0; i < 5; i++ {
+			OnEvent(ev, func() { calls++ })
+		}
+		ev.Set()
+		done <- calls
+	})
+	if got := <-done; got != 5 {
+		t.Fatalf("calls = %d, want 5", got)
+	}
+}
+
+func TestOnEventDoesNotBlockWaiters(t *testing.T) {
+	// A watcher and a waiting coroutine on the same event both fire.
+	rt := NewRuntime("watch4")
+	defer rt.Stop()
+	var hookRan bool
+	waited := make(chan error, 1)
+	sig := NewSignalEvent()
+	rt.Spawn("waiter", func(co *Coroutine) {
+		waited <- co.Wait(sig)
+	})
+	rt.Spawn("hooker", func(co *Coroutine) {
+		OnEvent(sig, func() { hookRan = true })
+		_ = co.Sleep(5 * time.Millisecond)
+		sig.Set()
+	})
+	select {
+	case err := <-waited:
+		if err != nil {
+			t.Fatalf("wait: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("waiter hung")
+	}
+	if !hookRan {
+		t.Fatal("hook did not run")
+	}
+}
+
+func TestWaitQuorumTracesQuorumShape(t *testing.T) {
+	// WaitQuorum must record the quorum's k-of-n, not the internal Or
+	// wrapper's 1-of-2 (what the SPG's green edges depend on).
+	var mu sync.Mutex
+	var recs []WaitRecord
+	tr := tracerFunc(func(r WaitRecord) {
+		mu.Lock()
+		recs = append(recs, r)
+		mu.Unlock()
+	})
+	rt := NewRuntime("s1", WithTracer(tr))
+	defer rt.Stop()
+	done := make(chan struct{})
+	rt.Spawn("leader", func(co *Coroutine) {
+		defer close(done)
+		q := NewQuorumEvent(3, 2)
+		for _, p := range []string{"s2", "s3"} {
+			ev := NewResultEvent("rpc", p)
+			ev.Fire("ok", nil)
+			q.AddJudged(ev, nil)
+		}
+		q.AddAck()
+		_ = co.WaitQuorum(q, time.Second)
+	})
+	<-done
+	rt.Stop()
+	mu.Lock()
+	defer mu.Unlock()
+	found := false
+	for _, r := range recs {
+		if r.Event.Kind == "quorum" && r.Event.Quorum == 2 && r.Event.Total == 3 {
+			found = true
+		}
+		if r.Event.Kind == "or" {
+			t.Errorf("internal Or wrapper leaked into trace: %+v", r.Event)
+		}
+	}
+	if !found {
+		t.Fatalf("no 2/3 quorum record; got %+v", recs)
+	}
+}
+
+func TestQuorumRejectViewDesc(t *testing.T) {
+	q := NewQuorumEvent(5, 3)
+	d := q.RejectEvent().Desc()
+	if d.Kind != "quorum-reject" || d.Quorum != 3 || d.Total != 5 {
+		t.Fatalf("reject desc = %+v", d)
+	}
+}
+
+func TestSignalAfterWake(t *testing.T) {
+	// A coroutine that re-waits on a fired one-shot returns instantly.
+	rt := NewRuntime("rewait")
+	defer rt.Stop()
+	done := make(chan struct{})
+	rt.Spawn("main", func(co *Coroutine) {
+		defer close(done)
+		sig := NewSignalEvent()
+		co.Runtime().Spawn("setter", func(sc *Coroutine) { sig.Set() })
+		if err := co.Wait(sig); err != nil {
+			t.Errorf("first wait: %v", err)
+		}
+		start := time.Now()
+		if err := co.Wait(sig); err != nil {
+			t.Errorf("second wait: %v", err)
+		}
+		if time.Since(start) > 100*time.Millisecond {
+			t.Error("second wait on ready signal blocked")
+		}
+	})
+	<-done
+}

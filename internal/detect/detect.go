@@ -1,0 +1,230 @@
+// Package detect implements a fail-slow peer detector from runtime
+// observations — the paper's §5 plan to "implement failure detectors
+// based on those trace points". It consumes per-peer RPC round-trip
+// times (via rpc.WithLatencyObserver) and flags peers whose smoothed
+// latency inflates far beyond the healthy majority's.
+//
+// Detection is *relative*: a peer is suspected when its EWMA exceeds
+// both an absolute floor and a multiple of the median peer's EWMA, so
+// cluster-wide slowness (overload) is not misattributed to one node.
+package detect
+
+import (
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Config tunes the detector.
+type Config struct {
+	// Alpha is the EWMA smoothing weight of a new sample (default 1/8).
+	Alpha float64
+	// SuspectRatio flags a peer whose EWMA exceeds this multiple of the
+	// median peer EWMA (default 5).
+	SuspectRatio float64
+	// MinSamples before a peer can be judged (default 16).
+	MinSamples int
+	// Floor is the minimum EWMA considered abnormal at all; below it a
+	// peer is never suspected regardless of ratios (default 2ms).
+	Floor time.Duration
+	// TimeoutPenalty is the latency charged for a timed-out call
+	// (default 2× the observed max RTT so far, at least 100ms).
+	TimeoutPenalty time.Duration
+}
+
+// DefaultConfig returns production-ish defaults for the simulated
+// environment.
+func DefaultConfig() Config {
+	return Config{
+		Alpha:        0.125,
+		SuspectRatio: 5,
+		MinSamples:   16,
+		Floor:        2 * time.Millisecond,
+	}
+}
+
+// peerState is one peer's smoothed view.
+type peerState struct {
+	ewma     float64 // nanoseconds
+	samples  int
+	timeouts int
+	maxRTT   time.Duration
+}
+
+// Detector aggregates RTT observations per peer. Safe for concurrent
+// use — Observe is called from transport goroutines.
+type Detector struct {
+	cfg Config
+
+	mu    sync.Mutex
+	peers map[string]*peerState
+}
+
+// New returns a detector; zero-value fields of cfg take defaults.
+func New(cfg Config) *Detector {
+	def := DefaultConfig()
+	if cfg.Alpha <= 0 || cfg.Alpha > 1 {
+		cfg.Alpha = def.Alpha
+	}
+	if cfg.SuspectRatio <= 1 {
+		cfg.SuspectRatio = def.SuspectRatio
+	}
+	if cfg.MinSamples <= 0 {
+		cfg.MinSamples = def.MinSamples
+	}
+	if cfg.Floor <= 0 {
+		cfg.Floor = def.Floor
+	}
+	return &Detector{cfg: cfg, peers: make(map[string]*peerState)}
+}
+
+// Observe folds one call outcome into the peer's state. Plug it into
+// an endpoint with rpc.WithLatencyObserver(d.Observe).
+func (d *Detector) Observe(peer string, rtt time.Duration, timedOut bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	st := d.peers[peer]
+	if st == nil {
+		st = &peerState{}
+		d.peers[peer] = st
+	}
+	if timedOut {
+		st.timeouts++
+		penalty := d.cfg.TimeoutPenalty
+		if penalty <= 0 {
+			penalty = 2 * st.maxRTT
+			if penalty < 100*time.Millisecond {
+				penalty = 100 * time.Millisecond
+			}
+		}
+		rtt = penalty
+	} else if rtt > st.maxRTT {
+		st.maxRTT = rtt
+	}
+	if st.samples == 0 {
+		st.ewma = float64(rtt)
+	} else {
+		st.ewma = (1-d.cfg.Alpha)*st.ewma + d.cfg.Alpha*float64(rtt)
+	}
+	st.samples++
+}
+
+// PeerStat is one peer's exported state.
+type PeerStat struct {
+	Peer     string
+	EWMA     time.Duration
+	Samples  int
+	Timeouts int
+	Suspect  bool
+}
+
+// Stats returns per-peer state with suspicion verdicts, slowest first.
+func (d *Detector) Stats() []PeerStat {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+
+	// Median EWMA over peers with enough samples.
+	var ewmas []float64
+	for _, st := range d.peers {
+		if st.samples >= d.cfg.MinSamples {
+			ewmas = append(ewmas, st.ewma)
+		}
+	}
+	sort.Float64s(ewmas)
+	var median float64
+	if len(ewmas) > 0 {
+		// Lower median: with two peers this compares against the
+		// faster one, so a slow peer in a pair is still caught.
+		median = ewmas[(len(ewmas)-1)/2]
+	}
+
+	out := make([]PeerStat, 0, len(d.peers))
+	for peer, st := range d.peers {
+		suspect := false
+		if st.samples >= d.cfg.MinSamples && median > 0 &&
+			st.ewma > float64(d.cfg.Floor) &&
+			st.ewma > d.cfg.SuspectRatio*median {
+			suspect = true
+		}
+		out = append(out, PeerStat{
+			Peer:     peer,
+			EWMA:     time.Duration(st.ewma),
+			Samples:  st.samples,
+			Timeouts: st.timeouts,
+			Suspect:  suspect,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].EWMA != out[j].EWMA {
+			return out[i].EWMA > out[j].EWMA
+		}
+		return out[i].Peer < out[j].Peer
+	})
+	return out
+}
+
+// Suspects returns the currently suspected peers.
+func (d *Detector) Suspects() []string {
+	var out []string
+	for _, st := range d.Stats() {
+		if st.Suspect {
+			out = append(out, st.Peer)
+		}
+	}
+	return out
+}
+
+// Reset clears all state (e.g. after a membership change).
+func (d *Detector) Reset() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.peers = make(map[string]*peerState)
+}
+
+// Render formats the detector state as a table.
+func Render(stats []PeerStat) string {
+	var b strings.Builder
+	b.WriteString("PEER         EWMA         SAMPLES  TIMEOUTS  SUSPECT\n")
+	for _, s := range stats {
+		mark := ""
+		if s.Suspect {
+			mark = "  <== fail-slow"
+		}
+		b.WriteString(
+			padRight(s.Peer, 12) + " " +
+				padRight(s.EWMA.Round(10*time.Microsecond).String(), 12) + " " +
+				padRight(itoa(s.Samples), 8) + " " +
+				padRight(itoa(s.Timeouts), 9) +
+				boolStr(s.Suspect) + mark + "\n")
+	}
+	return b.String()
+}
+
+func padRight(s string, n int) string {
+	for len(s) < n {
+		s += " "
+	}
+	return s
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+func boolStr(b bool) string {
+	if b {
+		return "yes"
+	}
+	return "no"
+}

@@ -1,0 +1,145 @@
+package detect
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func feed(d *Detector, peer string, rtt time.Duration, n int) {
+	for i := 0; i < n; i++ {
+		d.Observe(peer, rtt, false)
+	}
+}
+
+func TestDetectorFlagsSlowPeer(t *testing.T) {
+	d := New(DefaultConfig())
+	feed(d, "s2", 3*time.Millisecond, 50)
+	feed(d, "s3", 3*time.Millisecond, 50)
+	feed(d, "s4", 80*time.Millisecond, 50) // fail-slow
+	suspects := d.Suspects()
+	if len(suspects) != 1 || suspects[0] != "s4" {
+		t.Fatalf("suspects = %v, want [s4]", suspects)
+	}
+	stats := d.Stats()
+	if stats[0].Peer != "s4" || !stats[0].Suspect {
+		t.Fatalf("stats[0] = %+v", stats[0])
+	}
+}
+
+func TestDetectorNoFalsePositiveWhenAllSlow(t *testing.T) {
+	// Cluster-wide slowness (overload) must not single anyone out.
+	d := New(DefaultConfig())
+	for _, p := range []string{"s2", "s3", "s4"} {
+		feed(d, p, 50*time.Millisecond, 50)
+	}
+	if s := d.Suspects(); len(s) != 0 {
+		t.Fatalf("suspects = %v, want none (relative detection)", s)
+	}
+}
+
+func TestDetectorFloorSuppressesMicroDifferences(t *testing.T) {
+	// Sub-floor latencies are never abnormal even at a high ratio.
+	cfg := DefaultConfig()
+	cfg.Floor = 10 * time.Millisecond
+	d := New(cfg)
+	feed(d, "s2", 100*time.Microsecond, 50)
+	feed(d, "s3", 100*time.Microsecond, 50)
+	feed(d, "s4", 900*time.Microsecond, 50) // 9x but tiny
+	if s := d.Suspects(); len(s) != 0 {
+		t.Fatalf("suspects = %v, want none below floor", s)
+	}
+}
+
+func TestDetectorNeedsMinSamples(t *testing.T) {
+	d := New(DefaultConfig())
+	feed(d, "s2", time.Millisecond, 50)
+	feed(d, "s3", time.Millisecond, 50)
+	feed(d, "s4", 100*time.Millisecond, 3) // too few samples
+	if s := d.Suspects(); len(s) != 0 {
+		t.Fatalf("suspects = %v before MinSamples", s)
+	}
+}
+
+func TestDetectorEWMATracksChange(t *testing.T) {
+	d := New(DefaultConfig())
+	feed(d, "s2", time.Millisecond, 50)
+	feed(d, "s3", time.Millisecond, 50)
+	feed(d, "s4", time.Millisecond, 50)
+	if s := d.Suspects(); len(s) != 0 {
+		t.Fatalf("healthy start: %v", s)
+	}
+	// s4 becomes slow; EWMA converges within a few dozen samples.
+	feed(d, "s4", 60*time.Millisecond, 60)
+	suspects := d.Suspects()
+	if len(suspects) != 1 || suspects[0] != "s4" {
+		t.Fatalf("suspects after slowdown = %v", suspects)
+	}
+	// s4 recovers.
+	feed(d, "s4", time.Millisecond, 200)
+	if s := d.Suspects(); len(s) != 0 {
+		t.Fatalf("suspects after recovery = %v", s)
+	}
+}
+
+func TestDetectorTimeoutsPenalized(t *testing.T) {
+	d := New(DefaultConfig())
+	feed(d, "s2", time.Millisecond, 50)
+	feed(d, "s3", time.Millisecond, 50)
+	for i := 0; i < 30; i++ {
+		d.Observe("s4", 0, true) // every call times out
+	}
+	suspects := d.Suspects()
+	if len(suspects) != 1 || suspects[0] != "s4" {
+		t.Fatalf("suspects = %v, want [s4] (timeouts)", suspects)
+	}
+	for _, st := range d.Stats() {
+		if st.Peer == "s4" && st.Timeouts != 30 {
+			t.Fatalf("timeouts = %d", st.Timeouts)
+		}
+	}
+}
+
+func TestDetectorReset(t *testing.T) {
+	d := New(DefaultConfig())
+	feed(d, "s2", time.Millisecond, 20)
+	d.Reset()
+	if len(d.Stats()) != 0 {
+		t.Fatal("reset did not clear state")
+	}
+}
+
+func TestDetectorConcurrentObserve(t *testing.T) {
+	d := New(DefaultConfig())
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		peer := string(rune('a' + g%3))
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				d.Observe(peer, time.Millisecond, false)
+			}
+		}()
+	}
+	wg.Wait()
+	total := 0
+	for _, st := range d.Stats() {
+		total += st.Samples
+	}
+	if total != 4000 {
+		t.Fatalf("samples = %d, want 4000", total)
+	}
+}
+
+func TestRender(t *testing.T) {
+	d := New(DefaultConfig())
+	feed(d, "s2", time.Millisecond, 20)
+	feed(d, "s3", time.Millisecond, 20)
+	feed(d, "s4", 50*time.Millisecond, 20)
+	out := Render(d.Stats())
+	if !strings.Contains(out, "PEER") || !strings.Contains(out, "fail-slow") {
+		t.Fatalf("render:\n%s", out)
+	}
+}

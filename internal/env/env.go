@@ -1,0 +1,224 @@
+// Package env models one node's local resources — CPU, disk, NIC, and
+// memory pressure — as stretchable service times. It is the
+// substitution for the paper's Azure VMs with cgroup/tc fault
+// injection: a fault does not change what the code does, only how long
+// the affected resource takes, at the same points in the code path.
+//
+// All knobs are atomically mutable at runtime so the fail-slow
+// injector can apply and clear faults mid-experiment.
+package env
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+
+	"depfast/internal/clock"
+)
+
+// atomicFloat is a float64 with atomic load/store.
+type atomicFloat struct{ bits atomic.Uint64 }
+
+func (f *atomicFloat) Store(v float64) { f.bits.Store(math.Float64bits(v)) }
+func (f *atomicFloat) Load() float64   { return math.Float64frombits(f.bits.Load()) }
+
+// xorshift is a tiny lock-free PRNG for jitter decisions; quality
+// requirements are minimal.
+type xorshift struct{ state atomic.Uint64 }
+
+func (x *xorshift) next() uint64 {
+	for {
+		old := x.state.Load()
+		v := old
+		if v == 0 {
+			v = 0x9e3779b97f4a7c15
+		}
+		v ^= v << 13
+		v ^= v >> 7
+		v ^= v << 17
+		if x.state.CompareAndSwap(old, v) {
+			return v
+		}
+	}
+}
+
+// float returns a uniform float64 in [0,1).
+func (x *xorshift) float() float64 {
+	return float64(x.next()>>11) / float64(1<<53)
+}
+
+// Config sets the baseline (un-faulted) service times of a node.
+type Config struct {
+	// ComputeScale multiplies every Compute cost; 1.0 = nominal.
+	ComputeScale float64
+	// FsyncBase is the latency of a disk flush; DiskBytesPerSec the
+	// sequential bandwidth shared by reads and writes.
+	FsyncBase       time.Duration
+	DiskReadBase    time.Duration
+	DiskBytesPerSec float64
+	// NetBase is the one-way NIC latency added to each message.
+	NetBase time.Duration
+}
+
+// DefaultConfig returns simulation baselines calibrated for hosts
+// with a coarse (~1ms) sleep floor: asynchronous service times (disk,
+// network) are ≥1ms so sleeping represents them faithfully, while
+// compute costs stay in the spin-accurate microsecond range (see
+// package clock).
+func DefaultConfig() Config {
+	return Config{
+		ComputeScale:    1.0,
+		FsyncBase:       2 * time.Millisecond,
+		DiskReadBase:    500 * time.Microsecond,
+		DiskBytesPerSec: 400e6,
+		NetBase:         time.Millisecond,
+	}
+}
+
+// Env is one node's resource model plus its live fault knobs.
+type Env struct {
+	node string
+	cfg  Config
+	rng  xorshift
+
+	// Fault knobs; 1.0 / 0 = healthy.
+	cpuFactor  atomicFloat  // multiplies compute time
+	cpuStallP  atomicFloat  // probability a compute op hits a stall
+	cpuStall   atomic.Int64 // stall duration, ns
+	diskFactor atomicFloat  // multiplies disk service time
+	diskStallP atomicFloat  // probability a disk op hits a stall
+	diskStall  atomic.Int64 // stall duration, ns
+	netDelay   atomic.Int64 // extra per-message NIC delay, ns
+	memPerMB   atomic.Int64 // pause ns per resident MB per op
+
+	resident atomic.Int64 // tracked buffer bytes on this node
+}
+
+// New returns an environment for the named node.
+func New(node string, cfg Config) *Env {
+	e := &Env{node: node, cfg: cfg}
+	e.cpuFactor.Store(1.0)
+	e.diskFactor.Store(1.0)
+	e.rng.state.Store(uint64(len(node))*0x9e3779b97f4a7c15 + 1)
+	return e
+}
+
+// Node returns the node name this environment models.
+func (e *Env) Node() string { return e.node }
+
+// --- fault knob setters (used by the failslow injector) ---
+
+// SetCPUFactor stretches all compute time by f (cgroup CPU cap).
+func (e *Env) SetCPUFactor(f float64) { e.cpuFactor.Store(f) }
+
+// SetCPUStall adds probabilistic scheduling stalls (CPU contention):
+// each compute op stalls for d with probability p.
+func (e *Env) SetCPUStall(p float64, d time.Duration) {
+	e.cpuStallP.Store(p)
+	e.cpuStall.Store(int64(d))
+}
+
+// SetDiskFactor stretches all disk service time by f (I/O throttling).
+func (e *Env) SetDiskFactor(f float64) { e.diskFactor.Store(f) }
+
+// SetDiskStall adds probabilistic disk stalls (a contending writer).
+func (e *Env) SetDiskStall(p float64, d time.Duration) {
+	e.diskStallP.Store(p)
+	e.diskStall.Store(int64(d))
+}
+
+// SetNetDelay adds a fixed delay to every message through this node's
+// NIC (tc netem).
+func (e *Env) SetNetDelay(d time.Duration) { e.netDelay.Store(int64(d)) }
+
+// SetMemPressure makes each memory-touching op pause perMB for every
+// resident megabyte tracked on the node (memory-cgroup reclaim cost).
+func (e *Env) SetMemPressure(perMB time.Duration) { e.memPerMB.Store(int64(perMB)) }
+
+// ClearFaults restores all knobs to healthy values.
+func (e *Env) ClearFaults() {
+	e.cpuFactor.Store(1.0)
+	e.cpuStallP.Store(0)
+	e.cpuStall.Store(0)
+	e.diskFactor.Store(1.0)
+	e.diskStallP.Store(0)
+	e.diskStall.Store(0)
+	e.netDelay.Store(0)
+	e.memPerMB.Store(0)
+}
+
+// --- service-time queries ---
+
+// ComputeCost returns the stretched duration of a compute operation of
+// nominal cost c, including contention stalls and memory pressure.
+func (e *Env) ComputeCost(c time.Duration) time.Duration {
+	d := time.Duration(float64(c) * e.cfg.ComputeScale * e.cpuFactor.Load())
+	if p := e.cpuStallP.Load(); p > 0 && e.rng.float() < p {
+		d += time.Duration(e.cpuStall.Load())
+	}
+	d += e.memPauseLocked()
+	return d
+}
+
+// Compute blocks the calling goroutine for the stretched cost of a
+// compute operation. Called from coroutine context it blocks the whole
+// runtime — deliberately: a CPU-starved process slows all its threads.
+func (e *Env) Compute(c time.Duration) {
+	clock.Precise(e.ComputeCost(c))
+}
+
+// DiskWriteCost returns the stretched duration of writing and flushing
+// n bytes.
+func (e *Env) DiskWriteCost(n int) time.Duration {
+	base := e.cfg.FsyncBase + time.Duration(float64(n)/e.cfg.DiskBytesPerSec*1e9)
+	return e.stretchDisk(base)
+}
+
+// DiskReadCost returns the stretched duration of reading n bytes.
+func (e *Env) DiskReadCost(n int) time.Duration {
+	base := e.cfg.DiskReadBase + time.Duration(float64(n)/e.cfg.DiskBytesPerSec*1e9)
+	return e.stretchDisk(base)
+}
+
+func (e *Env) stretchDisk(base time.Duration) time.Duration {
+	d := time.Duration(float64(base) * e.diskFactor.Load())
+	if p := e.diskStallP.Load(); p > 0 && e.rng.float() < p {
+		d += time.Duration(e.diskStall.Load())
+	}
+	return d
+}
+
+// NetDelay returns the extra NIC delay currently injected on this node.
+func (e *Env) NetDelay() time.Duration {
+	return e.cfg.NetBase + time.Duration(e.netDelay.Load())
+}
+
+// memPauseLocked computes the current memory-pressure pause.
+func (e *Env) memPauseLocked() time.Duration {
+	perMB := e.memPerMB.Load()
+	if perMB == 0 {
+		return 0
+	}
+	mb := e.resident.Load() >> 20
+	return time.Duration(perMB * mb)
+}
+
+// MemPause blocks for the current memory-pressure pause, if any.
+func (e *Env) MemPause() {
+	clock.Precise(e.memPauseLocked())
+}
+
+// TrackAlloc records n bytes of long-lived buffer growth on this node
+// (outboxes, caches); TrackFree records release. Resident bytes drive
+// the memory-pressure model and the OOM check.
+func (e *Env) TrackAlloc(n int64) { e.resident.Add(n) }
+func (e *Env) TrackFree(n int64)  { e.resident.Add(-n) }
+
+// Resident returns the tracked resident bytes.
+func (e *Env) Resident() int64 { return e.resident.Load() }
+
+// OverLimit reports whether tracked resident bytes exceed limit; the
+// BufferRSM baseline uses this to emulate an OOM kill.
+func (e *Env) OverLimit(limit int64) bool {
+	return limit > 0 && e.resident.Load() > limit
+}

@@ -1,0 +1,196 @@
+package env
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func testCfg() Config {
+	return Config{
+		ComputeScale:    1.0,
+		FsyncBase:       100 * time.Microsecond,
+		DiskReadBase:    50 * time.Microsecond,
+		DiskBytesPerSec: 1e8, // 100 MB/s => 10ns per byte
+		NetBase:         10 * time.Microsecond,
+	}
+}
+
+func TestComputeCostHealthy(t *testing.T) {
+	e := New("s1", testCfg())
+	if got := e.ComputeCost(time.Millisecond); got != time.Millisecond {
+		t.Fatalf("cost = %v, want 1ms", got)
+	}
+}
+
+func TestComputeCostCPUFactor(t *testing.T) {
+	e := New("s1", testCfg())
+	e.SetCPUFactor(20)
+	if got := e.ComputeCost(time.Millisecond); got != 20*time.Millisecond {
+		t.Fatalf("cost = %v, want 20ms", got)
+	}
+}
+
+func TestComputeStallProbabilistic(t *testing.T) {
+	e := New("s1", testCfg())
+	e.SetCPUStall(1.0, 5*time.Millisecond) // always stall
+	if got := e.ComputeCost(time.Millisecond); got != 6*time.Millisecond {
+		t.Fatalf("cost = %v, want 6ms", got)
+	}
+	e.SetCPUStall(0, 0)
+	if got := e.ComputeCost(time.Millisecond); got != time.Millisecond {
+		t.Fatalf("cost after clear = %v, want 1ms", got)
+	}
+}
+
+func TestDiskCosts(t *testing.T) {
+	e := New("s1", testCfg())
+	// 1e6 bytes at 1e8 B/s = 10ms transfer.
+	w := e.DiskWriteCost(1_000_000)
+	want := 100*time.Microsecond + 10*time.Millisecond
+	if w < want-time.Millisecond || w > want+time.Millisecond {
+		t.Fatalf("write cost = %v, want ~%v", w, want)
+	}
+	r := e.DiskReadCost(0)
+	if r != 50*time.Microsecond {
+		t.Fatalf("read cost = %v, want 50µs", r)
+	}
+}
+
+func TestDiskFactorAndStall(t *testing.T) {
+	e := New("s1", testCfg())
+	e.SetDiskFactor(10)
+	if got := e.DiskReadCost(0); got != 500*time.Microsecond {
+		t.Fatalf("throttled read = %v, want 500µs", got)
+	}
+	e.ClearFaults()
+	e.SetDiskStall(1.0, 4*time.Millisecond)
+	if got := e.DiskReadCost(0); got != 4*time.Millisecond+50*time.Microsecond {
+		t.Fatalf("stalled read = %v", got)
+	}
+}
+
+func TestNetDelay(t *testing.T) {
+	e := New("s1", testCfg())
+	if got := e.NetDelay(); got != 10*time.Microsecond {
+		t.Fatalf("healthy net delay = %v", got)
+	}
+	e.SetNetDelay(40 * time.Millisecond)
+	if got := e.NetDelay(); got != 40*time.Millisecond+10*time.Microsecond {
+		t.Fatalf("injected net delay = %v", got)
+	}
+}
+
+func TestMemPressureScalesWithResident(t *testing.T) {
+	e := New("s1", testCfg())
+	e.SetMemPressure(10 * time.Microsecond)
+	if got := e.ComputeCost(0); got != 0 {
+		t.Fatalf("no resident: cost = %v, want 0", got)
+	}
+	e.TrackAlloc(10 << 20) // 10 MB
+	if got := e.ComputeCost(0); got != 100*time.Microsecond {
+		t.Fatalf("10MB resident: cost = %v, want 100µs", got)
+	}
+	e.TrackFree(10 << 20)
+	if got := e.ComputeCost(0); got != 0 {
+		t.Fatalf("freed: cost = %v, want 0", got)
+	}
+}
+
+func TestResidentTrackingAndOverLimit(t *testing.T) {
+	e := New("s1", testCfg())
+	e.TrackAlloc(100)
+	e.TrackAlloc(200)
+	e.TrackFree(50)
+	if got := e.Resident(); got != 250 {
+		t.Fatalf("resident = %d, want 250", got)
+	}
+	if e.OverLimit(300) {
+		t.Error("should not be over 300")
+	}
+	if !e.OverLimit(200) {
+		t.Error("should be over 200")
+	}
+	if e.OverLimit(0) {
+		t.Error("limit 0 means unlimited")
+	}
+}
+
+func TestClearFaultsRestoresAll(t *testing.T) {
+	e := New("s1", testCfg())
+	e.SetCPUFactor(20)
+	e.SetCPUStall(1, time.Second)
+	e.SetDiskFactor(10)
+	e.SetDiskStall(1, time.Second)
+	e.SetNetDelay(time.Second)
+	e.SetMemPressure(time.Second)
+	e.TrackAlloc(1 << 30)
+	e.ClearFaults()
+	if got := e.ComputeCost(time.Millisecond); got != time.Millisecond {
+		t.Errorf("compute after clear = %v", got)
+	}
+	if got := e.DiskReadCost(0); got != 50*time.Microsecond {
+		t.Errorf("disk after clear = %v", got)
+	}
+	if got := e.NetDelay(); got != 10*time.Microsecond {
+		t.Errorf("net after clear = %v", got)
+	}
+	// Resident tracking survives fault clearing (it is state, not a knob).
+	if e.Resident() != 1<<30 {
+		t.Errorf("resident cleared unexpectedly")
+	}
+}
+
+func TestConcurrentKnobAccess(t *testing.T) {
+	e := New("s1", testCfg())
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			e.SetCPUFactor(float64(i%10 + 1))
+			e.SetNetDelay(time.Duration(i % 100))
+			e.TrackAlloc(10)
+			e.TrackFree(10)
+		}
+	}()
+	for i := 0; i < 10000; i++ {
+		_ = e.ComputeCost(time.Microsecond)
+		_ = e.DiskWriteCost(100)
+		_ = e.NetDelay()
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestComputeCostMonotoneInFactor(t *testing.T) {
+	f := func(costUS uint16, factRaw uint8) bool {
+		e := New("s1", testCfg())
+		cost := time.Duration(costUS) * time.Microsecond
+		f1 := float64(factRaw%10) + 1
+		e.SetCPUFactor(f1)
+		c1 := e.ComputeCost(cost)
+		e.SetCPUFactor(f1 + 1)
+		c2 := e.ComputeCost(cost)
+		return c2 >= c1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestComputeSleepsRoughly(t *testing.T) {
+	e := New("s1", testCfg())
+	start := time.Now()
+	e.Compute(5 * time.Millisecond)
+	if el := time.Since(start); el < 4*time.Millisecond {
+		t.Fatalf("compute returned after %v, want >= 5ms", el)
+	}
+}

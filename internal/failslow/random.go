@@ -1,0 +1,182 @@
+package failslow
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+
+	"depfast/internal/env"
+)
+
+// RandomFaults drives transient fail-slow episodes from a simple
+// stochastic model — the paper's §3.3 plan to "integrate probability
+// models that consider transient fail-slow events". Episodes arrive
+// per-target as a Poisson-ish process (exponential inter-arrival
+// times) with exponential durations and a fault type drawn from a
+// weighted set.
+type RandomFaults struct {
+	targets   []*env.Env
+	intensity Intensity
+
+	// MeanBetween and MeanDuration parameterize the exponential
+	// inter-arrival and episode-length distributions.
+	meanBetween  time.Duration
+	meanDuration time.Duration
+	faults       []Fault
+	rng          *rand.Rand
+
+	mu      sync.Mutex
+	active  map[*env.Env]Fault
+	history []Episode
+	stopCh  chan struct{}
+	doneCh  chan struct{}
+	started bool
+}
+
+// Episode records one injected transient fault.
+type Episode struct {
+	Target string
+	Fault  Fault
+	Start  time.Time
+	End    time.Time
+}
+
+// NewRandomFaults builds a scheduler over targets. meanBetween is the
+// expected quiet time per target between episodes; meanDuration the
+// expected episode length.
+func NewRandomFaults(targets []*env.Env, in Intensity, meanBetween, meanDuration time.Duration, seed int64) *RandomFaults {
+	return &RandomFaults{
+		targets:      targets,
+		intensity:    in,
+		meanBetween:  meanBetween,
+		meanDuration: meanDuration,
+		faults:       Injected,
+		rng:          rand.New(rand.NewSource(seed)),
+		active:       make(map[*env.Env]Fault),
+		stopCh:       make(chan struct{}),
+		doneCh:       make(chan struct{}),
+	}
+}
+
+// expDur draws an exponential duration with the given mean (clamped
+// to [mean/10, mean*10] to avoid degenerate schedules).
+func (r *RandomFaults) expDur(mean time.Duration) time.Duration {
+	d := time.Duration(r.rng.ExpFloat64() * float64(mean))
+	if d < mean/10 {
+		d = mean / 10
+	}
+	if d > mean*10 {
+		d = mean * 10
+	}
+	return d
+}
+
+// Start launches the episode loop. Stop must be called to end it.
+func (r *RandomFaults) Start() {
+	r.mu.Lock()
+	if r.started {
+		r.mu.Unlock()
+		return
+	}
+	r.started = true
+	r.mu.Unlock()
+	go r.loop()
+}
+
+func (r *RandomFaults) loop() {
+	defer close(r.doneCh)
+	timer := time.NewTimer(r.nextDelay())
+	defer timer.Stop()
+	for {
+		select {
+		case <-r.stopCh:
+			r.clearAll()
+			return
+		case <-timer.C:
+			r.step()
+			timer.Reset(r.nextDelay())
+		}
+	}
+}
+
+// nextDelay spaces scheduler wake-ups: a fraction of the per-target
+// inter-arrival time so multiple targets get fair chances.
+func (r *RandomFaults) nextDelay() time.Duration {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := len(r.targets)
+	if n == 0 {
+		n = 1
+	}
+	return r.expDur(r.meanBetween / time.Duration(n))
+}
+
+// step either starts an episode on an idle target or does nothing
+// this round (the target may already be faulted).
+func (r *RandomFaults) step() {
+	r.mu.Lock()
+	target := r.targets[r.rng.Intn(len(r.targets))]
+	if _, busy := r.active[target]; busy {
+		r.mu.Unlock()
+		return
+	}
+	fault := r.faults[r.rng.Intn(len(r.faults))]
+	dur := r.expDur(r.meanDuration)
+	r.active[target] = fault
+	ep := Episode{Target: target.Node(), Fault: fault, Start: time.Now(), End: time.Now().Add(dur)}
+	r.history = append(r.history, ep)
+	r.mu.Unlock()
+
+	Apply(target, fault, r.intensity)
+	time.AfterFunc(dur, func() {
+		r.mu.Lock()
+		if r.active[target] == fault {
+			delete(r.active, target)
+			Clear(target)
+		}
+		r.mu.Unlock()
+	})
+}
+
+// clearAll heals every target.
+func (r *RandomFaults) clearAll() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for t := range r.active {
+		Clear(t)
+		delete(r.active, t)
+	}
+}
+
+// Stop ends the schedule and heals all targets; blocks until the loop
+// exits.
+func (r *RandomFaults) Stop() {
+	r.mu.Lock()
+	started := r.started
+	r.mu.Unlock()
+	if !started {
+		return
+	}
+	select {
+	case <-r.stopCh:
+	default:
+		close(r.stopCh)
+	}
+	<-r.doneCh
+}
+
+// History returns the injected episodes so far.
+func (r *RandomFaults) History() []Episode {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Episode, len(r.history))
+	copy(out, r.history)
+	return out
+}
+
+// ActiveCount returns how many targets are currently faulted.
+func (r *RandomFaults) ActiveCount() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.active)
+}

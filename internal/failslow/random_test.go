@@ -1,0 +1,79 @@
+package failslow
+
+import (
+	"testing"
+	"time"
+
+	"depfast/internal/env"
+)
+
+func TestRandomFaultsInjectsAndHeals(t *testing.T) {
+	targets := []*env.Env{
+		env.New("r1", env.DefaultConfig()),
+		env.New("r2", env.DefaultConfig()),
+	}
+	rf := NewRandomFaults(targets, DefaultIntensity(),
+		20*time.Millisecond, 30*time.Millisecond, 7)
+	rf.Start()
+	time.Sleep(300 * time.Millisecond)
+	rf.Stop()
+
+	eps := rf.History()
+	if len(eps) == 0 {
+		t.Fatal("no episodes injected in 300ms with 20ms mean inter-arrival")
+	}
+	for _, ep := range eps {
+		if ep.Fault == None {
+			t.Errorf("episode injected None: %+v", ep)
+		}
+		if ep.Target != "r1" && ep.Target != "r2" {
+			t.Errorf("unknown target %q", ep.Target)
+		}
+		if !ep.End.After(ep.Start) {
+			t.Errorf("non-positive episode duration: %+v", ep)
+		}
+	}
+	// After Stop, all targets must be healed.
+	if rf.ActiveCount() != 0 {
+		t.Fatalf("active faults after stop: %d", rf.ActiveCount())
+	}
+	for _, e := range targets {
+		if got := e.ComputeCost(time.Millisecond); got != time.Millisecond {
+			t.Errorf("%s not healed: compute = %v", e.Node(), got)
+		}
+		if got := e.NetDelay(); got != env.DefaultConfig().NetBase {
+			t.Errorf("%s not healed: net = %v", e.Node(), got)
+		}
+	}
+}
+
+func TestRandomFaultsDeterministicSeed(t *testing.T) {
+	mk := func() []Episode {
+		targets := []*env.Env{env.New("d1", env.DefaultConfig())}
+		rf := NewRandomFaults(targets, DefaultIntensity(),
+			10*time.Millisecond, 10*time.Millisecond, 42)
+		rf.Start()
+		time.Sleep(150 * time.Millisecond)
+		rf.Stop()
+		return rf.History()
+	}
+	a, b := mk(), mk()
+	if len(a) == 0 || len(b) == 0 {
+		t.Skip("no episodes on this host; timing too coarse")
+	}
+	// Later draws depend on wall-clock busy checks, so only the first
+	// episode is strictly reproducible across runs.
+	if a[0].Fault != b[0].Fault || a[0].Target != b[0].Target {
+		t.Fatalf("first episode differs: %v/%v vs %v/%v",
+			a[0].Target, a[0].Fault, b[0].Target, b[0].Fault)
+	}
+}
+
+func TestRandomFaultsStopIdempotent(t *testing.T) {
+	rf := NewRandomFaults([]*env.Env{env.New("x", env.DefaultConfig())},
+		DefaultIntensity(), time.Second, time.Second, 1)
+	rf.Stop() // never started: no-op
+	rf.Start()
+	rf.Stop()
+	rf.Stop()
+}

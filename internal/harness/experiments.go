@@ -1,0 +1,372 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"depfast/internal/core"
+	"depfast/internal/env"
+	"depfast/internal/failslow"
+	"depfast/internal/kv"
+	"depfast/internal/raft"
+	"depfast/internal/rpc"
+	"depfast/internal/trace"
+	"depfast/internal/transport"
+	"depfast/internal/ycsb"
+)
+
+// FigureCell is one (system, fault) measurement with its
+// normalization against the same system's no-fault baseline.
+type FigureCell struct {
+	Result   RunResult
+	NormTput float64 // faulted / baseline (1.0 = no change)
+	NormMean float64
+	NormP99  float64
+}
+
+// FigureResult is a complete figure's data.
+type FigureResult struct {
+	Title string
+	// Groups maps a group label (system or node-count) to its cells in
+	// fault order; Order preserves group ordering.
+	Order  []string
+	Groups map[string][]FigureCell
+}
+
+// Render formats the figure as the three panels of the paper: (a)
+// throughput, (b) average latency, (c) P99 latency — normalized for
+// Figure 1 and absolute for Figure 3.
+func (f *FigureResult) Render(normalized bool) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s ==\n", f.Title)
+	panels := []struct {
+		name string
+		get  func(FigureCell) string
+	}{
+		{"(a) Throughput", func(c FigureCell) string {
+			if normalized {
+				return fmt.Sprintf("%7.2fx", c.NormTput)
+			}
+			return fmt.Sprintf("%7.0f/s", c.Result.Throughput)
+		}},
+		{"(b) Average Latency", func(c FigureCell) string {
+			if normalized {
+				return fmt.Sprintf("%7.2fx", c.NormMean)
+			}
+			return fmt.Sprintf("%9v", c.Result.Mean.Round(10*time.Microsecond))
+		}},
+		{"(c) P99 Latency", func(c FigureCell) string {
+			if normalized {
+				return fmt.Sprintf("%7.2fx", c.NormP99)
+			}
+			return fmt.Sprintf("%9v", c.Result.P99.Round(10*time.Microsecond))
+		}},
+	}
+	for _, panel := range panels {
+		fmt.Fprintf(&b, "\n%s\n", panel.name)
+		fmt.Fprintf(&b, "%-22s", "fault \\ group")
+		for _, g := range f.Order {
+			fmt.Fprintf(&b, " %12s", g)
+		}
+		b.WriteString("\n")
+		if len(f.Order) == 0 {
+			continue
+		}
+		nFaults := len(f.Groups[f.Order[0]])
+		for fi := 0; fi < nFaults; fi++ {
+			fmt.Fprintf(&b, "%-22s", f.Groups[f.Order[0]][fi].Result.Fault.String())
+			for _, g := range f.Order {
+				cell := f.Groups[g][fi]
+				val := panel.get(cell)
+				if cell.Result.LeaderCrashed {
+					val += "!"
+				}
+				fmt.Fprintf(&b, " %12s", val)
+			}
+			b.WriteString("\n")
+		}
+	}
+	return b.String()
+}
+
+// normalizeAgainst fills the cells' normalized fields using base.
+func normalizeAgainst(base RunResult, cells []FigureCell) {
+	for i := range cells {
+		r := cells[i].Result
+		if base.Throughput > 0 {
+			cells[i].NormTput = r.Throughput / base.Throughput
+		}
+		if base.Mean > 0 {
+			cells[i].NormMean = float64(r.Mean) / float64(base.Mean)
+		}
+		if base.P99 > 0 {
+			cells[i].NormP99 = float64(r.P99) / float64(base.P99)
+		}
+	}
+}
+
+// ExperimentConfig shapes a whole figure run.
+type ExperimentConfig struct {
+	Duration time.Duration
+	Warmup   time.Duration
+	Clients  int
+	Records  int
+	Faults   []failslow.Fault
+	Seed     int64
+	// Progress, if set, receives one line per completed run.
+	Progress func(string)
+}
+
+// DefaultExperimentConfig returns seconds-scale settings.
+func DefaultExperimentConfig() ExperimentConfig {
+	return ExperimentConfig{
+		Duration: 3 * time.Second,
+		Warmup:   750 * time.Millisecond,
+		Clients:  24,
+		Records:  2000,
+		Faults:   failslow.All,
+		Seed:     42,
+	}
+}
+
+func (e ExperimentConfig) progress(format string, args ...interface{}) {
+	if e.Progress != nil {
+		e.Progress(fmt.Sprintf(format, args...))
+	}
+}
+
+// Figure1 reproduces the paper's Figure 1: the three baseline RSMs,
+// three-node deployments, one fail-slow follower, all fault types,
+// normalized to each system's own no-fault run.
+func Figure1(ecfg ExperimentConfig) (*FigureResult, error) {
+	fig := &FigureResult{
+		Title:  "Figure 1: baseline RSMs, 3 nodes, 1 fail-slow follower (normalized)",
+		Groups: make(map[string][]FigureCell),
+	}
+	for _, sys := range Baselines {
+		var base RunResult
+		var cells []FigureCell
+		for _, fault := range ecfg.Faults {
+			cfg := DefaultRunConfig(sys)
+			cfg.Duration = ecfg.Duration
+			cfg.Warmup = ecfg.Warmup
+			cfg.Clients = ecfg.Clients
+			cfg.Records = ecfg.Records
+			cfg.Fault = fault
+			cfg.Seed = ecfg.Seed
+			res, err := RunStable(cfg, 3)
+			if err != nil {
+				return nil, fmt.Errorf("figure1 %v/%v: %w", sys, fault, err)
+			}
+			ecfg.progress("%s", res)
+			if fault == failslow.None {
+				base = res
+			}
+			cells = append(cells, FigureCell{Result: res})
+		}
+		normalizeAgainst(base, cells)
+		fig.Order = append(fig.Order, sys.String())
+		fig.Groups[sys.String()] = cells
+	}
+	return fig, nil
+}
+
+// Figure3 reproduces the paper's Figure 3: DepFastRaft under 3- and
+// 5-node deployments with a minority of fail-slow followers, absolute
+// throughput and latency.
+func Figure3(ecfg ExperimentConfig) (*FigureResult, error) {
+	fig := &FigureResult{
+		Title:  "Figure 3: DepFastRaft, minority fail-slow followers (absolute)",
+		Groups: make(map[string][]FigureCell),
+	}
+	for _, nodes := range []int{3, 5} {
+		var base RunResult
+		var cells []FigureCell
+		for _, fault := range ecfg.Faults {
+			cfg := DefaultRunConfig(DepFastRaft)
+			cfg.Nodes = nodes
+			cfg.FaultFollowers = (nodes - 1) / 2 // a minority of followers
+			cfg.Duration = ecfg.Duration
+			cfg.Warmup = ecfg.Warmup
+			cfg.Clients = ecfg.Clients
+			cfg.Records = ecfg.Records
+			cfg.Fault = fault
+			cfg.Seed = ecfg.Seed
+			res, err := RunStable(cfg, 3)
+			if err != nil {
+				return nil, fmt.Errorf("figure3 %d/%v: %w", nodes, fault, err)
+			}
+			ecfg.progress("%s", res)
+			if fault == failslow.None {
+				base = res
+			}
+			cells = append(cells, FigureCell{Result: res})
+		}
+		normalizeAgainst(base, cells)
+		label := fmt.Sprintf("%d Nodes", nodes)
+		fig.Order = append(fig.Order, label)
+		fig.Groups[label] = cells
+	}
+	return fig, nil
+}
+
+// MaxDrift returns the largest relative deviation from 1.0 across all
+// normalized metrics of a figure group — the paper's "within 5%"
+// claim for DepFastRaft.
+func (f *FigureResult) MaxDrift(group string) float64 {
+	max := 0.0
+	for _, c := range f.Groups[group] {
+		for _, v := range []float64{c.NormTput, c.NormMean, c.NormP99} {
+			if v == 0 {
+				continue
+			}
+			d := v - 1
+			if d < 0 {
+				d = -d
+			}
+			if d > max {
+				max = d
+			}
+		}
+	}
+	return max
+}
+
+// Table1Row is one fault-catalog entry with its measured effect.
+type Table1Row struct {
+	Fault     failslow.Fault
+	Injection string
+	// Measured service-time stretch factors on a probe node.
+	ComputeFactor float64
+	DiskFactor    float64
+	NetFactor     float64
+}
+
+// Table1 reproduces the paper's Table 1: the simulated fault catalog,
+// with the measured stretch each fault applies to the affected
+// resource (the cgroup/tc substitution made concrete).
+func Table1(in failslow.Intensity) []Table1Row {
+	rows := make([]Table1Row, 0, len(failslow.All))
+	for _, f := range failslow.All {
+		probe := env.New("probe", env.DefaultConfig())
+		healthyCompute := probe.ComputeCost(time.Millisecond)
+		healthyDisk := probe.DiskWriteCost(4096)
+		healthyNet := probe.NetDelay()
+
+		failslow.Apply(probe, f, in)
+		if f == failslow.MemContention {
+			probe.TrackAlloc(64 << 20) // representative resident set
+		}
+		// Average over draws: the contention faults are probabilistic.
+		const draws = 200
+		var compute, disk time.Duration
+		for i := 0; i < draws; i++ {
+			compute += probe.ComputeCost(time.Millisecond)
+			disk += probe.DiskWriteCost(4096)
+		}
+		rows = append(rows, Table1Row{
+			Fault:         f,
+			Injection:     f.Injection(),
+			ComputeFactor: float64(compute/draws) / float64(healthyCompute),
+			DiskFactor:    float64(disk/draws) / float64(healthyDisk),
+			NetFactor:     float64(probe.NetDelay()) / float64(healthyNet),
+		})
+	}
+	return rows
+}
+
+// RenderTable1 formats the fault catalog.
+func RenderTable1(rows []Table1Row) string {
+	var b strings.Builder
+	b.WriteString("== Table 1: simulated fail-slow faults and measured resource stretch ==\n")
+	fmt.Fprintf(&b, "%-20s %9s %9s %9s  %s\n",
+		"FAULT", "CPU x", "DISK x", "NET x", "INJECTION")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-20s %9.2f %9.2f %9.2f  %s\n",
+			r.Fault, r.ComputeFactor, r.DiskFactor, r.NetFactor, r.Injection)
+	}
+	return b.String()
+}
+
+// Figure2 reproduces the paper's Figure 2: a three-shard DepFastRaft
+// deployment (s1–s9) with three clients (c1–c3), traced, returning
+// the slowness propagation graph. Intra-quorum edges come out green
+// (2/3) and client→leader edges red (1/1).
+func Figure2(duration time.Duration, opsPerClient int) (*trace.SPG, *trace.Collector, error) {
+	collector := trace.NewCollector(0)
+	net := transport.NewNetwork()
+	defer net.Close()
+	ecfg := env.DefaultConfig()
+
+	var all []*raft.Server
+	var shardNames [][]string
+	for shard := 0; shard < 3; shard++ {
+		names := make([]string, 3)
+		for i := range names {
+			names[i] = fmt.Sprintf("s%d", shard*3+i+1)
+		}
+		shardNames = append(shardNames, names)
+		for i, name := range names {
+			cfg := raft.DefaultConfig(name, names)
+			cfg.Seed = int64(shard*100 + i)
+			e := env.New(name, ecfg)
+			s := raft.NewServer(cfg, e, net, core.WithTracer(collector))
+			net.Register(name, e, s.TransportHandler())
+			all = append(all, s)
+		}
+	}
+	for _, s := range all {
+		s.Start()
+	}
+	defer func() {
+		for _, s := range all {
+			s.Stop()
+		}
+	}()
+
+	// One client per shard.
+	done := make(chan error, 3)
+	var rts []*core.Runtime
+	var eps []*rpc.Endpoint
+	for shard := 0; shard < 3; shard++ {
+		name := fmt.Sprintf("c%d", shard+1)
+		rt := core.NewRuntime(name, core.WithTracer(collector))
+		ep := rpc.NewEndpoint(name, rt, net, rpc.WithCallTimeout(3*time.Second))
+		net.Register(name, env.New(name, ecfg), ep.TransportHandler())
+		rts = append(rts, rt)
+		eps = append(eps, ep)
+		names := shardNames[shard]
+		shard := shard
+		rt.Spawn("client", func(co *core.Coroutine) {
+			cl := raft.NewClient(uint64(shard+1), ep, names, 3*time.Second)
+			gen := ycsb.NewGenerator(ycsb.PaperWrite(500, 64), int64(shard))
+			deadline := time.Now().Add(duration)
+			for i := 0; i < opsPerClient && time.Now().Before(deadline); i++ {
+				op := gen.Next()
+				if _, err := cl.Do(co, kv.Command{Op: kv.OpPut, Key: op.Key, Value: op.Value}); err != nil {
+					done <- err
+					return
+				}
+			}
+			done <- nil
+		})
+	}
+	defer func() {
+		for i := range rts {
+			eps[i].Close()
+			rts[i].Stop()
+		}
+	}()
+	for i := 0; i < 3; i++ {
+		select {
+		case err := <-done:
+			if err != nil {
+				return nil, nil, fmt.Errorf("figure2 client: %w", err)
+			}
+		case <-time.After(duration + 30*time.Second):
+			return nil, nil, fmt.Errorf("figure2: clients hung")
+		}
+	}
+	return trace.BuildSPG(collector.Records()), collector, nil
+}

@@ -1,0 +1,463 @@
+// Package harness runs the paper's experiments end to end: it brings
+// up an RSM deployment (DepFastRaft or one of the baseline
+// anti-pattern RSMs) on the in-memory network, drives a YCSB-style
+// closed-loop client population, injects a fail-slow fault into a
+// minority of followers, and measures throughput, average latency,
+// and P99 — the three panels of Figures 1 and 3.
+package harness
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"depfast/internal/baseline"
+	"depfast/internal/core"
+	"depfast/internal/env"
+	"depfast/internal/failslow"
+	"depfast/internal/kv"
+	"depfast/internal/metrics"
+	"depfast/internal/raft"
+	"depfast/internal/rpc"
+	"depfast/internal/trace"
+	"depfast/internal/transport"
+	"depfast/internal/ycsb"
+)
+
+// System selects the RSM implementation under test.
+type System int
+
+const (
+	// DepFastRaft is the paper's system (Figure 3).
+	DepFastRaft System = iota
+	// SyncRSM, BufferRSM, CallbackRSM are the Figure 1 baselines.
+	SyncRSM
+	BufferRSM
+	CallbackRSM
+)
+
+// String names the system as in experiment output.
+func (s System) String() string {
+	switch s {
+	case DepFastRaft:
+		return "DepFastRaft"
+	case SyncRSM:
+		return "SyncRSM"
+	case BufferRSM:
+		return "BufferRSM"
+	case CallbackRSM:
+		return "CallbackRSM"
+	}
+	return "unknown"
+}
+
+// Baselines lists the Figure 1 comparators.
+var Baselines = []System{SyncRSM, BufferRSM, CallbackRSM}
+
+// RunConfig parameterizes one measurement run.
+type RunConfig struct {
+	System System
+	Nodes  int
+
+	// Clients is the closed-loop client population, spread over
+	// ClientRuntimes runtimes.
+	Clients        int
+	ClientRuntimes int
+
+	Warmup   time.Duration
+	Duration time.Duration
+
+	// Workload parameters (the paper's YCSB write workload). Workload,
+	// when non-nil, overrides the default 100%-update mix entirely
+	// (e.g. from ycsb.Parse or ycsb.Preset).
+	Records   int
+	ValueSize int
+	Workload  *ycsb.Workload
+
+	// Fault injection: Fault applied to FaultFollowers followers.
+	Fault          failslow.Fault
+	FaultFollowers int
+	Intensity      failslow.Intensity
+
+	// Traced attaches a collector to every runtime.
+	Traced bool
+
+	// Optional config hooks.
+	RaftMutate     func(*raft.Config)
+	BaselineMutate func(*baseline.Config)
+
+	Seed int64
+}
+
+// DefaultRunConfig returns the scaled-down paper workload: a
+// three-node deployment under a pure-update zipfian workload.
+func DefaultRunConfig(system System) RunConfig {
+	return RunConfig{
+		System:         system,
+		Nodes:          3,
+		Clients:        48,
+		ClientRuntimes: 4,
+		Warmup:         500 * time.Millisecond,
+		Duration:       2 * time.Second,
+		Records:        2000,
+		ValueSize:      100,
+		Fault:          failslow.None,
+		FaultFollowers: 1,
+		Intensity:      failslow.DefaultIntensity(),
+		Seed:           42,
+	}
+}
+
+// RunResult is one run's measurement.
+type RunResult struct {
+	System   System
+	Nodes    int
+	Fault    failslow.Fault
+	Ops      int64
+	Errors   int64
+	Duration time.Duration
+
+	Throughput float64 // ops/sec
+	Mean       time.Duration
+	P50        time.Duration
+	P99        time.Duration
+
+	LeaderCrashed bool
+	// Disturbed marks a run whose measurement window saw leadership
+	// churn (an election fired mid-run): the numbers measure the churn,
+	// not the configuration, so figure drivers re-run such cells.
+	Disturbed bool
+	Collector *trace.Collector // non-nil when Traced
+}
+
+// String renders a one-line summary.
+func (r RunResult) String() string {
+	crash := ""
+	if r.LeaderCrashed {
+		crash = " [LEADER CRASHED]"
+	}
+	return fmt.Sprintf("%-12s n=%d %-18s tput=%8.0f op/s  mean=%8v  p99=%8v  errs=%d%s",
+		r.System, r.Nodes, r.Fault, r.Throughput,
+		r.Mean.Round(10*time.Microsecond), r.P99.Round(10*time.Microsecond), r.Errors, crash)
+}
+
+// cluster abstracts the two server families behind one lifecycle.
+type clusterHandle struct {
+	names     []string
+	net       *transport.Network
+	envs      map[string]*env.Env
+	stop      func()
+	leader    func() (string, bool) // name, established
+	crashed   func() bool
+	elections func() int64
+}
+
+// Run executes one measurement and returns its result.
+func Run(cfg RunConfig) (RunResult, error) {
+	if cfg.Nodes <= 0 {
+		cfg.Nodes = 3
+	}
+	if cfg.ClientRuntimes <= 0 {
+		cfg.ClientRuntimes = 4
+	}
+	if cfg.Clients <= 0 {
+		cfg.Clients = 48
+	}
+	var collector *trace.Collector
+	if cfg.Traced {
+		collector = trace.NewCollector(2_000_000)
+	}
+
+	h, err := buildCluster(cfg, collector)
+	if err != nil {
+		return RunResult{}, err
+	}
+	defer h.stop()
+
+	// Wait for a settled leader.
+	leader := ""
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		if name, ok := h.leader(); ok {
+			leader = name
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if leader == "" {
+		return RunResult{}, fmt.Errorf("harness: no leader within 15s")
+	}
+
+	// Inject the fault into followers only (§2.1 of the paper).
+	injected := 0
+	for _, n := range h.names {
+		if n == leader || injected >= cfg.FaultFollowers {
+			continue
+		}
+		failslow.Apply(h.envs[n], cfg.Fault, cfg.Intensity)
+		injected++
+	}
+
+	// Client population.
+	hist := metrics.NewHistogram()
+	var ops, errs atomic.Int64
+	var measuring atomic.Bool
+	var stopFlag atomic.Bool
+	var wg sync.WaitGroup
+
+	clientRTs := make([]*core.Runtime, cfg.ClientRuntimes)
+	clientEPs := make([]*rpc.Endpoint, cfg.ClientRuntimes)
+	ecfg := env.DefaultConfig()
+	for i := range clientRTs {
+		name := fmt.Sprintf("client-%d", i)
+		var opts []core.Option
+		if collector != nil {
+			opts = append(opts, core.WithTracer(collector))
+		}
+		clientRTs[i] = core.NewRuntime(name, opts...)
+		clientEPs[i] = rpc.NewEndpoint(name, clientRTs[i], h.net, rpc.WithCallTimeout(3*time.Second))
+		h.net.Register(name, env.New(name, ecfg), clientEPs[i].TransportHandler())
+	}
+	defer func() {
+		for i := range clientRTs {
+			clientEPs[i].Close()
+			clientRTs[i].Stop()
+		}
+	}()
+
+	// Put the discovered leader first so clients start on target.
+	order := append([]string{leader}, otherNames(h.names, leader)...)
+	workload := ycsb.PaperWrite(cfg.Records, cfg.ValueSize)
+	if cfg.Workload != nil {
+		workload = *cfg.Workload
+	}
+	for ci := 0; ci < cfg.Clients; ci++ {
+		rt := clientRTs[ci%cfg.ClientRuntimes]
+		ep := clientEPs[ci%cfg.ClientRuntimes]
+		id := uint64(1000 + ci)
+		gen := ycsb.NewGenerator(workload, cfg.Seed+int64(ci))
+		wg.Add(1)
+		rt.Spawn("ycsb-client", func(co *core.Coroutine) {
+			defer wg.Done()
+			cl := raft.NewClient(id, ep, order, 3*time.Second)
+			for !stopFlag.Load() {
+				op := gen.Next()
+				cmd := opToCommand(op)
+				start := time.Now()
+				_, err := cl.Do(co, cmd)
+				if stopFlag.Load() {
+					return
+				}
+				if err != nil {
+					errs.Add(1)
+					if err == raft.ErrClientStopped {
+						return
+					}
+					continue
+				}
+				if measuring.Load() {
+					hist.Record(time.Since(start))
+					ops.Add(1)
+				}
+			}
+		})
+	}
+
+	time.Sleep(cfg.Warmup)
+	electionsBefore := h.elections()
+	measuring.Store(true)
+	measStart := time.Now()
+	time.Sleep(cfg.Duration)
+	measuring.Store(false)
+	measured := time.Since(measStart)
+	electionsAfter := h.elections()
+	stopFlag.Store(true)
+
+	// Let in-flight ops drain briefly; stragglers are cut off by
+	// runtime stop in the deferred cleanup.
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+	}
+
+	snap := hist.Snapshot()
+	res := RunResult{
+		System:        cfg.System,
+		Nodes:         cfg.Nodes,
+		Fault:         cfg.Fault,
+		Ops:           ops.Load(),
+		Errors:        errs.Load(),
+		Duration:      measured,
+		Throughput:    float64(ops.Load()) / measured.Seconds(),
+		Mean:          snap.Mean,
+		P50:           snap.P50,
+		P99:           snap.P99,
+		LeaderCrashed: h.crashed(),
+		Disturbed:     electionsAfter > electionsBefore,
+		Collector:     collector,
+	}
+	// A P99 an order of magnitude above the median marks a stall
+	// episode in the window — leadership churn our counter missed, or
+	// the host stealing the (often single) CPU. Either way the window
+	// measured the episode, not the configuration.
+	if res.P50 > 0 && res.P99 > 8*res.P50 {
+		res.Disturbed = true
+	}
+	return res, nil
+}
+
+// RunStable repeats Run until the measurement window is free of
+// leadership churn (up to attempts tries), returning the last run.
+func RunStable(cfg RunConfig, attempts int) (RunResult, error) {
+	var res RunResult
+	var err error
+	for i := 0; i < attempts; i++ {
+		res, err = Run(cfg)
+		if err != nil || !res.Disturbed {
+			return res, err
+		}
+	}
+	return res, err
+}
+
+// opToCommand converts a YCSB op to a KV command.
+func opToCommand(op ycsb.Op) kv.Command {
+	switch op.Type {
+	case ycsb.Read:
+		return kv.Command{Op: kv.OpGet, Key: op.Key}
+	case ycsb.Scan:
+		return kv.Command{Op: kv.OpScan, Key: op.Key, ScanLen: op.ScanLen}
+	case ycsb.Insert, ycsb.Update, ycsb.ReadModifyWrite:
+		return kv.Command{Op: kv.OpPut, Key: op.Key, Value: op.Value}
+	}
+	return kv.Command{Op: kv.OpGet, Key: op.Key}
+}
+
+func otherNames(names []string, leader string) []string {
+	out := make([]string, 0, len(names)-1)
+	for _, n := range names {
+		if n != leader {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// buildCluster constructs the system under test.
+func buildCluster(cfg RunConfig, collector *trace.Collector) (*clusterHandle, error) {
+	names := make([]string, cfg.Nodes)
+	for i := range names {
+		names[i] = fmt.Sprintf("s%d", i+1)
+	}
+	net := transport.NewNetwork()
+	envs := make(map[string]*env.Env)
+	ecfg := env.DefaultConfig()
+
+	if cfg.System == DepFastRaft {
+		servers := make(map[string]*raft.Server)
+		for i, name := range names {
+			rcfg := raft.DefaultConfig(name, names)
+			rcfg.Seed = cfg.Seed + int64(i)*7919
+			if cfg.RaftMutate != nil {
+				cfg.RaftMutate(&rcfg)
+			}
+			e := env.New(name, ecfg)
+			var opts []core.Option
+			if collector != nil {
+				opts = append(opts, core.WithTracer(collector))
+			}
+			s := raft.NewServer(rcfg, e, net, opts...)
+			net.Register(name, e, s.TransportHandler())
+			servers[name] = s
+			envs[name] = e
+		}
+		for _, s := range servers {
+			s.Start()
+		}
+		return &clusterHandle{
+			names: names,
+			net:   net,
+			envs:  envs,
+			stop: func() {
+				for _, s := range servers {
+					s.Stop()
+				}
+				net.Close()
+			},
+			leader: func() (string, bool) {
+				agree := map[string]int{}
+				var lead string
+				for _, s := range servers {
+					_, role, hint := s.Status()
+					if role == raft.Leader {
+						lead = hint
+					}
+					if hint != "" {
+						agree[hint]++
+					}
+				}
+				if lead != "" && agree[lead] >= len(names)/2+1 {
+					return lead, true
+				}
+				return "", false
+			},
+			crashed: func() bool { return false },
+			elections: func() int64 {
+				var total int64
+				for _, s := range servers {
+					total += s.Elections.Value()
+				}
+				return total
+			},
+		}, nil
+	}
+
+	// Baseline systems.
+	var kind baseline.Kind
+	switch cfg.System {
+	case SyncRSM:
+		kind = baseline.SyncRSM
+	case BufferRSM:
+		kind = baseline.BufferRSM
+	case CallbackRSM:
+		kind = baseline.CallbackRSM
+	default:
+		return nil, fmt.Errorf("harness: unknown system %v", cfg.System)
+	}
+	servers := make(map[string]*baseline.Server)
+	for _, name := range names {
+		bcfg := baseline.DefaultConfig(name, names, kind)
+		if collector != nil {
+			bcfg.Tracer = collector
+		}
+		if cfg.BaselineMutate != nil {
+			cfg.BaselineMutate(&bcfg)
+		}
+		e := env.New(name, ecfg)
+		s := baseline.NewServer(bcfg, e, net)
+		net.Register(name, e, s.TransportHandler())
+		servers[name] = s
+		envs[name] = e
+	}
+	for _, s := range servers {
+		s.Start()
+	}
+	leaderName := names[0]
+	return &clusterHandle{
+		names: names,
+		net:   net,
+		envs:  envs,
+		stop: func() {
+			for _, s := range servers {
+				s.Stop()
+			}
+			net.Close()
+		},
+		leader:    func() (string, bool) { return leaderName, true },
+		crashed:   func() bool { return servers[leaderName].Crashed() },
+		elections: func() int64 { return 0 },
+	}, nil
+}

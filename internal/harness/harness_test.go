@@ -1,0 +1,215 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"depfast/internal/failslow"
+	"depfast/internal/kv"
+	"depfast/internal/trace"
+	"depfast/internal/ycsb"
+)
+
+// shortCfg returns a fast run for CI.
+func shortCfg(sys System) RunConfig {
+	cfg := DefaultRunConfig(sys)
+	cfg.Warmup = 200 * time.Millisecond
+	cfg.Duration = 600 * time.Millisecond
+	cfg.Clients = 16
+	cfg.ClientRuntimes = 2
+	cfg.Records = 500
+	return cfg
+}
+
+func TestRunDepFastHealthy(t *testing.T) {
+	res, err := Run(shortCfg(DepFastRaft))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops < 50 {
+		t.Fatalf("ops = %d, implausibly low", res.Ops)
+	}
+	if res.Throughput <= 0 || res.Mean <= 0 || res.P99 < res.P50 {
+		t.Fatalf("bad stats: %+v", res)
+	}
+	if res.LeaderCrashed {
+		t.Fatal("healthy run crashed")
+	}
+	t.Logf("%s", res)
+}
+
+func TestRunDepFastWithNetSlowFollower(t *testing.T) {
+	cfg := shortCfg(DepFastRaft)
+	cfg.Fault = failslow.NetSlow
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops < 50 {
+		t.Fatalf("ops = %d under one slow follower — fail-slow tolerance broken", res.Ops)
+	}
+	t.Logf("%s", res)
+}
+
+func TestRunBaselinesHealthy(t *testing.T) {
+	for _, sys := range Baselines {
+		res, err := Run(shortCfg(sys))
+		if err != nil {
+			t.Fatalf("%v: %v", sys, err)
+		}
+		if res.Ops < 50 {
+			t.Fatalf("%v ops = %d, implausibly low", sys, res.Ops)
+		}
+		t.Logf("%s", res)
+	}
+}
+
+func TestRunFiveNodes(t *testing.T) {
+	cfg := shortCfg(DepFastRaft)
+	cfg.Nodes = 5
+	cfg.FaultFollowers = 2
+	cfg.Fault = failslow.CPUSlow
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops < 50 {
+		t.Fatalf("5-node ops = %d with 2 slow followers", res.Ops)
+	}
+	t.Logf("%s", res)
+}
+
+func TestRunTraced(t *testing.T) {
+	cfg := shortCfg(DepFastRaft)
+	cfg.Traced = true
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Collector == nil || res.Collector.Len() == 0 {
+		t.Fatal("traced run produced no records")
+	}
+	viol := trace.Verify(res.Collector.Records(), trace.VerifyConfig{AllowClientPrefix: "client"})
+	if len(viol) != 0 {
+		t.Fatalf("verifier violations: %d (first: %v)", len(viol), viol[0])
+	}
+}
+
+func TestNormalization(t *testing.T) {
+	base := RunResult{Throughput: 1000, Mean: time.Millisecond, P99: 10 * time.Millisecond}
+	cells := []FigureCell{
+		{Result: RunResult{Throughput: 800, Mean: 1500 * time.Microsecond, P99: 30 * time.Millisecond}},
+	}
+	normalizeAgainst(base, cells)
+	if cells[0].NormTput != 0.8 || cells[0].NormMean != 1.5 || cells[0].NormP99 != 3.0 {
+		t.Fatalf("normalized = %+v", cells[0])
+	}
+}
+
+func TestMaxDrift(t *testing.T) {
+	fig := &FigureResult{
+		Order: []string{"g"},
+		Groups: map[string][]FigureCell{
+			"g": {
+				{NormTput: 1.0, NormMean: 1.0, NormP99: 1.0},
+				{NormTput: 0.97, NormMean: 1.04, NormP99: 0.99},
+			},
+		},
+	}
+	if d := fig.MaxDrift("g"); d < 0.039 || d > 0.041 {
+		t.Fatalf("drift = %v, want 0.04", d)
+	}
+}
+
+func TestRenderFigure(t *testing.T) {
+	fig := &FigureResult{
+		Title: "test",
+		Order: []string{"A"},
+		Groups: map[string][]FigureCell{
+			"A": {{
+				Result:   RunResult{Fault: failslow.None, Throughput: 1234, Mean: time.Millisecond, P99: 2 * time.Millisecond},
+				NormTput: 1, NormMean: 1, NormP99: 1,
+			}},
+		},
+	}
+	out := fig.Render(true)
+	for _, want := range []string{"Throughput", "Average Latency", "P99", "No Slowness", "1.00x"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	abs := fig.Render(false)
+	if !strings.Contains(abs, "1234/s") {
+		t.Errorf("absolute render missing throughput:\n%s", abs)
+	}
+}
+
+func TestTable1Measured(t *testing.T) {
+	rows := Table1(failslow.DefaultIntensity())
+	if len(rows) != len(failslow.All) {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byFault := map[failslow.Fault]Table1Row{}
+	for _, r := range rows {
+		byFault[r.Fault] = r
+	}
+	if r := byFault[failslow.None]; r.ComputeFactor < 0.99 || r.ComputeFactor > 1.01 {
+		t.Errorf("healthy compute factor = %v", r.ComputeFactor)
+	}
+	if r := byFault[failslow.CPUSlow]; r.ComputeFactor < 15 {
+		t.Errorf("cpu-slow compute factor = %v, want ~20", r.ComputeFactor)
+	}
+	if r := byFault[failslow.DiskSlow]; r.DiskFactor < 8 {
+		t.Errorf("disk-slow factor = %v, want ~10", r.DiskFactor)
+	}
+	if r := byFault[failslow.NetSlow]; r.NetFactor < 20 {
+		t.Errorf("net-slow factor = %v, want large", r.NetFactor)
+	}
+	out := RenderTable1(rows)
+	if !strings.Contains(out, "cgroup") || !strings.Contains(out, "FAULT") {
+		t.Errorf("render: %s", out)
+	}
+}
+
+func TestFigure2SPGShape(t *testing.T) {
+	g, col, err := Figure2(10*time.Second, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if col.Len() == 0 {
+		t.Fatal("no trace records")
+	}
+	if len(g.QuorumEdges()) == 0 {
+		t.Fatal("no green quorum edges")
+	}
+	// Clients wait on leaders: red edges from c* nodes.
+	foundClientEdge := false
+	for _, e := range g.SingularEdges() {
+		if strings.HasPrefix(e.From, "c") {
+			foundClientEdge = true
+		}
+		if strings.HasPrefix(e.From, "s") {
+			t.Errorf("server %s has a singular cross-node edge to %s", e.From, e.To)
+		}
+	}
+	if !foundClientEdge {
+		t.Error("no client->leader red edge")
+	}
+	// All nine servers and three clients appear.
+	if len(g.Nodes) < 10 {
+		t.Errorf("SPG nodes = %v", g.Nodes)
+	}
+}
+
+func TestOpToCommandMapping(t *testing.T) {
+	if cmd := opToCommand(ycsb.Op{Type: ycsb.Read, Key: "k"}); cmd.Op != kv.OpGet {
+		t.Errorf("read -> %v", cmd.Op)
+	}
+	if cmd := opToCommand(ycsb.Op{Type: ycsb.Update, Key: "k", Value: []byte("v")}); cmd.Op != kv.OpPut {
+		t.Errorf("update -> %v", cmd.Op)
+	}
+	if cmd := opToCommand(ycsb.Op{Type: ycsb.Scan, Key: "k", ScanLen: 3}); cmd.Op != kv.OpScan || cmd.ScanLen != 3 {
+		t.Errorf("scan -> %+v", cmd)
+	}
+}

@@ -1,0 +1,94 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"depfast/internal/failslow"
+)
+
+// IntensityPoint is one (delay, system) measurement of the sweep.
+type IntensityPoint struct {
+	NetDelay time.Duration
+	Result   RunResult
+	NormTput float64
+}
+
+// IntensitySweepResult holds per-system degradation curves over fault
+// magnitude.
+type IntensitySweepResult struct {
+	Systems []System
+	Delays  []time.Duration
+	// Points[system][i] corresponds to Delays[i].
+	Points map[System][]IntensityPoint
+}
+
+// IntensitySweep measures throughput (normalized to each system's
+// no-fault run) as the network-slowness magnitude on one follower
+// grows. The paper fixes one tc delay; the sweep shows the *curve*:
+// DepFastRaft stays flat at every magnitude while baselines bend.
+func IntensitySweep(ecfg ExperimentConfig, systems []System, delays []time.Duration) (*IntensitySweepResult, error) {
+	out := &IntensitySweepResult{
+		Systems: systems,
+		Delays:  delays,
+		Points:  make(map[System][]IntensityPoint),
+	}
+	for _, sys := range systems {
+		base, err := RunStable(sweepRunConfig(ecfg, sys, 0), 3)
+		if err != nil {
+			return nil, fmt.Errorf("intensity %v base: %w", sys, err)
+		}
+		ecfg.progress("%s", base)
+		for _, d := range delays {
+			res, err := RunStable(sweepRunConfig(ecfg, sys, d), 3)
+			if err != nil {
+				return nil, fmt.Errorf("intensity %v/%v: %w", sys, d, err)
+			}
+			ecfg.progress("%s", res)
+			norm := 0.0
+			if base.Throughput > 0 {
+				norm = res.Throughput / base.Throughput
+			}
+			out.Points[sys] = append(out.Points[sys], IntensityPoint{
+				NetDelay: d, Result: res, NormTput: norm,
+			})
+		}
+	}
+	return out, nil
+}
+
+func sweepRunConfig(ecfg ExperimentConfig, sys System, delay time.Duration) RunConfig {
+	cfg := DefaultRunConfig(sys)
+	cfg.Duration = ecfg.Duration
+	cfg.Warmup = ecfg.Warmup
+	cfg.Clients = ecfg.Clients
+	cfg.Records = ecfg.Records
+	cfg.Seed = ecfg.Seed
+	if delay > 0 {
+		cfg.Fault = failslow.NetSlow
+		in := failslow.DefaultIntensity()
+		in.NetDelay = delay
+		cfg.Intensity = in
+	}
+	return cfg
+}
+
+// Render formats the sweep as normalized-throughput curves.
+func (r *IntensitySweepResult) Render() string {
+	var b strings.Builder
+	b.WriteString("== Fault-intensity sweep: normalized throughput vs follower NIC delay ==\n")
+	fmt.Fprintf(&b, "%-12s", "delay \\ sys")
+	for _, sys := range r.Systems {
+		fmt.Fprintf(&b, " %12s", sys)
+	}
+	b.WriteString("\n")
+	for i, d := range r.Delays {
+		fmt.Fprintf(&b, "%-12v", d)
+		for _, sys := range r.Systems {
+			fmt.Fprintf(&b, " %11.2fx", r.Points[sys][i].NormTput)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

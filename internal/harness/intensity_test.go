@@ -1,0 +1,43 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestIntensitySweepShape(t *testing.T) {
+	ecfg := DefaultExperimentConfig()
+	ecfg.Duration = 700 * time.Millisecond
+	ecfg.Warmup = 300 * time.Millisecond
+	ecfg.Clients = 16
+	delays := []time.Duration{10 * time.Millisecond, 80 * time.Millisecond}
+	res, err := IntensitySweep(ecfg, []System{DepFastRaft, CallbackRSM}, delays)
+	if err != nil {
+		t.Fatal(err)
+	}
+	df := res.Points[DepFastRaft]
+	cb := res.Points[CallbackRSM]
+	if len(df) != 2 || len(cb) != 2 {
+		t.Fatalf("points: df=%d cb=%d", len(df), len(cb))
+	}
+	// DepFastRaft stays near 1.0 even at the heaviest delay.
+	if df[1].NormTput < 0.85 {
+		t.Errorf("DepFastRaft degraded to %.2f at %v", df[1].NormTput, delays[1])
+	}
+	// CallbackRSM's curve bends with magnitude: worse at 80ms than 10ms,
+	// and clearly below DepFastRaft at the heavy end.
+	if cb[1].NormTput > cb[0].NormTput+0.1 {
+		t.Errorf("CallbackRSM curve not monotone-ish: %.2f @10ms vs %.2f @80ms",
+			cb[0].NormTput, cb[1].NormTput)
+	}
+	if cb[1].NormTput > df[1].NormTput-0.1 {
+		t.Errorf("no separation at heavy delay: cb=%.2f df=%.2f",
+			cb[1].NormTput, df[1].NormTput)
+	}
+	out := res.Render()
+	if !strings.Contains(out, "delay") || !strings.Contains(out, "DepFastRaft") {
+		t.Errorf("render:\n%s", out)
+	}
+	t.Logf("\n%s", out)
+}

@@ -1,0 +1,250 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"depfast/internal/core"
+	"depfast/internal/env"
+	"depfast/internal/failslow"
+	"depfast/internal/metrics"
+	"depfast/internal/raft"
+	"depfast/internal/rpc"
+	"depfast/internal/ycsb"
+)
+
+// TimelineWindow is one sampling window of a transient-fault run.
+type TimelineWindow struct {
+	Start      time.Duration // offset from measurement start
+	Throughput float64
+	Mean       time.Duration
+	P99        time.Duration
+	FaultOn    bool
+}
+
+// TransientResult is the timeline of a run where the fault appears
+// mid-run and later clears — the recovery story the paper's §3.3
+// "probability models for transient fail-slow events" points toward.
+type TransientResult struct {
+	System  System
+	Fault   failslow.Fault
+	Windows []TimelineWindow
+}
+
+// Render formats the timeline.
+func (r *TransientResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "transient %v on %v:\n", r.Fault, r.System)
+	fmt.Fprintf(&b, "%8s %6s %10s %10s %10s\n", "t", "fault", "op/s", "mean", "p99")
+	for _, w := range r.Windows {
+		mark := ""
+		if w.FaultOn {
+			mark = "*"
+		}
+		fmt.Fprintf(&b, "%8v %6s %10.0f %10v %10v\n",
+			w.Start.Round(100*time.Millisecond), mark, w.Throughput,
+			w.Mean.Round(10*time.Microsecond), w.P99.Round(10*time.Microsecond))
+	}
+	return b.String()
+}
+
+// SteadyBefore / DuringFault / AfterClear average window throughput in
+// the three phases, for assertions and reports.
+func (r *TransientResult) phaseMean(pred func(TimelineWindow) bool) float64 {
+	sum, n := 0.0, 0
+	for _, w := range r.Windows {
+		if pred(w) {
+			sum += w.Throughput
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// PhaseThroughputs returns (before, during, after) mean throughput.
+func (r *TransientResult) PhaseThroughputs() (before, during, after float64) {
+	seenFault := false
+	for _, w := range r.Windows {
+		if w.FaultOn {
+			seenFault = true
+		}
+		_ = w
+	}
+	_ = seenFault
+	before = r.phaseMean(func(w TimelineWindow) bool { return !w.FaultOn && w.Start < faultPhaseStart(r) })
+	during = r.phaseMean(func(w TimelineWindow) bool { return w.FaultOn })
+	after = r.phaseMean(func(w TimelineWindow) bool { return !w.FaultOn && w.Start >= faultPhaseStart(r) })
+	return
+}
+
+func faultPhaseStart(r *TransientResult) time.Duration {
+	for _, w := range r.Windows {
+		if w.FaultOn {
+			return w.Start
+		}
+	}
+	return time.Duration(1) << 62
+}
+
+// RunTransient measures a timeline: total duration split into windows,
+// with the fault injected into one follower during
+// [faultAt, faultAt+faultFor).
+func RunTransient(cfg RunConfig, total, window, faultAt, faultFor time.Duration) (*TransientResult, error) {
+	if window <= 0 {
+		window = 500 * time.Millisecond
+	}
+	nWindows := int(total / window)
+	if nWindows < 1 {
+		return nil, fmt.Errorf("harness: total %v shorter than window %v", total, window)
+	}
+
+	h, err := buildCluster(cfg, nil)
+	if err != nil {
+		return nil, err
+	}
+	defer h.stop()
+
+	leader := ""
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		if name, ok := h.leader(); ok {
+			leader = name
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if leader == "" {
+		return nil, fmt.Errorf("harness: no leader within 15s")
+	}
+	var target string
+	for _, n := range h.names {
+		if n != leader {
+			target = n
+			break
+		}
+	}
+
+	// Per-window measurement slots.
+	type slot struct {
+		ops  atomic.Int64
+		hist *metrics.Histogram
+	}
+	slots := make([]*slot, nWindows)
+	for i := range slots {
+		slots[i] = &slot{hist: metrics.NewHistogram()}
+	}
+	var started atomic.Bool
+	var stopFlag atomic.Bool
+	var startTime time.Time
+	var wg sync.WaitGroup
+
+	ecfg := env.DefaultConfig()
+	clientRTs := make([]*core.Runtime, cfg.ClientRuntimes)
+	clientEPs := make([]*rpc.Endpoint, cfg.ClientRuntimes)
+	for i := range clientRTs {
+		name := fmt.Sprintf("client-%d", i)
+		clientRTs[i] = core.NewRuntime(name)
+		clientEPs[i] = rpc.NewEndpoint(name, clientRTs[i], h.net, rpc.WithCallTimeout(3*time.Second))
+		h.net.Register(name, env.New(name, ecfg), clientEPs[i].TransportHandler())
+	}
+	defer func() {
+		for i := range clientRTs {
+			clientEPs[i].Close()
+			clientRTs[i].Stop()
+		}
+	}()
+
+	order := append([]string{leader}, otherNames(h.names, leader)...)
+	for ci := 0; ci < cfg.Clients; ci++ {
+		rt := clientRTs[ci%cfg.ClientRuntimes]
+		ep := clientEPs[ci%cfg.ClientRuntimes]
+		id := uint64(2000 + ci)
+		gen := ycsb.NewGenerator(ycsb.PaperWrite(cfg.Records, cfg.ValueSize), cfg.Seed+int64(ci))
+		wg.Add(1)
+		rt.Spawn("transient-client", func(co *core.Coroutine) {
+			defer wg.Done()
+			cl := raft.NewClient(id, ep, order, 3*time.Second)
+			for !stopFlag.Load() {
+				op := gen.Next()
+				opStart := time.Now()
+				_, err := cl.Do(co, opToCommand(op))
+				if stopFlag.Load() {
+					return
+				}
+				if err != nil || !started.Load() {
+					continue
+				}
+				idx := int(time.Since(startTime) / window)
+				if idx >= 0 && idx < nWindows {
+					slots[idx].ops.Add(1)
+					slots[idx].hist.Record(time.Since(opStart))
+				}
+			}
+		})
+	}
+
+	time.Sleep(cfg.Warmup)
+	startTime = time.Now()
+	started.Store(true)
+	stopInject := failslow.Schedule(cfg.Intensity, []failslow.Step{
+		{After: faultAt, Target: h.envs[target], Fault: cfg.Fault},
+		{After: faultAt + faultFor, Target: h.envs[target], Fault: failslow.None},
+	})
+	defer stopInject()
+	time.Sleep(total)
+	stopFlag.Store(true)
+	waitDone := make(chan struct{})
+	go func() { wg.Wait(); close(waitDone) }()
+	select {
+	case <-waitDone:
+	case <-time.After(10 * time.Second):
+	}
+
+	res := &TransientResult{System: cfg.System, Fault: cfg.Fault}
+	for i, s := range slots {
+		start := time.Duration(i) * window
+		snap := s.hist.Snapshot()
+		res.Windows = append(res.Windows, TimelineWindow{
+			Start:      start,
+			Throughput: float64(s.ops.Load()) / window.Seconds(),
+			Mean:       snap.Mean,
+			P99:        snap.P99,
+			FaultOn:    start >= faultAt && start < faultAt+faultFor,
+		})
+	}
+	return res, nil
+}
+
+// Sweep runs the same configuration across client populations,
+// mirroring the paper's 256–1200 concurrent client range (scaled).
+func Sweep(cfg RunConfig, clientCounts []int) ([]RunResult, error) {
+	out := make([]RunResult, 0, len(clientCounts))
+	for _, n := range clientCounts {
+		c := cfg
+		c.Clients = n
+		res, err := Run(c)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// RenderSweep formats a sweep as a capacity table.
+func RenderSweep(results []RunResult, clientCounts []int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%8s %10s %10s %10s\n", "clients", "op/s", "mean", "p99")
+	for i, r := range results {
+		fmt.Fprintf(&b, "%8d %10.0f %10v %10v\n",
+			clientCounts[i], r.Throughput,
+			r.Mean.Round(10*time.Microsecond), r.P99.Round(10*time.Microsecond))
+	}
+	return b.String()
+}

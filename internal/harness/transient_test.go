@@ -1,0 +1,112 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"depfast/internal/failslow"
+	"depfast/internal/ycsb"
+)
+
+func TestRunTransientDepFastFlat(t *testing.T) {
+	cfg := shortCfg(DepFastRaft)
+	cfg.Fault = failslow.NetSlow
+	res, err := RunTransient(cfg, 2400*time.Millisecond, 400*time.Millisecond,
+		800*time.Millisecond, 800*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Windows) != 6 {
+		t.Fatalf("windows = %d", len(res.Windows))
+	}
+	// Fault flags cover exactly the middle windows.
+	wantFault := []bool{false, false, true, true, false, false}
+	for i, w := range res.Windows {
+		if w.FaultOn != wantFault[i] {
+			t.Errorf("window %d fault = %v", i, w.FaultOn)
+		}
+	}
+	before, during, after := res.PhaseThroughputs()
+	if before <= 0 || during <= 0 || after <= 0 {
+		t.Fatalf("phases = %v %v %v", before, during, after)
+	}
+	// DepFastRaft: the transient fault must not crater throughput.
+	if during < before*0.6 {
+		t.Errorf("throughput cratered during transient fault: %0.f -> %0.f", before, during)
+	}
+	out := res.Render()
+	if !strings.Contains(out, "transient") || !strings.Contains(out, "*") {
+		t.Errorf("render: %s", out)
+	}
+	t.Logf("\n%s", out)
+}
+
+func TestRunTransientValidation(t *testing.T) {
+	cfg := shortCfg(DepFastRaft)
+	if _, err := RunTransient(cfg, 100*time.Millisecond, time.Second, 0, 0); err == nil {
+		t.Fatal("window longer than total must error")
+	}
+}
+
+func TestSweep(t *testing.T) {
+	cfg := shortCfg(DepFastRaft)
+	cfg.Duration = 500 * time.Millisecond
+	counts := []int{4, 16}
+	results, err := Sweep(cfg, counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("results = %d", len(results))
+	}
+	// More clients => at least as much throughput (closed loop, below
+	// saturation) within generous noise.
+	if results[1].Throughput < results[0].Throughput*0.8 {
+		t.Errorf("sweep not monotone-ish: %v", results)
+	}
+	out := RenderSweep(results, counts)
+	if !strings.Contains(out, "clients") {
+		t.Errorf("render: %s", out)
+	}
+	t.Logf("\n%s", out)
+}
+
+func TestRunWithScanHeavyWorkload(t *testing.T) {
+	// Workload E (scan-heavy) pushes the OpScan path through the full
+	// replicated stack.
+	wl, err := ycsb.Preset("e")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := shortCfg(DepFastRaft)
+	cfg.Workload = &wl
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops < 30 {
+		t.Fatalf("scan workload ops = %d", res.Ops)
+	}
+	if res.Errors > res.Ops/10 {
+		t.Fatalf("scan workload errors = %d of %d", res.Errors, res.Ops)
+	}
+	t.Logf("%s", res)
+}
+
+func TestRunWithMixedWorkloadString(t *testing.T) {
+	wl, err := ycsb.Parse("recordcount=300,readproportion=0.6,updateproportion=0.3,insertproportion=0.1,requestdistribution=latest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := shortCfg(DepFastRaft)
+	cfg.Workload = &wl
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops < 30 {
+		t.Fatalf("mixed workload ops = %d", res.Ops)
+	}
+	t.Logf("%s", res)
+}

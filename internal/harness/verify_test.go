@@ -1,0 +1,41 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestVerifySystemsContrast(t *testing.T) {
+	ecfg := DefaultExperimentConfig()
+	ecfg.Duration = 600 * time.Millisecond
+	ecfg.Warmup = 200 * time.Millisecond
+	ecfg.Clients = 12
+	results, err := VerifySystems(ecfg, []System{DepFastRaft, CallbackRSM})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("results = %d", len(results))
+	}
+	byName := map[System]VerifyResult{}
+	for _, r := range results {
+		byName[r.System] = r
+	}
+	df := byName[DepFastRaft]
+	if !df.Pass {
+		t.Errorf("DepFastRaft failed verification with %d violations", df.Violations)
+	}
+	if df.QuorumEdges == 0 {
+		t.Error("DepFastRaft produced no quorum edges")
+	}
+	cb := byName[CallbackRSM]
+	if cb.Pass {
+		t.Error("CallbackRSM passed verification — its all-replica flow-control wait should be flagged")
+	}
+	out := RenderVerify(results)
+	if !strings.Contains(out, "PASS") || !strings.Contains(out, "FAIL") {
+		t.Errorf("render: %s", out)
+	}
+	t.Logf("\n%s", out)
+}

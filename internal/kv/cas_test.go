@@ -1,0 +1,53 @@
+package kv
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestStoreCAS(t *testing.T) {
+	s := NewStore()
+	// CAS on an absent key with empty expect succeeds.
+	r := s.Apply(Command{Op: OpCAS, Key: "k", Expect: nil, Value: []byte("v1")})
+	if !r.Found {
+		t.Fatal("CAS on absent key with empty expect failed")
+	}
+	// Wrong expect fails and returns the current value.
+	r = s.Apply(Command{Op: OpCAS, Key: "k", Expect: []byte("nope"), Value: []byte("v2")})
+	if r.Found {
+		t.Fatal("CAS with wrong expect succeeded")
+	}
+	if !bytes.Equal(r.Value, []byte("v1")) {
+		t.Fatalf("failed CAS returned %q, want current value", r.Value)
+	}
+	// Right expect swaps.
+	r = s.Apply(Command{Op: OpCAS, Key: "k", Expect: []byte("v1"), Value: []byte("v2")})
+	if !r.Found {
+		t.Fatal("CAS with right expect failed")
+	}
+	got := s.Apply(Command{Op: OpGet, Key: "k"})
+	if string(got.Value) != "v2" {
+		t.Fatalf("value = %q", got.Value)
+	}
+}
+
+func TestStoreCASDoesNotAliasValue(t *testing.T) {
+	s := NewStore()
+	v := []byte("abc")
+	s.Apply(Command{Op: OpCAS, Key: "k", Value: v})
+	v[0] = 'X'
+	if got := s.Apply(Command{Op: OpGet, Key: "k"}); string(got.Value) != "abc" {
+		t.Fatalf("CAS aliased caller buffer: %q", got.Value)
+	}
+}
+
+func TestCommandCASEncodeDecode(t *testing.T) {
+	in := Command{Op: OpCAS, Key: "k", Expect: []byte("old"), Value: []byte("new")}
+	out, err := DecodeCommand(in.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Op != OpCAS || !bytes.Equal(out.Expect, []byte("old")) || !bytes.Equal(out.Value, []byte("new")) {
+		t.Fatalf("round trip = %+v", out)
+	}
+}

@@ -1,0 +1,202 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram()
+	if h.Count() != 0 || h.Mean() != 0 || h.P99() != 0 || h.Min() != 0 || h.Max() != 0 {
+		t.Fatalf("empty histogram not all-zero: %+v", h.Snapshot())
+	}
+}
+
+func TestHistogramSingleSample(t *testing.T) {
+	h := NewHistogram()
+	h.Record(10 * time.Millisecond)
+	if h.Count() != 1 {
+		t.Fatalf("count = %d, want 1", h.Count())
+	}
+	if got := h.Mean(); got != 10*time.Millisecond {
+		t.Errorf("mean = %v, want 10ms", got)
+	}
+	// Quantiles are bucket lower bounds: within ~7% below the sample.
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		got := h.Quantile(q)
+		if got > 10*time.Millisecond || got < 9*time.Millisecond {
+			t.Errorf("quantile(%v) = %v, want within [9ms,10ms]", q, got)
+		}
+	}
+}
+
+func TestHistogramQuantileAccuracy(t *testing.T) {
+	h := NewHistogram()
+	raw := make([]time.Duration, 0, 10000)
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 10000; i++ {
+		// log-uniform over [10µs, 1s)
+		d := time.Duration(float64(10*time.Microsecond) *
+			math.Pow(1e5, rng.Float64()))
+		raw = append(raw, d)
+		h.Record(d)
+	}
+	exact := Percentiles(raw, 0.5, 0.95, 0.99)
+	approx := []time.Duration{h.P50(), h.P95(), h.P99()}
+	for i := range exact {
+		lo := float64(exact[i]) * 0.90
+		hi := float64(exact[i]) * 1.10
+		if float64(approx[i]) < lo || float64(approx[i]) > hi {
+			t.Errorf("quantile %d: approx %v not within 10%% of exact %v",
+				i, approx[i], exact[i])
+		}
+	}
+}
+
+func TestHistogramMinMax(t *testing.T) {
+	h := NewHistogram()
+	h.Record(5 * time.Millisecond)
+	h.Record(1 * time.Millisecond)
+	h.Record(20 * time.Millisecond)
+	if h.Min() != time.Millisecond {
+		t.Errorf("min = %v, want 1ms", h.Min())
+	}
+	if h.Max() != 20*time.Millisecond {
+		t.Errorf("max = %v, want 20ms", h.Max())
+	}
+}
+
+func TestHistogramNegativeClamped(t *testing.T) {
+	h := NewHistogram()
+	h.Record(-time.Second)
+	if h.Count() != 1 {
+		t.Fatalf("count = %d, want 1", h.Count())
+	}
+	if h.Max() > time.Microsecond {
+		t.Errorf("negative sample recorded as %v", h.Max())
+	}
+}
+
+func TestHistogramReset(t *testing.T) {
+	h := NewHistogram()
+	for i := 0; i < 100; i++ {
+		h.Record(time.Millisecond)
+	}
+	h.Reset()
+	if h.Count() != 0 || h.Mean() != 0 || h.P99() != 0 {
+		t.Fatalf("reset did not clear: %+v", h.Snapshot())
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a, b := NewHistogram(), NewHistogram()
+	for i := 0; i < 50; i++ {
+		a.Record(time.Millisecond)
+		b.Record(10 * time.Millisecond)
+	}
+	a.Merge(b)
+	if a.Count() != 100 {
+		t.Fatalf("merged count = %d, want 100", a.Count())
+	}
+	if a.Min() > time.Millisecond || a.Max() < 10*time.Millisecond {
+		t.Errorf("merge lost min/max: min=%v max=%v", a.Min(), a.Max())
+	}
+	mean := a.Mean()
+	if mean < 5*time.Millisecond || mean > 6*time.Millisecond {
+		t.Errorf("merged mean = %v, want ~5.5ms", mean)
+	}
+}
+
+func TestHistogramConcurrentRecord(t *testing.T) {
+	h := NewHistogram()
+	var wg sync.WaitGroup
+	const goroutines, perG = 8, 1000
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				h.Record(time.Duration(g+1) * time.Millisecond)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if h.Count() != goroutines*perG {
+		t.Fatalf("count = %d, want %d", h.Count(), goroutines*perG)
+	}
+}
+
+func TestHistogramQuantileMonotonic(t *testing.T) {
+	f := func(samples []uint32) bool {
+		h := NewHistogram()
+		for _, s := range samples {
+			h.Record(time.Duration(s) * time.Microsecond)
+		}
+		prev := time.Duration(-1)
+		for _, q := range []float64{0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1} {
+			v := h.Quantile(q)
+			if v < prev {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogramQuantileBounds(t *testing.T) {
+	// Property: any quantile lies within [Min*(1-eps), Max].
+	f := func(samples []uint16) bool {
+		if len(samples) == 0 {
+			return true
+		}
+		h := NewHistogram()
+		for _, s := range samples {
+			h.Record(time.Duration(int(s)+1) * time.Microsecond)
+		}
+		for _, q := range []float64{0, 0.5, 1} {
+			v := h.Quantile(q)
+			if float64(v) < float64(h.Min())*0.92 || v > h.Max() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBarsSmoke(t *testing.T) {
+	h := NewHistogram()
+	if s := h.Bars(20); s != "(empty)\n" {
+		t.Errorf("empty bars = %q", s)
+	}
+	for i := 1; i <= 100; i++ {
+		h.Record(time.Duration(i) * time.Millisecond)
+	}
+	if s := h.Bars(20); len(s) == 0 {
+		t.Error("bars empty for populated histogram")
+	}
+}
+
+func TestPercentilesExact(t *testing.T) {
+	samples := []time.Duration{5, 1, 4, 2, 3} // will be sorted
+	got := Percentiles(samples, 0.2, 0.5, 1.0)
+	want := []time.Duration{1, 3, 5}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("percentile[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if got := Percentiles(nil, 0.5); got[0] != 0 {
+		t.Errorf("empty percentiles = %v, want 0", got[0])
+	}
+}

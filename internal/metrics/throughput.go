@@ -1,0 +1,159 @@
+package metrics
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Throughput counts completed operations and reports rates over the
+// whole run and over fixed windows. It is safe for concurrent use.
+type Throughput struct {
+	ops   atomic.Int64
+	start time.Time
+
+	mu      sync.Mutex
+	windows []WindowSample
+	winOps  int64 // ops at last window boundary
+	winAt   time.Time
+}
+
+// WindowSample is the observed rate over one sampling window.
+type WindowSample struct {
+	At   time.Time
+	Rate float64 // ops/sec during the window
+}
+
+// NewThroughput starts a throughput counter now.
+func NewThroughput() *Throughput {
+	now := time.Now()
+	return &Throughput{start: now, winAt: now}
+}
+
+// Add records n completed operations.
+func (t *Throughput) Add(n int64) { t.ops.Add(n) }
+
+// Inc records one completed operation.
+func (t *Throughput) Inc() { t.ops.Add(1) }
+
+// Total returns the number of operations recorded so far.
+func (t *Throughput) Total() int64 { return t.ops.Load() }
+
+// Rate returns the average ops/sec since the counter started.
+func (t *Throughput) Rate() float64 {
+	el := time.Since(t.start).Seconds()
+	if el <= 0 {
+		return 0
+	}
+	return float64(t.ops.Load()) / el
+}
+
+// RateSince returns ops/sec measured from an explicit start time; used
+// when the counter is created before the measured interval begins.
+func (t *Throughput) RateSince(start time.Time) float64 {
+	el := time.Since(start).Seconds()
+	if el <= 0 {
+		return 0
+	}
+	return float64(t.ops.Load()) / el
+}
+
+// Sample closes the current window and records its rate. Callers drive
+// the sampling cadence (e.g. once per 100ms from the harness).
+func (t *Throughput) Sample() WindowSample {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	now := time.Now()
+	ops := t.ops.Load()
+	dt := now.Sub(t.winAt).Seconds()
+	var rate float64
+	if dt > 0 {
+		rate = float64(ops-t.winOps) / dt
+	}
+	ws := WindowSample{At: now, Rate: rate}
+	t.windows = append(t.windows, ws)
+	t.winOps = ops
+	t.winAt = now
+	return ws
+}
+
+// Windows returns all recorded window samples.
+func (t *Throughput) Windows() []WindowSample {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]WindowSample, len(t.windows))
+	copy(out, t.windows)
+	return out
+}
+
+// Reset zeroes the counter and restarts the clock.
+func (t *Throughput) Reset() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.ops.Store(0)
+	t.start = time.Now()
+	t.winAt = t.start
+	t.winOps = 0
+	t.windows = nil
+}
+
+// Counter is a named atomic counter for incidental statistics
+// (retries, discarded messages, cache misses, ...).
+type Counter struct {
+	Name string
+	v    atomic.Int64
+}
+
+// NewCounter returns a named counter.
+func NewCounter(name string) *Counter { return &Counter{Name: name} }
+
+// Inc adds one. Add adds n. Value reads the count.
+func (c *Counter) Inc()           { c.v.Add(1) }
+func (c *Counter) Add(n int64)    { c.v.Add(n) }
+func (c *Counter) Value() int64   { return c.v.Load() }
+func (c *Counter) Reset()         { c.v.Store(0) }
+func (c *Counter) String() string { return fmt.Sprintf("%s=%d", c.Name, c.v.Load()) }
+
+// Gauge is a set-or-read value for instantaneous measurements
+// (buffer bytes, queue depth).
+type Gauge struct {
+	Name string
+	v    atomic.Int64
+	max  atomic.Int64
+}
+
+// NewGauge returns a named gauge.
+func NewGauge(name string) *Gauge { return &Gauge{Name: name} }
+
+// Set stores the current value and tracks the high-water mark.
+func (g *Gauge) Set(n int64) {
+	g.v.Store(n)
+	for {
+		cur := g.max.Load()
+		if cur >= n {
+			return
+		}
+		if g.max.CompareAndSwap(cur, n) {
+			return
+		}
+	}
+}
+
+// Add adjusts the current value by delta and tracks the high-water mark.
+func (g *Gauge) Add(delta int64) {
+	n := g.v.Add(delta)
+	for {
+		cur := g.max.Load()
+		if cur >= n {
+			return
+		}
+		if g.max.CompareAndSwap(cur, n) {
+			return
+		}
+	}
+}
+
+// Value reads the current value; Max reads the high-water mark.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+func (g *Gauge) Max() int64   { return g.max.Load() }

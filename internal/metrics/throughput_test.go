@@ -1,0 +1,132 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestThroughputTotal(t *testing.T) {
+	tp := NewThroughput()
+	tp.Inc()
+	tp.Add(9)
+	if got := tp.Total(); got != 10 {
+		t.Fatalf("total = %d, want 10", got)
+	}
+}
+
+func TestThroughputRate(t *testing.T) {
+	tp := NewThroughput()
+	tp.Add(100)
+	time.Sleep(20 * time.Millisecond)
+	r := tp.Rate()
+	if r <= 0 || r > 100/0.02*2 {
+		t.Fatalf("rate = %v, implausible", r)
+	}
+}
+
+func TestThroughputWindows(t *testing.T) {
+	tp := NewThroughput()
+	tp.Add(50)
+	time.Sleep(10 * time.Millisecond)
+	ws := tp.Sample()
+	if ws.Rate <= 0 {
+		t.Fatalf("window rate = %v, want > 0", ws.Rate)
+	}
+	// Second window with no ops should be ~0.
+	time.Sleep(5 * time.Millisecond)
+	ws2 := tp.Sample()
+	if ws2.Rate != 0 {
+		t.Errorf("idle window rate = %v, want 0", ws2.Rate)
+	}
+	if got := len(tp.Windows()); got != 2 {
+		t.Errorf("windows = %d, want 2", got)
+	}
+}
+
+func TestThroughputReset(t *testing.T) {
+	tp := NewThroughput()
+	tp.Add(10)
+	tp.Sample()
+	tp.Reset()
+	if tp.Total() != 0 || len(tp.Windows()) != 0 {
+		t.Fatalf("reset incomplete: total=%d windows=%d", tp.Total(), len(tp.Windows()))
+	}
+}
+
+func TestThroughputConcurrent(t *testing.T) {
+	tp := NewThroughput()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				tp.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if tp.Total() != 8000 {
+		t.Fatalf("total = %d, want 8000", tp.Total())
+	}
+}
+
+func TestCounter(t *testing.T) {
+	c := NewCounter("retries")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("value = %d, want 5", c.Value())
+	}
+	if s := c.String(); s != "retries=5" {
+		t.Errorf("string = %q", s)
+	}
+	c.Reset()
+	if c.Value() != 0 {
+		t.Error("reset failed")
+	}
+}
+
+func TestGaugeHighWater(t *testing.T) {
+	g := NewGauge("buffer-bytes")
+	g.Set(10)
+	g.Set(100)
+	g.Set(50)
+	if g.Value() != 50 {
+		t.Errorf("value = %d, want 50", g.Value())
+	}
+	if g.Max() != 100 {
+		t.Errorf("max = %d, want 100", g.Max())
+	}
+	g.Add(60)
+	if g.Value() != 110 || g.Max() != 110 {
+		t.Errorf("after add: value=%d max=%d, want 110/110", g.Value(), g.Max())
+	}
+	g.Add(-100)
+	if g.Value() != 10 || g.Max() != 110 {
+		t.Errorf("after sub: value=%d max=%d, want 10/110", g.Value(), g.Max())
+	}
+}
+
+func TestGaugeConcurrent(t *testing.T) {
+	g := NewGauge("depth")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 500; j++ {
+				g.Add(1)
+				g.Add(-1)
+			}
+		}()
+	}
+	wg.Wait()
+	if g.Value() != 0 {
+		t.Fatalf("value = %d, want 0", g.Value())
+	}
+	if g.Max() < 1 {
+		t.Fatalf("max = %d, want >= 1", g.Max())
+	}
+}

@@ -1,0 +1,158 @@
+package raft
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"depfast/internal/core"
+	"depfast/internal/env"
+	"depfast/internal/rpc"
+	"depfast/internal/storage"
+	"depfast/internal/transport"
+)
+
+// TestFollowerAppendEntriesModel drives a single follower with
+// randomized AppendEntries traffic — overlapping windows, stale
+// retransmissions, and term-conflict rewrites — from a scripted fake
+// leader, then checks the follower's log equals the canonical one.
+// This is the log-matching property exercised adversarially, beyond
+// what full-cluster runs produce.
+func TestFollowerAppendEntriesModel(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			runAEModel(t, seed)
+		})
+	}
+}
+
+func runAEModel(t *testing.T, seed int64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	net := transport.NewNetwork()
+	defer net.Close()
+	ecfg := env.DefaultConfig()
+	ecfg.NetBase = 0
+	ecfg.FsyncBase = 50 * time.Microsecond
+
+	// The follower under test. Huge election timeout: it must never
+	// campaign during the scripted run.
+	cfg := DefaultConfig("f1", []string{"f1", "L"})
+	cfg.ElectionTimeoutMin = time.Hour
+	cfg.ElectionTimeoutMax = 2 * time.Hour
+	fe := env.New("f1", ecfg)
+	follower := NewServer(cfg, fe, net)
+	net.Register("f1", fe, follower.TransportHandler())
+	follower.Start()
+	defer follower.Stop()
+
+	// The fake leader: a bare endpoint.
+	lrt := core.NewRuntime("L")
+	defer lrt.Stop()
+	lep := rpc.NewEndpoint("L", lrt, net, rpc.WithCallTimeout(2*time.Second))
+	defer lep.Close()
+	net.Register("L", env.New("L", ecfg), lep.TransportHandler())
+
+	// Canonical log evolves: mostly appends, occasional suffix rewrite
+	// with a higher term (a new-leader conflict).
+	type modelEntry struct {
+		term uint64
+		data []byte
+	}
+	var model []modelEntry // model[i] is index i+1
+	term := uint64(1)
+
+	send := func(co *core.Coroutine, prevIdx uint64, entries []storage.Entry) {
+		ae := &AppendEntries{
+			Term:         term,
+			Leader:       "L",
+			PrevLogIndex: prevIdx,
+			LeaderCommit: 0,
+		}
+		if prevIdx > 0 {
+			ae.PrevLogTerm = model[prevIdx-1].term
+		}
+		ae.Entries = entries
+		ev := lep.Call("f1", ae)
+		_ = co.WaitFor(ev, 5*time.Second)
+	}
+
+	done := make(chan struct{})
+	lrt.Spawn("driver", func(co *core.Coroutine) {
+		defer close(done)
+		for step := 0; step < 120; step++ {
+			switch {
+			case len(model) > 3 && rng.Float64() < 0.15:
+				// Conflict rewrite: a "new leader" truncates a suffix.
+				term++
+				cut := rng.Intn(len(model)-1) + 1
+				model = model[:cut]
+				n := rng.Intn(3) + 1
+				for i := 0; i < n; i++ {
+					model = append(model, modelEntry{term: term,
+						data: []byte(fmt.Sprintf("t%d-%d", term, len(model)+1))})
+				}
+			default:
+				n := rng.Intn(4) + 1
+				for i := 0; i < n; i++ {
+					model = append(model, modelEntry{term: term,
+						data: []byte(fmt.Sprintf("t%d-%d", term, len(model)+1))})
+				}
+			}
+			// Send a random window of the canonical log — possibly a
+			// stale prefix, possibly overlapping what was sent before.
+			lo := rng.Intn(len(model)) // 0-based start
+			hi := lo + rng.Intn(len(model)-lo) + 1
+			entries := make([]storage.Entry, 0, hi-lo)
+			for i := lo; i < hi; i++ {
+				entries = append(entries, storage.Entry{
+					Index: uint64(i + 1), Term: model[i].term, Data: model[i].data})
+			}
+			send(co, uint64(lo), entries)
+		}
+		// Final full synchronization.
+		all := make([]storage.Entry, len(model))
+		for i := range model {
+			all[i] = storage.Entry{Index: uint64(i + 1), Term: model[i].term, Data: model[i].data}
+		}
+		send(co, 0, all)
+	})
+	select {
+	case <-done:
+	case <-time.After(120 * time.Second):
+		t.Fatal("driver hung")
+	}
+
+	// Compare the follower's log to the model via raw entries.
+	check := make(chan string, 1)
+	follower.Runtime().Post(func() {
+		if got, want := follower.wal.LastIndex(), uint64(len(model)); got != want {
+			check <- fmt.Sprintf("log length %d, want %d", got, want)
+			return
+		}
+		for i, me := range model {
+			e, ok := follower.wal.Entry(uint64(i + 1))
+			if !ok {
+				check <- fmt.Sprintf("missing entry %d", i+1)
+				return
+			}
+			if e.Term != me.term || !bytes.Equal(e.Data, me.data) {
+				check <- fmt.Sprintf("entry %d = {t%d %q}, want {t%d %q}",
+					i+1, e.Term, e.Data, me.term, me.data)
+				return
+			}
+		}
+		check <- ""
+	})
+	select {
+	case msg := <-check:
+		if msg != "" {
+			t.Fatalf("seed %d: %s", seed, msg)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("check hung")
+	}
+}

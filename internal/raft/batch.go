@@ -1,0 +1,143 @@
+package raft
+
+import (
+	"time"
+
+	"depfast/internal/codec"
+	"depfast/internal/core"
+	"depfast/internal/kv"
+	"depfast/internal/storage"
+)
+
+// pendingProposal is one client command awaiting a batched commit.
+type pendingProposal struct {
+	data []byte
+	done *core.SignalEvent
+	res  kv.Result
+	err  error
+}
+
+// enqueueProposal hands the command to the committer and waits for its
+// outcome; the handler coroutine still waits on a purely local event.
+func (s *Server) enqueueProposal(co *core.Coroutine, m *kv.ClientRequest) codec.Message {
+	p := &pendingProposal{data: codec.Marshal(m), done: core.NewSignalEvent()}
+	s.propQ.Push(p)
+	if co.WaitFor(p.done, s.cfg.CommitTimeout) != core.WaitReady {
+		return &kv.ClientResponse{OK: false, Err: ErrCommitTimeout.Error()}
+	}
+	if p.err != nil {
+		return &kv.ClientResponse{OK: false, NotLeader: p.err == ErrDeposed,
+			LeaderHint: s.leaderHint, Err: p.err.Error()}
+	}
+	return &kv.ClientResponse{OK: true, Found: p.res.Found, Value: p.res.Value, Pairs: p.res.Pairs}
+}
+
+// committerLoop drains queued proposals into batched commits while
+// this node leads term. Each batch is one log append, one
+// AppendEntries per follower, and one QuorumEvent wait — the same
+// DepFast discipline with per-request costs amortized.
+func (s *Server) committerLoop(co *core.Coroutine, term uint64) {
+	defer s.failQueued(ErrDeposed)
+	for s.role == Leader && s.term == term && !s.stopped {
+		batch, res := s.propQ.DrainWaitTimeout(co, 100*time.Millisecond)
+		if res == core.WaitStopped {
+			return
+		}
+		for len(batch) > 0 {
+			n := len(batch)
+			if max := s.cfg.RepairBatch; n > max {
+				n = max
+			}
+			s.proposeBatch(co, term, batch[:n])
+			batch = batch[n:]
+		}
+	}
+}
+
+// failQueued resolves everything still queued with err.
+func (s *Server) failQueued(err error) {
+	for {
+		p, ok := s.propQ.TryPop()
+		if !ok {
+			return
+		}
+		p.err = err
+		p.done.Set()
+	}
+}
+
+// proposeBatch appends and replicates one batch.
+func (s *Server) proposeBatch(co *core.Coroutine, term uint64, batch []*pendingProposal) {
+	fail := func(err error) {
+		for _, p := range batch {
+			p.err = err
+			p.done.Set()
+		}
+	}
+	if s.role != Leader || s.term != term {
+		fail(ErrDeposed)
+		return
+	}
+	s.Proposals.Add(int64(len(batch)))
+	first := s.wal.LastIndex() + 1
+	entries := make([]storage.Entry, len(batch))
+	for i, p := range batch {
+		entries[i] = storage.Entry{Index: first + uint64(i), Term: term, Data: p.data}
+	}
+	last := first + uint64(len(batch)) - 1
+	fsync, err := s.wal.Append(entries)
+	if err != nil {
+		fail(err)
+		return
+	}
+	for _, e := range entries {
+		s.cache.Put(e)
+	}
+	s.persistAppend(entries)
+
+	q := core.NewQuorumEvent(len(s.cfg.Peers), s.majority())
+	q.AddJudged(fsync, nil)
+	prevTerm := s.termOf(first - 1)
+	for _, p := range s.others() {
+		ae := &AppendEntries{
+			Term:         term,
+			Leader:       s.cfg.ID,
+			PrevLogIndex: first - 1,
+			PrevLogTerm:  prevTerm,
+			Entries:      entries,
+			LeaderCommit: s.commitIndex,
+		}
+		ev := core.NewResultEvent("rpc", p)
+		q.AddJudged(ev, s.appendJudge(p, last, term))
+		s.outboxes[p].Send(ae, ev, int64(last))
+	}
+
+	switch co.WaitQuorum(q, s.cfg.CommitTimeout) {
+	case core.QuorumOK:
+	case core.QuorumStopped:
+		fail(ErrStopping)
+		return
+	case core.QuorumRejected:
+		fail(ErrDeposed)
+		return
+	default:
+		fail(ErrCommitTimeout)
+		return
+	}
+	if s.role != Leader || s.term != term {
+		fail(ErrDeposed)
+		return
+	}
+	if s.cfg.QuorumDiscard {
+		for _, p := range s.others() {
+			if s.matchIndex[p] < last {
+				s.outboxes[p].CancelBelow(int64(last))
+			}
+		}
+	}
+	s.advanceCommit(last)
+	for i, p := range batch {
+		p.res, _ = s.takeResult(first + uint64(i))
+		p.done.Set()
+	}
+}

@@ -1,0 +1,86 @@
+package raft
+
+import (
+	"encoding/binary"
+	"testing"
+	"time"
+
+	"depfast/internal/core"
+)
+
+// TestCASAtomicCounter has several clients incrementing one register
+// through compare-and-swap retry loops. Because every CAS is
+// serialized through the replicated log, the final value must equal
+// the total number of successful increments — a stronger atomicity
+// check than blind puts.
+func TestCASAtomicCounter(t *testing.T) {
+	c := newCluster(t, clusterOpts{n: 3})
+	c.waitLeader()
+
+	enc := func(v uint64) []byte {
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], v)
+		return b[:]
+	}
+	dec := func(b []byte) uint64 {
+		if len(b) != 8 {
+			return 0
+		}
+		return binary.LittleEndian.Uint64(b)
+	}
+
+	const clients = 6
+	const perClient = 10
+	done := make(chan int, clients)
+	for ci := 0; ci < clients; ci++ {
+		id := uint64(980 + ci)
+		cl := c.client(id)
+		c.clientRT.Spawn("cas-client", func(co *core.Coroutine) {
+			succeeded := 0
+			for succeeded < perClient {
+				// Read-modify-write via CAS with retry on conflict.
+				cur, _, err := cl.Get(co, "counter")
+				if err != nil {
+					done <- -1
+					return
+				}
+				next := dec(cur) + 1
+				swapped, _, err := cl.CAS(co, "counter", cur, enc(next))
+				if err != nil {
+					done <- -1
+					return
+				}
+				if swapped {
+					succeeded++
+				}
+			}
+			done <- succeeded
+		})
+	}
+	total := 0
+	for i := 0; i < clients; i++ {
+		select {
+		case n := <-done:
+			if n < 0 {
+				t.Fatal("cas client errored")
+			}
+			total += n
+		case <-time.After(120 * time.Second):
+			t.Fatal("cas clients hung")
+		}
+	}
+	cl := c.client(999)
+	c.onClient(func(co *core.Coroutine) {
+		v, found, err := cl.Get(co, "counter")
+		if err != nil || !found {
+			t.Errorf("final get: %v %v", found, err)
+			return
+		}
+		if got := dec(v); got != uint64(total) {
+			t.Errorf("counter = %d, want %d (lost or duplicated increments)", got, total)
+		}
+	})
+	if total != clients*perClient {
+		t.Fatalf("successful increments = %d, want %d", total, clients*perClient)
+	}
+}

@@ -1,0 +1,172 @@
+package raft
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"depfast/internal/core"
+	"depfast/internal/failslow"
+	"depfast/internal/kv"
+)
+
+// TestChaosConvergence drives concurrent clients while random
+// fail-slow faults and partitions churn through the cluster, then
+// heals everything and verifies:
+//
+//  1. every acknowledged write is present,
+//  2. all replicas converge to identical state machines.
+func TestChaosConvergence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos test is seconds-long")
+	}
+	c := newCluster(t, clusterOpts{n: 3, mutate: func(cfg *Config) {
+		cfg.SnapshotThreshold = 64 // exercise compaction under churn
+		cfg.EntryCacheSize = 32
+	}})
+	c.waitLeader()
+
+	const clients = 6
+	const duration = 4 * time.Second
+
+	// Chaos driver: every 300-600ms pick a random disturbance.
+	stopChaos := make(chan struct{})
+	chaosDone := make(chan struct{})
+	go func() {
+		defer close(chaosDone)
+		rng := rand.New(rand.NewSource(1234))
+		var partA, partB string
+		for {
+			select {
+			case <-stopChaos:
+				// Heal everything.
+				if partA != "" {
+					c.net.SetLinkDown(partA, partB, false)
+				}
+				for _, e := range c.envs {
+					failslow.Clear(e)
+				}
+				return
+			case <-time.After(time.Duration(300+rng.Intn(300)) * time.Millisecond):
+			}
+			if partA != "" {
+				c.net.SetLinkDown(partA, partB, false)
+				partA, partB = "", ""
+			}
+			target := c.names[rng.Intn(len(c.names))]
+			switch rng.Intn(4) {
+			case 0:
+				failslow.Apply(c.envs[target], failslow.NetSlow, failslow.DefaultIntensity())
+			case 1:
+				failslow.Apply(c.envs[target], failslow.CPUSlow, failslow.DefaultIntensity())
+			case 2:
+				failslow.Clear(c.envs[target])
+			case 3:
+				other := c.names[rng.Intn(len(c.names))]
+				if other != target {
+					partA, partB = target, other
+					c.net.SetLinkDown(partA, partB, true)
+				}
+			}
+		}
+	}()
+
+	// Clients write distinct keys; remember every acknowledged write.
+	// Acks are recorded under a mutex — never block a coroutine on a
+	// channel send while it holds the runtime baton.
+	type ack struct {
+		key string
+		val byte
+	}
+	var ackMu sync.Mutex
+	var acks []ack
+	doneCh := make(chan int, clients)
+	deadline := time.Now().Add(duration)
+	for ci := 0; ci < clients; ci++ {
+		id := uint64(600 + ci)
+		cl := NewClient(id, c.clientEP, c.names, 500*time.Millisecond)
+		c.clientRT.Spawn("chaos-client", func(co *core.Coroutine) {
+			n := 0
+			for time.Now().Before(deadline) {
+				key := fmt.Sprintf("chaos-%d-%d", id, n)
+				val := byte(n)
+				if err := cl.Put(co, key, []byte{val}); err == nil {
+					ackMu.Lock()
+					acks = append(acks, ack{key: key, val: val})
+					ackMu.Unlock()
+					n++
+				}
+			}
+			doneCh <- n
+		})
+	}
+	total := 0
+	for i := 0; i < clients; i++ {
+		select {
+		case n := <-doneCh:
+			total += n
+		case <-time.After(duration + 60*time.Second):
+			t.Fatal("chaos clients hung")
+		}
+	}
+	close(stopChaos)
+	<-chaosDone
+	if total < 20 {
+		t.Fatalf("only %d acknowledged writes under chaos; cluster effectively down", total)
+	}
+	t.Logf("chaos: %d acknowledged writes", total)
+	convergeDeadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(convergeDeadline) {
+		if c.converged() {
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if !c.converged() {
+		for n, s := range c.servers {
+			ci, la := s.CommitInfo()
+			t.Logf("%s commit=%d applied=%d", n, ci, la)
+		}
+		t.Fatal("replicas did not converge after healing")
+	}
+
+	// Durability: every acknowledged write is in every store.
+	for _, s := range c.servers {
+		store := s.Store()
+		for _, a := range acks {
+			r := store.Apply(kv.Command{Op: kv.OpGet, Key: a.key})
+			if !r.Found || r.Value[0] != a.val {
+				t.Fatalf("%s lost acknowledged write %s", s.cfg.ID, a.key)
+			}
+		}
+	}
+	// State machines identical in size.
+	sizes := map[int]bool{}
+	for _, s := range c.servers {
+		sizes[s.Store().Len()] = true
+	}
+	if len(sizes) != 1 {
+		t.Fatalf("replica store sizes diverge: %v", sizes)
+	}
+}
+
+// converged reports whether all servers applied the same index.
+func (c *cluster) converged() bool {
+	var want uint64
+	first := true
+	for _, s := range c.servers {
+		ci, la := s.CommitInfo()
+		if la != ci {
+			return false
+		}
+		if first {
+			want = la
+			first = false
+		} else if la != want {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,85 @@
+package raft
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"depfast/internal/core"
+	"depfast/internal/failslow"
+)
+
+// TestPeerDetectorFindsSlowFollower runs a cluster with the RPC-level
+// fail-slow detector enabled: after traffic flows through a
+// network-slow follower, the leader's detector must name exactly that
+// peer — without any human printf-debugging, which is the paper's §5
+// point about building failure detectors on the framework's trace
+// points.
+func TestPeerDetectorFindsSlowFollower(t *testing.T) {
+	c := newCluster(t, clusterOpts{n: 3, mutate: func(cfg *Config) {
+		cfg.PeerDetector = true
+	}})
+	leader := c.waitLeader()
+	var follower string
+	for _, n := range c.names {
+		if n != leader {
+			follower = n
+			break
+		}
+	}
+	in := failslow.DefaultIntensity()
+	in.NetDelay = 40 * time.Millisecond
+	failslow.Apply(c.envs[follower], failslow.NetSlow, in)
+
+	cl := c.client(950)
+	c.onClient(func(co *core.Coroutine) {
+		for i := 0; i < 60; i++ {
+			if err := cl.Put(co, fmt.Sprintf("det%d", i), []byte("v")); err != nil {
+				t.Errorf("put: %v", err)
+				return
+			}
+		}
+	})
+	// Give the slow follower's late replies time to arrive and be
+	// observed.
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		suspects := c.servers[leader].Detector().Suspects()
+		if len(suspects) == 1 && suspects[0] == follower {
+			return
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Fatalf("detector suspects = %v, want [%s]\n%s",
+		c.servers[leader].Detector().Suspects(), follower,
+		renderStats(c, leader))
+}
+
+func renderStats(c *cluster, leader string) string {
+	stats := c.servers[leader].Detector().Stats()
+	out := ""
+	for _, s := range stats {
+		out += fmt.Sprintf("%s ewma=%v samples=%d suspect=%v\n",
+			s.Peer, s.EWMA, s.Samples, s.Suspect)
+	}
+	return out
+}
+
+func TestPeerDetectorQuietOnHealthyCluster(t *testing.T) {
+	c := newCluster(t, clusterOpts{n: 3, mutate: func(cfg *Config) {
+		cfg.PeerDetector = true
+	}})
+	leader := c.waitLeader()
+	cl := c.client(951)
+	c.onClient(func(co *core.Coroutine) {
+		for i := 0; i < 40; i++ {
+			if err := cl.Put(co, fmt.Sprintf("h%d", i), []byte("v")); err != nil {
+				t.Errorf("put: %v", err)
+				return
+			}
+		}
+	})
+	if s := c.servers[leader].Detector().Suspects(); len(s) != 0 {
+		t.Fatalf("healthy cluster suspects = %v\n%s", s, renderStats(c, leader))
+	}
+}

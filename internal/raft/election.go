@@ -1,0 +1,231 @@
+package raft
+
+import (
+	"time"
+
+	"depfast/internal/codec"
+	"depfast/internal/core"
+)
+
+// electionTicker is the long-lived coroutine that watches for leader
+// silence and campaigns. With the slow-leader detector enabled it also
+// campaigns when heartbeats still arrive but their cadence shows the
+// leader is fail-slow (§5: demote a fail-slow leader to a fail-slow
+// follower, which DepFastRaft tolerates).
+func (s *Server) electionTicker(co *core.Coroutine) {
+	for !s.stopped {
+		timeout := s.electionTimeout()
+		if err := co.Sleep(timeout); err != nil {
+			return
+		}
+		if s.stopped {
+			return
+		}
+		if s.role == Leader {
+			continue
+		}
+		silent := time.Since(s.lastHeartbeat) >= timeout
+		slow := s.cfg.SlowLeaderDetector && s.leaderSeemsSlow()
+		if silent || slow {
+			s.campaign(co)
+		}
+	}
+}
+
+// leaderSeemsSlow reports whether the leader looks fail-slow from
+// this follower: either the heartbeat cadence is stretched (gap EWMA)
+// or heartbeats arrive steadily but long after they were sent
+// (propagation-delay EWMA — a pipelined slow NIC keeps the cadence).
+func (s *Server) leaderSeemsSlow() bool {
+	if s.cfg.HeartbeatInterval == 0 {
+		return false
+	}
+	limit := time.Duration(float64(s.cfg.HeartbeatInterval) * s.cfg.SlowLeaderThreshold)
+	if s.hbGapEWMA > limit {
+		return true
+	}
+	return s.hbDelayEWMA > limit
+}
+
+// observeHeartbeatDelay folds a measured heartbeat propagation delay
+// into the detector EWMA.
+func (s *Server) observeHeartbeatDelay(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	if s.hbDelayEWMA == 0 {
+		s.hbDelayEWMA = d
+	} else {
+		s.hbDelayEWMA = (s.hbDelayEWMA*7 + d) / 8
+	}
+}
+
+// observeHeartbeat folds a heartbeat arrival into the detector EWMA.
+func (s *Server) observeHeartbeat() {
+	now := time.Now()
+	gap := now.Sub(s.lastHeartbeat)
+	s.lastHeartbeat = now
+	if s.hbGapEWMA == 0 {
+		s.hbGapEWMA = gap
+	} else {
+		s.hbGapEWMA = (s.hbGapEWMA*7 + gap) / 8
+	}
+}
+
+// campaign runs one election round in DepFast style: a single
+// QuorumEvent over all vote RPCs, no per-peer waits. With PreVote
+// enabled a probe round must succeed before any term is bumped.
+func (s *Server) campaign(co *core.Coroutine) {
+	if s.cfg.PreVote && !s.preVote(co) {
+		return
+	}
+	s.term++
+	s.role = Candidate
+	s.votedFor = s.cfg.ID
+	s.Elections.Inc()
+	term := s.term
+	s.publish()
+	s.persistState()
+
+	// Persist term+vote before soliciting (simulated metadata fsync).
+	persist := s.disk.WriteAsync(16, nil)
+	if err := co.Wait(persist); err != nil {
+		return
+	}
+	if s.term != term || s.role != Candidate {
+		return // superseded while persisting
+	}
+
+	lastIdx := s.wal.LastIndex()
+	lastTerm := s.termOf(lastIdx)
+	q := core.NewQuorumEvent(len(s.cfg.Peers), s.majority())
+	q.AddAck() // own vote
+	for _, p := range s.others() {
+		ev := s.ep.Call(p, &RequestVote{
+			Term:         term,
+			Candidate:    s.cfg.ID,
+			LastLogIndex: lastIdx,
+			LastLogTerm:  lastTerm,
+		})
+		q.AddJudged(ev, func(v interface{}, err error) bool {
+			if err != nil {
+				return false
+			}
+			reply, ok := v.(*RequestVoteReply)
+			if !ok {
+				return false
+			}
+			if reply.Term > s.term {
+				s.stepDown(reply.Term, "")
+				return false
+			}
+			return reply.Granted
+		})
+	}
+	out := co.WaitQuorum(q, s.electionTimeout())
+	if out != core.QuorumOK || s.role != Candidate || s.term != term {
+		if s.role == Candidate && s.term == term {
+			s.role = Follower
+			s.publish()
+		}
+		return
+	}
+	s.becomeLeader(co, term)
+}
+
+// becomeLeader initializes leader state and spawns the leader
+// coroutines for this term.
+func (s *Server) becomeLeader(co *core.Coroutine, term uint64) {
+	s.role = Leader
+	s.leaderHint = s.cfg.ID
+	last := s.wal.LastIndex()
+	for _, p := range s.others() {
+		s.nextIndex[p] = last + 1
+		s.matchIndex[p] = 0
+	}
+	s.publish()
+
+	s.rt.Spawn("heartbeat", func(hc *core.Coroutine) { s.heartbeatLoop(hc, term) })
+	if s.cfg.BatchProposals {
+		s.rt.Spawn("committer", func(cc *core.Coroutine) { s.committerLoop(cc, term) })
+	}
+	for _, p := range s.others() {
+		p := p
+		s.rt.Spawn("repair-"+p, func(rc *core.Coroutine) { s.repairLoop(rc, p, term) })
+	}
+	// Commit a no-op barrier so entries from prior terms become
+	// committable (Raft §5.4.2).
+	s.rt.Spawn("noop-barrier", func(nc *core.Coroutine) {
+		_, _, _ = s.propose(nc, nil)
+	})
+}
+
+// preVote probes whether an election could succeed, without touching
+// any term or vote state anywhere. True means proceed to a real
+// campaign.
+func (s *Server) preVote(co *core.Coroutine) bool {
+	term := s.term
+	lastIdx := s.wal.LastIndex()
+	q := core.NewQuorumEvent(len(s.cfg.Peers), s.majority())
+	q.AddAck() // would vote for self
+	for _, p := range s.others() {
+		ev := s.ep.Call(p, &RequestVote{
+			Term:         term + 1,
+			Candidate:    s.cfg.ID,
+			LastLogIndex: lastIdx,
+			LastLogTerm:  s.termOf(lastIdx),
+			PreVote:      true,
+		})
+		q.AddJudged(ev, func(v interface{}, err error) bool {
+			if err != nil {
+				return false
+			}
+			reply, ok := v.(*RequestVoteReply)
+			return ok && reply.Granted
+		})
+	}
+	out := co.WaitQuorum(q, s.electionTimeout())
+	return out == core.QuorumOK && s.role != Leader && s.term == term
+}
+
+// handleRequestVote services a vote solicitation.
+func (s *Server) handleRequestVote(co *core.Coroutine, from string, req codec.Message) codec.Message {
+	m := req.(*RequestVote)
+	s.e.Compute(s.cfg.FollowerComputePerOp)
+	if m.Term < s.term {
+		return &RequestVoteReply{Term: s.term, Granted: false}
+	}
+	// Leader stickiness: a node that heard from a live leader within
+	// the minimum election timeout refuses to participate, preventing
+	// a flapping node from disrupting a healthy group. The protection
+	// is withdrawn when this voter itself observes the leader as
+	// fail-slow — that is exactly the election the §5 mitigation wants.
+	if !m.Transfer && m.Candidate != s.cfg.ID &&
+		time.Since(s.lastHeartbeat) < s.cfg.ElectionTimeoutMin &&
+		s.leaderHint != "" && s.leaderHint != m.Candidate &&
+		!(s.cfg.SlowLeaderDetector && s.leaderSeemsSlow()) {
+		return &RequestVoteReply{Term: s.term, Granted: false}
+	}
+	if m.PreVote {
+		upToDate := m.LastLogTerm > s.termOf(s.wal.LastIndex()) ||
+			(m.LastLogTerm == s.termOf(s.wal.LastIndex()) && m.LastLogIndex >= s.wal.LastIndex())
+		return &RequestVoteReply{Term: s.term, Granted: upToDate}
+	}
+	if m.Term > s.term {
+		s.stepDown(m.Term, "")
+	}
+	upToDate := m.LastLogTerm > s.termOf(s.wal.LastIndex()) ||
+		(m.LastLogTerm == s.termOf(s.wal.LastIndex()) && m.LastLogIndex >= s.wal.LastIndex())
+	granted := (s.votedFor == "" || s.votedFor == m.Candidate) && upToDate
+	if granted {
+		s.votedFor = m.Candidate
+		s.lastHeartbeat = time.Now() // granting a vote resets the timer
+		s.persistState()
+		persist := s.disk.WriteAsync(16, nil)
+		if err := co.Wait(persist); err != nil {
+			return &RequestVoteReply{Term: s.term, Granted: false}
+		}
+	}
+	s.publish()
+	return &RequestVoteReply{Term: s.term, Granted: granted}
+}

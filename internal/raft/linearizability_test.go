@@ -1,0 +1,137 @@
+package raft
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"depfast/internal/core"
+)
+
+// testMonotonicReads has one writer incrementing a register while
+// readers continuously poll it, asserting two linearizability
+// consequences:
+//
+//  1. reads never go backwards (monotonic),
+//  2. a read never returns a value the writer has not yet had
+//     acknowledged (no reads from the future).
+//
+// Exercised with and without the ReadIndex optimization, and with a
+// leader partition injected mid-run to force churn.
+func testMonotonicReads(t *testing.T, readIndex bool) {
+	t.Helper()
+	c := newCluster(t, clusterOpts{n: 3, mutate: func(cfg *Config) {
+		cfg.ReadIndex = readIndex
+	}})
+	leader := c.waitLeader()
+
+	var maxAcked atomic.Int64 // highest writer-acknowledged value
+	writerDone := make(chan int64, 1)
+	readerDone := make(chan error, 2)
+	stop := make(chan struct{})
+
+	enc := func(v int64) []byte {
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], uint64(v))
+		return b[:]
+	}
+	dec := func(b []byte) int64 {
+		if len(b) != 8 {
+			return -1
+		}
+		return int64(binary.LittleEndian.Uint64(b))
+	}
+
+	wcl := c.client(300)
+	c.clientRT.Spawn("writer", func(co *core.Coroutine) {
+		var v int64
+		for {
+			select {
+			case <-stop:
+				writerDone <- v
+				return
+			default:
+			}
+			next := v + 1
+			if err := wcl.Put(co, "register", enc(next)); err == nil {
+				v = next
+				maxAcked.Store(v)
+			}
+		}
+	})
+	for r := 0; r < 2; r++ {
+		rcl := c.client(uint64(310 + r))
+		c.clientRT.Spawn("reader", func(co *core.Coroutine) {
+			var last int64
+			for {
+				select {
+				case <-stop:
+					readerDone <- nil
+					return
+				default:
+				}
+				val, found, err := rcl.Get(co, "register")
+				if err != nil {
+					continue
+				}
+				if !found {
+					continue
+				}
+				got := dec(val)
+				if got < last {
+					readerDone <- errorf("read went backwards: %d after %d", got, last)
+					return
+				}
+				// A read may race one in-flight write, but never more:
+				// it cannot exceed acked+1.
+				if got > maxAcked.Load()+1 {
+					readerDone <- errorf("read from the future: %d > acked %d", got, maxAcked.Load())
+					return
+				}
+				last = got
+			}
+		})
+	}
+
+	// Let it run, then partition the leader to force churn.
+	time.Sleep(700 * time.Millisecond)
+	for _, n := range c.names {
+		if n != leader {
+			c.net.SetLinkDown(leader, n, true)
+		}
+	}
+	time.Sleep(700 * time.Millisecond)
+	for _, n := range c.names {
+		c.net.SetLinkDown(leader, n, false)
+	}
+	time.Sleep(700 * time.Millisecond)
+	close(stop)
+
+	select {
+	case final := <-writerDone:
+		if final < 10 {
+			t.Errorf("writer made little progress: %d", final)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("writer hung")
+	}
+	for r := 0; r < 2; r++ {
+		select {
+		case err := <-readerDone:
+			if err != nil {
+				t.Fatal(err)
+			}
+		case <-time.After(30 * time.Second):
+			t.Fatal("reader hung")
+		}
+	}
+}
+
+func errorf(format string, args ...interface{}) error {
+	return fmt.Errorf(format, args...)
+}
+
+func TestMonotonicReadsLogPath(t *testing.T)   { testMonotonicReads(t, false) }
+func TestMonotonicReadsReadIndex(t *testing.T) { testMonotonicReads(t, true) }

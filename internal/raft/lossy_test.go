@@ -1,0 +1,49 @@
+package raft
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"depfast/internal/core"
+)
+
+// TestLossyNetwork runs the cluster with 5% message loss on every
+// node: retries, repair, and quorum waits must still commit every
+// acknowledged write and converge.
+func TestLossyNetwork(t *testing.T) {
+	c := newCluster(t, clusterOpts{n: 3})
+	c.waitLeader()
+	for _, n := range c.names {
+		c.net.SetLossRate(n, 0.05)
+	}
+	cl := c.client(970)
+	c.onClient(func(co *core.Coroutine) {
+		for i := 0; i < 30; i++ {
+			if err := cl.Put(co, fmt.Sprintf("lossy%d", i), []byte("v")); err != nil {
+				t.Errorf("put %d: %v", i, err)
+				return
+			}
+		}
+	})
+	for _, n := range c.names {
+		c.net.SetLossRate(n, 0)
+	}
+	// All replicas converge after loss clears.
+	deadline := time.Now().Add(20 * time.Second)
+	for time.Now().Before(deadline) {
+		if c.converged() {
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if !c.converged() {
+		t.Fatal("no convergence after lossy run")
+	}
+	c.onClient(func(co *core.Coroutine) {
+		v, found, err := cl.Get(co, "lossy29")
+		if err != nil || !found || string(v) != "v" {
+			t.Errorf("read-back: %q %v %v", v, found, err)
+		}
+	})
+}

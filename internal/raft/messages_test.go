@@ -1,0 +1,72 @@
+package raft
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"depfast/internal/codec"
+	"depfast/internal/storage"
+)
+
+func TestRequestVoteRoundTrip(t *testing.T) {
+	f := func(term, lli, llt uint64, cand string, pre, xfer bool) bool {
+		in := &RequestVote{Term: term, Candidate: cand, LastLogIndex: lli,
+			LastLogTerm: llt, PreVote: pre, Transfer: xfer}
+		out, err := codec.Unmarshal(codec.Marshal(in))
+		if err != nil {
+			return false
+		}
+		got := out.(*RequestVote)
+		return *got == *in
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAppendEntriesRoundTrip(t *testing.T) {
+	in := &AppendEntries{
+		Term: 3, Leader: "s1", PrevLogIndex: 9, PrevLogTerm: 2,
+		Entries: []storage.Entry{
+			{Index: 10, Term: 3, Data: []byte("a")},
+			{Index: 11, Term: 3, Data: nil},
+		},
+		LeaderCommit: 8,
+	}
+	out, err := codec.Unmarshal(codec.Marshal(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.(*AppendEntries)
+	if got.Term != 3 || got.Leader != "s1" || got.PrevLogIndex != 9 ||
+		len(got.Entries) != 2 || got.Entries[0].Index != 10 ||
+		!bytes.Equal(got.Entries[0].Data, []byte("a")) || got.LeaderCommit != 8 {
+		t.Fatalf("round trip = %+v", got)
+	}
+}
+
+func TestAppendEntriesEmptyHeartbeat(t *testing.T) {
+	in := &AppendEntries{Term: 1, Leader: "s1", LeaderCommit: 5}
+	out, err := codec.Unmarshal(codec.Marshal(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := out.(*AppendEntries); len(got.Entries) != 0 || got.LeaderCommit != 5 {
+		t.Fatalf("heartbeat = %+v", got)
+	}
+}
+
+func TestAppendEntriesReplyRoundTrip(t *testing.T) {
+	f := func(term, last uint64, ok bool, from string) bool {
+		in := &AppendEntriesReply{Term: term, Success: ok, LastIndex: last, From: from}
+		out, err := codec.Unmarshal(codec.Marshal(in))
+		if err != nil {
+			return false
+		}
+		return *(out.(*AppendEntriesReply)) == *in
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

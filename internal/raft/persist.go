@@ -1,0 +1,102 @@
+package raft
+
+import (
+	"fmt"
+
+	"depfast/internal/core"
+	"depfast/internal/env"
+	"depfast/internal/storage"
+	"depfast/internal/transport"
+)
+
+// RecoverServer builds a server whose durable state is restored from
+// cfg.Persister (which must be set). Use it instead of NewServer when
+// restarting a real deployment; a fresh directory behaves like a
+// fresh server.
+func RecoverServer(cfg Config, e *env.Env, tr transport.Transport, opts ...core.Option) (*Server, error) {
+	if cfg.Persister == nil {
+		return nil, fmt.Errorf("raft: RecoverServer requires cfg.Persister")
+	}
+	st, err := cfg.Persister.Load()
+	if err != nil {
+		return nil, fmt.Errorf("raft: recover %s: %w", cfg.ID, err)
+	}
+	s := NewServer(cfg, e, tr, opts...)
+	done := make(chan error, 1)
+	s.rt.Post(func() { done <- s.installRecovered(st) })
+	if err := <-done; err != nil {
+		s.Stop()
+		return nil, err
+	}
+	return s, nil
+}
+
+// installRecovered applies persisted state; runs under the baton.
+func (s *Server) installRecovered(st storage.PersistedState) error {
+	s.term = st.Term
+	s.votedFor = st.VotedFor
+	if st.Snapshot != nil {
+		if err := s.sm.Restore(st.Snapshot); err != nil {
+			return fmt.Errorf("raft: restore snapshot: %w", err)
+		}
+		s.snapIndex = st.SnapIndex
+		s.snapTermVal = st.SnapTerm
+		s.snapData = st.Snapshot
+		s.wal.ResetTo(st.SnapIndex + 1)
+		s.commitIndex = st.SnapIndex
+		s.lastApplied = st.SnapIndex
+	}
+	if err := s.wal.LoadEntries(st.Entries); err != nil {
+		return err
+	}
+	for _, en := range st.Entries {
+		s.cache.Put(en)
+	}
+	s.publish()
+	return nil
+}
+
+// persistAppend durably appends entries when a persister is attached.
+// Failures panic: continuing without durability would violate Raft's
+// safety argument, exactly like a real server losing its disk.
+func (s *Server) persistAppend(entries []storage.Entry) {
+	if s.cfg.Persister == nil {
+		return
+	}
+	if err := s.cfg.Persister.AppendEntries(entries); err != nil {
+		panic(fmt.Sprintf("raft %s: persist append: %v", s.cfg.ID, err))
+	}
+}
+
+// persistTruncate durably records a suffix truncation.
+func (s *Server) persistTruncate(idx uint64) {
+	if s.cfg.Persister == nil {
+		return
+	}
+	if err := s.cfg.Persister.TruncateFrom(idx); err != nil {
+		panic(fmt.Sprintf("raft %s: persist truncate: %v", s.cfg.ID, err))
+	}
+}
+
+// persistState durably records the current term and vote.
+func (s *Server) persistState() {
+	if s.cfg.Persister == nil {
+		return
+	}
+	if err := s.cfg.Persister.SaveState(s.term, s.votedFor); err != nil {
+		panic(fmt.Sprintf("raft %s: persist state: %v", s.cfg.ID, err))
+	}
+}
+
+// persistSnapshot durably records a snapshot and compacts the log.
+func (s *Server) persistSnapshot(index, term uint64, data []byte) {
+	if s.cfg.Persister == nil {
+		return
+	}
+	if err := s.cfg.Persister.SaveSnapshot(index, term, data); err != nil {
+		panic(fmt.Sprintf("raft %s: persist snapshot: %v", s.cfg.ID, err))
+	}
+	if err := s.cfg.Persister.CompactTo(index + 1); err != nil {
+		panic(fmt.Sprintf("raft %s: persist compact: %v", s.cfg.ID, err))
+	}
+}

@@ -1,0 +1,664 @@
+package raft
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"depfast/internal/core"
+	"depfast/internal/env"
+	"depfast/internal/failslow"
+	"depfast/internal/kv"
+	"depfast/internal/rpc"
+	"depfast/internal/trace"
+	"depfast/internal/transport"
+)
+
+// cluster is an in-process Raft deployment for tests.
+type cluster struct {
+	t       *testing.T
+	net     *transport.Network
+	names   []string
+	servers map[string]*Server
+	envs    map[string]*env.Env
+
+	clientRT *core.Runtime
+	clientEP *rpc.Endpoint
+
+	collector *trace.Collector
+}
+
+// clusterOpts tunes cluster construction.
+type clusterOpts struct {
+	n       int
+	mutate  func(*Config)
+	traced  bool
+	netBase time.Duration
+}
+
+func newCluster(t *testing.T, o clusterOpts) *cluster {
+	t.Helper()
+	if o.n == 0 {
+		o.n = 3
+	}
+	c := &cluster{
+		t:       t,
+		net:     transport.NewNetwork(),
+		servers: make(map[string]*Server),
+		envs:    make(map[string]*env.Env),
+	}
+	if o.traced {
+		c.collector = trace.NewCollector(0)
+	}
+	for i := 1; i <= o.n; i++ {
+		c.names = append(c.names, fmt.Sprintf("s%d", i))
+	}
+	ecfg := env.DefaultConfig()
+	ecfg.NetBase = o.netBase
+	for i, name := range c.names {
+		cfg := DefaultConfig(name, c.names)
+		cfg.ElectionTimeoutMin = 100 * time.Millisecond
+		cfg.ElectionTimeoutMax = 200 * time.Millisecond
+		cfg.HeartbeatInterval = 20 * time.Millisecond
+		cfg.Seed = int64(i+1) * 7919
+		if o.mutate != nil {
+			o.mutate(&cfg)
+		}
+		e := env.New(name, ecfg)
+		var opts []core.Option
+		if c.collector != nil {
+			opts = append(opts, core.WithTracer(c.collector))
+		}
+		s := NewServer(cfg, e, c.net, opts...)
+		c.net.Register(name, e, s.TransportHandler())
+		c.servers[name] = s
+		c.envs[name] = e
+	}
+	// One shared client runtime/endpoint.
+	var copts []core.Option
+	if c.collector != nil {
+		copts = append(copts, core.WithTracer(c.collector))
+	}
+	c.clientRT = core.NewRuntime("client-0", copts...)
+	c.clientEP = rpc.NewEndpoint("client-0", c.clientRT, c.net,
+		rpc.WithCallTimeout(2*time.Second))
+	c.net.Register("client-0", env.New("client-0", ecfg), c.clientEP.TransportHandler())
+
+	for _, s := range c.servers {
+		s.Start()
+	}
+	t.Cleanup(c.stop)
+	return c
+}
+
+func (c *cluster) stop() {
+	for _, s := range c.servers {
+		s.Stop()
+	}
+	c.clientEP.Close()
+	c.clientRT.Stop()
+	c.net.Close()
+}
+
+// waitLeader blocks until exactly one leader is established and a
+// majority agrees on it; returns its name.
+func (c *cluster) waitLeader() string {
+	c.t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		counts := map[string]int{}
+		var leader string
+		for _, s := range c.servers {
+			_, role, hint := s.Status()
+			if role == Leader {
+				leader = s.cfg.ID
+			}
+			if hint != "" {
+				counts[hint]++
+			}
+		}
+		if leader != "" && counts[leader] >= len(c.names)/2+1 {
+			return leader
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	c.t.Fatal("no leader elected within 15s")
+	return ""
+}
+
+// client returns a fresh client with the given id.
+func (c *cluster) client(id uint64) *Client {
+	return NewClient(id, c.clientEP, c.names, 2*time.Second)
+}
+
+// onClient runs fn on the client runtime and waits.
+func (c *cluster) onClient(fn func(co *core.Coroutine)) {
+	c.t.Helper()
+	done := make(chan struct{})
+	c.clientRT.Spawn("test-client", func(co *core.Coroutine) {
+		defer close(done)
+		fn(co)
+	})
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		c.t.Fatal("client coroutine timed out")
+	}
+}
+
+func TestElectLeader(t *testing.T) {
+	c := newCluster(t, clusterOpts{n: 3})
+	leader := c.waitLeader()
+	if leader == "" {
+		t.Fatal("no leader")
+	}
+	// Terms must agree across a majority.
+	terms := map[uint64]int{}
+	for _, s := range c.servers {
+		term, _, _ := s.Status()
+		terms[term]++
+	}
+	best := 0
+	for _, n := range terms {
+		if n > best {
+			best = n
+		}
+	}
+	if best < 2 {
+		t.Fatalf("no term agreement: %v", terms)
+	}
+}
+
+func TestPutGet(t *testing.T) {
+	c := newCluster(t, clusterOpts{n: 3})
+	c.waitLeader()
+	cl := c.client(1)
+	c.onClient(func(co *core.Coroutine) {
+		if err := cl.Put(co, "alpha", []byte("1")); err != nil {
+			t.Errorf("put: %v", err)
+			return
+		}
+		v, found, err := cl.Get(co, "alpha")
+		if err != nil || !found || string(v) != "1" {
+			t.Errorf("get = %q %v %v", v, found, err)
+		}
+		_, found, err = cl.Get(co, "missing")
+		if err != nil || found {
+			t.Errorf("get missing = %v %v", found, err)
+		}
+	})
+}
+
+func TestDeleteAndScan(t *testing.T) {
+	c := newCluster(t, clusterOpts{n: 3})
+	c.waitLeader()
+	cl := c.client(2)
+	c.onClient(func(co *core.Coroutine) {
+		for _, k := range []string{"a", "b", "c", "d"} {
+			if err := cl.Put(co, k, []byte(k)); err != nil {
+				t.Errorf("put %s: %v", k, err)
+				return
+			}
+		}
+		found, err := cl.Delete(co, "b")
+		if err != nil || !found {
+			t.Errorf("delete = %v %v", found, err)
+		}
+		pairs, err := cl.Scan(co, "a", 10)
+		if err != nil {
+			t.Errorf("scan: %v", err)
+			return
+		}
+		want := []string{"a", "c", "d"}
+		if len(pairs) != len(want) {
+			t.Errorf("scan = %v", pairs)
+			return
+		}
+		for i, p := range pairs {
+			if p.Key != want[i] {
+				t.Errorf("scan order = %v", pairs)
+			}
+		}
+	})
+}
+
+func TestManySequentialWrites(t *testing.T) {
+	c := newCluster(t, clusterOpts{n: 3})
+	c.waitLeader()
+	cl := c.client(3)
+	c.onClient(func(co *core.Coroutine) {
+		for i := 0; i < 50; i++ {
+			key := fmt.Sprintf("k%03d", i)
+			if err := cl.Put(co, key, []byte{byte(i)}); err != nil {
+				t.Errorf("put %d: %v", i, err)
+				return
+			}
+		}
+		for i := 0; i < 50; i++ {
+			key := fmt.Sprintf("k%03d", i)
+			v, found, err := cl.Get(co, key)
+			if err != nil || !found || !bytes.Equal(v, []byte{byte(i)}) {
+				t.Errorf("get %d = %v %v %v", i, v, found, err)
+				return
+			}
+		}
+	})
+}
+
+func TestConcurrentClients(t *testing.T) {
+	c := newCluster(t, clusterOpts{n: 3})
+	c.waitLeader()
+	const nClients = 8
+	const perClient = 20
+	done := make(chan error, nClients)
+	for i := 0; i < nClients; i++ {
+		id := uint64(i + 10)
+		c.clientRT.Spawn("c", func(co *core.Coroutine) {
+			cl := c.client(id)
+			for j := 0; j < perClient; j++ {
+				key := fmt.Sprintf("c%d-%d", id, j)
+				if err := cl.Put(co, key, []byte("v")); err != nil {
+					done <- err
+					return
+				}
+			}
+			done <- nil
+		})
+	}
+	for i := 0; i < nClients; i++ {
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatalf("client failed: %v", err)
+			}
+		case <-time.After(60 * time.Second):
+			t.Fatal("clients hung")
+		}
+	}
+	// All writes visible.
+	cl := c.client(99)
+	c.onClient(func(co *core.Coroutine) {
+		_, found, err := cl.Get(co, "c10-0")
+		if err != nil || !found {
+			t.Errorf("spot check failed: %v %v", found, err)
+		}
+	})
+}
+
+func TestLogsConvergeAcrossReplicas(t *testing.T) {
+	c := newCluster(t, clusterOpts{n: 3})
+	c.waitLeader()
+	cl := c.client(4)
+	c.onClient(func(co *core.Coroutine) {
+		for i := 0; i < 30; i++ {
+			if err := cl.Put(co, fmt.Sprintf("key%d", i), []byte("x")); err != nil {
+				t.Errorf("put: %v", err)
+				return
+			}
+		}
+	})
+	// Followers apply via heartbeat commit propagation.
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		allCaughtUp := true
+		var commits []uint64
+		for _, s := range c.servers {
+			ci, la := s.CommitInfo()
+			commits = append(commits, ci)
+			if la < 30 {
+				allCaughtUp = false
+			}
+		}
+		_ = commits
+		if allCaughtUp {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	for name, s := range c.servers {
+		_, la := s.CommitInfo()
+		if la < 30 {
+			t.Errorf("%s applied only %d entries", name, la)
+		}
+	}
+}
+
+func TestFollowerPartitionAndRepair(t *testing.T) {
+	c := newCluster(t, clusterOpts{n: 3})
+	leader := c.waitLeader()
+	// Pick one follower to partition.
+	var follower string
+	for _, n := range c.names {
+		if n != leader {
+			follower = n
+			break
+		}
+	}
+	for _, n := range c.names {
+		if n != follower {
+			c.net.SetLinkDown(follower, n, true)
+		}
+	}
+	c.net.SetLinkDown(follower, "client-0", true)
+
+	cl := c.client(5)
+	c.onClient(func(co *core.Coroutine) {
+		for i := 0; i < 20; i++ {
+			if err := cl.Put(co, fmt.Sprintf("p%d", i), []byte("v")); err != nil {
+				t.Errorf("put during partition: %v", err)
+				return
+			}
+		}
+	})
+	// Heal and wait for repair to catch the follower up.
+	for _, n := range c.names {
+		c.net.SetLinkDown(follower, n, false)
+	}
+	c.net.SetLinkDown(follower, "client-0", false)
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		_, la := c.servers[follower].CommitInfo()
+		if la >= 20 {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	_, la := c.servers[follower].CommitInfo()
+	t.Fatalf("partitioned follower only applied %d/20 after heal", la)
+}
+
+func TestLeaderPartitionTriggersReelection(t *testing.T) {
+	c := newCluster(t, clusterOpts{n: 3})
+	old := c.waitLeader()
+	for _, n := range c.names {
+		if n != old {
+			c.net.SetLinkDown(old, n, true)
+		}
+	}
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		for _, n := range c.names {
+			if n == old {
+				continue
+			}
+			_, role, _ := c.servers[n].Status()
+			if role == Leader {
+				// New leader among the majority side.
+				if n == old {
+					t.Fatal("old leader should not lead the majority")
+				}
+				return
+			}
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatal("no re-election after leader partition")
+}
+
+func TestWritesSurviveLeaderChange(t *testing.T) {
+	c := newCluster(t, clusterOpts{n: 3})
+	old := c.waitLeader()
+	cl := c.client(6)
+	c.onClient(func(co *core.Coroutine) {
+		if err := cl.Put(co, "stable", []byte("before")); err != nil {
+			t.Errorf("put: %v", err)
+		}
+	})
+	for _, n := range c.names {
+		if n != old {
+			c.net.SetLinkDown(old, n, true)
+		}
+	}
+	c.net.SetLinkDown(old, "client-0", true)
+	// Wait for a new leader among the rest.
+	deadline := time.Now().Add(15 * time.Second)
+	var newLeader string
+	for newLeader == "" && time.Now().Before(deadline) {
+		for _, n := range c.names {
+			if n == old {
+				continue
+			}
+			if _, role, _ := c.servers[n].Status(); role == Leader {
+				newLeader = n
+			}
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if newLeader == "" {
+		t.Fatal("no new leader")
+	}
+	c.onClient(func(co *core.Coroutine) {
+		v, found, err := cl.Get(co, "stable")
+		if err != nil || !found || string(v) != "before" {
+			t.Errorf("committed write lost after leader change: %q %v %v", v, found, err)
+		}
+		if err := cl.Put(co, "stable", []byte("after")); err != nil {
+			t.Errorf("put after change: %v", err)
+		}
+	})
+}
+
+func TestExactlyOnceAcrossRetries(t *testing.T) {
+	c := newCluster(t, clusterOpts{n: 3})
+	leader := c.waitLeader()
+	cl := c.client(7)
+	c.onClient(func(co *core.Coroutine) {
+		// Simulate a duplicate: send the same seq twice via raw calls
+		// to the actual leader.
+		cl.seq++
+		req := &kv.ClientRequest{ClientID: 7, Seq: cl.seq,
+			Cmd: kv.Command{Op: kv.OpPut, Key: "once", Value: []byte("1")}}
+		for i := 0; i < 2; i++ {
+			ev := c.clientEP.Call(leader, req)
+			if co.WaitFor(ev, 5*time.Second) != core.WaitReady {
+				t.Error("raw call timed out")
+				return
+			}
+			resp, ok := ev.Value().(*kv.ClientResponse)
+			if !ok || !resp.OK {
+				t.Errorf("raw call %d failed: %+v err=%v", i, ev.Value(), ev.Err())
+				return
+			}
+		}
+		// Now a fresh write, then confirm the duplicate didn't double-apply
+		// (observable via the log: both duplicates return OK, state is "1").
+		v, found, err := cl.Get(co, "once")
+		if err != nil || !found || string(v) != "1" {
+			t.Errorf("get = %q %v %v", v, found, err)
+		}
+	})
+}
+
+func TestFailSlowFollowerDoesNotBlockCommits(t *testing.T) {
+	c := newCluster(t, clusterOpts{n: 3})
+	leader := c.waitLeader()
+	var follower string
+	for _, n := range c.names {
+		if n != leader {
+			follower = n
+			break
+		}
+	}
+	// Heavy network slowness on one follower.
+	in := failslow.DefaultIntensity()
+	in.NetDelay = 200 * time.Millisecond
+	failslow.Apply(c.envs[follower], failslow.NetSlow, in)
+
+	cl := c.client(8)
+	start := time.Now()
+	c.onClient(func(co *core.Coroutine) {
+		for i := 0; i < 20; i++ {
+			if err := cl.Put(co, fmt.Sprintf("fs%d", i), []byte("v")); err != nil {
+				t.Errorf("put: %v", err)
+				return
+			}
+		}
+	})
+	el := time.Since(start)
+	// 20 writes with a 200ms-per-message-slow follower must still be
+	// fast because the quorum is leader + healthy follower.
+	if el > 4*time.Second {
+		t.Fatalf("20 writes took %v with one fail-slow follower", el)
+	}
+}
+
+func TestReadIndexServesReads(t *testing.T) {
+	c := newCluster(t, clusterOpts{n: 3, mutate: func(cfg *Config) {
+		cfg.ReadIndex = true
+	}})
+	leader := c.waitLeader()
+	cl := c.client(9)
+	c.onClient(func(co *core.Coroutine) {
+		if err := cl.Put(co, "ri", []byte("x")); err != nil {
+			t.Errorf("put: %v", err)
+			return
+		}
+		v, found, err := cl.Get(co, "ri")
+		if err != nil || !found || string(v) != "x" {
+			t.Errorf("readindex get = %q %v %v", v, found, err)
+		}
+	})
+	if got := c.servers[leader].ReadIndexOps.Value(); got == 0 {
+		t.Error("ReadIndex path not exercised")
+	}
+}
+
+func TestVerifierPassesOnDepFastRaft(t *testing.T) {
+	c := newCluster(t, clusterOpts{n: 3, traced: true})
+	c.waitLeader()
+	cl := c.client(11)
+	c.onClient(func(co *core.Coroutine) {
+		for i := 0; i < 10; i++ {
+			if err := cl.Put(co, fmt.Sprintf("v%d", i), []byte("x")); err != nil {
+				t.Errorf("put: %v", err)
+				return
+			}
+		}
+	})
+	viol := trace.Verify(c.collector.Records(), trace.VerifyConfig{AllowClientPrefix: "client"})
+	if len(viol) != 0 {
+		for i, v := range viol {
+			if i > 5 {
+				break
+			}
+			t.Logf("violation: %s", v)
+		}
+		t.Fatalf("%d verifier violations in DepFastRaft", len(viol))
+	}
+	// And the SPG must contain green intra-quorum edges.
+	g := trace.BuildSPG(c.collector.Records())
+	if len(g.QuorumEdges()) == 0 {
+		t.Fatal("no quorum edges in SPG")
+	}
+}
+
+func TestSlowLeaderDetectorTriggersReelection(t *testing.T) {
+	c := newCluster(t, clusterOpts{n: 3, mutate: func(cfg *Config) {
+		cfg.SlowLeaderDetector = true
+		cfg.SlowLeaderThreshold = 4
+	}})
+	leader := c.waitLeader()
+	// Make the leader fail-slow (heavy CPU fault stretches heartbeat
+	// processing and sending cadence).
+	in := failslow.DefaultIntensity()
+	in.NetDelay = 150 * time.Millisecond
+	failslow.Apply(c.envs[leader], failslow.NetSlow, in)
+
+	deadline := time.Now().Add(20 * time.Second)
+	for time.Now().Before(deadline) {
+		for _, n := range c.names {
+			if n == leader {
+				continue
+			}
+			if _, role, _ := c.servers[n].Status(); role == Leader {
+				return // demoted the slow leader
+			}
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatal("slow-leader detector never triggered re-election")
+}
+
+func TestFiveNodeCluster(t *testing.T) {
+	c := newCluster(t, clusterOpts{n: 5})
+	c.waitLeader()
+	cl := c.client(12)
+	c.onClient(func(co *core.Coroutine) {
+		for i := 0; i < 20; i++ {
+			if err := cl.Put(co, fmt.Sprintf("five%d", i), []byte("v")); err != nil {
+				t.Errorf("put: %v", err)
+				return
+			}
+		}
+		v, found, err := cl.Get(co, "five19")
+		if err != nil || !found || string(v) != "v" {
+			t.Errorf("get = %v %v %v", v, found, err)
+		}
+	})
+}
+
+func TestFiveNodeToleratesTwoSlowFollowers(t *testing.T) {
+	c := newCluster(t, clusterOpts{n: 5})
+	leader := c.waitLeader()
+	slowed := 0
+	in := failslow.DefaultIntensity()
+	in.NetDelay = 150 * time.Millisecond
+	for _, n := range c.names {
+		if n != leader && slowed < 2 {
+			failslow.Apply(c.envs[n], failslow.NetSlow, in)
+			slowed++
+		}
+	}
+	cl := c.client(13)
+	start := time.Now()
+	c.onClient(func(co *core.Coroutine) {
+		for i := 0; i < 15; i++ {
+			if err := cl.Put(co, fmt.Sprintf("2slow%d", i), []byte("v")); err != nil {
+				t.Errorf("put: %v", err)
+				return
+			}
+		}
+	})
+	if el := time.Since(start); el > 4*time.Second {
+		t.Fatalf("15 writes took %v with 2/5 slow followers", el)
+	}
+}
+
+func TestQuorumDiscardBoundsBacklog(t *testing.T) {
+	c := newCluster(t, clusterOpts{n: 3, mutate: func(cfg *Config) {
+		cfg.QuorumDiscard = true
+		cfg.OutboxWindow = 2
+	}})
+	leader := c.waitLeader()
+	var follower string
+	for _, n := range c.names {
+		if n != leader {
+			follower = n
+			break
+		}
+	}
+	in := failslow.DefaultIntensity()
+	in.NetDelay = 100 * time.Millisecond
+	failslow.Apply(c.envs[follower], failslow.NetSlow, in)
+
+	cl := c.client(14)
+	c.onClient(func(co *core.Coroutine) {
+		for i := 0; i < 40; i++ {
+			if err := cl.Put(co, fmt.Sprintf("d%d", i), []byte("v")); err != nil {
+				t.Errorf("put: %v", err)
+				return
+			}
+		}
+	})
+	ob := c.servers[leader].Outbox(follower)
+	if ob == nil {
+		t.Fatal("no outbox")
+	}
+	if ob.Discards.Value() == 0 {
+		t.Error("expected quorum-aware discards toward the slow follower")
+	}
+	if ob.QueueLen() > 8 {
+		t.Errorf("backlog = %d despite discard", ob.QueueLen())
+	}
+}

@@ -1,0 +1,377 @@
+package raft
+
+import (
+	"errors"
+	"time"
+
+	"depfast/internal/codec"
+	"depfast/internal/core"
+	"depfast/internal/kv"
+	"depfast/internal/storage"
+)
+
+// Proposal errors surfaced to clients.
+var (
+	ErrNotLeader     = errors.New("raft: not leader")
+	ErrCommitTimeout = errors.New("raft: commit quorum timeout")
+	ErrDeposed       = errors.New("raft: leadership lost during commit")
+	ErrStopping      = errors.New("raft: server stopping")
+)
+
+// propose appends data as a new log entry and replicates it in the
+// paper's DepFastRaft pattern: one QuorumEvent spanning the local
+// fsync and every follower's AppendEntries, a single quorum wait, and
+// quorum-aware backlog discard afterwards. Returns the entry index.
+func (s *Server) propose(co *core.Coroutine, data []byte) (uint64, kv.Result, error) {
+	if s.role != Leader {
+		return 0, kv.Result{}, ErrNotLeader
+	}
+	s.Proposals.Inc()
+	term := s.term
+	idx := s.wal.LastIndex() + 1
+	entry := storage.Entry{Index: idx, Term: term, Data: data}
+	fsync, err := s.wal.Append([]storage.Entry{entry})
+	if err != nil {
+		return 0, kv.Result{}, err
+	}
+	s.cache.Put(entry)
+	s.persistAppend([]storage.Entry{entry})
+
+	q := core.NewQuorumEvent(len(s.cfg.Peers), s.majority())
+	q.AddJudged(fsync, nil) // the leader's own durable append is one ack
+	prevTerm := s.termOf(idx - 1)
+	for _, p := range s.others() {
+		p := p
+		ae := &AppendEntries{
+			Term:         term,
+			Leader:       s.cfg.ID,
+			PrevLogIndex: idx - 1,
+			PrevLogTerm:  prevTerm,
+			Entries:      []storage.Entry{entry},
+			LeaderCommit: s.commitIndex,
+		}
+		ev := core.NewResultEvent("rpc", p)
+		q.AddJudged(ev, s.appendJudge(p, idx, term))
+		s.outboxes[p].Send(ae, ev, int64(idx))
+	}
+
+	switch co.WaitQuorum(q, s.cfg.CommitTimeout) {
+	case core.QuorumOK:
+	case core.QuorumStopped:
+		return 0, kv.Result{}, ErrStopping
+	case core.QuorumRejected:
+		return 0, kv.Result{}, ErrDeposed
+	default:
+		return 0, kv.Result{}, ErrCommitTimeout
+	}
+	if s.role != Leader || s.term != term {
+		return 0, kv.Result{}, ErrDeposed
+	}
+
+	// Quorum met: the framework may discard backlog still queued for
+	// stragglers; repair catches them up later from the log.
+	if s.cfg.QuorumDiscard {
+		for _, p := range s.others() {
+			if s.matchIndex[p] < idx {
+				s.outboxes[p].CancelBelow(int64(idx))
+			}
+		}
+	}
+
+	s.advanceCommit(idx)
+	res, _ := s.takeResult(idx)
+	return idx, res, nil
+}
+
+// appendJudge classifies one follower's AppendEntries outcome and
+// folds its progress into leader bookkeeping. Judges run under the
+// baton when the reply event fires.
+func (s *Server) appendJudge(p string, idx, term uint64) func(interface{}, error) bool {
+	return func(v interface{}, err error) bool {
+		if err != nil {
+			return false // timeout / discard / overflow: no ack
+		}
+		reply, ok := v.(*AppendEntriesReply)
+		if !ok {
+			return false
+		}
+		if reply.Term > s.term {
+			s.stepDown(reply.Term, "")
+			return false
+		}
+		if s.role != Leader || s.term != term {
+			return false
+		}
+		if reply.Success {
+			s.noteProgress(p, reply.LastIndex)
+			return reply.LastIndex >= idx
+		}
+		// Log mismatch: back nextIndex up to the follower's hint.
+		if n := reply.LastIndex + 1; n < s.nextIndex[p] {
+			s.nextIndex[p] = n
+		} else if s.nextIndex[p] > 1 {
+			s.nextIndex[p]--
+		}
+		return false
+	}
+}
+
+// noteProgress advances matchIndex/nextIndex for p.
+func (s *Server) noteProgress(p string, lastIndex uint64) {
+	if lastIndex > s.matchIndex[p] {
+		s.matchIndex[p] = lastIndex
+	}
+	if lastIndex+1 > s.nextIndex[p] {
+		s.nextIndex[p] = lastIndex + 1
+	}
+}
+
+// handleClientRequest services one client command on the leader.
+func (s *Server) handleClientRequest(co *core.Coroutine, from string, req codec.Message) codec.Message {
+	m := req.(*kv.ClientRequest)
+	if s.role != Leader {
+		return &kv.ClientResponse{NotLeader: true, LeaderHint: s.leaderHint, Err: ErrNotLeader.Error()}
+	}
+	s.e.Compute(s.cfg.LeaderComputePerOp)
+
+	if s.cfg.ReadIndex && m.Cmd.Op == kv.OpGet {
+		return s.readIndex(co, m)
+	}
+	if s.cfg.BatchProposals {
+		return s.enqueueProposal(co, m)
+	}
+
+	_, res, err := s.propose(co, codec.Marshal(m))
+	if err != nil {
+		return &kv.ClientResponse{OK: false, NotLeader: errors.Is(err, ErrNotLeader) || errors.Is(err, ErrDeposed),
+			LeaderHint: s.leaderHint, Err: err.Error()}
+	}
+	return &kv.ClientResponse{OK: true, Found: res.Found, Value: res.Value, Pairs: res.Pairs}
+}
+
+// readIndex serves a linearizable read without a log entry: confirm
+// leadership with a heartbeat quorum, wait for the state machine to
+// reach the read index, then read locally. The leadership check is —
+// again — a QuorumEvent, so a slow follower cannot delay reads.
+func (s *Server) readIndex(co *core.Coroutine, m *kv.ClientRequest) codec.Message {
+	s.ReadIndexOps.Inc()
+	term := s.term
+	readIdx := s.commitIndex
+	q := core.NewQuorumEvent(len(s.cfg.Peers), s.majority())
+	q.AddAck() // self
+	for _, p := range s.others() {
+		ae := &AppendEntries{
+			Term:         term,
+			Leader:       s.cfg.ID,
+			PrevLogIndex: s.nextIndex[p] - 1,
+			PrevLogTerm:  s.termOf(s.nextIndex[p] - 1),
+			LeaderCommit: s.commitIndex,
+		}
+		ev := s.ep.Call(p, ae)
+		q.AddJudged(ev, s.appendJudge(p, 0, term))
+	}
+	if out := co.WaitQuorum(q, s.cfg.CommitTimeout); out != core.QuorumOK {
+		return &kv.ClientResponse{OK: false, Err: "readindex: lost quorum"}
+	}
+	if s.role != Leader || s.term != term {
+		return &kv.ClientResponse{OK: false, NotLeader: true, LeaderHint: s.leaderHint, Err: ErrDeposed.Error()}
+	}
+	if s.lastApplied < readIdx {
+		sig := core.NewSignalEvent()
+		s.appliedWaiters = append(s.appliedWaiters, appliedWaiter{idx: readIdx, sig: sig})
+		if co.WaitFor(sig, s.cfg.CommitTimeout) != core.WaitReady {
+			return &kv.ClientResponse{OK: false, Err: "readindex: apply lag"}
+		}
+	}
+	res := s.sm.Store().Apply(m.Cmd)
+	return &kv.ClientResponse{OK: true, Found: res.Found, Value: res.Value, Pairs: res.Pairs}
+}
+
+// handleAppendEntries services replication and heartbeats on a
+// follower.
+func (s *Server) handleAppendEntries(co *core.Coroutine, from string, req codec.Message) codec.Message {
+	m := req.(*AppendEntries)
+	s.e.Compute(s.cfg.FollowerComputePerOp)
+	if m.Term < s.term {
+		return &AppendEntriesReply{Term: s.term, Success: false, LastIndex: s.wal.LastIndex(), From: s.cfg.ID}
+	}
+	if m.Term > s.term || s.role != Follower {
+		s.stepDown(m.Term, m.Leader)
+	}
+	s.leaderHint = m.Leader
+	s.observeHeartbeat()
+	if m.SentAtNs > 0 {
+		s.observeHeartbeatDelay(time.Duration(time.Now().UnixNano() - m.SentAtNs))
+	}
+
+	// Entries already covered by our snapshot are dropped up front.
+	if !s.trimSnapshotCovered(m) {
+		return &AppendEntriesReply{Term: s.term, Success: true, LastIndex: s.wal.LastIndex(), From: s.cfg.ID}
+	}
+
+	// Consistency check on the previous entry.
+	if m.PrevLogIndex > 0 {
+		if m.PrevLogIndex > s.wal.LastIndex() || s.termOf(m.PrevLogIndex) != m.PrevLogTerm {
+			hint := s.wal.LastIndex()
+			if m.PrevLogIndex-1 < hint {
+				hint = m.PrevLogIndex - 1
+			}
+			return &AppendEntriesReply{Term: s.term, Success: false, LastIndex: hint, From: s.cfg.ID}
+		}
+	}
+
+	// Skip entries already present with matching terms; truncate on
+	// conflict; append the remainder durably before acking.
+	toAppend := m.Entries
+	for len(toAppend) > 0 {
+		e0 := toAppend[0]
+		existing, ok := s.wal.Entry(e0.Index)
+		if !ok {
+			break
+		}
+		if existing.Term != e0.Term {
+			s.wal.TruncateFrom(e0.Index)
+			s.cache.TruncateFrom(e0.Index)
+			break
+		}
+		toAppend = toAppend[1:]
+	}
+	if len(toAppend) > 0 {
+		if toAppend[0].Index <= s.wal.LastIndex() {
+			s.wal.TruncateFrom(toAppend[0].Index)
+			s.cache.TruncateFrom(toAppend[0].Index)
+			s.persistTruncate(toAppend[0].Index)
+		}
+		fsync, err := s.wal.Append(toAppend)
+		if err != nil {
+			return &AppendEntriesReply{Term: s.term, Success: false, LastIndex: s.wal.LastIndex(), From: s.cfg.ID}
+		}
+		for _, e := range toAppend {
+			s.cache.Put(e)
+		}
+		s.persistAppend(toAppend)
+		if werr := co.Wait(fsync); werr != nil {
+			return &AppendEntriesReply{Term: s.term, Success: false, LastIndex: s.wal.LastIndex(), From: s.cfg.ID}
+		}
+	}
+
+	if m.LeaderCommit > s.commitIndex {
+		limit := s.wal.LastIndex()
+		if m.LeaderCommit < limit {
+			limit = m.LeaderCommit
+		}
+		s.commitIndex = limit
+		s.applyUpTo()
+	}
+	return &AppendEntriesReply{Term: s.term, Success: true, LastIndex: s.wal.LastIndex(), From: s.cfg.ID}
+}
+
+// heartbeatLoop broadcasts empty AppendEntries while leader of term.
+// Replies are folded in via event hooks — no waits at all, so a slow
+// follower cannot delay the next beat.
+func (s *Server) heartbeatLoop(co *core.Coroutine, term uint64) {
+	for s.role == Leader && s.term == term && !s.stopped {
+		for _, p := range s.others() {
+			p := p
+			prev := s.nextIndex[p] - 1
+			ae := &AppendEntries{
+				Term:         term,
+				Leader:       s.cfg.ID,
+				PrevLogIndex: prev,
+				PrevLogTerm:  s.termOf(prev),
+				LeaderCommit: s.commitIndex,
+				SentAtNs:     time.Now().UnixNano(),
+			}
+			ev := s.ep.Call(p, ae)
+			judge := s.appendJudge(p, 0, term)
+			core.OnEvent(ev, func() { judge(ev.Value(), ev.Err()) })
+		}
+		if err := co.Sleep(s.cfg.HeartbeatInterval); err != nil {
+			return
+		}
+	}
+}
+
+// repairLoop catches a lagging follower up: whenever the follower is
+// behind and nothing is queued toward it, read the missing range
+// (entry cache first, WAL otherwise — asynchronously, never blocking
+// the runtime) and ship one batch. Reply processing is hook-based;
+// the loop never waits on the follower, so a fail-slow follower only
+// slows its own repair.
+func (s *Server) repairLoop(co *core.Coroutine, p string, term uint64) {
+	inflight := false
+	for s.role == Leader && s.term == term && !s.stopped {
+		if !inflight && s.matchIndex[p] < s.wal.LastIndex() &&
+			s.outboxes[p].QueueLen() == 0 && s.outboxes[p].Inflight() == 0 {
+			lo := s.nextIndex[p]
+			if lo < s.wal.FirstIndex() {
+				// The follower's missing prefix was compacted away:
+				// ship the snapshot instead of entries.
+				if s.snapIndex > 0 && s.matchIndex[p] < s.snapIndex {
+					inflight = true
+					s.sendSnapshot(p, term, func() { inflight = false })
+					if err := co.Sleep(s.cfg.RepairInterval); err != nil {
+						return
+					}
+					continue
+				}
+				lo = s.wal.FirstIndex()
+			}
+			hi := s.wal.LastIndex()
+			if hi >= lo {
+				if max := lo + uint64(s.cfg.RepairBatch) - 1; hi > max {
+					hi = max
+				}
+				entries, fromCache := s.gatherEntries(lo, hi)
+				if !fromCache {
+					// Fetch from the WAL without blocking the runtime.
+					ev := s.wal.ReadAsync(lo, hi)
+					if err := co.Wait(ev); err != nil {
+						return
+					}
+					if s.role != Leader || s.term != term {
+						return
+					}
+					entries, _ = ev.Value().([]storage.Entry)
+				}
+				if len(entries) > 0 {
+					s.RepairSends.Inc()
+					ae := &AppendEntries{
+						Term:         term,
+						Leader:       s.cfg.ID,
+						PrevLogIndex: lo - 1,
+						PrevLogTerm:  s.termOf(lo - 1),
+						Entries:      entries,
+						LeaderCommit: s.commitIndex,
+					}
+					ev := core.NewResultEvent("rpc", p)
+					judge := s.appendJudge(p, hi, term)
+					inflight = true
+					core.OnEvent(ev, func() {
+						judge(ev.Value(), ev.Err())
+						inflight = false
+					})
+					s.outboxes[p].Send(ae, ev, int64(hi))
+				}
+			}
+		}
+		if err := co.Sleep(s.cfg.RepairInterval); err != nil {
+			return
+		}
+	}
+}
+
+// gatherEntries returns [lo,hi] from the entry cache if fully
+// resident; otherwise reports a cache miss so the caller reads the
+// WAL.
+func (s *Server) gatherEntries(lo, hi uint64) ([]storage.Entry, bool) {
+	out := make([]storage.Entry, 0, hi-lo+1)
+	for i := lo; i <= hi; i++ {
+		e, ok := s.cache.Get(i)
+		if !ok {
+			return nil, false
+		}
+		out = append(out, e)
+	}
+	return out, true
+}

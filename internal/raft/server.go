@@ -1,0 +1,467 @@
+package raft
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"depfast/internal/codec"
+	"depfast/internal/core"
+	"depfast/internal/detect"
+	"depfast/internal/env"
+	"depfast/internal/kv"
+	"depfast/internal/metrics"
+	"depfast/internal/rpc"
+	"depfast/internal/storage"
+	"depfast/internal/transport"
+)
+
+// Role is a Raft server role.
+type Role int
+
+const (
+	// Follower accepts entries from a leader.
+	Follower Role = iota
+	// Candidate is campaigning for leadership.
+	Candidate
+	// Leader replicates client commands.
+	Leader
+)
+
+// String names the role.
+func (r Role) String() string {
+	switch r {
+	case Follower:
+		return "follower"
+	case Candidate:
+		return "candidate"
+	case Leader:
+		return "leader"
+	}
+	return "unknown"
+}
+
+// Config parameterizes a DepFastRaft server.
+type Config struct {
+	// ID is this server's node name; Peers lists all members
+	// including self.
+	ID    string
+	Peers []string
+
+	// Election timing. A follower campaigns after hearing nothing for
+	// a random duration in [ElectionTimeoutMin, ElectionTimeoutMax];
+	// leaders heartbeat every HeartbeatInterval.
+	ElectionTimeoutMin time.Duration
+	ElectionTimeoutMax time.Duration
+	HeartbeatInterval  time.Duration
+
+	// CommitTimeout bounds how long a proposal waits for its quorum.
+	CommitTimeout time.Duration
+
+	// LeaderComputePerOp and FollowerComputePerOp are the nominal CPU
+	// costs charged per request — the knob the CPU fault stretches.
+	LeaderComputePerOp   time.Duration
+	FollowerComputePerOp time.Duration
+
+	// EntryCacheSize bounds the in-memory entry cache; followers
+	// lagging past it are served from the WAL.
+	EntryCacheSize int
+
+	// OutboxWindow and OutboxCapacity shape per-follower connections.
+	// A bounded outbox plus QuorumDiscard is the DepFast configuration;
+	// the framework drops backlog for stragglers once a quorum holds.
+	OutboxWindow   int
+	OutboxCapacity int
+	QuorumDiscard  bool
+
+	// RepairInterval paces catch-up for lagging followers; RepairBatch
+	// bounds entries per catch-up message.
+	RepairInterval time.Duration
+	RepairBatch    int
+
+	// ReadIndex serves linearizable reads via a leadership-check
+	// quorum instead of replicating a log entry.
+	ReadIndex bool
+
+	// BatchProposals groups concurrent client commands into shared log
+	// appends and AppendEntries messages (one QuorumEvent per batch),
+	// amortizing per-request replication costs under high client
+	// counts. Off by default: the paper's per-request pattern.
+	BatchProposals bool
+
+	// SnapshotThreshold compacts the log (taking a state-machine
+	// snapshot) once this many applied entries are retained; 0
+	// disables compaction.
+	SnapshotThreshold int
+
+	// Persister, when set, makes the server's Raft state actually
+	// durable (term, vote, log, snapshots) through real file I/O, and
+	// RecoverServer restores from it after a restart. Nil keeps
+	// durability simulated (costs only), which is what experiments
+	// use.
+	Persister storage.Persister
+
+	// PreVote runs a non-disruptive probe round before bumping terms,
+	// so a follower that briefly lost contact (e.g. the moment a
+	// fail-slow fault lands on its NIC) cannot depose a healthy
+	// leader with a spurious term bump.
+	PreVote bool
+
+	// PeerDetector attaches a fail-slow peer detector fed by every
+	// RPC round-trip (paper §5: failure detectors from trace points);
+	// query it with Server.Detector().
+	PeerDetector bool
+
+	// SlowLeaderDetector makes followers monitor heartbeat cadence and
+	// campaign proactively when the leader is fail-slow (§5 of the
+	// paper: turn a fail-slow leader into a fail-slow follower).
+	SlowLeaderDetector  bool
+	SlowLeaderThreshold float64 // campaign when EWMA gap exceeds threshold × heartbeat interval
+
+	// DiskHelpers sizes the I/O helper pool.
+	DiskHelpers int
+
+	// Seed randomizes election timeouts deterministically per server.
+	Seed int64
+}
+
+// DefaultConfig returns laptop-scale timing for id among peers.
+func DefaultConfig(id string, peers []string) Config {
+	return Config{
+		ID:                   id,
+		Peers:                peers,
+		ElectionTimeoutMin:   150 * time.Millisecond,
+		ElectionTimeoutMax:   300 * time.Millisecond,
+		HeartbeatInterval:    30 * time.Millisecond,
+		CommitTimeout:        2 * time.Second,
+		LeaderComputePerOp:   30 * time.Microsecond,
+		FollowerComputePerOp: 15 * time.Microsecond,
+		EntryCacheSize:       4096,
+		OutboxWindow:         16,
+		OutboxCapacity:       4096,
+		QuorumDiscard:        true,
+		RepairInterval:       20 * time.Millisecond,
+		RepairBatch:          64,
+		SnapshotThreshold:    16384,
+		PreVote:              true,
+		SlowLeaderThreshold:  8,
+		DiskHelpers:          16,
+		Seed:                 int64(len(id)) * 7919,
+	}
+}
+
+// Server is one DepFastRaft node: a DepFast runtime hosting the Raft
+// logic, an RPC endpoint, simulated disk + WAL + entry cache, and the
+// KV state machine.
+type Server struct {
+	cfg Config
+	rt  *core.Runtime
+	ep  *rpc.Endpoint
+	e   *env.Env
+
+	disk  *storage.Disk
+	wal   *storage.WAL
+	cache *storage.EntryCache
+	sm    *kv.Sessions
+
+	// Raft state — touched only under the runtime baton.
+	term        uint64
+	votedFor    string
+	role        Role
+	leaderHint  string
+	commitIndex uint64
+	lastApplied uint64
+
+	lastHeartbeat time.Time
+	hbGapEWMA     time.Duration // slow-leader detector: cadence
+	hbDelayEWMA   time.Duration // slow-leader detector: propagation delay
+
+	nextIndex  map[string]uint64
+	matchIndex map[string]uint64
+	outboxes   map[string]*rpc.Outbox
+
+	// Snapshot state: the log below snapIndex is compacted away.
+	snapIndex   uint64
+	snapTermVal uint64
+	snapData    []byte
+
+	results  map[uint64]kv.Result // applied results awaiting their proposer
+	propQ    *core.Queue[*pendingProposal]
+	detector *detect.Detector // nil unless cfg.PeerDetector
+
+	// appliedWaiters wake ReadIndex reads when lastApplied advances.
+	appliedWaiters []appliedWaiter
+
+	stopped bool
+
+	// Metrics.
+	Proposals    *metrics.Counter
+	Commits      *metrics.Counter
+	Elections    *metrics.Counter
+	RepairSends  *metrics.Counter
+	ReadIndexOps *metrics.Counter
+	Snapshots    *metrics.Counter
+
+	// mu guards cross-goroutine introspection (tests, harness).
+	mu sync.Mutex
+	// introspection snapshots, updated under baton.
+	snapTerm     uint64
+	snapRole     Role
+	snapLeader   string
+	snapCommit   uint64
+	snapApplied  uint64
+	snapIndexPub uint64
+	walLenPub    int
+
+	rng *rand.Rand
+}
+
+type appliedWaiter struct {
+	idx uint64
+	sig *core.SignalEvent
+}
+
+// NewServer creates a server on tr. The caller must register the
+// returned server's TransportHandler with the transport under cfg.ID,
+// then call Start.
+func NewServer(cfg Config, e *env.Env, tr transport.Transport, opts ...core.Option) *Server {
+	if cfg.EntryCacheSize <= 0 {
+		cfg.EntryCacheSize = 4096
+	}
+	if cfg.RepairBatch <= 0 {
+		cfg.RepairBatch = 64
+	}
+	if cfg.DiskHelpers <= 0 {
+		cfg.DiskHelpers = 4
+	}
+	rt := core.NewRuntime(cfg.ID, opts...)
+	s := &Server{
+		cfg:           cfg,
+		rt:            rt,
+		e:             e,
+		role:          Follower,
+		nextIndex:     make(map[string]uint64),
+		matchIndex:    make(map[string]uint64),
+		outboxes:      make(map[string]*rpc.Outbox),
+		results:       make(map[uint64]kv.Result),
+		sm:            kv.NewSessions(kv.NewStore()),
+		Proposals:     metrics.NewCounter("raft.proposals"),
+		Commits:       metrics.NewCounter("raft.commits"),
+		Elections:     metrics.NewCounter("raft.elections"),
+		RepairSends:   metrics.NewCounter("raft.repair_sends"),
+		Snapshots:     metrics.NewCounter("raft.snapshots"),
+		ReadIndexOps:  metrics.NewCounter("raft.readindex"),
+		rng:           rand.New(rand.NewSource(cfg.Seed)),
+		lastHeartbeat: time.Now(),
+		propQ:         core.NewQueue[*pendingProposal](),
+	}
+	s.disk = storage.NewDisk(rt, e, cfg.DiskHelpers)
+	s.wal = storage.NewWAL(s.disk)
+	s.cache = storage.NewEntryCache(cfg.EntryCacheSize)
+	epOpts := []rpc.Option{rpc.WithCallTimeout(cfg.CommitTimeout)}
+	if cfg.PeerDetector {
+		s.detector = detect.New(detect.DefaultConfig())
+		epOpts = append(epOpts, rpc.WithLatencyObserver(s.detector.Observe))
+	}
+	s.ep = rpc.NewEndpoint(cfg.ID, rt, tr, epOpts...)
+	for _, p := range s.others() {
+		s.outboxes[p] = rpc.NewOutbox(s.ep, p, rpc.OutboxConfig{
+			Window:   cfg.OutboxWindow,
+			Capacity: cfg.OutboxCapacity,
+			Env:      e,
+		})
+	}
+	s.ep.Handle(TagRequestVote, s.handleRequestVote)
+	s.ep.Handle(TagAppendEntries, s.handleAppendEntries)
+	s.ep.Handle(TagInstallSnapshot, s.handleInstallSnapshot)
+	s.ep.Handle(TagTimeoutNow, s.handleTimeoutNow)
+	s.ep.Handle(kv.TagClientRequest, s.handleClientRequest)
+	return s
+}
+
+// TransportHandler returns the inbound message handler for this node.
+func (s *Server) TransportHandler() transport.Handler { return s.ep.TransportHandler() }
+
+// Runtime exposes the server's runtime (for tests and the harness).
+func (s *Server) Runtime() *core.Runtime { return s.rt }
+
+// Env returns the server's resource environment (fault injection target).
+func (s *Server) Env() *env.Env { return s.e }
+
+// Start launches the background coroutines.
+func (s *Server) Start() {
+	s.rt.Spawn("election-ticker", s.electionTicker)
+}
+
+// Stop shuts the server down.
+func (s *Server) Stop() {
+	s.rt.Post(func() { s.stopped = true })
+	s.ep.Close()
+	s.rt.Stop()
+	s.disk.Close()
+}
+
+// others returns all peers except self.
+func (s *Server) others() []string {
+	out := make([]string, 0, len(s.cfg.Peers)-1)
+	for _, p := range s.cfg.Peers {
+		if p != s.cfg.ID {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// majority returns the quorum size for the full membership.
+func (s *Server) majority() int { return len(s.cfg.Peers)/2 + 1 }
+
+// --- introspection (safe from any goroutine) ---
+
+// publish refreshes the cross-goroutine snapshot; baton context only.
+func (s *Server) publish() {
+	s.mu.Lock()
+	s.snapTerm = s.term
+	s.snapRole = s.role
+	s.snapLeader = s.leaderHint
+	s.snapCommit = s.commitIndex
+	s.snapApplied = s.lastApplied
+	s.snapIndexPub = s.snapIndex
+	s.walLenPub = s.wal.Len()
+	s.mu.Unlock()
+}
+
+// Status reports (term, role, leader hint) as last published.
+func (s *Server) Status() (uint64, Role, string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.snapTerm, s.snapRole, s.snapLeader
+}
+
+// CommitInfo reports (commitIndex, lastApplied) as last published.
+func (s *Server) CommitInfo() (uint64, uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.snapCommit, s.snapApplied
+}
+
+// Store returns the state machine (read-only use from tests after
+// quiescing).
+func (s *Server) Store() *kv.Store { return s.sm.Store() }
+
+// Outbox returns the outbox toward peer (nil if unknown); for tests
+// and ablation instrumentation.
+func (s *Server) Outbox(peer string) *rpc.Outbox { return s.outboxes[peer] }
+
+// Detector returns the fail-slow peer detector, or nil when
+// cfg.PeerDetector is off.
+func (s *Server) Detector() *detect.Detector { return s.detector }
+
+// --- shared state transitions (baton context only) ---
+
+// stepDown adopts a higher term and reverts to follower.
+func (s *Server) stepDown(term uint64, leader string) {
+	if term > s.term {
+		s.term = term
+		s.votedFor = ""
+		s.persistState()
+	}
+	s.role = Follower
+	if leader != "" {
+		s.leaderHint = leader
+	}
+	s.publish()
+}
+
+// termOf returns the term of log index idx (0 for idx 0). The
+// snapshot boundary keeps its term after compaction.
+func (s *Server) termOf(idx uint64) uint64 {
+	if idx == 0 {
+		return 0
+	}
+	if idx == s.snapIndex {
+		return s.snapTermVal
+	}
+	return s.wal.Term(idx)
+}
+
+// advanceCommit raises commitIndex to idx (which must be a
+// current-term entry acknowledged by a quorum) and applies.
+func (s *Server) advanceCommit(idx uint64) {
+	if idx > s.commitIndex {
+		s.commitIndex = idx
+	}
+	s.applyUpTo()
+}
+
+// applyUpTo applies entries through commitIndex in order, recording
+// results for waiting proposers and waking ReadIndex waiters.
+func (s *Server) applyUpTo() {
+	limit := s.commitIndex
+	if last := s.wal.LastIndex(); limit > last {
+		limit = last
+	}
+	for s.lastApplied < limit {
+		s.lastApplied++
+		e, ok := s.wal.Entry(s.lastApplied)
+		if !ok {
+			panic(fmt.Sprintf("raft %s: committed entry %d missing", s.cfg.ID, s.lastApplied))
+		}
+		if len(e.Data) == 0 {
+			continue // no-op barrier entry
+		}
+		msg, err := codec.Unmarshal(e.Data)
+		if err != nil {
+			continue // never happens with a well-formed log
+		}
+		req, ok := msg.(*kv.ClientRequest)
+		if !ok {
+			continue
+		}
+		res := s.sm.Apply(req.ClientID, req.Seq, req.Cmd)
+		if s.role == Leader {
+			s.results[s.lastApplied] = res
+		}
+		s.Commits.Inc()
+	}
+	// Wake ReadIndex waiters.
+	if len(s.appliedWaiters) > 0 {
+		kept := s.appliedWaiters[:0]
+		for _, w := range s.appliedWaiters {
+			if s.lastApplied >= w.idx {
+				w.sig.Set()
+			} else {
+				kept = append(kept, w)
+			}
+		}
+		s.appliedWaiters = kept
+	}
+	// Bound the orphaned-results map (proposers that timed out).
+	if len(s.results) > 65536 {
+		for k := range s.results {
+			if k+32768 < s.lastApplied {
+				delete(s.results, k)
+			}
+		}
+	}
+	s.maybeSnapshot()
+	s.publish()
+}
+
+// takeResult claims the applied result for idx.
+func (s *Server) takeResult(idx uint64) (kv.Result, bool) {
+	res, ok := s.results[idx]
+	if ok {
+		delete(s.results, idx)
+	}
+	return res, ok
+}
+
+// electionTimeout draws a randomized timeout; baton context only.
+func (s *Server) electionTimeout() time.Duration {
+	min, max := s.cfg.ElectionTimeoutMin, s.cfg.ElectionTimeoutMax
+	if max <= min {
+		return min
+	}
+	return min + time.Duration(s.rng.Int63n(int64(max-min)))
+}

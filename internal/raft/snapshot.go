@@ -1,0 +1,195 @@
+package raft
+
+import (
+	"depfast/internal/codec"
+	"depfast/internal/core"
+)
+
+// Snapshot message tags.
+const (
+	TagInstallSnapshot      = 205
+	TagInstallSnapshotReply = 206
+)
+
+// InstallSnapshot ships the full state machine to a follower whose
+// missing log prefix has been compacted away.
+type InstallSnapshot struct {
+	Term              uint64
+	Leader            string
+	LastIncludedIndex uint64
+	LastIncludedTerm  uint64
+	Data              []byte
+}
+
+// TypeTag implements codec.Message.
+func (m *InstallSnapshot) TypeTag() uint32 { return TagInstallSnapshot }
+
+// MarshalTo implements codec.Message.
+func (m *InstallSnapshot) MarshalTo(e *codec.Encoder) {
+	e.Uint64(m.Term)
+	e.String(m.Leader)
+	e.Uint64(m.LastIncludedIndex)
+	e.Uint64(m.LastIncludedTerm)
+	e.BytesField(m.Data)
+}
+
+// UnmarshalFrom implements codec.Message.
+func (m *InstallSnapshot) UnmarshalFrom(d *codec.Decoder) {
+	m.Term = d.Uint64()
+	m.Leader = d.String()
+	m.LastIncludedIndex = d.Uint64()
+	m.LastIncludedTerm = d.Uint64()
+	m.Data = d.BytesField()
+}
+
+// InstallSnapshotReply acknowledges a snapshot install.
+type InstallSnapshotReply struct {
+	Term      uint64
+	Success   bool
+	LastIndex uint64
+	From      string
+}
+
+// TypeTag implements codec.Message.
+func (m *InstallSnapshotReply) TypeTag() uint32 { return TagInstallSnapshotReply }
+
+// MarshalTo implements codec.Message.
+func (m *InstallSnapshotReply) MarshalTo(e *codec.Encoder) {
+	e.Uint64(m.Term)
+	e.Bool(m.Success)
+	e.Uint64(m.LastIndex)
+	e.String(m.From)
+}
+
+// UnmarshalFrom implements codec.Message.
+func (m *InstallSnapshotReply) UnmarshalFrom(d *codec.Decoder) {
+	m.Term = d.Uint64()
+	m.Success = d.Bool()
+	m.LastIndex = d.Uint64()
+	m.From = d.String()
+}
+
+func init() {
+	codec.Register(TagInstallSnapshot, func() codec.Message { return new(InstallSnapshot) })
+	codec.Register(TagInstallSnapshotReply, func() codec.Message { return new(InstallSnapshotReply) })
+}
+
+// maybeSnapshot compacts the log once enough entries have been
+// applied: the state machine (including session dedup state) is
+// serialized, the covered prefix is dropped, and the snapshot's write
+// cost is charged asynchronously — compaction must not block the
+// request path.
+func (s *Server) maybeSnapshot() {
+	if s.cfg.SnapshotThreshold <= 0 {
+		return
+	}
+	retained := s.lastApplied + 1 - s.wal.FirstIndex()
+	if retained < uint64(s.cfg.SnapshotThreshold) {
+		return
+	}
+	s.snapTermVal = s.termOf(s.lastApplied) // capture before compaction
+	s.snapIndex = s.lastApplied
+	s.snapData = s.sm.Snapshot()
+	s.wal.CompactTo(s.lastApplied + 1)
+	s.Snapshots.Inc()
+	s.persistSnapshot(s.snapIndex, s.snapTermVal, s.snapData)
+	// Durability cost of writing the snapshot, off the request path.
+	_ = s.disk.WriteAsync(len(s.snapData), nil)
+}
+
+// sendSnapshot ships the current snapshot to a lagging follower; the
+// reply is folded in through an event hook, never waited on.
+func (s *Server) sendSnapshot(p string, term uint64, onDone func()) {
+	msg := &InstallSnapshot{
+		Term:              term,
+		Leader:            s.cfg.ID,
+		LastIncludedIndex: s.snapIndex,
+		LastIncludedTerm:  s.snapTermVal,
+		Data:              s.snapData,
+	}
+	snapIdx := s.snapIndex
+	ev := core.NewResultEvent("rpc", p)
+	core.OnEvent(ev, func() {
+		defer onDone()
+		if ev.Err() != nil {
+			return
+		}
+		reply, ok := ev.Value().(*InstallSnapshotReply)
+		if !ok {
+			return
+		}
+		if reply.Term > s.term {
+			s.stepDown(reply.Term, "")
+			return
+		}
+		if reply.Success && s.role == Leader && s.term == term {
+			s.noteProgress(p, snapIdx)
+		}
+	})
+	s.RepairSends.Inc()
+	s.outboxes[p].Send(msg, ev, int64(snapIdx))
+}
+
+// handleInstallSnapshot installs a leader snapshot on a follower.
+func (s *Server) handleInstallSnapshot(co *core.Coroutine, from string, req codec.Message) codec.Message {
+	m := req.(*InstallSnapshot)
+	s.e.Compute(s.cfg.FollowerComputePerOp)
+	if m.Term < s.term {
+		return &InstallSnapshotReply{Term: s.term, Success: false, LastIndex: s.wal.LastIndex(), From: s.cfg.ID}
+	}
+	if m.Term > s.term || s.role != Follower {
+		s.stepDown(m.Term, m.Leader)
+	}
+	s.leaderHint = m.Leader
+	s.observeHeartbeat()
+
+	if m.LastIncludedIndex <= s.lastApplied {
+		// Stale: we already have everything it covers.
+		return &InstallSnapshotReply{Term: s.term, Success: true, LastIndex: s.wal.LastIndex(), From: s.cfg.ID}
+	}
+	if err := s.sm.Restore(m.Data); err != nil {
+		return &InstallSnapshotReply{Term: s.term, Success: false, LastIndex: s.wal.LastIndex(), From: s.cfg.ID}
+	}
+	s.wal.ResetTo(m.LastIncludedIndex + 1)
+	s.cache.TruncateFrom(1)
+	s.snapIndex = m.LastIncludedIndex
+	s.snapTermVal = m.LastIncludedTerm
+	s.commitIndex = m.LastIncludedIndex
+	s.lastApplied = m.LastIncludedIndex
+	s.snapData = m.Data
+	s.persistSnapshot(m.LastIncludedIndex, m.LastIncludedTerm, m.Data)
+	s.persistTruncate(m.LastIncludedIndex + 1)
+	s.publish()
+
+	// Persist the installed snapshot before acknowledging.
+	fsync := s.disk.WriteAsync(len(m.Data), nil)
+	if err := co.Wait(fsync); err != nil {
+		return &InstallSnapshotReply{Term: s.term, Success: false, LastIndex: s.wal.LastIndex(), From: s.cfg.ID}
+	}
+	return &InstallSnapshotReply{Term: s.term, Success: true, LastIndex: s.wal.LastIndex(), From: s.cfg.ID}
+}
+
+// trimSnapshotCovered adapts an AppendEntries whose prefix is already
+// covered by this follower's snapshot. Returns the adjusted message
+// and false if the whole message is stale.
+func (s *Server) trimSnapshotCovered(m *AppendEntries) bool {
+	if m.PrevLogIndex >= s.snapIndex {
+		return true
+	}
+	skip := s.snapIndex - m.PrevLogIndex
+	if uint64(len(m.Entries)) <= skip {
+		return false // everything covered; stale
+	}
+	m.Entries = m.Entries[skip:]
+	m.PrevLogIndex = s.snapIndex
+	m.PrevLogTerm = s.snapTermVal
+	return true
+}
+
+// SnapshotInfo reports (snapshotIndex, retainedEntries); for tests and
+// instrumentation.
+func (s *Server) SnapshotInfo() (uint64, int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.snapIndexPub, s.walLenPub
+}

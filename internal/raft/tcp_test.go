@@ -1,0 +1,134 @@
+package raft
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"depfast/internal/core"
+	"depfast/internal/env"
+	"depfast/internal/rpc"
+	"depfast/internal/transport"
+)
+
+// TestClusterOverTCP runs a full three-node DepFastRaft cluster over
+// real TCP sockets — each node on its own transport instance, like
+// separate processes — and drives client traffic through a fourth.
+func TestClusterOverTCP(t *testing.T) {
+	names := []string{"t1", "t2", "t3"}
+	trs := make(map[string]*transport.TCP)
+	addrs := make(map[string]string)
+	servers := make(map[string]*Server)
+
+	// Phase 1: create servers and bind listeners.
+	for i, n := range names {
+		tr := transport.NewTCP()
+		trs[n] = tr
+		cfg := DefaultConfig(n, names)
+		cfg.ElectionTimeoutMin = 150 * time.Millisecond
+		cfg.ElectionTimeoutMax = 300 * time.Millisecond
+		cfg.HeartbeatInterval = 30 * time.Millisecond
+		cfg.Seed = int64(i+1) * 31
+		e := env.New(n, env.DefaultConfig())
+		s := NewServer(cfg, e, tr)
+		servers[n] = s
+		addr, err := tr.Listen(n, "127.0.0.1:0", s.TransportHandler())
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs[n] = addr
+	}
+	// Phase 2: exchange peer addresses, then start.
+	for n, tr := range trs {
+		for pn, addr := range addrs {
+			if pn != n {
+				tr.AddPeer(pn, addr)
+			}
+		}
+		_ = n
+	}
+	for _, s := range servers {
+		s.Start()
+	}
+	defer func() {
+		for _, s := range servers {
+			s.Stop()
+		}
+		for _, tr := range trs {
+			tr.Close()
+		}
+	}()
+
+	// Wait for a leader over the real network.
+	deadline := time.Now().Add(20 * time.Second)
+	leader := ""
+	for leader == "" && time.Now().Before(deadline) {
+		for n, s := range servers {
+			if _, role, _ := s.Status(); role == Leader {
+				leader = n
+			}
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if leader == "" {
+		t.Fatal("no leader over TCP")
+	}
+
+	// Client through its own TCP transport ("fourth process").
+	ctr := transport.NewTCP()
+	defer ctr.Close()
+	crt := core.NewRuntime("tcp-client")
+	defer crt.Stop()
+	cep := rpc.NewEndpoint("tcp-client", crt, ctr, rpc.WithCallTimeout(3*time.Second))
+	defer cep.Close()
+	if _, err := ctr.Listen("tcp-client", "127.0.0.1:0", cep.TransportHandler()); err != nil {
+		t.Fatal(err)
+	}
+	for pn, addr := range addrs {
+		ctr.AddPeer(pn, addr)
+	}
+
+	done := make(chan error, 1)
+	crt.Spawn("driver", func(co *core.Coroutine) {
+		cl := NewClient(777, cep, names, 3*time.Second)
+		for i := 0; i < 30; i++ {
+			if err := cl.Put(co, fmt.Sprintf("tcp%d", i), []byte{byte(i)}); err != nil {
+				done <- fmt.Errorf("put %d: %w", i, err)
+				return
+			}
+		}
+		for i := 0; i < 30; i++ {
+			v, found, err := cl.Get(co, fmt.Sprintf("tcp%d", i))
+			if err != nil || !found || v[0] != byte(i) {
+				done <- fmt.Errorf("get %d = %v %v %v", i, v, found, err)
+				return
+			}
+		}
+		done <- nil
+	})
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("TCP client hung")
+	}
+
+	// All replicas converge over TCP as well.
+	convDeadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(convDeadline) {
+		all := true
+		for _, s := range servers {
+			_, la := s.CommitInfo()
+			if la < 30 {
+				all = false
+			}
+		}
+		if all {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatal("replicas did not converge over TCP")
+}

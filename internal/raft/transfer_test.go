@@ -1,0 +1,108 @@
+package raft
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"depfast/internal/codec"
+	"depfast/internal/core"
+)
+
+func TestTimeoutNowMessagesRoundTrip(t *testing.T) {
+	in := &TimeoutNow{Term: 9, Leader: "s1"}
+	out, err := codec.Unmarshal(codec.Marshal(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := out.(*TimeoutNow); got.Term != 9 || got.Leader != "s1" {
+		t.Fatalf("got %+v", got)
+	}
+	rin := &TimeoutNowReply{Term: 9, Accepted: true}
+	rout, err := codec.Unmarshal(codec.Marshal(rin))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rout.(*TimeoutNowReply); !got.Accepted {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestLeadershipTransfer(t *testing.T) {
+	c := newCluster(t, clusterOpts{n: 3})
+	old := c.waitLeader()
+
+	// Write a little so followers have matchIndex state.
+	cl := c.client(800)
+	c.onClient(func(co *core.Coroutine) {
+		for i := 0; i < 10; i++ {
+			if err := cl.Put(co, fmt.Sprintf("xfer%d", i), []byte("v")); err != nil {
+				t.Errorf("put: %v", err)
+				return
+			}
+		}
+	})
+
+	c.servers[old].RequestTransfer()
+
+	// A different node must take over promptly — far faster than an
+	// election timeout cascade, since TimeoutNow skips PreVote and
+	// stickiness.
+	deadline := time.Now().Add(5 * time.Second)
+	var newLeader string
+	for time.Now().Before(deadline) {
+		for _, n := range c.names {
+			if n == old {
+				continue
+			}
+			if _, role, _ := c.servers[n].Status(); role == Leader {
+				newLeader = n
+			}
+		}
+		if newLeader != "" {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if newLeader == "" {
+		t.Fatal("leadership transfer did not complete")
+	}
+	// The old leader must have stepped down (higher term observed).
+	deadline = time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if _, role, _ := c.servers[old].Status(); role != Leader {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if _, role, _ := c.servers[old].Status(); role == Leader {
+		t.Fatal("old leader did not step down after transfer")
+	}
+
+	// The cluster still serves writes and previous data survives.
+	c.onClient(func(co *core.Coroutine) {
+		if err := cl.Put(co, "after-xfer", []byte("y")); err != nil {
+			t.Errorf("post-transfer put: %v", err)
+		}
+		v, found, err := cl.Get(co, "xfer0")
+		if err != nil || !found || string(v) != "v" {
+			t.Errorf("pre-transfer data lost: %q %v %v", v, found, err)
+		}
+	})
+}
+
+func TestRequestTransferOnFollowerIsNoop(t *testing.T) {
+	c := newCluster(t, clusterOpts{n: 3})
+	leader := c.waitLeader()
+	for _, n := range c.names {
+		if n != leader {
+			c.servers[n].RequestTransfer() // must not disturb anything
+		}
+	}
+	time.Sleep(100 * time.Millisecond)
+	term1, role, hint := c.servers[leader].Status()
+	if role != Leader || hint != leader {
+		t.Fatalf("leadership disturbed by follower RequestTransfer: %v %v", role, hint)
+	}
+	_ = term1
+}

@@ -1,0 +1,92 @@
+package rpc
+
+import (
+	"depfast/internal/codec"
+	"depfast/internal/core"
+)
+
+// Group manages one outbox per peer and offers quorum-shaped
+// broadcast: the caller states how many replies it needs, gets back a
+// single QuorumEvent, and the framework owns fan-out, flow control,
+// and straggler-backlog discard — the clean logic/framework split of
+// the paper's §"Logic versus framework".
+type Group struct {
+	ep       *Endpoint
+	peers    []string
+	outboxes map[string]*Outbox
+}
+
+// NewGroup builds outboxes from ep to each peer with the given config.
+func NewGroup(ep *Endpoint, peers []string, cfg OutboxConfig) *Group {
+	g := &Group{
+		ep:       ep,
+		peers:    append([]string(nil), peers...),
+		outboxes: make(map[string]*Outbox, len(peers)),
+	}
+	for _, p := range peers {
+		g.outboxes[p] = NewOutbox(ep, p, cfg)
+	}
+	return g
+}
+
+// Peers returns the group members.
+func (g *Group) Peers() []string { return append([]string(nil), g.peers...) }
+
+// Outbox returns the per-peer outbox, for instrumentation.
+func (g *Group) Outbox(peer string) *Outbox { return g.outboxes[peer] }
+
+// Judge classifies one peer's reply as ack (true) or reject (false).
+type Judge func(peer string, value interface{}, err error) bool
+
+// Broadcast sends req to every peer and returns a QuorumEvent needing
+// `quorum` acks out of len(peers)+selfAcks total; selfAcks are counted
+// immediately (e.g. the caller's own durable write). class orders the
+// message for DiscardBelow. A nil judge treats any non-error reply as
+// an ack.
+func (g *Group) Broadcast(req codec.Message, quorum, selfAcks int, class int64, judge Judge) *core.QuorumEvent {
+	total := len(g.peers) + selfAcks
+	q := core.NewQuorumEvent(total, quorum)
+	for i := 0; i < selfAcks; i++ {
+		q.AddAck()
+	}
+	for _, p := range g.peers {
+		p := p
+		ev := core.NewResultEvent("rpc", p)
+		if judge == nil {
+			q.AddJudged(ev, nil)
+		} else {
+			q.AddJudged(ev, func(v interface{}, err error) bool { return judge(p, v, err) })
+		}
+		g.outboxes[p].Send(req, ev, class)
+	}
+	return q
+}
+
+// BroadcastMajority is Broadcast with quorum = majority of
+// len(peers)+selfAcks.
+func (g *Group) BroadcastMajority(req codec.Message, selfAcks int, class int64, judge Judge) *core.QuorumEvent {
+	total := len(g.peers) + selfAcks
+	return g.Broadcast(req, total/2+1, selfAcks, class, judge)
+}
+
+// DiscardBelow applies the quorum-aware discard to every peer whose
+// progress predicate reports it has not reached class: queued messages
+// with class <= maxClass are dropped. Returns total discards.
+func (g *Group) DiscardBelow(maxClass int64, behind func(peer string) bool) int {
+	n := 0
+	for _, p := range g.peers {
+		if behind == nil || behind(p) {
+			n += g.outboxes[p].CancelBelow(maxClass)
+		}
+	}
+	return n
+}
+
+// QueueBytes sums backlog bytes across peers.
+func (g *Group) QueueBytes() int64 {
+	var total int64
+	for _, ob := range g.outboxes {
+		total += ob.QueueBytes()
+	}
+	return total
+}

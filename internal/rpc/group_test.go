@@ -1,0 +1,147 @@
+package rpc
+
+import (
+	"testing"
+	"time"
+
+	"depfast/internal/codec"
+	"depfast/internal/core"
+	"depfast/internal/env"
+	"depfast/internal/transport"
+)
+
+// groupCluster spins up n echo servers plus one caller endpoint.
+type groupCluster struct {
+	net    *transport.Network
+	caller *Endpoint
+	rt     *core.Runtime
+	peers  []string
+}
+
+func newGroupCluster(t *testing.T, n int) *groupCluster {
+	t.Helper()
+	cfg := env.DefaultConfig()
+	cfg.NetBase = 0
+	gc := &groupCluster{net: transport.NewNetwork()}
+	var rts []*core.Runtime
+	var eps []*Endpoint
+	for i := 0; i < n; i++ {
+		name := string(rune('p' + i))
+		gc.peers = append(gc.peers, name)
+		rt := core.NewRuntime(name)
+		ep := NewEndpoint(name, rt, gc.net, WithCallTimeout(time.Second))
+		gc.net.Register(name, env.New(name, cfg), ep.TransportHandler())
+		ep.Handle(echoReqTag, func(co *core.Coroutine, from string, req codec.Message) codec.Message {
+			return &echoResp{Text: "ack"}
+		})
+		rts = append(rts, rt)
+		eps = append(eps, ep)
+	}
+	gc.rt = core.NewRuntime("caller")
+	gc.caller = NewEndpoint("caller", gc.rt, gc.net, WithCallTimeout(time.Second))
+	gc.net.Register("caller", env.New("caller", cfg), gc.caller.TransportHandler())
+	t.Cleanup(func() {
+		for _, ep := range eps {
+			ep.Close()
+		}
+		for _, rt := range rts {
+			rt.Stop()
+		}
+		gc.caller.Close()
+		gc.rt.Stop()
+		gc.net.Close()
+	})
+	return gc
+}
+
+func (gc *groupCluster) on(t *testing.T, fn func(co *core.Coroutine)) {
+	t.Helper()
+	done := make(chan struct{})
+	gc.rt.Spawn("test", func(co *core.Coroutine) {
+		defer close(done)
+		fn(co)
+	})
+	select {
+	case <-done:
+	case <-time.After(15 * time.Second):
+		t.Fatal("timeout")
+	}
+}
+
+func TestGroupBroadcastMajority(t *testing.T) {
+	gc := newGroupCluster(t, 3)
+	gc.on(t, func(co *core.Coroutine) {
+		g := NewGroup(gc.caller, gc.peers, OutboxConfig{Window: 4})
+		q := g.BroadcastMajority(&echoReq{Text: "x"}, 0, 1, nil)
+		if q.Quorum() != 2 || q.Total() != 3 {
+			t.Errorf("quorum shape = %d/%d", q.Quorum(), q.Total())
+		}
+		if out := co.WaitQuorum(q, 5*time.Second); out != core.QuorumOK {
+			t.Errorf("outcome = %v", out)
+		}
+	})
+}
+
+func TestGroupSelfAcks(t *testing.T) {
+	gc := newGroupCluster(t, 2)
+	gc.on(t, func(co *core.Coroutine) {
+		g := NewGroup(gc.caller, gc.peers, OutboxConfig{Window: 4})
+		// total = 2 peers + 1 self; majority = 2: self + one peer.
+		q := g.BroadcastMajority(&echoReq{Text: "x"}, 1, 1, nil)
+		if q.Total() != 3 || q.Quorum() != 2 {
+			t.Errorf("shape = %d/%d", q.Quorum(), q.Total())
+		}
+		if out := co.WaitQuorum(q, 5*time.Second); out != core.QuorumOK {
+			t.Errorf("outcome = %v", out)
+		}
+	})
+}
+
+func TestGroupJudgeRejects(t *testing.T) {
+	gc := newGroupCluster(t, 3)
+	gc.on(t, func(co *core.Coroutine) {
+		g := NewGroup(gc.caller, gc.peers, OutboxConfig{Window: 4})
+		judge := func(peer string, v interface{}, err error) bool { return false }
+		q := g.Broadcast(&echoReq{Text: "x"}, 2, 0, 1, judge)
+		if out := co.WaitQuorum(q, 5*time.Second); out != core.QuorumRejected {
+			t.Errorf("outcome = %v, want rejected", out)
+		}
+	})
+}
+
+func TestGroupDiscardBelow(t *testing.T) {
+	gc := newGroupCluster(t, 3)
+	// Make peer p unreachable so its backlog accumulates.
+	gc.net.SetLinkDown("caller", gc.peers[2], true)
+	gc.on(t, func(co *core.Coroutine) {
+		g := NewGroup(gc.caller, gc.peers, OutboxConfig{Window: 1})
+		for i := 0; i < 5; i++ {
+			q := g.BroadcastMajority(&echoReq{Text: "x"}, 0, int64(i), nil)
+			if out := co.WaitQuorum(q, 5*time.Second); out != core.QuorumOK {
+				t.Errorf("round %d outcome = %v", i, out)
+				return
+			}
+			g.DiscardBelow(int64(i), func(peer string) bool { return peer == gc.peers[2] })
+		}
+		slow := g.Outbox(gc.peers[2])
+		if slow.Discards.Value() == 0 {
+			t.Error("no discards toward the unreachable peer")
+		}
+		if slow.QueueLen() > 1 {
+			t.Errorf("backlog = %d despite discard", slow.QueueLen())
+		}
+		if g.QueueBytes() < 0 {
+			t.Error("queue bytes negative")
+		}
+	})
+}
+
+func TestGroupPeersCopy(t *testing.T) {
+	gc := newGroupCluster(t, 2)
+	g := NewGroup(gc.caller, gc.peers, OutboxConfig{})
+	ps := g.Peers()
+	ps[0] = "mutated"
+	if g.Peers()[0] == "mutated" {
+		t.Fatal("Peers returned an aliased slice")
+	}
+}

@@ -1,0 +1,93 @@
+package storage
+
+import "depfast/internal/metrics"
+
+// EntryCache keeps the most recent log entries in memory. Replication
+// to healthy followers is served entirely from the cache; when a
+// follower lags behind the cache window, its entries must be fetched
+// from the WAL — the disk read that, done synchronously on the logic
+// thread, reproduces the TiDB fail-slow root cause from §2.2 of the
+// paper.
+type EntryCache struct {
+	capacity int
+	entries  []Entry // ring, entries[(idx-lo)%capacity]
+	lo, hi   uint64  // cached index window [lo, hi], empty if hi < lo
+
+	Hits   *metrics.Counter
+	Misses *metrics.Counter
+}
+
+// NewEntryCache returns a cache holding at most capacity entries
+// (minimum 1).
+func NewEntryCache(capacity int) *EntryCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &EntryCache{
+		capacity: capacity,
+		entries:  make([]Entry, capacity),
+		lo:       1,
+		hi:       0,
+		Hits:     metrics.NewCounter("cache.hits"),
+		Misses:   metrics.NewCounter("cache.misses"),
+	}
+}
+
+// Put inserts e, which must extend the window densely (e.Index ==
+// hi+1) or restart it; older entries are evicted when capacity is
+// exceeded.
+func (c *EntryCache) Put(e Entry) {
+	if c.hi >= c.lo && e.Index != c.hi+1 {
+		// Non-contiguous: restart the window at e (conflict truncation).
+		c.lo, c.hi = e.Index, e.Index-1
+	} else if c.hi < c.lo {
+		c.lo = e.Index
+		c.hi = e.Index - 1
+	}
+	c.entries[int(e.Index)%c.capacity] = e
+	c.hi = e.Index
+	if c.hi-c.lo+1 > uint64(c.capacity) {
+		c.lo = c.hi - uint64(c.capacity) + 1
+	}
+}
+
+// Get returns the cached entry at idx; a miss means the caller must go
+// to the WAL.
+func (c *EntryCache) Get(idx uint64) (Entry, bool) {
+	if c.hi < c.lo || idx < c.lo || idx > c.hi {
+		c.Misses.Inc()
+		return Entry{}, false
+	}
+	e := c.entries[int(idx)%c.capacity]
+	if e.Index != idx {
+		c.Misses.Inc()
+		return Entry{}, false
+	}
+	c.Hits.Inc()
+	return e, true
+}
+
+// TruncateFrom drops cached entries with Index >= idx.
+func (c *EntryCache) TruncateFrom(idx uint64) {
+	if c.hi < c.lo {
+		return
+	}
+	if idx <= c.lo {
+		c.lo, c.hi = idx, idx-1
+		return
+	}
+	if idx <= c.hi {
+		c.hi = idx - 1
+	}
+}
+
+// Window returns the cached index range; empty when hi < lo.
+func (c *EntryCache) Window() (lo, hi uint64) { return c.lo, c.hi }
+
+// Len returns the number of cached entries.
+func (c *EntryCache) Len() int {
+	if c.hi < c.lo {
+		return 0
+	}
+	return int(c.hi - c.lo + 1)
+}

@@ -1,0 +1,158 @@
+// Package storage provides the durability substrate: a simulated disk
+// whose service times come from the node's resource environment
+// (executed by background I/O helper threads, as in the DepFast
+// runtime), a write-ahead log, and the bounded in-memory EntryCache
+// whose eviction behaviour reproduces the TiDB fail-slow root cause
+// (a lagging follower forces the leader to re-read evicted entries
+// from disk).
+package storage
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"depfast/internal/clock"
+	"depfast/internal/core"
+	"depfast/internal/env"
+	"depfast/internal/metrics"
+)
+
+// ErrDiskClosed is returned by operations submitted after Close.
+var ErrDiskClosed = errors.New("storage: disk closed")
+
+// opKind distinguishes read and write service times.
+type opKind int
+
+const (
+	opWrite opKind = iota
+	opRead
+)
+
+// diskOp is one queued I/O operation.
+type diskOp struct {
+	kind  opKind
+	bytes int
+	ev    *core.ResultEvent
+	val   interface{}
+}
+
+// Disk simulates a node-local disk. Operations are executed by a pool
+// of I/O helper goroutines — the paper's "I/O helper threads run in
+// the background to deal with synchronous I/O events, e.g. the fsync
+// calls" — and completions are posted back to the node's runtime as
+// disk events. Service times are taken from the environment at
+// execution time, so faults injected mid-run affect queued operations.
+type Disk struct {
+	rt *core.Runtime
+	e  *env.Env
+
+	mu     sync.Mutex
+	ops    chan diskOp
+	closed bool
+	wg     sync.WaitGroup
+
+	Writes *metrics.Counter
+	Reads  *metrics.Counter
+}
+
+// NewDisk starts a disk with the given number of I/O helper threads
+// (minimum 1). Completions fire on rt.
+func NewDisk(rt *core.Runtime, e *env.Env, helpers int) *Disk {
+	if helpers < 1 {
+		helpers = 1
+	}
+	d := &Disk{
+		rt:     rt,
+		e:      e,
+		ops:    make(chan diskOp, 1024),
+		Writes: metrics.NewCounter("disk.writes"),
+		Reads:  metrics.NewCounter("disk.reads"),
+	}
+	for i := 0; i < helpers; i++ {
+		d.wg.Add(1)
+		go d.helper()
+	}
+	return d
+}
+
+// helper executes queued operations serially.
+func (d *Disk) helper() {
+	defer d.wg.Done()
+	for op := range d.ops {
+		var cost time.Duration
+		switch op.kind {
+		case opWrite:
+			cost = d.e.DiskWriteCost(op.bytes)
+		case opRead:
+			cost = d.e.DiskReadCost(op.bytes)
+		}
+		clock.Precise(cost)
+		ev, val := op.ev, op.val
+		d.rt.Post(func() { ev.Fire(val, nil) })
+	}
+}
+
+// submit queues an operation, failing the event if the disk is closed
+// or the queue overflows (treated as an I/O error).
+func (d *Disk) submit(op diskOp) {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		op.ev.Fire(nil, ErrDiskClosed)
+		return
+	}
+	select {
+	case d.ops <- op:
+		d.mu.Unlock()
+	default:
+		d.mu.Unlock()
+		op.ev.Fire(nil, errors.New("storage: disk queue overflow"))
+	}
+}
+
+// WriteAsync durably writes n bytes (write + fsync) and returns the
+// disk event that fires on completion. val is delivered as the event
+// value. Call under the runtime baton.
+func (d *Disk) WriteAsync(n int, val interface{}) *core.ResultEvent {
+	d.Writes.Inc()
+	ev := core.NewResultEvent("disk")
+	d.submit(diskOp{kind: opWrite, bytes: n, ev: ev, val: val})
+	return ev
+}
+
+// ReadAsync reads n bytes and fires the returned event with val.
+func (d *Disk) ReadAsync(n int, val interface{}) *core.ResultEvent {
+	d.Reads.Inc()
+	ev := core.NewResultEvent("disk")
+	d.submit(diskOp{kind: opRead, bytes: n, ev: ev, val: val})
+	return ev
+}
+
+// WriteBlocking performs the write synchronously on the calling
+// goroutine, blocking it (and, from a coroutine, the whole runtime)
+// for the full service time. This is the anti-pattern the baselines
+// use: synchronous I/O on the logic thread.
+func (d *Disk) WriteBlocking(n int) {
+	d.Writes.Inc()
+	clock.Precise(d.e.DiskWriteCost(n))
+}
+
+// ReadBlocking performs the read synchronously, blocking the caller.
+func (d *Disk) ReadBlocking(n int) {
+	d.Reads.Inc()
+	clock.Precise(d.e.DiskReadCost(n))
+}
+
+// Close drains helpers; queued operations still complete.
+func (d *Disk) Close() {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return
+	}
+	d.closed = true
+	close(d.ops)
+	d.mu.Unlock()
+	d.wg.Wait()
+}

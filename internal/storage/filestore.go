@@ -1,0 +1,364 @@
+package storage
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+
+	"depfast/internal/codec"
+)
+
+// Persister is the durable-state interface a consensus server uses in
+// real deployments. The simulated environment models only the *cost*
+// of persistence; a Persister makes it actual. Implementations must
+// make each mutating call durable before returning.
+type Persister interface {
+	// AppendEntries appends and fsyncs log entries.
+	AppendEntries(entries []Entry) error
+	// TruncateFrom durably records that entries with Index >= idx are
+	// removed.
+	TruncateFrom(idx uint64) error
+	// CompactTo durably drops entries below newStart (covered by a
+	// snapshot).
+	CompactTo(newStart uint64) error
+	// SaveState durably records the current term and vote.
+	SaveState(term uint64, votedFor string) error
+	// SaveSnapshot durably records a state-machine snapshot.
+	SaveSnapshot(index, term uint64, data []byte) error
+	// Load recovers everything previously persisted.
+	Load() (PersistedState, error)
+	// Close releases resources.
+	Close() error
+}
+
+// PersistedState is the recovered durable state.
+type PersistedState struct {
+	Term      uint64
+	VotedFor  string
+	SnapIndex uint64
+	SnapTerm  uint64
+	Snapshot  []byte
+	// Entries are the retained log records, dense from SnapIndex+1.
+	Entries []Entry
+}
+
+// FileStore is a directory-backed Persister:
+//
+//	wal.log   append-only CRC-framed records (entries + truncations)
+//	meta      current term/vote, atomically replaced
+//	snapshot  latest snapshot (index, term, data), atomically replaced
+//
+// Recovery replays wal.log, applying truncation records and stopping
+// cleanly at a torn tail (partial final record), like a real WAL.
+type FileStore struct {
+	dir string
+	wal *os.File
+}
+
+// record kinds in wal.log.
+const (
+	recEntry    = 1
+	recTruncate = 2
+	recCompact  = 3
+)
+
+// ErrCorrupt reports an unreadable persistent file (not a torn tail —
+// torn tails are repaired silently).
+var ErrCorrupt = errors.New("storage: corrupt persistent state")
+
+// OpenFileStore opens (creating if needed) a durable store in dir.
+func OpenFileStore(dir string) (*FileStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(filepath.Join(dir, "wal.log"), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &FileStore{dir: dir, wal: f}, nil
+}
+
+// Dir returns the backing directory.
+func (fs *FileStore) Dir() string { return fs.dir }
+
+// writeRecord frames and appends one record; callers batch their own
+// fsync via sync().
+func (fs *FileStore) writeRecord(payload []byte) error {
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
+	if _, err := fs.wal.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := fs.wal.Write(payload)
+	return err
+}
+
+func (fs *FileStore) sync() error { return fs.wal.Sync() }
+
+// AppendEntries implements Persister.
+func (fs *FileStore) AppendEntries(entries []Entry) error {
+	for _, en := range entries {
+		e := codec.NewEncoder(len(en.Data) + 24)
+		e.Uint64(recEntry)
+		e.Uint64(en.Index)
+		e.Uint64(en.Term)
+		e.BytesField(en.Data)
+		if err := fs.writeRecord(e.Bytes()); err != nil {
+			return err
+		}
+	}
+	return fs.sync()
+}
+
+// TruncateFrom implements Persister.
+func (fs *FileStore) TruncateFrom(idx uint64) error {
+	e := codec.NewEncoder(16)
+	e.Uint64(recTruncate)
+	e.Uint64(idx)
+	if err := fs.writeRecord(e.Bytes()); err != nil {
+		return err
+	}
+	return fs.sync()
+}
+
+// CompactTo implements Persister. The compaction point is logged;
+// the log file is physically rewritten when it has shrunk far enough
+// that a rewrite pays off (here: always, for simplicity and to bound
+// disk use).
+func (fs *FileStore) CompactTo(newStart uint64) error {
+	e := codec.NewEncoder(16)
+	e.Uint64(recCompact)
+	e.Uint64(newStart)
+	if err := fs.writeRecord(e.Bytes()); err != nil {
+		return err
+	}
+	if err := fs.sync(); err != nil {
+		return err
+	}
+	return fs.rewrite()
+}
+
+// rewrite replays the current log and rewrites it with only live
+// records, atomically.
+func (fs *FileStore) rewrite() error {
+	st, err := fs.Load()
+	if err != nil {
+		return err
+	}
+	tmpPath := filepath.Join(fs.dir, "wal.log.tmp")
+	tmp, err := os.OpenFile(tmpPath, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	nfs := &FileStore{dir: fs.dir, wal: tmp}
+	for _, en := range st.Entries {
+		e := codec.NewEncoder(len(en.Data) + 24)
+		e.Uint64(recEntry)
+		e.Uint64(en.Index)
+		e.Uint64(en.Term)
+		e.BytesField(en.Data)
+		if err := nfs.writeRecord(e.Bytes()); err != nil {
+			tmp.Close()
+			return err
+		}
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmpPath, filepath.Join(fs.dir, "wal.log")); err != nil {
+		return err
+	}
+	fs.wal.Close()
+	f, err := os.OpenFile(filepath.Join(fs.dir, "wal.log"), os.O_RDWR, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return err
+	}
+	fs.wal = f
+	return nil
+}
+
+// SaveState implements Persister: atomic replace of the meta file.
+func (fs *FileStore) SaveState(term uint64, votedFor string) error {
+	e := codec.NewEncoder(32)
+	e.Uint64(term)
+	e.String(votedFor)
+	return atomicWrite(filepath.Join(fs.dir, "meta"), e.Bytes())
+}
+
+// SaveSnapshot implements Persister: atomic replace of the snapshot
+// file.
+func (fs *FileStore) SaveSnapshot(index, term uint64, data []byte) error {
+	e := codec.NewEncoder(len(data) + 24)
+	e.Uint64(index)
+	e.Uint64(term)
+	e.BytesField(data)
+	return atomicWrite(filepath.Join(fs.dir, "snapshot"), e.Bytes())
+}
+
+// atomicWrite writes data to path via a temp file + rename + fsync.
+func atomicWrite(path string, data []byte) error {
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	// Guard the payload with a checksum so a torn meta write is
+	// detected at load.
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(data)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(data))
+	if _, err := f.Write(hdr[:]); err != nil {
+		f.Close()
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// readChecked loads a checksummed file written by atomicWrite; a
+// missing file returns (nil, nil).
+func readChecked(path string) ([]byte, error) {
+	raw, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	if len(raw) < 8 {
+		return nil, fmt.Errorf("%w: %s too short", ErrCorrupt, path)
+	}
+	n := binary.LittleEndian.Uint32(raw[0:4])
+	sum := binary.LittleEndian.Uint32(raw[4:8])
+	if int(n) != len(raw)-8 || crc32.ChecksumIEEE(raw[8:]) != sum {
+		return nil, fmt.Errorf("%w: %s checksum mismatch", ErrCorrupt, path)
+	}
+	return raw[8:], nil
+}
+
+// Load implements Persister.
+func (fs *FileStore) Load() (PersistedState, error) {
+	var st PersistedState
+
+	if meta, err := readChecked(filepath.Join(fs.dir, "meta")); err != nil {
+		return st, err
+	} else if meta != nil {
+		d := codec.NewDecoder(meta)
+		st.Term = d.Uint64()
+		st.VotedFor = d.String()
+		if d.Err() != nil {
+			return st, fmt.Errorf("%w: meta: %v", ErrCorrupt, d.Err())
+		}
+	}
+	if snap, err := readChecked(filepath.Join(fs.dir, "snapshot")); err != nil {
+		return st, err
+	} else if snap != nil {
+		d := codec.NewDecoder(snap)
+		st.SnapIndex = d.Uint64()
+		st.SnapTerm = d.Uint64()
+		st.Snapshot = d.BytesField()
+		if d.Err() != nil {
+			return st, fmt.Errorf("%w: snapshot: %v", ErrCorrupt, d.Err())
+		}
+	}
+
+	raw, err := os.ReadFile(filepath.Join(fs.dir, "wal.log"))
+	if err != nil && !errors.Is(err, os.ErrNotExist) {
+		return st, err
+	}
+	var entries []Entry
+	start := st.SnapIndex + 1
+	off := 0
+	validEnd := 0
+	for {
+		if off+8 > len(raw) {
+			break // torn or clean end
+		}
+		n := int(binary.LittleEndian.Uint32(raw[off : off+4]))
+		sum := binary.LittleEndian.Uint32(raw[off+4 : off+8])
+		if n < 0 || off+8+n > len(raw) {
+			break // torn tail
+		}
+		payload := raw[off+8 : off+8+n]
+		if crc32.ChecksumIEEE(payload) != sum {
+			break // torn tail
+		}
+		d := codec.NewDecoder(payload)
+		kind := d.Uint64()
+		switch kind {
+		case recEntry:
+			en := Entry{Index: d.Uint64(), Term: d.Uint64(), Data: d.BytesField()}
+			if d.Err() != nil {
+				return st, fmt.Errorf("%w: wal entry record", ErrCorrupt)
+			}
+			// Implicit truncate: a re-appended index overwrites the
+			// suffix (leader-change conflict rewrite).
+			for len(entries) > 0 && entries[len(entries)-1].Index >= en.Index {
+				entries = entries[:len(entries)-1]
+			}
+			entries = append(entries, en)
+		case recTruncate:
+			idx := d.Uint64()
+			for len(entries) > 0 && entries[len(entries)-1].Index >= idx {
+				entries = entries[:len(entries)-1]
+			}
+		case recCompact:
+			newStart := d.Uint64()
+			for len(entries) > 0 && entries[0].Index < newStart {
+				entries = entries[1:]
+			}
+			if newStart > start {
+				start = newStart
+			}
+		default:
+			return st, fmt.Errorf("%w: unknown wal record kind %d", ErrCorrupt, kind)
+		}
+		off += 8 + n
+		validEnd = off
+	}
+	// Repair a torn tail so future appends extend a valid log.
+	if validEnd < len(raw) {
+		if err := fs.wal.Truncate(int64(validEnd)); err != nil {
+			return st, err
+		}
+		if _, err := fs.wal.Seek(0, io.SeekEnd); err != nil {
+			return st, err
+		}
+	}
+	// Entries recovered before the snapshot point are covered by it.
+	for len(entries) > 0 && entries[0].Index <= st.SnapIndex {
+		entries = entries[1:]
+	}
+	st.Entries = entries
+	return st, nil
+}
+
+// Close implements Persister.
+func (fs *FileStore) Close() error { return fs.wal.Close() }

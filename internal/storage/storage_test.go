@@ -1,0 +1,387 @@
+package storage
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"depfast/internal/core"
+	"depfast/internal/env"
+)
+
+func testEnv() *env.Env {
+	cfg := env.DefaultConfig()
+	cfg.FsyncBase = 200 * time.Microsecond
+	cfg.DiskReadBase = 100 * time.Microsecond
+	cfg.DiskBytesPerSec = 1e8
+	return env.New("s1", cfg)
+}
+
+// withDisk runs fn on a coroutine with a fresh runtime+disk.
+func withDisk(t *testing.T, fn func(co *core.Coroutine, d *Disk)) {
+	t.Helper()
+	rt := core.NewRuntime("s1")
+	d := NewDisk(rt, testEnv(), 2)
+	done := make(chan struct{})
+	rt.Spawn("test", func(co *core.Coroutine) {
+		defer close(done)
+		fn(co, d)
+	})
+	select {
+	case <-done:
+	case <-time.After(15 * time.Second):
+		t.Fatal("timeout")
+	}
+	rt.Stop()
+	d.Close()
+}
+
+func TestDiskWriteAsyncCompletes(t *testing.T) {
+	withDisk(t, func(co *core.Coroutine, d *Disk) {
+		start := time.Now()
+		ev := d.WriteAsync(1000, "done")
+		if err := co.Wait(ev); err != nil {
+			t.Errorf("wait: %v", err)
+			return
+		}
+		if ev.Err() != nil || ev.Value() != "done" {
+			t.Errorf("result: %v %v", ev.Value(), ev.Err())
+		}
+		if el := time.Since(start); el < 150*time.Microsecond {
+			t.Errorf("write completed in %v, faster than fsync base", el)
+		}
+		if d.Writes.Value() != 1 {
+			t.Errorf("writes = %d", d.Writes.Value())
+		}
+	})
+}
+
+func TestDiskReadAsyncDeliversValue(t *testing.T) {
+	withDisk(t, func(co *core.Coroutine, d *Disk) {
+		want := []int{1, 2, 3}
+		ev := d.ReadAsync(100, want)
+		_ = co.Wait(ev)
+		got, ok := ev.Value().([]int)
+		if !ok || len(got) != 3 {
+			t.Errorf("value = %v", ev.Value())
+		}
+	})
+}
+
+func TestDiskFaultStretchesQueuedOps(t *testing.T) {
+	// A fault applied after submission must still affect the op,
+	// because service time is computed at execution.
+	rt := core.NewRuntime("s1")
+	defer rt.Stop()
+	e := testEnv()
+	d := NewDisk(rt, e, 1)
+	defer d.Close()
+	e.SetDiskFactor(50) // 200µs -> 10ms
+	done := make(chan time.Duration, 1)
+	rt.Spawn("test", func(co *core.Coroutine) {
+		start := time.Now()
+		ev := d.WriteAsync(0, nil)
+		_ = co.Wait(ev)
+		done <- time.Since(start)
+	})
+	if el := <-done; el < 8*time.Millisecond {
+		t.Fatalf("faulted write completed in %v, want >= 10ms", el)
+	}
+}
+
+func TestDiskCloseFailsNewOps(t *testing.T) {
+	rt := core.NewRuntime("s1")
+	defer rt.Stop()
+	d := NewDisk(rt, testEnv(), 1)
+	d.Close()
+	done := make(chan error, 1)
+	rt.Spawn("test", func(co *core.Coroutine) {
+		ev := d.WriteAsync(10, nil)
+		_ = co.Wait(ev)
+		done <- ev.Err()
+	})
+	if err := <-done; !errors.Is(err, ErrDiskClosed) {
+		t.Fatalf("err = %v, want ErrDiskClosed", err)
+	}
+}
+
+func TestDiskBlockingOps(t *testing.T) {
+	rt := core.NewRuntime("s1")
+	defer rt.Stop()
+	e := testEnv()
+	e.SetDiskFactor(25) // read base 100µs -> 2.5ms
+	d := NewDisk(rt, e, 1)
+	defer d.Close()
+	start := time.Now()
+	d.ReadBlocking(0)
+	if el := time.Since(start); el < 2*time.Millisecond {
+		t.Fatalf("blocking read returned in %v", el)
+	}
+}
+
+// withWAL runs fn with a fresh runtime, disk, and WAL.
+func withWAL(t *testing.T, fn func(co *core.Coroutine, w *WAL)) {
+	t.Helper()
+	withDisk(t, func(co *core.Coroutine, d *Disk) {
+		fn(co, NewWAL(d))
+	})
+}
+
+func ents(lo, n uint64, term uint64) []Entry {
+	out := make([]Entry, 0, n)
+	for i := uint64(0); i < n; i++ {
+		out = append(out, Entry{Index: lo + i, Term: term, Data: []byte("cmd")})
+	}
+	return out
+}
+
+func TestWALAppendAndRead(t *testing.T) {
+	withWAL(t, func(co *core.Coroutine, w *WAL) {
+		if w.LastIndex() != 0 || w.FirstIndex() != 1 {
+			t.Fatalf("empty log: first=%d last=%d", w.FirstIndex(), w.LastIndex())
+		}
+		ev, err := w.Append(ents(1, 5, 1))
+		if err != nil {
+			t.Fatalf("append: %v", err)
+		}
+		_ = co.Wait(ev)
+		if w.LastIndex() != 5 || w.Len() != 5 {
+			t.Fatalf("last=%d len=%d", w.LastIndex(), w.Len())
+		}
+		e, ok := w.Entry(3)
+		if !ok || e.Index != 3 || e.Term != 1 {
+			t.Fatalf("entry(3) = %+v %v", e, ok)
+		}
+		if _, ok := w.Entry(6); ok {
+			t.Fatal("entry(6) should be absent")
+		}
+		if got := w.Term(5); got != 1 {
+			t.Fatalf("term(5) = %d", got)
+		}
+		if got := w.Term(99); got != 0 {
+			t.Fatalf("term(99) = %d", got)
+		}
+	})
+}
+
+func TestWALAppendGapRejected(t *testing.T) {
+	withWAL(t, func(co *core.Coroutine, w *WAL) {
+		if _, err := w.Append(ents(2, 1, 1)); err == nil {
+			t.Fatal("gap append must error")
+		}
+		ev, _ := w.Append(ents(1, 3, 1))
+		_ = co.Wait(ev)
+		if _, err := w.Append(ents(5, 1, 1)); err == nil {
+			t.Fatal("gap append must error")
+		}
+	})
+}
+
+func TestWALReadAsync(t *testing.T) {
+	withWAL(t, func(co *core.Coroutine, w *WAL) {
+		ev, _ := w.Append(ents(1, 10, 2))
+		_ = co.Wait(ev)
+		rev := w.ReadAsync(3, 7)
+		_ = co.Wait(rev)
+		got := rev.Value().([]Entry)
+		if len(got) != 5 || got[0].Index != 3 || got[4].Index != 7 {
+			t.Fatalf("read = %+v", got)
+		}
+	})
+}
+
+func TestWALReadClamped(t *testing.T) {
+	withWAL(t, func(co *core.Coroutine, w *WAL) {
+		ev, _ := w.Append(ents(1, 3, 1))
+		_ = co.Wait(ev)
+		got := w.ReadBlocking(0, 99)
+		if len(got) != 3 {
+			t.Fatalf("clamped read = %d entries", len(got))
+		}
+		if got := w.ReadBlocking(5, 9); got != nil {
+			t.Fatalf("out-of-range read = %v", got)
+		}
+	})
+}
+
+func TestWALTruncateFrom(t *testing.T) {
+	withWAL(t, func(co *core.Coroutine, w *WAL) {
+		ev, _ := w.Append(ents(1, 10, 1))
+		_ = co.Wait(ev)
+		if n := w.TruncateFrom(6); n != 5 {
+			t.Fatalf("truncated %d, want 5", n)
+		}
+		if w.LastIndex() != 5 {
+			t.Fatalf("last = %d, want 5", w.LastIndex())
+		}
+		// Append continues from 6.
+		if _, err := w.Append(ents(6, 2, 2)); err != nil {
+			t.Fatalf("append after truncate: %v", err)
+		}
+		if w.Term(6) != 2 {
+			t.Fatalf("term(6) = %d, want 2", w.Term(6))
+		}
+		if n := w.TruncateFrom(100); n != 0 {
+			t.Fatalf("truncate beyond end removed %d", n)
+		}
+	})
+}
+
+func TestWALConflictRewrite(t *testing.T) {
+	withWAL(t, func(co *core.Coroutine, w *WAL) {
+		ev, _ := w.Append(ents(1, 5, 1))
+		_ = co.Wait(ev)
+		w.TruncateFrom(3)
+		ev2, _ := w.Append(ents(3, 3, 2))
+		_ = co.Wait(ev2)
+		if w.LastIndex() != 5 || w.Term(3) != 2 || w.Term(2) != 1 {
+			t.Fatalf("rewrite failed: last=%d t3=%d t2=%d",
+				w.LastIndex(), w.Term(3), w.Term(2))
+		}
+	})
+}
+
+func TestEntryCacheBasic(t *testing.T) {
+	c := NewEntryCache(4)
+	if c.Len() != 0 {
+		t.Fatal("new cache not empty")
+	}
+	for i := uint64(1); i <= 4; i++ {
+		c.Put(Entry{Index: i, Term: 1})
+	}
+	if c.Len() != 4 {
+		t.Fatalf("len = %d", c.Len())
+	}
+	e, ok := c.Get(2)
+	if !ok || e.Index != 2 {
+		t.Fatalf("get(2) = %+v %v", e, ok)
+	}
+	if c.Hits.Value() != 1 {
+		t.Fatalf("hits = %d", c.Hits.Value())
+	}
+}
+
+func TestEntryCacheEviction(t *testing.T) {
+	c := NewEntryCache(4)
+	for i := uint64(1); i <= 10; i++ {
+		c.Put(Entry{Index: i, Term: 1})
+	}
+	lo, hi := c.Window()
+	if lo != 7 || hi != 10 {
+		t.Fatalf("window = [%d,%d], want [7,10]", lo, hi)
+	}
+	if _, ok := c.Get(6); ok {
+		t.Fatal("evicted entry still cached")
+	}
+	if c.Misses.Value() != 1 {
+		t.Fatalf("misses = %d", c.Misses.Value())
+	}
+	if _, ok := c.Get(7); !ok {
+		t.Fatal("entry 7 should be cached")
+	}
+}
+
+func TestEntryCacheTruncate(t *testing.T) {
+	c := NewEntryCache(8)
+	for i := uint64(1); i <= 6; i++ {
+		c.Put(Entry{Index: i, Term: 1})
+	}
+	c.TruncateFrom(4)
+	if _, ok := c.Get(4); ok {
+		t.Fatal("truncated entry cached")
+	}
+	if _, ok := c.Get(3); !ok {
+		t.Fatal("entry 3 should survive")
+	}
+	// Re-put after truncation continues the window.
+	c.Put(Entry{Index: 4, Term: 2})
+	e, ok := c.Get(4)
+	if !ok || e.Term != 2 {
+		t.Fatalf("get(4) after re-put = %+v %v", e, ok)
+	}
+}
+
+func TestEntryCacheNonContiguousRestartsWindow(t *testing.T) {
+	c := NewEntryCache(8)
+	c.Put(Entry{Index: 1, Term: 1})
+	c.Put(Entry{Index: 10, Term: 1}) // jump
+	if _, ok := c.Get(1); ok {
+		t.Fatal("old window should be dropped after jump")
+	}
+	if _, ok := c.Get(10); !ok {
+		t.Fatal("new entry should be cached")
+	}
+}
+
+func TestEntryCachePropertyWindowConsistent(t *testing.T) {
+	// Property: after sequential puts 1..n into a cache of capacity c,
+	// exactly the last min(n,c) entries are retrievable.
+	f := func(nRaw, capRaw uint8) bool {
+		n := int(nRaw%100) + 1
+		capacity := int(capRaw%16) + 1
+		c := NewEntryCache(capacity)
+		for i := 1; i <= n; i++ {
+			c.Put(Entry{Index: uint64(i), Term: 1})
+		}
+		keep := n
+		if keep > capacity {
+			keep = capacity
+		}
+		for i := 1; i <= n; i++ {
+			_, ok := c.Get(uint64(i))
+			wantOK := i > n-keep
+			if ok != wantOK {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWALPropertyAppendTruncate(t *testing.T) {
+	// Property: any sequence of appends and truncations keeps the log
+	// dense: Entry(i) exists iff FirstIndex <= i <= LastIndex.
+	f := func(ops []uint8) bool {
+		rt := core.NewRuntime("p")
+		defer rt.Stop()
+		d := NewDisk(rt, testEnv(), 1)
+		defer d.Close()
+		w := NewWAL(d)
+		ok := true
+		done := make(chan struct{})
+		rt.Spawn("p", func(co *core.Coroutine) {
+			defer close(done)
+			for _, op := range ops {
+				if op%3 == 0 && w.LastIndex() >= w.FirstIndex() {
+					w.TruncateFrom(w.FirstIndex() + uint64(op)%(w.LastIndex()-w.FirstIndex()+1))
+				} else {
+					ev, err := w.Append(ents(w.LastIndex()+1, uint64(op%4)+1, 1))
+					if err != nil {
+						ok = false
+						return
+					}
+					_ = ev // durability event not needed for the invariant
+				}
+				for i := w.FirstIndex(); i <= w.LastIndex(); i++ {
+					if _, present := w.Entry(i); !present {
+						ok = false
+						return
+					}
+				}
+				if _, present := w.Entry(w.LastIndex() + 1); present {
+					ok = false
+					return
+				}
+			}
+		})
+		<-done
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

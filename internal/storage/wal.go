@@ -1,0 +1,197 @@
+package storage
+
+import (
+	"fmt"
+
+	"depfast/internal/core"
+	"depfast/internal/metrics"
+)
+
+// Entry is one replicated-log record. Index is 1-based and dense; Term
+// follows Raft semantics; Data is the state-machine command.
+type Entry struct {
+	Index uint64
+	Term  uint64
+	Data  []byte
+}
+
+// Size approximates the entry's on-disk footprint.
+func (e Entry) Size() int { return 16 + len(e.Data) }
+
+// WAL is a write-ahead log. Entry contents are kept in memory (this is
+// a simulation of durability timing, not of crash recovery across
+// process restarts); appends and range reads are charged realistic
+// disk service times through the Disk.
+//
+// All methods must run under the owning runtime's baton.
+type WAL struct {
+	disk    *Disk
+	entries []Entry // entries[i] has Index == start+uint64(i)
+	start   uint64  // index of entries[0]; log is empty if len==0
+
+	Appends *metrics.Counter
+	Trunc   *metrics.Counter
+}
+
+// NewWAL returns an empty log starting at index 1, backed by disk.
+func NewWAL(disk *Disk) *WAL {
+	return &WAL{
+		disk:    disk,
+		start:   1,
+		Appends: metrics.NewCounter("wal.appends"),
+		Trunc:   metrics.NewCounter("wal.truncations"),
+	}
+}
+
+// LastIndex returns the highest appended index, or 0 for an empty log.
+func (w *WAL) LastIndex() uint64 {
+	if len(w.entries) == 0 {
+		return w.start - 1
+	}
+	return w.start + uint64(len(w.entries)) - 1
+}
+
+// FirstIndex returns the lowest retained index (start), even if the
+// log is empty.
+func (w *WAL) FirstIndex() uint64 { return w.start }
+
+// Term returns the term of the entry at idx, or 0 if not present.
+func (w *WAL) Term(idx uint64) uint64 {
+	e, ok := w.Entry(idx)
+	if !ok {
+		return 0
+	}
+	return e.Term
+}
+
+// Entry returns the in-memory entry at idx without charging disk cost;
+// internal bookkeeping only — serving reads to peers goes through
+// ReadAsync/ReadBlocking.
+func (w *WAL) Entry(idx uint64) (Entry, bool) {
+	if idx < w.start || idx > w.LastIndex() {
+		return Entry{}, false
+	}
+	return w.entries[idx-w.start], true
+}
+
+// Append appends entries (which must continue the log densely) and
+// returns the disk event for the fsync. The entries are visible via
+// Entry immediately; the event marks durability.
+func (w *WAL) Append(entries []Entry) (*core.ResultEvent, error) {
+	next := w.LastIndex() + 1
+	bytes := 0
+	for i, e := range entries {
+		if e.Index != next+uint64(i) {
+			return nil, fmt.Errorf("storage: append gap: entry %d at position for %d",
+				e.Index, next+uint64(i))
+		}
+		bytes += e.Size()
+	}
+	w.entries = append(w.entries, entries...)
+	w.Appends.Add(int64(len(entries)))
+	return w.disk.WriteAsync(bytes, nil), nil
+}
+
+// TruncateFrom removes entries with Index >= idx (Raft conflict
+// resolution) and returns how many were dropped.
+func (w *WAL) TruncateFrom(idx uint64) int {
+	if idx <= w.start {
+		n := len(w.entries)
+		w.entries = w.entries[:0]
+		if idx < w.start {
+			w.start = idx
+		}
+		w.Trunc.Add(int64(n))
+		return n
+	}
+	if idx > w.LastIndex() {
+		return 0
+	}
+	keep := int(idx - w.start)
+	n := len(w.entries) - keep
+	w.entries = w.entries[:keep]
+	w.Trunc.Add(int64(n))
+	return n
+}
+
+// rangeBytes sums sizes over [lo, hi] clamped to the log.
+func (w *WAL) slice(lo, hi uint64) ([]Entry, int) {
+	if lo < w.start {
+		lo = w.start
+	}
+	last := w.LastIndex()
+	if hi > last {
+		hi = last
+	}
+	if lo > hi {
+		return nil, 0
+	}
+	src := w.entries[lo-w.start : hi-w.start+1]
+	out := make([]Entry, len(src))
+	copy(out, src)
+	bytes := 0
+	for _, e := range out {
+		bytes += e.Size()
+	}
+	return out, bytes
+}
+
+// ReadAsync reads entries [lo, hi] (inclusive, clamped) through the
+// disk; the event fires with a []Entry value. This is how DepFast code
+// serves catch-up reads without blocking the runtime.
+func (w *WAL) ReadAsync(lo, hi uint64) *core.ResultEvent {
+	out, bytes := w.slice(lo, hi)
+	return w.disk.ReadAsync(bytes, out)
+}
+
+// ReadBlocking reads entries [lo, hi] synchronously, blocking the
+// calling goroutine for the disk service time — the TiDB-pattern
+// anti-pattern, used by the SyncRSM baseline.
+func (w *WAL) ReadBlocking(lo, hi uint64) []Entry {
+	out, bytes := w.slice(lo, hi)
+	w.disk.ReadBlocking(bytes)
+	return out
+}
+
+// Len returns the number of retained entries.
+func (w *WAL) Len() int { return len(w.entries) }
+
+// CompactTo discards entries with Index < newStart (they are covered
+// by a snapshot) and returns how many were dropped. newStart may be at
+// most LastIndex()+1; larger values are clamped.
+func (w *WAL) CompactTo(newStart uint64) int {
+	if newStart <= w.start {
+		return 0
+	}
+	if max := w.LastIndex() + 1; newStart > max {
+		newStart = max
+	}
+	drop := int(newStart - w.start)
+	kept := copy(w.entries, w.entries[drop:])
+	for i := kept; i < len(w.entries); i++ {
+		w.entries[i] = Entry{}
+	}
+	w.entries = w.entries[:kept]
+	w.start = newStart
+	return drop
+}
+
+// ResetTo empties the log and restarts it at newStart; used when a
+// follower installs a snapshot covering its whole log.
+func (w *WAL) ResetTo(newStart uint64) {
+	w.entries = w.entries[:0]
+	w.start = newStart
+}
+
+// LoadEntries installs recovered entries directly (no disk cost);
+// they must continue the log densely from the current start.
+func (w *WAL) LoadEntries(entries []Entry) error {
+	next := w.LastIndex() + 1
+	for i, e := range entries {
+		if e.Index != next+uint64(i) {
+			return fmt.Errorf("storage: recovered log gap at %d (want %d)", e.Index, next+uint64(i))
+		}
+	}
+	w.entries = append(w.entries, entries...)
+	return nil
+}

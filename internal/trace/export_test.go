@@ -1,0 +1,140 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"depfast/internal/core"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	in := []core.WaitRecord{
+		rec("s1", "quorum", 2, 3, []string{"s2", "s3"}, 5*time.Millisecond),
+		rec("c1", "rpc", 1, 1, []string{"s1"}, time.Millisecond),
+	}
+	in[1].TimedOut = true
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 {
+		t.Fatalf("records = %d", len(out))
+	}
+	if out[0].Node != "s1" || out[0].Event.Quorum != 2 || len(out[0].Event.Peers) != 2 {
+		t.Fatalf("record 0 = %+v", out[0])
+	}
+	if !out[1].TimedOut {
+		t.Fatal("timed-out flag lost")
+	}
+	if got := out[0].End.Sub(out[0].Start); got != 5*time.Millisecond {
+		t.Fatalf("duration = %v", got)
+	}
+}
+
+func TestReadJSONCorrupt(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader("{not json")); err == nil {
+		t.Fatal("corrupt json accepted")
+	}
+}
+
+func TestReadJSONEmpty(t *testing.T) {
+	out, err := ReadJSON(strings.NewReader(""))
+	if err != nil || len(out) != 0 {
+		t.Fatalf("empty read: %v %v", out, err)
+	}
+}
+
+func TestBreakdown(t *testing.T) {
+	records := []core.WaitRecord{
+		rec("s1", "disk", 1, 1, nil, 2*time.Millisecond),
+		rec("s1", "disk", 1, 1, nil, 4*time.Millisecond),
+		rec("s1", "quorum", 2, 3, []string{"s2"}, time.Millisecond),
+		rec("s2", "disk", 1, 1, nil, 10*time.Millisecond),
+	}
+	records[0].TimedOut = true
+	stats := Breakdown(records)
+	if len(stats) != 3 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	// s1 disk aggregates 2 waits, mean 3ms, max 4ms, 1 timeout.
+	var s1disk *KindStat
+	for i := range stats {
+		if stats[i].Node == "s1" && stats[i].Kind == "disk" {
+			s1disk = &stats[i]
+		}
+	}
+	if s1disk == nil || s1disk.Count != 2 || s1disk.Mean() != 3*time.Millisecond ||
+		s1disk.MaxWait != 4*time.Millisecond || s1disk.Timeouts != 1 {
+		t.Fatalf("s1 disk = %+v", s1disk)
+	}
+	// Rendering includes the headline columns.
+	out := RenderBreakdown(stats)
+	for _, want := range []string{"NODE", "disk", "quorum", "s2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}
+
+func TestWindowFilter(t *testing.T) {
+	base := time.Unix(100, 0)
+	mk := func(startOff, dur time.Duration) core.WaitRecord {
+		return core.WaitRecord{
+			Node:  "s1",
+			Event: core.EventDesc{Kind: "rpc", Quorum: 1, Total: 1},
+			Start: base.Add(startOff),
+			End:   base.Add(startOff + dur),
+		}
+	}
+	records := []core.WaitRecord{
+		mk(0, time.Second),                      // [0,1)
+		mk(2*time.Second, time.Second),          // [2,3)
+		mk(500*time.Millisecond, 2*time.Second), // [0.5,2.5) overlaps both
+	}
+	got := Window(records, base.Add(1500*time.Millisecond), base.Add(4*time.Second))
+	if len(got) != 2 {
+		t.Fatalf("window = %d records, want 2", len(got))
+	}
+}
+
+func TestCompareWindows(t *testing.T) {
+	base := time.Unix(200, 0)
+	mk := func(node, kind string, startOff, dur time.Duration) core.WaitRecord {
+		return core.WaitRecord{
+			Node:  node,
+			Event: core.EventDesc{Kind: kind, Quorum: 1, Total: 1},
+			Start: base.Add(startOff),
+			End:   base.Add(startOff + dur),
+		}
+	}
+	records := []core.WaitRecord{
+		// Baseline window [0,1s): disk waits 1ms.
+		mk("s2", "disk", 100*time.Millisecond, time.Millisecond),
+		mk("s2", "disk", 200*time.Millisecond, time.Millisecond),
+		// Fault window [1s,2s): disk waits 10ms (x10 inflation).
+		mk("s2", "disk", 1100*time.Millisecond, 10*time.Millisecond),
+		mk("s2", "disk", 1200*time.Millisecond, 10*time.Millisecond),
+		// rpc unchanged in both windows.
+		mk("s1", "rpc", 300*time.Millisecond, 2*time.Millisecond),
+		mk("s1", "rpc", 1300*time.Millisecond, 2*time.Millisecond),
+	}
+	deltas := CompareWindows(records,
+		base, base.Add(time.Second),
+		base.Add(time.Second), base.Add(2*time.Second))
+	if len(deltas) != 2 {
+		t.Fatalf("deltas = %+v", deltas)
+	}
+	top := deltas[0]
+	if top.Node != "s2" || top.Kind != "disk" || top.Inflation < 9.5 || top.Inflation > 10.5 {
+		t.Fatalf("top delta = %+v", top)
+	}
+	if deltas[1].Inflation < 0.9 || deltas[1].Inflation > 1.1 {
+		t.Fatalf("rpc delta = %+v", deltas[1])
+	}
+}

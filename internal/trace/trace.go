@@ -1,0 +1,226 @@
+// Package trace implements DepFast's runtime verification support:
+// collection of wait records from runtimes, construction of slowness
+// propagation graphs (SPGs, Figure 2 of the paper), and a verifier
+// that checks the paper's definition of fail-slow fault-tolerant code
+// — logic that waits only on quorum events and has no other
+// cross-node waiting points.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"depfast/internal/core"
+)
+
+// Collector accumulates wait records from one or more runtimes. It
+// implements core.Tracer and is safe for concurrent use, so a single
+// collector can be shared by every runtime in a deployment — the
+// paper's "multiple DepFast runtime instances work together for the
+// tracing".
+type Collector struct {
+	mu      sync.Mutex
+	records []core.WaitRecord
+	limit   int
+}
+
+// NewCollector returns an empty collector. limit bounds retained
+// records (0 = unlimited); when full, the oldest half is dropped so
+// long experiments keep recent behaviour.
+func NewCollector(limit int) *Collector {
+	return &Collector{limit: limit}
+}
+
+// Record implements core.Tracer.
+func (c *Collector) Record(r core.WaitRecord) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.limit > 0 && len(c.records) >= c.limit {
+		half := len(c.records) / 2
+		copy(c.records, c.records[half:])
+		c.records = c.records[:len(c.records)-half]
+	}
+	c.records = append(c.records, r)
+}
+
+// Records returns a copy of the collected records.
+func (c *Collector) Records() []core.WaitRecord {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]core.WaitRecord, len(c.records))
+	copy(out, c.records)
+	return out
+}
+
+// Len returns the number of retained records.
+func (c *Collector) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.records)
+}
+
+// Reset discards all records.
+func (c *Collector) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.records = nil
+}
+
+// EdgeKey identifies one aggregated SPG edge: waits by node From on
+// node To under a k-of-n shaped event.
+type EdgeKey struct {
+	From   string
+	To     string
+	Quorum int
+	Total  int
+}
+
+// EdgeStat aggregates the waits behind one edge.
+type EdgeStat struct {
+	Kind      string
+	Count     int
+	TotalWait time.Duration
+	MaxWait   time.Duration
+}
+
+// Mean returns the average wait on this edge.
+func (e *EdgeStat) Mean() time.Duration {
+	if e.Count == 0 {
+		return 0
+	}
+	return e.TotalWait / time.Duration(e.Count)
+}
+
+// SPG is a slowness propagation graph: vertices are nodes (servers or
+// clients), directed edges are waiting-for relationships labelled with
+// the quorum shape of the wait. A wait on a basic event contributes a
+// red (1/1) edge; a wait on a QuorumEvent contributes green (k/n)
+// edges, exactly as in Figure 2 of the paper.
+type SPG struct {
+	Nodes []string
+	Edges map[EdgeKey]*EdgeStat
+}
+
+// IsQuorum reports whether the edge represents a straggler-tolerant wait.
+func (k EdgeKey) IsQuorum() bool { return k.Total > k.Quorum && k.Quorum > 0 }
+
+// BuildSPG aggregates wait records into a graph. Records with no peers
+// (purely local waits) are ignored: they cannot propagate slowness
+// across nodes.
+func BuildSPG(records []core.WaitRecord) *SPG {
+	g := &SPG{Edges: make(map[EdgeKey]*EdgeStat)}
+	nodeSet := make(map[string]struct{})
+	for _, r := range records {
+		if len(r.Event.Peers) == 0 {
+			continue
+		}
+		nodeSet[r.Node] = struct{}{}
+		dur := r.End.Sub(r.Start)
+		for _, peer := range r.Event.Peers {
+			nodeSet[peer] = struct{}{}
+			key := EdgeKey{From: r.Node, To: peer, Quorum: r.Event.Quorum, Total: r.Event.Total}
+			st := g.Edges[key]
+			if st == nil {
+				st = &EdgeStat{Kind: r.Event.Kind}
+				g.Edges[key] = st
+			}
+			st.Count++
+			st.TotalWait += dur
+			if dur > st.MaxWait {
+				st.MaxWait = dur
+			}
+		}
+	}
+	for n := range nodeSet {
+		g.Nodes = append(g.Nodes, n)
+	}
+	sort.Strings(g.Nodes)
+	return g
+}
+
+// sortedKeys returns edges in a deterministic order for rendering.
+func (g *SPG) sortedKeys() []EdgeKey {
+	keys := make([]EdgeKey, 0, len(g.Edges))
+	for k := range g.Edges {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].From != keys[j].From {
+			return keys[i].From < keys[j].From
+		}
+		if keys[i].To != keys[j].To {
+			return keys[i].To < keys[j].To
+		}
+		if keys[i].Total != keys[j].Total {
+			return keys[i].Total < keys[j].Total
+		}
+		return keys[i].Quorum < keys[j].Quorum
+	})
+	return keys
+}
+
+// DOT renders the graph in Graphviz format with the paper's colour
+// scheme: green for quorum waits, red for singular waits.
+func (g *SPG) DOT() string {
+	var b strings.Builder
+	b.WriteString("digraph spg {\n  rankdir=LR;\n")
+	for _, n := range g.Nodes {
+		fmt.Fprintf(&b, "  %q;\n", n)
+	}
+	for _, k := range g.sortedKeys() {
+		st := g.Edges[k]
+		color := "red"
+		if k.IsQuorum() {
+			color = "green"
+		}
+		fmt.Fprintf(&b, "  %q -> %q [label=\"%d/%d n=%d mean=%v\", color=%s];\n",
+			k.From, k.To, k.Quorum, k.Total, st.Count,
+			st.Mean().Round(time.Microsecond), color)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// ASCII renders the graph as an aligned table for terminal output.
+func (g *SPG) ASCII() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %-12s %-7s %-8s %8s %12s %12s\n",
+		"FROM", "TO", "K/N", "COLOR", "WAITS", "MEAN", "MAX")
+	for _, k := range g.sortedKeys() {
+		st := g.Edges[k]
+		color := "red"
+		if k.IsQuorum() {
+			color = "green"
+		}
+		fmt.Fprintf(&b, "%-12s %-12s %2d/%-4d %-8s %8d %12v %12v\n",
+			k.From, k.To, k.Quorum, k.Total, color, st.Count,
+			st.Mean().Round(time.Microsecond), st.MaxWait.Round(time.Microsecond))
+	}
+	return b.String()
+}
+
+// SingularEdges returns the red edges: waits where slowness of the
+// single target propagates directly to the waiter.
+func (g *SPG) SingularEdges() []EdgeKey {
+	var out []EdgeKey
+	for _, k := range g.sortedKeys() {
+		if !k.IsQuorum() {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// QuorumEdges returns the green edges.
+func (g *SPG) QuorumEdges() []EdgeKey {
+	var out []EdgeKey
+	for _, k := range g.sortedKeys() {
+		if k.IsQuorum() {
+			out = append(out, k)
+		}
+	}
+	return out
+}

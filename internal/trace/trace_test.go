@@ -1,0 +1,232 @@
+package trace
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"depfast/internal/core"
+)
+
+// rec builds a wait record for tests.
+func rec(node, kind string, k, n int, peers []string, wait time.Duration) core.WaitRecord {
+	start := time.Unix(0, 0)
+	return core.WaitRecord{
+		Node:          node,
+		CoroutineName: "co",
+		Event:         core.EventDesc{Kind: kind, Quorum: k, Total: n, Peers: peers},
+		Start:         start,
+		End:           start.Add(wait),
+	}
+}
+
+func TestCollectorBasics(t *testing.T) {
+	c := NewCollector(0)
+	c.Record(rec("s1", "rpc", 1, 1, []string{"s2"}, time.Millisecond))
+	c.Record(rec("s1", "quorum", 2, 3, []string{"s2", "s3"}, time.Millisecond))
+	if c.Len() != 2 {
+		t.Fatalf("len = %d, want 2", c.Len())
+	}
+	rs := c.Records()
+	if len(rs) != 2 || rs[0].Event.Kind != "rpc" {
+		t.Fatalf("records = %+v", rs)
+	}
+	c.Reset()
+	if c.Len() != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestCollectorLimitDropsOldestHalf(t *testing.T) {
+	c := NewCollector(10)
+	for i := 0; i < 15; i++ {
+		c.Record(rec("s1", "rpc", 1, 1, []string{"s2"}, time.Duration(i)))
+	}
+	if c.Len() > 10 {
+		t.Fatalf("len = %d, want <= 10", c.Len())
+	}
+	rs := c.Records()
+	// The most recent record must be retained.
+	last := rs[len(rs)-1]
+	if last.End.Sub(last.Start) != 14 {
+		t.Fatalf("lost the newest record: %+v", last)
+	}
+}
+
+func TestCollectorConcurrent(t *testing.T) {
+	c := NewCollector(0)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				c.Record(rec("s1", "rpc", 1, 1, []string{"s2"}, time.Microsecond))
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Len() != 4000 {
+		t.Fatalf("len = %d, want 4000", c.Len())
+	}
+}
+
+func TestBuildSPGAggregation(t *testing.T) {
+	records := []core.WaitRecord{
+		rec("s1", "quorum", 2, 3, []string{"s2", "s3"}, 2*time.Millisecond),
+		rec("s1", "quorum", 2, 3, []string{"s2", "s3"}, 4*time.Millisecond),
+		rec("c1", "rpc", 1, 1, []string{"s1"}, 10*time.Millisecond),
+		rec("s1", "signal", 1, 1, nil, time.Hour), // local: ignored
+	}
+	g := BuildSPG(records)
+	if len(g.Nodes) != 4 { // c1, s1, s2, s3
+		t.Fatalf("nodes = %v", g.Nodes)
+	}
+	key := EdgeKey{From: "s1", To: "s2", Quorum: 2, Total: 3}
+	st := g.Edges[key]
+	if st == nil {
+		t.Fatalf("missing edge %v; edges=%v", key, g.Edges)
+	}
+	if st.Count != 2 || st.Mean() != 3*time.Millisecond || st.MaxWait != 4*time.Millisecond {
+		t.Fatalf("edge stat = %+v", st)
+	}
+	if len(g.QuorumEdges()) != 2 {
+		t.Errorf("quorum edges = %v", g.QuorumEdges())
+	}
+	if len(g.SingularEdges()) != 1 {
+		t.Errorf("singular edges = %v", g.SingularEdges())
+	}
+}
+
+func TestSPGDOTAndASCII(t *testing.T) {
+	records := []core.WaitRecord{
+		rec("s1", "quorum", 2, 3, []string{"s2", "s3"}, time.Millisecond),
+		rec("c1", "rpc", 1, 1, []string{"s1"}, time.Millisecond),
+	}
+	g := BuildSPG(records)
+	dot := g.DOT()
+	for _, want := range []string{"digraph spg", `"s1" -> "s2"`, "color=green", "color=red", "2/3"} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT missing %q:\n%s", want, dot)
+		}
+	}
+	ascii := g.ASCII()
+	for _, want := range []string{"FROM", "s1", "green", "red"} {
+		if !strings.Contains(ascii, want) {
+			t.Errorf("ASCII missing %q:\n%s", want, ascii)
+		}
+	}
+}
+
+func TestVerifyFlagsSingularCrossNodeWaits(t *testing.T) {
+	records := []core.WaitRecord{
+		rec("s1", "rpc", 1, 1, []string{"s2"}, time.Millisecond),     // violation
+		rec("s1", "quorum", 2, 3, []string{"s2", "s3"}, time.Second), // fine
+		rec("s1", "signal", 1, 1, nil, time.Second),                  // local, fine
+	}
+	v := Verify(records, VerifyConfig{})
+	if len(v) != 1 {
+		t.Fatalf("violations = %v", v)
+	}
+	if !strings.Contains(v[0].String(), "singular cross-node wait") {
+		t.Errorf("violation text = %q", v[0].String())
+	}
+}
+
+func TestVerifyClientExemption(t *testing.T) {
+	records := []core.WaitRecord{
+		rec("client-1", "rpc", 1, 1, []string{"s1"}, time.Millisecond),
+		rec("s1", "rpc", 1, 1, []string{"s2"}, time.Millisecond),
+	}
+	v := Verify(records, VerifyConfig{AllowClientPrefix: "client"})
+	if len(v) != 1 || v[0].Record.Node != "s1" {
+		t.Fatalf("violations = %v, want only s1", v)
+	}
+}
+
+func TestVerifySlowWaitThreshold(t *testing.T) {
+	records := []core.WaitRecord{
+		rec("s1", "quorum", 2, 3, []string{"s2", "s3"}, 3*time.Second),
+	}
+	v := Verify(records, VerifyConfig{SlowWaitThreshold: time.Second})
+	if len(v) != 1 {
+		t.Fatalf("violations = %v", v)
+	}
+}
+
+func TestVerifySelfPeerNotCrossNode(t *testing.T) {
+	// A wait whose only peer is the node itself (e.g. local disk named
+	// by node) is not a cross-node wait.
+	records := []core.WaitRecord{
+		rec("s1", "disk", 1, 1, []string{"s1"}, time.Millisecond),
+	}
+	if v := Verify(records, VerifyConfig{}); len(v) != 0 {
+		t.Fatalf("violations = %v, want none", v)
+	}
+}
+
+func TestHotPeersRanking(t *testing.T) {
+	records := []core.WaitRecord{
+		rec("s1", "rpc", 1, 1, []string{"s2"}, 10*time.Millisecond),
+		rec("s1", "rpc", 1, 1, []string{"s2"}, 10*time.Millisecond),
+		rec("s1", "rpc", 1, 1, []string{"s3"}, 5*time.Millisecond),
+		rec("s1", "quorum", 2, 3, []string{"s4", "s5"}, time.Hour), // quorum: excluded
+	}
+	hp := HotPeers(records)
+	if len(hp) != 2 {
+		t.Fatalf("hot peers = %v", hp)
+	}
+	if hp[0].Peer != "s2" || hp[0].Waits != 2 || hp[0].TotalWait != 20*time.Millisecond {
+		t.Fatalf("top peer = %+v", hp[0])
+	}
+	if hp[1].Peer != "s3" {
+		t.Fatalf("second peer = %+v", hp[1])
+	}
+}
+
+func TestReportPassAndFail(t *testing.T) {
+	pass := Report([]core.WaitRecord{
+		rec("s1", "quorum", 2, 3, []string{"s2", "s3"}, time.Millisecond),
+	}, VerifyConfig{})
+	if !strings.Contains(pass, "PASS") {
+		t.Errorf("report = %q, want PASS", pass)
+	}
+	fail := Report([]core.WaitRecord{
+		rec("s1", "rpc", 1, 1, []string{"s2"}, time.Millisecond),
+	}, VerifyConfig{})
+	if !strings.Contains(fail, "FAIL") || !strings.Contains(fail, "hot peers") {
+		t.Errorf("report = %q, want FAIL with hot peers", fail)
+	}
+}
+
+func TestCollectorIsCoreTracer(t *testing.T) {
+	var _ core.Tracer = NewCollector(0)
+}
+
+func TestSPGEndToEndWithRuntime(t *testing.T) {
+	// Integration: real runtime waits flow into a real SPG.
+	col := NewCollector(0)
+	rt := core.NewRuntime("s1", core.WithTracer(col))
+	defer rt.Stop()
+	done := make(chan struct{})
+	rt.Spawn("replicator", func(co *core.Coroutine) {
+		defer close(done)
+		q := core.NewQuorumEvent(3, 2)
+		for _, peer := range []string{"s2", "s3", "s4"} {
+			ev := core.NewResultEvent("rpc", peer)
+			ev.Fire("ok", nil)
+			q.AddJudged(ev, nil)
+		}
+		_ = co.Wait(q)
+	})
+	<-done
+	rt.Stop()
+	g := BuildSPG(col.Records())
+	if len(g.QuorumEdges()) != 3 {
+		t.Fatalf("quorum edges = %d, want 3 (s1->s2,s3,s4)", len(g.QuorumEdges()))
+	}
+	if v := Verify(col.Records(), VerifyConfig{}); len(v) != 0 {
+		t.Fatalf("violations on quorum-only code: %v", v)
+	}
+}

@@ -1,0 +1,151 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"depfast/internal/core"
+)
+
+// Violation is a wait that breaks the fail-slow fault-tolerance
+// discipline: the paper defines fail-slow fault-tolerant code as code
+// that "only uses QuorumEvent and has no other waiting points" on
+// remote parties.
+type Violation struct {
+	Record core.WaitRecord
+	Reason string
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("%s/%s: %s (event %s %d/%d peers=%v, waited %v)",
+		v.Record.Node, v.Record.CoroutineName, v.Reason,
+		v.Record.Event.Kind, v.Record.Event.Quorum, v.Record.Event.Total,
+		v.Record.Event.Peers, v.Record.End.Sub(v.Record.Start).Round(time.Microsecond))
+}
+
+// VerifyConfig tunes the verifier.
+type VerifyConfig struct {
+	// AllowClientWaits exempts runtimes whose names have this prefix
+	// from the singular-wait rule. Clients waiting on their one leader
+	// is expected (the red client edges in Figure 2); set to "client"
+	// in RSM deployments, empty to disallow nothing.
+	AllowClientPrefix string
+	// SlowWaitThreshold additionally reports any wait — quorum or not —
+	// longer than this, as a slowness symptom. Zero disables.
+	SlowWaitThreshold time.Duration
+}
+
+// Verify checks records against the fail-slow-tolerance discipline and
+// returns all violations.
+func Verify(records []core.WaitRecord, cfg VerifyConfig) []Violation {
+	var out []Violation
+	for _, r := range records {
+		crossNode := false
+		for _, p := range r.Event.Peers {
+			if p != r.Node {
+				crossNode = true
+				break
+			}
+		}
+		if crossNode && !r.Event.IsQuorum() {
+			exempt := cfg.AllowClientPrefix != "" &&
+				strings.HasPrefix(r.Node, cfg.AllowClientPrefix)
+			if !exempt {
+				out = append(out, Violation{
+					Record: r,
+					Reason: fmt.Sprintf("singular cross-node wait (%d/%d) — fail-slow fault can propagate",
+						r.Event.Quorum, r.Event.Total),
+				})
+			}
+		}
+		if cfg.SlowWaitThreshold > 0 && r.End.Sub(r.Start) > cfg.SlowWaitThreshold {
+			out = append(out, Violation{
+				Record: r,
+				Reason: fmt.Sprintf("wait exceeded %v", cfg.SlowWaitThreshold),
+			})
+		}
+	}
+	return out
+}
+
+// PeerWait aggregates how long a node spent waiting on each peer via
+// singular (non-quorum) events. It ranks suspects for slowness
+// debugging: under a fail-slow fault, the faulty peer dominates.
+type PeerWait struct {
+	Peer      string
+	Waits     int
+	TotalWait time.Duration
+}
+
+// HotPeers returns peers ordered by total singular-wait time, largest
+// first.
+func HotPeers(records []core.WaitRecord) []PeerWait {
+	agg := make(map[string]*PeerWait)
+	for _, r := range records {
+		if r.Event.IsQuorum() {
+			continue
+		}
+		dur := r.End.Sub(r.Start)
+		for _, p := range r.Event.Peers {
+			if p == r.Node {
+				continue
+			}
+			pw := agg[p]
+			if pw == nil {
+				pw = &PeerWait{Peer: p}
+				agg[p] = pw
+			}
+			pw.Waits++
+			pw.TotalWait += dur
+		}
+	}
+	out := make([]PeerWait, 0, len(agg))
+	for _, pw := range agg {
+		out = append(out, *pw)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].TotalWait != out[j].TotalWait {
+			return out[i].TotalWait > out[j].TotalWait
+		}
+		return out[i].Peer < out[j].Peer
+	})
+	return out
+}
+
+// Report is a human-readable verification summary.
+func Report(records []core.WaitRecord, cfg VerifyConfig) string {
+	var b strings.Builder
+	g := BuildSPG(records)
+	viol := Verify(records, cfg)
+	fmt.Fprintf(&b, "trace: %d wait records, %d SPG nodes, %d edges (%d quorum, %d singular)\n",
+		len(records), len(g.Nodes), len(g.Edges),
+		len(g.QuorumEdges()), len(g.SingularEdges()))
+	if len(viol) == 0 {
+		b.WriteString("verifier: PASS — all cross-node waits are quorum waits\n")
+	} else {
+		fmt.Fprintf(&b, "verifier: FAIL — %d violations\n", len(viol))
+		max := len(viol)
+		if max > 10 {
+			max = 10
+		}
+		for _, v := range viol[:max] {
+			fmt.Fprintf(&b, "  %s\n", v)
+		}
+		if len(viol) > 10 {
+			fmt.Fprintf(&b, "  ... and %d more\n", len(viol)-10)
+		}
+	}
+	if hp := HotPeers(records); len(hp) > 0 {
+		b.WriteString("hot peers (singular waits):\n")
+		for i, pw := range hp {
+			if i >= 5 {
+				break
+			}
+			fmt.Fprintf(&b, "  %-12s waits=%-6d total=%v\n",
+				pw.Peer, pw.Waits, pw.TotalWait.Round(time.Microsecond))
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,279 @@
+// Package transport moves framed messages between nodes. Two
+// implementations share one interface: an in-memory network with a
+// per-node latency model and fault-injection hooks (the default for
+// experiments — deterministic and laptop-scale), and a TCP transport
+// for real multi-process deployments. Both carry the same codec bytes,
+// so the serialization path is identical.
+package transport
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"depfast/internal/env"
+	"depfast/internal/metrics"
+)
+
+// Handler receives a message on the destination node's dispatcher
+// goroutine. Implementations must not block for long; hand off to a
+// runtime via Post.
+type Handler func(from string, payload []byte)
+
+// Transport is the sender-side interface used by the RPC layer.
+type Transport interface {
+	// Send delivers payload from node from to node to, asynchronously.
+	// Errors are best-effort: an unknown destination errors, a dropped
+	// message on a partitioned link does not.
+	Send(from, to string, payload []byte) error
+	// Close stops all delivery.
+	Close()
+}
+
+// Common transport errors.
+var (
+	ErrUnknownNode = errors.New("transport: unknown node")
+	ErrClosed      = errors.New("transport: closed")
+)
+
+// Network is the in-memory transport. Message latency is
+// senderEnv.NetDelay() + receiverEnv.NetDelay(); injecting a NIC delay
+// on one node (Table 1, network slowness) therefore slows both its
+// inbound and outbound traffic, like tc netem on the interface.
+type Network struct {
+	mu     sync.Mutex
+	nodes  map[string]*memNode
+	envs   map[string]*env.Env
+	down   map[[2]string]bool
+	loss   map[string]float64 // per-node message loss probability
+	rng    uint64             // xorshift state for loss decisions
+	closed bool
+
+	Sent      *metrics.Counter
+	Delivered *metrics.Counter
+	Dropped   *metrics.Counter
+}
+
+// NewNetwork returns an empty in-memory network.
+func NewNetwork() *Network {
+	return &Network{
+		nodes:     make(map[string]*memNode),
+		envs:      make(map[string]*env.Env),
+		down:      make(map[[2]string]bool),
+		loss:      make(map[string]float64),
+		rng:       0x9e3779b97f4a7c15,
+		Sent:      metrics.NewCounter("net.sent"),
+		Delivered: metrics.NewCounter("net.delivered"),
+		Dropped:   metrics.NewCounter("net.dropped"),
+	}
+}
+
+// Register attaches a node with its resource environment and message
+// handler, and starts its dispatcher. Re-registering a name replaces
+// the previous node.
+func (n *Network) Register(node string, e *env.Env, h Handler) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if prev, ok := n.nodes[node]; ok {
+		prev.close()
+	}
+	mn := newMemNode(node, h, n.Delivered)
+	n.nodes[node] = mn
+	n.envs[node] = e
+	go mn.dispatch()
+}
+
+// Unregister detaches a node; in-flight messages to it are dropped.
+func (n *Network) Unregister(node string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if mn, ok := n.nodes[node]; ok {
+		mn.close()
+		delete(n.nodes, node)
+		delete(n.envs, node)
+	}
+}
+
+// SetLinkDown partitions (or heals) the link between a and b in both
+// directions.
+func (n *Network) SetLinkDown(a, b string, isDown bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.down[[2]string{a, b}] = isDown
+	n.down[[2]string{b, a}] = isDown
+}
+
+// SetLossRate drops messages to or from node with probability p in
+// [0,1] — lossy-network injection, independent of partitions.
+func (n *Network) SetLossRate(node string, p float64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if p <= 0 {
+		delete(n.loss, node)
+		return
+	}
+	if p > 1 {
+		p = 1
+	}
+	n.loss[node] = p
+}
+
+// lossDraw returns a uniform float in [0,1); callers hold n.mu.
+func (n *Network) lossDraw() float64 {
+	v := n.rng
+	v ^= v << 13
+	v ^= v >> 7
+	v ^= v << 17
+	n.rng = v
+	return float64(v>>11) / float64(1<<53)
+}
+
+// Send implements Transport.
+func (n *Network) Send(from, to string, payload []byte) error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return ErrClosed
+	}
+	dst, ok := n.nodes[to]
+	if !ok {
+		n.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrUnknownNode, to)
+	}
+	if n.down[[2]string{from, to}] {
+		n.mu.Unlock()
+		n.Dropped.Inc()
+		return nil // partitioned links drop silently, like the wire
+	}
+	if p := n.loss[from] + n.loss[to]; p > 0 && n.lossDraw() < p {
+		n.mu.Unlock()
+		n.Dropped.Inc()
+		return nil // lossy link ate the message
+	}
+	var delay time.Duration
+	if e, ok := n.envs[from]; ok {
+		delay += e.NetDelay()
+	}
+	if e, ok := n.envs[to]; ok {
+		delay += e.NetDelay()
+	}
+	n.mu.Unlock()
+
+	n.Sent.Inc()
+	dst.enqueue(from, payload, time.Now().Add(delay))
+	return nil
+}
+
+// Close implements Transport.
+func (n *Network) Close() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return
+	}
+	n.closed = true
+	for _, mn := range n.nodes {
+		mn.close()
+	}
+}
+
+// delivery is one in-flight message.
+type delivery struct {
+	from    string
+	payload []byte
+	at      time.Time
+	seq     uint64
+}
+
+type delivHeap []*delivery
+
+func (h delivHeap) Len() int { return len(h) }
+func (h delivHeap) Less(i, j int) bool {
+	if !h[i].at.Equal(h[j].at) {
+		return h[i].at.Before(h[j].at)
+	}
+	return h[i].seq < h[j].seq
+}
+func (h delivHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *delivHeap) Push(x interface{}) { *h = append(*h, x.(*delivery)) }
+func (h *delivHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	d := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return d
+}
+
+// memNode is one registered node: a delay queue plus a dispatcher.
+type memNode struct {
+	name      string
+	h         Handler
+	delivered *metrics.Counter
+
+	mu     sync.Mutex
+	queue  delivHeap
+	seq    uint64
+	wake   chan struct{}
+	closed chan struct{}
+	once   sync.Once
+}
+
+func newMemNode(name string, h Handler, delivered *metrics.Counter) *memNode {
+	return &memNode{
+		name:      name,
+		h:         h,
+		delivered: delivered,
+		wake:      make(chan struct{}, 1),
+		closed:    make(chan struct{}),
+	}
+}
+
+func (mn *memNode) enqueue(from string, payload []byte, at time.Time) {
+	mn.mu.Lock()
+	mn.seq++
+	heap.Push(&mn.queue, &delivery{from: from, payload: payload, at: at, seq: mn.seq})
+	mn.mu.Unlock()
+	select {
+	case mn.wake <- struct{}{}:
+	default:
+	}
+}
+
+func (mn *memNode) close() { mn.once.Do(func() { close(mn.closed) }) }
+
+// dispatch delivers queued messages at their due times, in order.
+func (mn *memNode) dispatch() {
+	for {
+		mn.mu.Lock()
+		if len(mn.queue) == 0 {
+			mn.mu.Unlock()
+			select {
+			case <-mn.wake:
+				continue
+			case <-mn.closed:
+				return
+			}
+		}
+		d := time.Until(mn.queue[0].at)
+		if d <= 0 {
+			msg := heap.Pop(&mn.queue).(*delivery)
+			mn.mu.Unlock()
+			mn.delivered.Inc()
+			mn.h(msg.from, msg.payload)
+			continue
+		}
+		mn.mu.Unlock()
+		tm := time.NewTimer(d)
+		select {
+		case <-mn.wake: // an earlier message may have arrived
+			tm.Stop()
+		case <-tm.C:
+		case <-mn.closed:
+			tm.Stop()
+			return
+		}
+	}
+}

@@ -1,0 +1,135 @@
+package ycsb
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse builds a Workload from a YCSB-style property string:
+//
+//	"recordcount=10000,readproportion=0.95,updateproportion=0.05,
+//	 requestdistribution=zipfian,fieldlength=100"
+//
+// Supported keys (aliases in parentheses): recordcount,
+// readproportion, updateproportion, insertproportion, scanproportion,
+// readmodifywriteproportion, requestdistribution, fieldlength
+// (valuesize), maxscanlength, zipfianconstant. Unknown keys are an
+// error, matching YCSB's strictness; proportions must sum to ≤ 1 —
+// the remainder goes to read-modify-write, as in YCSB workload F.
+func Parse(props string) (Workload, error) {
+	w := Workload{Dist: ZipfianDist}
+	if strings.TrimSpace(props) == "" {
+		return w, fmt.Errorf("ycsb: empty property string")
+	}
+	for _, kvp := range strings.Split(props, ",") {
+		kvp = strings.TrimSpace(kvp)
+		if kvp == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(kvp, "=")
+		if !ok {
+			return w, fmt.Errorf("ycsb: bad property %q (want key=value)", kvp)
+		}
+		key = strings.ToLower(strings.TrimSpace(key))
+		val = strings.TrimSpace(val)
+		switch key {
+		case "recordcount":
+			n, err := strconv.Atoi(val)
+			if err != nil || n <= 0 {
+				return w, fmt.Errorf("ycsb: recordcount %q", val)
+			}
+			w.Records = n
+		case "readproportion":
+			if err := parseProp(val, &w.ReadProp); err != nil {
+				return w, err
+			}
+		case "updateproportion":
+			if err := parseProp(val, &w.UpdateProp); err != nil {
+				return w, err
+			}
+		case "insertproportion":
+			if err := parseProp(val, &w.InsertProp); err != nil {
+				return w, err
+			}
+		case "scanproportion":
+			if err := parseProp(val, &w.ScanProp); err != nil {
+				return w, err
+			}
+		case "readmodifywriteproportion":
+			if err := parseProp(val, &w.RMWProp); err != nil {
+				return w, err
+			}
+		case "requestdistribution":
+			switch strings.ToLower(val) {
+			case "uniform":
+				w.Dist = UniformDist
+			case "zipfian":
+				w.Dist = ZipfianDist
+			case "latest":
+				w.Dist = LatestDist
+			default:
+				return w, fmt.Errorf("ycsb: unknown distribution %q", val)
+			}
+		case "fieldlength", "valuesize":
+			n, err := strconv.Atoi(val)
+			if err != nil || n <= 0 {
+				return w, fmt.Errorf("ycsb: %s %q", key, val)
+			}
+			w.ValueSize = n
+		case "maxscanlength":
+			n, err := strconv.Atoi(val)
+			if err != nil || n <= 0 {
+				return w, fmt.Errorf("ycsb: maxscanlength %q", val)
+			}
+			w.MaxScanLen = n
+		case "zipfianconstant":
+			f, err := strconv.ParseFloat(val, 64)
+			if err != nil || f <= 0 || f >= 1 {
+				return w, fmt.Errorf("ycsb: zipfianconstant %q (want (0,1))", val)
+			}
+			w.ZipfConstant = f
+		default:
+			return w, fmt.Errorf("ycsb: unknown property %q", key)
+		}
+	}
+	sum := w.ReadProp + w.UpdateProp + w.InsertProp + w.ScanProp + w.RMWProp
+	if sum > 1.0001 {
+		return w, fmt.Errorf("ycsb: proportions sum to %.3f > 1", sum)
+	}
+	if sum == 0 {
+		return w, fmt.Errorf("ycsb: no operation proportions given")
+	}
+	return w, nil
+}
+
+func parseProp(val string, dst *float64) error {
+	f, err := strconv.ParseFloat(val, 64)
+	if err != nil || f < 0 || f > 1 {
+		return fmt.Errorf("ycsb: proportion %q (want [0,1])", val)
+	}
+	*dst = f
+	return nil
+}
+
+// Preset returns the named standard workload (a–f, case-insensitive),
+// plus "paper" for the paper's 100%-update measurement workload.
+func Preset(name string) (Workload, error) {
+	switch strings.ToLower(name) {
+	case "a":
+		return WorkloadA(), nil
+	case "b":
+		return WorkloadB(), nil
+	case "c":
+		return WorkloadC(), nil
+	case "d":
+		return WorkloadD(), nil
+	case "e":
+		return WorkloadE(), nil
+	case "f":
+		return WorkloadF(), nil
+	case "paper":
+		return PaperWrite(2000, 100), nil
+	}
+	return Workload{}, fmt.Errorf("ycsb: unknown preset %q", name)
+}

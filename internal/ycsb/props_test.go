@@ -1,0 +1,104 @@
+package ycsb
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseFullWorkload(t *testing.T) {
+	w, err := Parse("recordcount=5000, readproportion=0.5, updateproportion=0.3, " +
+		"insertproportion=0.1, scanproportion=0.05, readmodifywriteproportion=0.05, " +
+		"requestdistribution=uniform, fieldlength=256, maxscanlength=50, zipfianconstant=0.9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Records != 5000 || w.ReadProp != 0.5 || w.UpdateProp != 0.3 ||
+		w.InsertProp != 0.1 || w.ScanProp != 0.05 || w.RMWProp != 0.05 {
+		t.Fatalf("workload = %+v", w)
+	}
+	if w.Dist != UniformDist || w.ValueSize != 256 || w.MaxScanLen != 50 || w.ZipfConstant != 0.9 {
+		t.Fatalf("workload = %+v", w)
+	}
+}
+
+func TestParseValueSizeAlias(t *testing.T) {
+	w, err := Parse("readproportion=1.0,valuesize=64")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.ValueSize != 64 {
+		t.Fatalf("valuesize alias ignored: %+v", w)
+	}
+}
+
+func TestParseDistributions(t *testing.T) {
+	for name, want := range map[string]Distribution{
+		"uniform": UniformDist, "zipfian": ZipfianDist, "latest": LatestDist,
+	} {
+		w, err := Parse("readproportion=1,requestdistribution=" + name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if w.Dist != want {
+			t.Errorf("%s -> %v", name, w.Dist)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"readproportion",                  // no =
+		"bogus=1",                         // unknown key
+		"readproportion=1.5",              // out of range
+		"recordcount=-3,readproportion=1", // bad count
+		"requestdistribution=pareto,readproportion=1",
+		"readproportion=0.8,updateproportion=0.8", // sum > 1
+		"recordcount=100", // no proportions at all
+		"zipfianconstant=1.5,readproportion=1",
+	}
+	for _, c := range cases {
+		if _, err := Parse(c); err == nil {
+			t.Errorf("Parse(%q) accepted", c)
+		}
+	}
+}
+
+func TestParsedWorkloadGenerates(t *testing.T) {
+	w, err := Parse("recordcount=100,readproportion=0.5,updateproportion=0.5,requestdistribution=zipfian")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := NewGenerator(w, 5)
+	reads, updates := 0, 0
+	for i := 0; i < 1000; i++ {
+		switch g.Next().Type {
+		case Read:
+			reads++
+		case Update:
+			updates++
+		default:
+			t.Fatal("unexpected op type")
+		}
+	}
+	if reads < 400 || updates < 400 {
+		t.Fatalf("mix off: reads=%d updates=%d", reads, updates)
+	}
+}
+
+func TestPresets(t *testing.T) {
+	for _, name := range []string{"a", "B", "c", "d", "e", "f", "paper"} {
+		w, err := Preset(name)
+		if err != nil {
+			t.Errorf("preset %s: %v", name, err)
+			continue
+		}
+		total := w.ReadProp + w.UpdateProp + w.InsertProp + w.ScanProp + w.RMWProp
+		if total < 0.99 || total > 1.01 {
+			t.Errorf("preset %s proportions = %v", name, total)
+		}
+	}
+	if _, err := Preset("z"); err == nil || !strings.Contains(err.Error(), "unknown") {
+		t.Errorf("preset z: %v", err)
+	}
+}
