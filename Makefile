@@ -3,19 +3,27 @@
 
 GO ?= go
 
-.PHONY: all build test race bench examples figures verify clean
+.PHONY: all check build vet test race bench examples figures verify clean
 
-all: build test
+all: check
+
+# The default gate: compile, vet, test.
+check: build vet test
 
 build:
 	$(GO) build ./...
+
+vet:
 	$(GO) vet ./...
 
 test:
 	$(GO) test ./...
 
+# Race-detect the library packages (the cmd/ mains are covered by
+# `test`; -race across the seconds-long experiment suites is where the
+# signal is).
 race:
-	$(GO) test -race ./...
+	$(GO) test -race ./internal/...
 
 # Every table/figure of the paper plus the ablations, as benchmarks.
 bench:

@@ -12,6 +12,7 @@
 //	depfast-bench -exp transient # fault lands mid-run and clears (timeline)
 //	depfast-bench -exp sweep     # client-population capacity sweep
 //	depfast-bench -exp intensity # degradation vs fault magnitude curves
+//	depfast-bench -exp mitigation # sentinel on/off under a CPU-slow leader
 //
 // One-off custom runs:
 //
@@ -40,7 +41,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: table1|figure1|figure2|figure3|all")
+		exp      = flag.String("exp", "all", "experiment: table1|figure1|figure2|figure3|verify|transient|sweep|intensity|mitigation|run|all")
 		duration = flag.Duration("duration", 3*time.Second, "measurement window per cell")
 		warmup   = flag.Duration("warmup", 750*time.Millisecond, "warmup before measuring")
 		clients  = flag.Int("clients", 24, "closed-loop client population")
@@ -136,6 +137,12 @@ func main() {
 		exitOn(err)
 		fmt.Println(res.Render())
 	}
+	runMitigation := func() {
+		fmt.Println("== Mitigation sentinel on/off ==")
+		out, err := harness.MitigationExperiment()
+		exitOn(err)
+		fmt.Println(out)
+	}
 	runSweep := func() {
 		fmt.Println("== Client-population sweep (DepFastRaft, healthy) ==")
 		counts := []int{4, 8, 16, 32, 64}
@@ -192,6 +199,8 @@ func main() {
 		runSweep()
 	case "intensity":
 		runIntensity()
+	case "mitigation":
+		runMitigation()
 	case "all":
 		runTable1()
 		runFigure1()
@@ -201,6 +210,7 @@ func main() {
 		runTransient()
 		runSweep()
 		runIntensity()
+		runMitigation()
 	default:
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
 		flag.Usage()

@@ -7,9 +7,17 @@
 // Detection is *relative*: a peer is suspected when its EWMA exceeds
 // both an absolute floor and a multiple of the median peer's EWMA, so
 // cluster-wide slowness (overload) is not misattributed to one node.
+//
+// Suspicion is sticky (a Schmitt trigger): a peer enters suspicion at
+// SuspectRatio × median and leaves only once its EWMA falls back
+// below ReleaseRatio × median, so a peer hovering near the threshold
+// doesn't flap. For mitigation the detector also tracks each peer's
+// run of consecutive healthy round-trips (ConsecutiveHealthy), which
+// recovers much faster than the EWMA after a fault clears.
 package detect
 
 import (
+	"fmt"
 	"sort"
 	"strings"
 	"sync"
@@ -23,6 +31,15 @@ type Config struct {
 	// SuspectRatio flags a peer whose EWMA exceeds this multiple of the
 	// median peer EWMA (default 5).
 	SuspectRatio float64
+	// ReleaseRatio clears an existing suspicion once the peer's EWMA
+	// drops back below this multiple of the median (default 2.5). Must
+	// be below SuspectRatio for the hysteresis band to exist.
+	ReleaseRatio float64
+	// RecoveryRatio bounds what counts as a *healthy* individual RTT
+	// when tracking consecutive-healthy streaks: a sample is healthy if
+	// it is at or below RecoveryRatio × median (or below Floor)
+	// (default 2).
+	RecoveryRatio float64
 	// MinSamples before a peer can be judged (default 16).
 	MinSamples int
 	// Floor is the minimum EWMA considered abnormal at all; below it a
@@ -37,10 +54,12 @@ type Config struct {
 // environment.
 func DefaultConfig() Config {
 	return Config{
-		Alpha:        0.125,
-		SuspectRatio: 5,
-		MinSamples:   16,
-		Floor:        2 * time.Millisecond,
+		Alpha:         0.125,
+		SuspectRatio:  5,
+		ReleaseRatio:  2.5,
+		RecoveryRatio: 2,
+		MinSamples:    16,
+		Floor:         2 * time.Millisecond,
 	}
 }
 
@@ -50,6 +69,8 @@ type peerState struct {
 	samples  int
 	timeouts int
 	maxRTT   time.Duration
+	suspect  bool // sticky verdict, updated by refreshLocked
+	okStreak int  // consecutive healthy samples
 }
 
 // Detector aggregates RTT observations per peer. Safe for concurrent
@@ -69,6 +90,15 @@ func New(cfg Config) *Detector {
 	}
 	if cfg.SuspectRatio <= 1 {
 		cfg.SuspectRatio = def.SuspectRatio
+	}
+	if cfg.ReleaseRatio <= 1 || cfg.ReleaseRatio >= cfg.SuspectRatio {
+		cfg.ReleaseRatio = def.ReleaseRatio
+		if cfg.ReleaseRatio >= cfg.SuspectRatio {
+			cfg.ReleaseRatio = cfg.SuspectRatio / 2
+		}
+	}
+	if cfg.RecoveryRatio <= 1 {
+		cfg.RecoveryRatio = def.RecoveryRatio
 	}
 	if cfg.MinSamples <= 0 {
 		cfg.MinSamples = def.MinSamples
@@ -108,6 +138,61 @@ func (d *Detector) Observe(peer string, rtt time.Duration, timedOut bool) {
 		st.ewma = (1-d.cfg.Alpha)*st.ewma + d.cfg.Alpha*float64(rtt)
 	}
 	st.samples++
+
+	// A sample is healthy if it looks like a normal round-trip right
+	// now, judged against the healthy majority — not against the
+	// peer's own (possibly inflated) EWMA. This is the fast-recovery
+	// signal: the EWMA takes many samples to decay after a fault
+	// clears, but the streak resets to healthy immediately.
+	healthy := float64(d.cfg.Floor)
+	if m := d.medianLocked(); d.cfg.RecoveryRatio*m > healthy {
+		healthy = d.cfg.RecoveryRatio * m
+	}
+	if !timedOut && float64(rtt) <= healthy {
+		st.okStreak++
+	} else {
+		st.okStreak = 0
+	}
+	d.refreshLocked()
+}
+
+// medianLocked returns the lower-median EWMA over judgeable peers.
+// Lower median: with two peers this compares against the faster one,
+// so a slow peer in a pair is still caught.
+func (d *Detector) medianLocked() float64 {
+	var ewmas []float64
+	for _, st := range d.peers {
+		if st.samples >= d.cfg.MinSamples {
+			ewmas = append(ewmas, st.ewma)
+		}
+	}
+	if len(ewmas) == 0 {
+		return 0
+	}
+	sort.Float64s(ewmas)
+	return ewmas[(len(ewmas)-1)/2]
+}
+
+// refreshLocked re-evaluates every peer's sticky suspicion verdict
+// against the current median — enter high, exit low (Schmitt trigger).
+func (d *Detector) refreshLocked() {
+	median := d.medianLocked()
+	for _, st := range d.peers {
+		if st.samples < d.cfg.MinSamples {
+			continue
+		}
+		if !st.suspect {
+			if median > 0 && st.ewma > float64(d.cfg.Floor) &&
+				st.ewma > d.cfg.SuspectRatio*median {
+				st.suspect = true
+			}
+		} else {
+			if st.ewma <= float64(d.cfg.Floor) ||
+				(median > 0 && st.ewma <= d.cfg.ReleaseRatio*median) {
+				st.suspect = false
+			}
+		}
+	}
 }
 
 // PeerStat is one peer's exported state.
@@ -117,42 +202,25 @@ type PeerStat struct {
 	Samples  int
 	Timeouts int
 	Suspect  bool
+	// Healthy is the peer's current run of consecutive healthy
+	// round-trips — the mitigation layer's rehabilitation signal.
+	Healthy int
 }
 
 // Stats returns per-peer state with suspicion verdicts, slowest first.
 func (d *Detector) Stats() []PeerStat {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-
-	// Median EWMA over peers with enough samples.
-	var ewmas []float64
-	for _, st := range d.peers {
-		if st.samples >= d.cfg.MinSamples {
-			ewmas = append(ewmas, st.ewma)
-		}
-	}
-	sort.Float64s(ewmas)
-	var median float64
-	if len(ewmas) > 0 {
-		// Lower median: with two peers this compares against the
-		// faster one, so a slow peer in a pair is still caught.
-		median = ewmas[(len(ewmas)-1)/2]
-	}
-
+	d.refreshLocked()
 	out := make([]PeerStat, 0, len(d.peers))
 	for peer, st := range d.peers {
-		suspect := false
-		if st.samples >= d.cfg.MinSamples && median > 0 &&
-			st.ewma > float64(d.cfg.Floor) &&
-			st.ewma > d.cfg.SuspectRatio*median {
-			suspect = true
-		}
 		out = append(out, PeerStat{
 			Peer:     peer,
 			EWMA:     time.Duration(st.ewma),
 			Samples:  st.samples,
 			Timeouts: st.timeouts,
-			Suspect:  suspect,
+			Suspect:  st.suspect,
+			Healthy:  st.okStreak,
 		})
 	}
 	sort.Slice(out, func(i, j int) bool {
@@ -175,6 +243,36 @@ func (d *Detector) Suspects() []string {
 	return out
 }
 
+// Healthy reports whether peer is currently unsuspected. Peers the
+// detector has never observed are healthy by default.
+func (d *Detector) Healthy(peer string) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.refreshLocked()
+	st := d.peers[peer]
+	return st == nil || !st.suspect
+}
+
+// ConsecutiveHealthy returns peer's current run of healthy
+// round-trips (zero for unknown peers).
+func (d *Detector) ConsecutiveHealthy(peer string) int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	st := d.peers[peer]
+	if st == nil {
+		return 0
+	}
+	return st.okStreak
+}
+
+// Forget drops one peer's state so it re-earns MinSamples before it
+// can be judged again — a probation period after rehabilitation.
+func (d *Detector) Forget(peer string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	delete(d.peers, peer)
+}
+
 // Reset clears all state (e.g. after a membership change).
 func (d *Detector) Reset() {
 	d.mu.Lock()
@@ -191,40 +289,12 @@ func Render(stats []PeerStat) string {
 		if s.Suspect {
 			mark = "  <== fail-slow"
 		}
-		b.WriteString(
-			padRight(s.Peer, 12) + " " +
-				padRight(s.EWMA.Round(10*time.Microsecond).String(), 12) + " " +
-				padRight(itoa(s.Samples), 8) + " " +
-				padRight(itoa(s.Timeouts), 9) +
-				boolStr(s.Suspect) + mark + "\n")
+		suspect := "no"
+		if s.Suspect {
+			suspect = "yes"
+		}
+		fmt.Fprintf(&b, "%-12s %-12s %-8d %-9d %s%s\n",
+			s.Peer, s.EWMA.Round(10*time.Microsecond), s.Samples, s.Timeouts, suspect, mark)
 	}
 	return b.String()
-}
-
-func padRight(s string, n int) string {
-	for len(s) < n {
-		s += " "
-	}
-	return s
-}
-
-func itoa(n int) string {
-	if n == 0 {
-		return "0"
-	}
-	var buf [20]byte
-	i := len(buf)
-	for n > 0 {
-		i--
-		buf[i] = byte('0' + n%10)
-		n /= 10
-	}
-	return string(buf[i:])
-}
-
-func boolStr(b bool) string {
-	if b {
-		return "yes"
-	}
-	return "no"
 }

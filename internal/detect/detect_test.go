@@ -133,6 +133,163 @@ func TestDetectorConcurrentObserve(t *testing.T) {
 	}
 }
 
+func TestDetectorSuspicionHysteresis(t *testing.T) {
+	// A peer hovering between the release and suspect thresholds must
+	// keep whichever verdict it last earned — no flapping.
+	d := New(DefaultConfig()) // suspect at 5x median, release at 2.5x
+	feed(d, "s2", time.Millisecond, 50)
+	feed(d, "s3", time.Millisecond, 50)
+	// s4 never suspected at 3.5x: below the entry threshold.
+	feed(d, "s4", 3500*time.Microsecond, 50)
+	if s := d.Suspects(); len(s) != 0 {
+		t.Fatalf("suspects = %v, want none in the hysteresis band", s)
+	}
+	// Push s4 well past the entry threshold...
+	feed(d, "s4", 60*time.Millisecond, 60)
+	if !contains(d.Suspects(), "s4") {
+		t.Fatal("s4 not suspected at 60x median")
+	}
+	// ...then let it decay back into the band: still suspect.
+	for i := 0; i < 200 && time.Duration(ewmaOf(d, "s4")) > 4*time.Millisecond; i++ {
+		d.Observe("s4", 3500*time.Microsecond, false)
+	}
+	if got := time.Duration(ewmaOf(d, "s4")); got > 4*time.Millisecond || got < 3*time.Millisecond {
+		t.Fatalf("setup: s4 EWMA %v not in band", got)
+	}
+	if !contains(d.Suspects(), "s4") {
+		t.Fatal("s4 released inside the hysteresis band (flapping)")
+	}
+	// Full recovery below the release threshold clears it.
+	feed(d, "s4", time.Millisecond, 300)
+	if s := d.Suspects(); len(s) != 0 {
+		t.Fatalf("suspects after full recovery = %v", s)
+	}
+}
+
+func contains(ss []string, want string) bool {
+	for _, s := range ss {
+		if s == want {
+			return true
+		}
+	}
+	return false
+}
+
+func ewmaOf(d *Detector, peer string) float64 {
+	for _, st := range d.Stats() {
+		if st.Peer == peer {
+			return float64(st.EWMA)
+		}
+	}
+	return 0
+}
+
+func TestDetectorConsecutiveHealthy(t *testing.T) {
+	d := New(DefaultConfig())
+	feed(d, "s2", time.Millisecond, 50)
+	feed(d, "s3", time.Millisecond, 50)
+	feed(d, "s4", 80*time.Millisecond, 50)
+	if n := d.ConsecutiveHealthy("s4"); n != 0 {
+		t.Fatalf("streak = %d during fault, want 0", n)
+	}
+	// Streak recovery is immediate once individual RTTs look normal,
+	// long before the EWMA decays below the suspicion threshold.
+	feed(d, "s4", time.Millisecond, 5)
+	if n := d.ConsecutiveHealthy("s4"); n != 5 {
+		t.Fatalf("streak = %d after 5 healthy RTTs, want 5", n)
+	}
+	if !contains(d.Suspects(), "s4") {
+		t.Fatal("EWMA should still be inflated after only 5 samples")
+	}
+	// One slow sample resets the streak.
+	d.Observe("s4", 80*time.Millisecond, false)
+	if n := d.ConsecutiveHealthy("s4"); n != 0 {
+		t.Fatalf("streak = %d after slow sample, want 0", n)
+	}
+	if n := d.ConsecutiveHealthy("unknown"); n != 0 {
+		t.Fatalf("streak for unknown peer = %d", n)
+	}
+}
+
+func TestDetectorHealthyAccessor(t *testing.T) {
+	d := New(DefaultConfig())
+	if !d.Healthy("never-seen") {
+		t.Fatal("unknown peer should default to healthy")
+	}
+	feed(d, "s2", time.Millisecond, 50)
+	feed(d, "s3", time.Millisecond, 50)
+	feed(d, "s4", 80*time.Millisecond, 50)
+	if d.Healthy("s4") {
+		t.Fatal("suspected peer reported healthy")
+	}
+	if !d.Healthy("s2") {
+		t.Fatal("normal peer reported unhealthy")
+	}
+}
+
+func TestDetectorForget(t *testing.T) {
+	d := New(DefaultConfig())
+	feed(d, "s2", time.Millisecond, 50)
+	feed(d, "s3", time.Millisecond, 50)
+	feed(d, "s4", 80*time.Millisecond, 50)
+	d.Forget("s4")
+	if contains(d.Suspects(), "s4") {
+		t.Fatal("s4 still suspected after Forget")
+	}
+	// Probation: s4 must re-earn MinSamples before it can be judged.
+	feed(d, "s4", 80*time.Millisecond, 3)
+	if contains(d.Suspects(), "s4") {
+		t.Fatal("s4 judged before re-earning MinSamples")
+	}
+	feed(d, "s4", 80*time.Millisecond, 20)
+	if !contains(d.Suspects(), "s4") {
+		t.Fatal("s4 not re-suspected after probation")
+	}
+}
+
+func TestRenderHandlesArbitraryCounts(t *testing.T) {
+	// The old hand-rolled itoa rendered negatives as "" — make sure
+	// the strconv/fmt path shows them faithfully.
+	out := Render([]PeerStat{{Peer: "x", EWMA: time.Millisecond, Samples: -1, Timeouts: 0}})
+	if !strings.Contains(out, "-1") {
+		t.Fatalf("negative count lost in render:\n%s", out)
+	}
+}
+
+func TestSelfMonitor(t *testing.T) {
+	s := NewSelf("cpu", 4, 3)
+	if s.Slow() {
+		t.Fatal("slow before any samples")
+	}
+	// Healthy probes: stretch ~1.
+	for i := 0; i < 5; i++ {
+		s.Observe(time.Millisecond, time.Millisecond)
+	}
+	if s.Slow() {
+		t.Fatalf("slow at stretch %.2f", s.Stretch())
+	}
+	// Resource degrades 20x: stretch EWMA crosses the factor quickly.
+	for i := 0; i < 10; i++ {
+		s.Observe(20*time.Millisecond, time.Millisecond)
+	}
+	if !s.Slow() {
+		t.Fatalf("not slow at stretch %.2f", s.Stretch())
+	}
+	// Ignored inputs don't disturb state.
+	s.Observe(0, time.Millisecond)
+	s.Observe(time.Millisecond, 0)
+	if !s.Slow() {
+		t.Fatal("state disturbed by ignored observations")
+	}
+	s.Reset()
+	if s.Slow() {
+		t.Fatal("slow after Reset")
+	}
+	if s.Name() != "cpu" {
+		t.Fatalf("name = %q", s.Name())
+	}
+}
+
 func TestRender(t *testing.T) {
 	d := New(DefaultConfig())
 	feed(d, "s2", time.Millisecond, 20)

@@ -151,6 +151,132 @@ type clusterHandle struct {
 	leader    func() (string, bool) // name, established
 	crashed   func() bool
 	elections func() int64
+	// raftServers is populated for DepFastRaft clusters so experiments
+	// can read per-server mitigation/quarantine state; nil for
+	// baseline systems.
+	raftServers map[string]*raft.Server
+}
+
+// waitLeader polls until the cluster has an established leader.
+func (h *clusterHandle) waitLeader(timeout time.Duration) (string, error) {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if name, ok := h.leader(); ok {
+			return name, nil
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	return "", fmt.Errorf("harness: no leader within %v", timeout)
+}
+
+// clientPool is a running YCSB closed-loop client population against
+// a cluster. Callers flip measurement windows on and off (or use
+// measureFor) and read the counters; stop() winds the population down.
+type clientPool struct {
+	rts  []*core.Runtime
+	eps  []*rpc.Endpoint
+	hist *metrics.Histogram
+
+	ops       atomic.Int64
+	errs      atomic.Int64
+	measuring atomic.Bool
+	stopFlag  atomic.Bool
+	wg        sync.WaitGroup
+}
+
+// startClients launches cfg.Clients closed-loop clients over
+// cfg.ClientRuntimes runtimes, targeting leader first.
+func startClients(h *clusterHandle, cfg RunConfig, leader string, collector *trace.Collector) *clientPool {
+	p := &clientPool{
+		rts:  make([]*core.Runtime, cfg.ClientRuntimes),
+		eps:  make([]*rpc.Endpoint, cfg.ClientRuntimes),
+		hist: metrics.NewHistogram(),
+	}
+	ecfg := env.DefaultConfig()
+	for i := range p.rts {
+		name := fmt.Sprintf("client-%d", i)
+		var opts []core.Option
+		if collector != nil {
+			opts = append(opts, core.WithTracer(collector))
+		}
+		p.rts[i] = core.NewRuntime(name, opts...)
+		p.eps[i] = rpc.NewEndpoint(name, p.rts[i], h.net, rpc.WithCallTimeout(3*time.Second))
+		h.net.Register(name, env.New(name, ecfg), p.eps[i].TransportHandler())
+	}
+
+	// Put the discovered leader first so clients start on target.
+	order := append([]string{leader}, otherNames(h.names, leader)...)
+	workload := ycsb.PaperWrite(cfg.Records, cfg.ValueSize)
+	if cfg.Workload != nil {
+		workload = *cfg.Workload
+	}
+	for ci := 0; ci < cfg.Clients; ci++ {
+		rt := p.rts[ci%cfg.ClientRuntimes]
+		ep := p.eps[ci%cfg.ClientRuntimes]
+		id := uint64(1000 + ci)
+		gen := ycsb.NewGenerator(workload, cfg.Seed+int64(ci))
+		p.wg.Add(1)
+		rt.Spawn("ycsb-client", func(co *core.Coroutine) {
+			defer p.wg.Done()
+			cl := raft.NewClient(id, ep, order, 3*time.Second)
+			for !p.stopFlag.Load() {
+				op := gen.Next()
+				cmd := opToCommand(op)
+				start := time.Now()
+				_, err := cl.Do(co, cmd)
+				if p.stopFlag.Load() {
+					return
+				}
+				if err != nil {
+					p.errs.Add(1)
+					if err == raft.ErrClientStopped {
+						return
+					}
+					continue
+				}
+				if p.measuring.Load() {
+					p.hist.Record(time.Since(start))
+					p.ops.Add(1)
+				}
+			}
+		})
+	}
+	return p
+}
+
+// measureFor opens a measurement window of length d and returns the
+// throughput (ops/sec) observed in it.
+func (p *clientPool) measureFor(d time.Duration) float64 {
+	before := p.ops.Load()
+	p.measuring.Store(true)
+	start := time.Now()
+	time.Sleep(d)
+	p.measuring.Store(false)
+	el := time.Since(start).Seconds()
+	if el <= 0 {
+		return 0
+	}
+	return float64(p.ops.Load()-before) / el
+}
+
+// stop winds the client population down, waiting briefly for in-flight
+// ops; stragglers are cut off when close() stops the runtimes.
+func (p *clientPool) stop() {
+	p.stopFlag.Store(true)
+	done := make(chan struct{})
+	go func() { p.wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+	}
+}
+
+// close tears down the client endpoints and runtimes.
+func (p *clientPool) close() {
+	for i := range p.rts {
+		p.eps[i].Close()
+		p.rts[i].Stop()
+	}
 }
 
 // Run executes one measurement and returns its result.
@@ -200,98 +326,28 @@ func Run(cfg RunConfig) (RunResult, error) {
 	}
 
 	// Client population.
-	hist := metrics.NewHistogram()
-	var ops, errs atomic.Int64
-	var measuring atomic.Bool
-	var stopFlag atomic.Bool
-	var wg sync.WaitGroup
-
-	clientRTs := make([]*core.Runtime, cfg.ClientRuntimes)
-	clientEPs := make([]*rpc.Endpoint, cfg.ClientRuntimes)
-	ecfg := env.DefaultConfig()
-	for i := range clientRTs {
-		name := fmt.Sprintf("client-%d", i)
-		var opts []core.Option
-		if collector != nil {
-			opts = append(opts, core.WithTracer(collector))
-		}
-		clientRTs[i] = core.NewRuntime(name, opts...)
-		clientEPs[i] = rpc.NewEndpoint(name, clientRTs[i], h.net, rpc.WithCallTimeout(3*time.Second))
-		h.net.Register(name, env.New(name, ecfg), clientEPs[i].TransportHandler())
-	}
-	defer func() {
-		for i := range clientRTs {
-			clientEPs[i].Close()
-			clientRTs[i].Stop()
-		}
-	}()
-
-	// Put the discovered leader first so clients start on target.
-	order := append([]string{leader}, otherNames(h.names, leader)...)
-	workload := ycsb.PaperWrite(cfg.Records, cfg.ValueSize)
-	if cfg.Workload != nil {
-		workload = *cfg.Workload
-	}
-	for ci := 0; ci < cfg.Clients; ci++ {
-		rt := clientRTs[ci%cfg.ClientRuntimes]
-		ep := clientEPs[ci%cfg.ClientRuntimes]
-		id := uint64(1000 + ci)
-		gen := ycsb.NewGenerator(workload, cfg.Seed+int64(ci))
-		wg.Add(1)
-		rt.Spawn("ycsb-client", func(co *core.Coroutine) {
-			defer wg.Done()
-			cl := raft.NewClient(id, ep, order, 3*time.Second)
-			for !stopFlag.Load() {
-				op := gen.Next()
-				cmd := opToCommand(op)
-				start := time.Now()
-				_, err := cl.Do(co, cmd)
-				if stopFlag.Load() {
-					return
-				}
-				if err != nil {
-					errs.Add(1)
-					if err == raft.ErrClientStopped {
-						return
-					}
-					continue
-				}
-				if measuring.Load() {
-					hist.Record(time.Since(start))
-					ops.Add(1)
-				}
-			}
-		})
-	}
+	pool := startClients(h, cfg, leader, collector)
+	defer pool.close()
 
 	time.Sleep(cfg.Warmup)
 	electionsBefore := h.elections()
-	measuring.Store(true)
+	pool.measuring.Store(true)
 	measStart := time.Now()
 	time.Sleep(cfg.Duration)
-	measuring.Store(false)
+	pool.measuring.Store(false)
 	measured := time.Since(measStart)
 	electionsAfter := h.elections()
-	stopFlag.Store(true)
+	pool.stop()
 
-	// Let in-flight ops drain briefly; stragglers are cut off by
-	// runtime stop in the deferred cleanup.
-	done := make(chan struct{})
-	go func() { wg.Wait(); close(done) }()
-	select {
-	case <-done:
-	case <-time.After(10 * time.Second):
-	}
-
-	snap := hist.Snapshot()
+	snap := pool.hist.Snapshot()
 	res := RunResult{
 		System:        cfg.System,
 		Nodes:         cfg.Nodes,
 		Fault:         cfg.Fault,
-		Ops:           ops.Load(),
-		Errors:        errs.Load(),
+		Ops:           pool.ops.Load(),
+		Errors:        pool.errs.Load(),
 		Duration:      measured,
-		Throughput:    float64(ops.Load()) / measured.Seconds(),
+		Throughput:    float64(pool.ops.Load()) / measured.Seconds(),
 		Mean:          snap.Mean,
 		P50:           snap.P50,
 		P99:           snap.P99,
@@ -378,9 +434,10 @@ func buildCluster(cfg RunConfig, collector *trace.Collector) (*clusterHandle, er
 			s.Start()
 		}
 		return &clusterHandle{
-			names: names,
-			net:   net,
-			envs:  envs,
+			names:       names,
+			net:         net,
+			envs:        envs,
+			raftServers: servers,
 			stop: func() {
 				for _, s := range servers {
 					s.Stop()

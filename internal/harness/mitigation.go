@@ -1,0 +1,263 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"depfast/internal/failslow"
+	"depfast/internal/raft"
+)
+
+// MitigationRunConfig parameterizes one phased mitigation experiment:
+// settle, measure a healthy window, inject a fail-slow fault, wait a
+// grace period for detection + response, measure a faulted window,
+// then optionally clear the fault and wait for rehabilitation.
+type MitigationRunConfig struct {
+	// Mitigated enables the sentinel (raft.Config.Mitigation).
+	Mitigated bool
+
+	// Fault is injected after the pre-fault window; FaultLeader selects
+	// the current leader (exercising self-demotion) instead of one
+	// follower (exercising quarantine).
+	Fault       failslow.Fault
+	FaultLeader bool
+	Intensity   failslow.Intensity
+
+	Nodes          int
+	Clients        int
+	ClientRuntimes int
+	Records        int
+	ValueSize      int
+	Seed           int64
+
+	// Phase lengths. Grace sits between injection and the post window
+	// so the post window measures the mitigated steady state, not the
+	// detection transient.
+	Warmup     time.Duration
+	PreWindow  time.Duration
+	Grace      time.Duration
+	PostWindow time.Duration
+
+	// Clear lifts the fault after the post window and polls up to
+	// RehabWait for every quarantine to be released.
+	Clear     bool
+	RehabWait time.Duration
+
+	// RaftMutate tweaks server configs (e.g. sentinel cadence) after
+	// the Mitigation flag is applied.
+	RaftMutate func(*raft.Config)
+}
+
+// DefaultMitigationRunConfig returns the scaled-down leader CPU-slow
+// scenario used by the EXPERIMENTS.md mitigation table.
+func DefaultMitigationRunConfig() MitigationRunConfig {
+	return MitigationRunConfig{
+		Mitigated:      true,
+		Fault:          failslow.CPUSlow,
+		FaultLeader:    true,
+		Intensity:      failslow.DefaultIntensity(),
+		Nodes:          3,
+		Clients:        48,
+		ClientRuntimes: 4,
+		Records:        2000,
+		ValueSize:      100,
+		Seed:           42,
+		Warmup:         500 * time.Millisecond,
+		PreWindow:      time.Second,
+		Grace:          1200 * time.Millisecond,
+		PostWindow:     1500 * time.Millisecond,
+		Clear:          true,
+		RehabWait:      10 * time.Second,
+	}
+}
+
+// MitigationResult captures both phases plus the sentinel's visible
+// actions, summed across servers (the transfer counter lives on the
+// demoted leader, quarantine counters on whoever led at the time).
+type MitigationResult struct {
+	Mitigated bool
+	Fault     failslow.Fault
+
+	PreTput  float64 // ops/sec before the fault
+	PostTput float64 // ops/sec after fault + grace
+
+	Transfers          int64
+	QuarantinesEntered int64
+	QuarantinesExited  int64
+	BacklogDiscarded   int64
+
+	// LeaderMoved reports that leadership left the injected node.
+	LeaderMoved bool
+	// Rehabilitated / QuarantineClear are meaningful when Clear is set:
+	// at least one release fired and no peer remained quarantined.
+	Rehabilitated   bool
+	QuarantineClear bool
+}
+
+// String renders a one-line summary.
+func (r MitigationResult) String() string {
+	mode := "off"
+	if r.Mitigated {
+		mode = "on"
+	}
+	return fmt.Sprintf("mitigation=%-3s fault=%-12s pre=%7.0f op/s post=%7.0f op/s transfers=%d quar=%d/%d moved=%v rehab=%v",
+		mode, r.Fault, r.PreTput, r.PostTput,
+		r.Transfers, r.QuarantinesEntered, r.QuarantinesExited,
+		r.LeaderMoved, r.Rehabilitated)
+}
+
+// RunMitigation executes the phased experiment.
+func RunMitigation(cfg MitigationRunConfig) (MitigationResult, error) {
+	if cfg.Nodes <= 0 {
+		cfg.Nodes = 3
+	}
+	if cfg.Clients <= 0 {
+		cfg.Clients = 48
+	}
+	if cfg.ClientRuntimes <= 0 {
+		cfg.ClientRuntimes = 4
+	}
+	if cfg.RehabWait <= 0 {
+		cfg.RehabWait = 10 * time.Second
+	}
+
+	rcfg := RunConfig{
+		System:         DepFastRaft,
+		Nodes:          cfg.Nodes,
+		Clients:        cfg.Clients,
+		ClientRuntimes: cfg.ClientRuntimes,
+		Records:        cfg.Records,
+		ValueSize:      cfg.ValueSize,
+		Seed:           cfg.Seed,
+		RaftMutate: func(rc *raft.Config) {
+			rc.Mitigation = cfg.Mitigated
+			if cfg.RaftMutate != nil {
+				cfg.RaftMutate(rc)
+			}
+		},
+	}
+	h, err := buildCluster(rcfg, nil)
+	if err != nil {
+		return MitigationResult{}, err
+	}
+	defer h.stop()
+
+	leader, err := h.waitLeader(15 * time.Second)
+	if err != nil {
+		return MitigationResult{}, err
+	}
+
+	pool := startClients(h, rcfg, leader, nil)
+	defer pool.close()
+	time.Sleep(cfg.Warmup)
+
+	res := MitigationResult{Mitigated: cfg.Mitigated, Fault: cfg.Fault}
+	res.PreTput = pool.measureFor(cfg.PreWindow)
+
+	// Inject into whoever leads right now (the warmup may have moved
+	// it) or the first follower.
+	target := leader
+	if cur, ok := h.leader(); ok {
+		target = cur
+	}
+	if !cfg.FaultLeader {
+		target = otherNames(h.names, target)[0]
+	}
+	faulted := target
+	failslow.Apply(h.envs[faulted], cfg.Fault, cfg.Intensity)
+
+	time.Sleep(cfg.Grace)
+	res.PostTput = pool.measureFor(cfg.PostWindow)
+
+	if cur, ok := h.leader(); ok && cur != faulted {
+		res.LeaderMoved = true
+	}
+
+	if cfg.Clear {
+		failslow.Clear(h.envs[faulted])
+		// Only a run that actually quarantined someone has a
+		// rehabilitation to wait for.
+		entered := sumMitigation(h, func(s *raft.Server) int64 {
+			return s.Mitigation.QuarantinesEntered.Value()
+		})
+		deadline := time.Now().Add(cfg.RehabWait)
+		for entered >= 1 && time.Now().Before(deadline) {
+			clear := true
+			for _, s := range h.raftServers {
+				if len(s.Quarantined()) > 0 {
+					clear = false
+					break
+				}
+			}
+			if clear && sumMitigation(h, func(s *raft.Server) int64 {
+				return s.Mitigation.QuarantinesExited.Value()
+			}) >= 1 {
+				res.Rehabilitated = true
+				break
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+		res.QuarantineClear = true
+		for _, s := range h.raftServers {
+			if len(s.Quarantined()) > 0 {
+				res.QuarantineClear = false
+			}
+		}
+	}
+
+	pool.stop()
+
+	res.Transfers = sumMitigation(h, func(s *raft.Server) int64 { return s.Mitigation.Transfers.Value() })
+	res.QuarantinesEntered = sumMitigation(h, func(s *raft.Server) int64 { return s.Mitigation.QuarantinesEntered.Value() })
+	res.QuarantinesExited = sumMitigation(h, func(s *raft.Server) int64 { return s.Mitigation.QuarantinesExited.Value() })
+	res.BacklogDiscarded = sumMitigation(h, func(s *raft.Server) int64 { return s.Mitigation.BacklogDiscarded.Value() })
+	return res, nil
+}
+
+func sumMitigation(h *clusterHandle, get func(*raft.Server) int64) int64 {
+	var total int64
+	for _, s := range h.raftServers {
+		total += get(s)
+	}
+	return total
+}
+
+// MitigationExperiment runs the sentinel on/off comparison for both
+// fault placements — CPU-slow leader (self-demotion path) and
+// net-slow follower (quarantine + rehabilitation path) — and renders
+// the EXPERIMENTS.md table.
+func MitigationExperiment() (string, error) {
+	scenarios := []struct {
+		name   string
+		fault  failslow.Fault
+		leader bool
+	}{
+		{"leader cpu-slow", failslow.CPUSlow, true},
+		{"follower net-slow", failslow.NetSlow, false},
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-18s %-8s %12s %12s %10s %8s %7s %7s\n",
+		"scenario", "sentinel", "pre (op/s)", "post (op/s)", "post/pre", "handoff", "quar", "rehab")
+	for _, sc := range scenarios {
+		for _, on := range []bool{false, true} {
+			cfg := DefaultMitigationRunConfig()
+			cfg.Mitigated = on
+			cfg.Fault = sc.fault
+			cfg.FaultLeader = sc.leader
+			r, err := RunMitigation(cfg)
+			if err != nil {
+				return "", err
+			}
+			ratio := 0.0
+			if r.PreTput > 0 {
+				ratio = r.PostTput / r.PreTput
+			}
+			fmt.Fprintf(&b, "%-18s %-8s %12.0f %12.0f %9.2fx %8v %7d %7v\n",
+				sc.name, map[bool]string{false: "off", true: "on"}[on],
+				r.PreTput, r.PostTput, ratio, r.LeaderMoved && sc.leader,
+				r.QuarantinesEntered, r.Rehabilitated)
+		}
+	}
+	return b.String(), nil
+}

@@ -1,0 +1,116 @@
+package harness
+
+import (
+	"testing"
+	"time"
+
+	"depfast/internal/failslow"
+	"depfast/internal/mitigate"
+	"depfast/internal/raft"
+)
+
+// fastSentinel speeds the sentinel up to test cadence.
+func fastSentinel(rc *raft.Config) {
+	rc.Mitigate = mitigate.Config{
+		Interval:         15 * time.Millisecond,
+		MinQuarantine:    150 * time.Millisecond,
+		TransferCooldown: time.Second,
+	}
+}
+
+func shortMitigationCfg() MitigationRunConfig {
+	cfg := DefaultMitigationRunConfig()
+	cfg.Clients = 24
+	cfg.ClientRuntimes = 2
+	cfg.Records = 500
+	cfg.Warmup = 300 * time.Millisecond
+	cfg.PreWindow = 600 * time.Millisecond
+	cfg.Grace = time.Second
+	cfg.PostWindow = time.Second
+	cfg.RaftMutate = fastSentinel
+	return cfg
+}
+
+// TestMitigationLeaderCPUSlowRecovery is the ISSUE acceptance
+// experiment: with the sentinel on, steady-state throughput under a
+// leader CPU-slow fault must recover to at least 2x the unmitigated
+// level after detection, because the sentinel hands leadership to a
+// healthy peer while the unmitigated cluster keeps limping behind its
+// slow leader.
+func TestMitigationLeaderCPUSlowRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("mitigation experiment is seconds-long")
+	}
+	// The contrast is large (CPU-slow stretches leader compute 20x), but
+	// a noisy host can disturb a window; allow one retry of the pair.
+	var off, on MitigationResult
+	for attempt := 0; attempt < 2; attempt++ {
+		var err error
+		cfg := shortMitigationCfg()
+		cfg.Clear = false
+		cfg.Mitigated = false
+		if off, err = RunMitigation(cfg); err != nil {
+			t.Fatal(err)
+		}
+		cfg.Mitigated = true
+		if on, err = RunMitigation(cfg); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("attempt %d:\n  %s\n  %s", attempt, off, on)
+		if on.PostTput >= 2*off.PostTput {
+			break
+		}
+	}
+
+	if off.LeaderMoved {
+		t.Errorf("unmitigated leader moved; contrast run invalid")
+	}
+	if !on.LeaderMoved {
+		t.Errorf("mitigated run: leadership never left the CPU-slow node")
+	}
+	if on.Transfers < 1 {
+		t.Errorf("mitigated run: transfers = %d, want >= 1 (handoff must be sentinel-initiated)", on.Transfers)
+	}
+	if on.PostTput < 2*off.PostTput {
+		t.Errorf("post-fault throughput %.0f op/s with mitigation, %.0f without; want >= 2x",
+			on.PostTput, off.PostTput)
+	}
+	// Sanity: the fault actually hurt the unmitigated cluster.
+	if off.PreTput > 0 && off.PostTput > 0.8*off.PreTput {
+		t.Logf("warning: unmitigated post %.0f close to pre %.0f; fault barely bit", off.PostTput, off.PreTput)
+	}
+}
+
+// TestMitigationFollowerQuarantineRehabilitation: the follower path of
+// the acceptance criteria — a net-slow follower is quarantined, and
+// after the fault clears it is rehabilitated back into quorum
+// accounting (Quarantined() empty, a release counted).
+func TestMitigationFollowerQuarantineRehabilitation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("mitigation experiment is seconds-long")
+	}
+	cfg := shortMitigationCfg()
+	cfg.Fault = failslow.NetSlow
+	cfg.FaultLeader = false
+	cfg.Grace = 1500 * time.Millisecond
+	cfg.Clear = true
+	cfg.RehabWait = 15 * time.Second
+	res, err := RunMitigation(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("%s", res)
+	if res.QuarantinesEntered < 1 {
+		t.Fatalf("quarantines entered = %d, want >= 1", res.QuarantinesEntered)
+	}
+	if !res.Rehabilitated {
+		t.Fatalf("follower not rehabilitated after fault cleared: %s", res)
+	}
+	if !res.QuarantineClear {
+		t.Fatalf("quarantine set not empty at end: %s", res)
+	}
+	// Quorum kept running without the quarantined follower.
+	if res.PostTput <= 0 {
+		t.Fatalf("no throughput during quarantine window")
+	}
+}

@@ -1,0 +1,46 @@
+package raft
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Backoff is the single retry-delay policy for client paths: linear
+// growth in the attempt number, capped, with full jitter in the upper
+// half of the delay. The jitter is what prevents the dogpile — when
+// hundreds of closed-loop clients hit the same slow leader and time
+// out together, deterministic delays would march them back in
+// lockstep; jittered ones spread the retry wave out.
+type Backoff struct {
+	// Base is the first attempt's delay (default 5ms).
+	Base time.Duration
+	// Cap bounds the grown delay (default 100ms).
+	Cap time.Duration
+	rng *rand.Rand
+}
+
+// NewBackoff returns a policy seeded deterministically from seed so
+// simulated runs stay reproducible while distinct clients desynchronize.
+func NewBackoff(base, cap time.Duration, seed int64) *Backoff {
+	if base <= 0 {
+		base = 5 * time.Millisecond
+	}
+	if cap < base {
+		cap = 100 * time.Millisecond
+		if cap < base {
+			cap = base
+		}
+	}
+	return &Backoff{Base: base, Cap: cap, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Delay returns the jittered delay for the given attempt (0-based):
+// uniformly drawn from [d/2, d] where d = min(Base×(attempt+1), Cap).
+func (b *Backoff) Delay(attempt int) time.Duration {
+	d := time.Duration(attempt+1) * b.Base
+	if d > b.Cap || d <= 0 { // <=0 guards arithmetic overflow
+		d = b.Cap
+	}
+	half := d / 2
+	return half + time.Duration(b.rng.Int63n(int64(half)+1))
+}

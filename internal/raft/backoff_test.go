@@ -1,0 +1,50 @@
+package raft
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBackoffDelayBounds(t *testing.T) {
+	b := NewBackoff(5*time.Millisecond, 100*time.Millisecond, 42)
+	for attempt := 0; attempt < 60; attempt++ {
+		max := time.Duration(attempt+1) * 5 * time.Millisecond
+		if max > 100*time.Millisecond {
+			max = 100 * time.Millisecond
+		}
+		for i := 0; i < 20; i++ {
+			d := b.Delay(attempt)
+			if d < max/2 || d > max {
+				t.Fatalf("attempt %d: delay %v outside [%v, %v]", attempt, d, max/2, max)
+			}
+		}
+	}
+}
+
+func TestBackoffDefaults(t *testing.T) {
+	b := NewBackoff(0, 0, 1)
+	if b.Base != 5*time.Millisecond || b.Cap != 100*time.Millisecond {
+		t.Fatalf("defaults = base %v cap %v", b.Base, b.Cap)
+	}
+	// Cap below base is lifted to at least base.
+	b = NewBackoff(200*time.Millisecond, 10*time.Millisecond, 1)
+	if b.Cap < b.Base {
+		t.Fatalf("cap %v below base %v", b.Cap, b.Base)
+	}
+}
+
+func TestBackoffSeedsDesynchronize(t *testing.T) {
+	// Distinct clients must not march in lockstep: different seeds
+	// should produce different jitter sequences.
+	b1 := NewBackoff(0, 0, 1)
+	b2 := NewBackoff(0, 0, 2)
+	same := true
+	for i := 0; i < 16; i++ {
+		if b1.Delay(8) != b2.Delay(8) {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical delay sequences")
+	}
+}

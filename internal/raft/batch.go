@@ -95,10 +95,11 @@ func (s *Server) proposeBatch(co *core.Coroutine, term uint64, batch []*pendingP
 	}
 	s.persistAppend(entries)
 
-	q := core.NewQuorumEvent(len(s.cfg.Peers), s.majority())
+	targets := s.broadcastTargets()
+	q := core.NewQuorumEvent(1+len(targets), s.majority())
 	q.AddJudged(fsync, nil)
 	prevTerm := s.termOf(first - 1)
-	for _, p := range s.others() {
+	for _, p := range targets {
 		ae := &AppendEntries{
 			Term:         term,
 			Leader:       s.cfg.ID,

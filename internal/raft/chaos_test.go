@@ -19,12 +19,24 @@ import (
 //  1. every acknowledged write is present,
 //  2. all replicas converge to identical state machines.
 func TestChaosConvergence(t *testing.T) {
+	runChaosConvergence(t, false)
+}
+
+// TestChaosConvergenceMitigated repeats the chaos run with the
+// mitigation sentinel active: quarantine churn, self-demotions, and
+// rehabilitation must not cost a single acknowledged write.
+func TestChaosConvergenceMitigated(t *testing.T) {
+	runChaosConvergence(t, true)
+}
+
+func runChaosConvergence(t *testing.T, mitigation bool) {
 	if testing.Short() {
 		t.Skip("chaos test is seconds-long")
 	}
 	c := newCluster(t, clusterOpts{n: 3, mutate: func(cfg *Config) {
 		cfg.SnapshotThreshold = 64 // exercise compaction under churn
 		cfg.EntryCacheSize = 32
+		cfg.Mitigation = mitigation
 	}})
 	c.waitLeader()
 

@@ -29,6 +29,7 @@ type Client struct {
 	leader  int
 	timeout time.Duration
 	retries int
+	backoff *Backoff
 }
 
 // NewClient returns a client with unique id issuing requests through
@@ -43,6 +44,8 @@ func NewClient(id uint64, ep *rpc.Endpoint, servers []string, timeout time.Durat
 		servers: servers,
 		timeout: timeout,
 		retries: 10 * len(servers),
+		// Per-client seed: distinct clients draw distinct jitter.
+		backoff: NewBackoff(5*time.Millisecond, 100*time.Millisecond, int64(id)*6364136223846793005+1442695040888963407),
 	}
 }
 
@@ -57,12 +60,19 @@ func (c *Client) Do(co *core.Coroutine, cmd kv.Command) (kv.Result, error) {
 		case core.WaitStopped:
 			return kv.Result{}, ErrClientStopped
 		case core.WaitTimeout:
+			// A timed-out call usually means the target is slow, not
+			// dead — retrying instantly would re-dogpile it in lockstep
+			// with every other timed-out client. Jittered backoff
+			// desynchronizes the retry wave.
 			c.rotate()
+			if err := co.Sleep(c.backoff.Delay(attempt)); err != nil {
+				return kv.Result{}, ErrClientStopped
+			}
 			continue
 		}
 		if ev.Err() != nil {
 			c.rotate()
-			if err := co.Sleep(2 * time.Millisecond); err != nil {
+			if err := co.Sleep(c.backoff.Delay(0)); err != nil {
 				return kv.Result{}, ErrClientStopped
 			}
 			continue
@@ -77,7 +87,7 @@ func (c *Client) Do(co *core.Coroutine, cmd kv.Command) (kv.Result, error) {
 				c.rotate()
 			}
 			// Back off while an election settles.
-			if err := co.Sleep(c.backoff(attempt)); err != nil {
+			if err := co.Sleep(c.backoff.Delay(attempt)); err != nil {
 				return kv.Result{}, ErrClientStopped
 			}
 			continue
@@ -85,7 +95,7 @@ func (c *Client) Do(co *core.Coroutine, cmd kv.Command) (kv.Result, error) {
 		if !resp.OK {
 			// Commit timeout or transient leadership churn: retry the
 			// same seq after a short backoff.
-			if err := co.Sleep(5 * time.Millisecond); err != nil {
+			if err := co.Sleep(c.backoff.Delay(0)); err != nil {
 				return kv.Result{}, ErrClientStopped
 			}
 			continue
@@ -126,16 +136,6 @@ func (c *Client) CAS(co *core.Coroutine, key string, expect, value []byte) (bool
 func (c *Client) Scan(co *core.Coroutine, key string, n int) ([]kv.Pair, error) {
 	res, err := c.Do(co, kv.Command{Op: kv.OpScan, Key: key, ScanLen: n})
 	return res.Pairs, err
-}
-
-// backoff grows linearly with the attempt, capped at 100ms, so the
-// retry budget spans leader elections.
-func (c *Client) backoff(attempt int) time.Duration {
-	d := time.Duration(attempt+1) * 5 * time.Millisecond
-	if d > 100*time.Millisecond {
-		d = 100 * time.Millisecond
-	}
-	return d
 }
 
 // rotate moves to the next candidate server.

@@ -61,8 +61,18 @@ func (s *Server) observeHeartbeatDelay(d time.Duration) {
 }
 
 // observeHeartbeat folds a heartbeat arrival into the detector EWMA.
+// A leader change resets both cadence EWMAs: stale readings from a
+// fail-slow predecessor must not indict its healthy successor (one
+// carried-over slow verdict is enough to sway a slow-vote majority
+// and demote the new leader right back).
 func (s *Server) observeHeartbeat() {
 	now := time.Now()
+	if s.leaderHint != s.hbLeader {
+		s.hbLeader = s.leaderHint
+		s.hbGapEWMA, s.hbDelayEWMA = 0, 0
+		s.lastHeartbeat = now
+		return
+	}
 	gap := now.Sub(s.lastHeartbeat)
 	s.lastHeartbeat = now
 	if s.hbGapEWMA == 0 {
@@ -142,6 +152,12 @@ func (s *Server) becomeLeader(co *core.Coroutine, term uint64) {
 	for _, p := range s.others() {
 		s.nextIndex[p] = last + 1
 		s.matchIndex[p] = 0
+	}
+	// Quarantine verdicts from a previous term are void; the sentinel
+	// re-earns them from fresh observations.
+	s.clearQuarantine()
+	if s.policy != nil {
+		s.policy.Reset()
 	}
 	s.publish()
 

@@ -149,6 +149,12 @@ type AppendEntriesReply struct {
 	// where the leader should back up to on mismatch.
 	LastIndex uint64
 	From      string
+	// LeaderSlow carries the follower's slow-leader verdict back to the
+	// leader: this follower's heartbeat cadence/delay EWMAs say the
+	// leader looks fail-slow. The mitigation sentinel counts these
+	// votes as a self-observation signal — the cluster telling the
+	// leader what it may not see about itself.
+	LeaderSlow bool
 }
 
 // TypeTag implements codec.Message.
@@ -160,6 +166,7 @@ func (m *AppendEntriesReply) MarshalTo(e *codec.Encoder) {
 	e.Bool(m.Success)
 	e.Uint64(m.LastIndex)
 	e.String(m.From)
+	e.Bool(m.LeaderSlow)
 }
 
 // UnmarshalFrom implements codec.Message.
@@ -168,6 +175,7 @@ func (m *AppendEntriesReply) UnmarshalFrom(d *codec.Decoder) {
 	m.Success = d.Bool()
 	m.LastIndex = d.Uint64()
 	m.From = d.String()
+	m.LeaderSlow = d.Bool()
 }
 
 func init() {

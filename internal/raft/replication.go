@@ -37,10 +37,11 @@ func (s *Server) propose(co *core.Coroutine, data []byte) (uint64, kv.Result, er
 	s.cache.Put(entry)
 	s.persistAppend([]storage.Entry{entry})
 
-	q := core.NewQuorumEvent(len(s.cfg.Peers), s.majority())
+	targets := s.broadcastTargets()
+	q := core.NewQuorumEvent(1+len(targets), s.majority())
 	q.AddJudged(fsync, nil) // the leader's own durable append is one ack
 	prevTerm := s.termOf(idx - 1)
-	for _, p := range s.others() {
+	for _, p := range targets {
 		p := p
 		ae := &AppendEntries{
 			Term:         term,
@@ -83,6 +84,33 @@ func (s *Server) propose(co *core.Coroutine, data []byte) (uint64, kv.Result, er
 	return idx, res, nil
 }
 
+// broadcastTargets returns the followers charged to latency-critical
+// quorum waits: everyone except quarantined peers. If excluding them
+// would leave self plus the remainder short of a majority (possible
+// only if quarantine outpaced the policy's cap, e.g. across a
+// reconfiguration), quarantined peers are re-admitted until the
+// quorum is satisfiable again. Baton context only.
+func (s *Server) broadcastTargets() []string {
+	others := s.others()
+	if len(s.quarantined) == 0 {
+		return others
+	}
+	targets := make([]string, 0, len(others))
+	var held []string
+	for _, p := range others {
+		if s.quarantined[p] {
+			held = append(held, p)
+		} else {
+			targets = append(targets, p)
+		}
+	}
+	for len(targets)+1 < s.majority() && len(held) > 0 {
+		targets = append(targets, held[0])
+		held = held[1:]
+	}
+	return targets
+}
+
 // appendJudge classifies one follower's AppendEntries outcome and
 // folds its progress into leader bookkeeping. Judges run under the
 // baton when the reply event fires.
@@ -94,6 +122,15 @@ func (s *Server) appendJudge(p string, idx, term uint64) func(interface{}, error
 		reply, ok := v.(*AppendEntriesReply)
 		if !ok {
 			return false
+		}
+		if s.cfg.Mitigation && reply.From != "" {
+			// Fold the follower's slow-leader vote into the sentinel's
+			// self-observation inputs.
+			if reply.LeaderSlow {
+				s.slowVotes[reply.From] = time.Now()
+			} else {
+				delete(s.slowVotes, reply.From)
+			}
 		}
 		if reply.Term > s.term {
 			s.stepDown(reply.Term, "")
@@ -132,6 +169,11 @@ func (s *Server) handleClientRequest(co *core.Coroutine, from string, req codec.
 	if s.role != Leader {
 		return &kv.ClientResponse{NotLeader: true, LeaderHint: s.leaderHint, Err: ErrNotLeader.Error()}
 	}
+	if s.transferPending {
+		// Handoff in flight: the log is frozen so the transfer target
+		// can catch up. Bounce the client straight to the heir.
+		return &kv.ClientResponse{NotLeader: true, LeaderHint: s.transferTo, Err: ErrNotLeader.Error()}
+	}
 	s.e.Compute(s.cfg.LeaderComputePerOp)
 
 	if s.cfg.ReadIndex && m.Cmd.Op == kv.OpGet {
@@ -157,9 +199,10 @@ func (s *Server) readIndex(co *core.Coroutine, m *kv.ClientRequest) codec.Messag
 	s.ReadIndexOps.Inc()
 	term := s.term
 	readIdx := s.commitIndex
-	q := core.NewQuorumEvent(len(s.cfg.Peers), s.majority())
+	targets := s.broadcastTargets()
+	q := core.NewQuorumEvent(1+len(targets), s.majority())
 	q.AddAck() // self
-	for _, p := range s.others() {
+	for _, p := range targets {
 		ae := &AppendEntries{
 			Term:         term,
 			Leader:       s.cfg.ID,
@@ -203,10 +246,13 @@ func (s *Server) handleAppendEntries(co *core.Coroutine, from string, req codec.
 	if m.SentAtNs > 0 {
 		s.observeHeartbeatDelay(time.Duration(time.Now().UnixNano() - m.SentAtNs))
 	}
+	// Piggyback this follower's slow-leader verdict on every reply so
+	// the leader's sentinel hears what the cluster sees.
+	leaderSlow := s.leaderSeemsSlow()
 
 	// Entries already covered by our snapshot are dropped up front.
 	if !s.trimSnapshotCovered(m) {
-		return &AppendEntriesReply{Term: s.term, Success: true, LastIndex: s.wal.LastIndex(), From: s.cfg.ID}
+		return &AppendEntriesReply{Term: s.term, Success: true, LastIndex: s.wal.LastIndex(), From: s.cfg.ID, LeaderSlow: leaderSlow}
 	}
 
 	// Consistency check on the previous entry.
@@ -216,7 +262,7 @@ func (s *Server) handleAppendEntries(co *core.Coroutine, from string, req codec.
 			if m.PrevLogIndex-1 < hint {
 				hint = m.PrevLogIndex - 1
 			}
-			return &AppendEntriesReply{Term: s.term, Success: false, LastIndex: hint, From: s.cfg.ID}
+			return &AppendEntriesReply{Term: s.term, Success: false, LastIndex: hint, From: s.cfg.ID, LeaderSlow: leaderSlow}
 		}
 	}
 
@@ -244,14 +290,14 @@ func (s *Server) handleAppendEntries(co *core.Coroutine, from string, req codec.
 		}
 		fsync, err := s.wal.Append(toAppend)
 		if err != nil {
-			return &AppendEntriesReply{Term: s.term, Success: false, LastIndex: s.wal.LastIndex(), From: s.cfg.ID}
+			return &AppendEntriesReply{Term: s.term, Success: false, LastIndex: s.wal.LastIndex(), From: s.cfg.ID, LeaderSlow: leaderSlow}
 		}
 		for _, e := range toAppend {
 			s.cache.Put(e)
 		}
 		s.persistAppend(toAppend)
 		if werr := co.Wait(fsync); werr != nil {
-			return &AppendEntriesReply{Term: s.term, Success: false, LastIndex: s.wal.LastIndex(), From: s.cfg.ID}
+			return &AppendEntriesReply{Term: s.term, Success: false, LastIndex: s.wal.LastIndex(), From: s.cfg.ID, LeaderSlow: leaderSlow}
 		}
 	}
 
@@ -263,7 +309,7 @@ func (s *Server) handleAppendEntries(co *core.Coroutine, from string, req codec.
 		s.commitIndex = limit
 		s.applyUpTo()
 	}
-	return &AppendEntriesReply{Term: s.term, Success: true, LastIndex: s.wal.LastIndex(), From: s.cfg.ID}
+	return &AppendEntriesReply{Term: s.term, Success: true, LastIndex: s.wal.LastIndex(), From: s.cfg.ID, LeaderSlow: leaderSlow}
 }
 
 // heartbeatLoop broadcasts empty AppendEntries while leader of term.
@@ -297,24 +343,33 @@ func (s *Server) heartbeatLoop(co *core.Coroutine, term uint64) {
 // (entry cache first, WAL otherwise — asynchronously, never blocking
 // the runtime) and ship one batch. Reply processing is hook-based;
 // the loop never waits on the follower, so a fail-slow follower only
-// slows its own repair.
+// slows its own repair. Quarantined followers are repaired at
+// PaceFactor × RepairInterval and via snapshot whenever one covers
+// their gap, so rehabilitation traffic cannot re-congest them.
 func (s *Server) repairLoop(co *core.Coroutine, p string, term uint64) {
 	inflight := false
 	for s.role == Leader && s.term == term && !s.stopped {
+		interval := s.cfg.RepairInterval
+		if s.quarantined[p] {
+			interval *= time.Duration(s.pace)
+		}
 		if !inflight && s.matchIndex[p] < s.wal.LastIndex() &&
 			s.outboxes[p].QueueLen() == 0 && s.outboxes[p].Inflight() == 0 {
 			lo := s.nextIndex[p]
-			if lo < s.wal.FirstIndex() {
-				// The follower's missing prefix was compacted away:
-				// ship the snapshot instead of entries.
-				if s.snapIndex > 0 && s.matchIndex[p] < s.snapIndex {
-					inflight = true
-					s.sendSnapshot(p, term, func() { inflight = false })
-					if err := co.Sleep(s.cfg.RepairInterval); err != nil {
-						return
-					}
-					continue
+			// Ship the snapshot instead of entries when the follower's
+			// missing prefix was compacted away — or when the follower
+			// is quarantined and a snapshot covers its gap (one bulk
+			// transfer beats a stream of batches into a slow node).
+			if s.snapIndex > 0 && s.matchIndex[p] < s.snapIndex &&
+				(lo < s.wal.FirstIndex() || s.quarantined[p]) {
+				inflight = true
+				s.sendSnapshot(p, term, func() { inflight = false })
+				if err := co.Sleep(interval); err != nil {
+					return
 				}
+				continue
+			}
+			if lo < s.wal.FirstIndex() {
 				lo = s.wal.FirstIndex()
 			}
 			hi := s.wal.LastIndex()
@@ -355,7 +410,7 @@ func (s *Server) repairLoop(co *core.Coroutine, p string, term uint64) {
 				}
 			}
 		}
-		if err := co.Sleep(s.cfg.RepairInterval); err != nil {
+		if err := co.Sleep(interval); err != nil {
 			return
 		}
 	}

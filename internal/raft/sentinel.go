@@ -1,0 +1,221 @@
+package raft
+
+import (
+	"sort"
+	"time"
+
+	"depfast/internal/core"
+	"depfast/internal/mitigate"
+)
+
+// The mitigation sentinel closes the paper's §5 loop from detection
+// to response. It is one long-lived coroutine per server that each
+// tick (a) probes the node's own CPU and disk for fail-slow stretch,
+// (b) folds the peer detector's verdicts through the mitigate.Policy
+// hysteresis, and (c) applies whatever the policy decided:
+//
+//   - DemoteSelf: the leader judged *itself* fail-slow — from its own
+//     resource probes or from a majority of followers voting
+//     LeaderSlow in AppendEntries replies — and hands leadership to
+//     the most caught-up unsuspected follower via TimeoutNow.
+//   - Quarantine: a suspected follower stops being charged to
+//     latency-critical quorum waits (propose/readIndex skip it), its
+//     queued backlog is discarded, and its catch-up is paced via
+//     snapshots at PaceFactor × RepairInterval.
+//   - Release: a quarantined follower showed RehabRTTs consecutive
+//     healthy round-trips (heartbeats keep flowing to quarantined
+//     peers precisely so this probe channel exists) and rejoins
+//     quorum accounting; its detector state is forgotten so it
+//     re-earns trust through a MinSamples probation.
+//
+// All mutation happens under the runtime baton.
+
+// sentinelLoop drives sentinelTick at the policy's interval.
+func (s *Server) sentinelLoop(co *core.Coroutine) {
+	interval := s.policy.Config().Interval
+	for !s.stopped {
+		if err := co.Sleep(interval); err != nil {
+			return
+		}
+		if s.stopped {
+			return
+		}
+		s.sentinelTick()
+	}
+}
+
+// sentinelTick runs one observe→decide→act round; baton context only.
+func (s *Server) sentinelTick() {
+	// Self-observation: query what a fixed unit of CPU work and a
+	// fixed-size disk write would cost right now versus the healthy
+	// baseline captured at construction. These are pure queries — the
+	// probe itself costs the runtime nothing.
+	s.selfCPU.Observe(s.e.ComputeCost(time.Millisecond), s.nominalCPU)
+	s.selfDisk.Observe(s.e.DiskWriteCost(4096), s.nominalDisk)
+
+	if s.role != Leader {
+		// Quarantine is leader-side state; a demoted or deposed node
+		// must not carry it (or its follower verdicts) into a future
+		// term.
+		s.clearQuarantine()
+		s.policy.Reset()
+		return
+	}
+
+	var verdicts []mitigate.PeerVerdict
+	for _, st := range s.detector.Stats() {
+		verdicts = append(verdicts, mitigate.PeerVerdict{
+			Peer:               st.Peer,
+			Suspect:            st.Suspect,
+			ConsecutiveHealthy: st.Healthy,
+		})
+	}
+	selfSlow := s.selfCPU.Slow() || s.selfDisk.Slow() || s.slowVoteMajority()
+
+	d := s.policy.Tick(time.Now(), verdicts, selfSlow)
+	for _, p := range d.Quarantine {
+		s.enterQuarantine(p)
+	}
+	for _, p := range d.Release {
+		s.releaseQuarantine(p)
+	}
+	if d.DemoteSelf {
+		s.beginTransfer()
+	}
+}
+
+// slowVoteMajority reports whether at least half of the followers
+// have recently voted LeaderSlow in their AppendEntries replies.
+// Stale votes age out so one transient complaint cannot linger.
+func (s *Server) slowVoteMajority() bool {
+	if len(s.slowVotes) == 0 {
+		return false
+	}
+	window := 4 * s.policy.Config().Interval
+	now := time.Now()
+	fresh := 0
+	for p, at := range s.slowVotes {
+		if now.Sub(at) <= window {
+			fresh++
+		} else {
+			delete(s.slowVotes, p)
+		}
+	}
+	return fresh*2 >= len(s.cfg.Peers)-1
+}
+
+// enterQuarantine excludes p from quorum accounting and sheds its
+// backlog; repair will catch it up slowly, via snapshot when one
+// covers the gap.
+func (s *Server) enterQuarantine(p string) {
+	if s.quarantined[p] {
+		return
+	}
+	s.quarantined[p] = true
+	if ob := s.outboxes[p]; ob != nil {
+		if n := ob.QueueLen(); n > 0 {
+			s.Mitigation.BacklogDiscarded.Add(int64(n))
+		}
+		ob.CancelAll()
+	}
+	s.Mitigation.QuarantinesEntered.Inc()
+	s.publishQuarantine()
+}
+
+// releaseQuarantine rehabilitates p back into quorum accounting. Its
+// detector state is forgotten so suspicion must be re-earned across a
+// fresh MinSamples probation rather than resuming from a stale EWMA.
+func (s *Server) releaseQuarantine(p string) {
+	if !s.quarantined[p] {
+		return
+	}
+	delete(s.quarantined, p)
+	s.detector.Forget(p)
+	s.Mitigation.QuarantinesExited.Inc()
+	s.publishQuarantine()
+}
+
+// clearQuarantine drops all quarantine state without counting
+// rehabilitations — used on role change, where the state is simply
+// void rather than resolved.
+func (s *Server) clearQuarantine() {
+	if len(s.quarantined) == 0 && len(s.slowVotes) == 0 {
+		return
+	}
+	s.quarantined = make(map[string]bool)
+	s.slowVotes = make(map[string]time.Time)
+	s.publishQuarantine()
+}
+
+// publishQuarantine refreshes the cross-goroutine quarantine list.
+func (s *Server) publishQuarantine() {
+	list := make([]string, 0, len(s.quarantined))
+	for p := range s.quarantined {
+		list = append(list, p)
+	}
+	sort.Strings(list)
+	s.mu.Lock()
+	s.quarPub = list
+	s.mu.Unlock()
+}
+
+// transferDrainTimeout bounds a leadership handoff end to end: the
+// freeze-and-drain phase plus the hold while the target's election
+// runs. Past it the (still slow) leader resumes serving and the
+// policy's cooldown schedules a retry.
+const transferDrainTimeout = 500 * time.Millisecond
+
+// beginTransfer starts a drained leadership handoff — the §5 move
+// that turns a fail-slow leader into a fail-slow follower the
+// protocol already tolerates. New proposals are frozen (clients are
+// bounced to the target) and TimeoutNow is sent only once the target
+// has replicated the leader's entire log: a target missing the
+// leader's uncommitted tail would lose the up-to-date vote check to
+// the very node trying to abdicate, and the slow leader would simply
+// re-elect itself (Raft thesis §3.10). Baton context only.
+func (s *Server) beginTransfer() {
+	if s.transferPending || s.role != Leader {
+		return
+	}
+	target := s.transferTarget(s.suspectSet())
+	if target == "" {
+		return
+	}
+	s.transferPending = true
+	s.transferTo = target
+	s.transferExpire = time.Now().Add(transferDrainTimeout)
+	s.rt.Spawn("transfer-drain", s.driveTransfer)
+}
+
+// driveTransfer waits for the transfer target to catch up to the
+// frozen log, fires TimeoutNow, then holds the proposal freeze until
+// this node is deposed (the handoff worked) or the window expires.
+func (s *Server) driveTransfer(co *core.Coroutine) {
+	sent := false
+	for {
+		if s.stopped || s.role != Leader || time.Now().After(s.transferExpire) {
+			s.transferPending = false
+			return
+		}
+		if !sent && s.matchIndex[s.transferTo] >= s.wal.LastIndex() {
+			sent = true
+			s.Mitigation.Transfers.Inc()
+			ev := s.ep.Call(s.transferTo, &TimeoutNow{Term: s.term, Leader: s.cfg.ID})
+			core.OnEvent(ev, func() {
+				// Best effort: the ensuing election is the real outcome.
+			})
+			// Start the self-view fresh so the post-transfer role (or a
+			// retry after the cooldown) judges current conditions, not
+			// the fault that triggered this handoff.
+			if s.selfCPU != nil {
+				s.selfCPU.Reset()
+				s.selfDisk.Reset()
+			}
+			s.slowVotes = make(map[string]time.Time)
+		}
+		if err := co.Sleep(2 * time.Millisecond); err != nil {
+			s.transferPending = false
+			return
+		}
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"depfast/internal/env"
 	"depfast/internal/kv"
 	"depfast/internal/metrics"
+	"depfast/internal/mitigate"
 	"depfast/internal/rpc"
 	"depfast/internal/storage"
 	"depfast/internal/transport"
@@ -119,6 +120,19 @@ type Config struct {
 	SlowLeaderDetector  bool
 	SlowLeaderThreshold float64 // campaign when EWMA gap exceeds threshold × heartbeat interval
 
+	// Mitigation runs the fail-slow mitigation sentinel: a per-server
+	// coroutine that closes the detection→response loop. A leader that
+	// observes its own CPU/disk stalls (or a majority of followers
+	// voting it slow) hands leadership off; suspected followers are
+	// quarantined out of latency-critical quorum waits, their backlog
+	// discarded and catch-up paced via snapshots, then rehabilitated
+	// after a run of healthy round-trips. Implies PeerDetector.
+	Mitigation bool
+	// Mitigate tunes the sentinel (quarantine/probation thresholds);
+	// zero fields take mitigate.DefaultConfig. MaxQuarantined left
+	// zero defaults to the quorum-safe cap len(Peers) − majority.
+	Mitigate mitigate.Config
+
 	// DiskHelpers sizes the I/O helper pool.
 	DiskHelpers int
 
@@ -174,8 +188,15 @@ type Server struct {
 	lastApplied uint64
 
 	lastHeartbeat time.Time
+	hbLeader      string        // whose cadence the EWMAs describe
 	hbGapEWMA     time.Duration // slow-leader detector: cadence
 	hbDelayEWMA   time.Duration // slow-leader detector: propagation delay
+
+	// Leadership handoff in flight: proposals freeze and clients are
+	// bounced to transferTo until the handoff lands or expires.
+	transferPending bool
+	transferTo      string
+	transferExpire  time.Time
 
 	nextIndex  map[string]uint64
 	matchIndex map[string]uint64
@@ -190,6 +211,16 @@ type Server struct {
 	propQ    *core.Queue[*pendingProposal]
 	detector *detect.Detector // nil unless cfg.PeerDetector
 
+	// Mitigation state — baton context only, except where noted.
+	policy      *mitigate.Policy // nil unless cfg.Mitigation
+	quarantined map[string]bool  // peers excluded from quorum waits
+	pace        int              // repair slowdown for quarantined peers
+	selfCPU     *detect.Self     // own-CPU stretch monitor
+	selfDisk    *detect.Self     // own-disk stretch monitor
+	nominalCPU  time.Duration    // healthy cost of the CPU probe
+	nominalDisk time.Duration    // healthy cost of the disk probe
+	slowVotes   map[string]time.Time // followers recently voting LeaderSlow
+
 	// appliedWaiters wake ReadIndex reads when lastApplied advances.
 	appliedWaiters []appliedWaiter
 
@@ -202,6 +233,7 @@ type Server struct {
 	RepairSends  *metrics.Counter
 	ReadIndexOps *metrics.Counter
 	Snapshots    *metrics.Counter
+	Mitigation   *metrics.Mitigation
 
 	// mu guards cross-goroutine introspection (tests, harness).
 	mu sync.Mutex
@@ -213,6 +245,7 @@ type Server struct {
 	snapApplied  uint64
 	snapIndexPub uint64
 	walLenPub    int
+	quarPub      []string // published quarantine list
 
 	rng *rand.Rand
 }
@@ -235,6 +268,11 @@ func NewServer(cfg Config, e *env.Env, tr transport.Transport, opts ...core.Opti
 	if cfg.DiskHelpers <= 0 {
 		cfg.DiskHelpers = 4
 	}
+	if cfg.Mitigation {
+		// The sentinel's quarantine/rehabilitation verdicts come from
+		// the peer detector; mitigation cannot run without it.
+		cfg.PeerDetector = true
+	}
 	rt := core.NewRuntime(cfg.ID, opts...)
 	s := &Server{
 		cfg:           cfg,
@@ -252,9 +290,29 @@ func NewServer(cfg Config, e *env.Env, tr transport.Transport, opts ...core.Opti
 		RepairSends:   metrics.NewCounter("raft.repair_sends"),
 		Snapshots:     metrics.NewCounter("raft.snapshots"),
 		ReadIndexOps:  metrics.NewCounter("raft.readindex"),
+		Mitigation:    metrics.NewMitigation(),
 		rng:           rand.New(rand.NewSource(cfg.Seed)),
 		lastHeartbeat: time.Now(),
 		propQ:         core.NewQueue[*pendingProposal](),
+		quarantined:   make(map[string]bool),
+		slowVotes:     make(map[string]time.Time),
+		pace:          1,
+	}
+	if cfg.Mitigation {
+		mcfg := cfg.Mitigate.WithDefaults()
+		if mcfg.MaxQuarantined == 0 {
+			// Quorum-safe cap: even with every slot used, the healthy
+			// remainder plus self still forms a majority.
+			mcfg.MaxQuarantined = len(cfg.Peers) - (len(cfg.Peers)/2 + 1)
+		}
+		s.policy = mitigate.NewPolicy(mcfg)
+		s.pace = mcfg.PaceFactor
+		s.selfCPU = detect.NewSelf("cpu", mcfg.SelfSlowFactor, 3)
+		s.selfDisk = detect.NewSelf("disk", mcfg.SelfSlowFactor, 3)
+		// Nominal probe costs are captured now, before any fault lands,
+		// so later probes measure the stretch against a healthy baseline.
+		s.nominalCPU = e.ComputeCost(time.Millisecond)
+		s.nominalDisk = e.DiskWriteCost(4096)
 	}
 	s.disk = storage.NewDisk(rt, e, cfg.DiskHelpers)
 	s.wal = storage.NewWAL(s.disk)
@@ -292,6 +350,9 @@ func (s *Server) Env() *env.Env { return s.e }
 // Start launches the background coroutines.
 func (s *Server) Start() {
 	s.rt.Spawn("election-ticker", s.electionTicker)
+	if s.cfg.Mitigation {
+		s.rt.Spawn("sentinel", s.sentinelLoop)
+	}
 }
 
 // Stop shuts the server down.
@@ -356,6 +417,14 @@ func (s *Server) Outbox(peer string) *rpc.Outbox { return s.outboxes[peer] }
 // Detector returns the fail-slow peer detector, or nil when
 // cfg.PeerDetector is off.
 func (s *Server) Detector() *detect.Detector { return s.detector }
+
+// Quarantined reports the peers this server (as leader) currently
+// holds in quarantine, as last published. Safe from any goroutine.
+func (s *Server) Quarantined() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]string(nil), s.quarPub...)
+}
 
 // --- shared state transitions (baton context only) ---
 

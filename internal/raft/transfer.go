@@ -63,31 +63,55 @@ func init() {
 }
 
 // RequestTransfer asks the leader to hand leadership to its most
-// caught-up follower. Safe to call from any goroutine; a no-op on
-// non-leaders. The outcome is observable via Status on the peers.
+// caught-up follower that is not suspected fail-slow. Safe to call
+// from any goroutine; a no-op on non-leaders. The handoff drains the
+// target to the leader's last index before TimeoutNow fires; the
+// outcome is observable via Status on the peers.
 func (s *Server) RequestTransfer() {
 	s.rt.Post(func() {
-		if s.role != Leader {
-			return
-		}
-		// Pick the follower with the highest matchIndex.
-		var target string
-		var best uint64
-		for _, p := range s.others() {
-			if m := s.matchIndex[p]; target == "" || m > best {
-				target, best = p, m
-			}
-		}
-		if target == "" {
-			return
-		}
-		term := s.term
-		ev := s.ep.Call(target, &TimeoutNow{Term: term, Leader: s.cfg.ID})
-		core.OnEvent(ev, func() {
-			// Best effort: the election outcome itself tells us whether
-			// it worked; nothing to do with the ack.
-		})
+		s.beginTransfer()
 	})
+}
+
+// suspectSet returns the peers a transfer should avoid: everything
+// the detector currently suspects plus everything in quarantine.
+// Baton context only.
+func (s *Server) suspectSet() map[string]bool {
+	out := make(map[string]bool)
+	if s.detector != nil {
+		for _, p := range s.detector.Suspects() {
+			out[p] = true
+		}
+	}
+	for p := range s.quarantined {
+		out[p] = true
+	}
+	return out
+}
+
+// transferTarget picks the follower with the highest matchIndex
+// outside exclude. When every follower is excluded it falls back to
+// the best overall — a fail-slow follower can still be a better
+// leader than a fail-slow self. Baton context only.
+func (s *Server) transferTarget(exclude map[string]bool) string {
+	var target, fallback string
+	var best, fbBest uint64
+	for _, p := range s.others() {
+		m := s.matchIndex[p]
+		if fallback == "" || m > fbBest {
+			fallback, fbBest = p, m
+		}
+		if exclude[p] {
+			continue
+		}
+		if target == "" || m > best {
+			target, best = p, m
+		}
+	}
+	if target == "" {
+		return fallback
+	}
+	return target
 }
 
 // handleTimeoutNow makes the follower campaign immediately, skipping

@@ -136,6 +136,80 @@ func TestGroupDiscardBelow(t *testing.T) {
 	})
 }
 
+func TestGroupQuarantineSkipsBroadcast(t *testing.T) {
+	gc := newGroupCluster(t, 3)
+	gc.on(t, func(co *core.Coroutine) {
+		g := NewGroup(gc.caller, gc.peers, OutboxConfig{Window: 4})
+		g.Quarantine(gc.peers[2], true)
+		if !g.Quarantined(gc.peers[2]) {
+			t.Fatal("peer not marked quarantined")
+		}
+		// Majority stays computed over FULL membership (2 of 3), but
+		// the fan-out covers only the two healthy peers — both must ack.
+		q := g.BroadcastMajority(&echoReq{Text: "x"}, 0, 1, nil)
+		if q.Total() != 2 || q.Quorum() != 2 {
+			t.Errorf("shape = %d/%d, want 2/2", q.Quorum(), q.Total())
+		}
+		if out := co.WaitQuorum(q, 5*time.Second); out != core.QuorumOK {
+			t.Errorf("outcome = %v", out)
+		}
+		ob := g.Outbox(gc.peers[2])
+		if ob.QueueLen() != 0 || ob.Inflight() != 0 {
+			t.Errorf("quarantined peer saw traffic: queue=%d inflight=%d",
+				ob.QueueLen(), ob.Inflight())
+		}
+		// Releasing restores full fan-out.
+		g.Quarantine(gc.peers[2], false)
+		q = g.BroadcastMajority(&echoReq{Text: "y"}, 0, 2, nil)
+		if q.Total() != 3 || q.Quorum() != 2 {
+			t.Errorf("post-release shape = %d/%d, want 2/3", q.Quorum(), q.Total())
+		}
+		if out := co.WaitQuorum(q, 5*time.Second); out != core.QuorumOK {
+			t.Errorf("post-release outcome = %v", out)
+		}
+	})
+}
+
+func TestGroupQuarantineReadmitsForQuorum(t *testing.T) {
+	gc := newGroupCluster(t, 3)
+	gc.on(t, func(co *core.Coroutine) {
+		g := NewGroup(gc.caller, gc.peers, OutboxConfig{Window: 4})
+		// Quarantining two of three would leave quorum 2 unsatisfiable
+		// with zero self-acks; Broadcast must re-admit one.
+		g.Quarantine(gc.peers[1], true)
+		g.Quarantine(gc.peers[2], true)
+		q := g.Broadcast(&echoReq{Text: "x"}, 2, 0, 1, nil)
+		if q.Total() != 2 || q.Quorum() != 2 {
+			t.Errorf("shape = %d/%d, want 2/2 after re-admission", q.Quorum(), q.Total())
+		}
+		if out := co.WaitQuorum(q, 5*time.Second); out != core.QuorumOK {
+			t.Errorf("outcome = %v", out)
+		}
+	})
+}
+
+func TestGroupQuarantineShedsBacklog(t *testing.T) {
+	gc := newGroupCluster(t, 3)
+	// Unreachable peer accumulates backlog, then quarantine sheds it.
+	gc.net.SetLinkDown("caller", gc.peers[2], true)
+	gc.on(t, func(co *core.Coroutine) {
+		g := NewGroup(gc.caller, gc.peers, OutboxConfig{Window: 1})
+		for i := 0; i < 5; i++ {
+			q := g.BroadcastMajority(&echoReq{Text: "x"}, 0, int64(i), nil)
+			if out := co.WaitQuorum(q, 5*time.Second); out != core.QuorumOK {
+				t.Errorf("round %d outcome = %v", i, out)
+				return
+			}
+		}
+		if n := g.Quarantine(gc.peers[2], true); n == 0 {
+			t.Error("no backlog shed despite unreachable peer")
+		}
+		if g.Outbox(gc.peers[2]).QueueLen() != 0 {
+			t.Error("backlog survived quarantine")
+		}
+	})
+}
+
 func TestGroupPeersCopy(t *testing.T) {
 	gc := newGroupCluster(t, 2)
 	g := NewGroup(gc.caller, gc.peers, OutboxConfig{})
