@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all check build vet test race bench examples figures verify clean
+.PHONY: all check build vet test race bench examples figures verify report-smoke clean
 
 all: check
 
@@ -35,6 +35,12 @@ figures:
 
 verify:
 	$(GO) run ./cmd/depfast-bench -exp verify
+
+# Flight-recorder smoke: a quick mitigated run recorded to a timeline,
+# piped through the report tool (non-zero MTTD/MTTR expected).
+report-smoke:
+	$(GO) run ./cmd/depfast-bench -exp mitigation -quick -timeline /tmp/depfast-timeline.jsonl
+	$(GO) run ./cmd/depfast-report /tmp/depfast-timeline.jsonl
 
 examples:
 	$(GO) run ./examples/quickstart

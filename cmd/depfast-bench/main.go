@@ -35,6 +35,7 @@ import (
 	"depfast/internal/clock"
 	"depfast/internal/failslow"
 	"depfast/internal/harness"
+	"depfast/internal/obs"
 	"depfast/internal/trace"
 	"depfast/internal/ycsb"
 )
@@ -48,6 +49,8 @@ func main() {
 		records  = flag.Int("records", 2000, "YCSB record population")
 		dotOut   = flag.String("dot", "", "write the Figure 2 SPG as Graphviz DOT to this file")
 		quiet    = flag.Bool("quiet", false, "suppress per-run progress lines")
+		timeline = flag.String("timeline", "", "write the flight-recorder timeline as JSONL to this file (mitigation and run experiments); analyze with depfast-report")
+		quick    = flag.Bool("quick", false, "mitigation: one mitigated leader-cpu-slow run instead of the full on/off table")
 
 		// -exp run flags.
 		system   = flag.String("system", "DepFastRaft", "run: DepFastRaft|SyncRSM|BufferRSM|CallbackRSM")
@@ -137,9 +140,25 @@ func main() {
 		exitOn(err)
 		fmt.Println(res.Render())
 	}
+	// The flight recorder is shared by every run the invocation makes,
+	// so a -timeline file holds one continuous event stream.
+	var recorder *obs.Recorder
+	if *timeline != "" {
+		recorder = obs.NewRecorder(0)
+	}
+
 	runMitigation := func() {
+		if *quick {
+			fmt.Println("== Mitigation sentinel (quick: leader cpu-slow, sentinel on) ==")
+			cfg := harness.DefaultMitigationRunConfig()
+			cfg.Recorder = recorder
+			res, err := harness.RunMitigation(cfg)
+			exitOn(err)
+			fmt.Println(res)
+			return
+		}
 		fmt.Println("== Mitigation sentinel on/off ==")
-		out, err := harness.MitigationExperiment()
+		out, err := harness.MitigationExperimentRecorded(recorder)
 		exitOn(err)
 		fmt.Println(out)
 	}
@@ -167,6 +186,7 @@ func main() {
 		cfg.Clients = *clients
 		cfg.Records = *records
 		cfg.Fault = fault
+		cfg.Recorder = recorder
 		if *workload != "" {
 			wl, err := ycsb.Preset(*workload)
 			if err != nil {
@@ -215,6 +235,16 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	if recorder != nil {
+		f, err := os.Create(*timeline)
+		exitOn(err)
+		err = obs.WriteRecorderJSONL(f, recorder)
+		exitOn(err)
+		exitOn(f.Close())
+		fmt.Printf("timeline: %d events written to %s (analyze with: depfast-report %s)\n",
+			recorder.Len(), *timeline, *timeline)
 	}
 }
 

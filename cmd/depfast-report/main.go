@@ -1,0 +1,72 @@
+// Command depfast-report analyzes a flight-recorder timeline written
+// by depfast-bench -timeline: it renders the time-bucketed timeline
+// (throughput, latency percentiles, commit volume, quarantine size,
+// notable events per bucket) and the MTTD/MTTR report pairing every
+// fault injection with its first detection, its first sustained
+// throughput recovery, and the commit-pipeline latency breakdown
+// before/during/after the fault.
+//
+//	depfast-bench -exp mitigation -timeline out.jsonl
+//	depfast-report out.jsonl
+//	depfast-report -bucket 250ms -events out.jsonl
+//	depfast-report - < out.jsonl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"depfast/internal/obs"
+)
+
+func main() {
+	var (
+		bucket   = flag.Duration("bucket", time.Second, "timeline bucket width")
+		events   = flag.Bool("events", false, "also dump the raw event log (commit spans and gauge samples elided)")
+		recovery = flag.Float64("recovery", 0, "recovered when rate >= this fraction of baseline (default 0.5)")
+		sustain  = flag.Int("sustain", 0, "consecutive samples required to count as recovered (default 3)")
+		baseline = flag.Duration("baseline", 0, "window before injection to average the baseline rate over (default 2s)")
+		noTime   = flag.Bool("no-timeline", false, "skip the bucketed timeline, print only the MTTD/MTTR report")
+	)
+	flag.Parse()
+
+	var in io.Reader = os.Stdin
+	if path := flag.Arg(0); path != "" && path != "-" {
+		f, err := os.Open(path)
+		exitOn(err)
+		defer f.Close()
+		in = f
+	}
+	evs, dropped, err := obs.ReadJSONL(in)
+	exitOn(err)
+	if len(evs) == 0 {
+		fmt.Println("depfast-report: no events in input")
+		return
+	}
+
+	if !*noTime {
+		tl := obs.BuildTimeline(evs, *bucket)
+		fmt.Println(tl.Render())
+	}
+	if *events {
+		fmt.Println(obs.RenderEvents(evs, obs.CommitSpan, obs.GaugeSample))
+	}
+
+	rep := obs.Analyze(evs, obs.ReportConfig{
+		RecoveryFraction: *recovery,
+		SustainSamples:   *sustain,
+		BaselineWindow:   *baseline,
+	})
+	rep.Dropped += dropped
+	fmt.Println(rep.Render())
+}
+
+func exitOn(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "depfast-report:", err)
+		os.Exit(1)
+	}
+}

@@ -78,8 +78,20 @@ type peerState struct {
 type Detector struct {
 	cfg Config
 
-	mu    sync.Mutex
-	peers map[string]*peerState
+	mu        sync.Mutex
+	peers     map[string]*peerState
+	onVerdict func(peer string, suspect bool, ewma time.Duration)
+}
+
+// SetOnVerdict registers a callback fired on every suspicion
+// transition (enter and exit), with the peer's EWMA at the moment of
+// the flip. The callback runs with the detector's lock held — it must
+// not call back into the detector. Used to publish verdict
+// transitions onto the flight recorder.
+func (d *Detector) SetOnVerdict(fn func(peer string, suspect bool, ewma time.Duration)) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.onVerdict = fn
 }
 
 // New returns a detector; zero-value fields of cfg take defaults.
@@ -177,7 +189,7 @@ func (d *Detector) medianLocked() float64 {
 // against the current median — enter high, exit low (Schmitt trigger).
 func (d *Detector) refreshLocked() {
 	median := d.medianLocked()
-	for _, st := range d.peers {
+	for peer, st := range d.peers {
 		if st.samples < d.cfg.MinSamples {
 			continue
 		}
@@ -185,11 +197,17 @@ func (d *Detector) refreshLocked() {
 			if median > 0 && st.ewma > float64(d.cfg.Floor) &&
 				st.ewma > d.cfg.SuspectRatio*median {
 				st.suspect = true
+				if d.onVerdict != nil {
+					d.onVerdict(peer, true, time.Duration(st.ewma))
+				}
 			}
 		} else {
 			if st.ewma <= float64(d.cfg.Floor) ||
 				(median > 0 && st.ewma <= d.cfg.ReleaseRatio*median) {
 				st.suspect = false
+				if d.onVerdict != nil {
+					d.onVerdict(peer, false, time.Duration(st.ewma))
+				}
 			}
 		}
 	}

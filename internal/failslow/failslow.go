@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"depfast/internal/env"
+	"depfast/internal/obs"
 )
 
 // Fault identifies one fail-slow fault type from Table 1.
@@ -146,6 +147,25 @@ func Apply(e *env.Env, f Fault, in Intensity) {
 
 // Clear removes any injected fault from e.
 func Clear(e *env.Env) { e.ClearFaults() }
+
+// ApplyObserved is Apply plus a flight-recorder event, so the
+// injection instant lands on the same timeline as detector verdicts
+// and sentinel actions (rec may be nil). Injecting None records a
+// clear, matching Apply's semantics.
+func ApplyObserved(rec *obs.Recorder, e *env.Env, f Fault, in Intensity) {
+	Apply(e, f, in)
+	if f == None {
+		rec.Emit(obs.Event{Type: obs.FaultCleared, Node: e.Node()})
+		return
+	}
+	rec.Emit(obs.Event{Type: obs.FaultInjected, Node: e.Node(), Detail: f.String()})
+}
+
+// ClearObserved is Clear plus a flight-recorder event (rec may be nil).
+func ClearObserved(rec *obs.Recorder, e *env.Env) {
+	Clear(e)
+	rec.Emit(obs.Event{Type: obs.FaultCleared, Node: e.Node()})
+}
 
 // Step is one timed action in an injection schedule.
 type Step struct {

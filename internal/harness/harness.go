@@ -18,6 +18,7 @@ import (
 	"depfast/internal/failslow"
 	"depfast/internal/kv"
 	"depfast/internal/metrics"
+	"depfast/internal/obs"
 	"depfast/internal/raft"
 	"depfast/internal/rpc"
 	"depfast/internal/trace"
@@ -82,6 +83,12 @@ type RunConfig struct {
 
 	// Traced attaches a collector to every runtime.
 	Traced bool
+
+	// Recorder, when set, is the flight recorder the whole deployment
+	// publishes into: every raft server's events, fault injections, the
+	// harness's gauge samples, and (when Traced) periodic SPG
+	// snapshots.
+	Recorder *obs.Recorder
 
 	// Optional config hooks.
 	RaftMutate     func(*raft.Config)
@@ -182,6 +189,13 @@ type clientPool struct {
 	measuring atomic.Bool
 	stopFlag  atomic.Bool
 	wg        sync.WaitGroup
+
+	// Flight-recorder inputs, live outside measurement windows so the
+	// gauge sampler sees the whole run: tput counts every completed op;
+	// obsHist (set only when a recorder is attached) holds the current
+	// sampling interval's latencies and is swapped out by the sampler.
+	tput    *metrics.Throughput
+	obsHist atomic.Pointer[metrics.Histogram]
 }
 
 // startClients launches cfg.Clients closed-loop clients over
@@ -191,6 +205,10 @@ func startClients(h *clusterHandle, cfg RunConfig, leader string, collector *tra
 		rts:  make([]*core.Runtime, cfg.ClientRuntimes),
 		eps:  make([]*rpc.Endpoint, cfg.ClientRuntimes),
 		hist: metrics.NewHistogram(),
+		tput: metrics.NewThroughput(),
+	}
+	if cfg.Recorder != nil {
+		p.obsHist.Store(metrics.NewHistogram())
 	}
 	ecfg := env.DefaultConfig()
 	for i := range p.rts {
@@ -233,6 +251,10 @@ func startClients(h *clusterHandle, cfg RunConfig, leader string, collector *tra
 						return
 					}
 					continue
+				}
+				p.tput.Inc()
+				if oh := p.obsHist.Load(); oh != nil {
+					oh.Record(time.Since(start))
 				}
 				if p.measuring.Load() {
 					p.hist.Record(time.Since(start))
@@ -321,21 +343,30 @@ func Run(cfg RunConfig) (RunResult, error) {
 		if n == leader || injected >= cfg.FaultFollowers {
 			continue
 		}
-		failslow.Apply(h.envs[n], cfg.Fault, cfg.Intensity)
+		if cfg.Fault == failslow.None {
+			failslow.Apply(h.envs[n], cfg.Fault, cfg.Intensity)
+		} else {
+			failslow.ApplyObserved(cfg.Recorder, h.envs[n], cfg.Fault, cfg.Intensity)
+		}
 		injected++
 	}
 
 	// Client population.
 	pool := startClients(h, cfg, leader, collector)
 	defer pool.close()
+	stopSampler := startSampler(cfg.Recorder, pool, h, collector)
+	defer stopSampler()
 
+	phase(cfg.Recorder, "warmup")
 	time.Sleep(cfg.Warmup)
 	electionsBefore := h.elections()
+	phase(cfg.Recorder, "measure")
 	pool.measuring.Store(true)
 	measStart := time.Now()
 	time.Sleep(cfg.Duration)
 	pool.measuring.Store(false)
 	measured := time.Since(measStart)
+	phase(cfg.Recorder, "measure-end")
 	electionsAfter := h.elections()
 	pool.stop()
 
@@ -417,6 +448,7 @@ func buildCluster(cfg RunConfig, collector *trace.Collector) (*clusterHandle, er
 		for i, name := range names {
 			rcfg := raft.DefaultConfig(name, names)
 			rcfg.Seed = cfg.Seed + int64(i)*7919
+			rcfg.Recorder = cfg.Recorder
 			if cfg.RaftMutate != nil {
 				cfg.RaftMutate(&rcfg)
 			}

@@ -6,7 +6,9 @@ import (
 	"time"
 
 	"depfast/internal/failslow"
+	"depfast/internal/obs"
 	"depfast/internal/raft"
+	"depfast/internal/trace"
 )
 
 // MitigationRunConfig parameterizes one phased mitigation experiment:
@@ -47,6 +49,15 @@ type MitigationRunConfig struct {
 	// RaftMutate tweaks server configs (e.g. sentinel cadence) after
 	// the Mitigation flag is applied.
 	RaftMutate func(*raft.Config)
+
+	// Recorder, when set, captures the run's full timeline — phases,
+	// injection, detector verdicts, sentinel actions, gauge samples —
+	// and MTTD/MTTR are derived from it into the result.
+	Recorder *obs.Recorder
+
+	// Traced attaches a wait-record collector so the recorder also
+	// carries periodic SPG snapshots.
+	Traced bool
 }
 
 // DefaultMitigationRunConfig returns the scaled-down leader CPU-slow
@@ -93,6 +104,13 @@ type MitigationResult struct {
 	// at least one release fired and no peer remained quarantined.
 	Rehabilitated   bool
 	QuarantineClear bool
+
+	// MTTD/MTTR are derived from the flight recorder (zero without one,
+	// or when the fault went undetected / throughput never sustained
+	// recovery): injection → first detection event, and injection →
+	// first sustained return to the pre-fault throughput baseline.
+	MTTD time.Duration
+	MTTR time.Duration
 }
 
 // String renders a one-line summary.
@@ -101,10 +119,17 @@ func (r MitigationResult) String() string {
 	if r.Mitigated {
 		mode = "on"
 	}
-	return fmt.Sprintf("mitigation=%-3s fault=%-12s pre=%7.0f op/s post=%7.0f op/s transfers=%d quar=%d/%d moved=%v rehab=%v",
+	s := fmt.Sprintf("mitigation=%-3s fault=%-12s pre=%7.0f op/s post=%7.0f op/s transfers=%d quar=%d/%d moved=%v rehab=%v",
 		mode, r.Fault, r.PreTput, r.PostTput,
 		r.Transfers, r.QuarantinesEntered, r.QuarantinesExited,
 		r.LeaderMoved, r.Rehabilitated)
+	if r.MTTD > 0 {
+		s += fmt.Sprintf(" mttd=%v", r.MTTD.Round(time.Millisecond))
+	}
+	if r.MTTR > 0 {
+		s += fmt.Sprintf(" mttr=%v", r.MTTR.Round(time.Millisecond))
+	}
+	return s
 }
 
 // RunMitigation executes the phased experiment.
@@ -122,6 +147,11 @@ func RunMitigation(cfg MitigationRunConfig) (MitigationResult, error) {
 		cfg.RehabWait = 10 * time.Second
 	}
 
+	rec := cfg.Recorder
+	var collector *trace.Collector
+	if cfg.Traced {
+		collector = trace.NewCollector(2_000_000)
+	}
 	rcfg := RunConfig{
 		System:         DepFastRaft,
 		Nodes:          cfg.Nodes,
@@ -130,6 +160,7 @@ func RunMitigation(cfg MitigationRunConfig) (MitigationResult, error) {
 		Records:        cfg.Records,
 		ValueSize:      cfg.ValueSize,
 		Seed:           cfg.Seed,
+		Recorder:       rec,
 		RaftMutate: func(rc *raft.Config) {
 			rc.Mitigation = cfg.Mitigated
 			if cfg.RaftMutate != nil {
@@ -137,7 +168,7 @@ func RunMitigation(cfg MitigationRunConfig) (MitigationResult, error) {
 			}
 		},
 	}
-	h, err := buildCluster(rcfg, nil)
+	h, err := buildCluster(rcfg, collector)
 	if err != nil {
 		return MitigationResult{}, err
 	}
@@ -148,11 +179,15 @@ func RunMitigation(cfg MitigationRunConfig) (MitigationResult, error) {
 		return MitigationResult{}, err
 	}
 
-	pool := startClients(h, rcfg, leader, nil)
+	pool := startClients(h, rcfg, leader, collector)
 	defer pool.close()
+	stopSampler := startSampler(rec, pool, h, collector)
+	defer stopSampler()
+	phase(rec, "warmup")
 	time.Sleep(cfg.Warmup)
 
 	res := MitigationResult{Mitigated: cfg.Mitigated, Fault: cfg.Fault}
+	phase(rec, "pre-window")
 	res.PreTput = pool.measureFor(cfg.PreWindow)
 
 	// Inject into whoever leads right now (the warmup may have moved
@@ -165,9 +200,13 @@ func RunMitigation(cfg MitigationRunConfig) (MitigationResult, error) {
 		target = otherNames(h.names, target)[0]
 	}
 	faulted := target
-	failslow.Apply(h.envs[faulted], cfg.Fault, cfg.Intensity)
+	injectedAt := time.Now()
+	h.raftServers[faulted].Mitigation.MarkInjected(injectedAt)
+	failslow.ApplyObserved(rec, h.envs[faulted], cfg.Fault, cfg.Intensity)
 
+	phase(rec, "grace")
 	time.Sleep(cfg.Grace)
+	phase(rec, "post-window")
 	res.PostTput = pool.measureFor(cfg.PostWindow)
 
 	if cur, ok := h.leader(); ok && cur != faulted {
@@ -175,7 +214,8 @@ func RunMitigation(cfg MitigationRunConfig) (MitigationResult, error) {
 	}
 
 	if cfg.Clear {
-		failslow.Clear(h.envs[faulted])
+		phase(rec, "clear")
+		failslow.ClearObserved(rec, h.envs[faulted])
 		// Only a run that actually quarantined someone has a
 		// rehabilitation to wait for.
 		entered := sumMitigation(h, func(s *raft.Server) int64 {
@@ -207,11 +247,29 @@ func RunMitigation(cfg MitigationRunConfig) (MitigationResult, error) {
 	}
 
 	pool.stop()
+	stopSampler()
 
 	res.Transfers = sumMitigation(h, func(s *raft.Server) int64 { return s.Mitigation.Transfers.Value() })
 	res.QuarantinesEntered = sumMitigation(h, func(s *raft.Server) int64 { return s.Mitigation.QuarantinesEntered.Value() })
 	res.QuarantinesExited = sumMitigation(h, func(s *raft.Server) int64 { return s.Mitigation.QuarantinesExited.Value() })
 	res.BacklogDiscarded = sumMitigation(h, func(s *raft.Server) int64 { return s.Mitigation.BacklogDiscarded.Value() })
+
+	// Derive MTTD/MTTR for this run's injection from the recorded
+	// timeline. The recorder may span several runs (the experiment
+	// drivers share one), so match the fault report by injection time.
+	if rec != nil {
+		rep := obs.Analyze(rec.Events(), obs.ReportConfig{})
+		for _, f := range rep.Faults {
+			if f.Node != faulted || f.InjectedAt.Before(injectedAt.Add(-time.Second)) {
+				continue
+			}
+			res.MTTD = f.MTTD()
+			res.MTTR = f.MTTR()
+			if !f.RecoveredAt.IsZero() {
+				h.raftServers[faulted].Mitigation.MarkRecovered(f.RecoveredAt)
+			}
+		}
+	}
 	return res, nil
 }
 
@@ -228,6 +286,13 @@ func sumMitigation(h *clusterHandle, get func(*raft.Server) int64) int64 {
 // net-slow follower (quarantine + rehabilitation path) — and renders
 // the EXPERIMENTS.md table.
 func MitigationExperiment() (string, error) {
+	return MitigationExperimentRecorded(nil)
+}
+
+// MitigationExperimentRecorded is MitigationExperiment publishing
+// every run onto rec (nil disables recording): all four runs land on
+// one timeline, and the mitigated rows also report MTTD/MTTR.
+func MitigationExperimentRecorded(rec *obs.Recorder) (string, error) {
 	scenarios := []struct {
 		name   string
 		fault  failslow.Fault
@@ -237,14 +302,15 @@ func MitigationExperiment() (string, error) {
 		{"follower net-slow", failslow.NetSlow, false},
 	}
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-18s %-8s %12s %12s %10s %8s %7s %7s\n",
-		"scenario", "sentinel", "pre (op/s)", "post (op/s)", "post/pre", "handoff", "quar", "rehab")
+	fmt.Fprintf(&b, "%-18s %-8s %12s %12s %10s %8s %7s %7s %9s %9s\n",
+		"scenario", "sentinel", "pre (op/s)", "post (op/s)", "post/pre", "handoff", "quar", "rehab", "mttd", "mttr")
 	for _, sc := range scenarios {
 		for _, on := range []bool{false, true} {
 			cfg := DefaultMitigationRunConfig()
 			cfg.Mitigated = on
 			cfg.Fault = sc.fault
 			cfg.FaultLeader = sc.leader
+			cfg.Recorder = rec
 			r, err := RunMitigation(cfg)
 			if err != nil {
 				return "", err
@@ -253,11 +319,20 @@ func MitigationExperiment() (string, error) {
 			if r.PreTput > 0 {
 				ratio = r.PostTput / r.PreTput
 			}
-			fmt.Fprintf(&b, "%-18s %-8s %12.0f %12.0f %9.2fx %8v %7d %7v\n",
+			fmt.Fprintf(&b, "%-18s %-8s %12.0f %12.0f %9.2fx %8v %7d %7v %9s %9s\n",
 				sc.name, map[bool]string{false: "off", true: "on"}[on],
 				r.PreTput, r.PostTput, ratio, r.LeaderMoved && sc.leader,
-				r.QuarantinesEntered, r.Rehabilitated)
+				r.QuarantinesEntered, r.Rehabilitated,
+				renderTTD(r.MTTD), renderTTD(r.MTTR))
 		}
 	}
 	return b.String(), nil
+}
+
+// renderTTD formats a time-to-X duration, "-" when it never happened.
+func renderTTD(d time.Duration) string {
+	if d <= 0 {
+		return "-"
+	}
+	return d.Round(time.Millisecond).String()
 }

@@ -1,0 +1,101 @@
+package harness
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"depfast/internal/metrics"
+	"depfast/internal/obs"
+	"depfast/internal/trace"
+)
+
+// gaugeInterval is the flight-recorder sampling cadence. 100ms is
+// fine enough that the report analyzer's sustained-recovery rule (a
+// few consecutive samples) still answers in sub-second resolution.
+const gaugeInterval = 100 * time.Millisecond
+
+// spgEvery emits one SPG snapshot per this many gauge samples.
+const spgEvery = 10
+
+// startSampler launches the flight-recorder gauge sampler: every
+// gaugeInterval it emits one GaugeSample with the client pool's
+// observed throughput and latency percentiles over that interval plus
+// the cluster's current quarantine size, and — when a trace collector
+// is attached — periodically folds the wait records into an SPG
+// snapshot event. Returns a stop function; a nil recorder yields a
+// no-op.
+func startSampler(rec *obs.Recorder, pool *clientPool, h *clusterHandle, collector *trace.Collector) (stop func()) {
+	if rec == nil {
+		return func() {}
+	}
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		tick := time.NewTicker(gaugeInterval)
+		defer tick.Stop()
+		ticks := 0
+		for {
+			select {
+			case <-done:
+				return
+			case <-tick.C:
+				ws := pool.tput.Sample()
+				fields := map[string]float64{"rate": ws.Rate}
+				if oh := pool.obsHist.Swap(metrics.NewHistogram()); oh != nil {
+					snap := oh.Snapshot()
+					fields["p50_us"] = float64(snap.P50.Microseconds())
+					fields["p99_us"] = float64(snap.P99.Microseconds())
+				}
+				quar := 0
+				for _, s := range h.raftServers {
+					quar += len(s.Quarantined())
+				}
+				fields["quarantined"] = float64(quar)
+				fields["errors"] = float64(pool.errs.Load())
+				rec.Emit(obs.Event{Type: obs.GaugeSample, Node: "harness", Fields: fields})
+				ticks++
+				if collector != nil && ticks%spgEvery == 0 {
+					emitSPGSnapshot(rec, collector)
+				}
+			}
+		}
+	}()
+	var once sync.Once
+	return func() { once.Do(func() { close(done); wg.Wait() }) }
+}
+
+// emitSPGSnapshot summarizes the collector's current wait records as
+// a slowness-propagation-graph event: graph size, record volume, and
+// the hottest edge by accumulated wait (where slowness is flowing
+// right now).
+func emitSPGSnapshot(rec *obs.Recorder, collector *trace.Collector) {
+	records := collector.Records()
+	if len(records) == 0 {
+		return
+	}
+	g := trace.BuildSPG(records)
+	var hot string
+	var hotWait time.Duration
+	for k, e := range g.Edges {
+		if e.TotalWait > hotWait {
+			hotWait = e.TotalWait
+			hot = fmt.Sprintf("%s->%s %d/%d", k.From, k.To, k.Quorum, k.Total)
+		}
+	}
+	rec.Emit(obs.Event{Type: obs.SPGSnapshot, Node: "harness", Detail: hot,
+		Fields: map[string]float64{
+			"nodes":       float64(len(g.Nodes)),
+			"edges":       float64(len(g.Edges)),
+			"records":     float64(len(records)),
+			"dropped":     float64(collector.Dropped()),
+			"hot_wait_us": float64(hotWait.Microseconds()),
+		}})
+}
+
+// phase stamps a named experiment-phase marker onto the recorder.
+func phase(rec *obs.Recorder, name string) {
+	rec.Emit(obs.Event{Type: obs.Phase, Node: "harness", Detail: name})
+}

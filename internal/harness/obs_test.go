@@ -1,0 +1,172 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"depfast/internal/obs"
+)
+
+// eventIndex returns the index of the first event in evs matching
+// pred, or -1.
+func eventIndex(evs []obs.Event, pred func(obs.Event) bool) int {
+	for i, e := range evs {
+		if pred(e) {
+			return i
+		}
+	}
+	return -1
+}
+
+// TestFlightRecorderSlowLeaderTimeline is the acceptance test for the
+// flight recorder end to end: a mitigated leader CPU-slow run with a
+// recorder attached must leave (a) the ordered mitigation story —
+// injection, then a self-verdict, then the drained handoff, then its
+// completion — on the recorder, (b) non-zero MTTD and MTTR both on
+// the run result and re-derived from a JSONL round trip of the
+// events, and (c) a populated per-stage commit-latency breakdown in
+// the rendered report.
+func TestFlightRecorderSlowLeaderTimeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("mitigation experiment is seconds-long")
+	}
+	rec := obs.NewRecorder(0)
+	cfg := shortMitigationCfg()
+	cfg.Mitigated = true
+	cfg.Clear = false
+	cfg.Recorder = rec
+
+	// Timing-sensitive on a noisy host: allow retries, keep the last.
+	var res MitigationResult
+	for attempt := 0; attempt < 3; attempt++ {
+		rec.Reset()
+		var err error
+		res, err = RunMitigation(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("attempt %d: %s", attempt, res)
+		if res.MTTD > 0 && res.MTTR > 0 {
+			break
+		}
+	}
+	if res.MTTD <= 0 {
+		t.Fatalf("MTTD = %v, want > 0 (detection never recorded)", res.MTTD)
+	}
+	if res.MTTR <= 0 {
+		t.Fatalf("MTTR = %v, want > 0 (recovery never recorded)", res.MTTR)
+	}
+
+	// (a) Ordered mitigation story. Events() is emission-ordered; the
+	// faulted node is named by the injection event.
+	evs := rec.Events()
+	iInj := eventIndex(evs, func(e obs.Event) bool { return e.Type == obs.FaultInjected })
+	if iInj < 0 {
+		t.Fatal("no injection event recorded")
+	}
+	faulted := evs[iInj].Node
+	iVerdict := eventIndex(evs, func(e obs.Event) bool {
+		return e.Type == obs.VerdictSuspect && e.Peer == faulted
+	})
+	iDrain := eventIndex(evs, func(e obs.Event) bool {
+		return e.Type == obs.HandoffDrained && e.Node == faulted
+	})
+	iDone := eventIndex(evs, func(e obs.Event) bool {
+		return e.Type == obs.HandoffCompleted && e.Node == faulted && e.Detail == ""
+	})
+	if iVerdict < 0 || iDrain < 0 || iDone < 0 {
+		t.Fatalf("mitigation events missing: verdict=%d drain=%d done=%d\n%s",
+			iVerdict, iDrain, iDone, obs.RenderEvents(evs, obs.CommitSpan, obs.GaugeSample))
+	}
+	if !(iInj < iVerdict && iVerdict < iDrain && iDrain < iDone) {
+		t.Fatalf("events out of order: inj=%d verdict=%d drain=%d done=%d\n%s",
+			iInj, iVerdict, iDrain, iDone, obs.RenderEvents(evs, obs.CommitSpan, obs.GaugeSample))
+	}
+
+	// The pipeline and the gauge sampler both published.
+	if eventIndex(evs, func(e obs.Event) bool { return e.Type == obs.CommitSpan }) < 0 {
+		t.Fatal("no commit-pipeline spans recorded")
+	}
+	if eventIndex(evs, func(e obs.Event) bool { return e.Type == obs.GaugeSample }) < 0 {
+		t.Fatal("no gauge samples recorded")
+	}
+
+	// (b) JSONL round trip, then re-derive the report offline — the
+	// depfast-bench -timeline | depfast-report path without the CLIs.
+	var buf bytes.Buffer
+	if err := obs.WriteRecorderJSONL(&buf, rec); err != nil {
+		t.Fatal(err)
+	}
+	back, dropped, err := obs.ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dropped != 0 {
+		t.Fatalf("dropped = %d on an unlimited recorder", dropped)
+	}
+	if len(back) != len(evs) {
+		t.Fatalf("round trip lost events: %d -> %d", len(evs), len(back))
+	}
+	rep := obs.Analyze(back, obs.ReportConfig{})
+	if len(rep.Faults) != 1 {
+		t.Fatalf("analyzed faults = %d, want 1", len(rep.Faults))
+	}
+	f := rep.Faults[0]
+	if f.Node != faulted {
+		t.Fatalf("fault attributed to %s, want %s", f.Node, faulted)
+	}
+	if f.MTTD() <= 0 || f.MTTR() <= 0 {
+		t.Fatalf("offline MTTD=%v MTTR=%v, want both > 0", f.MTTD(), f.MTTR())
+	}
+	// (c) Stage breakdown: spans on both sides of the fault, and the
+	// faulted interval visibly slower end to end.
+	if f.Before.Spans == 0 || f.During.Spans == 0 {
+		t.Fatalf("stage windows empty: before=%d during=%d", f.Before.Spans, f.During.Spans)
+	}
+	out := rep.Render()
+	for _, want := range []string{"MTTD", "MTTR", "before", "during", "quorum", "total"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+	t.Logf("\n%s", out)
+
+	// The faulted server's metrics carry the same episode.
+	if got := res.MTTD; got != f.MTTD() {
+		t.Logf("note: result MTTD %v vs offline %v (both > 0 is what matters)", got, f.MTTD())
+	}
+}
+
+// TestTimelineRenderFromRecorder: the bucketed timeline built from a
+// recorded run has buckets, rates, and the injection mark.
+func TestTimelineRenderFromRecorder(t *testing.T) {
+	if testing.Short() {
+		t.Skip("mitigation experiment is seconds-long")
+	}
+	rec := obs.NewRecorder(0)
+	cfg := shortMitigationCfg()
+	cfg.Mitigated = true
+	cfg.Clear = false
+	cfg.Recorder = rec
+	if _, err := RunMitigation(cfg); err != nil {
+		t.Fatal(err)
+	}
+	tl := obs.BuildTimeline(rec.Events(), 0)
+	if len(tl.Buckets) < 3 {
+		t.Fatalf("timeline buckets = %d, want >= 3", len(tl.Buckets))
+	}
+	sawRate := false
+	for _, b := range tl.Buckets {
+		if b.Rate > 0 {
+			sawRate = true
+		}
+	}
+	if !sawRate {
+		t.Fatal("no bucket carries a positive rate")
+	}
+	out := tl.Render()
+	if !strings.Contains(out, "fault.injected") {
+		t.Fatalf("timeline render missing injection mark:\n%s", out)
+	}
+}

@@ -1,0 +1,69 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestMitigationMTTDAndMTTR(t *testing.T) {
+	m := NewMitigation()
+	if m.MTTD() != 0 || m.MTTR() != 0 {
+		t.Fatalf("unmarked mitigation: MTTD=%v MTTR=%v, want 0/0", m.MTTD(), m.MTTR())
+	}
+	base := time.Unix(1000, 0)
+	m.MarkInjected(base)
+	// Detection alone gives MTTD but no MTTR.
+	m.MarkDetected(base.Add(300 * time.Millisecond))
+	if got := m.MTTD(); got != 300*time.Millisecond {
+		t.Fatalf("MTTD = %v, want 300ms", got)
+	}
+	if m.MTTR() != 0 {
+		t.Fatalf("MTTR = %v before recovery, want 0", m.MTTR())
+	}
+	// First detection wins; later marks must not stretch MTTD.
+	m.MarkDetected(base.Add(5 * time.Second))
+	if got := m.MTTD(); got != 300*time.Millisecond {
+		t.Fatalf("MTTD moved on repeat mark: %v", got)
+	}
+	m.MarkRecovered(base.Add(2 * time.Second))
+	m.MarkRecovered(base.Add(9 * time.Second))
+	if got := m.MTTR(); got != 2*time.Second {
+		t.Fatalf("MTTR = %v, want 2s", got)
+	}
+}
+
+func TestMitigationReinjectionRearms(t *testing.T) {
+	m := NewMitigation()
+	base := time.Unix(2000, 0)
+	m.MarkInjected(base)
+	m.MarkDetected(base.Add(100 * time.Millisecond))
+	m.MarkRecovered(base.Add(time.Second))
+	// A new fault episode clears the previous marks.
+	m.MarkInjected(base.Add(10 * time.Second))
+	if m.MTTD() != 0 || m.MTTR() != 0 {
+		t.Fatalf("re-injection kept stale marks: MTTD=%v MTTR=%v", m.MTTD(), m.MTTR())
+	}
+	m.MarkDetected(base.Add(10*time.Second + 250*time.Millisecond))
+	if got := m.MTTD(); got != 250*time.Millisecond {
+		t.Fatalf("second episode MTTD = %v, want 250ms", got)
+	}
+}
+
+func TestMitigationStringIncludesMTTDMTTR(t *testing.T) {
+	m := NewMitigation()
+	if s := m.String(); strings.Contains(s, "mttd") || strings.Contains(s, "mttr") {
+		t.Fatalf("unmarked string should omit mttd/mttr: %q", s)
+	}
+	base := time.Unix(3000, 0)
+	m.MarkInjected(base)
+	m.MarkDetected(base.Add(40 * time.Millisecond))
+	m.MarkRecovered(base.Add(900 * time.Millisecond))
+	s := m.String()
+	if !strings.Contains(s, "mttd=40ms") {
+		t.Fatalf("string missing mttd: %q", s)
+	}
+	if !strings.Contains(s, "mttr=900ms") {
+		t.Fatalf("string missing mttr: %q", s)
+	}
+}

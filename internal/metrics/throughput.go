@@ -78,6 +78,29 @@ func (t *Throughput) Sample() WindowSample {
 	return ws
 }
 
+// ThroughputSnapshot is one atomic view of a Throughput counter.
+type ThroughputSnapshot struct {
+	Total   int64
+	Rate    float64 // average ops/sec since start
+	Windows []WindowSample
+}
+
+// Snapshot returns the total, overall rate, and all window samples in
+// one consistent view — taken under the same lock Sample uses, so a
+// concurrent Sample can't tear the total away from its windows.
+func (t *Throughput) Snapshot() ThroughputSnapshot {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	ops := t.ops.Load()
+	var rate float64
+	if el := time.Since(t.start).Seconds(); el > 0 {
+		rate = float64(ops) / el
+	}
+	windows := make([]WindowSample, len(t.windows))
+	copy(windows, t.windows)
+	return ThroughputSnapshot{Total: ops, Rate: rate, Windows: windows}
+}
+
 // Windows returns all recorded window samples.
 func (t *Throughput) Windows() []WindowSample {
 	t.mu.Lock()

@@ -44,6 +44,106 @@ func TestThroughputWindows(t *testing.T) {
 	}
 }
 
+func TestThroughputMultiWindowBoundaries(t *testing.T) {
+	tp := NewThroughput()
+	// Three windows: 100 ops, 0 ops, 40 ops. Each Sample must report
+	// only its own window's ops, and the boundary carry (winOps) must
+	// advance so ops are never double-counted across windows.
+	tp.Add(100)
+	time.Sleep(10 * time.Millisecond)
+	w1 := tp.Sample()
+	time.Sleep(5 * time.Millisecond)
+	w2 := tp.Sample()
+	tp.Add(40)
+	time.Sleep(10 * time.Millisecond)
+	w3 := tp.Sample()
+
+	if w1.Rate <= 0 {
+		t.Fatalf("window 1 rate = %v, want > 0", w1.Rate)
+	}
+	if w2.Rate != 0 {
+		t.Fatalf("idle window 2 rate = %v, want 0 (boundary leaked ops)", w2.Rate)
+	}
+	if w3.Rate <= 0 {
+		t.Fatalf("window 3 rate = %v, want > 0", w3.Rate)
+	}
+	// Rates × durations must reconstruct the per-window op counts.
+	ws := tp.Windows()
+	if len(ws) != 3 {
+		t.Fatalf("windows = %d, want 3", len(ws))
+	}
+	if !ws[0].At.Before(ws[1].At) || !ws[1].At.Before(ws[2].At) {
+		t.Fatalf("window timestamps out of order: %v", ws)
+	}
+	if tp.Total() != 140 {
+		t.Fatalf("total = %d, want 140", tp.Total())
+	}
+}
+
+func TestThroughputSnapshot(t *testing.T) {
+	tp := NewThroughput()
+	tp.Add(30)
+	time.Sleep(5 * time.Millisecond)
+	tp.Sample()
+	tp.Add(20)
+	time.Sleep(5 * time.Millisecond)
+	tp.Sample()
+	snap := tp.Snapshot()
+	if snap.Total != 50 {
+		t.Fatalf("snapshot total = %d, want 50", snap.Total)
+	}
+	if snap.Rate <= 0 {
+		t.Fatalf("snapshot rate = %v, want > 0", snap.Rate)
+	}
+	if len(snap.Windows) != 2 {
+		t.Fatalf("snapshot windows = %d, want 2", len(snap.Windows))
+	}
+	// The snapshot is a copy: later samples must not mutate it.
+	tp.Add(1)
+	tp.Sample()
+	if len(snap.Windows) != 2 {
+		t.Fatalf("snapshot aliased live windows")
+	}
+}
+
+func TestThroughputSnapshotConcurrent(t *testing.T) {
+	tp := NewThroughput()
+	stop := make(chan struct{})
+	var snapper sync.WaitGroup
+	snapper.Add(1)
+	go func() {
+		defer snapper.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				if s := tp.Snapshot(); s.Total < 0 {
+					t.Error("negative total")
+					return
+				}
+				tp.Sample()
+			}
+		}
+	}()
+	var inc sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		inc.Add(1)
+		go func() {
+			defer inc.Done()
+			for i := 0; i < 2000; i++ {
+				tp.Inc()
+			}
+		}()
+	}
+	inc.Wait()
+	close(stop)
+	snapper.Wait()
+	if tp.Total() != 8000 {
+		t.Fatalf("total = %d, want 8000", tp.Total())
+	}
+}
+
 func TestThroughputReset(t *testing.T) {
 	tp := NewThroughput()
 	tp.Add(10)

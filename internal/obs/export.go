@@ -1,0 +1,115 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// jsonEvent is the stable JSONL form of an event.
+type jsonEvent struct {
+	TimeNs int64              `json:"t_ns"`
+	Type   string             `json:"type"`
+	Node   string             `json:"node,omitempty"`
+	Peer   string             `json:"peer,omitempty"`
+	Detail string             `json:"detail,omitempty"`
+	Fields map[string]float64 `json:"fields,omitempty"`
+}
+
+// WriteJSONL streams events as JSON lines, prefixed by one Meta record
+// carrying the retained-event and dropped counts so a truncated stream
+// is never mistaken for a complete one.
+func WriteJSONL(w io.Writer, events []Event, dropped int64) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	meta := jsonEvent{
+		Type:   string(Meta),
+		Fields: map[string]float64{"events": float64(len(events)), "dropped": float64(dropped)},
+	}
+	if len(events) > 0 {
+		meta.TimeNs = events[0].Time.UnixNano()
+	}
+	if err := enc.Encode(meta); err != nil {
+		return err
+	}
+	for _, e := range events {
+		if e.Type == Meta {
+			continue
+		}
+		if err := enc.Encode(jsonEvent{
+			TimeNs: e.Time.UnixNano(),
+			Type:   string(e.Type),
+			Node:   e.Node,
+			Peer:   e.Peer,
+			Detail: e.Detail,
+			Fields: e.Fields,
+		}); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteRecorderJSONL exports a recorder's full stream.
+func WriteRecorderJSONL(w io.Writer, r *Recorder) error {
+	return WriteJSONL(w, r.Events(), r.Dropped())
+}
+
+// ReadJSONL parses a JSONL event stream written by WriteJSONL,
+// returning the events (Meta records excluded) and the dropped count
+// from the stream's metadata.
+func ReadJSONL(r io.Reader) ([]Event, int64, error) {
+	var out []Event
+	var dropped int64
+	dec := json.NewDecoder(r)
+	for {
+		var je jsonEvent
+		if err := dec.Decode(&je); err == io.EOF {
+			return out, dropped, nil
+		} else if err != nil {
+			return out, dropped, fmt.Errorf("obs: bad json event %d: %w", len(out), err)
+		}
+		if Type(je.Type) == Meta {
+			dropped += int64(je.Fields["dropped"])
+			continue
+		}
+		out = append(out, Event{
+			Time:   time.Unix(0, je.TimeNs),
+			Type:   Type(je.Type),
+			Node:   je.Node,
+			Peer:   je.Peer,
+			Detail: je.Detail,
+			Fields: je.Fields,
+		})
+	}
+}
+
+// RenderEvents formats events as an aligned text log with offsets
+// relative to the first event, skipping the given types (typically
+// CommitSpan and GaugeSample, which arrive thousands per second).
+func RenderEvents(events []Event, skip ...Type) string {
+	skipSet := make(map[Type]bool, len(skip))
+	for _, t := range skip {
+		skipSet[t] = true
+	}
+	evs := ByTime(events)
+	var t0 time.Time
+	for _, e := range evs {
+		if e.Type != Meta {
+			t0 = e.Time
+			break
+		}
+	}
+	var b strings.Builder
+	for _, e := range evs {
+		if e.Type == Meta || skipSet[e.Type] {
+			continue
+		}
+		b.WriteString(e.describe(t0))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

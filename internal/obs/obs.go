@@ -1,0 +1,223 @@
+// Package obs is the flight recorder of the reproduction: a single
+// concurrency-safe, typed event stream that every layer publishes
+// into — fault injections (failslow), detector verdict transitions
+// (detect), sentinel actions and leader changes (raft), per-entry
+// commit-pipeline spans (raft replication), and periodic gauge
+// samples bridged from metrics. The paper's core evidence is
+// temporal (Figures 2–3: when a fault lands, when the system
+// notices, how it recovers); this package is the shared clock and
+// timeline those figures need. On top of the stream sit a
+// time-bucketed timeline aggregator (timeline.go), an MTTD/MTTR
+// report analyzer (report.go), and JSONL/text exporters (export.go).
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Type classifies an event. Values are stable strings so JSONL
+// exports remain readable and diffable across versions.
+type Type string
+
+const (
+	// FaultInjected / FaultCleared bracket a fail-slow fault on a node;
+	// Detail names the fault (failslow.Fault.String()).
+	FaultInjected Type = "fault.injected"
+	FaultCleared  Type = "fault.cleared"
+
+	// VerdictSuspect / VerdictCleared are detector transitions: Node is
+	// the observer, Peer the judged node. A self-verdict (the sentinel's
+	// own CPU/disk probes or a slow-vote majority) has Peer == Node and
+	// Detail naming the signal.
+	VerdictSuspect Type = "verdict.suspect"
+	VerdictCleared Type = "verdict.cleared"
+
+	// Handoff* trace a drained leadership transfer off a fail-slow
+	// leader: Started when the sentinel freezes proposals, Drained when
+	// the target caught up and TimeoutNow was sent, Completed when the
+	// old leader observed itself deposed. Node is the abdicating
+	// leader, Peer the transfer target.
+	HandoffStarted   Type = "handoff.started"
+	HandoffDrained   Type = "handoff.drained"
+	HandoffCompleted Type = "handoff.completed"
+
+	// QuarantineEnter / QuarantineExit trace follower quarantine: Node
+	// is the leader, Peer the (un)quarantined follower. Exit is the
+	// rehabilitation event.
+	QuarantineEnter Type = "quarantine.enter"
+	QuarantineExit  Type = "quarantine.exit"
+
+	// LeaderElected marks a node winning an election; Fields["term"].
+	LeaderElected Type = "leader.elected"
+
+	// CommitSpan is one entry's commit-pipeline timing on the leader:
+	// Fields carry per-stage durations in microseconds — append_us
+	// (propose → local fsync durable), replicate_us (propose → fan-out
+	// dispatched to every follower outbox), quorum_us (propose → quorum
+	// ack), apply_us (quorum ack → applied), total_us — plus index and
+	// count (batched entries share one span).
+	CommitSpan Type = "commit.span"
+
+	// GaugeSample is a periodic bridge from metrics: Fields carry rate
+	// (ops/sec over the sampling window), total (ops so far), p50_us /
+	// p99_us (client-observed latency), quarantined (set size).
+	GaugeSample Type = "gauge.sample"
+
+	// SPGSnapshot is a periodic summary of the slowness propagation
+	// graph built from wait traces so far: Fields carry nodes, edges,
+	// singular and quorum edge counts plus records; Detail lists the
+	// hottest edges.
+	SPGSnapshot Type = "spg.snapshot"
+
+	// Phase marks a harness experiment phase boundary (Detail names it:
+	// warmup, pre-window, grace, post-window, clear, ...).
+	Phase Type = "phase"
+
+	// Meta is the export header record carrying stream metadata
+	// (Fields["dropped"], Fields["events"]); analyzers ignore it.
+	Meta Type = "meta"
+)
+
+// Event is one typed, timestamped occurrence on the unified timeline.
+type Event struct {
+	Time   time.Time
+	Type   Type
+	Node   string             // emitting node (server, client, or "harness")
+	Peer   string             // subject peer, when the event is about one
+	Detail string             // free-form annotation
+	Fields map[string]float64 // numeric attributes (durations in µs)
+}
+
+// Field returns a numeric attribute (0 when absent).
+func (e Event) Field(k string) float64 { return e.Fields[k] }
+
+// Recorder accumulates events from every layer of a deployment. It is
+// safe for concurrent use and safe to use as a nil pointer: every
+// method no-ops on nil, so instrumentation sites need no guards.
+type Recorder struct {
+	mu      sync.Mutex
+	events  []Event
+	limit   int
+	dropped int64
+}
+
+// NewRecorder returns an empty recorder. limit bounds retained events
+// (0 = unlimited); when full, the oldest half is dropped and counted,
+// so long experiments keep recent behaviour and truncation is never
+// silent.
+func NewRecorder(limit int) *Recorder {
+	return &Recorder{limit: limit}
+}
+
+// Emit appends one event, stamping Time if unset. Nil-safe.
+func (r *Recorder) Emit(ev Event) {
+	if r == nil {
+		return
+	}
+	if ev.Time.IsZero() {
+		ev.Time = time.Now()
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.limit > 0 && len(r.events) >= r.limit {
+		half := len(r.events) / 2
+		copy(r.events, r.events[half:])
+		r.events = r.events[:len(r.events)-half]
+		r.dropped += int64(half)
+	}
+	r.events = append(r.events, ev)
+}
+
+// Events returns a copy of the retained events in emission order.
+func (r *Recorder) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Event, len(r.events))
+	copy(out, r.events)
+	return out
+}
+
+// Len returns the number of retained events.
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.events)
+}
+
+// Dropped returns how many events were discarded at the limit.
+func (r *Recorder) Dropped() int64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
+}
+
+// Reset discards all events and the drop count.
+func (r *Recorder) Reset() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.events = nil
+	r.dropped = 0
+}
+
+// ByTime returns events sorted by timestamp (stable, so same-instant
+// events keep emission order). The input is not modified.
+func ByTime(events []Event) []Event {
+	out := make([]Event, len(events))
+	copy(out, events)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Time.Before(out[j].Time) })
+	return out
+}
+
+// Filter returns the events whose type is in keep.
+func Filter(events []Event, keep ...Type) []Event {
+	set := make(map[Type]bool, len(keep))
+	for _, t := range keep {
+		set[t] = true
+	}
+	var out []Event
+	for _, e := range events {
+		if set[e.Type] {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// String renders one event on one line, offsets relative to t0.
+func (e Event) describe(t0 time.Time) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%10s  %-18s %-10s", e.Time.Sub(t0).Round(time.Millisecond), e.Type, e.Node)
+	if e.Peer != "" {
+		fmt.Fprintf(&b, " peer=%s", e.Peer)
+	}
+	if e.Detail != "" {
+		fmt.Fprintf(&b, " %s", e.Detail)
+	}
+	if len(e.Fields) > 0 {
+		keys := make([]string, 0, len(e.Fields))
+		for k := range e.Fields {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(&b, " %s=%.0f", k, e.Fields[k])
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,171 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRecorderNilSafe(t *testing.T) {
+	var r *Recorder
+	r.Emit(Event{Type: FaultInjected})
+	if r.Len() != 0 || r.Dropped() != 0 || r.Events() != nil {
+		t.Fatal("nil recorder must no-op")
+	}
+	r.Reset()
+}
+
+func TestRecorderStampsTimeAndOrders(t *testing.T) {
+	r := NewRecorder(0)
+	r.Emit(Event{Type: FaultInjected, Node: "s1"})
+	r.Emit(Event{Type: FaultCleared, Node: "s1"})
+	evs := r.Events()
+	if len(evs) != 2 {
+		t.Fatalf("len = %d, want 2", len(evs))
+	}
+	if evs[0].Time.IsZero() || evs[1].Time.Before(evs[0].Time) {
+		t.Fatalf("timestamps not stamped/ordered: %v %v", evs[0].Time, evs[1].Time)
+	}
+}
+
+func TestRecorderDropCounting(t *testing.T) {
+	r := NewRecorder(8)
+	for i := 0; i < 20; i++ {
+		r.Emit(Event{Type: CommitSpan, Fields: map[string]float64{"index": float64(i)}})
+	}
+	if r.Len() > 8 {
+		t.Fatalf("len = %d, want <= 8", r.Len())
+	}
+	if r.Dropped() == 0 {
+		t.Fatal("dropped count not tracked")
+	}
+	if got := int64(r.Len()) + r.Dropped(); got != 20 {
+		t.Fatalf("retained+dropped = %d, want 20", got)
+	}
+	// Newest events survive.
+	evs := r.Events()
+	if evs[len(evs)-1].Field("index") != 19 {
+		t.Fatalf("newest event lost: %v", evs[len(evs)-1])
+	}
+}
+
+func TestRecorderConcurrent(t *testing.T) {
+	r := NewRecorder(0)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				r.Emit(Event{Type: GaugeSample})
+			}
+		}()
+	}
+	wg.Wait()
+	if r.Len() != 4000 {
+		t.Fatalf("len = %d, want 4000", r.Len())
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	r := NewRecorder(0)
+	base := time.Unix(100, 0)
+	r.Emit(Event{Time: base, Type: FaultInjected, Node: "s1", Detail: "CPU Slowness"})
+	r.Emit(Event{Time: base.Add(time.Second), Type: VerdictSuspect, Node: "s2", Peer: "s1",
+		Fields: map[string]float64{"ewma_us": 1234}})
+	var buf bytes.Buffer
+	if err := WriteRecorderJSONL(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	evs, dropped, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dropped != 0 {
+		t.Fatalf("dropped = %d, want 0", dropped)
+	}
+	if len(evs) != 2 {
+		t.Fatalf("events = %d, want 2", len(evs))
+	}
+	if evs[0].Type != FaultInjected || evs[0].Detail != "CPU Slowness" {
+		t.Fatalf("event 0 mangled: %+v", evs[0])
+	}
+	if evs[1].Peer != "s1" || evs[1].Field("ewma_us") != 1234 {
+		t.Fatalf("event 1 mangled: %+v", evs[1])
+	}
+	if !evs[1].Time.Equal(base.Add(time.Second)) {
+		t.Fatalf("time mangled: %v", evs[1].Time)
+	}
+}
+
+func TestJSONLDroppedMeta(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, []Event{{Time: time.Unix(1, 0), Type: FaultInjected, Node: "s1"}}, 42); err != nil {
+		t.Fatal(err)
+	}
+	evs, dropped, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dropped != 42 {
+		t.Fatalf("dropped = %d, want 42", dropped)
+	}
+	if len(evs) != 1 {
+		t.Fatalf("events = %d, want 1 (meta must be excluded)", len(evs))
+	}
+}
+
+func TestBuildTimelineBuckets(t *testing.T) {
+	base := time.Unix(1000, 0)
+	var evs []Event
+	// Two seconds of gauge samples: 100 op/s then 10 op/s.
+	for i := 0; i < 10; i++ {
+		evs = append(evs, Event{Time: base.Add(time.Duration(i) * 100 * time.Millisecond),
+			Type: GaugeSample, Node: "harness",
+			Fields: map[string]float64{"rate": 100, "p50_us": 1000, "p99_us": 5000}})
+	}
+	for i := 0; i < 10; i++ {
+		evs = append(evs, Event{Time: base.Add(time.Second + time.Duration(i)*100*time.Millisecond),
+			Type: GaugeSample, Node: "harness",
+			Fields: map[string]float64{"rate": 10, "p50_us": 9000, "p99_us": 90000, "quarantined": 1}})
+	}
+	evs = append(evs, Event{Time: base.Add(1500 * time.Millisecond), Type: FaultInjected,
+		Node: "s1", Detail: "Network Slowness"})
+	evs = append(evs, Event{Time: base.Add(300 * time.Millisecond), Type: CommitSpan,
+		Fields: map[string]float64{"total_us": 4000, "count": 2}})
+
+	tl := BuildTimeline(evs, time.Second)
+	if len(tl.Buckets) != 2 {
+		t.Fatalf("buckets = %d, want 2", len(tl.Buckets))
+	}
+	b0, b1 := tl.Buckets[0], tl.Buckets[1]
+	if b0.Rate != 100 || b1.Rate != 10 {
+		t.Fatalf("rates = %.0f/%.0f, want 100/10", b0.Rate, b1.Rate)
+	}
+	if b0.Commits != 2 || b0.Spans != 1 || b0.CommitMean != 4*time.Millisecond {
+		t.Fatalf("bucket0 commits=%d spans=%d mean=%v", b0.Commits, b0.Spans, b0.CommitMean)
+	}
+	if b1.Quarantined != 1 {
+		t.Fatalf("bucket1 quarantined = %d, want 1", b1.Quarantined)
+	}
+	if len(b1.Marks) != 1 || b1.Marks[0].Type != FaultInjected {
+		t.Fatalf("bucket1 marks = %+v", b1.Marks)
+	}
+	out := tl.Render()
+	if !strings.Contains(out, "fault.injected(s1)") {
+		t.Fatalf("render missing fault mark:\n%s", out)
+	}
+}
+
+func TestRenderEventsSkips(t *testing.T) {
+	evs := []Event{
+		{Time: time.Unix(1, 0), Type: FaultInjected, Node: "s1", Detail: "CPU Slowness"},
+		{Time: time.Unix(2, 0), Type: CommitSpan, Node: "s1"},
+	}
+	out := RenderEvents(evs, CommitSpan)
+	if strings.Contains(out, "commit.span") || !strings.Contains(out, "fault.injected") {
+		t.Fatalf("skip filter broken:\n%s", out)
+	}
+}

@@ -85,10 +85,15 @@ func (s *Server) proposeBatch(co *core.Coroutine, term uint64, batch []*pendingP
 		entries[i] = storage.Entry{Index: first + uint64(i), Term: term, Data: p.data}
 	}
 	last := first + uint64(len(batch)) - 1
+	start := time.Now()
 	fsync, err := s.wal.Append(entries)
 	if err != nil {
 		fail(err)
 		return
+	}
+	var appendDone time.Time
+	if s.rec != nil {
+		core.OnEvent(fsync, func() { appendDone = time.Now() })
 	}
 	for _, e := range entries {
 		s.cache.Put(e)
@@ -112,6 +117,7 @@ func (s *Server) proposeBatch(co *core.Coroutine, term uint64, batch []*pendingP
 		q.AddJudged(ev, s.appendJudge(p, last, term))
 		s.outboxes[p].Send(ae, ev, int64(last))
 	}
+	fanned := time.Now()
 
 	switch co.WaitQuorum(q, s.cfg.CommitTimeout) {
 	case core.QuorumOK:
@@ -136,9 +142,11 @@ func (s *Server) proposeBatch(co *core.Coroutine, term uint64, batch []*pendingP
 			}
 		}
 	}
+	quorumAt := time.Now()
 	s.advanceCommit(last)
 	for i, p := range batch {
 		p.res, _ = s.takeResult(first + uint64(i))
 		p.done.Set()
 	}
+	s.emitCommitSpan(start, appendDone, fanned, quorumAt, last, len(batch))
 }

@@ -5,6 +5,7 @@ import (
 
 	"depfast/internal/codec"
 	"depfast/internal/core"
+	"depfast/internal/obs"
 )
 
 // electionTicker is the long-lived coroutine that watches for leader
@@ -159,6 +160,8 @@ func (s *Server) becomeLeader(co *core.Coroutine, term uint64) {
 	if s.policy != nil {
 		s.policy.Reset()
 	}
+	s.rec.Emit(obs.Event{Type: obs.LeaderElected, Node: s.cfg.ID,
+		Fields: map[string]float64{"term": float64(term), "last_index": float64(last)}})
 	s.publish()
 
 	s.rt.Spawn("heartbeat", func(hc *core.Coroutine) { s.heartbeatLoop(hc, term) })

@@ -7,6 +7,7 @@ import (
 	"depfast/internal/codec"
 	"depfast/internal/core"
 	"depfast/internal/kv"
+	"depfast/internal/obs"
 	"depfast/internal/storage"
 )
 
@@ -30,9 +31,17 @@ func (s *Server) propose(co *core.Coroutine, data []byte) (uint64, kv.Result, er
 	term := s.term
 	idx := s.wal.LastIndex() + 1
 	entry := storage.Entry{Index: idx, Term: term, Data: data}
+	start := time.Now()
 	fsync, err := s.wal.Append([]storage.Entry{entry})
 	if err != nil {
 		return 0, kv.Result{}, err
+	}
+	var appendDone time.Time
+	if s.rec != nil {
+		// The local fsync is judged into the quorum like any follower
+		// ack, so it can still be in flight when the quorum is met;
+		// capture its completion via hook rather than a wait.
+		core.OnEvent(fsync, func() { appendDone = time.Now() })
 	}
 	s.cache.Put(entry)
 	s.persistAppend([]storage.Entry{entry})
@@ -55,6 +64,7 @@ func (s *Server) propose(co *core.Coroutine, data []byte) (uint64, kv.Result, er
 		q.AddJudged(ev, s.appendJudge(p, idx, term))
 		s.outboxes[p].Send(ae, ev, int64(idx))
 	}
+	fanned := time.Now()
 
 	switch co.WaitQuorum(q, s.cfg.CommitTimeout) {
 	case core.QuorumOK:
@@ -79,9 +89,36 @@ func (s *Server) propose(co *core.Coroutine, data []byte) (uint64, kv.Result, er
 		}
 	}
 
+	quorumAt := time.Now()
 	s.advanceCommit(idx)
 	res, _ := s.takeResult(idx)
+	s.emitCommitSpan(start, appendDone, fanned, quorumAt, idx, 1)
 	return idx, res, nil
+}
+
+// emitCommitSpan publishes one commit-pipeline span onto the flight
+// recorder: per-stage latencies of the propose→append→replicate→
+// quorum→apply path, all measured from propose time. A zero
+// appendDone means the local fsync was still in flight when the
+// quorum was met (a follower majority carried the commit), and the
+// append stage is omitted rather than guessed.
+func (s *Server) emitCommitSpan(start, appendDone, fanned, quorumAt time.Time, idx uint64, count int) {
+	if s.rec == nil {
+		return
+	}
+	applyAt := time.Now()
+	f := map[string]float64{
+		"index":        float64(idx),
+		"count":        float64(count),
+		"replicate_us": float64(fanned.Sub(start).Microseconds()),
+		"quorum_us":    float64(quorumAt.Sub(start).Microseconds()),
+		"apply_us":     float64(applyAt.Sub(quorumAt).Microseconds()),
+		"total_us":     float64(applyAt.Sub(start).Microseconds()),
+	}
+	if !appendDone.IsZero() {
+		f["append_us"] = float64(appendDone.Sub(start).Microseconds())
+	}
+	s.rec.Emit(obs.Event{Type: obs.CommitSpan, Node: s.cfg.ID, Fields: f})
 }
 
 // broadcastTargets returns the followers charged to latency-critical

@@ -6,6 +6,7 @@ import (
 
 	"depfast/internal/core"
 	"depfast/internal/mitigate"
+	"depfast/internal/obs"
 )
 
 // The mitigation sentinel closes the paper's §5 loop from detection
@@ -59,6 +60,7 @@ func (s *Server) sentinelTick() {
 		// term.
 		s.clearQuarantine()
 		s.policy.Reset()
+		s.selfSlowPub = false // self-verdicts are leader-episode state
 		return
 	}
 
@@ -71,6 +73,19 @@ func (s *Server) sentinelTick() {
 		})
 	}
 	selfSlow := s.selfCPU.Slow() || s.selfDisk.Slow() || s.slowVoteMajority()
+	if selfSlow != s.selfSlowPub {
+		// Self-verdict transition: the peer detector never indicts the
+		// leader (followers rarely call it), so this is the detection
+		// event for leader-side faults. Peer==Node marks it as a
+		// self-observation.
+		s.selfSlowPub = selfSlow
+		typ := obs.VerdictCleared
+		if selfSlow {
+			typ = obs.VerdictSuspect
+		}
+		s.rec.Emit(obs.Event{Type: typ, Node: s.cfg.ID, Peer: s.cfg.ID,
+			Detail: s.selfSlowReason()})
+	}
 
 	d := s.policy.Tick(time.Now(), verdicts, selfSlow)
 	for _, p := range d.Quarantine {
@@ -82,6 +97,20 @@ func (s *Server) sentinelTick() {
 	if d.DemoteSelf {
 		s.beginTransfer()
 	}
+}
+
+// selfSlowReason names which self-observation signal is (or last was)
+// tripping, for the flight-recorder verdict detail.
+func (s *Server) selfSlowReason() string {
+	switch {
+	case s.selfCPU.Slow():
+		return "self-cpu"
+	case s.selfDisk.Slow():
+		return "self-disk"
+	case s.slowVoteMajority():
+		return "slow-votes"
+	}
+	return ""
 }
 
 // slowVoteMajority reports whether at least half of the followers
@@ -112,13 +141,18 @@ func (s *Server) enterQuarantine(p string) {
 		return
 	}
 	s.quarantined[p] = true
+	shed := 0
 	if ob := s.outboxes[p]; ob != nil {
 		if n := ob.QueueLen(); n > 0 {
+			shed = n
 			s.Mitigation.BacklogDiscarded.Add(int64(n))
 		}
 		ob.CancelAll()
 	}
 	s.Mitigation.QuarantinesEntered.Inc()
+	s.Mitigation.MarkDetected(time.Now())
+	s.rec.Emit(obs.Event{Type: obs.QuarantineEnter, Node: s.cfg.ID, Peer: p,
+		Fields: map[string]float64{"backlog_shed": float64(shed)}})
 	s.publishQuarantine()
 }
 
@@ -132,6 +166,7 @@ func (s *Server) releaseQuarantine(p string) {
 	delete(s.quarantined, p)
 	s.detector.Forget(p)
 	s.Mitigation.QuarantinesExited.Inc()
+	s.rec.Emit(obs.Event{Type: obs.QuarantineExit, Node: s.cfg.ID, Peer: p, Detail: "rehabilitated"})
 	s.publishQuarantine()
 }
 
@@ -184,6 +219,9 @@ func (s *Server) beginTransfer() {
 	s.transferPending = true
 	s.transferTo = target
 	s.transferExpire = time.Now().Add(transferDrainTimeout)
+	s.Mitigation.MarkDetected(time.Now())
+	s.rec.Emit(obs.Event{Type: obs.HandoffStarted, Node: s.cfg.ID, Peer: target,
+		Fields: map[string]float64{"term": float64(s.term)}})
 	s.rt.Spawn("transfer-drain", s.driveTransfer)
 }
 
@@ -195,11 +233,21 @@ func (s *Server) driveTransfer(co *core.Coroutine) {
 	for {
 		if s.stopped || s.role != Leader || time.Now().After(s.transferExpire) {
 			s.transferPending = false
+			if !s.stopped {
+				if sent && s.role != Leader {
+					s.rec.Emit(obs.Event{Type: obs.HandoffCompleted, Node: s.cfg.ID, Peer: s.transferTo})
+				} else {
+					s.rec.Emit(obs.Event{Type: obs.HandoffCompleted, Node: s.cfg.ID,
+						Peer: s.transferTo, Detail: "expired"})
+				}
+			}
 			return
 		}
 		if !sent && s.matchIndex[s.transferTo] >= s.wal.LastIndex() {
 			sent = true
 			s.Mitigation.Transfers.Inc()
+			s.rec.Emit(obs.Event{Type: obs.HandoffDrained, Node: s.cfg.ID, Peer: s.transferTo,
+				Fields: map[string]float64{"last_index": float64(s.wal.LastIndex())}})
 			ev := s.ep.Call(s.transferTo, &TimeoutNow{Term: s.term, Leader: s.cfg.ID})
 			core.OnEvent(ev, func() {
 				// Best effort: the ensuing election is the real outcome.

@@ -13,6 +13,7 @@ import (
 	"depfast/internal/kv"
 	"depfast/internal/metrics"
 	"depfast/internal/mitigate"
+	"depfast/internal/obs"
 	"depfast/internal/rpc"
 	"depfast/internal/storage"
 	"depfast/internal/transport"
@@ -133,6 +134,13 @@ type Config struct {
 	// zero defaults to the quorum-safe cap len(Peers) − majority.
 	Mitigate mitigate.Config
 
+	// Recorder, when set, publishes this server's observability events
+	// onto the shared flight recorder: detector verdict transitions,
+	// sentinel actions (handoff/quarantine/rehabilitation), leader
+	// elections, and per-entry commit-pipeline spans. Nil disables all
+	// emission at zero cost.
+	Recorder *obs.Recorder
+
 	// DiskHelpers sizes the I/O helper pool.
 	DiskHelpers int
 
@@ -220,6 +228,10 @@ type Server struct {
 	nominalCPU  time.Duration    // healthy cost of the CPU probe
 	nominalDisk time.Duration    // healthy cost of the disk probe
 	slowVotes   map[string]time.Time // followers recently voting LeaderSlow
+	selfSlowPub bool                 // last published self-verdict (flight recorder)
+
+	// rec is the flight recorder (nil-safe; see cfg.Recorder).
+	rec *obs.Recorder
 
 	// appliedWaiters wake ReadIndex reads when lastApplied advances.
 	appliedWaiters []appliedWaiter
@@ -297,6 +309,7 @@ func NewServer(cfg Config, e *env.Env, tr transport.Transport, opts ...core.Opti
 		quarantined:   make(map[string]bool),
 		slowVotes:     make(map[string]time.Time),
 		pace:          1,
+		rec:           cfg.Recorder,
 	}
 	if cfg.Mitigation {
 		mcfg := cfg.Mitigate.WithDefaults()
@@ -321,6 +334,16 @@ func NewServer(cfg Config, e *env.Env, tr transport.Transport, opts ...core.Opti
 	if cfg.PeerDetector {
 		s.detector = detect.New(detect.DefaultConfig())
 		epOpts = append(epOpts, rpc.WithLatencyObserver(s.detector.Observe))
+		if s.rec != nil {
+			s.detector.SetOnVerdict(func(peer string, suspect bool, ewma time.Duration) {
+				typ := obs.VerdictCleared
+				if suspect {
+					typ = obs.VerdictSuspect
+				}
+				s.rec.Emit(obs.Event{Type: typ, Node: cfg.ID, Peer: peer,
+					Fields: map[string]float64{"ewma_us": float64(ewma.Microseconds())}})
+			})
+		}
 	}
 	s.ep = rpc.NewEndpoint(cfg.ID, rt, tr, epOpts...)
 	for _, p := range s.others() {

@@ -24,13 +24,34 @@ type jsonRecord struct {
 	StartNs   int64    `json:"start_ns"`
 	EndNs     int64    `json:"end_ns"`
 	TimedOut  bool     `json:"timed_out,omitempty"`
+	Dropped   int64    `json:"dropped,omitempty"`
 }
+
+// metaKind marks the collector-metadata line (drop count) in exported
+// traces; ReadJSON filters it back out of the record stream.
+const metaKind = "collector-meta"
 
 // WriteJSON streams records as JSON lines (one record per line), the
 // interchange format for offline analysis.
 func WriteJSON(w io.Writer, records []core.WaitRecord) error {
+	return writeJSON(w, records, 0)
+}
+
+// WriteCollectorJSON exports a collector's records plus a metadata
+// line carrying its drop count, so a truncated trace is identifiable
+// as such offline.
+func WriteCollectorJSON(w io.Writer, c *Collector) error {
+	return writeJSON(w, c.Records(), c.Dropped())
+}
+
+func writeJSON(w io.Writer, records []core.WaitRecord, dropped int64) error {
 	bw := bufio.NewWriter(w)
 	enc := json.NewEncoder(bw)
+	if dropped > 0 {
+		if err := enc.Encode(jsonRecord{Kind: metaKind, Dropped: dropped}); err != nil {
+			return err
+		}
+	}
 	for _, r := range records {
 		jr := jsonRecord{
 			Node:      r.Node,
@@ -51,16 +72,29 @@ func WriteJSON(w io.Writer, records []core.WaitRecord) error {
 	return bw.Flush()
 }
 
-// ReadJSON parses JSON-lines traces written by WriteJSON.
+// ReadJSON parses JSON-lines traces written by WriteJSON /
+// WriteCollectorJSON, discarding the metadata line if present.
 func ReadJSON(r io.Reader) ([]core.WaitRecord, error) {
+	out, _, err := ReadJSONDropped(r)
+	return out, err
+}
+
+// ReadJSONDropped parses a trace and also returns the exporter's drop
+// count (0 for traces without a metadata line).
+func ReadJSONDropped(r io.Reader) ([]core.WaitRecord, int64, error) {
 	var out []core.WaitRecord
+	var dropped int64
 	dec := json.NewDecoder(r)
 	for {
 		var jr jsonRecord
 		if err := dec.Decode(&jr); err == io.EOF {
-			return out, nil
+			return out, dropped, nil
 		} else if err != nil {
-			return out, fmt.Errorf("trace: bad json record %d: %w", len(out), err)
+			return out, dropped, fmt.Errorf("trace: bad json record %d: %w", len(out), err)
+		}
+		if jr.Kind == metaKind {
+			dropped += jr.Dropped
+			continue
 		}
 		out = append(out, core.WaitRecord{
 			Node:          jr.Node,

@@ -37,6 +37,39 @@ func TestJSONRoundTrip(t *testing.T) {
 	}
 }
 
+func TestWriteCollectorJSONCarriesDropCount(t *testing.T) {
+	c := NewCollector(4)
+	for i := 0; i < 10; i++ {
+		c.Record(rec("s1", "rpc", 1, 1, []string{"s2"}, time.Duration(i+1)*time.Millisecond))
+	}
+	var buf bytes.Buffer
+	if err := WriteCollectorJSON(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	out, dropped, err := ReadJSONDropped(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dropped != c.Dropped() {
+		t.Fatalf("dropped = %d, want %d", dropped, c.Dropped())
+	}
+	if len(out) != c.Len() {
+		t.Fatalf("records = %d, want %d (meta line must not become a record)", len(out), c.Len())
+	}
+	// Plain ReadJSON remains compatible with the meta line.
+	buf.Reset()
+	if err := WriteCollectorJSON(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	plain, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plain) != c.Len() {
+		t.Fatalf("ReadJSON over meta line: %d records, want %d", len(plain), c.Len())
+	}
+}
+
 func TestReadJSONCorrupt(t *testing.T) {
 	if _, err := ReadJSON(strings.NewReader("{not json")); err == nil {
 		t.Fatal("corrupt json accepted")

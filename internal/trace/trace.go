@@ -25,6 +25,7 @@ type Collector struct {
 	mu      sync.Mutex
 	records []core.WaitRecord
 	limit   int
+	dropped int64
 }
 
 // NewCollector returns an empty collector. limit bounds retained
@@ -40,10 +41,20 @@ func (c *Collector) Record(r core.WaitRecord) {
 	defer c.mu.Unlock()
 	if c.limit > 0 && len(c.records) >= c.limit {
 		half := len(c.records) / 2
+		c.dropped += int64(half)
 		copy(c.records, c.records[half:])
 		c.records = c.records[:len(c.records)-half]
 	}
 	c.records = append(c.records, r)
+}
+
+// Dropped returns how many records the limit has evicted so far, so
+// downstream analysis knows when a trace is a suffix, not the whole
+// run.
+func (c *Collector) Dropped() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.dropped
 }
 
 // Records returns a copy of the collected records.
@@ -62,11 +73,12 @@ func (c *Collector) Len() int {
 	return len(c.records)
 }
 
-// Reset discards all records.
+// Reset discards all records and the drop count.
 func (c *Collector) Reset() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.records = nil
+	c.dropped = 0
 }
 
 // EdgeKey identifies one aggregated SPG edge: waits by node From on

@@ -52,6 +52,27 @@ func TestCollectorLimitDropsOldestHalf(t *testing.T) {
 	if last.End.Sub(last.Start) != 14 {
 		t.Fatalf("lost the newest record: %+v", last)
 	}
+	// Retained + dropped must account for every record ever seen.
+	if c.Dropped() == 0 {
+		t.Fatal("drop count not tracked")
+	}
+	if got := int64(c.Len()) + c.Dropped(); got != 15 {
+		t.Fatalf("retained+dropped = %d, want 15", got)
+	}
+}
+
+func TestCollectorDroppedResets(t *testing.T) {
+	c := NewCollector(4)
+	for i := 0; i < 10; i++ {
+		c.Record(rec("s1", "rpc", 1, 1, []string{"s2"}, time.Duration(i)))
+	}
+	if c.Dropped() == 0 {
+		t.Fatal("expected drops")
+	}
+	c.Reset()
+	if c.Dropped() != 0 || c.Len() != 0 {
+		t.Fatalf("reset incomplete: len=%d dropped=%d", c.Len(), c.Dropped())
+	}
 }
 
 func TestCollectorConcurrent(t *testing.T) {
