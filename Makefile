@@ -13,8 +13,13 @@ check: build vet test
 build:
 	$(GO) build ./...
 
+# go vet plus depfast-vet, the programming-model analyzer: unbounded
+# waits, scheduler blocking, raw goroutines, and framework-split
+# violations in logic packages fail the build unless annotated with a
+# justified //depfast:allow.
 vet:
 	$(GO) vet ./...
+	$(GO) run ./cmd/depfast-vet ./...
 
 test:
 	$(GO) test ./...

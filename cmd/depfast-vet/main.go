@@ -1,0 +1,86 @@
+// Command depfast-vet statically enforces the DepFast programming
+// model over this module: bounded quorum-shaped waits, no scheduler
+// blocking inside coroutines, logic behind the framework split. It is
+// built entirely on the standard library's go/ast, go/parser,
+// go/types, and go/token — no external analysis frameworks.
+//
+// Usage:
+//
+//	depfast-vet [flags] [./...]
+//
+// The module containing the working directory (or -dir) is always
+// analyzed as a whole; the ./... argument is accepted for familiarity.
+// Exit status is 1 when unsuppressed violations exist, 2 on load
+// errors.
+//
+// Flags:
+//
+//	-json        machine-readable report (includes suppressed findings)
+//	-checks s    comma-separated subset of checks to run
+//	-list        list the checks and exit
+//	-suppressed  show //depfast:allow'd findings in text output
+//	-dir d       directory inside the module to analyze (default ".")
+//	-v           print best-effort type-check diagnostics to stderr
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"depfast/internal/lint"
+)
+
+func main() {
+	var (
+		jsonOut    = flag.Bool("json", false, "emit the machine-readable JSON report")
+		checkNames = flag.String("checks", "", "comma-separated checks to run (default: all)")
+		list       = flag.Bool("list", false, "list available checks and exit")
+		suppressed = flag.Bool("suppressed", false, "show allowed findings in text output")
+		dir        = flag.String("dir", ".", "directory inside the module to analyze")
+		verbose    = flag.Bool("v", false, "print type-check diagnostics to stderr")
+	)
+	flag.Parse()
+
+	checks, err := lint.CheckByName(*checkNames)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if *list {
+		for _, c := range checks {
+			fmt.Printf("%-26s %s\n", c.Name(), c.Doc())
+		}
+		return
+	}
+
+	mod, err := lint.LoadModule(*dir)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "depfast-vet: %v\n", err)
+		os.Exit(2)
+	}
+
+	var typeErrs []error
+	for _, p := range mod.Packages {
+		typeErrs = append(typeErrs, p.TypeErrors...)
+	}
+	if *verbose {
+		for _, e := range typeErrs {
+			fmt.Fprintf(os.Stderr, "depfast-vet: typecheck: %v\n", e)
+		}
+	}
+
+	findings := lint.Run(mod.Packages, checks)
+	report := lint.NewReport(mod.Path, mod.Dir, checks, findings, typeErrs)
+	if *jsonOut {
+		if err := report.WriteJSON(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	} else {
+		report.WriteText(os.Stdout, *suppressed)
+	}
+	if report.Unsuppressed > 0 {
+		os.Exit(1)
+	}
+}

@@ -210,8 +210,11 @@ func NewServer(cfg Config, e *env.Env, tr transport.Transport) *Server {
 		OOMKills:      metrics.NewCounter("baseline.oom_kills"),
 	}
 	s.gate.Set() // admission open
+	//depfast:allow framework-split NewServer is the construction seam: the one place logic wires up its I/O layer
 	s.disk = storage.NewDisk(rt, e, cfg.DiskHelpers)
+	//depfast:allow framework-split construction seam
 	s.wal = storage.NewWAL(s.disk)
+	//depfast:allow framework-split construction seam
 	s.cache = storage.NewEntryCache(cfg.EntryCacheSize)
 	s.ep = rpc.NewEndpoint(cfg.ID, rt, tr, rpc.WithCallTimeout(cfg.CommitTimeout))
 	if s.isLeader() {
@@ -434,7 +437,9 @@ func (s *Server) handleAppendEntries(co *core.Coroutine, from string, req codec.
 		for _, e := range toAppend {
 			s.cache.Put(e)
 		}
-		if werr := co.Wait(fsync); werr != nil {
+		// Bounded like the DepFast follower: a fail-slow disk becomes a
+		// failed append the leader can retry, not a parked handler.
+		if co.WaitFor(fsync, s.cfg.CommitTimeout) != core.WaitReady {
 			return &raft.AppendEntriesReply{Term: s.term, Success: false, LastIndex: s.wal.LastIndex(), From: s.cfg.ID}
 		}
 	}
@@ -457,6 +462,7 @@ func (s *Server) handleClientRequest(co *core.Coroutine, from string, req codec.
 	}
 	if s.crashed {
 		// A crashed process answers nothing; the client times out.
+		//depfast:allow untimed-wait deliberate: simulates a crashed process that never replies (client-side timeout is the test subject)
 		_ = co.Wait(core.NewNeverEvent())
 		return &kv.ClientResponse{OK: false, Err: ErrCrashed.Error()}
 	}

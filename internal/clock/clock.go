@@ -39,6 +39,33 @@ func Precise(d time.Duration) {
 	}
 }
 
+// WaitUntil polls cond every poll interval until it returns true or
+// timeout elapses, and reports whether cond was satisfied. It is the
+// harness's one condition-wait primitive: drivers that need "leader
+// elected", "metric settled", or "quarantine lifted" poll here instead
+// of hand-rolling time.Sleep loops, so experiment pacing stays behind
+// the same calibrated delay primitive as the resource simulation.
+// cond is always evaluated at least once, including with timeout <= 0.
+func WaitUntil(timeout, poll time.Duration, cond func() bool) bool {
+	if poll <= 0 {
+		poll = time.Millisecond
+	}
+	deadline := time.Now().Add(timeout)
+	for {
+		if cond() {
+			return true
+		}
+		if !time.Now().Before(deadline) {
+			return false
+		}
+		if remain := time.Until(deadline); remain < poll {
+			Precise(remain)
+		} else {
+			Precise(poll)
+		}
+	}
+}
+
 // SleepFloor measures the host's minimum effective sleep, for
 // calibration output in experiment reports.
 func SleepFloor() time.Duration {

@@ -49,3 +49,33 @@ func TestSleepFloorPlausible(t *testing.T) {
 	}
 	t.Logf("host sleep floor: %v", f)
 }
+
+func TestWaitUntilImmediate(t *testing.T) {
+	calls := 0
+	ok := WaitUntil(0, time.Millisecond, func() bool { calls++; return true })
+	if !ok || calls != 1 {
+		t.Fatalf("immediate cond: ok=%v calls=%d", ok, calls)
+	}
+}
+
+func TestWaitUntilPollsToSuccess(t *testing.T) {
+	calls := 0
+	ok := WaitUntil(time.Second, time.Millisecond, func() bool {
+		calls++
+		return calls >= 3
+	})
+	if !ok || calls != 3 {
+		t.Fatalf("polling cond: ok=%v calls=%d", ok, calls)
+	}
+}
+
+func TestWaitUntilTimesOut(t *testing.T) {
+	start := time.Now()
+	ok := WaitUntil(20*time.Millisecond, 5*time.Millisecond, func() bool { return false })
+	if ok {
+		t.Fatal("cond never true but WaitUntil reported success")
+	}
+	if el := time.Since(start); el < 20*time.Millisecond {
+		t.Fatalf("returned before the deadline after %v", el)
+	}
+}

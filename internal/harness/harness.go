@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"depfast/internal/baseline"
+	"depfast/internal/clock"
 	"depfast/internal/core"
 	"depfast/internal/env"
 	"depfast/internal/failslow"
@@ -166,14 +167,16 @@ type clusterHandle struct {
 
 // waitLeader polls until the cluster has an established leader.
 func (h *clusterHandle) waitLeader(timeout time.Duration) (string, error) {
-	deadline := time.Now().Add(timeout)
-	for time.Now().Before(deadline) {
-		if name, ok := h.leader(); ok {
-			return name, nil
-		}
-		time.Sleep(5 * time.Millisecond)
+	var name string
+	ok := clock.WaitUntil(timeout, 5*time.Millisecond, func() bool {
+		var elected bool
+		name, elected = h.leader()
+		return elected
+	})
+	if !ok {
+		return "", fmt.Errorf("harness: no leader within %v", timeout)
 	}
-	return "", fmt.Errorf("harness: no leader within %v", timeout)
+	return name, nil
 }
 
 // clientPool is a running YCSB closed-loop client population against
@@ -272,7 +275,7 @@ func (p *clientPool) measureFor(d time.Duration) float64 {
 	before := p.ops.Load()
 	p.measuring.Store(true)
 	start := time.Now()
-	time.Sleep(d)
+	clock.Precise(d)
 	p.measuring.Store(false)
 	el := time.Since(start).Seconds()
 	if el <= 0 {
@@ -324,17 +327,9 @@ func Run(cfg RunConfig) (RunResult, error) {
 	defer h.stop()
 
 	// Wait for a settled leader.
-	leader := ""
-	deadline := time.Now().Add(15 * time.Second)
-	for time.Now().Before(deadline) {
-		if name, ok := h.leader(); ok {
-			leader = name
-			break
-		}
-		time.Sleep(5 * time.Millisecond)
-	}
-	if leader == "" {
-		return RunResult{}, fmt.Errorf("harness: no leader within 15s")
+	leader, err := h.waitLeader(15 * time.Second)
+	if err != nil {
+		return RunResult{}, err
 	}
 
 	// Inject the fault into followers only (§2.1 of the paper).
@@ -358,12 +353,12 @@ func Run(cfg RunConfig) (RunResult, error) {
 	defer stopSampler()
 
 	phase(cfg.Recorder, "warmup")
-	time.Sleep(cfg.Warmup)
+	clock.Precise(cfg.Warmup)
 	electionsBefore := h.elections()
 	phase(cfg.Recorder, "measure")
 	pool.measuring.Store(true)
 	measStart := time.Now()
-	time.Sleep(cfg.Duration)
+	clock.Precise(cfg.Duration)
 	pool.measuring.Store(false)
 	measured := time.Since(measStart)
 	phase(cfg.Recorder, "measure-end")

@@ -5,6 +5,7 @@ import (
 	"strings"
 	"time"
 
+	"depfast/internal/clock"
 	"depfast/internal/failslow"
 	"depfast/internal/obs"
 	"depfast/internal/raft"
@@ -184,7 +185,7 @@ func RunMitigation(cfg MitigationRunConfig) (MitigationResult, error) {
 	stopSampler := startSampler(rec, pool, h, collector)
 	defer stopSampler()
 	phase(rec, "warmup")
-	time.Sleep(cfg.Warmup)
+	clock.Precise(cfg.Warmup)
 
 	res := MitigationResult{Mitigated: cfg.Mitigated, Fault: cfg.Fault}
 	phase(rec, "pre-window")
@@ -205,7 +206,7 @@ func RunMitigation(cfg MitigationRunConfig) (MitigationResult, error) {
 	failslow.ApplyObserved(rec, h.envs[faulted], cfg.Fault, cfg.Intensity)
 
 	phase(rec, "grace")
-	time.Sleep(cfg.Grace)
+	clock.Precise(cfg.Grace)
 	phase(rec, "post-window")
 	res.PostTput = pool.measureFor(cfg.PostWindow)
 
@@ -221,22 +222,17 @@ func RunMitigation(cfg MitigationRunConfig) (MitigationResult, error) {
 		entered := sumMitigation(h, func(s *raft.Server) int64 {
 			return s.Mitigation.QuarantinesEntered.Value()
 		})
-		deadline := time.Now().Add(cfg.RehabWait)
-		for entered >= 1 && time.Now().Before(deadline) {
-			clear := true
-			for _, s := range h.raftServers {
-				if len(s.Quarantined()) > 0 {
-					clear = false
-					break
+		if entered >= 1 {
+			res.Rehabilitated = clock.WaitUntil(cfg.RehabWait, 20*time.Millisecond, func() bool {
+				for _, s := range h.raftServers {
+					if len(s.Quarantined()) > 0 {
+						return false
+					}
 				}
-			}
-			if clear && sumMitigation(h, func(s *raft.Server) int64 {
-				return s.Mitigation.QuarantinesExited.Value()
-			}) >= 1 {
-				res.Rehabilitated = true
-				break
-			}
-			time.Sleep(20 * time.Millisecond)
+				return sumMitigation(h, func(s *raft.Server) int64 {
+					return s.Mitigation.QuarantinesExited.Value()
+				}) >= 1
+			})
 		}
 		res.QuarantineClear = true
 		for _, s := range h.raftServers {

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"depfast/internal/clock"
 	"depfast/internal/core"
 	"depfast/internal/env"
 	"depfast/internal/failslow"
@@ -110,17 +111,9 @@ func RunTransient(cfg RunConfig, total, window, faultAt, faultFor time.Duration)
 	}
 	defer h.stop()
 
-	leader := ""
-	deadline := time.Now().Add(15 * time.Second)
-	for time.Now().Before(deadline) {
-		if name, ok := h.leader(); ok {
-			leader = name
-			break
-		}
-		time.Sleep(5 * time.Millisecond)
-	}
-	if leader == "" {
-		return nil, fmt.Errorf("harness: no leader within 15s")
+	leader, err := h.waitLeader(15 * time.Second)
+	if err != nil {
+		return nil, err
 	}
 	var target string
 	for _, n := range h.names {
@@ -189,7 +182,7 @@ func RunTransient(cfg RunConfig, total, window, faultAt, faultFor time.Duration)
 		})
 	}
 
-	time.Sleep(cfg.Warmup)
+	clock.Precise(cfg.Warmup)
 	startTime = time.Now()
 	started.Store(true)
 	stopInject := failslow.Schedule(cfg.Intensity, []failslow.Step{
@@ -197,7 +190,7 @@ func RunTransient(cfg RunConfig, total, window, faultAt, faultFor time.Duration)
 		{After: faultAt + faultFor, Target: h.envs[target], Fault: failslow.None},
 	})
 	defer stopInject()
-	time.Sleep(total)
+	clock.Precise(total)
 	stopFlag.Store(true)
 	waitDone := make(chan struct{})
 	go func() { wg.Wait(); close(waitDone) }()

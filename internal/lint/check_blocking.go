@@ -1,0 +1,122 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+)
+
+// rawBlocking flags OS-thread blocking primitives inside coroutine
+// bodies in logic packages: time.Sleep, bare channel sends/receives,
+// select statements, and sync.WaitGroup.Wait. A coroutine holds the
+// runtime baton; blocking the thread instead of parking through the
+// scheduler (co.Sleep, events, queues) stalls every other coroutine
+// on the runtime — it makes the whole node fail-slow, not just the
+// caller.
+//
+// A coroutine body is any function or function literal with a
+// *core.Coroutine parameter; nested literals stay in scope (hook and
+// Post closures run under the baton) except those launched with a go
+// statement, which run off-baton.
+//
+// In the harness package the check additionally flags every raw
+// time.Sleep: drivers poll and pace through the injected
+// internal/clock primitives (Precise, WaitUntil) so experiment timing
+// stays in one calibrated place.
+type rawBlocking struct{}
+
+func (rawBlocking) Name() string { return "raw-blocking-in-coroutine" }
+
+func (rawBlocking) Doc() string {
+	return "time.Sleep, bare channel operation, select, or WaitGroup.Wait blocks the scheduler inside a coroutine body (logic packages); raw time.Sleep anywhere in the harness — use scheduler or internal/clock primitives"
+}
+
+func (rawBlocking) Run(p *Package) []Finding {
+	var out []Finding
+	if p.Logic {
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch fn := n.(type) {
+				case *ast.FuncDecl:
+					if fn.Body != nil && funcHasCoroutineParam(fn.Type) {
+						out = append(out, p.blockScan(fn.Body)...)
+						return false
+					}
+				case *ast.FuncLit:
+					if funcHasCoroutineParam(fn.Type) {
+						out = append(out, p.blockScan(fn.Body)...)
+						return false
+					}
+				}
+				return true
+			})
+		}
+	}
+	if p.Harness {
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if recv, name, ok := selectorCall(call); ok && name == "Sleep" {
+					if id, isIdent := recv.(*ast.Ident); isIdent && p.pkgIdent(id, "time") {
+						out = append(out, Finding{
+							Check:   "raw-blocking-in-coroutine",
+							Pos:     p.Fset.Position(call.Pos()),
+							Message: "raw time.Sleep in the harness; pace and poll through internal/clock (Precise, WaitUntil)",
+						})
+					}
+				}
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// blockScan walks one coroutine body. Nested function literals are
+// included (they typically run under the baton via hooks or Post)
+// unless launched by a go statement.
+func (p *Package) blockScan(body *ast.BlockStmt) []Finding {
+	var out []Finding
+	flag := func(n ast.Node, msg string) {
+		out = append(out, Finding{
+			Check:   "raw-blocking-in-coroutine",
+			Pos:     p.Fset.Position(n.Pos()),
+			Message: msg,
+		})
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.GoStmt:
+			return false // off-baton (raw-goroutine flags the spawn itself)
+		case *ast.SendStmt:
+			flag(v, fmt.Sprintf("channel send %s <- ... blocks the scheduler; use events or a core.Queue", exprString(v.Chan)))
+		case *ast.UnaryExpr:
+			if v.Op == token.ARROW {
+				flag(v, fmt.Sprintf("channel receive <-%s blocks the scheduler; use events or a core.Queue", exprString(v.X)))
+			}
+		case *ast.SelectStmt:
+			flag(v, "select blocks the scheduler; compose events with Or/And and co.Select instead")
+			return false
+		case *ast.CallExpr:
+			recv, name, ok := selectorCall(v)
+			if !ok {
+				return true
+			}
+			if name == "Sleep" {
+				if id, isIdent := recv.(*ast.Ident); isIdent && p.pkgIdent(id, "time") {
+					flag(v, "time.Sleep blocks the scheduler inside a coroutine; use co.Sleep")
+				}
+			}
+			if name == "Wait" && len(v.Args) == 0 {
+				if t := p.typeOf(recv); t == nil || namedIn(t, "sync", "WaitGroup") {
+					flag(v, fmt.Sprintf("%s.Wait() blocks the scheduler inside a coroutine; count completions with a core event", exprString(recv)))
+				}
+			}
+		}
+		return true
+	})
+	return out
+}

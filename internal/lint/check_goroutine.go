@@ -1,0 +1,38 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// rawGoroutine flags go statements in logic packages. Logic
+// concurrency must be spawned through Runtime.Spawn so the
+// cooperative scheduler owns it: a raw goroutine races the baton,
+// escapes the trace verifier's wait graph, and cannot be shut down or
+// accounted by the runtime.
+type rawGoroutine struct{}
+
+func (rawGoroutine) Name() string { return "raw-goroutine" }
+
+func (rawGoroutine) Doc() string {
+	return "go statement in a logic package; spawn coroutines through Runtime.Spawn so the scheduler owns them"
+}
+
+func (rawGoroutine) Run(p *Package) []Finding {
+	if !p.Logic {
+		return nil
+	}
+	var out []Finding
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if g, ok := n.(*ast.GoStmt); ok {
+				out = append(out, Finding{
+					Check:   "raw-goroutine",
+					Pos:     p.Fset.Position(g.Pos()),
+					Message: "raw go statement in a logic package; use Runtime.Spawn so the scheduler owns the goroutine",
+				})
+			}
+			return true
+		})
+	}
+	return out
+}

@@ -1,0 +1,169 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"sort"
+)
+
+// waitWhileLocked flags coroutine wait points reached while a
+// sync.Mutex or sync.RWMutex is held in the same function body.
+// Parking the coroutine stretches the critical section by an
+// arbitrary I/O delay, so one fail-slow resource serializes every
+// goroutine contending for the lock — slowness propagation through a
+// lock instead of a wait graph, invisible to the SPG checker.
+//
+// The analysis is linear over each function body (control flow is not
+// modeled): Lock/RLock raises the held count for the receiver,
+// Unlock/RUnlock lowers it, a deferred Unlock keeps the lock held to
+// the end of the body. Nested function literals are analyzed as their
+// own bodies.
+type waitWhileLocked struct{}
+
+func (waitWhileLocked) Name() string { return "wait-while-locked" }
+
+func (waitWhileLocked) Doc() string {
+	return "a sync.Mutex/RWMutex is held across a coroutine wait point; release the lock before parking"
+}
+
+// waitMethods are the Coroutine/Queue methods that park the caller.
+var waitMethods = map[string]bool{
+	"Wait": true, "WaitFor": true, "WaitQuorum": true, "Select": true,
+	"Sleep": true, "Yield": true,
+	"PopWait": true, "DrainWait": true, "DrainWaitTimeout": true,
+}
+
+func (waitWhileLocked) Run(p *Package) []Finding {
+	var out []Finding
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					out = append(out, p.lockScan(fn.Body)...)
+				}
+			case *ast.FuncLit:
+				out = append(out, p.lockScan(fn.Body)...)
+				return false // inner literals rescanned by the Inspect below
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// lockEvent is one lock transition or wait point, in source order.
+type lockEvent struct {
+	pos   int // file offset for ordering
+	key   string
+	kind  string // "lock", "unlock", "wait"
+	node  ast.Node
+	label string
+}
+
+// lockScan simulates lock state linearly over body, skipping nested
+// function literals (they run on their own schedule).
+func (p *Package) lockScan(body *ast.BlockStmt) []Finding {
+	var events []lockEvent
+	var walk func(n ast.Node, deferred bool)
+	collect := func(n ast.Node, deferred bool) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			if _, ok := m.(*ast.FuncLit); ok {
+				return false
+			}
+			if ds, ok := m.(*ast.DeferStmt); ok {
+				walk(ds.Call, true)
+				return false
+			}
+			call, ok := m.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			recv, name, ok := selectorCall(call)
+			if !ok {
+				return true
+			}
+			switch name {
+			case "Lock", "RLock":
+				if len(call.Args) == 0 && p.isMutexish(recv) {
+					events = append(events, lockEvent{int(call.Pos()), exprString(recv), "lock", call, name})
+				}
+			case "Unlock", "RUnlock":
+				if len(call.Args) == 0 && p.isMutexish(recv) && !deferred {
+					events = append(events, lockEvent{int(call.Pos()), exprString(recv), "unlock", call, name})
+				}
+			default:
+				if waitMethods[name] && p.isWaitReceiver(recv, name, call) {
+					events = append(events, lockEvent{int(call.Pos()), exprString(recv), "wait", call, name})
+				}
+			}
+			return true
+		})
+	}
+	walk = collect
+	collect(body, false)
+	sort.Slice(events, func(i, j int) bool { return events[i].pos < events[j].pos })
+
+	held := map[string]int{}
+	total := 0
+	var out []Finding
+	for _, e := range events {
+		switch e.kind {
+		case "lock":
+			held[e.key]++
+			total++
+		case "unlock":
+			if held[e.key] > 0 {
+				held[e.key]--
+				total--
+			}
+		case "wait":
+			if total > 0 {
+				var keys []string
+				for k, c := range held {
+					if c > 0 {
+						keys = append(keys, k)
+					}
+				}
+				sort.Strings(keys)
+				out = append(out, Finding{
+					Check: "wait-while-locked",
+					Pos:   p.Fset.Position(e.node.Pos()),
+					Message: fmt.Sprintf("%s.%s parks the coroutine while %v is locked; release the mutex before waiting",
+						e.key, e.label, keys),
+				})
+			}
+		}
+	}
+	return out
+}
+
+// isMutexish reports whether e is a sync.Mutex/RWMutex (directly or
+// behind a pointer). When untyped, any Lock/Unlock receiver counts —
+// conservative, with //depfast:allow as the escape hatch.
+func (p *Package) isMutexish(e ast.Expr) bool {
+	t := p.typeOf(e)
+	if t == nil {
+		return true
+	}
+	return namedIn(t, "sync", "Mutex") || namedIn(t, "sync", "RWMutex")
+}
+
+// isWaitReceiver reports whether a call named like a wait primitive
+// really targets a Coroutine or Queue.
+func (p *Package) isWaitReceiver(recv ast.Expr, name string, call *ast.CallExpr) bool {
+	t := p.typeOf(recv)
+	switch name {
+	case "PopWait", "DrainWait", "DrainWaitTimeout":
+		return t == nil || namedIn(t, "internal/core", "Queue")
+	case "Wait":
+		// Disambiguate from sync.WaitGroup.Wait (no arguments).
+		if len(call.Args) == 0 {
+			return false
+		}
+	}
+	if t == nil {
+		return p.isCoroutine(recv)
+	}
+	return namedIn(t, "internal/core", "Coroutine")
+}

@@ -1,0 +1,119 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// frameworkSplit enforces the paper's framework/logic split in logic
+// packages. Logic may speak the framework's data types (storage.Entry
+// in messages, transport.Handler in signatures) but must not construct
+// or drive the I/O layer: every concrete use — a package-qualified
+// call or variable from internal/storage or internal/transport, or a
+// call to the deliberately blocking ReadBlocking/WriteBlocking escape
+// hatches — is flagged. Construction seams (NewServer wiring the disk
+// and WAL) carry explicit //depfast:allow annotations so the boundary
+// stays visible.
+type frameworkSplit struct{}
+
+func (frameworkSplit) Name() string { return "framework-split" }
+
+func (frameworkSplit) Doc() string {
+	return "logic package uses internal/storage or internal/transport concretely (construction, package functions, or *Blocking I/O); only framework data types may cross the split"
+}
+
+// splitTargets are the framework I/O packages logic must stay behind.
+var splitTargets = []string{"internal/storage", "internal/transport"}
+
+func (frameworkSplit) Run(p *Package) []Finding {
+	if !p.Logic {
+		return nil
+	}
+	var out []Finding
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			// Blocking escape hatches, usually reached through fields
+			// (s.wal.ReadBlocking) rather than package qualifiers.
+			if name := sel.Sel.Name; name == "ReadBlocking" || name == "WriteBlocking" {
+				if t := p.typeOf(sel.X); t == nil || namedInAny(t, splitTargets) {
+					out = append(out, Finding{
+						Check: "framework-split",
+						Pos:   p.Fset.Position(sel.Pos()),
+						Message: fmt.Sprintf("%s.%s performs blocking I/O from logic; use the async event forms",
+							exprString(sel.X), name),
+					})
+					return true
+				}
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			target := ""
+			for _, t := range splitTargets {
+				if p.pkgIdent(id, t) {
+					target = t
+					break
+				}
+			}
+			if target == "" {
+				return true
+			}
+			if p.Info != nil {
+				if obj, ok := p.Info.Uses[sel.Sel]; ok {
+					if _, isType := obj.(*types.TypeName); isType {
+						return true // data types may cross the split
+					}
+				}
+			}
+			out = append(out, Finding{
+				Check: "framework-split",
+				Pos:   p.Fset.Position(sel.Pos()),
+				Message: fmt.Sprintf("concrete use of %s.%s from a logic package; only framework data types may cross the split",
+					pkgBase(target), sel.Sel.Name),
+			})
+			return true
+		})
+	}
+	return out
+}
+
+// namedInAny reports whether t is a named type declared in one of the
+// listed packages.
+func namedInAny(t types.Type, pkgSuffixes []string) bool {
+	for {
+		ptr, ok := t.(*types.Pointer)
+		if !ok {
+			break
+		}
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	for _, s := range pkgSuffixes {
+		if strings.HasSuffix(obj.Pkg().Path(), s) {
+			return true
+		}
+	}
+	return false
+}
+
+// pkgBase returns the last path element.
+func pkgBase(path string) string {
+	if i := strings.LastIndex(path, "/"); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}

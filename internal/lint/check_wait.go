@@ -1,0 +1,82 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+)
+
+// untimedWait flags unbounded waits on I/O-fed events in logic
+// packages: raw Coroutine.Wait, Queue.PopWait, and Queue.DrainWait.
+// A wait with no deadline is the exact slowness-propagation edge the
+// paper's SPG analysis colours red — one fail-slow disk or peer turns
+// the waiting coroutine into a fail-slow coroutine. The bounded forms
+// (WaitFor, WaitQuorum, Select, DrainWaitTimeout) force the caller to
+// name a deadline and handle it.
+//
+// Waits whose event is purely local state — *core.SignalEvent or
+// *core.IntEvent, the paper's "wait for a variable to be set" — are
+// exempt: they carry no cross-resource dependence, so bounding them
+// would only add spurious timeout paths.
+type untimedWait struct{}
+
+func (untimedWait) Name() string { return "untimed-wait" }
+
+func (untimedWait) Doc() string {
+	return "unbounded Coroutine.Wait / Queue.PopWait / Queue.DrainWait on an I/O-fed event in a logic package; use WaitFor, WaitQuorum, Select, or DrainWaitTimeout with explicit timeout handling"
+}
+
+func (untimedWait) Run(p *Package) []Finding {
+	if !p.Logic {
+		return nil
+	}
+	var out []Finding
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			recv, name, ok := selectorCall(call)
+			if !ok {
+				return true
+			}
+			switch name {
+			case "Wait":
+				// Coroutine.Wait(ev); sync.WaitGroup.Wait() has no
+				// argument and belongs to raw-blocking-in-coroutine.
+				if len(call.Args) != 1 || !p.isCoroutine(recv) {
+					return true
+				}
+				if t := p.typeOf(call.Args[0]); t != nil {
+					if namedIn(t, "internal/core", "SignalEvent") || namedIn(t, "internal/core", "IntEvent") {
+						return true // local-state wait: exempt
+					}
+				}
+				out = append(out, Finding{
+					Check: "untimed-wait",
+					Pos:   p.Fset.Position(call.Pos()),
+					Message: fmt.Sprintf(
+						"unbounded %s.Wait(%s): a fail-slow dependency stalls this coroutine forever; use WaitFor/WaitQuorum with a timeout",
+						exprString(recv), exprString(call.Args[0])),
+				})
+			case "PopWait", "DrainWait":
+				if len(call.Args) != 1 {
+					return true
+				}
+				// Receiver must be a core.Queue (or unresolvable).
+				if t := p.typeOf(recv); t != nil && !namedIn(t, "internal/core", "Queue") {
+					return true
+				}
+				out = append(out, Finding{
+					Check: "untimed-wait",
+					Pos:   p.Fset.Position(call.Pos()),
+					Message: fmt.Sprintf(
+						"unbounded %s.%s: queue fills are I/O-fed; use DrainWaitTimeout with explicit timeout handling",
+						exprString(recv), name),
+				})
+			}
+			return true
+		})
+	}
+	return out
+}

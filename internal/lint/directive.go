@@ -1,0 +1,98 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// directivePrefix introduces a suppression comment:
+//
+//	//depfast:allow <check>[,<check>] <reason>
+//
+// A directive at the end of a code line covers that line; a directive
+// alone on its line covers the next line. The reason is mandatory.
+const directivePrefix = "//depfast:allow"
+
+// Directive is one parsed //depfast:allow comment.
+type Directive struct {
+	// Pos locates the directive comment.
+	Pos token.Position
+	// TargetLine is the source line the directive covers.
+	TargetLine int
+	// Checks lists the check names being allowed.
+	Checks []string
+	// Reason is the mandatory justification.
+	Reason string
+	// Malformed carries a diagnostic when the directive is unusable;
+	// the runner reports it as an (unsuppressable) finding.
+	Malformed string
+}
+
+// covers reports whether the directive allows check.
+func (d *Directive) covers(check string) bool {
+	for _, c := range d.Checks {
+		if c == check || c == "all" {
+			return true
+		}
+	}
+	return false
+}
+
+// parseDirectives extracts the file's //depfast:allow directives. src
+// is the file's source, used to decide whether a directive stands
+// alone on its line (covering the next line) or trails code (covering
+// its own line).
+func parseDirectives(fset *token.FileSet, f *ast.File, src []byte) []*Directive {
+	var out []*Directive
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if !strings.HasPrefix(c.Text, directivePrefix) {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			d := &Directive{Pos: pos, TargetLine: pos.Line}
+			if standsAlone(src, pos.Offset) {
+				d.TargetLine = pos.Line + 1
+			}
+			rest := strings.TrimPrefix(c.Text, directivePrefix)
+			if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+				// e.g. //depfast:allowance — not ours.
+				continue
+			}
+			fields := strings.Fields(rest)
+			if len(fields) == 0 {
+				d.Malformed = "malformed //depfast:allow: missing check name and reason"
+				out = append(out, d)
+				continue
+			}
+			for _, name := range strings.Split(fields[0], ",") {
+				if name != "" {
+					d.Checks = append(d.Checks, name)
+				}
+			}
+			d.Reason = strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(rest), fields[0]))
+			if len(d.Checks) == 0 || d.Reason == "" {
+				d.Malformed = "malformed //depfast:allow: want \"//depfast:allow <check>[,<check>] <reason>\" — the reason is mandatory"
+			}
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// standsAlone reports whether only whitespace precedes offset on its
+// source line.
+func standsAlone(src []byte, offset int) bool {
+	for i := offset - 1; i >= 0; i-- {
+		switch src[i] {
+		case '\n':
+			return true
+		case ' ', '\t', '\r':
+			continue
+		default:
+			return false
+		}
+	}
+	return true
+}

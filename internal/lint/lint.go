@@ -1,0 +1,354 @@
+// Package lint is depfast-vet: a from-scratch static analyzer, built
+// only on the standard library's go/ast, go/parser, go/types, and
+// go/token, that enforces the DepFast programming model at build time.
+//
+// The paper's thesis is that fail-slow tolerance is a programming-model
+// concern: waits must be bounded and quorum-shaped, coroutines must
+// never block the cooperative scheduler, and protocol logic must stay
+// behind the framework split. The runtime pieces of this repo (the
+// trace verifier, the SPG checker) catch violations after they happen;
+// this package catches them before they compile into the binary.
+//
+// Five checks ship today:
+//
+//   - untimed-wait: raw Coroutine.Wait / Queue.PopWait / Queue.DrainWait
+//     on I/O-fed events in logic packages. Bounded forms (WaitFor,
+//     WaitQuorum, Select, DrainWaitTimeout) are the replacement. Waits
+//     on purely local state (SignalEvent, IntEvent) are exempt: they
+//     model the paper's "wait for a variable", not cross-resource
+//     dependence.
+//   - wait-while-locked: a sync.Mutex/RWMutex held across any coroutine
+//     wait point in the same function body. Parking with a lock held
+//     extends the lock's critical section by an arbitrary I/O delay.
+//   - raw-blocking-in-coroutine: time.Sleep, bare channel operations,
+//     select statements, or sync.WaitGroup.Wait inside coroutine bodies
+//     in logic packages — these block the scheduler's OS thread instead
+//     of yielding the baton. In the harness package the check also
+//     flags any raw time.Sleep: drivers must use the injected
+//     internal/clock primitives (Precise, WaitUntil).
+//   - raw-goroutine: go statements in logic packages; logic concurrency
+//     must be spawned through the runtime so the scheduler owns it.
+//   - framework-split: concrete (non-type) package-qualified uses of
+//     internal/storage or internal/transport in logic packages, plus
+//     calls to the deliberately blocking ReadBlocking/WriteBlocking
+//     escape hatches. Referring to framework data types (storage.Entry,
+//     transport.Handler) is allowed; constructing or driving the I/O
+//     layer from logic is not.
+//
+// Deliberate exceptions are annotated in the source with
+//
+//	//depfast:allow <check>[,<check>] <reason>
+//
+// on the offending line (or alone on the line above). The reason is
+// mandatory — a bare directive is itself reported — so every exception
+// stays visible and justified. Suppressed findings are retained in the
+// machine-readable output.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Finding is one diagnostic produced by a check.
+type Finding struct {
+	// Check names the check that fired (e.g. "untimed-wait").
+	Check string
+	// Pos locates the finding.
+	Pos token.Position
+	// Message explains the violation and the sanctioned alternative.
+	Message string
+	// Suppressed marks a finding covered by a //depfast:allow directive.
+	Suppressed bool
+	// Reason carries the directive's justification when suppressed.
+	Reason string
+}
+
+// String renders the finding as a compiler-style diagnostic.
+func (f Finding) String() string {
+	suffix := ""
+	if f.Suppressed {
+		suffix = fmt.Sprintf(" (allowed: %s)", f.Reason)
+	}
+	return fmt.Sprintf("%s:%d:%d: [%s] %s%s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Check, f.Message, suffix)
+}
+
+// Check is one programming-model invariant.
+type Check interface {
+	// Name is the stable identifier used in diagnostics and directives.
+	Name() string
+	// Doc is a one-paragraph description of the invariant.
+	Doc() string
+	// Run analyzes one package.
+	Run(p *Package) []Finding
+}
+
+// AllChecks returns the full check suite in reporting order.
+func AllChecks() []Check {
+	return []Check{
+		untimedWait{},
+		waitWhileLocked{},
+		rawBlocking{},
+		rawGoroutine{},
+		frameworkSplit{},
+	}
+}
+
+// CheckByName resolves a comma-separated name list against the suite.
+func CheckByName(names string) ([]Check, error) {
+	all := AllChecks()
+	if names == "" {
+		return all, nil
+	}
+	byName := make(map[string]Check, len(all))
+	for _, c := range all {
+		byName[c.Name()] = c
+	}
+	var out []Check
+	for _, n := range strings.Split(names, ",") {
+		n = strings.TrimSpace(n)
+		c, ok := byName[n]
+		if !ok {
+			return nil, fmt.Errorf("lint: unknown check %q", n)
+		}
+		out = append(out, c)
+	}
+	return out, nil
+}
+
+// Package is one loaded, type-checked package under analysis.
+type Package struct {
+	// Path is the import path ("depfast/internal/raft").
+	Path string
+	// Dir is the source directory.
+	Dir string
+	// Fset is the shared position table.
+	Fset *token.FileSet
+	// Files holds the parsed non-test sources.
+	Files []*ast.File
+	// Types and Info carry go/types results. Type checking is
+	// best-effort: checks fall back to syntactic heuristics for
+	// expressions the checker could not resolve.
+	Types *types.Package
+	Info  *types.Info
+	// TypeErrors collects type-check diagnostics (best-effort loads
+	// keep going past them).
+	TypeErrors []error
+
+	// Logic marks a protocol-logic package (internal/raft, internal/kv,
+	// internal/baseline): the full programming model applies.
+	Logic bool
+	// Harness marks the experiment-driver package (internal/harness):
+	// raw time.Sleep is flagged in favor of internal/clock primitives.
+	Harness bool
+
+	directives []*Directive
+}
+
+// Directives returns the package's parsed //depfast:allow directives.
+func (p *Package) Directives() []*Directive { return p.directives }
+
+// Run executes checks over pkgs, applies suppression directives, adds
+// findings for malformed directives, and returns everything sorted by
+// position.
+func Run(pkgs []*Package, checks []Check) []Finding {
+	var out []Finding
+	for _, p := range pkgs {
+		var pf []Finding
+		for _, c := range checks {
+			pf = append(pf, c.Run(p)...)
+		}
+		pf = append(pf, p.suppress(pf)...)
+		out = append(out, pf...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Pos, out[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	return out
+}
+
+// Unsuppressed filters findings down to the ones that should fail the
+// build.
+func Unsuppressed(findings []Finding) []Finding {
+	var out []Finding
+	for _, f := range findings {
+		if !f.Suppressed {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// suppress marks findings covered by a directive (mutating pf in
+// place) and returns extra findings for malformed directives.
+func (p *Package) suppress(pf []Finding) []Finding {
+	var extra []Finding
+	for _, d := range p.directives {
+		if d.Malformed != "" {
+			extra = append(extra, Finding{
+				Check:   "directive",
+				Pos:     d.Pos,
+				Message: d.Malformed,
+			})
+			continue
+		}
+		for i := range pf {
+			f := &pf[i]
+			if f.Suppressed || f.Pos.Filename != d.Pos.Filename || f.Pos.Line != d.TargetLine {
+				continue
+			}
+			if d.covers(f.Check) {
+				f.Suppressed = true
+				f.Reason = d.Reason
+			}
+		}
+	}
+	return extra
+}
+
+// --- type-resolution helpers shared by the checks -------------------
+
+// typeOf returns the static type of e, or nil when the best-effort
+// type check could not resolve it.
+func (p *Package) typeOf(e ast.Expr) types.Type {
+	if p.Info == nil {
+		return nil
+	}
+	if tv, ok := p.Info.Types[e]; ok {
+		return tv.Type
+	}
+	return nil
+}
+
+// namedIn reports whether t (possibly behind pointers or generic
+// instantiation) is the named type pkgSuffix.name, e.g.
+// ("internal/core", "Coroutine").
+func namedIn(t types.Type, pkgSuffix, name string) bool {
+	for {
+		ptr, ok := t.(*types.Pointer)
+		if !ok {
+			break
+		}
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	return obj.Name() == name &&
+		(obj.Pkg().Path() == pkgSuffix || strings.HasSuffix(obj.Pkg().Path(), pkgSuffix))
+}
+
+// pkgIdent reports whether id is a package qualifier for an import
+// whose path is path or ends with path (so "time" and
+// "depfast/internal/storage" both resolve). Falls back to comparing
+// the identifier's name with the path's last element when type
+// information is unavailable.
+func (p *Package) pkgIdent(id *ast.Ident, path string) bool {
+	if p.Info != nil {
+		if obj, ok := p.Info.Uses[id]; ok {
+			pn, ok := obj.(*types.PkgName)
+			if !ok {
+				return false
+			}
+			ip := pn.Imported().Path()
+			return ip == path || strings.HasSuffix(ip, path)
+		}
+	}
+	base := path
+	if i := strings.LastIndex(path, "/"); i >= 0 {
+		base = path[i+1:]
+	}
+	return id.Name == base
+}
+
+// selectorCall decomposes a call of the form recv.Name(args...),
+// returning (recv, name, true) when call has that shape.
+func selectorCall(call *ast.CallExpr) (ast.Expr, string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil, "", false
+	}
+	return sel.X, sel.Sel.Name, true
+}
+
+// isCoroutine reports whether expr has type *core.Coroutine, with a
+// naming fallback when untyped.
+func (p *Package) isCoroutine(e ast.Expr) bool {
+	if t := p.typeOf(e); t != nil {
+		return namedIn(t, "internal/core", "Coroutine")
+	}
+	// Untyped fallback: the repo's convention names coroutine
+	// parameters co/cc/hc/rc/nc.
+	if id, ok := e.(*ast.Ident); ok {
+		switch id.Name {
+		case "co", "cc", "hc", "rc", "nc":
+			return true
+		}
+	}
+	return false
+}
+
+// isCoroutineParamType reports whether the type expression declares a
+// *core.Coroutine parameter (syntactic; used to find coroutine bodies
+// even when the type checker failed).
+func isCoroutineParamType(e ast.Expr) bool {
+	star, ok := e.(*ast.StarExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := star.X.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	return sel.Sel.Name == "Coroutine"
+}
+
+// funcHasCoroutineParam reports whether ft declares a *core.Coroutine
+// parameter, marking the function as a coroutine body.
+func funcHasCoroutineParam(ft *ast.FuncType) bool {
+	if ft == nil || ft.Params == nil {
+		return false
+	}
+	for _, f := range ft.Params.List {
+		if isCoroutineParamType(f.Type) {
+			return true
+		}
+	}
+	return false
+}
+
+// exprString renders a (small) expression for lock-tracking keys and
+// messages.
+func exprString(e ast.Expr) string {
+	switch v := e.(type) {
+	case *ast.Ident:
+		return v.Name
+	case *ast.SelectorExpr:
+		return exprString(v.X) + "." + v.Sel.Name
+	case *ast.ParenExpr:
+		return exprString(v.X)
+	case *ast.StarExpr:
+		return "*" + exprString(v.X)
+	case *ast.IndexExpr:
+		return exprString(v.X) + "[...]"
+	case *ast.CallExpr:
+		return exprString(v.Fun) + "(...)"
+	}
+	return "?"
+}

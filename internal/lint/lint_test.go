@@ -1,0 +1,336 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// sharedModule opens the real module once per test binary; fixtures
+// type-check against its packages through the same importer.
+var (
+	moduleOnce sync.Once
+	moduleVal  *Module
+	moduleErr  error
+)
+
+func testModule(t *testing.T) *Module {
+	t.Helper()
+	moduleOnce.Do(func() {
+		moduleVal, moduleErr = OpenModule(".")
+	})
+	if moduleErr != nil {
+		t.Fatalf("OpenModule: %v", moduleErr)
+	}
+	return moduleVal
+}
+
+// expectation is one // want marker in a fixture file.
+type expectation struct {
+	file       string // base name
+	line       int
+	check      string
+	suppressed bool
+}
+
+func (e expectation) String() string {
+	kind := "violation"
+	if e.suppressed {
+		kind = "allowed"
+	}
+	return fmt.Sprintf("%s:%d %s [%s]", e.file, e.line, kind, e.check)
+}
+
+var wantRe = regexp.MustCompile(`// want( allowed)? ([a-z-]+)\s*$`)
+
+// parseWants scans the fixture directory's sources for trailing
+// "// want [allowed] <check>" markers.
+func parseWants(t *testing.T, dir string) []expectation {
+	t.Helper()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("read fixture dir: %v", err)
+	}
+	var out []expectation
+	for _, ent := range ents {
+		if ent.IsDir() || !strings.HasSuffix(ent.Name(), ".go") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, ent.Name()))
+		if err != nil {
+			t.Fatalf("read fixture: %v", err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			m := wantRe.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			out = append(out, expectation{
+				file:       ent.Name(),
+				line:       i + 1,
+				check:      m[2],
+				suppressed: m[1] != "",
+			})
+		}
+	}
+	return out
+}
+
+func sortedStrings[T fmt.Stringer](xs []T) []string {
+	out := make([]string, len(xs))
+	for i, x := range xs {
+		out[i] = x.String()
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TestFixtures runs each check against its golden fixture package and
+// compares the findings — position, check, and suppression state —
+// against the fixture's // want markers.
+func TestFixtures(t *testing.T) {
+	cases := []struct {
+		dir     string
+		check   string
+		logic   bool
+		harness bool
+	}{
+		{"untimedwait", "untimed-wait", true, false},
+		{"waitwhilelocked", "wait-while-locked", false, false},
+		{"rawblocking", "raw-blocking-in-coroutine", true, false},
+		{"harnesssleep", "raw-blocking-in-coroutine", false, true},
+		{"rawgoroutine", "raw-goroutine", true, false},
+		{"frameworksplit", "framework-split", true, false},
+	}
+	m := testModule(t)
+	for _, tc := range cases {
+		t.Run(tc.dir, func(t *testing.T) {
+			dir := filepath.Join("testdata", "src", tc.dir)
+			pkg, err := m.LoadFixture(dir, tc.logic, tc.harness)
+			if err != nil {
+				t.Fatalf("LoadFixture: %v", err)
+			}
+			if len(pkg.TypeErrors) > 0 {
+				t.Fatalf("fixture must type-check cleanly, got %v", pkg.TypeErrors)
+			}
+			checks, err := CheckByName(tc.check)
+			if err != nil {
+				t.Fatal(err)
+			}
+			findings := Run([]*Package{pkg}, checks)
+			var got []expectation
+			for _, f := range findings {
+				got = append(got, expectation{
+					file:       filepath.Base(f.Pos.Filename),
+					line:       f.Pos.Line,
+					check:      f.Check,
+					suppressed: f.Suppressed,
+				})
+				if f.Suppressed && f.Reason == "" {
+					t.Errorf("suppressed finding without a reason: %v", f)
+				}
+			}
+			want := parseWants(t, dir)
+			if len(want) == 0 {
+				t.Fatal("fixture has no // want markers")
+			}
+			gs, ws := sortedStrings(got), sortedStrings(want)
+			if strings.Join(gs, "\n") != strings.Join(ws, "\n") {
+				t.Errorf("findings mismatch\n got:\n  %s\nwant:\n  %s",
+					strings.Join(gs, "\n  "), strings.Join(ws, "\n  "))
+			}
+		})
+	}
+}
+
+// TestScopeGating reloads a logic fixture as an out-of-scope package:
+// the logic-only checks must stay silent.
+func TestScopeGating(t *testing.T) {
+	m, err := OpenModule(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := m.LoadFixture(filepath.Join("testdata", "src", "untimedwait"), false, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"untimed-wait", "raw-blocking-in-coroutine", "raw-goroutine", "framework-split"} {
+		checks, err := CheckByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := Run([]*Package{pkg}, checks); len(got) > 0 {
+			t.Errorf("%s fired on a non-logic package: %v", name, got)
+		}
+	}
+}
+
+func parseDirectivesFromSrc(t *testing.T, src string) []*Directive {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "d.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return parseDirectives(fset, f, []byte(src))
+}
+
+func TestDirectiveParsing(t *testing.T) {
+	src := `package d
+
+func f() {
+	x() //depfast:allow untimed-wait trailing covers its own line
+	//depfast:allow raw-goroutine,framework-split standalone covers the next line
+	y()
+	//depfast:allow all everything allowed here
+	z()
+	//depfast:allow untimed-wait
+	w()
+	//depfast:allowance not a directive at all
+}
+
+func x() {}
+func y() {}
+func z() {}
+func w() {}
+`
+	ds := parseDirectivesFromSrc(t, src)
+	if len(ds) != 4 {
+		t.Fatalf("got %d directives, want 4: %+v", len(ds), ds)
+	}
+
+	trailing := ds[0]
+	if trailing.TargetLine != trailing.Pos.Line {
+		t.Errorf("trailing directive: target %d, want own line %d", trailing.TargetLine, trailing.Pos.Line)
+	}
+	if len(trailing.Checks) != 1 || trailing.Checks[0] != "untimed-wait" {
+		t.Errorf("trailing checks = %v", trailing.Checks)
+	}
+	if trailing.Reason != "trailing covers its own line" {
+		t.Errorf("trailing reason = %q", trailing.Reason)
+	}
+
+	standalone := ds[1]
+	if standalone.TargetLine != standalone.Pos.Line+1 {
+		t.Errorf("standalone directive: target %d, want next line %d", standalone.TargetLine, standalone.Pos.Line+1)
+	}
+	if len(standalone.Checks) != 2 || !standalone.covers("raw-goroutine") || !standalone.covers("framework-split") {
+		t.Errorf("standalone checks = %v", standalone.Checks)
+	}
+	if standalone.covers("untimed-wait") {
+		t.Error("standalone should not cover untimed-wait")
+	}
+
+	allD := ds[2]
+	if !allD.covers("untimed-wait") || !allD.covers("wait-while-locked") {
+		t.Errorf("all directive should cover every check: %+v", allD)
+	}
+
+	noReason := ds[3]
+	if noReason.Malformed == "" {
+		t.Error("directive without a reason must be malformed")
+	}
+}
+
+// TestMalformedDirectiveIsReported builds a package whose only
+// directive lacks a reason and asserts the runner surfaces it as an
+// unsuppressable finding.
+func TestMalformedDirectiveIsReported(t *testing.T) {
+	src := `package d
+
+func f() {
+	//depfast:allow untimed-wait
+	g()
+}
+
+func g() {}
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "d.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg := &Package{Path: "d", Fset: fset, Files: []*ast.File{f}, directives: parseDirectives(fset, f, []byte(src))}
+	findings := Run([]*Package{pkg}, AllChecks())
+	var directive []Finding
+	for _, fd := range findings {
+		if fd.Check == "directive" {
+			directive = append(directive, fd)
+		}
+	}
+	if len(directive) != 1 || directive[0].Suppressed {
+		t.Fatalf("want one unsuppressed directive finding, got %v", findings)
+	}
+}
+
+func TestCheckByName(t *testing.T) {
+	if _, err := CheckByName("no-such-check"); err == nil {
+		t.Error("unknown check name must error")
+	}
+	checks, err := CheckByName("untimed-wait, raw-goroutine")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(checks) != 2 || checks[0].Name() != "untimed-wait" || checks[1].Name() != "raw-goroutine" {
+		t.Errorf("subset resolution broken: %v", checks)
+	}
+	if got := len(AllChecks()); got != 5 {
+		t.Errorf("suite has %d checks, want 5", got)
+	}
+}
+
+// TestModuleIsClean is the self-check: depfast-vet over this very
+// repository must report zero unsuppressed violations, and every
+// suppression must carry its justification.
+func TestModuleIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	m, err := LoadModule(".")
+	if err != nil {
+		t.Fatalf("LoadModule: %v", err)
+	}
+	findings := Run(m.Packages, AllChecks())
+	for _, f := range Unsuppressed(findings) {
+		t.Errorf("unsuppressed violation: %v", f)
+	}
+	suppressed := 0
+	for _, f := range findings {
+		if f.Suppressed {
+			suppressed++
+			if f.Reason == "" {
+				t.Errorf("suppressed without reason: %v", f)
+			}
+		}
+	}
+	if suppressed == 0 {
+		t.Error("expected the tree's deliberate anti-patterns to appear as allowed findings")
+	}
+	// The logic and harness packages must be in scope, or the clean
+	// result is vacuous.
+	scoped := map[string]bool{}
+	for _, p := range m.Packages {
+		if p.Logic || p.Harness {
+			scoped[p.Path] = true
+		}
+	}
+	for _, suffix := range append(append([]string{}, LogicPaths...), HarnessPaths...) {
+		found := false
+		for path := range scoped {
+			if strings.HasSuffix(path, suffix) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("package %s missing from analysis scope", suffix)
+		}
+	}
+}

@@ -1,0 +1,274 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// LogicPaths lists the import-path suffixes of the protocol-logic
+// packages the full programming model applies to.
+var LogicPaths = []string{"internal/raft", "internal/kv", "internal/baseline"}
+
+// HarnessPaths lists the experiment-driver packages where raw
+// time.Sleep is flagged in favor of internal/clock primitives.
+var HarnessPaths = []string{"internal/harness"}
+
+// Module is a loaded Go module: every package parsed and (best-effort)
+// type-checked from source, stdlib dependencies resolved through the
+// standard library's source importer. No go/packages, no x/tools.
+type Module struct {
+	// Path is the module path from go.mod.
+	Path string
+	// Dir is the module root.
+	Dir string
+	// Fset is the position table shared by all packages.
+	Fset *token.FileSet
+	// Packages holds every loaded module package, sorted by path.
+	Packages []*Package
+
+	imp *moduleImporter
+}
+
+// FindModuleRoot walks up from dir to the nearest go.mod.
+func FindModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("lint: no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// modulePath reads the module path from dir/go.mod.
+func modulePath(dir string) (string, error) {
+	data, err := os.ReadFile(filepath.Join(dir, "go.mod"))
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			return strings.Trim(strings.TrimSpace(rest), `"`), nil
+		}
+	}
+	return "", fmt.Errorf("lint: no module line in %s/go.mod", dir)
+}
+
+// OpenModule prepares the module rooted at (or above) dir for
+// on-demand loading (LoadFixture) without walking the tree.
+func OpenModule(dir string) (*Module, error) {
+	root, err := FindModuleRoot(dir)
+	if err != nil {
+		return nil, err
+	}
+	path, err := modulePath(root)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	m := &Module{Path: path, Dir: root, Fset: fset}
+	m.imp = newModuleImporter(fset, path, root)
+	return m, nil
+}
+
+// LoadModule loads every package of the module rooted at (or above)
+// dir. Parse errors fail the load; type errors are collected per
+// package and analysis proceeds best-effort.
+func LoadModule(dir string) (*Module, error) {
+	m, err := OpenModule(dir)
+	if err != nil {
+		return nil, err
+	}
+	root := m.Dir
+	path := m.Path
+
+	var dirs []string
+	err = filepath.WalkDir(root, func(p string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if p != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+			name == "testdata" || name == "vendor") {
+			return filepath.SkipDir
+		}
+		if hasGoFiles(p) {
+			dirs = append(dirs, p)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(dirs)
+	for _, d := range dirs {
+		rel, _ := filepath.Rel(root, d)
+		ip := path
+		if rel != "." {
+			ip = path + "/" + filepath.ToSlash(rel)
+		}
+		pkg, err := m.imp.load(ip, d)
+		if err != nil {
+			return nil, fmt.Errorf("lint: load %s: %w", ip, err)
+		}
+		classify(pkg)
+		m.Packages = append(m.Packages, pkg)
+	}
+	return m, nil
+}
+
+// LoadFixture loads a single directory (e.g. a testdata fixture) as a
+// package of this module's universe, with the given model scope. The
+// fixture may import module packages and the standard library.
+func (m *Module) LoadFixture(dir string, logic, harness bool) (*Package, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	pkg, err := m.imp.load("fixture/"+filepath.Base(abs), abs)
+	if err != nil {
+		return nil, err
+	}
+	pkg.Logic = logic
+	pkg.Harness = harness
+	return pkg, nil
+}
+
+// classify assigns the model scope from the package path.
+func classify(p *Package) {
+	for _, s := range LogicPaths {
+		if strings.HasSuffix(p.Path, s) {
+			p.Logic = true
+		}
+	}
+	for _, s := range HarnessPaths {
+		if strings.HasSuffix(p.Path, s) {
+			p.Harness = true
+		}
+	}
+}
+
+// hasGoFiles reports whether dir directly contains a non-test .go file.
+func hasGoFiles(dir string) bool {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range ents {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasSuffix(e.Name(), "_test.go") {
+			return true
+		}
+	}
+	return false
+}
+
+// moduleImporter resolves imports for go/types: module-internal paths
+// are parsed and type-checked from source recursively; everything else
+// (the standard library) goes through go/importer's source importer,
+// which needs no pre-compiled export data.
+type moduleImporter struct {
+	fset    *token.FileSet
+	modPath string
+	modDir  string
+	std     types.Importer
+	cache   map[string]*Package
+	loading map[string]bool
+}
+
+func newModuleImporter(fset *token.FileSet, modPath, modDir string) *moduleImporter {
+	return &moduleImporter{
+		fset:    fset,
+		modPath: modPath,
+		modDir:  modDir,
+		std:     importer.ForCompiler(fset, "source", nil),
+		cache:   make(map[string]*Package),
+		loading: make(map[string]bool),
+	}
+}
+
+// Import implements types.Importer.
+func (m *moduleImporter) Import(path string) (*types.Package, error) {
+	if path == m.modPath || strings.HasPrefix(path, m.modPath+"/") {
+		rel := strings.TrimPrefix(strings.TrimPrefix(path, m.modPath), "/")
+		pkg, err := m.load(path, filepath.Join(m.modDir, filepath.FromSlash(rel)))
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return m.std.Import(path)
+}
+
+// load parses and type-checks the package in dir under import path
+// path, memoized. Type errors are collected, not fatal.
+func (m *moduleImporter) load(path, dir string) (*Package, error) {
+	if pkg, ok := m.cache[path]; ok {
+		return pkg, nil
+	}
+	if m.loading[path] {
+		return nil, fmt.Errorf("import cycle through %s", path)
+	}
+	m.loading[path] = true
+	defer delete(m.loading, path)
+
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	pkg := &Package{Path: path, Dir: dir, Fset: m.fset}
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		full := filepath.Join(dir, name)
+		src, err := os.ReadFile(full)
+		if err != nil {
+			return nil, err
+		}
+		f, err := parser.ParseFile(m.fset, full, src, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		pkg.Files = append(pkg.Files, f)
+		pkg.directives = append(pkg.directives, parseDirectives(m.fset, f, src)...)
+	}
+	if len(pkg.Files) == 0 {
+		return nil, fmt.Errorf("no buildable Go files in %s", dir)
+	}
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{
+		Importer: m,
+		Error:    func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
+	}
+	tpkg, _ := conf.Check(path, m.fset, pkg.Files, info)
+	pkg.Types = tpkg
+	pkg.Info = info
+	m.cache[path] = pkg
+	return pkg, nil
+}

@@ -1,0 +1,104 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"path/filepath"
+)
+
+// Report is the machine-readable result of a run.
+type Report struct {
+	// Module is the analyzed module path.
+	Module string `json:"module"`
+	// Checks documents the suite that ran.
+	Checks []CheckDoc `json:"checks"`
+	// Findings lists every diagnostic, suppressed ones included.
+	Findings []JSONFinding `json:"findings"`
+	// Unsuppressed counts the findings that fail the build.
+	Unsuppressed int `json:"unsuppressed"`
+	// TypeErrors surfaces best-effort type-check diagnostics.
+	TypeErrors []string `json:"type_errors,omitempty"`
+}
+
+// CheckDoc documents one check for tooling.
+type CheckDoc struct {
+	Name string `json:"name"`
+	Doc  string `json:"doc"`
+}
+
+// JSONFinding is the wire form of a Finding with a stable,
+// relative-path position.
+type JSONFinding struct {
+	Check      string `json:"check"`
+	File       string `json:"file"`
+	Line       int    `json:"line"`
+	Col        int    `json:"col"`
+	Message    string `json:"message"`
+	Suppressed bool   `json:"suppressed"`
+	Reason     string `json:"reason,omitempty"`
+}
+
+// NewReport assembles the machine-readable report, with file paths
+// made relative to root when possible.
+func NewReport(module, root string, checks []Check, findings []Finding, typeErrs []error) Report {
+	r := Report{Module: module}
+	for _, c := range checks {
+		r.Checks = append(r.Checks, CheckDoc{Name: c.Name(), Doc: c.Doc()})
+	}
+	for _, f := range findings {
+		file := f.Pos.Filename
+		if rel, err := filepath.Rel(root, file); err == nil && !filepath.IsAbs(rel) && rel[0] != '.' {
+			file = rel
+		}
+		r.Findings = append(r.Findings, JSONFinding{
+			Check:      f.Check,
+			File:       file,
+			Line:       f.Pos.Line,
+			Col:        f.Pos.Column,
+			Message:    f.Message,
+			Suppressed: f.Suppressed,
+			Reason:     f.Reason,
+		})
+		if !f.Suppressed {
+			r.Unsuppressed++
+		}
+	}
+	for _, e := range typeErrs {
+		r.TypeErrors = append(r.TypeErrors, e.Error())
+	}
+	return r
+}
+
+// WriteJSON emits the report as indented JSON.
+func (r Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// WriteText emits human diagnostics: one file:line:col line per
+// unsuppressed finding, then a summary. With showSuppressed, allowed
+// findings are listed too (marked with their justification).
+func (r Report) WriteText(w io.Writer, showSuppressed bool) {
+	suppressed := 0
+	for _, f := range r.Findings {
+		if f.Suppressed {
+			suppressed++
+			if !showSuppressed {
+				continue
+			}
+		}
+		mark, reason := "", ""
+		if f.Suppressed {
+			mark = "allowed: "
+			reason = fmt.Sprintf(" (%s)", f.Reason)
+		}
+		fmt.Fprintf(w, "%s:%d:%d: %s[%s] %s%s\n", f.File, f.Line, f.Col, mark, f.Check, f.Message, reason)
+	}
+	if r.Unsuppressed == 0 {
+		fmt.Fprintf(w, "depfast-vet: ok (%d findings allowed by //depfast:allow)\n", suppressed)
+	} else {
+		fmt.Fprintf(w, "depfast-vet: %d violation(s), %d allowed\n", r.Unsuppressed, suppressed)
+	}
+}

@@ -1,0 +1,30 @@
+// Package frameworksplit exercises the framework-split check in a
+// logic package: framework data types may cross the split, but
+// constructing or driving the I/O layer — package-qualified calls and
+// the *Blocking escape hatches — is flagged.
+package frameworksplit
+
+import (
+	"depfast/internal/storage"
+	"depfast/internal/transport"
+)
+
+// Data types crossing the split are fine: messages carry entries and
+// signatures name framework interfaces.
+type server struct {
+	wal  *storage.WAL
+	net  *transport.Network
+	last storage.Entry
+}
+
+func (s *server) wire() {
+	s.wal = storage.NewWAL(nil) // want framework-split
+	s.net = transport.NewNetwork() // want framework-split
+
+	//depfast:allow framework-split fixture: the construction seam
+	s.wal = storage.NewWAL(nil) // want allowed framework-split
+}
+
+func (s *server) drive() []storage.Entry {
+	return s.wal.ReadBlocking(1, 8) // want framework-split
+}

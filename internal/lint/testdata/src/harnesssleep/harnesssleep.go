@@ -1,0 +1,21 @@
+// Package harnesssleep exercises the harness arm of
+// raw-blocking-in-coroutine: every raw time.Sleep in an experiment
+// driver is flagged in favor of the internal/clock primitives.
+package harnesssleep
+
+import (
+	"time"
+
+	"depfast/internal/clock"
+)
+
+func pace(d time.Duration) {
+	time.Sleep(d) // want raw-blocking-in-coroutine
+
+	// The calibrated primitives are the sanctioned forms.
+	clock.Precise(d)
+	_ = clock.WaitUntil(d, time.Millisecond, func() bool { return true })
+
+	//depfast:allow raw-blocking-in-coroutine fixture: justified raw sleep
+	time.Sleep(d) // want allowed raw-blocking-in-coroutine
+}

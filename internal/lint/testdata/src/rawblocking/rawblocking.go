@@ -1,0 +1,42 @@
+// Package rawblocking exercises raw-blocking-in-coroutine in a logic
+// package: OS-thread blocking primitives inside coroutine bodies are
+// flagged; scheduler-mediated forms and non-coroutine functions pass.
+package rawblocking
+
+import (
+	"sync"
+	"time"
+
+	"depfast/internal/core"
+)
+
+func coroutineBody(co *core.Coroutine, ch chan int, wg *sync.WaitGroup) {
+	time.Sleep(time.Millisecond) // want raw-blocking-in-coroutine
+
+	ch <- 1 // want raw-blocking-in-coroutine
+	<-ch    // want raw-blocking-in-coroutine
+
+	select { // want raw-blocking-in-coroutine
+	case <-ch:
+	default:
+	}
+
+	wg.Wait() // want raw-blocking-in-coroutine
+
+	// Scheduler-mediated alternatives are clean.
+	_ = co.Sleep(time.Millisecond)
+
+	// A literal launched with go runs off-baton: its blocking is out
+	// of scope here (raw-goroutine owns the spawn itself).
+	go func() {
+		time.Sleep(time.Millisecond)
+	}()
+
+	//depfast:allow raw-blocking-in-coroutine fixture: justified thread block
+	time.Sleep(time.Millisecond) // want allowed raw-blocking-in-coroutine
+}
+
+// notACoroutine takes no baton; blocking here is ordinary Go.
+func notACoroutine() {
+	time.Sleep(time.Millisecond)
+}

@@ -1,0 +1,26 @@
+// Package rawgoroutine exercises the raw-goroutine check: go
+// statements in logic packages are flagged; Runtime.Spawn is the
+// sanctioned form.
+package rawgoroutine
+
+import (
+	"depfast/internal/core"
+)
+
+func spawns(rt *core.Runtime) {
+	go work() // want raw-goroutine
+
+	go func() { // want raw-goroutine
+		work()
+	}()
+
+	// The scheduler-owned form is clean.
+	rt.Spawn("worker", func(co *core.Coroutine) {
+		work()
+	})
+
+	//depfast:allow raw-goroutine fixture: justified direct goroutine
+	go work() // want allowed raw-goroutine
+}
+
+func work() {}

@@ -1,0 +1,31 @@
+// Package untimedwait exercises the untimed-wait check: unbounded
+// waits on I/O-fed events are flagged, bounded and local-state waits
+// pass, and //depfast:allow suppresses with a mandatory reason.
+package untimedwait
+
+import (
+	"time"
+
+	"depfast/internal/core"
+)
+
+func waits(co *core.Coroutine, q *core.Queue[int]) {
+	ev := core.NewResultEvent("rpc", "peer")
+	_ = co.Wait(ev) // want untimed-wait
+
+	_, _ = q.PopWait(co)   // want untimed-wait
+	_, _ = q.DrainWait(co) // want untimed-wait
+
+	// Bounded forms are the sanctioned replacements.
+	_ = co.WaitFor(ev, time.Second)
+	_, _ = q.DrainWaitTimeout(co, time.Second)
+
+	// Local-state waits carry no cross-resource dependence: exempt.
+	sig := core.NewSignalEvent()
+	_ = co.Wait(sig)
+	iv := core.NewIntEvent(0, func(v int64) bool { return v >= 2 })
+	_ = co.Wait(iv)
+
+	//depfast:allow untimed-wait fixture: a justified deliberate unbounded wait
+	_ = co.Wait(ev) // want allowed untimed-wait
+}

@@ -1,0 +1,59 @@
+// Package waitwhilelocked exercises the wait-while-locked check: any
+// coroutine wait point reached while a sync mutex is held in the same
+// body is flagged, including waits under a deferred Unlock. The check
+// applies to every package, not just logic.
+package waitwhilelocked
+
+import (
+	"sync"
+	"time"
+
+	"depfast/internal/core"
+)
+
+type guarded struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+}
+
+func (g *guarded) locked(co *core.Coroutine, ev core.Event) {
+	g.mu.Lock()
+	_ = co.Wait(ev) // want wait-while-locked
+	g.mu.Unlock()
+}
+
+func (g *guarded) deferred(co *core.Coroutine, ev core.Event) {
+	g.mu.Lock()
+	defer g.mu.Unlock() // held to the end of the body
+	_ = co.WaitFor(ev, time.Second) // want wait-while-locked
+}
+
+func (g *guarded) rlocked(co *core.Coroutine) {
+	g.rw.RLock()
+	_ = co.Sleep(time.Millisecond) // want wait-while-locked
+	g.rw.RUnlock()
+}
+
+func (g *guarded) released(co *core.Coroutine, ev core.Event) {
+	g.mu.Lock()
+	g.mu.Unlock()
+	_ = co.Wait(ev) // ok for this check: lock already released
+}
+
+func (g *guarded) literalScopes(co *core.Coroutine, ev core.Event) {
+	g.mu.Lock()
+	// A nested literal is its own body: the outer lock does not carry
+	// into it, and its own waits are clean here.
+	f := func(cc *core.Coroutine) {
+		_ = cc.WaitFor(ev, time.Second)
+	}
+	f(co)
+	g.mu.Unlock()
+}
+
+func (g *guarded) allowed(co *core.Coroutine, ev core.Event) {
+	g.mu.Lock()
+	//depfast:allow wait-while-locked fixture: justified wait under lock
+	_ = co.Wait(ev) // want allowed wait-while-locked
+	g.mu.Unlock()
+}

@@ -99,8 +99,18 @@ func (s *Server) campaign(co *core.Coroutine) {
 	s.persistState()
 
 	// Persist term+vote before soliciting (simulated metadata fsync).
+	// A fail-slow disk must not park the candidate forever: on timeout
+	// the campaign is abandoned and the server steps back to follower,
+	// leaving the election to a peer with a healthy disk.
 	persist := s.disk.WriteAsync(16, nil)
-	if err := co.Wait(persist); err != nil {
+	switch co.WaitFor(persist, s.cfg.DiskWaitTimeout) {
+	case core.WaitStopped:
+		return
+	case core.WaitTimeout:
+		if s.term == term && s.role == Candidate {
+			s.role = Follower
+			s.publish()
+		}
 		return
 	}
 	if s.term != term || s.role != Candidate {
@@ -241,7 +251,10 @@ func (s *Server) handleRequestVote(co *core.Coroutine, from string, req codec.Me
 		s.lastHeartbeat = time.Now() // granting a vote resets the timer
 		s.persistState()
 		persist := s.disk.WriteAsync(16, nil)
-		if err := co.Wait(persist); err != nil {
+		// The vote is only granted once it is durable; if the local disk
+		// is too slow to persist it in time, deny rather than block the
+		// candidate's whole election on our fail-slow hardware.
+		if co.WaitFor(persist, s.cfg.DiskWaitTimeout) != core.WaitReady {
 			return &RequestVoteReply{Term: s.term, Granted: false}
 		}
 	}

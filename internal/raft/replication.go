@@ -333,7 +333,10 @@ func (s *Server) handleAppendEntries(co *core.Coroutine, from string, req codec.
 			s.cache.Put(e)
 		}
 		s.persistAppend(toAppend)
-		if werr := co.Wait(fsync); werr != nil {
+		// Bounded fsync wait: a fail-slow disk turns into an explicit
+		// failed append, and the leader retries or routes around us,
+		// instead of this handler coroutine hanging on local I/O.
+		if co.WaitFor(fsync, s.cfg.DiskWaitTimeout) != core.WaitReady {
 			return &AppendEntriesReply{Term: s.term, Success: false, LastIndex: s.wal.LastIndex(), From: s.cfg.ID, LeaderSlow: leaderSlow}
 		}
 	}
@@ -416,10 +419,19 @@ func (s *Server) repairLoop(co *core.Coroutine, p string, term uint64) {
 				}
 				entries, fromCache := s.gatherEntries(lo, hi)
 				if !fromCache {
-					// Fetch from the WAL without blocking the runtime.
+					// Fetch from the WAL without blocking the runtime. A
+					// fail-slow disk costs us one repair round, not the
+					// whole repair loop: on timeout skip this pass and
+					// retry next interval.
 					ev := s.wal.ReadAsync(lo, hi)
-					if err := co.Wait(ev); err != nil {
+					switch co.WaitFor(ev, s.cfg.DiskWaitTimeout) {
+					case core.WaitStopped:
 						return
+					case core.WaitTimeout:
+						if err := co.Sleep(interval); err != nil {
+							return
+						}
+						continue
 					}
 					if s.role != Leader || s.term != term {
 						return

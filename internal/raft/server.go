@@ -61,6 +61,13 @@ type Config struct {
 	// CommitTimeout bounds how long a proposal waits for its quorum.
 	CommitTimeout time.Duration
 
+	// DiskWaitTimeout bounds any single coroutine wait on local disk
+	// I/O (vote/term persists, log fsyncs, WAL reads). A fail-slow
+	// disk then surfaces as an explicit timeout the caller handles —
+	// abort the campaign, deny the vote, reject the append — instead
+	// of an indefinitely parked coroutine.
+	DiskWaitTimeout time.Duration
+
 	// LeaderComputePerOp and FollowerComputePerOp are the nominal CPU
 	// costs charged per request — the knob the CPU fault stretches.
 	LeaderComputePerOp   time.Duration
@@ -157,6 +164,7 @@ func DefaultConfig(id string, peers []string) Config {
 		ElectionTimeoutMax:   300 * time.Millisecond,
 		HeartbeatInterval:    30 * time.Millisecond,
 		CommitTimeout:        2 * time.Second,
+		DiskWaitTimeout:      2 * time.Second,
 		LeaderComputePerOp:   30 * time.Microsecond,
 		FollowerComputePerOp: 15 * time.Microsecond,
 		EntryCacheSize:       4096,
@@ -274,6 +282,9 @@ func NewServer(cfg Config, e *env.Env, tr transport.Transport, opts ...core.Opti
 	if cfg.EntryCacheSize <= 0 {
 		cfg.EntryCacheSize = 4096
 	}
+	if cfg.DiskWaitTimeout <= 0 {
+		cfg.DiskWaitTimeout = 2 * time.Second
+	}
 	if cfg.RepairBatch <= 0 {
 		cfg.RepairBatch = 64
 	}
@@ -327,8 +338,11 @@ func NewServer(cfg Config, e *env.Env, tr transport.Transport, opts ...core.Opti
 		s.nominalCPU = e.ComputeCost(time.Millisecond)
 		s.nominalDisk = e.DiskWriteCost(4096)
 	}
+	//depfast:allow framework-split NewServer is the construction seam: the one place logic wires up its I/O layer
 	s.disk = storage.NewDisk(rt, e, cfg.DiskHelpers)
+	//depfast:allow framework-split construction seam
 	s.wal = storage.NewWAL(s.disk)
+	//depfast:allow framework-split construction seam
 	s.cache = storage.NewEntryCache(cfg.EntryCacheSize)
 	epOpts := []rpc.Option{rpc.WithCallTimeout(cfg.CommitTimeout)}
 	if cfg.PeerDetector {

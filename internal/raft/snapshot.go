@@ -161,9 +161,11 @@ func (s *Server) handleInstallSnapshot(co *core.Coroutine, from string, req code
 	s.persistTruncate(m.LastIncludedIndex + 1)
 	s.publish()
 
-	// Persist the installed snapshot before acknowledging.
+	// Persist the installed snapshot before acknowledging, with a
+	// bound: a fail-slow disk yields an explicit failed install the
+	// leader can retry, not a handler parked on local I/O.
 	fsync := s.disk.WriteAsync(len(m.Data), nil)
-	if err := co.Wait(fsync); err != nil {
+	if co.WaitFor(fsync, s.cfg.DiskWaitTimeout) != core.WaitReady {
 		return &InstallSnapshotReply{Term: s.term, Success: false, LastIndex: s.wal.LastIndex(), From: s.cfg.ID}
 	}
 	return &InstallSnapshotReply{Term: s.term, Success: true, LastIndex: s.wal.LastIndex(), From: s.cfg.ID}

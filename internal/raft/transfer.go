@@ -142,8 +142,17 @@ func (s *Server) campaignTransfer(co *core.Coroutine) {
 	s.publish()
 	s.persistState()
 
+	// Same bounded persist as campaign(): a fail-slow disk aborts the
+	// transfer campaign instead of parking it indefinitely.
 	persist := s.disk.WriteAsync(16, nil)
-	if err := co.Wait(persist); err != nil {
+	switch co.WaitFor(persist, s.cfg.DiskWaitTimeout) {
+	case core.WaitStopped:
+		return
+	case core.WaitTimeout:
+		if s.term == term && s.role == Candidate {
+			s.role = Follower
+			s.publish()
+		}
 		return
 	}
 	if s.term != term || s.role != Candidate {
