@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all check build vet test race bench examples figures verify report-smoke clean
+.PHONY: all check build vet test race bench examples figures verify report-smoke shard-smoke clean
 
 all: check
 
@@ -46,6 +46,11 @@ verify:
 report-smoke:
 	$(GO) run ./cmd/depfast-bench -exp mitigation -quick -timeline /tmp/depfast-timeline.jsonl
 	$(GO) run ./cmd/depfast-report /tmp/depfast-timeline.jsonl
+
+# Sharded-KV smoke: the blast-radius containment experiment at CI
+# scale — one disk-slow shard leader, per-shard + aggregate table.
+shard-smoke:
+	$(GO) run ./cmd/depfast-bench -exp shard -quick
 
 examples:
 	$(GO) run ./examples/quickstart

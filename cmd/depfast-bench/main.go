@@ -13,6 +13,7 @@
 //	depfast-bench -exp sweep     # client-population capacity sweep
 //	depfast-bench -exp intensity # degradation vs fault magnitude curves
 //	depfast-bench -exp mitigation # sentinel on/off under a CPU-slow leader
+//	depfast-bench -exp shard     # multi-Raft sharded KV: blast-radius containment
 //
 // One-off custom runs:
 //
@@ -42,7 +43,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: table1|figure1|figure2|figure3|verify|transient|sweep|intensity|mitigation|run|all")
+		exp      = flag.String("exp", "all", "experiment: table1|figure1|figure2|figure3|verify|transient|sweep|intensity|mitigation|shard|run|all")
 		duration = flag.Duration("duration", 3*time.Second, "measurement window per cell")
 		warmup   = flag.Duration("warmup", 750*time.Millisecond, "warmup before measuring")
 		clients  = flag.Int("clients", 24, "closed-loop client population")
@@ -50,7 +51,7 @@ func main() {
 		dotOut   = flag.String("dot", "", "write the Figure 2 SPG as Graphviz DOT to this file")
 		quiet    = flag.Bool("quiet", false, "suppress per-run progress lines")
 		timeline = flag.String("timeline", "", "write the flight-recorder timeline as JSONL to this file (mitigation and run experiments); analyze with depfast-report")
-		quick    = flag.Bool("quick", false, "mitigation: one mitigated leader-cpu-slow run instead of the full on/off table")
+		quick    = flag.Bool("quick", false, "mitigation/shard: shortened single-run variant for smoke testing")
 
 		// -exp run flags.
 		system   = flag.String("system", "DepFastRaft", "run: DepFastRaft|SyncRSM|BufferRSM|CallbackRSM")
@@ -162,6 +163,17 @@ func main() {
 		exitOn(err)
 		fmt.Println(out)
 	}
+	runSharded := func() {
+		fmt.Println("== Sharded KV: blast-radius containment (disk-slow shard leader) ==")
+		cfg := harness.DefaultShardedRunConfig()
+		if *quick {
+			cfg = harness.QuickShardedRunConfig()
+		}
+		cfg.Recorder = recorder
+		res, err := harness.RunSharded(cfg)
+		exitOn(err)
+		fmt.Println(res.Render())
+	}
 	runSweep := func() {
 		fmt.Println("== Client-population sweep (DepFastRaft, healthy) ==")
 		counts := []int{4, 8, 16, 32, 64}
@@ -221,6 +233,8 @@ func main() {
 		runIntensity()
 	case "mitigation":
 		runMitigation()
+	case "shard":
+		runSharded()
 	case "all":
 		runTable1()
 		runFigure1()
@@ -231,6 +245,7 @@ func main() {
 		runSweep()
 		runIntensity()
 		runMitigation()
+		runSharded()
 	default:
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
 		flag.Usage()

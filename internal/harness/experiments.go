@@ -11,6 +11,7 @@ import (
 	"depfast/internal/kv"
 	"depfast/internal/raft"
 	"depfast/internal/rpc"
+	"depfast/internal/shard"
 	"depfast/internal/trace"
 	"depfast/internal/transport"
 	"depfast/internal/ycsb"
@@ -292,55 +293,41 @@ func RenderTable1(rows []Table1Row) string {
 // Figure2 reproduces the paper's Figure 2: a three-shard DepFastRaft
 // deployment (s1–s9) with three clients (c1–c3), traced, returning
 // the slowness propagation graph. Intra-quorum edges come out green
-// (2/3) and client→leader edges red (1/1).
+// (2/3) and client→leader edges red (1/1). The deployment is built
+// through shard.Cluster — the same construction path the containment
+// experiments use — with the layout and seeds the figure has always
+// had.
 func Figure2(duration time.Duration, opsPerClient int) (*trace.SPG, *trace.Collector, error) {
 	collector := trace.NewCollector(0)
 	net := transport.NewNetwork()
 	defer net.Close()
 	ecfg := env.DefaultConfig()
 
-	var all []*raft.Server
-	var shardNames [][]string
-	for shard := 0; shard < 3; shard++ {
-		names := make([]string, 3)
-		for i := range names {
-			names[i] = fmt.Sprintf("s%d", shard*3+i+1)
-		}
-		shardNames = append(shardNames, names)
-		for i, name := range names {
-			cfg := raft.DefaultConfig(name, names)
-			cfg.Seed = int64(shard*100 + i)
-			e := env.New(name, ecfg)
-			s := raft.NewServer(cfg, e, net, core.WithTracer(collector))
-			net.Register(name, e, s.TransportHandler())
-			all = append(all, s)
-		}
-	}
-	for _, s := range all {
-		s.Start()
-	}
-	defer func() {
-		for _, s := range all {
-			s.Stop()
-		}
-	}()
+	smap := shard.NewMap(shard.NewHashPartitioner(3), 3)
+	cluster := shard.NewCluster(shard.ClusterConfig{
+		Map:         smap,
+		Seed:        func(g, i int) int64 { return int64(g*100 + i) },
+		RuntimeOpts: []core.Option{core.WithTracer(collector)},
+	}, net)
+	cluster.Start()
+	defer cluster.Stop()
 
 	// One client per shard.
 	done := make(chan error, 3)
 	var rts []*core.Runtime
 	var eps []*rpc.Endpoint
-	for shard := 0; shard < 3; shard++ {
-		name := fmt.Sprintf("c%d", shard+1)
+	for g := 0; g < smap.Groups(); g++ {
+		name := fmt.Sprintf("c%d", g+1)
 		rt := core.NewRuntime(name, core.WithTracer(collector))
 		ep := rpc.NewEndpoint(name, rt, net, rpc.WithCallTimeout(3*time.Second))
 		net.Register(name, env.New(name, ecfg), ep.TransportHandler())
 		rts = append(rts, rt)
 		eps = append(eps, ep)
-		names := shardNames[shard]
-		shard := shard
+		names := smap.Replicas(g)
+		g := g
 		rt.Spawn("client", func(co *core.Coroutine) {
-			cl := raft.NewClient(uint64(shard+1), ep, names, 3*time.Second)
-			gen := ycsb.NewGenerator(ycsb.PaperWrite(500, 64), int64(shard))
+			cl := raft.NewClient(uint64(g+1), ep, names, 3*time.Second)
+			gen := ycsb.NewGenerator(ycsb.PaperWrite(500, 64), int64(g))
 			deadline := time.Now().Add(duration)
 			for i := 0; i < opsPerClient && time.Now().Before(deadline); i++ {
 				op := gen.Next()

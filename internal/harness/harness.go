@@ -471,23 +471,7 @@ func buildCluster(cfg RunConfig, collector *trace.Collector) (*clusterHandle, er
 				}
 				net.Close()
 			},
-			leader: func() (string, bool) {
-				agree := map[string]int{}
-				var lead string
-				for _, s := range servers {
-					_, role, hint := s.Status()
-					if role == raft.Leader {
-						lead = hint
-					}
-					if hint != "" {
-						agree[hint]++
-					}
-				}
-				if lead != "" && agree[lead] >= len(names)/2+1 {
-					return lead, true
-				}
-				return "", false
-			},
+			leader: func() (string, bool) { return raft.AgreedLeader(servers) },
 			crashed: func() bool { return false },
 			elections: func() int64 {
 				var total int64

@@ -1,0 +1,547 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"depfast/internal/clock"
+	"depfast/internal/core"
+	"depfast/internal/env"
+	"depfast/internal/failslow"
+	"depfast/internal/metrics"
+	"depfast/internal/obs"
+	"depfast/internal/raft"
+	"depfast/internal/rpc"
+	"depfast/internal/shard"
+	"depfast/internal/transport"
+	"depfast/internal/ycsb"
+)
+
+// ShardedRunConfig parameterizes the blast-radius containment
+// experiment: a multi-group sharded deployment under per-shard YCSB
+// load, a fail-slow fault injected into one shard's leader, and
+// phased measurement windows showing the healthy shards riding
+// through while the slow shard degrades and then recovers through
+// the sentinel's drained handoff.
+type ShardedRunConfig struct {
+	// Deployment shape: Groups Raft groups of Replicas each, with the
+	// record population range-partitioned across groups.
+	Groups   int
+	Replicas int
+
+	// ClientsPerShard closed-loop clients drive each group through a
+	// shard.Router; their generators draw only the group's key range,
+	// the paper's per-partition workload.
+	ClientsPerShard int
+	Records         int
+	ValueSize       int
+	Seed            int64
+
+	// Mitigated enables each group's sentinel. SlowShard selects the
+	// group whose leader gets Fault at Intensity.
+	Mitigated bool
+	Fault     failslow.Fault
+	Intensity failslow.Intensity
+	SlowShard int
+
+	// Phase lengths: warmup, a pre-injection baseline window, the
+	// injection window (containment is judged over this entire
+	// window), a grace period for the sentinel to finish its handoff,
+	// and a recovery window measuring the mitigated steady state.
+	Warmup         time.Duration
+	PreWindow      time.Duration
+	InjectWindow   time.Duration
+	Grace          time.Duration
+	RecoveryWindow time.Duration
+
+	// Clear lifts the fault after the recovery window and polls up to
+	// RehabWait for the slow group's quarantines to clear.
+	Clear     bool
+	RehabWait time.Duration
+
+	// Recorder captures the run's unified, shard-tagged timeline.
+	Recorder *obs.Recorder
+
+	// RaftMutate tweaks per-group server configs after Mitigation is
+	// applied.
+	RaftMutate func(group int, cfg *raft.Config)
+}
+
+// DefaultShardedRunConfig returns the laptop-scale 3×3 disk-slow
+// scenario used by `depfast-bench -exp shard`.
+func DefaultShardedRunConfig() ShardedRunConfig {
+	// A severe disk fault (100x fsync stretch, the paper's failing-disk
+	// regime): the leader's write stall caps its dirty WAL backlog, so
+	// the slow shard craters visibly until its sentinel hands off.
+	in := failslow.DefaultIntensity()
+	in.DiskSlowFactor = 100
+	return ShardedRunConfig{
+		Groups:          3,
+		Replicas:        3,
+		ClientsPerShard: 16,
+		Records:         1500,
+		ValueSize:       100,
+		Seed:            42,
+		Mitigated:       true,
+		Fault:           failslow.DiskSlow,
+		Intensity:       in,
+		SlowShard:       0,
+		Warmup:          500 * time.Millisecond,
+		PreWindow:       time.Second,
+		InjectWindow:    1500 * time.Millisecond,
+		Grace:           time.Second,
+		RecoveryWindow:  1500 * time.Millisecond,
+		Clear:           true,
+		RehabWait:       10 * time.Second,
+	}
+}
+
+// QuickShardedRunConfig is the CI-smoke variant: same shape, shorter
+// windows.
+func QuickShardedRunConfig() ShardedRunConfig {
+	cfg := DefaultShardedRunConfig()
+	cfg.ClientsPerShard = 12
+	cfg.Warmup = 400 * time.Millisecond
+	cfg.PreWindow = 800 * time.Millisecond
+	cfg.InjectWindow = 1200 * time.Millisecond
+	cfg.Grace = 800 * time.Millisecond
+	cfg.RecoveryWindow = time.Second
+	cfg.RehabWait = 5 * time.Second
+	return cfg
+}
+
+// ShardWindow is one shard's measurement over one window.
+type ShardWindow struct {
+	Tput float64
+	Mean time.Duration
+	P99  time.Duration
+}
+
+// ShardStat is one shard's three-window trajectory.
+type ShardStat struct {
+	ID     string
+	Slow   bool // the injected shard
+	Pre    ShardWindow
+	Inj    ShardWindow
+	Post   ShardWindow
+	Errors int64
+}
+
+// ShardedResult is the containment experiment's outcome.
+type ShardedResult struct {
+	Mitigated bool
+	Fault     failslow.Fault
+	SlowID    string // injected shard
+	Faulted   string // injected node (the shard's leader at injection)
+
+	Shards []ShardStat
+
+	// HealthyPre/HealthyInj/HealthyPost aggregate the healthy shards'
+	// throughput per window; Containment = HealthyInj / HealthyPre is
+	// the number the experiment exists to bound (≥ 0.8 in the
+	// acceptance criterion). SlowDegradation and SlowRecovery are the
+	// slow shard's injection- and recovery-window ratios against its
+	// own baseline.
+	HealthyPre      float64
+	HealthyInj      float64
+	HealthyPost     float64
+	Containment     float64
+	SlowDegradation float64
+	SlowRecovery    float64
+
+	// Sentinel activity in the slow group, and — the scope invariant —
+	// summed sentinel activity everywhere else (must stay 0).
+	LeaderMoved          bool
+	Transfers            int64
+	QuarantinesEntered   int64
+	QuarantinesExited    int64
+	CrossShardMitigation int64
+
+	// Rehabilitation outcome (meaningful when Clear is set).
+	Rehabilitated   bool
+	QuarantineClear bool
+
+	// MTTD/MTTR derived from the slow shard's tagged event slice.
+	MTTD time.Duration
+	MTTR time.Duration
+}
+
+// String renders a one-line summary.
+func (r ShardedResult) String() string {
+	return fmt.Sprintf("shard=%s fault=%s containment=%.2f slow-deg=%.2f slow-rec=%.2f moved=%v handoffs=%d cross-shard=%d mttd=%s mttr=%s",
+		r.SlowID, r.Fault, r.Containment, r.SlowDegradation, r.SlowRecovery,
+		r.LeaderMoved, r.Transfers, r.CrossShardMitigation, renderTTD(r.MTTD), renderTTD(r.MTTR))
+}
+
+// Render formats the per-shard containment table.
+func (r ShardedResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== Sharded containment: %s on %s leader (%s), sentinel %s ==\n",
+		r.Fault, r.SlowID, r.Faulted, map[bool]string{false: "off", true: "on"}[r.Mitigated])
+	fmt.Fprintf(&b, "%-8s %-5s %11s %11s %11s %10s %10s %10s %6s\n",
+		"shard", "role", "pre (op/s)", "inj (op/s)", "rec (op/s)", "pre p99", "inj p99", "rec p99", "errs")
+	for _, s := range r.Shards {
+		role := "ok"
+		if s.Slow {
+			role = "slow"
+		}
+		fmt.Fprintf(&b, "%-8s %-5s %11.0f %11.0f %11.0f %10v %10v %10v %6d\n",
+			s.ID, role, s.Pre.Tput, s.Inj.Tput, s.Post.Tput,
+			s.Pre.P99.Round(time.Millisecond), s.Inj.P99.Round(time.Millisecond),
+			s.Post.P99.Round(time.Millisecond), s.Errors)
+	}
+	fmt.Fprintf(&b, "healthy aggregate: pre=%.0f inj=%.0f op/s -> containment %.2f (goal >= 0.80)\n",
+		r.HealthyPre, r.HealthyInj, r.Containment)
+	fmt.Fprintf(&b, "slow shard: degraded to %.2fx during injection, recovered to %.2fx after handoff (moved=%v, mttd=%s, mttr=%s)\n",
+		r.SlowDegradation, r.SlowRecovery, r.LeaderMoved, renderTTD(r.MTTD), renderTTD(r.MTTR))
+	fmt.Fprintf(&b, "mitigation scope: %d sentinel actions outside %s (invariant: 0)\n",
+		r.CrossShardMitigation, r.SlowID)
+	return b.String()
+}
+
+// shardPool is one shard's closed-loop client population.
+type shardPool struct {
+	rt *core.Runtime
+	ep *rpc.Endpoint
+
+	ops       atomic.Int64
+	errs      atomic.Int64
+	measuring atomic.Bool
+	stopFlag  atomic.Bool
+	wg        sync.WaitGroup
+
+	tput    *metrics.Throughput
+	obsHist atomic.Pointer[metrics.Histogram] // sampler interval latencies
+	winHist atomic.Pointer[metrics.Histogram] // measurement window latencies
+}
+
+// startShardClients launches one runtime of closed-loop router-driven
+// clients whose generators draw only group g's key range.
+func startShardClients(cfg ShardedRunConfig, m shard.Map, g int, net *transport.Network) *shardPool {
+	p := &shardPool{tput: metrics.NewThroughput()}
+	if cfg.Recorder != nil {
+		p.obsHist.Store(metrics.NewHistogram())
+	}
+	p.winHist.Store(metrics.NewHistogram())
+	name := fmt.Sprintf("client-%s", m.ShardID(g))
+	p.rt = core.NewRuntime(name)
+	p.ep = rpc.NewEndpoint(name, p.rt, net, rpc.WithCallTimeout(3*time.Second))
+	net.Register(name, env.New(name, env.DefaultConfig()), p.ep.TransportHandler())
+
+	keys := m.Partitioner().Range(g)
+	workload := ycsb.PaperWrite(cfg.Records, cfg.ValueSize)
+	for ci := 0; ci < cfg.ClientsPerShard; ci++ {
+		gen := ycsb.NewGeneratorInRange(workload, cfg.Seed+int64(g*1000+ci), keys)
+		p.wg.Add(1)
+		p.rt.Spawn("ycsb-client", func(co *core.Coroutine) {
+			defer p.wg.Done()
+			// Each client routes through its own frontend; the shard-
+			// local key range means every request lands on group g, so
+			// backoff against a slow group never leaks into siblings.
+			router := shard.NewRouter(m, p.ep, 3*time.Second)
+			for !p.stopFlag.Load() {
+				op := gen.Next()
+				start := time.Now()
+				_, err := router.Do(co, opToCommand(op))
+				if p.stopFlag.Load() {
+					return
+				}
+				if err != nil {
+					p.errs.Add(1)
+					if err == raft.ErrClientStopped {
+						return
+					}
+					continue
+				}
+				p.tput.Inc()
+				if oh := p.obsHist.Load(); oh != nil {
+					oh.Record(time.Since(start))
+				}
+				if p.measuring.Load() {
+					p.winHist.Load().Record(time.Since(start))
+					p.ops.Add(1)
+				}
+			}
+		})
+	}
+	return p
+}
+
+func (p *shardPool) stop() {
+	p.stopFlag.Store(true)
+	done := make(chan struct{})
+	go func() { p.wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+	}
+}
+
+func (p *shardPool) close() {
+	p.ep.Close()
+	p.rt.Stop()
+}
+
+// measureShardWindows opens one simultaneous measurement window across
+// all pools and returns each shard's throughput and latency over it.
+func measureShardWindows(pools []*shardPool, d time.Duration) []ShardWindow {
+	base := make([]int64, len(pools))
+	for i, p := range pools {
+		p.winHist.Store(metrics.NewHistogram())
+		base[i] = p.ops.Load()
+		p.measuring.Store(true)
+	}
+	start := time.Now()
+	clock.Precise(d)
+	el := time.Since(start).Seconds()
+	out := make([]ShardWindow, len(pools))
+	for i, p := range pools {
+		p.measuring.Store(false)
+		snap := p.winHist.Load().Snapshot()
+		out[i] = ShardWindow{Tput: float64(p.ops.Load()-base[i]) / el, Mean: snap.Mean, P99: snap.P99}
+	}
+	return out
+}
+
+// startShardSampler emits one shard-tagged GaugeSample per shard per
+// interval so the unified timeline shows every partition's trajectory.
+func startShardSampler(rec *obs.Recorder, cluster *shard.Cluster, pools []*shardPool) (stop func()) {
+	if rec == nil {
+		return func() {}
+	}
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		tick := time.NewTicker(gaugeInterval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-tick.C:
+				for g, p := range pools {
+					grp := cluster.Group(g)
+					ws := p.tput.Sample()
+					fields := map[string]float64{"rate": ws.Rate, "errors": float64(p.errs.Load())}
+					if oh := p.obsHist.Swap(metrics.NewHistogram()); oh != nil {
+						snap := oh.Snapshot()
+						fields["p50_us"] = float64(snap.P50.Microseconds())
+						fields["p99_us"] = float64(snap.P99.Microseconds())
+					}
+					quar := 0
+					for _, s := range grp.Servers {
+						quar += len(s.Quarantined())
+					}
+					fields["quarantined"] = float64(quar)
+					grp.Recorder.Emit(obs.Event{Type: obs.GaugeSample, Node: "harness", Fields: fields})
+				}
+			}
+		}
+	}()
+	var once sync.Once
+	return func() { once.Do(func() { close(done); wg.Wait() }) }
+}
+
+// RunSharded executes the containment experiment: build the sharded
+// deployment, drive per-shard load, inject the fault into the slow
+// shard's leader, and measure every shard across the pre/injection/
+// recovery windows.
+func RunSharded(cfg ShardedRunConfig) (ShardedResult, error) {
+	if cfg.Groups <= 0 {
+		cfg.Groups = 3
+	}
+	if cfg.Replicas <= 0 {
+		cfg.Replicas = 3
+	}
+	if cfg.ClientsPerShard <= 0 {
+		cfg.ClientsPerShard = 16
+	}
+	if cfg.Records <= 0 {
+		cfg.Records = 1500
+	}
+	if cfg.SlowShard < 0 || cfg.SlowShard >= cfg.Groups {
+		return ShardedResult{}, fmt.Errorf("harness: slow shard %d out of range [0,%d)", cfg.SlowShard, cfg.Groups)
+	}
+	if cfg.RehabWait <= 0 {
+		cfg.RehabWait = 10 * time.Second
+	}
+	rec := cfg.Recorder
+
+	m := shard.NewMap(shard.NewRangePartitioner(cfg.Groups, cfg.Records), cfg.Replicas)
+	net := transport.NewNetwork()
+	defer net.Close()
+	cluster := shard.NewCluster(shard.ClusterConfig{
+		Map:      m,
+		Seed:     func(g, i int) int64 { return cfg.Seed + int64(g)*104729 + int64(i)*7919 },
+		Recorder: rec,
+		RaftMutate: func(g int, rc *raft.Config) {
+			rc.Mitigation = cfg.Mitigated
+			if cfg.RaftMutate != nil {
+				cfg.RaftMutate(g, rc)
+			}
+		},
+	}, net)
+	cluster.Start()
+	defer cluster.Stop()
+
+	// Every group needs an agreed leader before load starts.
+	var leaders []string
+	ok := clock.WaitUntil(15*time.Second, 5*time.Millisecond, func() bool {
+		var elected bool
+		leaders, elected = cluster.Leaders()
+		return elected
+	})
+	if !ok {
+		return ShardedResult{}, fmt.Errorf("harness: not all %d groups elected a leader within 15s", cfg.Groups)
+	}
+
+	pools := make([]*shardPool, cfg.Groups)
+	for g := range pools {
+		pools[g] = startShardClients(cfg, m, g, net)
+	}
+	defer func() {
+		for _, p := range pools {
+			p.close()
+		}
+	}()
+	stopSampler := startShardSampler(rec, cluster, pools)
+	defer stopSampler()
+
+	phase(rec, "warmup")
+	clock.Precise(cfg.Warmup)
+
+	res := ShardedResult{
+		Mitigated: cfg.Mitigated,
+		Fault:     cfg.Fault,
+		SlowID:    m.ShardID(cfg.SlowShard),
+	}
+
+	phase(rec, "pre-window")
+	pre := measureShardWindows(pools, cfg.PreWindow)
+
+	// Inject into the slow group's current leader.
+	slowGroup := cluster.Group(cfg.SlowShard)
+	faulted := leaders[cfg.SlowShard]
+	if cur, elected := slowGroup.Leader(); elected {
+		faulted = cur
+	}
+	res.Faulted = faulted
+	injectedAt := time.Now()
+	slowGroup.Server(faulted).Mitigation.MarkInjected(injectedAt)
+	failslow.ApplyObserved(slowGroup.Recorder, slowGroup.Env(faulted), cfg.Fault, cfg.Intensity)
+
+	// Containment is judged over this entire window: it opens the
+	// moment the fault lands, so detection and handoff transients
+	// count against the slow shard — and must not count against the
+	// healthy ones.
+	phase(rec, "inject-window")
+	inj := measureShardWindows(pools, cfg.InjectWindow)
+
+	phase(rec, "grace")
+	clock.Precise(cfg.Grace)
+
+	phase(rec, "recovery-window")
+	post := measureShardWindows(pools, cfg.RecoveryWindow)
+
+	if cur, elected := slowGroup.Leader(); elected && cur != faulted {
+		res.LeaderMoved = true
+	}
+
+	if cfg.Clear {
+		phase(rec, "clear")
+		failslow.ClearObserved(slowGroup.Recorder, slowGroup.Env(faulted))
+		entered := groupMitigation(slowGroup, func(s *raft.Server) int64 {
+			return s.Mitigation.QuarantinesEntered.Value()
+		})
+		if entered >= 1 {
+			res.Rehabilitated = clock.WaitUntil(cfg.RehabWait, 20*time.Millisecond, func() bool {
+				for _, s := range slowGroup.Servers {
+					if len(s.Quarantined()) > 0 {
+						return false
+					}
+				}
+				return groupMitigation(slowGroup, func(s *raft.Server) int64 {
+					return s.Mitigation.QuarantinesExited.Value()
+				}) >= 1
+			})
+		}
+		res.QuarantineClear = true
+		for _, s := range slowGroup.Servers {
+			if len(s.Quarantined()) > 0 {
+				res.QuarantineClear = false
+			}
+		}
+	}
+
+	for _, p := range pools {
+		p.stop()
+	}
+	stopSampler()
+
+	// Assemble per-shard stats and the containment aggregates.
+	for g := 0; g < cfg.Groups; g++ {
+		slow := g == cfg.SlowShard
+		res.Shards = append(res.Shards, ShardStat{
+			ID: m.ShardID(g), Slow: slow,
+			Pre: pre[g], Inj: inj[g], Post: post[g],
+			Errors: pools[g].errs.Load(),
+		})
+		if slow {
+			if pre[g].Tput > 0 {
+				res.SlowDegradation = inj[g].Tput / pre[g].Tput
+				res.SlowRecovery = post[g].Tput / pre[g].Tput
+			}
+			continue
+		}
+		res.HealthyPre += pre[g].Tput
+		res.HealthyInj += inj[g].Tput
+		res.HealthyPost += post[g].Tput
+	}
+	if res.HealthyPre > 0 {
+		res.Containment = res.HealthyInj / res.HealthyPre
+	}
+
+	res.Transfers = groupMitigation(slowGroup, func(s *raft.Server) int64 { return s.Mitigation.Transfers.Value() })
+	res.QuarantinesEntered = groupMitigation(slowGroup, func(s *raft.Server) int64 { return s.Mitigation.QuarantinesEntered.Value() })
+	res.QuarantinesExited = groupMitigation(slowGroup, func(s *raft.Server) int64 { return s.Mitigation.QuarantinesExited.Value() })
+	for g, grp := range cluster.Groups() {
+		if g == cfg.SlowShard {
+			continue
+		}
+		res.CrossShardMitigation += groupMitigation(grp, func(s *raft.Server) int64 {
+			return s.Mitigation.Transfers.Value() + s.Mitigation.QuarantinesEntered.Value()
+		})
+	}
+
+	// MTTD/MTTR from the slow shard's tagged slice of the unified
+	// timeline: the fault, its detection, and its recovery all carry
+	// the shard tag, so the analysis never sees healthy-shard noise.
+	if rec != nil {
+		slowEvents := obs.FilterShard(rec.Events(), res.SlowID)
+		rep := obs.Analyze(slowEvents, obs.ReportConfig{})
+		for _, f := range rep.Faults {
+			if f.Node != faulted || f.InjectedAt.Before(injectedAt.Add(-time.Second)) {
+				continue
+			}
+			res.MTTD = f.MTTD()
+			res.MTTR = f.MTTR()
+			if !f.RecoveredAt.IsZero() {
+				slowGroup.Server(faulted).Mitigation.MarkRecovered(f.RecoveredAt)
+			}
+		}
+	}
+	return res, nil
+}
+
+func groupMitigation(g *shard.Group, get func(*raft.Server) int64) int64 {
+	var total int64
+	for _, s := range g.Servers {
+		total += get(s)
+	}
+	return total
+}

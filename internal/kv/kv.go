@@ -184,6 +184,38 @@ func (s *Store) scan(start string, n int) Result {
 	return Result{Found: len(pairs) > 0, Pairs: pairs}
 }
 
+// MergePairs k-way merges sorted scan-result fragments (as returned by
+// OpScan on independent stores) into one key-ordered slice of at most
+// limit pairs (limit <= 0 means unlimited). Duplicate keys across
+// fragments keep the first fragment's value; fragments are assumed
+// internally sorted and are not modified. A sharded router uses this
+// to assemble a cross-shard scan from per-shard results.
+func MergePairs(limit int, lists ...[]Pair) []Pair {
+	idx := make([]int, len(lists))
+	var out []Pair
+	for limit <= 0 || len(out) < limit {
+		best := -1
+		for i, l := range lists {
+			if idx[i] >= len(l) {
+				continue
+			}
+			if best < 0 || l[idx[i]].Key < lists[best][idx[best]].Key {
+				best = i
+			}
+		}
+		if best < 0 {
+			break
+		}
+		p := lists[best][idx[best]]
+		idx[best]++
+		if n := len(out); n > 0 && out[n-1].Key == p.Key {
+			continue
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
 // Message tags for the client protocol (range 100–199).
 const (
 	TagClientRequest  = 101

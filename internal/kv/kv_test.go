@@ -228,3 +228,44 @@ func TestOpKindStrings(t *testing.T) {
 		}
 	}
 }
+
+func TestMergePairs(t *testing.T) {
+	p := func(keys ...string) []Pair {
+		out := make([]Pair, len(keys))
+		for i, k := range keys {
+			out[i] = Pair{Key: k, Value: []byte(k)}
+		}
+		return out
+	}
+	keysOf := func(pairs []Pair) string {
+		s := ""
+		for _, pr := range pairs {
+			s += pr.Key + ","
+		}
+		return s
+	}
+	cases := []struct {
+		name  string
+		limit int
+		lists [][]Pair
+		want  string
+	}{
+		{"empty", 10, nil, ""},
+		{"single list", 10, [][]Pair{p("a", "b")}, "a,b,"},
+		{"interleaved", 0, [][]Pair{p("a", "c", "e"), p("b", "d")}, "a,b,c,d,e,"},
+		{"limit cuts", 3, [][]Pair{p("a", "c", "e"), p("b", "d")}, "a,b,c,"},
+		{"duplicate keys collapse", 0, [][]Pair{p("a", "b"), p("b", "c")}, "a,b,c,"},
+		{"empty fragments", 0, [][]Pair{nil, p("x"), nil}, "x,"},
+		{"three way", 4, [][]Pair{p("g"), p("a", "h"), p("c", "d", "z")}, "a,c,d,g,"},
+	}
+	for _, tc := range cases {
+		if got := keysOf(MergePairs(tc.limit, tc.lists...)); got != tc.want {
+			t.Errorf("%s: merged keys %q, want %q", tc.name, got, tc.want)
+		}
+	}
+	// First fragment wins on duplicates.
+	got := MergePairs(0, []Pair{{Key: "k", Value: []byte("first")}}, []Pair{{Key: "k", Value: []byte("second")}})
+	if len(got) != 1 || string(got[0].Value) != "first" {
+		t.Fatalf("duplicate resolution: %+v", got)
+	}
+}

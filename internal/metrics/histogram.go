@@ -187,7 +187,10 @@ func (h *Histogram) Merge(other *Histogram) {
 	}
 }
 
-// Snapshot captures the key statistics of a histogram at a point in time.
+// Snapshot captures the key statistics of a histogram at a point in
+// time. Snapshots taken from a Histogram also carry the bucket counts,
+// so two snapshots can be merged exactly (same geometry, additive
+// buckets) without touching the live histograms they came from.
 type Snapshot struct {
 	Count int64
 	Mean  time.Duration
@@ -196,19 +199,96 @@ type Snapshot struct {
 	P99   time.Duration
 	Min   time.Duration
 	Max   time.Duration
+
+	// buckets holds the log-bucket counts backing the quantiles; nil for
+	// hand-constructed snapshots, which Merge handles with a weighted
+	// fallback.
+	buckets []int64
 }
 
 // Snapshot returns the current statistics.
 func (h *Histogram) Snapshot() Snapshot {
-	return Snapshot{
-		Count: h.Count(),
-		Mean:  h.Mean(),
-		P50:   h.P50(),
-		P95:   h.P95(),
-		P99:   h.P99(),
-		Min:   h.Min(),
-		Max:   h.Max(),
+	buckets := make([]int64, numBuckets)
+	for i := range h.buckets {
+		buckets[i] = h.buckets[i].Load()
 	}
+	return Snapshot{
+		Count:   h.Count(),
+		Mean:    h.Mean(),
+		P50:     h.P50(),
+		P95:     h.P95(),
+		P99:     h.P99(),
+		Min:     h.Min(),
+		Max:     h.Max(),
+		buckets: buckets,
+	}
+}
+
+// quantileFromBuckets walks log-bucket counts for the q-th of count
+// samples, mirroring Histogram.Quantile; fallback is returned when the
+// walk runs off the end.
+func quantileFromBuckets(buckets []int64, count int64, q float64, fallback time.Duration) time.Duration {
+	if count == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q * float64(count)))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen int64
+	for i, v := range buckets {
+		seen += v
+		if seen >= rank {
+			return bucketLower(i)
+		}
+	}
+	return fallback
+}
+
+// Merge combines two snapshots into one describing the union of their
+// samples: counts add, the mean is count-weighted, min/max take the
+// extremes, and — when both sides carry bucket data — the quantiles
+// are recomputed exactly from the merged buckets. A side without
+// bucket data (a hand-constructed Snapshot) degrades that merge to a
+// count-weighted average of the quantiles, which is approximate but
+// monotone. Either side may be empty. Neither receiver nor argument
+// is modified.
+func (s Snapshot) Merge(o Snapshot) Snapshot {
+	if s.Count == 0 {
+		return o
+	}
+	if o.Count == 0 {
+		return s
+	}
+	m := Snapshot{Count: s.Count + o.Count}
+	m.Mean = time.Duration((int64(s.Mean)*s.Count + int64(o.Mean)*o.Count) / m.Count)
+	m.Min = s.Min
+	if o.Min > 0 && (m.Min == 0 || o.Min < m.Min) {
+		m.Min = o.Min
+	}
+	m.Max = s.Max
+	if o.Max > m.Max {
+		m.Max = o.Max
+	}
+	if s.buckets != nil && o.buckets != nil {
+		merged := make([]int64, numBuckets)
+		copy(merged, s.buckets)
+		for i, v := range o.buckets {
+			merged[i] += v
+		}
+		m.buckets = merged
+		m.P50 = quantileFromBuckets(merged, m.Count, 0.50, m.Max)
+		m.P95 = quantileFromBuckets(merged, m.Count, 0.95, m.Max)
+		m.P99 = quantileFromBuckets(merged, m.Count, 0.99, m.Max)
+		return m
+	}
+	weight := func(a, b time.Duration) time.Duration {
+		return time.Duration((int64(a)*s.Count + int64(b)*o.Count) / m.Count)
+	}
+	m.P50 = weight(s.P50, o.P50)
+	m.P95 = weight(s.P95, o.P95)
+	m.P99 = weight(s.P99, o.P99)
+	return m
 }
 
 // String renders a compact one-line summary.

@@ -200,3 +200,82 @@ func TestPercentilesExact(t *testing.T) {
 		t.Errorf("empty percentiles = %v, want 0", got[0])
 	}
 }
+
+func TestSnapshotMerge(t *testing.T) {
+	// Two histograms over disjoint latency bands: merging their
+	// snapshots must reproduce the snapshot of a histogram holding the
+	// union of the samples.
+	low, high, both := NewHistogram(), NewHistogram(), NewHistogram()
+	for i := 1; i <= 90; i++ {
+		d := time.Duration(i) * time.Millisecond
+		low.Record(d)
+		both.Record(d)
+	}
+	for i := 1; i <= 10; i++ {
+		d := time.Duration(i) * time.Second
+		high.Record(d)
+		both.Record(d)
+	}
+	lowSnap, highSnap, want := low.Snapshot(), high.Snapshot(), both.Snapshot()
+
+	empty := Snapshot{}
+	noBuckets := Snapshot{Count: 10, Mean: 20 * time.Millisecond,
+		P50: 15 * time.Millisecond, P95: 40 * time.Millisecond, P99: 50 * time.Millisecond,
+		Min: time.Millisecond, Max: 60 * time.Millisecond}
+
+	cases := []struct {
+		name string
+		a, b Snapshot
+		want Snapshot
+		// approx marks merges without full bucket data: only count,
+		// mean, min, max are exact.
+		approx bool
+	}{
+		{name: "disjoint bands", a: lowSnap, b: highSnap, want: want},
+		{name: "commutes", a: highSnap, b: lowSnap, want: want},
+		{name: "self-merge doubles count", a: lowSnap, b: lowSnap,
+			want: Snapshot{Count: 2 * lowSnap.Count, Mean: lowSnap.Mean,
+				P50: lowSnap.P50, P95: lowSnap.P95, P99: lowSnap.P99,
+				Min: lowSnap.Min, Max: lowSnap.Max}},
+		{name: "empty left", a: empty, b: highSnap, want: highSnap},
+		{name: "empty right", a: lowSnap, b: empty, want: lowSnap},
+		{name: "both empty", a: empty, b: empty, want: empty},
+		{name: "one side without buckets", a: lowSnap, b: noBuckets, approx: true,
+			want: Snapshot{Count: lowSnap.Count + 10, Min: time.Millisecond, Max: lowSnap.Max}},
+	}
+	for _, tc := range cases {
+		got := tc.a.Merge(tc.b)
+		if got.Count != tc.want.Count {
+			t.Errorf("%s: count = %d, want %d", tc.name, got.Count, tc.want.Count)
+		}
+		if tc.approx {
+			// Weighted fallback: mean/min/max still exact.
+			wantMean := time.Duration((int64(tc.a.Mean)*tc.a.Count + int64(tc.b.Mean)*tc.b.Count) / got.Count)
+			if got.Mean != wantMean || got.Min != tc.want.Min || got.Max != tc.want.Max {
+				t.Errorf("%s: mean/min/max = %v/%v/%v", tc.name, got.Mean, got.Min, got.Max)
+			}
+			if got.P99 < got.P50 {
+				t.Errorf("%s: fallback quantiles not monotone: p50=%v p99=%v", tc.name, got.P50, got.P99)
+			}
+			continue
+		}
+		if got.Mean != tc.want.Mean || got.Min != tc.want.Min || got.Max != tc.want.Max {
+			t.Errorf("%s: mean/min/max = %v/%v/%v, want %v/%v/%v",
+				tc.name, got.Mean, got.Min, got.Max, tc.want.Mean, tc.want.Min, tc.want.Max)
+		}
+		if got.P50 != tc.want.P50 || got.P95 != tc.want.P95 || got.P99 != tc.want.P99 {
+			t.Errorf("%s: p50/p95/p99 = %v/%v/%v, want %v/%v/%v",
+				tc.name, got.P50, got.P95, got.P99, tc.want.P50, tc.want.P95, tc.want.P99)
+		}
+	}
+
+	// Merged snapshots chain: a third merge still walks exact buckets.
+	chained := lowSnap.Merge(highSnap).Merge(empty)
+	if chained.P99 != want.P99 {
+		t.Errorf("chained merge p99 = %v, want %v", chained.P99, want.P99)
+	}
+	// Inputs must not be mutated by merging.
+	if low.Snapshot().Count != 90 || lowSnap.Count != 90 {
+		t.Error("merge mutated its inputs")
+	}
+}

@@ -15,6 +15,7 @@ type jsonEvent struct {
 	Type   string             `json:"type"`
 	Node   string             `json:"node,omitempty"`
 	Peer   string             `json:"peer,omitempty"`
+	Shard  string             `json:"shard,omitempty"`
 	Detail string             `json:"detail,omitempty"`
 	Fields map[string]float64 `json:"fields,omitempty"`
 }
@@ -44,6 +45,7 @@ func WriteJSONL(w io.Writer, events []Event, dropped int64) error {
 			Type:   string(e.Type),
 			Node:   e.Node,
 			Peer:   e.Peer,
+			Shard:  e.Shard,
 			Detail: e.Detail,
 			Fields: e.Fields,
 		}); err != nil {
@@ -81,6 +83,7 @@ func ReadJSONL(r io.Reader) ([]Event, int64, error) {
 			Type:   Type(je.Type),
 			Node:   je.Node,
 			Peer:   je.Peer,
+			Shard:  je.Shard,
 			Detail: je.Detail,
 			Fields: je.Fields,
 		})

@@ -88,6 +88,7 @@ type Event struct {
 	Type   Type
 	Node   string             // emitting node (server, client, or "harness")
 	Peer   string             // subject peer, when the event is about one
+	Shard  string             // owning shard/replica-group, when deployed sharded
 	Detail string             // free-form annotation
 	Fields map[string]float64 // numeric attributes (durations in µs)
 }
@@ -98,11 +99,21 @@ func (e Event) Field(k string) float64 { return e.Fields[k] }
 // Recorder accumulates events from every layer of a deployment. It is
 // safe for concurrent use and safe to use as a nil pointer: every
 // method no-ops on nil, so instrumentation sites need no guards.
+//
+// A recorder obtained from Tagged is a view onto its root: it shares
+// the root's storage but stamps a shard ID onto every event emitted
+// through it, so a multi-group deployment lands on one timeline with
+// each event attributed to its replica group.
 type Recorder struct {
 	mu      sync.Mutex
 	events  []Event
 	limit   int
 	dropped int64
+
+	// Tagged-view state: root points at the storage-owning recorder
+	// (nil for a root) and shard is stamped onto emitted events.
+	root  *Recorder
+	shard string
 }
 
 // NewRecorder returns an empty recorder. limit bounds retained events
@@ -113,7 +124,36 @@ func NewRecorder(limit int) *Recorder {
 	return &Recorder{limit: limit}
 }
 
-// Emit appends one event, stamping Time if unset. Nil-safe.
+// Tagged returns a view of r that stamps shard onto every event
+// emitted through it (events that already carry a shard keep it).
+// Views share the root's storage: Events, Len, Dropped, and Reset all
+// operate on the full stream. Nil-safe; Tagged of a view re-tags
+// against the same root.
+func (r *Recorder) Tagged(shard string) *Recorder {
+	if r == nil {
+		return nil
+	}
+	return &Recorder{root: r.target(), shard: shard}
+}
+
+// Shard returns the shard ID this recorder stamps ("" for a root).
+func (r *Recorder) Shard() string {
+	if r == nil {
+		return ""
+	}
+	return r.shard
+}
+
+// target resolves the storage-owning recorder.
+func (r *Recorder) target() *Recorder {
+	if r.root != nil {
+		return r.root
+	}
+	return r
+}
+
+// Emit appends one event, stamping Time if unset and — on tagged
+// views — the shard ID. Nil-safe.
 func (r *Recorder) Emit(ev Event) {
 	if r == nil {
 		return
@@ -121,15 +161,19 @@ func (r *Recorder) Emit(ev Event) {
 	if ev.Time.IsZero() {
 		ev.Time = time.Now()
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if r.limit > 0 && len(r.events) >= r.limit {
-		half := len(r.events) / 2
-		copy(r.events, r.events[half:])
-		r.events = r.events[:len(r.events)-half]
-		r.dropped += int64(half)
+	if ev.Shard == "" {
+		ev.Shard = r.shard
 	}
-	r.events = append(r.events, ev)
+	t := r.target()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.limit > 0 && len(t.events) >= t.limit {
+		half := len(t.events) / 2
+		copy(t.events, t.events[half:])
+		t.events = t.events[:len(t.events)-half]
+		t.dropped += int64(half)
+	}
+	t.events = append(t.events, ev)
 }
 
 // Events returns a copy of the retained events in emission order.
@@ -137,10 +181,11 @@ func (r *Recorder) Events() []Event {
 	if r == nil {
 		return nil
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	out := make([]Event, len(r.events))
-	copy(out, r.events)
+	t := r.target()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Event, len(t.events))
+	copy(out, t.events)
 	return out
 }
 
@@ -149,9 +194,10 @@ func (r *Recorder) Len() int {
 	if r == nil {
 		return 0
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return len(r.events)
+	t := r.target()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.events)
 }
 
 // Dropped returns how many events were discarded at the limit.
@@ -159,9 +205,10 @@ func (r *Recorder) Dropped() int64 {
 	if r == nil {
 		return 0
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.dropped
+	t := r.target()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
 }
 
 // Reset discards all events and the drop count.
@@ -169,10 +216,11 @@ func (r *Recorder) Reset() {
 	if r == nil {
 		return
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	r.events = nil
-	r.dropped = 0
+	t := r.target()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.events = nil
+	t.dropped = 0
 }
 
 // ByTime returns events sorted by timestamp (stable, so same-instant
@@ -199,10 +247,24 @@ func Filter(events []Event, keep ...Type) []Event {
 	return out
 }
 
+// FilterShard returns the events tagged with the given shard ID.
+func FilterShard(events []Event, shard string) []Event {
+	var out []Event
+	for _, e := range events {
+		if e.Shard == shard {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
 // String renders one event on one line, offsets relative to t0.
 func (e Event) describe(t0 time.Time) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%10s  %-18s %-10s", e.Time.Sub(t0).Round(time.Millisecond), e.Type, e.Node)
+	if e.Shard != "" {
+		fmt.Fprintf(&b, " [%s]", e.Shard)
+	}
 	if e.Peer != "" {
 		fmt.Fprintf(&b, " peer=%s", e.Peer)
 	}

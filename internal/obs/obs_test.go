@@ -69,12 +69,53 @@ func TestRecorderConcurrent(t *testing.T) {
 	}
 }
 
+func TestRecorderTaggedViews(t *testing.T) {
+	root := NewRecorder(0)
+	g1 := root.Tagged("shard1")
+	g2 := root.Tagged("shard2")
+	g1.Emit(Event{Type: FaultInjected, Node: "s1"})
+	g2.Emit(Event{Type: QuarantineEnter, Node: "s4", Peer: "s5"})
+	root.Emit(Event{Type: Phase, Node: "harness", Detail: "warmup"})
+	// An event that already carries a shard keeps it.
+	g1.Emit(Event{Type: GaugeSample, Node: "harness", Shard: "shard9"})
+
+	evs := root.Events()
+	if len(evs) != 4 {
+		t.Fatalf("len = %d, want 4 (views share root storage)", len(evs))
+	}
+	if evs[0].Shard != "shard1" || evs[1].Shard != "shard2" {
+		t.Fatalf("shard tags = %q/%q, want shard1/shard2", evs[0].Shard, evs[1].Shard)
+	}
+	if evs[2].Shard != "" {
+		t.Fatalf("root emission tagged %q, want untagged", evs[2].Shard)
+	}
+	if evs[3].Shard != "shard9" {
+		t.Fatalf("explicit shard overwritten: %q", evs[3].Shard)
+	}
+	// Views see the shared stream and re-tagging goes to the same root.
+	if g1.Len() != 4 || g2.Len() != 4 {
+		t.Fatalf("view lens = %d/%d, want 4/4", g1.Len(), g2.Len())
+	}
+	g1.Tagged("shard3").Emit(Event{Type: FaultCleared, Node: "s1"})
+	if root.Len() != 5 {
+		t.Fatalf("re-tagged view bypassed root: len = %d", root.Len())
+	}
+	if got := FilterShard(root.Events(), "shard1"); len(got) != 1 || got[0].Type != FaultInjected {
+		t.Fatalf("FilterShard(shard1) = %+v", got)
+	}
+	// Nil-safety of the view constructor.
+	var nilRec *Recorder
+	if nilRec.Tagged("x") != nil {
+		t.Fatal("nil.Tagged must be nil")
+	}
+}
+
 func TestJSONLRoundTrip(t *testing.T) {
 	r := NewRecorder(0)
 	base := time.Unix(100, 0)
 	r.Emit(Event{Time: base, Type: FaultInjected, Node: "s1", Detail: "CPU Slowness"})
 	r.Emit(Event{Time: base.Add(time.Second), Type: VerdictSuspect, Node: "s2", Peer: "s1",
-		Fields: map[string]float64{"ewma_us": 1234}})
+		Shard: "shard1", Fields: map[string]float64{"ewma_us": 1234}})
 	var buf bytes.Buffer
 	if err := WriteRecorderJSONL(&buf, r); err != nil {
 		t.Fatal(err)
@@ -92,7 +133,7 @@ func TestJSONLRoundTrip(t *testing.T) {
 	if evs[0].Type != FaultInjected || evs[0].Detail != "CPU Slowness" {
 		t.Fatalf("event 0 mangled: %+v", evs[0])
 	}
-	if evs[1].Peer != "s1" || evs[1].Field("ewma_us") != 1234 {
+	if evs[1].Peer != "s1" || evs[1].Shard != "shard1" || evs[1].Field("ewma_us") != 1234 {
 		t.Fatalf("event 1 mangled: %+v", evs[1])
 	}
 	if !evs[1].Time.Equal(base.Add(time.Second)) {

@@ -66,6 +66,30 @@ func (s *Server) failQueued(err error) {
 	}
 }
 
+// stallDirtyWAL enrolls a fresh append's flush event and, once more
+// than MaxDirtyAppends are un-fsynced, takes a bounded wait on the
+// oldest — the write stall that keeps a fail-slow disk's dirty backlog
+// explicit and bounded. Quorums carried by healthy followers would
+// otherwise let the leader run arbitrarily far ahead of its own
+// durability, hiding the fault instead of surfacing it to the
+// detectors and the clients of this one shard.
+func (s *Server) stallDirtyWAL(co *core.Coroutine, fsync *core.ResultEvent) {
+	if s.cfg.MaxDirtyAppends < 0 {
+		return
+	}
+	s.dirtyFsyncs = append(s.dirtyFsyncs, fsync)
+	for len(s.dirtyFsyncs) > s.cfg.MaxDirtyAppends {
+		oldest := s.dirtyFsyncs[0]
+		s.dirtyFsyncs = s.dirtyFsyncs[1:]
+		if !oldest.Ready() {
+			s.WALStalls.Inc()
+		}
+		if co.WaitFor(oldest, s.cfg.DiskWaitTimeout) == core.WaitStopped {
+			return
+		}
+	}
+}
+
 // proposeBatch appends and replicates one batch.
 func (s *Server) proposeBatch(co *core.Coroutine, term uint64, batch []*pendingProposal) {
 	fail := func(err error) {
@@ -99,6 +123,11 @@ func (s *Server) proposeBatch(co *core.Coroutine, term uint64, batch []*pendingP
 		s.cache.Put(e)
 	}
 	s.persistAppend(entries)
+	s.stallDirtyWAL(co, fsync)
+	if s.role != Leader || s.term != term {
+		fail(ErrDeposed)
+		return
+	}
 
 	targets := s.broadcastTargets()
 	q := core.NewQuorumEvent(1+len(targets), s.majority())

@@ -45,6 +45,10 @@ func (s *Server) propose(co *core.Coroutine, data []byte) (uint64, kv.Result, er
 	}
 	s.cache.Put(entry)
 	s.persistAppend([]storage.Entry{entry})
+	s.stallDirtyWAL(co, fsync)
+	if s.role != Leader || s.term != term {
+		return 0, kv.Result{}, ErrDeposed
+	}
 
 	targets := s.broadcastTargets()
 	q := core.NewQuorumEvent(1+len(targets), s.majority())

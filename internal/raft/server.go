@@ -93,6 +93,15 @@ type Config struct {
 	// quorum instead of replicating a log entry.
 	ReadIndex bool
 
+	// MaxDirtyAppends bounds how many un-fsynced leader appends may be
+	// outstanding before the commit path takes a bounded wait on the
+	// oldest flush — the RocksDB-style write stall from the paper's
+	// TiDB case study. Without it a leader whose quorums are carried
+	// by healthy followers runs unboundedly ahead of its own fail-slow
+	// disk, and the fault never surfaces anywhere. Negative disables
+	// the stall; 0 selects the default.
+	MaxDirtyAppends int
+
 	// BatchProposals groups concurrent client commands into shared log
 	// appends and AppendEntries messages (one QuorumEvent per batch),
 	// amortizing per-request replication costs under high client
@@ -174,6 +183,7 @@ func DefaultConfig(id string, peers []string) Config {
 		RepairInterval:       20 * time.Millisecond,
 		RepairBatch:          64,
 		SnapshotThreshold:    16384,
+		MaxDirtyAppends:      64,
 		PreVote:              true,
 		SlowLeaderThreshold:  8,
 		DiskHelpers:          16,
@@ -227,6 +237,11 @@ type Server struct {
 	propQ    *core.Queue[*pendingProposal]
 	detector *detect.Detector // nil unless cfg.PeerDetector
 
+	// dirtyFsyncs are the in-flight WAL flush events of leader appends,
+	// oldest first; the commit path stalls (bounded) once it exceeds
+	// cfg.MaxDirtyAppends.
+	dirtyFsyncs []*core.ResultEvent
+
 	// Mitigation state — baton context only, except where noted.
 	policy      *mitigate.Policy // nil unless cfg.Mitigation
 	quarantined map[string]bool  // peers excluded from quorum waits
@@ -253,6 +268,7 @@ type Server struct {
 	RepairSends  *metrics.Counter
 	ReadIndexOps *metrics.Counter
 	Snapshots    *metrics.Counter
+	WALStalls    *metrics.Counter
 	Mitigation   *metrics.Mitigation
 
 	// mu guards cross-goroutine introspection (tests, harness).
@@ -291,6 +307,9 @@ func NewServer(cfg Config, e *env.Env, tr transport.Transport, opts ...core.Opti
 	if cfg.DiskHelpers <= 0 {
 		cfg.DiskHelpers = 4
 	}
+	if cfg.MaxDirtyAppends == 0 {
+		cfg.MaxDirtyAppends = 64
+	}
 	if cfg.Mitigation {
 		// The sentinel's quarantine/rehabilitation verdicts come from
 		// the peer detector; mitigation cannot run without it.
@@ -313,6 +332,7 @@ func NewServer(cfg Config, e *env.Env, tr transport.Transport, opts ...core.Opti
 		RepairSends:   metrics.NewCounter("raft.repair_sends"),
 		Snapshots:     metrics.NewCounter("raft.snapshots"),
 		ReadIndexOps:  metrics.NewCounter("raft.readindex"),
+		WALStalls:     metrics.NewCounter("raft.wal_stalls"),
 		Mitigation:    metrics.NewMitigation(),
 		rng:           rand.New(rand.NewSource(cfg.Seed)),
 		lastHeartbeat: time.Now(),
@@ -434,6 +454,29 @@ func (s *Server) Status() (uint64, Role, string) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.snapTerm, s.snapRole, s.snapLeader
+}
+
+// AgreedLeader reports the leader of a deployment once a majority of
+// its servers agree on it: some server must believe itself Leader and
+// at least a quorum must name it in their hints. Returns ("", false)
+// during elections and transfers. Callers poll it from outside the
+// runtimes (it only reads published status snapshots).
+func AgreedLeader(servers map[string]*Server) (string, bool) {
+	agree := map[string]int{}
+	var lead string
+	for _, s := range servers {
+		_, role, hint := s.Status()
+		if role == Leader {
+			lead = hint
+		}
+		if hint != "" {
+			agree[hint]++
+		}
+	}
+	if lead != "" && agree[lead] >= len(servers)/2+1 {
+		return lead, true
+	}
+	return "", false
 }
 
 // CommitInfo reports (commitIndex, lastApplied) as last published.

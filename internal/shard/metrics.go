@@ -1,0 +1,78 @@
+package shard
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"depfast/internal/metrics"
+)
+
+// Metrics tracks router-observed latency and errors per shard, and
+// merges them into one aggregate view without touching the live
+// histograms (metrics.Snapshot.Merge recombines the log buckets
+// exactly). Recording is atomic, so routers on different runtimes may
+// share one Metrics if they share a Map.
+type Metrics struct {
+	ids  []string
+	lat  []*metrics.Histogram
+	ops  []*metrics.Counter
+	errs []*metrics.Counter
+}
+
+// newMetrics sizes the per-shard series from the map.
+func newMetrics(m Map) *Metrics {
+	mt := &Metrics{}
+	for g := 0; g < m.Groups(); g++ {
+		id := m.ShardID(g)
+		mt.ids = append(mt.ids, id)
+		mt.lat = append(mt.lat, metrics.NewHistogram())
+		mt.ops = append(mt.ops, metrics.NewCounter(id+".ops"))
+		mt.errs = append(mt.errs, metrics.NewCounter(id+".errs"))
+	}
+	return mt
+}
+
+// observe records one routed operation against shard g.
+func (mt *Metrics) observe(g int, d time.Duration, err error) {
+	mt.ops[g].Inc()
+	if err != nil {
+		mt.errs[g].Inc()
+		return
+	}
+	mt.lat[g].Record(d)
+}
+
+// Shards returns the number of tracked shards.
+func (mt *Metrics) Shards() int { return len(mt.ids) }
+
+// Shard returns shard g's latency snapshot (successful ops only).
+func (mt *Metrics) Shard(g int) metrics.Snapshot { return mt.lat[g].Snapshot() }
+
+// Histogram returns shard g's live latency histogram.
+func (mt *Metrics) Histogram(g int) *metrics.Histogram { return mt.lat[g] }
+
+// Ops returns shard g's routed-operation count (successes + errors).
+func (mt *Metrics) Ops(g int) int64 { return mt.ops[g].Value() }
+
+// Errors returns shard g's routed-operation error count.
+func (mt *Metrics) Errors(g int) int64 { return mt.errs[g].Value() }
+
+// Merged returns the latency snapshot over all shards combined.
+func (mt *Metrics) Merged() metrics.Snapshot {
+	var out metrics.Snapshot
+	for _, h := range mt.lat {
+		out = out.Merge(h.Snapshot())
+	}
+	return out
+}
+
+// String renders a per-shard + merged summary table.
+func (mt *Metrics) String() string {
+	var b strings.Builder
+	for g, id := range mt.ids {
+		fmt.Fprintf(&b, "%-8s %s errs=%d\n", id, mt.Shard(g), mt.Errors(g))
+	}
+	fmt.Fprintf(&b, "%-8s %s\n", "merged", mt.Merged())
+	return b.String()
+}

@@ -1,0 +1,187 @@
+// Package shard is the scale-out layer of the reproduction: a
+// multi-Raft sharded KV store whose unit of fault isolation is an
+// explicit, programmable construct — the shard map. A deterministic
+// Partitioner assigns every key to one replica group, a Map describes
+// N groups × R replicas, a Cluster constructs and drives the
+// per-group Raft deployments through the framework-split seams, and a
+// Router frontend owns one raft.Client per group, routes single-key
+// commands to the owning group, and fans multi-shard scans out with a
+// quorum-event gather.
+//
+// The point of the package is blast-radius containment for fail-slow
+// faults (the paper's Figure 2 propagation story, inverted): each
+// group runs its own detector and sentinel, so quarantine, drained
+// leader handoff, and client backoff stay scoped to the afflicted
+// group while the healthy groups keep serving their partitions at
+// full speed. The flight recorder tags every event with its shard ID
+// via tagged recorder views, so a single timeline shows the fault
+// land in one shard and stay there.
+package shard
+
+import (
+	"fmt"
+	"sort"
+
+	"depfast/internal/ycsb"
+)
+
+// Mode selects how the partitioner maps keys to groups.
+type Mode int
+
+const (
+	// ModeHash scatters keys by FNV-1a hash: uniform load, no
+	// locality; every scan is a full fan-out.
+	ModeHash Mode = iota
+	// ModeRange assigns contiguous record-number ranges of the YCSB
+	// key population to groups: scans stay local to few groups and a
+	// shard-local workload touches exactly one group.
+	ModeRange
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	if m == ModeRange {
+		return "range"
+	}
+	return "hash"
+}
+
+// Partitioner deterministically maps keys to group indices. The zero
+// value is unusable; construct with NewHashPartitioner or
+// NewRangePartitioner. Partitioners are pure values: safe to copy and
+// use from any goroutine.
+type Partitioner struct {
+	mode   Mode
+	groups int
+	ranges []ycsb.KeyRange
+}
+
+// NewHashPartitioner returns a hash-mode partitioner over groups
+// groups. Panics if groups < 1.
+func NewHashPartitioner(groups int) Partitioner {
+	if groups < 1 {
+		panic("shard: partitioner needs at least one group")
+	}
+	return Partitioner{mode: ModeHash, groups: groups}
+}
+
+// NewRangePartitioner returns a range-mode partitioner splitting the
+// record population [0, records) into groups contiguous ranges (see
+// ycsb.Partition). Keys outside the population clamp to the last
+// group; keys that are not YCSB-shaped fall back to the hash mapping
+// so every key still has exactly one owner. Panics if groups < 1.
+func NewRangePartitioner(groups, records int) Partitioner {
+	if groups < 1 {
+		panic("shard: partitioner needs at least one group")
+	}
+	return Partitioner{mode: ModeRange, groups: groups, ranges: ycsb.Partition(records, groups)}
+}
+
+// Groups returns the number of groups keys are mapped onto.
+func (p Partitioner) Groups() int { return p.groups }
+
+// Mode returns the partitioning mode.
+func (p Partitioner) Mode() Mode { return p.mode }
+
+// Range returns group g's key range (range mode only; zero range in
+// hash mode).
+func (p Partitioner) Range(g int) ycsb.KeyRange {
+	if p.mode != ModeRange || g < 0 || g >= len(p.ranges) {
+		return ycsb.KeyRange{}
+	}
+	return p.ranges[g]
+}
+
+// Group returns the owning group index for key. Deterministic: the
+// same key always lands on the same group.
+func (p Partitioner) Group(key string) int {
+	if p.groups == 1 {
+		return 0
+	}
+	if p.mode == ModeRange {
+		if n, ok := ycsb.KeyNum(key); ok {
+			i := sort.Search(len(p.ranges), func(i int) bool { return n < p.ranges[i].Hi })
+			if i < len(p.ranges) {
+				return i
+			}
+			return p.groups - 1 // beyond the population: clamp
+		}
+		// Non-YCSB key: no range owns it; fall through to hash.
+	}
+	return int(fnv1a(key) % uint64(p.groups))
+}
+
+// fnv1a hashes a key with 64-bit FNV-1a.
+func fnv1a(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// Map describes a sharded deployment: a partitioner plus the replica
+// node names of every group. Node names are assigned row-major —
+// group g's replicas are s{g*R+1} … s{g*R+R} — matching the paper's
+// Figure 2 layout (three shards s1–s9). A Map is immutable after
+// construction.
+type Map struct {
+	part     Partitioner
+	replicas [][]string
+}
+
+// NewMap returns a map with replicasPerGroup replicas for each of the
+// partitioner's groups. Panics if replicasPerGroup < 1.
+func NewMap(part Partitioner, replicasPerGroup int) Map {
+	if replicasPerGroup < 1 {
+		panic("shard: map needs at least one replica per group")
+	}
+	replicas := make([][]string, part.Groups())
+	for g := range replicas {
+		names := make([]string, replicasPerGroup)
+		for i := range names {
+			names[i] = fmt.Sprintf("s%d", g*replicasPerGroup+i+1)
+		}
+		replicas[g] = names
+	}
+	return Map{part: part, replicas: replicas}
+}
+
+// Groups returns the number of replica groups.
+func (m Map) Groups() int { return len(m.replicas) }
+
+// Replicas returns group g's node names. The returned slice is shared;
+// callers must not modify it.
+func (m Map) Replicas(g int) []string { return m.replicas[g] }
+
+// ShardID renders group g's stable identifier ("shard1", …) used to
+// tag flight-recorder events and name metrics.
+func (m Map) ShardID(g int) string { return fmt.Sprintf("shard%d", g+1) }
+
+// Owner returns the group index owning key.
+func (m Map) Owner(key string) int { return m.part.Group(key) }
+
+// Partitioner returns the map's key-to-group mapping.
+func (m Map) Partitioner() Partitioner { return m.part }
+
+// Nodes returns all node names across all groups, in group order.
+func (m Map) Nodes() []string {
+	var out []string
+	for _, names := range m.replicas {
+		out = append(out, names...)
+	}
+	return out
+}
+
+// GroupOf returns the group index containing the named node, or -1.
+func (m Map) GroupOf(node string) int {
+	for g, names := range m.replicas {
+		for _, n := range names {
+			if n == node {
+				return g
+			}
+		}
+	}
+	return -1
+}

@@ -1,0 +1,202 @@
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"depfast/internal/core"
+	"depfast/internal/kv"
+	"depfast/internal/raft"
+	"depfast/internal/rpc"
+	"depfast/internal/ycsb"
+)
+
+// Router errors.
+var (
+	// ErrScanTimeout means a cross-shard scan gather missed its
+	// deadline: at least one shard failed to answer in time.
+	ErrScanTimeout = errors.New("shard router: scan gather timed out")
+)
+
+// clientIDs hands out process-unique raft client IDs so every router
+// and every scatter sub-client keeps its own exactly-once session.
+// The high bit keeps router sessions clear of harness-assigned IDs.
+var clientIDs atomic.Uint64
+
+func nextClientID() uint64 { return clientIDs.Add(1) | 1<<63 }
+
+// Router is the sharded store's frontend: it owns one raft.Client per
+// group and routes every command to the owning group's Raft leader.
+// Single-key operations touch exactly one group — that is the
+// containment property in client form: a fail-slow group slows only
+// the requests it owns, and the per-group client backoff never bleeds
+// into sibling groups. Multi-shard scans fan out through short-lived
+// per-scan clients and gather with an n-of-n quorum event, so one
+// slow shard surfaces as an explicit timeout, not an indefinite park.
+//
+// Like raft.Client, a Router is bound to the coroutines of one
+// runtime and must not be shared across runtimes; give each client
+// runtime its own router.
+type Router struct {
+	m       Map
+	ep      *rpc.Endpoint
+	timeout time.Duration
+	clients []*raft.Client
+	met     *Metrics
+}
+
+// NewRouter returns a router over the mapped deployment, issuing
+// requests through ep. timeout bounds each RPC attempt (<=0 uses the
+// raft client default); a scan gather waits up to 4x timeout.
+func NewRouter(m Map, ep *rpc.Endpoint, timeout time.Duration) *Router {
+	if timeout <= 0 {
+		timeout = 2 * time.Second
+	}
+	r := &Router{m: m, ep: ep, timeout: timeout, met: newMetrics(m)}
+	for g := 0; g < m.Groups(); g++ {
+		r.clients = append(r.clients, raft.NewClient(nextClientID(), ep, m.Replicas(g), timeout))
+	}
+	return r
+}
+
+// Map returns the router's shard map.
+func (r *Router) Map() Map { return r.m }
+
+// Owner returns the group index that key routes to.
+func (r *Router) Owner(key string) int { return r.m.Owner(key) }
+
+// Client returns group g's persistent client; for tests and tools
+// that need to pin a request to a specific group.
+func (r *Router) Client(g int) *raft.Client { return r.clients[g] }
+
+// Metrics returns the router's per-shard latency/error metrics.
+func (r *Router) Metrics() *Metrics { return r.met }
+
+// Do routes cmd to the group owning cmd.Key and records the observed
+// latency against that shard.
+func (r *Router) Do(co *core.Coroutine, cmd kv.Command) (kv.Result, error) {
+	g := r.m.Owner(cmd.Key)
+	start := time.Now()
+	res, err := r.clients[g].Do(co, cmd)
+	r.met.observe(g, time.Since(start), err)
+	return res, err
+}
+
+// Put stores value under key on the owning shard.
+func (r *Router) Put(co *core.Coroutine, key string, value []byte) error {
+	_, err := r.Do(co, kv.Command{Op: kv.OpPut, Key: key, Value: value})
+	return err
+}
+
+// Get fetches key from the owning shard.
+func (r *Router) Get(co *core.Coroutine, key string) ([]byte, bool, error) {
+	res, err := r.Do(co, kv.Command{Op: kv.OpGet, Key: key})
+	return res.Value, res.Found, err
+}
+
+// Delete removes key from the owning shard.
+func (r *Router) Delete(co *core.Coroutine, key string) (bool, error) {
+	res, err := r.Do(co, kv.Command{Op: kv.OpDelete, Key: key})
+	return res.Found, err
+}
+
+// CAS atomically swaps key's value on the owning shard when the
+// current value equals expect.
+func (r *Router) CAS(co *core.Coroutine, key string, expect, value []byte) (bool, []byte, error) {
+	res, err := r.Do(co, kv.Command{Op: kv.OpCAS, Key: key, Expect: expect, Value: value})
+	return res.Found, res.Value, err
+}
+
+// Scan reads up to n key-ordered pairs with keys >= start, merged
+// across every shard that may own them. The fan-out follows the
+// paper's programming model: one sub-coroutine per group, each
+// completing a judged ResultEvent into an n-of-n QuorumEvent, with a
+// single bounded gather wait — never an unbounded park on any one
+// shard. Each sub-coroutine uses a fresh single-scan client so a
+// straggler abandoned by the gather deadline cannot race the router's
+// persistent per-group sessions.
+func (r *Router) Scan(co *core.Coroutine, start string, n int) ([]kv.Pair, error) {
+	groups := r.scanGroups(start)
+	if len(groups) == 1 {
+		g := groups[0]
+		begin := time.Now()
+		pairs, err := r.clients[g].Scan(co, start, n)
+		r.met.observe(g, time.Since(begin), err)
+		return pairs, err
+	}
+	rt := co.Runtime()
+	gather := core.NewQuorumEvent(len(groups), len(groups))
+	results := make([][]kv.Pair, len(groups))
+	errs := make([]error, len(groups))
+	begin := time.Now()
+	for i, g := range groups {
+		i, g := i, g
+		ev := core.NewResultEvent("scan", r.m.Replicas(g)...)
+		gather.AddJudged(ev, nil)
+		names := r.m.Replicas(g)
+		spawned := rt.Spawn(fmt.Sprintf("scan:%s", r.m.ShardID(g)), func(sub *core.Coroutine) {
+			cl := raft.NewClient(nextClientID(), r.ep, names, r.timeout)
+			pairs, err := cl.Scan(sub, start, n)
+			results[i], errs[i] = pairs, err
+			ev.Fire(pairs, err)
+		})
+		if !spawned {
+			// Runtime shutting down: fail the child so the gather
+			// resolves instead of waiting on a coroutine that never ran.
+			ev.Fire(nil, raft.ErrClientStopped)
+		}
+	}
+	outcome := co.WaitQuorum(gather, 4*r.timeout)
+	elapsed := time.Since(begin)
+	switch outcome {
+	case core.QuorumOK:
+		for _, g := range groups {
+			r.met.observe(g, elapsed, nil)
+		}
+		return kv.MergePairs(n, results...), nil
+	case core.QuorumStopped:
+		return nil, raft.ErrClientStopped
+	case core.QuorumTimeout:
+		for i, g := range groups {
+			if results[i] == nil && errs[i] == nil {
+				r.met.observe(g, elapsed, ErrScanTimeout)
+			}
+		}
+		return nil, ErrScanTimeout
+	default: // rejected: some shard failed outright
+		for i, g := range groups {
+			if errs[i] != nil {
+				r.met.observe(g, elapsed, errs[i])
+				return nil, fmt.Errorf("shard router: scan on %s: %w", r.m.ShardID(g), errs[i])
+			}
+		}
+		return nil, ErrScanTimeout // unreachable: a reject implies an error
+	}
+}
+
+// scanGroups returns the groups a scan starting at start must
+// consult: every group in hash mode (keys are scattered), the groups
+// whose ranges reach start or beyond in range mode.
+func (r *Router) scanGroups(start string) []int {
+	part := r.m.Partitioner()
+	all := make([]int, 0, r.m.Groups())
+	if part.Mode() == ModeRange {
+		if n, ok := ycsb.KeyNum(start); ok {
+			for g := 0; g < r.m.Groups(); g++ {
+				if part.Range(g).Hi > n {
+					all = append(all, g)
+				}
+			}
+			if len(all) > 0 {
+				return all
+			}
+			return []int{r.m.Groups() - 1}
+		}
+	}
+	for g := 0; g < r.m.Groups(); g++ {
+		all = append(all, g)
+	}
+	return all
+}

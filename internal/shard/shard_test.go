@@ -1,0 +1,257 @@
+package shard
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"depfast/internal/core"
+	"depfast/internal/env"
+	"depfast/internal/raft"
+	"depfast/internal/rpc"
+	"depfast/internal/transport"
+	"depfast/internal/ycsb"
+)
+
+func TestPartitionerDeterministic(t *testing.T) {
+	for _, p := range []Partitioner{
+		NewHashPartitioner(3),
+		NewRangePartitioner(3, 999),
+	} {
+		for i := uint64(0); i < 999; i++ {
+			key := ycsb.Key(i)
+			g := p.Group(key)
+			if g < 0 || g >= 3 {
+				t.Fatalf("%s: key %q -> group %d out of range", p.Mode(), key, g)
+			}
+			if again := p.Group(key); again != g {
+				t.Fatalf("%s: key %q nondeterministic: %d then %d", p.Mode(), key, g, again)
+			}
+		}
+	}
+}
+
+func TestRangePartitionerOwnership(t *testing.T) {
+	const records = 1000
+	p := NewRangePartitioner(3, records)
+	ranges := ycsb.Partition(records, 3)
+	for i := uint64(0); i < records; i++ {
+		g := p.Group(ycsb.Key(i))
+		if !ranges[g].Contains(i) {
+			t.Fatalf("record %d -> group %d, but %v does not contain it", i, g, ranges[g])
+		}
+	}
+	// Beyond the population clamps to the last group; non-YCSB keys
+	// still get exactly one deterministic owner.
+	if g := p.Group(ycsb.Key(records + 5)); g != 2 {
+		t.Fatalf("out-of-population key -> group %d, want 2", g)
+	}
+	odd := p.Group("not-a-ycsb-key")
+	if odd < 0 || odd >= 3 || odd != p.Group("not-a-ycsb-key") {
+		t.Fatalf("non-YCSB key owner unstable: %d", odd)
+	}
+}
+
+func TestHashPartitionerSpreads(t *testing.T) {
+	p := NewHashPartitioner(3)
+	counts := make([]int, 3)
+	for i := uint64(0); i < 3000; i++ {
+		counts[p.Group(ycsb.Key(i))]++
+	}
+	for g, c := range counts {
+		if c < 600 {
+			t.Fatalf("group %d got %d of 3000 keys; hash spread broken: %v", g, c, counts)
+		}
+	}
+}
+
+func TestMapLayout(t *testing.T) {
+	m := NewMap(NewHashPartitioner(3), 3)
+	want := []string{"s1", "s2", "s3", "s4", "s5", "s6", "s7", "s8", "s9"}
+	if got := m.Nodes(); fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("nodes = %v, want %v", got, want)
+	}
+	if got := m.Replicas(1); fmt.Sprint(got) != fmt.Sprint([]string{"s4", "s5", "s6"}) {
+		t.Fatalf("group 1 replicas = %v", got)
+	}
+	if m.ShardID(0) != "shard1" || m.ShardID(2) != "shard3" {
+		t.Fatalf("shard IDs: %s %s", m.ShardID(0), m.ShardID(2))
+	}
+	if m.GroupOf("s5") != 1 || m.GroupOf("s9") != 2 || m.GroupOf("c1") != -1 {
+		t.Fatalf("GroupOf wrong: %d %d %d", m.GroupOf("s5"), m.GroupOf("s9"), m.GroupOf("c1"))
+	}
+}
+
+// testDeployment stands up a live sharded cluster plus one client
+// runtime and waits until every group has an agreed leader.
+func testDeployment(t *testing.T, m Map) (*Cluster, *core.Runtime, *rpc.Endpoint, func()) {
+	t.Helper()
+	net := transport.NewNetwork()
+	cluster := NewCluster(ClusterConfig{
+		Map:  m,
+		Seed: func(g, i int) int64 { return int64(g*100 + i) },
+	}, net)
+	cluster.Start()
+
+	rt := core.NewRuntime("c1")
+	ep := rpc.NewEndpoint("c1", rt, net, rpc.WithCallTimeout(3*time.Second))
+	net.Register("c1", env.New("c1", env.DefaultConfig()), ep.TransportHandler())
+
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		if _, ok := cluster.Leaders(); ok {
+			break
+		}
+		if time.Now().After(deadline) {
+			cluster.Stop()
+			net.Close()
+			t.Fatal("no agreed leaders within 15s")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	return cluster, rt, ep, func() {
+		ep.Close()
+		rt.Stop()
+		cluster.Stop()
+		net.Close()
+	}
+}
+
+// TestRouterRoutesToOwningShard is the router-correctness acceptance
+// test: a keyspace-spanning workload written through the router lands
+// every key on — and only on — its owning shard.
+func TestRouterRoutesToOwningShard(t *testing.T) {
+	const records = 60
+	m := NewMap(NewRangePartitioner(3, records), 3)
+	_, rt, ep, shutdown := testDeployment(t, m)
+	defer shutdown()
+
+	done := make(chan error, 1)
+	rt.Spawn("workload", func(co *core.Coroutine) {
+		router := NewRouter(m, ep, 2*time.Second)
+		// Write the whole population through the router.
+		for i := uint64(0); i < records; i++ {
+			if err := router.Put(co, ycsb.Key(i), []byte(fmt.Sprintf("v%d", i))); err != nil {
+				done <- fmt.Errorf("put %d: %w", i, err)
+				return
+			}
+		}
+		// Every key reads back through the router.
+		for i := uint64(0); i < records; i++ {
+			v, found, err := router.Get(co, ycsb.Key(i))
+			if err != nil || !found || string(v) != fmt.Sprintf("v%d", i) {
+				done <- fmt.Errorf("get %d: %q/%v/%v", i, v, found, err)
+				return
+			}
+		}
+		// Direct per-group probes: each key exists on its owning group
+		// and on no other.
+		probes := make([]*raft.Client, m.Groups())
+		for g := range probes {
+			probes[g] = raft.NewClient(nextClientID(), ep, m.Replicas(g), 2*time.Second)
+		}
+		for i := uint64(0); i < records; i++ {
+			key := ycsb.Key(i)
+			owner := m.Owner(key)
+			for g, probe := range probes {
+				_, found, err := probe.Get(co, key)
+				if err != nil {
+					done <- fmt.Errorf("probe group %d key %d: %w", g, i, err)
+					return
+				}
+				if found != (g == owner) {
+					done <- fmt.Errorf("key %q: found=%v on group %d, owner is %d", key, found, g, owner)
+					return
+				}
+			}
+		}
+		done <- nil
+	})
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(90 * time.Second):
+		t.Fatal("workload hung")
+	}
+}
+
+// TestRouterScanGathersAcrossShards: a scan spanning all shards
+// returns the globally key-ordered union of per-shard results.
+func TestRouterScanGathersAcrossShards(t *testing.T) {
+	const records = 30
+	m := NewMap(NewRangePartitioner(3, records), 3)
+	cluster, rt, ep, shutdown := testDeployment(t, m)
+	defer shutdown()
+	_ = cluster
+
+	done := make(chan error, 1)
+	rt.Spawn("scanner", func(co *core.Coroutine) {
+		router := NewRouter(m, ep, 2*time.Second)
+		for i := uint64(0); i < records; i++ {
+			if err := router.Put(co, ycsb.Key(i), []byte{byte(i)}); err != nil {
+				done <- fmt.Errorf("put %d: %w", i, err)
+				return
+			}
+		}
+		// Full-keyspace scan: every record, in order.
+		pairs, err := router.Scan(co, ycsb.Key(0), records)
+		if err != nil {
+			done <- fmt.Errorf("scan: %w", err)
+			return
+		}
+		if len(pairs) != records {
+			done <- fmt.Errorf("scan returned %d pairs, want %d", len(pairs), records)
+			return
+		}
+		for i, p := range pairs {
+			if p.Key != ycsb.Key(uint64(i)) {
+				done <- fmt.Errorf("pair %d key %q, want %q", i, p.Key, ycsb.Key(uint64(i)))
+				return
+			}
+		}
+		// A mid-keyspace scan consults only the tail groups and still
+		// merges in order.
+		from := uint64(records/2 + 1)
+		pairs, err = router.Scan(co, ycsb.Key(from), records)
+		if err != nil {
+			done <- fmt.Errorf("tail scan: %w", err)
+			return
+		}
+		if len(pairs) != int(records-from) || pairs[0].Key != ycsb.Key(from) {
+			done <- fmt.Errorf("tail scan: %d pairs from %q", len(pairs), pairs[0].Key)
+			return
+		}
+		// Limit truncates the merge.
+		pairs, err = router.Scan(co, ycsb.Key(0), 7)
+		if err != nil || len(pairs) != 7 {
+			done <- fmt.Errorf("limited scan: %d pairs, err %v", len(pairs), err)
+			return
+		}
+		// Router metrics saw every shard and merge cleanly.
+		met := router.Metrics()
+		merged := met.Merged()
+		var sum int64
+		for g := 0; g < met.Shards(); g++ {
+			if met.Ops(g) == 0 {
+				done <- fmt.Errorf("shard %d saw no ops", g)
+				return
+			}
+			sum += met.Shard(g).Count
+		}
+		if merged.Count != sum {
+			done <- fmt.Errorf("merged count %d, per-shard sum %d", merged.Count, sum)
+			return
+		}
+		done <- nil
+	})
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(90 * time.Second):
+		t.Fatal("scanner hung")
+	}
+}

@@ -1,0 +1,89 @@
+package ycsb
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// KeyRange is a half-open range [Lo, Hi) of record numbers. Ranges are
+// the unit of keyspace partitioning: a sharded deployment assigns one
+// contiguous range per shard, and shard-local generators draw only
+// from their own range.
+type KeyRange struct {
+	Lo, Hi uint64
+}
+
+// Size returns the number of records in the range.
+func (r KeyRange) Size() uint64 {
+	if r.Hi <= r.Lo {
+		return 0
+	}
+	return r.Hi - r.Lo
+}
+
+// Contains reports whether record number n falls in the range.
+func (r KeyRange) Contains(n uint64) bool { return n >= r.Lo && n < r.Hi }
+
+// ContainsKey reports whether a YCSB key's record number falls in the
+// range; malformed keys are outside every range.
+func (r KeyRange) ContainsKey(key string) bool {
+	n, ok := KeyNum(key)
+	return ok && r.Contains(n)
+}
+
+// String renders the range for logs and errors.
+func (r KeyRange) String() string { return fmt.Sprintf("[%d,%d)", r.Lo, r.Hi) }
+
+// Partition splits the record population [0, records) into shards
+// contiguous ranges that jointly cover it exactly once: no overlap, no
+// gap, and sizes differing by at most one (the remainder goes to the
+// lowest-numbered shards). Returns nil when shards <= 0.
+func Partition(records int, shards int) []KeyRange {
+	if shards <= 0 || records < 0 {
+		return nil
+	}
+	out := make([]KeyRange, shards)
+	base := uint64(records) / uint64(shards)
+	rem := uint64(records) % uint64(shards)
+	lo := uint64(0)
+	for i := range out {
+		size := base
+		if uint64(i) < rem {
+			size++
+		}
+		out[i] = KeyRange{Lo: lo, Hi: lo + size}
+		lo = out[i].Hi
+	}
+	return out
+}
+
+// KeyNum parses the record number out of a key produced by Key
+// ("user%012d"). ok is false for keys with any other shape.
+func KeyNum(key string) (n uint64, ok bool) {
+	digits, found := strings.CutPrefix(key, "user")
+	if !found || digits == "" {
+		return 0, false
+	}
+	n, err := strconv.ParseUint(digits, 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
+// NewGeneratorInRange returns a generator confined to the record range
+// r: the configured distribution is drawn over a population of
+// r.Size() records and every key is offset by r.Lo, so generators over
+// the ranges of a Partition jointly cover the full population exactly
+// once. w.Records is overridden by the range size.
+func NewGeneratorInRange(w Workload, seed int64, r KeyRange) *Generator {
+	size := r.Size()
+	if size == 0 {
+		size = 1 // degenerate range: keep the generator well-defined at r.Lo
+	}
+	w.Records = int(size)
+	g := NewGenerator(w, seed)
+	g.base = r.Lo
+	return g
+}

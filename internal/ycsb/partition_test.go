@@ -1,0 +1,104 @@
+package ycsb
+
+import "testing"
+
+// TestPartitionCoversExactlyOnce is the satellite property test: for
+// the paper's 500K-record population split 2/3/5 ways, the ranges are
+// disjoint, their union is exactly [0, records), and sizes are
+// balanced to within one record.
+func TestPartitionCoversExactlyOnce(t *testing.T) {
+	const records = 500_000
+	for _, shards := range []int{2, 3, 5} {
+		ranges := Partition(records, shards)
+		if len(ranges) != shards {
+			t.Fatalf("shards=%d: got %d ranges", shards, len(ranges))
+		}
+		var total uint64
+		for i, r := range ranges {
+			if r.Hi <= r.Lo {
+				t.Fatalf("shards=%d: empty/inverted range %d: %v", shards, i, r)
+			}
+			if i == 0 && r.Lo != 0 {
+				t.Fatalf("shards=%d: first range starts at %d", shards, r.Lo)
+			}
+			if i > 0 && r.Lo != ranges[i-1].Hi {
+				t.Fatalf("shards=%d: gap/overlap between %v and %v", shards, ranges[i-1], r)
+			}
+			if min, max := records/shards, records/shards+1; int(r.Size()) != min && int(r.Size()) != max {
+				t.Fatalf("shards=%d: range %d unbalanced: size %d", shards, i, r.Size())
+			}
+			total += r.Size()
+		}
+		if total != records {
+			t.Fatalf("shards=%d: union size %d, want %d", shards, total, records)
+		}
+		if ranges[len(ranges)-1].Hi != records {
+			t.Fatalf("shards=%d: last range ends at %d", shards, ranges[len(ranges)-1].Hi)
+		}
+		// Every boundary record number belongs to exactly one range.
+		for _, n := range []uint64{0, records / 2, records - 1, ranges[0].Hi - 1, ranges[0].Hi} {
+			owners := 0
+			for _, r := range ranges {
+				if r.Contains(n) {
+					owners++
+				}
+			}
+			if owners != 1 {
+				t.Fatalf("shards=%d: record %d owned by %d ranges", shards, n, owners)
+			}
+		}
+	}
+	if Partition(10, 0) != nil || Partition(-1, 3) != nil {
+		t.Fatal("degenerate partitions must be nil")
+	}
+}
+
+func TestKeyNumRoundTrip(t *testing.T) {
+	for _, n := range []uint64{0, 1, 499_999, 123_456_789_012} {
+		got, ok := KeyNum(Key(n))
+		if !ok || got != n {
+			t.Fatalf("KeyNum(Key(%d)) = %d, %v", n, got, ok)
+		}
+	}
+	for _, bad := range []string{"", "user", "nope000000000001", "userabc", "user12x"} {
+		if _, ok := KeyNum(bad); ok {
+			t.Fatalf("KeyNum(%q) accepted", bad)
+		}
+	}
+	r := KeyRange{Lo: 10, Hi: 20}
+	if !r.ContainsKey(Key(10)) || r.ContainsKey(Key(20)) || r.ContainsKey("garbage") {
+		t.Fatal("ContainsKey boundary/garbage handling wrong")
+	}
+}
+
+// TestGeneratorInRangeStaysHome: shard-local generators emit only keys
+// owned by their range, across every distribution, and the paper write
+// workload reaches both range endpoints eventually.
+func TestGeneratorInRangeStaysHome(t *testing.T) {
+	const records = 999
+	ranges := Partition(records, 3)
+	for _, dist := range []Distribution{UniformDist, ZipfianDist, LatestDist} {
+		for i, r := range ranges {
+			w := PaperWrite(records, 16)
+			w.Dist = dist
+			g := NewGeneratorInRange(w, int64(dist)*100+int64(i), r)
+			seenLo, seenHi := false, false
+			for k := 0; k < 5000; k++ {
+				op := g.Next()
+				n, ok := KeyNum(op.Key)
+				if !ok || !r.Contains(n) {
+					t.Fatalf("dist=%d shard=%d: key %q outside %v", dist, i, op.Key, r)
+				}
+				if n == r.Lo {
+					seenLo = true
+				}
+				if n == r.Hi-1 {
+					seenHi = true
+				}
+			}
+			if dist == UniformDist && (!seenLo || !seenHi) {
+				t.Errorf("shard=%d: uniform draw never hit range endpoints of %v", i, r)
+			}
+		}
+	}
+}

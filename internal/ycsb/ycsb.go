@@ -117,6 +117,7 @@ type Generator struct {
 	rng     *rand.Rand
 	zipf    *Zipfian
 	records uint64 // grows with inserts
+	base    uint64 // key-number offset (shard-local generators)
 	value   []byte
 }
 
@@ -170,23 +171,27 @@ func (g *Generator) nextKeyNum() uint64 {
 	}
 }
 
+// key renders a drawn record number as a key, applying the generator's
+// range offset.
+func (g *Generator) key(n uint64) string { return Key(g.base + n) }
+
 // Next generates one operation.
 func (g *Generator) Next() Op {
 	p := g.rng.Float64()
 	w := g.w
 	switch {
 	case p < w.ReadProp:
-		return Op{Type: Read, Key: Key(g.nextKeyNum())}
+		return Op{Type: Read, Key: g.key(g.nextKeyNum())}
 	case p < w.ReadProp+w.UpdateProp:
-		return Op{Type: Update, Key: Key(g.nextKeyNum()), Value: g.value}
+		return Op{Type: Update, Key: g.key(g.nextKeyNum()), Value: g.value}
 	case p < w.ReadProp+w.UpdateProp+w.InsertProp:
 		k := g.records
 		g.records++
-		return Op{Type: Insert, Key: Key(k), Value: g.value}
+		return Op{Type: Insert, Key: g.key(k), Value: g.value}
 	case p < w.ReadProp+w.UpdateProp+w.InsertProp+w.ScanProp:
-		return Op{Type: Scan, Key: Key(g.nextKeyNum()), ScanLen: 1 + g.rng.Intn(w.MaxScanLen)}
+		return Op{Type: Scan, Key: g.key(g.nextKeyNum()), ScanLen: 1 + g.rng.Intn(w.MaxScanLen)}
 	default:
-		return Op{Type: ReadModifyWrite, Key: Key(g.nextKeyNum()), Value: g.value}
+		return Op{Type: ReadModifyWrite, Key: g.key(g.nextKeyNum()), Value: g.value}
 	}
 }
 
