@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all check build vet test race bench examples figures verify report-smoke shard-smoke clean
+.PHONY: all check build vet test race bench examples figures verify report-smoke shard-smoke replace-smoke clean
 
 all: check
 
@@ -51,6 +51,12 @@ report-smoke:
 # scale — one disk-slow shard leader, per-shard + aggregate table.
 shard-smoke:
 	$(GO) run ./cmd/depfast-bench -exp shard -quick
+
+# Replacement smoke: a disk-slow follower is detected, quarantined,
+# condemned, removed, and replaced by a spare joined as a learner —
+# the whole sequence printed from the flight recorder.
+replace-smoke:
+	$(GO) run ./cmd/depfast-bench -exp replace
 
 examples:
 	$(GO) run ./examples/quickstart

@@ -14,6 +14,7 @@
 //	depfast-bench -exp intensity # degradation vs fault magnitude curves
 //	depfast-bench -exp mitigation # sentinel on/off under a CPU-slow leader
 //	depfast-bench -exp shard     # multi-Raft sharded KV: blast-radius containment
+//	depfast-bench -exp replace   # automated replacement of a condemned fail-slow node
 //
 // One-off custom runs:
 //
@@ -43,7 +44,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: table1|figure1|figure2|figure3|verify|transient|sweep|intensity|mitigation|shard|run|all")
+		exp      = flag.String("exp", "all", "experiment: table1|figure1|figure2|figure3|verify|transient|sweep|intensity|mitigation|shard|replace|run|all")
 		duration = flag.Duration("duration", 3*time.Second, "measurement window per cell")
 		warmup   = flag.Duration("warmup", 750*time.Millisecond, "warmup before measuring")
 		clients  = flag.Int("clients", 24, "closed-loop client population")
@@ -174,6 +175,12 @@ func main() {
 		exitOn(err)
 		fmt.Println(res.Render())
 	}
+	runReplace := func() {
+		fmt.Println("== Automated replacement (disk-slow follower condemned, spare joined) ==")
+		out, err := harness.ReplacementExperimentRecorded(recorder)
+		exitOn(err)
+		fmt.Println(out)
+	}
 	runSweep := func() {
 		fmt.Println("== Client-population sweep (DepFastRaft, healthy) ==")
 		counts := []int{4, 8, 16, 32, 64}
@@ -235,6 +242,8 @@ func main() {
 		runMitigation()
 	case "shard":
 		runSharded()
+	case "replace":
+		runReplace()
 	case "all":
 		runTable1()
 		runFigure1()
@@ -246,6 +255,7 @@ func main() {
 		runIntensity()
 		runMitigation()
 		runSharded()
+		runReplace()
 	default:
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
 		flag.Usage()

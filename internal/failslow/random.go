@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"depfast/internal/env"
+	"depfast/internal/obs"
 )
 
 // RandomFaults drives transient fail-slow episodes from a simple
@@ -26,6 +27,7 @@ type RandomFaults struct {
 	rng          *rand.Rand
 
 	mu      sync.Mutex
+	rec     *obs.Recorder
 	active  map[*env.Env]Fault
 	history []Episode
 	stopCh  chan struct{}
@@ -125,14 +127,15 @@ func (r *RandomFaults) step() {
 	r.active[target] = fault
 	ep := Episode{Target: target.Node(), Fault: fault, Start: time.Now(), End: time.Now().Add(dur)}
 	r.history = append(r.history, ep)
+	rec := r.rec
 	r.mu.Unlock()
 
-	Apply(target, fault, r.intensity)
+	ApplyObserved(rec, target, fault, r.intensity)
 	time.AfterFunc(dur, func() {
 		r.mu.Lock()
 		if r.active[target] == fault {
 			delete(r.active, target)
-			Clear(target)
+			ClearObserved(r.rec, target)
 		}
 		r.mu.Unlock()
 	})
@@ -143,7 +146,7 @@ func (r *RandomFaults) clearAll() {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	for t := range r.active {
-		Clear(t)
+		ClearObserved(r.rec, t)
 		delete(r.active, t)
 	}
 }
@@ -163,6 +166,30 @@ func (r *RandomFaults) Stop() {
 		close(r.stopCh)
 	}
 	<-r.doneCh
+}
+
+// SetRecorder attaches a flight recorder: every subsequent episode's
+// injection and clearance are emitted as FaultInjected/FaultCleared
+// events alongside the detections they provoke. Call before Start.
+func (r *RandomFaults) SetRecorder(rec *obs.Recorder) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.rec = rec
+}
+
+// ExportHistory emits the episode history accumulated so far into rec
+// with original episode timestamps — the after-the-fact path for runs
+// that attached no recorder up front. Episodes still in progress get
+// their injection event only.
+func (r *RandomFaults) ExportHistory(rec *obs.Recorder) {
+	now := time.Now()
+	for _, ep := range r.History() {
+		rec.Emit(obs.Event{Time: ep.Start, Type: obs.FaultInjected, Node: ep.Target,
+			Detail: ep.Fault.String()})
+		if !ep.End.After(now) {
+			rec.Emit(obs.Event{Time: ep.End, Type: obs.FaultCleared, Node: ep.Target})
+		}
+	}
 }
 
 // History returns the injected episodes so far.

@@ -1,0 +1,398 @@
+package harness
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"depfast/internal/clock"
+	"depfast/internal/core"
+	"depfast/internal/env"
+	"depfast/internal/failslow"
+	"depfast/internal/kv"
+	"depfast/internal/obs"
+	"depfast/internal/raft"
+	"depfast/internal/rpc"
+	"depfast/internal/trace"
+)
+
+// ReplacementRunConfig parameterizes the automated-replacement
+// experiment: a permanent fail-slow fault lands on one follower, the
+// sentinel escalates quarantine → condemned, and the replacement
+// pipeline removes the follower and joins the spare — all while a
+// client population keeps writing. The run measures throughput before
+// and after, audits every acknowledged write, and (with a recorder)
+// captures the whole sequence as ordered flight-recorder events.
+type ReplacementRunConfig struct {
+	// Fault is injected on one follower and never cleared — the
+	// "permanently slow disk" the paper's case studies never replace.
+	Fault     failslow.Fault
+	Intensity failslow.Intensity
+
+	Nodes          int
+	Clients        int
+	ClientRuntimes int
+	Records        int
+	ValueSize      int
+	Seed           int64
+
+	// Escalation tuning (mitigate.Config.ReplaceAfterQuarantines /
+	// SlowBudget on every server).
+	ReplaceAfterQuarantines int
+	SlowBudget              time.Duration
+
+	// Phase lengths. ReplaceWait bounds how long the run waits for the
+	// cluster to return to Nodes healthy voters; Settle sits between
+	// the completed replacement and the post window.
+	Warmup      time.Duration
+	PreWindow   time.Duration
+	ReplaceWait time.Duration
+	Settle      time.Duration
+	PostWindow  time.Duration
+
+	// RaftMutate tweaks server configs after the replacement knobs are
+	// applied.
+	RaftMutate func(*raft.Config)
+
+	// Recorder captures the run's timeline; MTTD and the replacement
+	// latency are derived from it.
+	Recorder *obs.Recorder
+
+	// Traced attaches a wait-record collector.
+	Traced bool
+}
+
+// DefaultReplacementRunConfig returns the disk-slow follower scenario
+// used by the EXPERIMENTS.md replacement table.
+func DefaultReplacementRunConfig() ReplacementRunConfig {
+	return ReplacementRunConfig{
+		Fault:     failslow.DiskSlow,
+		Intensity: failslow.DefaultIntensity(),
+		Nodes:                   3,
+		Clients:                 48,
+		ClientRuntimes:          4,
+		Records:                 2000,
+		ValueSize:               100,
+		Seed:                    42,
+		ReplaceAfterQuarantines: 2,
+		SlowBudget:              800 * time.Millisecond,
+		Warmup:                  500 * time.Millisecond,
+		PreWindow:               time.Second,
+		ReplaceWait:             15 * time.Second,
+		Settle:                  300 * time.Millisecond,
+		PostWindow:              1500 * time.Millisecond,
+	}
+}
+
+// ReplacementResult captures one automated-replacement run.
+type ReplacementResult struct {
+	Fault   failslow.Fault
+	Faulted string // the condemned and removed follower
+	Spare   string // the replacement that joined
+
+	PreTput  float64 // ops/sec before the fault
+	PostTput float64 // ops/sec after the replacement settled
+
+	// Replaced reports the cluster returned to Nodes voters with the
+	// faulted node gone and the spare promoted, within ReplaceWait.
+	Replaced    bool
+	FinalVoters []string
+
+	// AckedWrites is the auditor's acknowledged unique-key writes
+	// across the whole run; LostWrites counts those missing from any
+	// final voter's state machine (must be 0).
+	AckedWrites int
+	LostWrites  int
+
+	// MTTD is injection → first detector verdict; ReplacedIn is
+	// injection → the ReplacementCompleted event. Zero without a
+	// recorder.
+	MTTD       time.Duration
+	ReplacedIn time.Duration
+}
+
+// String renders a one-line summary.
+func (r ReplacementResult) String() string {
+	s := fmt.Sprintf("replace fault=%-10s faulted=%s spare=%s replaced=%v pre=%7.0f op/s post=%7.0f op/s acked=%d lost=%d",
+		r.Fault, r.Faulted, r.Spare, r.Replaced, r.PreTput, r.PostTput, r.AckedWrites, r.LostWrites)
+	if r.MTTD > 0 {
+		s += fmt.Sprintf(" mttd=%v", r.MTTD.Round(time.Millisecond))
+	}
+	if r.ReplacedIn > 0 {
+		s += fmt.Sprintf(" replaced_in=%v", r.ReplacedIn.Round(time.Millisecond))
+	}
+	return s
+}
+
+// RunReplacement executes the phased experiment.
+func RunReplacement(cfg ReplacementRunConfig) (ReplacementResult, error) {
+	if cfg.Nodes <= 0 {
+		cfg.Nodes = 3
+	}
+	if cfg.Clients <= 0 {
+		cfg.Clients = 48
+	}
+	if cfg.ClientRuntimes <= 0 {
+		cfg.ClientRuntimes = 4
+	}
+	if cfg.ReplaceWait <= 0 {
+		cfg.ReplaceWait = 15 * time.Second
+	}
+	if cfg.ReplaceAfterQuarantines <= 0 && cfg.SlowBudget <= 0 {
+		cfg.ReplaceAfterQuarantines = 2
+		cfg.SlowBudget = 800 * time.Millisecond
+	}
+
+	rec := cfg.Recorder
+	var collector *trace.Collector
+	if cfg.Traced {
+		collector = trace.NewCollector(2_000_000)
+	}
+	spare := fmt.Sprintf("s%d", cfg.Nodes+1)
+	mutate := func(rc *raft.Config) {
+		rc.AutoReplace = true
+		rc.Spares = []string{spare}
+		rc.Mitigate.ReplaceAfterQuarantines = cfg.ReplaceAfterQuarantines
+		rc.Mitigate.SlowBudget = cfg.SlowBudget
+		if cfg.RaftMutate != nil {
+			cfg.RaftMutate(rc)
+		}
+	}
+	rcfg := RunConfig{
+		System:         DepFastRaft,
+		Nodes:          cfg.Nodes,
+		Clients:        cfg.Clients,
+		ClientRuntimes: cfg.ClientRuntimes,
+		Records:        cfg.Records,
+		ValueSize:      cfg.ValueSize,
+		Seed:           cfg.Seed,
+		Recorder:       rec,
+		RaftMutate:     mutate,
+	}
+	h, err := buildCluster(rcfg, collector)
+	if err != nil {
+		return ReplacementResult{}, err
+	}
+	defer h.stop()
+
+	// The spare: registered and running, but with no peers — an empty
+	// voter set idles (never campaigns) until the leader's
+	// InstallSnapshot hands it the group's config.
+	spcfg := raft.DefaultConfig(spare, nil)
+	spcfg.Seed = cfg.Seed + int64(cfg.Nodes)*7919
+	spcfg.Recorder = rec
+	mutate(&spcfg)
+	var spOpts []core.Option
+	if collector != nil {
+		spOpts = append(spOpts, core.WithTracer(collector))
+	}
+	spEnv := env.New(spare, env.DefaultConfig())
+	spSrv := raft.NewServer(spcfg, spEnv, h.net, spOpts...)
+	h.net.Register(spare, spEnv, spSrv.TransportHandler())
+	spSrv.Start()
+	h.raftServers[spare] = spSrv
+	h.envs[spare] = spEnv
+
+	leader, err := h.waitLeader(15 * time.Second)
+	if err != nil {
+		return ReplacementResult{}, err
+	}
+
+	pool := startClients(h, rcfg, leader, collector)
+	defer pool.close()
+	stopSampler := startSampler(rec, pool, h, collector)
+	defer stopSampler()
+
+	// Auditor: one extra client writing unique keys, recording every
+	// acknowledged one. Its server list starts stale on purpose — the
+	// membership-refresh path is part of what the run exercises.
+	order := append([]string{leader}, otherNames(h.names, leader)...)
+	audRT := core.NewRuntime("audit-0", spOpts...)
+	audEP := rpc.NewEndpoint("audit-0", audRT, h.net, rpc.WithCallTimeout(3*time.Second))
+	h.net.Register("audit-0", env.New("audit-0", env.DefaultConfig()), audEP.TransportHandler())
+	var ackMu sync.Mutex
+	var acked []string
+	var stopAudit atomic.Bool
+	audDone := make(chan struct{})
+	audRT.Spawn("auditor", func(co *core.Coroutine) {
+		defer close(audDone)
+		cl := raft.NewClient(9999, audEP, order, 3*time.Second)
+		for i := 0; !stopAudit.Load(); i++ {
+			key := fmt.Sprintf("audit-%06d", i)
+			if err := cl.Put(co, key, []byte{byte(i)}); err == nil {
+				ackMu.Lock()
+				acked = append(acked, key)
+				ackMu.Unlock()
+			}
+		}
+	})
+	defer func() {
+		audEP.Close()
+		audRT.Stop()
+	}()
+
+	phase(rec, "warmup")
+	clock.Precise(cfg.Warmup)
+
+	res := ReplacementResult{Fault: cfg.Fault, Spare: spare}
+	phase(rec, "pre-window")
+	res.PreTput = pool.measureFor(cfg.PreWindow)
+
+	// Inject the permanent fault into a follower.
+	target := leader
+	if cur, ok := h.leader(); ok {
+		target = cur
+	}
+	faulted := otherNames(h.names, target)[0]
+	res.Faulted = faulted
+	injectedAt := time.Now()
+	h.raftServers[faulted].Mitigation.MarkInjected(injectedAt)
+	failslow.ApplyObserved(rec, h.envs[faulted], cfg.Fault, cfg.Intensity)
+
+	// Wait for the pipeline: quarantine → condemned → removed → spare
+	// joined, caught up, and promoted.
+	phase(rec, "replace-wait")
+	res.Replaced = clock.WaitUntil(cfg.ReplaceWait, 20*time.Millisecond, func() bool {
+		cur, ok := h.leader()
+		if !ok {
+			return false
+		}
+		voters, _ := h.raftServers[cur].Members()
+		if len(voters) != cfg.Nodes {
+			return false
+		}
+		hasSpare := false
+		for _, v := range voters {
+			if v == faulted {
+				return false
+			}
+			if v == spare {
+				hasSpare = true
+			}
+		}
+		return hasSpare
+	})
+	if cur, ok := h.leader(); ok {
+		res.FinalVoters, _ = h.raftServers[cur].Members()
+	}
+
+	phase(rec, "settle")
+	clock.Precise(cfg.Settle)
+	phase(rec, "post-window")
+	res.PostTput = pool.measureFor(cfg.PostWindow)
+
+	stopAudit.Store(true)
+	pool.stop()
+	select {
+	case <-audDone:
+	case <-time.After(10 * time.Second):
+	}
+	stopSampler()
+
+	// Audit: wait for the final voters to converge, then require every
+	// acknowledged write in every final voter's state machine.
+	ackMu.Lock()
+	res.AckedWrites = len(acked)
+	ackMu.Unlock()
+	if len(res.FinalVoters) > 0 {
+		finals := make([]*raft.Server, 0, len(res.FinalVoters))
+		for _, v := range res.FinalVoters {
+			finals = append(finals, h.raftServers[v])
+		}
+		clock.WaitUntil(10*time.Second, 20*time.Millisecond, func() bool {
+			var want uint64
+			for i, s := range finals {
+				ci, la := s.CommitInfo()
+				if la != ci {
+					return false
+				}
+				if i == 0 {
+					want = la
+				} else if la != want {
+					return false
+				}
+			}
+			return true
+		})
+		for _, s := range finals {
+			store := s.Store()
+			for _, key := range acked {
+				if r := store.Apply(kv.Command{Op: kv.OpGet, Key: key}); !r.Found {
+					res.LostWrites++
+				}
+			}
+		}
+	} else {
+		res.LostWrites = res.AckedWrites // nothing to audit against
+	}
+
+	// Derive detection and replacement latency from the timeline.
+	if rec != nil {
+		rep := obs.Analyze(rec.Events(), obs.ReportConfig{})
+		for _, f := range rep.Faults {
+			if f.Node != faulted || f.InjectedAt.Before(injectedAt.Add(-time.Second)) {
+				continue
+			}
+			res.MTTD = f.MTTD()
+		}
+		for _, ev := range rec.Events() {
+			if ev.Type == obs.ReplacementCompleted && ev.Peer == faulted && ev.Time.After(injectedAt) {
+				res.ReplacedIn = ev.Time.Sub(injectedAt)
+				break
+			}
+		}
+	}
+	return res, nil
+}
+
+// ReplacementExperiment runs the automated-replacement scenario and
+// renders the EXPERIMENTS.md table plus the event sequence.
+func ReplacementExperiment() (string, error) {
+	return ReplacementExperimentRecorded(nil)
+}
+
+// ReplacementExperimentRecorded is ReplacementExperiment publishing
+// onto rec; with nil a private recorder is used so the event sequence
+// can still be rendered.
+func ReplacementExperimentRecorded(rec *obs.Recorder) (string, error) {
+	own := rec == nil
+	if own {
+		rec = obs.NewRecorder(0)
+	}
+	cfg := DefaultReplacementRunConfig()
+	cfg.Recorder = rec
+	r, err := RunReplacement(cfg)
+	if err != nil {
+		return "", err
+	}
+	var b []byte
+	b = append(b, fmt.Sprintf("%-12s %-8s %-8s %12s %12s %10s %7s %6s %9s %12s\n",
+		"fault", "faulted", "spare", "pre (op/s)", "post (op/s)", "post/pre", "acked", "lost", "mttd", "replaced_in")...)
+	ratio := 0.0
+	if r.PreTput > 0 {
+		ratio = r.PostTput / r.PreTput
+	}
+	b = append(b, fmt.Sprintf("%-12s %-8s %-8s %12.0f %12.0f %9.2fx %7d %6d %9s %12s\n",
+		r.Fault, r.Faulted, r.Spare, r.PreTput, r.PostTput, ratio,
+		r.AckedWrites, r.LostWrites, renderTTD(r.MTTD), renderTTD(r.ReplacedIn))...)
+	b = append(b, "\nreplacement sequence (offsets from injection):\n"...)
+	var injected time.Time
+	for _, ev := range rec.Events() {
+		switch ev.Type {
+		case obs.FaultInjected:
+			if ev.Node == r.Faulted && injected.IsZero() {
+				injected = ev.Time
+				b = append(b, fmt.Sprintf("  %8s  %-18s node=%s detail=%s\n", "+0s", ev.Type, ev.Node, ev.Detail)...)
+			}
+		case obs.QuarantineEnter, obs.MemberRemoved, obs.MemberAdded,
+			obs.LearnerCaughtUp, obs.ReplacementCompleted:
+			if injected.IsZero() {
+				continue
+			}
+			b = append(b, fmt.Sprintf("  %8s  %-18s peer=%s detail=%s\n",
+				"+"+ev.Time.Sub(injected).Round(time.Millisecond).String(), ev.Type, ev.Peer, ev.Detail)...)
+		}
+	}
+	return string(b), nil
+}

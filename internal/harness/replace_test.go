@@ -1,0 +1,140 @@
+package harness
+
+import (
+	"testing"
+	"time"
+
+	"depfast/internal/obs"
+	"depfast/internal/raft"
+)
+
+func shortReplacementCfg() ReplacementRunConfig {
+	cfg := DefaultReplacementRunConfig()
+	cfg.Clients = 24
+	cfg.ClientRuntimes = 2
+	cfg.Records = 500
+	cfg.Warmup = 300 * time.Millisecond
+	cfg.PreWindow = 600 * time.Millisecond
+	cfg.Settle = 300 * time.Millisecond
+	cfg.PostWindow = time.Second
+	cfg.RaftMutate = func(rc *raft.Config) {
+		// Field-wise so the replacement knobs set by RunReplacement
+		// (ReplaceAfterQuarantines, SlowBudget) survive.
+		rc.Mitigate.Interval = 15 * time.Millisecond
+		rc.Mitigate.MinQuarantine = 150 * time.Millisecond
+		rc.Mitigate.TransferCooldown = time.Second
+	}
+	return cfg
+}
+
+// TestRunReplacement is the ISSUE acceptance experiment: a fail-slow
+// follower is detected, quarantined, condemned, removed, and a spare
+// joins as a learner and is promoted — returning the cluster to full
+// replication factor with zero acknowledged-write loss, steady-state
+// throughput within 10% of baseline, and the whole sequence captured
+// as ordered flight-recorder events.
+func TestRunReplacement(t *testing.T) {
+	if testing.Short() {
+		t.Skip("replacement experiment is seconds-long")
+	}
+	var res ReplacementResult
+	var rec *obs.Recorder
+	for attempt := 0; attempt < 2; attempt++ {
+		rec = obs.NewRecorder(0)
+		cfg := shortReplacementCfg()
+		cfg.Recorder = rec
+		var err error
+		if res, err = RunReplacement(cfg); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("attempt %d: %s", attempt, res)
+		// Correctness must hold every attempt; only the throughput
+		// window is allowed a retry on a noisy host.
+		if !res.Replaced {
+			t.Fatalf("cluster never returned to %d voters: final=%v", 3, res.FinalVoters)
+		}
+		if res.LostWrites != 0 {
+			t.Fatalf("lost %d of %d acknowledged writes", res.LostWrites, res.AckedWrites)
+		}
+		if res.PostTput >= 0.9*res.PreTput {
+			break
+		}
+	}
+
+	if res.AckedWrites == 0 {
+		t.Error("auditor acknowledged no writes")
+	}
+	if res.Spare == res.Faulted {
+		t.Errorf("spare %q equals faulted node", res.Spare)
+	}
+	for _, v := range res.FinalVoters {
+		if v == res.Faulted {
+			t.Errorf("faulted node %s still a voter: %v", res.Faulted, res.FinalVoters)
+		}
+	}
+	found := false
+	for _, v := range res.FinalVoters {
+		if v == res.Spare {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("spare %s not among final voters %v", res.Spare, res.FinalVoters)
+	}
+	if res.PostTput < 0.9*res.PreTput {
+		if raceEnabled {
+			t.Logf("post-replacement throughput %.0f op/s < 0.9x baseline %.0f op/s (tolerated under -race)",
+				res.PostTput, res.PreTput)
+		} else {
+			t.Errorf("post-replacement throughput %.0f op/s < 0.9x baseline %.0f op/s",
+				res.PostTput, res.PreTput)
+		}
+	}
+	if res.MTTD <= 0 {
+		t.Error("MTTD not derived from the recorder")
+	}
+	if res.ReplacedIn <= 0 {
+		t.Error("replacement latency not derived from the recorder")
+	}
+
+	// The full sequence, in order, on one timeline.
+	type step struct {
+		name string
+		at   time.Time
+	}
+	var seq []step
+	mark := func(name string, ev obs.Event) {
+		seq = append(seq, step{name, ev.Time})
+	}
+	for _, ev := range rec.Events() {
+		switch {
+		case ev.Type == obs.FaultInjected && ev.Node == res.Faulted && len(seq) == 0:
+			mark("fault-injected", ev)
+		case ev.Type == obs.QuarantineEnter && ev.Peer == res.Faulted && len(seq) == 1:
+			mark("quarantined", ev)
+		case ev.Type == obs.MemberRemoved && ev.Peer == res.Faulted && len(seq) == 2:
+			mark("removed", ev)
+		case ev.Type == obs.MemberAdded && ev.Peer == res.Spare && ev.Detail == "learner" && len(seq) == 3:
+			mark("learner-joined", ev)
+		case ev.Type == obs.LearnerCaughtUp && ev.Peer == res.Spare && len(seq) == 4:
+			mark("caught-up", ev)
+		case ev.Type == obs.MemberAdded && ev.Peer == res.Spare && ev.Detail == "voter" && len(seq) == 5:
+			mark("promoted", ev)
+		case ev.Type == obs.ReplacementCompleted && ev.Peer == res.Faulted && len(seq) == 6:
+			mark("completed", ev)
+		}
+	}
+	want := []string{"fault-injected", "quarantined", "removed", "learner-joined", "caught-up", "promoted", "completed"}
+	if len(seq) != len(want) {
+		got := make([]string, len(seq))
+		for i, s := range seq {
+			got[i] = s.name
+		}
+		t.Fatalf("event sequence incomplete: got %v, want %v", got, want)
+	}
+	for i := 1; i < len(seq); i++ {
+		if seq[i].at.Before(seq[i-1].at) {
+			t.Errorf("event %s at %v precedes %s at %v", seq[i].name, seq[i].at, seq[i-1].name, seq[i-1].at)
+		}
+	}
+}

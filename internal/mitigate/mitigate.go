@@ -61,6 +61,17 @@ type Config struct {
 	// majority protocol: n - majority(n)). Zero means no peer is ever
 	// quarantined.
 	MaxQuarantined int
+
+	// ReplaceAfterQuarantines condemns a peer to replacement after it
+	// has entered quarantine that many times: rehabilitation keeps
+	// failing, so quarantine is palliative and the peer should be
+	// swapped out. Zero disables count-based escalation.
+	ReplaceAfterQuarantines int
+
+	// SlowBudget condemns a peer once its cumulative quarantined time
+	// passes this budget — the "permanently slow, never replaced" trap.
+	// Zero disables budget-based escalation.
+	SlowBudget time.Duration
 }
 
 // DefaultConfig returns the laptop-scale defaults.
@@ -124,6 +135,10 @@ type Decision struct {
 	Quarantine []string
 	// Release holds peers rehabilitated this tick.
 	Release []string
+	// Replace holds condemned peers: quarantine kept failing (or the
+	// slow budget is spent) and the integrator should replace them.
+	// Repeated every tick until the integrator calls Forget.
+	Replace []string
 	// DemoteSelf is set when the node should hand leadership away.
 	DemoteSelf bool
 }
@@ -133,6 +148,11 @@ type peerTrack struct {
 	suspectStreak int
 	quarantined   bool
 	since         time.Time
+
+	quarEpisodes int
+	slowAccrued  time.Duration
+	lastAccrual  time.Time
+	condemned    bool
 }
 
 // Policy is the mitigation state machine. It is not safe for
@@ -169,6 +189,22 @@ func (p *Policy) Tick(now time.Time, verdicts []PeerVerdict, selfSlow bool) Deci
 			p.peers[v.Peer] = t
 		}
 		if t.quarantined {
+			// Accrue quarantined wall time toward the slow budget.
+			if !t.lastAccrual.IsZero() {
+				t.slowAccrued += now.Sub(t.lastAccrual)
+			}
+			t.lastAccrual = now
+			// Escalation check runs before release: a peer that keeps
+			// cycling through quarantine is condemned, not rehabilitated.
+			if !t.condemned &&
+				((p.cfg.ReplaceAfterQuarantines > 0 && t.quarEpisodes >= p.cfg.ReplaceAfterQuarantines) ||
+					(p.cfg.SlowBudget > 0 && t.slowAccrued >= p.cfg.SlowBudget)) {
+				t.condemned = true
+			}
+			if t.condemned {
+				d.Replace = append(d.Replace, v.Peer)
+				continue
+			}
 			if now.Sub(t.since) >= p.cfg.MinQuarantine &&
 				v.ConsecutiveHealthy >= p.cfg.RehabRTTs {
 				t.quarantined = false
@@ -187,6 +223,8 @@ func (p *Policy) Tick(now time.Time, verdicts []PeerVerdict, selfSlow bool) Deci
 			t.quarantined = true
 			t.since = now
 			t.suspectStreak = 0
+			t.quarEpisodes++
+			t.lastAccrual = now
 			p.quarCount++
 			d.Quarantine = append(d.Quarantine, v.Peer)
 		}
@@ -221,6 +259,26 @@ func (p *Policy) Quarantined() []string {
 		}
 	}
 	return out
+}
+
+// Forget drops one peer's track entirely — used when the peer has
+// been removed from the configuration, so a stale condemned verdict
+// cannot outlive the member it indicted.
+func (p *Policy) Forget(peer string) {
+	t := p.peers[peer]
+	if t == nil {
+		return
+	}
+	if t.quarantined {
+		p.quarCount--
+	}
+	delete(p.peers, peer)
+}
+
+// SetMaxQuarantined retunes the quarantine cap after a membership
+// change resizes the voter set.
+func (p *Policy) SetMaxQuarantined(n int) {
+	p.cfg.MaxQuarantined = n
 }
 
 // Reset drops all per-peer state and streaks — used on leadership

@@ -51,6 +51,22 @@ const (
 	QuarantineEnter Type = "quarantine.enter"
 	QuarantineExit  Type = "quarantine.exit"
 
+	// MemberAdded / MemberRemoved trace dynamic membership: Node is the
+	// leader, Peer the subject. Added's Detail is "learner" (join) or
+	// "voter" (promotion); Removed's Detail is the subject's prior role.
+	// Fields["index"] is the ConfChange entry's log index.
+	MemberAdded   Type = "member.added"
+	MemberRemoved Type = "member.removed"
+
+	// LearnerCaughtUp marks a bootstrapping learner reaching the log
+	// tip, gating its promotion; Node is the leader, Peer the learner.
+	LearnerCaughtUp Type = "learner.caughtup"
+
+	// ReplacementCompleted closes one automated replacement: Peer is the
+	// removed replica, Detail the spare that took its place (or
+	// "removed-only" when no spare was available).
+	ReplacementCompleted Type = "replace.completed"
+
 	// LeaderElected marks a node winning an election; Fields["term"].
 	LeaderElected Type = "leader.elected"
 

@@ -146,6 +146,7 @@ func (s *Server) proposeBatch(co *core.Coroutine, term uint64, batch []*pendingP
 		q.AddJudged(ev, s.appendJudge(p, last, term))
 		s.outboxes[p].Send(ae, ev, int64(last))
 	}
+	s.streamToLearners(entries, last, term)
 	fanned := time.Now()
 
 	switch co.WaitQuorum(q, s.cfg.CommitTimeout) {
@@ -165,7 +166,8 @@ func (s *Server) proposeBatch(co *core.Coroutine, term uint64, batch []*pendingP
 		return
 	}
 	if s.cfg.QuorumDiscard {
-		for _, p := range s.others() {
+		// Voters only: learner catch-up streams are never discarded.
+		for _, p := range s.otherVoters() {
 			if s.matchIndex[p] < last {
 				s.outboxes[p].CancelBelow(int64(last))
 			}

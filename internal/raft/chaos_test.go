@@ -164,11 +164,263 @@ func runChaosConvergence(t *testing.T, mitigation bool) {
 	}
 }
 
+// TestChaosConvergenceMembershipChurn layers membership churn on the
+// fault storm: while fail-slow faults cycle through the original
+// nodes, voters are removed and replaced by freshly bootstrapped
+// spares. Every acknowledged write must survive into the final voter
+// set, and the final voters must converge.
+func TestChaosConvergenceMembershipChurn(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos test is seconds-long")
+	}
+	c := newCluster(t, clusterOpts{n: 3, mutate: func(cfg *Config) {
+		cfg.SnapshotThreshold = 64 // learners bootstrap via snapshot
+		cfg.EntryCacheSize = 32
+		cfg.Mitigation = true
+	}})
+	c.waitLeader()
+
+	// Spares are built up front so no goroutine mutates the cluster
+	// maps once the storm starts.
+	spares := []string{"s4", "s5"}
+	for _, sp := range spares {
+		addJoiner(c, sp)
+	}
+
+	const clients = 6
+	const duration = 4 * time.Second
+	deadline := time.Now().Add(duration)
+
+	// Fault driver: cycle fail-slow faults through the original nodes.
+	stopChaos := make(chan struct{})
+	chaosDone := make(chan struct{})
+	go func() {
+		defer close(chaosDone)
+		rng := rand.New(rand.NewSource(4321))
+		for {
+			select {
+			case <-stopChaos:
+				for _, n := range c.names {
+					failslow.Clear(c.envs[n])
+				}
+				return
+			case <-time.After(time.Duration(300+rng.Intn(300)) * time.Millisecond):
+			}
+			target := c.names[rng.Intn(len(c.names))]
+			switch rng.Intn(3) {
+			case 0:
+				failslow.Apply(c.envs[target], failslow.NetSlow, failslow.DefaultIntensity())
+			case 1:
+				failslow.Apply(c.envs[target], failslow.CPUSlow, failslow.DefaultIntensity())
+			case 2:
+				failslow.Clear(c.envs[target])
+			}
+		}
+	}()
+
+	// Churn driver: follow the (moving) leader and run remove+replace
+	// rounds against whatever configuration currently holds.
+	change := func(co *core.Coroutine, kind uint64, node string) bool {
+		target := ""
+		changeDeadline := time.Now().Add(20 * time.Second)
+		for time.Now().Before(changeDeadline) {
+			if target == "" {
+				for n, s := range c.servers {
+					if _, role, _ := s.Status(); role == Leader {
+						target = n
+						break
+					}
+				}
+			}
+			if target != "" {
+				r := memberChange(c, co, target, kind, node)
+				if r != nil && r.OK {
+					return true
+				}
+				if r != nil && r.NotLeader && r.LeaderHint != "" {
+					target = r.LeaderHint
+				} else {
+					target = ""
+				}
+			}
+			if co.Sleep(100*time.Millisecond) != nil {
+				return false
+			}
+		}
+		return false
+	}
+	churnDone := make(chan struct{})
+	c.clientRT.Spawn("churn", func(co *core.Coroutine) {
+		defer close(churnDone)
+		voters := append([]string(nil), c.names...)
+		for round := 0; round < len(spares); round++ {
+			if co.Sleep(800*time.Millisecond) != nil {
+				return
+			}
+			leader := ""
+			for n, s := range c.servers {
+				if _, role, _ := s.Status(); role == Leader {
+					leader = n
+				}
+			}
+			victim := ""
+			for _, v := range voters {
+				if v != leader {
+					victim = v
+					break
+				}
+			}
+			if victim == "" || !change(co, ConfRemove, victim) {
+				continue
+			}
+			for i, v := range voters {
+				if v == victim {
+					voters = append(voters[:i], voters[i+1:]...)
+					break
+				}
+			}
+			sp := spares[round]
+			if !change(co, ConfAddLearner, sp) {
+				continue
+			}
+			// Promote retries absorb ErrLearnerBehind while the spare
+			// bootstraps under the fault storm.
+			if change(co, ConfPromote, sp) {
+				voters = append(voters, sp)
+			}
+		}
+	})
+
+	type ack struct {
+		key string
+		val byte
+	}
+	var ackMu sync.Mutex
+	var acks []ack
+	doneCh := make(chan int, clients)
+	for ci := 0; ci < clients; ci++ {
+		id := uint64(700 + ci)
+		cl := NewClient(id, c.clientEP, c.names, 500*time.Millisecond)
+		c.clientRT.Spawn("churn-client", func(co *core.Coroutine) {
+			n := 0
+			for time.Now().Before(deadline) {
+				key := fmt.Sprintf("churn-%d-%d", id, n)
+				val := byte(n)
+				if err := cl.Put(co, key, []byte{val}); err == nil {
+					ackMu.Lock()
+					acks = append(acks, ack{key: key, val: val})
+					ackMu.Unlock()
+					n++
+				}
+			}
+			doneCh <- n
+		})
+	}
+	total := 0
+	for i := 0; i < clients; i++ {
+		select {
+		case n := <-doneCh:
+			total += n
+		case <-time.After(duration + 60*time.Second):
+			t.Fatal("churn clients hung")
+		}
+	}
+	select {
+	case <-churnDone:
+	case <-time.After(90 * time.Second):
+		t.Fatal("membership churn hung")
+	}
+	close(stopChaos)
+	<-chaosDone
+	if total < 20 {
+		t.Fatalf("only %d acknowledged writes under churn; cluster effectively down", total)
+	}
+
+	// The final configuration is whatever the storm left behind — read
+	// it from the current leader.
+	var finalVoters []string
+	leadDeadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(leadDeadline) {
+		for _, s := range c.servers {
+			if _, role, _ := s.Status(); role == Leader {
+				finalVoters, _ = s.Members()
+			}
+		}
+		if len(finalVoters) > 0 {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if len(finalVoters) < 2 {
+		t.Fatalf("no post-churn leader/config (voters=%v)", finalVoters)
+	}
+	t.Logf("churn: %d acknowledged writes, final voters %v", total, finalVoters)
+
+	convergeDeadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(convergeDeadline) {
+		if c.convergedOver(finalVoters) {
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if !c.convergedOver(finalVoters) {
+		for _, n := range finalVoters {
+			ci, la := c.servers[n].CommitInfo()
+			t.Logf("%s commit=%d applied=%d", n, ci, la)
+		}
+		t.Fatal("final voters did not converge after healing")
+	}
+
+	// Zero acknowledged-write loss across the membership churn: every
+	// ack must be present on every final voter.
+	for _, n := range finalVoters {
+		store := c.servers[n].Store()
+		for _, a := range acks {
+			r := store.Apply(kv.Command{Op: kv.OpGet, Key: a.key})
+			if !r.Found || r.Value[0] != a.val {
+				t.Fatalf("%s lost acknowledged write %s", n, a.key)
+			}
+		}
+	}
+	sizes := map[int]bool{}
+	for _, n := range finalVoters {
+		sizes[c.servers[n].Store().Len()] = true
+	}
+	if len(sizes) != 1 {
+		t.Fatalf("final voter store sizes diverge: %v", sizes)
+	}
+}
+
 // converged reports whether all servers applied the same index.
 func (c *cluster) converged() bool {
 	var want uint64
 	first := true
 	for _, s := range c.servers {
+		ci, la := s.CommitInfo()
+		if la != ci {
+			return false
+		}
+		if first {
+			want = la
+			first = false
+		} else if la != want {
+			return false
+		}
+	}
+	return true
+}
+
+// convergedOver reports whether the named servers applied the same
+// index — the convergence predicate once membership churn has made
+// "all servers" the wrong universe.
+func (c *cluster) convergedOver(names []string) bool {
+	var want uint64
+	first := true
+	for _, n := range names {
+		s := c.servers[n]
+		if s == nil {
+			return false
+		}
 		ci, la := s.CommitInfo()
 		if la != ci {
 			return false

@@ -30,6 +30,7 @@ type Client struct {
 	timeout time.Duration
 	retries int
 	backoff *Backoff
+	misses  int
 }
 
 // NewClient returns a client with unique id issuing requests through
@@ -64,14 +65,14 @@ func (c *Client) Do(co *core.Coroutine, cmd kv.Command) (kv.Result, error) {
 			// dead — retrying instantly would re-dogpile it in lockstep
 			// with every other timed-out client. Jittered backoff
 			// desynchronizes the retry wave.
-			c.rotate()
+			c.noteMiss(co)
 			if err := co.Sleep(c.backoff.Delay(attempt)); err != nil {
 				return kv.Result{}, ErrClientStopped
 			}
 			continue
 		}
 		if ev.Err() != nil {
-			c.rotate()
+			c.noteMiss(co)
 			if err := co.Sleep(c.backoff.Delay(0)); err != nil {
 				return kv.Result{}, ErrClientStopped
 			}
@@ -84,7 +85,13 @@ func (c *Client) Do(co *core.Coroutine, cmd kv.Command) (kv.Result, error) {
 		}
 		if resp.NotLeader {
 			if !c.follow(resp.LeaderHint) {
-				c.rotate()
+				// An unknown hint means the member set moved under us —
+				// e.g. the leader is a freshly joined replacement this
+				// client has never heard of. Refresh and retry the hint.
+				c.refreshMembership(co)
+				if !c.follow(resp.LeaderHint) {
+					c.rotate()
+				}
 			}
 			// Back off while an election settles.
 			if err := co.Sleep(c.backoff.Delay(attempt)); err != nil {
@@ -100,6 +107,7 @@ func (c *Client) Do(co *core.Coroutine, cmd kv.Command) (kv.Result, error) {
 			}
 			continue
 		}
+		c.misses = 0
 		return kv.Result{Found: resp.Found, Value: resp.Value, Pairs: resp.Pairs}, nil
 	}
 	return kv.Result{}, ErrExhausted
@@ -140,6 +148,46 @@ func (c *Client) Scan(co *core.Coroutine, key string, n int) ([]kv.Pair, error) 
 
 // rotate moves to the next candidate server.
 func (c *Client) rotate() { c.leader = (c.leader + 1) % len(c.servers) }
+
+// noteMiss rotates after a failed or timed-out call and, once every
+// configured server has missed in a row, refreshes the member set —
+// the cure for a long-lived client whose server list has rotted (a
+// removed server burns a timeout+backoff per request forever).
+func (c *Client) noteMiss(co *core.Coroutine) {
+	c.misses++
+	c.rotate()
+	if c.misses >= len(c.servers) {
+		c.refreshMembership(co)
+	}
+}
+
+// refreshMembership asks the current target for the configuration and
+// swaps the server list on success. Best-effort: a dead or removed
+// target simply leaves the list unchanged for the next attempt.
+func (c *Client) refreshMembership(co *core.Coroutine) {
+	cur := c.servers[c.leader]
+	ev := c.ep.Call(cur, &MembershipQuery{})
+	if co.WaitFor(ev, c.timeout) != core.WaitReady || ev.Err() != nil {
+		return
+	}
+	info, ok := ev.Value().(*MembershipInfo)
+	if !ok || len(info.Voters) == 0 {
+		return
+	}
+	c.servers = append(append([]string(nil), info.Voters...), info.Learners...)
+	c.retries = 10 * len(c.servers)
+	c.leader = 0
+	if !c.follow(info.LeaderHint) {
+		c.follow(cur)
+	}
+	c.misses = 0
+}
+
+// Servers returns the client's current server list (after any
+// membership refreshes).
+func (c *Client) Servers() []string {
+	return append([]string(nil), c.servers...)
+}
 
 // follow switches to the hinted leader; false if the hint is unknown.
 func (c *Client) follow(hint string) bool {

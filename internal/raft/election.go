@@ -25,6 +25,11 @@ func (s *Server) electionTicker(co *core.Coroutine) {
 		if s.role == Leader {
 			continue
 		}
+		// Learners and idle spares never campaign: a node only starts
+		// elections while it is a voter of its effective config.
+		if !s.isVoter(s.cfg.ID) {
+			continue
+		}
 		silent := time.Since(s.lastHeartbeat) >= timeout
 		slow := s.cfg.SlowLeaderDetector && s.leaderSeemsSlow()
 		if silent || slow {
@@ -119,9 +124,9 @@ func (s *Server) campaign(co *core.Coroutine) {
 
 	lastIdx := s.wal.LastIndex()
 	lastTerm := s.termOf(lastIdx)
-	q := core.NewQuorumEvent(len(s.cfg.Peers), s.majority())
+	q := core.NewQuorumEvent(len(s.mem.voters), s.majority())
 	q.AddAck() // own vote
-	for _, p := range s.others() {
+	for _, p := range s.otherVoters() {
 		ev := s.ep.Call(p, &RequestVote{
 			Term:         term,
 			Candidate:    s.cfg.ID,
@@ -179,8 +184,7 @@ func (s *Server) becomeLeader(co *core.Coroutine, term uint64) {
 		s.rt.Spawn("committer", func(cc *core.Coroutine) { s.committerLoop(cc, term) })
 	}
 	for _, p := range s.others() {
-		p := p
-		s.rt.Spawn("repair-"+p, func(rc *core.Coroutine) { s.repairLoop(rc, p, term) })
+		s.spawnRepair(p, term)
 	}
 	// Commit a no-op barrier so entries from prior terms become
 	// committable (Raft §5.4.2).
@@ -195,9 +199,9 @@ func (s *Server) becomeLeader(co *core.Coroutine, term uint64) {
 func (s *Server) preVote(co *core.Coroutine) bool {
 	term := s.term
 	lastIdx := s.wal.LastIndex()
-	q := core.NewQuorumEvent(len(s.cfg.Peers), s.majority())
+	q := core.NewQuorumEvent(len(s.mem.voters), s.majority())
 	q.AddAck() // would vote for self
-	for _, p := range s.others() {
+	for _, p := range s.otherVoters() {
 		ev := s.ep.Call(p, &RequestVote{
 			Term:         term + 1,
 			Candidate:    s.cfg.ID,
@@ -222,6 +226,14 @@ func (s *Server) handleRequestVote(co *core.Coroutine, from string, req codec.Me
 	m := req.(*RequestVote)
 	s.e.Compute(s.cfg.FollowerComputePerOp)
 	if m.Term < s.term {
+		return &RequestVoteReply{Term: s.term, Granted: false}
+	}
+	// A candidate outside our effective voter set is denied before any
+	// term adoption: a removed server that never learned of its removal
+	// keeps campaigning, and without this check its ever-growing terms
+	// would disrupt the group it no longer belongs to. (An empty voter
+	// set — an unbootstrapped spare — abstains from this judgment.)
+	if len(s.mem.voters) > 0 && !s.isVoter(m.Candidate) {
 		return &RequestVoteReply{Term: s.term, Granted: false}
 	}
 	// Leader stickiness: a node that heard from a live leader within

@@ -1,0 +1,755 @@
+// Dynamic membership: single-server add/remove carried as ConfChange
+// log entries (Raft thesis §4.1). A configuration takes effect the
+// moment its entry is *appended* — quorums for that entry and
+// everything after are counted over the new voter set — and is rolled
+// back if the entry is truncated by a conflicting leader. New servers
+// join as non-voting learners: they receive the log (snapshot
+// bootstrap + streaming) and their progress is tracked, but they are
+// charged to no quorum and start no elections, so a slow or lagging
+// joiner cannot stall the group. Promotion to voter is a second
+// ConfChange, gated on the learner having caught up. Safety rails:
+// one in-flight change at a time, and a leader never removes itself
+// (transfer leadership first).
+package raft
+
+import (
+	"errors"
+	"sort"
+	"time"
+
+	"depfast/internal/codec"
+	"depfast/internal/core"
+	"depfast/internal/obs"
+	"depfast/internal/storage"
+)
+
+// Membership message tags (Raft range 200–299).
+const (
+	TagConfChange        = 209
+	TagMemberChange      = 210
+	TagMemberChangeReply = 211
+	TagMembershipQuery   = 212
+	TagMembershipInfo    = 213
+)
+
+// ConfChange kinds.
+const (
+	// ConfAddLearner adds a non-voting learner.
+	ConfAddLearner = 1
+	// ConfPromote promotes a caught-up learner to voter.
+	ConfPromote = 2
+	// ConfRemove removes a member (voter or learner).
+	ConfRemove = 3
+)
+
+// Membership-change errors surfaced to callers.
+var (
+	ErrConfPending   = errors.New("raft: a membership change is already in flight")
+	ErrRemoveSelf    = errors.New("raft: leader cannot remove itself; transfer leadership first")
+	ErrNotMember     = errors.New("raft: node is not a member")
+	ErrAlreadyMember = errors.New("raft: node is already a member")
+	ErrLearnerBehind = errors.New("raft: learner has not caught up")
+	ErrBadConfChange = errors.New("raft: malformed membership change")
+)
+
+// ConfChange is the log-entry payload of one membership change.
+type ConfChange struct {
+	Kind uint64
+	Node string
+}
+
+// TypeTag implements codec.Message.
+func (m *ConfChange) TypeTag() uint32 { return TagConfChange }
+
+// MarshalTo implements codec.Message.
+func (m *ConfChange) MarshalTo(e *codec.Encoder) {
+	e.Uint64(m.Kind)
+	e.String(m.Node)
+}
+
+// UnmarshalFrom implements codec.Message.
+func (m *ConfChange) UnmarshalFrom(d *codec.Decoder) {
+	m.Kind = d.Uint64()
+	m.Node = d.String()
+}
+
+// MemberChange asks the leader to run one membership change.
+type MemberChange struct {
+	Kind uint64
+	Node string
+}
+
+// TypeTag implements codec.Message.
+func (m *MemberChange) TypeTag() uint32 { return TagMemberChange }
+
+// MarshalTo implements codec.Message.
+func (m *MemberChange) MarshalTo(e *codec.Encoder) {
+	e.Uint64(m.Kind)
+	e.String(m.Node)
+}
+
+// UnmarshalFrom implements codec.Message.
+func (m *MemberChange) UnmarshalFrom(d *codec.Decoder) {
+	m.Kind = d.Uint64()
+	m.Node = d.String()
+}
+
+// MemberChangeReply reports the change's outcome.
+type MemberChangeReply struct {
+	OK         bool
+	NotLeader  bool
+	LeaderHint string
+	Err        string
+	// Index is the committed ConfChange entry's log index (0 when the
+	// change was an idempotent no-op).
+	Index uint64
+}
+
+// TypeTag implements codec.Message.
+func (m *MemberChangeReply) TypeTag() uint32 { return TagMemberChangeReply }
+
+// MarshalTo implements codec.Message.
+func (m *MemberChangeReply) MarshalTo(e *codec.Encoder) {
+	e.Bool(m.OK)
+	e.Bool(m.NotLeader)
+	e.String(m.LeaderHint)
+	e.String(m.Err)
+	e.Uint64(m.Index)
+}
+
+// UnmarshalFrom implements codec.Message.
+func (m *MemberChangeReply) UnmarshalFrom(d *codec.Decoder) {
+	m.OK = d.Bool()
+	m.NotLeader = d.Bool()
+	m.LeaderHint = d.String()
+	m.Err = d.String()
+	m.Index = d.Uint64()
+}
+
+// MembershipQuery asks any server for its current configuration —
+// the cheap probe long-lived clients use to stop dialing removed
+// servers.
+type MembershipQuery struct{}
+
+// TypeTag implements codec.Message.
+func (m *MembershipQuery) TypeTag() uint32 { return TagMembershipQuery }
+
+// MarshalTo implements codec.Message.
+func (m *MembershipQuery) MarshalTo(e *codec.Encoder) {}
+
+// UnmarshalFrom implements codec.Message.
+func (m *MembershipQuery) UnmarshalFrom(d *codec.Decoder) {}
+
+// MembershipInfo answers a MembershipQuery.
+type MembershipInfo struct {
+	Voters     []string
+	Learners   []string
+	LeaderHint string
+}
+
+// TypeTag implements codec.Message.
+func (m *MembershipInfo) TypeTag() uint32 { return TagMembershipInfo }
+
+// MarshalTo implements codec.Message.
+func (m *MembershipInfo) MarshalTo(e *codec.Encoder) {
+	encodeStrings(e, m.Voters)
+	encodeStrings(e, m.Learners)
+	e.String(m.LeaderHint)
+}
+
+// UnmarshalFrom implements codec.Message.
+func (m *MembershipInfo) UnmarshalFrom(d *codec.Decoder) {
+	m.Voters = decodeStrings(d)
+	m.Learners = decodeStrings(d)
+	m.LeaderHint = d.String()
+}
+
+func init() {
+	codec.Register(TagConfChange, func() codec.Message { return new(ConfChange) })
+	codec.Register(TagMemberChange, func() codec.Message { return new(MemberChange) })
+	codec.Register(TagMemberChangeReply, func() codec.Message { return new(MemberChangeReply) })
+	codec.Register(TagMembershipQuery, func() codec.Message { return new(MembershipQuery) })
+	codec.Register(TagMembershipInfo, func() codec.Message { return new(MembershipInfo) })
+}
+
+// encodeStrings appends a length-prefixed string list.
+func encodeStrings(e *codec.Encoder, ss []string) {
+	e.Int(len(ss))
+	for _, s := range ss {
+		e.String(s)
+	}
+}
+
+// decodeStrings reads a length-prefixed string list.
+func decodeStrings(d *codec.Decoder) []string {
+	n := d.Int()
+	if n < 0 || n > 1<<20 {
+		return nil
+	}
+	out := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, d.String())
+	}
+	return out
+}
+
+// decodeConfChange returns the ConfChange carried by an entry payload,
+// or nil for any other payload. The tag peek keeps the common case (a
+// kv command) to one varint read.
+func decodeConfChange(data []byte) *ConfChange {
+	if len(data) == 0 {
+		return nil
+	}
+	d := codec.NewDecoder(data)
+	if d.Uint64() != TagConfChange || d.Err() != nil {
+		return nil
+	}
+	msg, err := codec.Unmarshal(data)
+	if err != nil {
+		return nil
+	}
+	cc, _ := msg.(*ConfChange)
+	return cc
+}
+
+// memConfig is one membership configuration: the voter set quorums are
+// counted over, plus non-voting learners.
+type memConfig struct {
+	voters   []string
+	learners []string
+}
+
+func memConfigFromPeers(peers []string) memConfig {
+	v := append([]string(nil), peers...)
+	sort.Strings(v)
+	return memConfig{voters: v}
+}
+
+func (c memConfig) clone() memConfig {
+	return memConfig{
+		voters:   append([]string(nil), c.voters...),
+		learners: append([]string(nil), c.learners...),
+	}
+}
+
+func (c memConfig) isVoter(node string) bool {
+	for _, v := range c.voters {
+		if v == node {
+			return true
+		}
+	}
+	return false
+}
+
+func (c memConfig) isLearner(node string) bool {
+	for _, l := range c.learners {
+		if l == node {
+			return true
+		}
+	}
+	return false
+}
+
+func (c memConfig) isMember(node string) bool {
+	return c.isVoter(node) || c.isLearner(node)
+}
+
+// apply returns the configuration after cc. Changes that do not apply
+// (adding an existing member, promoting a non-learner, removing a
+// non-member) return the config unchanged, so replaying a conf log is
+// idempotent.
+func (c memConfig) apply(cc *ConfChange) memConfig {
+	out := c.clone()
+	switch cc.Kind {
+	case ConfAddLearner:
+		if !out.isMember(cc.Node) {
+			out.learners = append(out.learners, cc.Node)
+			sort.Strings(out.learners)
+		}
+	case ConfPromote:
+		if out.isLearner(cc.Node) {
+			out.learners = removeString(out.learners, cc.Node)
+			out.voters = append(out.voters, cc.Node)
+			sort.Strings(out.voters)
+		}
+	case ConfRemove:
+		out.voters = removeString(out.voters, cc.Node)
+		out.learners = removeString(out.learners, cc.Node)
+	}
+	return out
+}
+
+func removeString(ss []string, s string) []string {
+	out := ss[:0]
+	for _, x := range ss {
+		if x != s {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// confRecord remembers one appended-but-not-yet-compacted ConfChange,
+// so a truncation can roll the effective config back to the last
+// surviving one.
+type confRecord struct {
+	index uint64
+	cfg   memConfig
+}
+
+// --- snapshot envelope -------------------------------------------------
+
+// snapMagic marks a snapshot that carries a membership envelope. The
+// value exceeds codec.MaxStringLen, so it can never collide with the
+// leading length varint of a bare state-machine snapshot — decoding
+// falls back to treating such data as state machine only (pre-envelope
+// snapshots on disk keep working).
+const snapMagic = 0x6d656d62 // "memb"
+
+// encodeSnapshotEnvelope wraps a state-machine snapshot with the
+// membership as of the snapshot index.
+func encodeSnapshotEnvelope(mem memConfig, sm []byte) []byte {
+	e := codec.NewEncoder(len(sm) + 64)
+	e.Uint64(snapMagic)
+	encodeStrings(e, mem.voters)
+	encodeStrings(e, mem.learners)
+	e.BytesField(sm)
+	return e.Bytes()
+}
+
+// decodeSnapshotEnvelope splits a snapshot into membership and
+// state-machine bytes. hasMem is false for bare (pre-envelope)
+// snapshots, whose data is returned unchanged.
+func decodeSnapshotEnvelope(data []byte) (mem memConfig, sm []byte, hasMem bool) {
+	d := codec.NewDecoder(data)
+	if d.Uint64() != snapMagic || d.Err() != nil {
+		return memConfig{}, data, false
+	}
+	voters := decodeStrings(d)
+	learners := decodeStrings(d)
+	smData := d.BytesField()
+	if d.Err() != nil {
+		return memConfig{}, data, false
+	}
+	return memConfig{voters: voters, learners: learners}, smData, true
+}
+
+// --- server-side membership state (baton context only) -----------------
+
+// isVoter reports whether node votes under the effective config.
+func (s *Server) isVoter(node string) bool { return s.mem.isVoter(node) }
+
+// isMember reports whether node is a voter or learner.
+func (s *Server) isMember(node string) bool { return s.mem.isMember(node) }
+
+// otherVoters returns the effective voters except self — the set
+// quorums are counted over.
+func (s *Server) otherVoters() []string {
+	out := make([]string, 0, len(s.mem.voters))
+	for _, p := range s.mem.voters {
+		if p != s.cfg.ID {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// otherLearners returns the effective learners except self.
+func (s *Server) otherLearners() []string {
+	out := make([]string, 0, len(s.mem.learners))
+	for _, p := range s.mem.learners {
+		if p != s.cfg.ID {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Members reports the published (voters, learners) sets; safe from any
+// goroutine.
+func (s *Server) Members() ([]string, []string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]string(nil), s.votersPub...), append([]string(nil), s.learnersPub...)
+}
+
+// confChangePending reports whether a ConfChange entry is appended but
+// not yet committed — the one-in-flight safety rail.
+func (s *Server) confChangePending() bool {
+	return len(s.confLog) > 0 && s.confLog[len(s.confLog)-1].index > s.commitIndex
+}
+
+// validateConfChange vets cc against the effective config before it is
+// appended.
+func (s *Server) validateConfChange(cc *ConfChange) error {
+	if cc.Node == "" {
+		return ErrBadConfChange
+	}
+	if s.confChangePending() {
+		return ErrConfPending
+	}
+	switch cc.Kind {
+	case ConfAddLearner:
+		if s.isMember(cc.Node) {
+			return ErrAlreadyMember
+		}
+	case ConfPromote:
+		if s.isVoter(cc.Node) {
+			return ErrAlreadyMember
+		}
+		if !s.mem.isLearner(cc.Node) {
+			return ErrNotMember
+		}
+		if s.matchIndex[cc.Node] < s.commitIndex {
+			return ErrLearnerBehind
+		}
+	case ConfRemove:
+		if cc.Node == s.cfg.ID {
+			return ErrRemoveSelf
+		}
+		if !s.isMember(cc.Node) {
+			return ErrNotMember
+		}
+	default:
+		return ErrBadConfChange
+	}
+	return nil
+}
+
+// adoptConfEntry makes a freshly appended ConfChange at idx effective:
+// the config switches immediately (quorums for this entry already use
+// it), the record is kept for rollback, and peer plumbing (outboxes,
+// progress, repair coroutines) is synchronized. Runs on leaders (in
+// proposeConf) and followers (in handleAppendEntries) alike.
+func (s *Server) adoptConfEntry(cc *ConfChange, idx uint64) {
+	prev := s.mem
+	s.mem = s.mem.apply(cc)
+	s.confLog = append(s.confLog, confRecord{index: idx, cfg: s.mem.clone()})
+	s.syncPeerPlumbing()
+	s.retuneQuarCap()
+	if s.role == Leader {
+		switch cc.Kind {
+		case ConfAddLearner:
+			s.rec.Emit(obs.Event{Type: obs.MemberAdded, Node: s.cfg.ID, Peer: cc.Node,
+				Detail: "learner", Fields: map[string]float64{"index": float64(idx)}})
+		case ConfPromote:
+			s.rec.Emit(obs.Event{Type: obs.MemberAdded, Node: s.cfg.ID, Peer: cc.Node,
+				Detail: "voter", Fields: map[string]float64{"index": float64(idx)}})
+		case ConfRemove:
+			detail := "voter"
+			if prev.isLearner(cc.Node) {
+				detail = "learner"
+			}
+			s.rec.Emit(obs.Event{Type: obs.MemberRemoved, Node: s.cfg.ID, Peer: cc.Node,
+				Detail: detail, Fields: map[string]float64{"index": float64(idx)}})
+		}
+	}
+	s.publish()
+}
+
+// rollbackConfTo undoes conf entries at or above idx (the follower is
+// truncating a conflicting suffix); the effective config reverts to
+// the last surviving record, or the snapshot's config.
+func (s *Server) rollbackConfTo(idx uint64) {
+	changed := false
+	for len(s.confLog) > 0 && s.confLog[len(s.confLog)-1].index >= idx {
+		s.confLog = s.confLog[:len(s.confLog)-1]
+		changed = true
+	}
+	if !changed {
+		return
+	}
+	if len(s.confLog) > 0 {
+		s.mem = s.confLog[len(s.confLog)-1].cfg.clone()
+	} else {
+		s.mem = s.snapMem.clone()
+	}
+	s.syncPeerPlumbing()
+	s.publish()
+}
+
+// syncPeerPlumbing reconciles per-peer state with the effective
+// config: members get an outbox (and, on a leader, progress tracking
+// plus a repair coroutine); ex-members get their backlog cancelled and
+// their state dropped so no coroutine keeps addressing them.
+func (s *Server) syncPeerPlumbing() {
+	members := make(map[string]bool)
+	for _, p := range s.mem.voters {
+		members[p] = true
+	}
+	for _, p := range s.mem.learners {
+		members[p] = true
+	}
+	delete(members, s.cfg.ID)
+
+	for p := range members {
+		if s.outboxes[p] == nil {
+			s.outboxes[p] = s.newOutbox(p)
+		}
+		if s.role == Leader {
+			if s.nextIndex[p] == 0 {
+				s.nextIndex[p] = s.wal.LastIndex() + 1
+				s.matchIndex[p] = 0
+			}
+			s.spawnRepair(p, s.term)
+		}
+	}
+	quarChanged := false
+	for p, ob := range s.outboxes {
+		if members[p] {
+			continue
+		}
+		ob.CancelAll()
+		delete(s.outboxes, p)
+		delete(s.nextIndex, p)
+		delete(s.matchIndex, p)
+		delete(s.slowVotes, p)
+		delete(s.peerSelfSlow, p)
+		delete(s.learnerStream, p)
+		if s.quarantined[p] {
+			delete(s.quarantined, p)
+			quarChanged = true
+		}
+	}
+	if quarChanged {
+		s.publishQuarantine()
+	}
+	s.publishMembers()
+}
+
+// spawnRepair starts the catch-up coroutine for p in term, once: a
+// member added mid-term must not get a second loop when plumbing is
+// re-synced.
+func (s *Server) spawnRepair(p string, term uint64) {
+	if s.repairing[p] == term {
+		return
+	}
+	s.repairing[p] = term
+	s.rt.Spawn("repair-"+p, func(rc *core.Coroutine) {
+		defer func() {
+			if s.repairing[p] == term {
+				delete(s.repairing, p)
+			}
+		}()
+		s.repairLoop(rc, p, term)
+	})
+}
+
+// retuneQuarCap recomputes the quorum-safe quarantine cap after the
+// voter set resizes, when the cap was auto-derived at construction.
+func (s *Server) retuneQuarCap() {
+	if s.autoQuarCap && s.policy != nil && len(s.mem.voters) > 0 {
+		s.policy.SetMaxQuarantined(len(s.mem.voters) - (len(s.mem.voters)/2 + 1))
+	}
+}
+
+// publishMembers refreshes the cross-goroutine membership snapshot.
+func (s *Server) publishMembers() {
+	voters := append([]string(nil), s.mem.voters...)
+	learners := append([]string(nil), s.mem.learners...)
+	s.mu.Lock()
+	s.votersPub = voters
+	s.learnersPub = learners
+	s.mu.Unlock()
+}
+
+// applyConfChange runs when a ConfChange entry commits and is applied:
+// the applied-config watermark advances (snapshots taken at or past
+// this index carry the new config), and a removed member's residue —
+// detector track, policy track, endpoint reachability — is dropped so
+// nothing keeps probing or dialing it.
+func (s *Server) applyConfChange(cc *ConfChange) {
+	s.memApplied = s.memApplied.apply(cc)
+	switch cc.Kind {
+	case ConfRemove:
+		if cc.Node != s.cfg.ID {
+			s.removed[cc.Node] = true
+			if s.detector != nil {
+				s.detector.Forget(cc.Node)
+			}
+			if s.policy != nil {
+				s.policy.Forget(cc.Node)
+			}
+			s.ep.SetUnreachable(cc.Node, true)
+		}
+	case ConfAddLearner:
+		delete(s.removed, cc.Node)
+		s.ep.SetUnreachable(cc.Node, false)
+	}
+}
+
+// proposeConf appends and replicates one ConfChange in the same
+// DepFast pattern as propose, with effective-on-append semantics: the
+// new config governs this very entry's quorum. Returns the entry
+// index once committed.
+func (s *Server) proposeConf(co *core.Coroutine, cc *ConfChange) (uint64, error) {
+	if s.role != Leader {
+		return 0, ErrNotLeader
+	}
+	if err := s.validateConfChange(cc); err != nil {
+		return 0, err
+	}
+	s.Proposals.Inc()
+	term := s.term
+	idx := s.wal.LastIndex() + 1
+	entry := []storage.Entry{{Index: idx, Term: term, Data: codec.Marshal(cc)}}
+	fsync, err := s.wal.Append(entry)
+	if err != nil {
+		return 0, err
+	}
+	s.cache.Put(entry[0])
+	s.persistAppend(entry)
+	s.adoptConfEntry(cc, idx)
+	s.stallDirtyWAL(co, fsync)
+	if s.role != Leader || s.term != term {
+		return 0, ErrDeposed
+	}
+
+	targets := s.broadcastTargets()
+	q := core.NewQuorumEvent(1+len(targets), s.majority())
+	q.AddJudged(fsync, nil)
+	prevTerm := s.termOf(idx - 1)
+	for _, p := range targets {
+		ae := &AppendEntries{
+			Term:         term,
+			Leader:       s.cfg.ID,
+			PrevLogIndex: idx - 1,
+			PrevLogTerm:  prevTerm,
+			Entries:      entry,
+			LeaderCommit: s.commitIndex,
+		}
+		ev := core.NewResultEvent("rpc", p)
+		q.AddJudged(ev, s.appendJudge(p, idx, term))
+		s.outboxes[p].Send(ae, ev, int64(idx))
+	}
+	s.streamToLearners(entry, idx, term)
+
+	switch co.WaitQuorum(q, s.cfg.CommitTimeout) {
+	case core.QuorumOK:
+	case core.QuorumStopped:
+		return 0, ErrStopping
+	case core.QuorumRejected:
+		return 0, ErrDeposed
+	default:
+		return 0, ErrCommitTimeout
+	}
+	if s.role != Leader || s.term != term {
+		return 0, ErrDeposed
+	}
+	s.advanceCommit(idx)
+	return idx, nil
+}
+
+// handleMemberChange services an administrative membership change on
+// the leader. Already-satisfied changes answer OK without a log entry,
+// so retried administration is idempotent.
+func (s *Server) handleMemberChange(co *core.Coroutine, from string, req codec.Message) codec.Message {
+	m := req.(*MemberChange)
+	if s.role != Leader {
+		return &MemberChangeReply{NotLeader: true, LeaderHint: s.leaderHint, Err: ErrNotLeader.Error()}
+	}
+	if s.transferPending {
+		return &MemberChangeReply{NotLeader: true, LeaderHint: s.transferTo, Err: ErrNotLeader.Error()}
+	}
+	switch m.Kind {
+	case ConfAddLearner:
+		if s.isMember(m.Node) {
+			return &MemberChangeReply{OK: true}
+		}
+	case ConfPromote:
+		if s.isVoter(m.Node) {
+			return &MemberChangeReply{OK: true}
+		}
+	case ConfRemove:
+		if !s.isMember(m.Node) {
+			return &MemberChangeReply{OK: true}
+		}
+	}
+	idx, err := s.proposeConf(co, &ConfChange{Kind: m.Kind, Node: m.Node})
+	if err != nil {
+		return &MemberChangeReply{
+			NotLeader:  errors.Is(err, ErrNotLeader) || errors.Is(err, ErrDeposed),
+			LeaderHint: s.leaderHint,
+			Err:        err.Error(),
+		}
+	}
+	return &MemberChangeReply{OK: true, Index: idx}
+}
+
+// handleMembershipQuery reports the effective configuration from any
+// role; clients use it to relearn the member set after a replacement.
+func (s *Server) handleMembershipQuery(co *core.Coroutine, from string, req codec.Message) codec.Message {
+	return &MembershipInfo{
+		Voters:     append([]string(nil), s.mem.voters...),
+		Learners:   append([]string(nil), s.mem.learners...),
+		LeaderHint: s.leaderHint,
+	}
+}
+
+// streamToLearners forwards freshly appended entries to learners
+// outside any quorum: replies fold progress in via the append judge,
+// but no learner is ever waited on. Repair and snapshots cover the
+// bootstrap gap; streaming keeps a caught-up learner at the tip.
+func (s *Server) streamToLearners(entries []storage.Entry, lastIdx, term uint64) {
+	learners := s.otherLearners()
+	if len(learners) == 0 {
+		return
+	}
+	prev := entries[0].Index - 1
+	prevTerm := s.termOf(prev)
+	for _, p := range learners {
+		p := p
+		ob := s.outboxes[p]
+		if ob == nil {
+			continue
+		}
+		// Stream only when this batch chains onto what the learner has
+		// acked or onto the last batch already in flight to it. A
+		// bootstrapping learner gets nothing — flooding it with tip
+		// batches it must reject would keep its outbox busy and starve
+		// the repair loop that owns the gap (snapshot + catch-up
+		// batches); repair re-anchors the chain once the gap closes.
+		if s.learnerStream[p] != prev && s.matchIndex[p] != prev {
+			continue
+		}
+		ae := &AppendEntries{
+			Term:         term,
+			Leader:       s.cfg.ID,
+			PrevLogIndex: prev,
+			PrevLogTerm:  prevTerm,
+			Entries:      entries,
+			LeaderCommit: s.commitIndex,
+		}
+		ev := core.NewResultEvent("rpc", p)
+		judge := s.appendJudge(p, lastIdx, term)
+		core.OnEvent(ev, func() {
+			if !judge(ev.Value(), ev.Err()) {
+				// Chain broken (timeout, discard, or reject): stop
+				// streaming until repair re-anchors at the real tail.
+				s.learnerStream[p] = 0
+			}
+		})
+		ob.Send(ae, ev, int64(lastIdx))
+		s.learnerStream[p] = lastIdx
+	}
+}
+
+// waitReplicated polls (bounded) until p's matchIndex reaches at least
+// the log tip observed at each check, within lag entries. Used by the
+// replacement driver to gate learner promotion.
+func (s *Server) waitReplicated(co *core.Coroutine, p string, lag uint64, deadline time.Time) bool {
+	for {
+		if s.stopped || s.role != Leader {
+			return false
+		}
+		if m := s.matchIndex[p]; m > 0 && m+lag >= s.wal.LastIndex() {
+			return true
+		}
+		if time.Now().After(deadline) {
+			return false
+		}
+		if err := co.Sleep(5 * time.Millisecond); err != nil {
+			return false
+		}
+	}
+}

@@ -155,6 +155,13 @@ type AppendEntriesReply struct {
 	// votes as a self-observation signal — the cluster telling the
 	// leader what it may not see about itself.
 	LeaderSlow bool
+	// SelfSlow is the inverse channel: this follower's own resource
+	// probes (CPU/disk stretch) say *it* is fail-slow. A degraded node
+	// often knows before its peers can infer it from round-trips —
+	// rejections and empty heartbeats never touch the slow resource —
+	// so the verdict rides every reply and the leader's sentinel folds
+	// it into quarantine/replacement decisions.
+	SelfSlow bool
 }
 
 // TypeTag implements codec.Message.
@@ -167,6 +174,7 @@ func (m *AppendEntriesReply) MarshalTo(e *codec.Encoder) {
 	e.Uint64(m.LastIndex)
 	e.String(m.From)
 	e.Bool(m.LeaderSlow)
+	e.Bool(m.SelfSlow)
 }
 
 // UnmarshalFrom implements codec.Message.
@@ -176,6 +184,7 @@ func (m *AppendEntriesReply) UnmarshalFrom(d *codec.Decoder) {
 	m.LastIndex = d.Uint64()
 	m.From = d.String()
 	m.LeaderSlow = d.Bool()
+	m.SelfSlow = d.Bool()
 }
 
 func init() {

@@ -36,7 +36,8 @@ func (s *Server) installRecovered(st storage.PersistedState) error {
 	s.term = st.Term
 	s.votedFor = st.VotedFor
 	if st.Snapshot != nil {
-		if err := s.sm.Restore(st.Snapshot); err != nil {
+		mem, smData, hasMem := decodeSnapshotEnvelope(st.Snapshot)
+		if err := s.sm.Restore(smData); err != nil {
 			return fmt.Errorf("raft: restore snapshot: %w", err)
 		}
 		s.snapIndex = st.SnapIndex
@@ -45,13 +46,28 @@ func (s *Server) installRecovered(st storage.PersistedState) error {
 		s.wal.ResetTo(st.SnapIndex + 1)
 		s.commitIndex = st.SnapIndex
 		s.lastApplied = st.SnapIndex
+		if hasMem {
+			s.mem = mem.clone()
+			s.snapMem = mem.clone()
+			s.memApplied = mem.clone()
+			s.confLog = nil
+		}
 	}
 	if err := s.wal.LoadEntries(st.Entries); err != nil {
 		return err
 	}
 	for _, en := range st.Entries {
 		s.cache.Put(en)
+		// Config changes above the snapshot take effect on append; replay
+		// them so the effective config matches the recovered log. Entries
+		// above commitIndex re-apply into memApplied via applyUpTo later.
+		if cc := decodeConfChange(en.Data); cc != nil {
+			s.mem = s.mem.apply(cc)
+			s.confLog = append(s.confLog, confRecord{index: en.Index, cfg: s.mem.clone()})
+		}
 	}
+	s.syncPeerPlumbing()
+	s.retuneQuarCap()
 	s.publish()
 	return nil
 }

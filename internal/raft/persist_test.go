@@ -21,9 +21,10 @@ type persistentCluster struct {
 	names   []string
 	net     *transport.Network
 	servers map[string]*Server
+	mutate  func(*Config)
 }
 
-func newPersistentCluster(t *testing.T) *persistentCluster {
+func newPersistentCluster(t *testing.T, mutate ...func(*Config)) *persistentCluster {
 	t.Helper()
 	pc := &persistentCluster{
 		t:       t,
@@ -31,6 +32,9 @@ func newPersistentCluster(t *testing.T) *persistentCluster {
 		names:   []string{"s1", "s2", "s3"},
 		net:     transport.NewNetwork(),
 		servers: make(map[string]*Server),
+	}
+	if len(mutate) > 0 {
+		pc.mutate = mutate[0]
 	}
 	for _, n := range pc.names {
 		pc.dirs[n] = t.TempDir()
@@ -62,6 +66,9 @@ func (pc *persistentCluster) startNode(n string, seed int64) {
 	cfg.HeartbeatInterval = 20 * time.Millisecond
 	cfg.Seed = seed
 	cfg.Persister = fs
+	if pc.mutate != nil {
+		pc.mutate(&cfg)
+	}
 	e := env.New(n, env.DefaultConfig())
 	s, err := RecoverServer(cfg, e, pc.net)
 	if err != nil {

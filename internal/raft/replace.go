@@ -1,0 +1,116 @@
+// Automated replica replacement: the terminal fail-slow mitigation.
+// Quarantine (sentinel.go) is graceful degradation — the group keeps
+// serving but runs one failure closer to unavailability for as long
+// as the slow replica stays slow. When the mitigate.Policy escalates
+// a peer to condemned (rehabilitation kept failing, or the cumulative
+// slow time blew the budget), the leader replaces it: remove the
+// condemned voter from the configuration, join a spare as a learner
+// (snapshot bootstrap + log streaming), and promote the spare once it
+// has caught up — restoring full replication factor while the group
+// keeps serving traffic.
+package raft
+
+import (
+	"errors"
+	"time"
+
+	"depfast/internal/core"
+	"depfast/internal/obs"
+)
+
+const (
+	// replacementCatchupLag is how close (in log entries) a learner must
+	// trail the tip before promotion is attempted; proposeConf makes the
+	// strict check against commitIndex under the baton.
+	replacementCatchupLag = 64
+	// replacementDeadline bounds one replacement attempt end to end.
+	// Past it the driver gives up; the policy keeps the peer condemned,
+	// so the next sentinel tick schedules a fresh attempt.
+	replacementDeadline = 15 * time.Second
+)
+
+// beginReplacement starts the replacement pipeline for a condemned
+// voter, at most one at a time. Baton context only.
+func (s *Server) beginReplacement(p string) {
+	if !s.cfg.AutoReplace || s.replacing != "" || s.role != Leader || s.transferPending {
+		return
+	}
+	if p == s.cfg.ID || !s.isVoter(p) || s.removed[p] || s.confChangePending() {
+		return
+	}
+	s.replacing = p
+	term := s.term
+	s.rt.Spawn("replace-"+p, func(rc *core.Coroutine) {
+		defer func() { s.replacing = "" }()
+		s.driveReplacement(rc, p, term)
+	})
+}
+
+// pickSpare returns the first configured spare that is neither a
+// member nor itself removed, or "".
+func (s *Server) pickSpare() string {
+	for _, sp := range s.cfg.Spares {
+		if sp != s.cfg.ID && !s.isMember(sp) && !s.removed[sp] {
+			return sp
+		}
+	}
+	return ""
+}
+
+// driveReplacement runs remove → spare join → catch-up → promote.
+// Each step is a committed ConfChange (one in flight at a time); the
+// policy keeps the condemned verdict until the removal commits, so a
+// failed attempt is retried by a later sentinel tick rather than
+// looping here on errors.
+func (s *Server) driveReplacement(co *core.Coroutine, p string, term uint64) {
+	if s.role != Leader || s.term != term {
+		return
+	}
+	if _, err := s.proposeConf(co, &ConfChange{Kind: ConfRemove, Node: p}); err != nil {
+		return
+	}
+	spare := s.pickSpare()
+	if spare == "" {
+		// No spare available: the removal alone still ends the fail-slow
+		// episode, at the cost of a smaller voter set.
+		s.rec.Emit(obs.Event{Type: obs.ReplacementCompleted, Node: s.cfg.ID, Peer: p,
+			Detail: "removed-only"})
+		return
+	}
+	// Compact first so the learner's snapshot bootstrap carries the
+	// post-removal config and the shortest possible log suffix.
+	s.forceSnapshot()
+	if _, err := s.proposeConf(co, &ConfChange{Kind: ConfAddLearner, Node: spare}); err != nil {
+		return
+	}
+	deadline := time.Now().Add(replacementDeadline)
+	caughtUp := false
+	for {
+		if !s.waitReplicated(co, spare, replacementCatchupLag, deadline) {
+			return
+		}
+		if s.role != Leader || s.term != term {
+			return
+		}
+		if !caughtUp {
+			caughtUp = true
+			s.rec.Emit(obs.Event{Type: obs.LearnerCaughtUp, Node: s.cfg.ID, Peer: spare,
+				Fields: map[string]float64{"match_index": float64(s.matchIndex[spare])}})
+		}
+		_, err := s.proposeConf(co, &ConfChange{Kind: ConfPromote, Node: spare})
+		switch {
+		case err == nil:
+			s.rec.Emit(obs.Event{Type: obs.ReplacementCompleted, Node: s.cfg.ID, Peer: p,
+				Detail: spare})
+			return
+		case errors.Is(err, ErrLearnerBehind) || errors.Is(err, ErrConfPending):
+			// The tip moved or the previous change has not committed on a
+			// quorum yet; let the stream close the gap and retry.
+			if co.Sleep(10*time.Millisecond) != nil {
+				return
+			}
+		default:
+			return
+		}
+	}
+}

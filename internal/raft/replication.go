@@ -68,6 +68,7 @@ func (s *Server) propose(co *core.Coroutine, data []byte) (uint64, kv.Result, er
 		q.AddJudged(ev, s.appendJudge(p, idx, term))
 		s.outboxes[p].Send(ae, ev, int64(idx))
 	}
+	s.streamToLearners([]storage.Entry{entry}, idx, term)
 	fanned := time.Now()
 
 	switch co.WaitQuorum(q, s.cfg.CommitTimeout) {
@@ -84,9 +85,11 @@ func (s *Server) propose(co *core.Coroutine, data []byte) (uint64, kv.Result, er
 	}
 
 	// Quorum met: the framework may discard backlog still queued for
-	// stragglers; repair catches them up later from the log.
+	// straggling voters; repair catches them up later from the log.
+	// Learner streams are left intact — a learner's whole job is the
+	// catch-up.
 	if s.cfg.QuorumDiscard {
-		for _, p := range s.others() {
+		for _, p := range s.otherVoters() {
 			if s.matchIndex[p] < idx {
 				s.outboxes[p].CancelBelow(int64(idx))
 			}
@@ -125,14 +128,15 @@ func (s *Server) emitCommitSpan(start, appendDone, fanned, quorumAt time.Time, i
 	s.rec.Emit(obs.Event{Type: obs.CommitSpan, Node: s.cfg.ID, Fields: f})
 }
 
-// broadcastTargets returns the followers charged to latency-critical
-// quorum waits: everyone except quarantined peers. If excluding them
-// would leave self plus the remainder short of a majority (possible
-// only if quarantine outpaced the policy's cap, e.g. across a
+// broadcastTargets returns the voters charged to latency-critical
+// quorum waits: every other voter except quarantined peers (learners
+// are never quorum targets). If excluding quarantined voters would
+// leave self plus the remainder short of a majority (possible only if
+// quarantine outpaced the policy's cap, e.g. across a
 // reconfiguration), quarantined peers are re-admitted until the
 // quorum is satisfiable again. Baton context only.
 func (s *Server) broadcastTargets() []string {
-	others := s.others()
+	others := s.otherVoters()
 	if len(s.quarantined) == 0 {
 		return others
 	}
@@ -172,6 +176,7 @@ func (s *Server) appendJudge(p string, idx, term uint64) func(interface{}, error
 			} else {
 				delete(s.slowVotes, reply.From)
 			}
+			s.notePeerSelfSlow(reply.From, reply.SelfSlow)
 		}
 		if reply.Term > s.term {
 			s.stepDown(reply.Term, "")
@@ -288,12 +293,15 @@ func (s *Server) handleAppendEntries(co *core.Coroutine, from string, req codec.
 		s.observeHeartbeatDelay(time.Duration(time.Now().UnixNano() - m.SentAtNs))
 	}
 	// Piggyback this follower's slow-leader verdict on every reply so
-	// the leader's sentinel hears what the cluster sees.
+	// the leader's sentinel hears what the cluster sees — and its own
+	// fail-slow self-verdict, so the leader hears what this node sees
+	// about itself.
 	leaderSlow := s.leaderSeemsSlow()
+	selfSlow := s.selfSlowAdvert()
 
 	// Entries already covered by our snapshot are dropped up front.
 	if !s.trimSnapshotCovered(m) {
-		return &AppendEntriesReply{Term: s.term, Success: true, LastIndex: s.wal.LastIndex(), From: s.cfg.ID, LeaderSlow: leaderSlow}
+		return &AppendEntriesReply{Term: s.term, Success: true, LastIndex: s.wal.LastIndex(), From: s.cfg.ID, LeaderSlow: leaderSlow, SelfSlow: selfSlow}
 	}
 
 	// Consistency check on the previous entry.
@@ -303,7 +311,7 @@ func (s *Server) handleAppendEntries(co *core.Coroutine, from string, req codec.
 			if m.PrevLogIndex-1 < hint {
 				hint = m.PrevLogIndex - 1
 			}
-			return &AppendEntriesReply{Term: s.term, Success: false, LastIndex: hint, From: s.cfg.ID, LeaderSlow: leaderSlow}
+			return &AppendEntriesReply{Term: s.term, Success: false, LastIndex: hint, From: s.cfg.ID, LeaderSlow: leaderSlow, SelfSlow: selfSlow}
 		}
 	}
 
@@ -319,6 +327,7 @@ func (s *Server) handleAppendEntries(co *core.Coroutine, from string, req codec.
 		if existing.Term != e0.Term {
 			s.wal.TruncateFrom(e0.Index)
 			s.cache.TruncateFrom(e0.Index)
+			s.rollbackConfTo(e0.Index)
 			break
 		}
 		toAppend = toAppend[1:]
@@ -328,20 +337,28 @@ func (s *Server) handleAppendEntries(co *core.Coroutine, from string, req codec.
 			s.wal.TruncateFrom(toAppend[0].Index)
 			s.cache.TruncateFrom(toAppend[0].Index)
 			s.persistTruncate(toAppend[0].Index)
+			s.rollbackConfTo(toAppend[0].Index)
 		}
 		fsync, err := s.wal.Append(toAppend)
 		if err != nil {
-			return &AppendEntriesReply{Term: s.term, Success: false, LastIndex: s.wal.LastIndex(), From: s.cfg.ID, LeaderSlow: leaderSlow}
+			return &AppendEntriesReply{Term: s.term, Success: false, LastIndex: s.wal.LastIndex(), From: s.cfg.ID, LeaderSlow: leaderSlow, SelfSlow: selfSlow}
 		}
 		for _, e := range toAppend {
 			s.cache.Put(e)
 		}
 		s.persistAppend(toAppend)
+		// Membership entries take effect on append (Raft thesis §4.1) —
+		// on followers exactly as on the leader that proposed them.
+		for _, e := range toAppend {
+			if cc := decodeConfChange(e.Data); cc != nil {
+				s.adoptConfEntry(cc, e.Index)
+			}
+		}
 		// Bounded fsync wait: a fail-slow disk turns into an explicit
 		// failed append, and the leader retries or routes around us,
 		// instead of this handler coroutine hanging on local I/O.
 		if co.WaitFor(fsync, s.cfg.DiskWaitTimeout) != core.WaitReady {
-			return &AppendEntriesReply{Term: s.term, Success: false, LastIndex: s.wal.LastIndex(), From: s.cfg.ID, LeaderSlow: leaderSlow}
+			return &AppendEntriesReply{Term: s.term, Success: false, LastIndex: s.wal.LastIndex(), From: s.cfg.ID, LeaderSlow: leaderSlow, SelfSlow: selfSlow}
 		}
 	}
 
@@ -353,7 +370,7 @@ func (s *Server) handleAppendEntries(co *core.Coroutine, from string, req codec.
 		s.commitIndex = limit
 		s.applyUpTo()
 	}
-	return &AppendEntriesReply{Term: s.term, Success: true, LastIndex: s.wal.LastIndex(), From: s.cfg.ID, LeaderSlow: leaderSlow}
+	return &AppendEntriesReply{Term: s.term, Success: true, LastIndex: s.wal.LastIndex(), From: s.cfg.ID, LeaderSlow: leaderSlow, SelfSlow: selfSlow}
 }
 
 // heartbeatLoop broadcasts empty AppendEntries while leader of term.
@@ -393,6 +410,11 @@ func (s *Server) heartbeatLoop(co *core.Coroutine, term uint64) {
 func (s *Server) repairLoop(co *core.Coroutine, p string, term uint64) {
 	inflight := false
 	for s.role == Leader && s.term == term && !s.stopped {
+		// A peer removed from the configuration has no outbox and needs
+		// no catch-up; its repair coroutine simply ends.
+		if !s.isMember(p) {
+			return
+		}
 		interval := s.cfg.RepairInterval
 		if s.quarantined[p] {
 			interval *= time.Duration(s.pace)
@@ -437,7 +459,7 @@ func (s *Server) repairLoop(co *core.Coroutine, p string, term uint64) {
 						}
 						continue
 					}
-					if s.role != Leader || s.term != term {
+					if s.role != Leader || s.term != term || !s.isMember(p) {
 						return
 					}
 					entries, _ = ev.Value().([]storage.Entry)
@@ -460,6 +482,13 @@ func (s *Server) repairLoop(co *core.Coroutine, p string, term uint64) {
 						inflight = false
 					})
 					s.outboxes[p].Send(ae, ev, int64(hi))
+					if s.mem.isLearner(p) {
+						// Anchor the learner stream on this batch: the next
+						// proposal whose prev is hi chains onto it without
+						// waiting for the ack, handing the tip over from
+						// repair to streaming with no quiet-window race.
+						s.learnerStream[p] = hi
+					}
 				}
 			}
 		}

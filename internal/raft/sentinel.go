@@ -66,11 +66,21 @@ func (s *Server) sentinelTick() {
 
 	var verdicts []mitigate.PeerVerdict
 	for _, st := range s.detector.Stats() {
-		verdicts = append(verdicts, mitigate.PeerVerdict{
+		v := mitigate.PeerVerdict{
 			Peer:               st.Peer,
 			Suspect:            st.Suspect,
 			ConsecutiveHealthy: st.Healthy,
-		})
+		}
+		// A fresh self-report from the peer overrides RTT inference:
+		// rejections and empty heartbeats never touch a slow disk, so
+		// round-trips can look healthy while the node knows it is not.
+		// Zeroing the healthy streak also blocks rehabilitation while
+		// the peer still testifies against itself.
+		if s.peerSelfSlowFresh(st.Peer) {
+			v.Suspect = true
+			v.ConsecutiveHealthy = 0
+		}
+		verdicts = append(verdicts, v)
 	}
 	selfSlow := s.selfCPU.Slow() || s.selfDisk.Slow() || s.slowVoteMajority()
 	if selfSlow != s.selfSlowPub {
@@ -93,6 +103,9 @@ func (s *Server) sentinelTick() {
 	}
 	for _, p := range d.Release {
 		s.releaseQuarantine(p)
+	}
+	for _, p := range d.Replace {
+		s.beginReplacement(p)
 	}
 	if d.DemoteSelf {
 		s.beginTransfer()
@@ -130,14 +143,51 @@ func (s *Server) slowVoteMajority() bool {
 			delete(s.slowVotes, p)
 		}
 	}
-	return fresh*2 >= len(s.cfg.Peers)-1
+	return fresh*2 >= len(s.mem.voters)-1
+}
+
+// selfSlowAdvert reports this node's own fail-slow verdict from its
+// resource probes, for piggybacking on AppendEntries replies. False
+// whenever the sentinel (and so the probes) is off.
+func (s *Server) selfSlowAdvert() bool {
+	return s.selfCPU != nil && (s.selfCPU.Slow() || s.selfDisk.Slow())
+}
+
+// notePeerSelfSlow folds a follower's piggybacked self-verdict into
+// leader state, emitting a detection event on each transition. Votes
+// are timestamped so a peer that goes silent ages out of suspicion
+// instead of being condemned on its last word.
+func (s *Server) notePeerSelfSlow(p string, slow bool) {
+	if !s.isMember(p) {
+		return // a late reply from a removed peer must not re-indict it
+	}
+	if !slow {
+		if _, was := s.peerSelfSlow[p]; was {
+			delete(s.peerSelfSlow, p)
+			s.rec.Emit(obs.Event{Type: obs.VerdictCleared, Node: s.cfg.ID, Peer: p,
+				Detail: "self-report"})
+		}
+		return
+	}
+	if _, was := s.peerSelfSlow[p]; !was {
+		s.rec.Emit(obs.Event{Type: obs.VerdictSuspect, Node: s.cfg.ID, Peer: p,
+			Detail: "self-report"})
+	}
+	s.peerSelfSlow[p] = time.Now()
+}
+
+// peerSelfSlowFresh reports whether p's self-verdict is recent enough
+// to act on (same freshness window as slow-leader votes).
+func (s *Server) peerSelfSlowFresh(p string) bool {
+	at, ok := s.peerSelfSlow[p]
+	return ok && time.Since(at) <= 4*s.policy.Config().Interval
 }
 
 // enterQuarantine excludes p from quorum accounting and sheds its
 // backlog; repair will catch it up slowly, via snapshot when one
 // covers the gap.
 func (s *Server) enterQuarantine(p string) {
-	if s.quarantined[p] {
+	if s.quarantined[p] || !s.isVoter(p) {
 		return
 	}
 	s.quarantined[p] = true
@@ -174,11 +224,12 @@ func (s *Server) releaseQuarantine(p string) {
 // rehabilitations — used on role change, where the state is simply
 // void rather than resolved.
 func (s *Server) clearQuarantine() {
-	if len(s.quarantined) == 0 && len(s.slowVotes) == 0 {
+	if len(s.quarantined) == 0 && len(s.slowVotes) == 0 && len(s.peerSelfSlow) == 0 {
 		return
 	}
 	s.quarantined = make(map[string]bool)
 	s.slowVotes = make(map[string]time.Time)
+	s.peerSelfSlow = make(map[string]time.Time)
 	s.publishQuarantine()
 }
 

@@ -145,6 +145,18 @@ type Config struct {
 	// discarded and catch-up paced via snapshots, then rehabilitated
 	// after a run of healthy round-trips. Implies PeerDetector.
 	Mitigation bool
+
+	// AutoReplace makes the sentinel's mitigation terminal: a follower
+	// the policy condemns (repeated failed rehabilitations, or
+	// cumulative slow time past Mitigate.SlowBudget) is permanently
+	// removed from the configuration and a node from Spares is joined
+	// as a learner, caught up, and promoted — restoring the replication
+	// factor while the group keeps serving. Implies Mitigation.
+	AutoReplace bool
+	// Spares lists standby node names eligible to replace a removed
+	// member. They must be registered on the transport and running
+	// (typically with an empty Peers list) before a replacement fires.
+	Spares []string
 	// Mitigate tunes the sentinel (quarantine/probation thresholds);
 	// zero fields take mitigate.DefaultConfig. MaxQuarantined left
 	// zero defaults to the quorum-safe cap len(Peers) − majority.
@@ -228,6 +240,16 @@ type Server struct {
 	matchIndex map[string]uint64
 	outboxes   map[string]*rpc.Outbox
 
+	// Dynamic membership (effective-on-append; see membership.go).
+	mem        memConfig            // effective config: governs quorums now
+	memApplied memConfig            // config as of lastApplied (snapshots)
+	snapMem    memConfig            // config as of snapIndex (rollback floor)
+	confLog    []confRecord         // appended conf entries above snapIndex
+	removed    map[string]bool      // permanently removed members
+	repairing  map[string]uint64    // peer → term with a live repair loop
+	replacing  string               // follower with a replacement in flight
+	autoQuarCap bool                // MaxQuarantined tracks the voter count
+
 	// Snapshot state: the log below snapIndex is compacted away.
 	snapIndex   uint64
 	snapTermVal uint64
@@ -250,7 +272,12 @@ type Server struct {
 	selfDisk    *detect.Self     // own-disk stretch monitor
 	nominalCPU  time.Duration    // healthy cost of the CPU probe
 	nominalDisk time.Duration    // healthy cost of the disk probe
-	slowVotes   map[string]time.Time // followers recently voting LeaderSlow
+	slowVotes    map[string]time.Time // followers recently voting LeaderSlow
+	peerSelfSlow map[string]time.Time // followers recently advertising their own fail-slow
+	// learnerStream is, per learner, the last log index streamed to it;
+	// each streamed batch chains onto the previous one so the tip flows
+	// without per-batch acks. Zero = chain broken, repair re-anchors.
+	learnerStream map[string]uint64
 	selfSlowPub bool                 // last published self-verdict (flight recorder)
 
 	// rec is the flight recorder (nil-safe; see cfg.Recorder).
@@ -282,6 +309,8 @@ type Server struct {
 	snapIndexPub uint64
 	walLenPub    int
 	quarPub      []string // published quarantine list
+	votersPub    []string // published effective voters
+	learnersPub  []string // published effective learners
 
 	rng *rand.Rand
 }
@@ -309,6 +338,10 @@ func NewServer(cfg Config, e *env.Env, tr transport.Transport, opts ...core.Opti
 	}
 	if cfg.MaxDirtyAppends == 0 {
 		cfg.MaxDirtyAppends = 64
+	}
+	if cfg.AutoReplace {
+		// Replacement is driven by the sentinel's escalated verdicts.
+		cfg.Mitigation = true
 	}
 	if cfg.Mitigation {
 		// The sentinel's quarantine/rehabilitation verdicts come from
@@ -339,15 +372,24 @@ func NewServer(cfg Config, e *env.Env, tr transport.Transport, opts ...core.Opti
 		propQ:         core.NewQueue[*pendingProposal](),
 		quarantined:   make(map[string]bool),
 		slowVotes:     make(map[string]time.Time),
+		peerSelfSlow:  make(map[string]time.Time),
+		learnerStream: make(map[string]uint64),
+		removed:       make(map[string]bool),
+		repairing:     make(map[string]uint64),
 		pace:          1,
 		rec:           cfg.Recorder,
 	}
+	s.mem = memConfigFromPeers(cfg.Peers)
+	s.memApplied = s.mem.clone()
+	s.snapMem = s.mem.clone()
 	if cfg.Mitigation {
 		mcfg := cfg.Mitigate.WithDefaults()
 		if mcfg.MaxQuarantined == 0 {
 			// Quorum-safe cap: even with every slot used, the healthy
-			// remainder plus self still forms a majority.
+			// remainder plus self still forms a majority. Recomputed on
+			// every membership change (see adoptConfEntry).
 			mcfg.MaxQuarantined = len(cfg.Peers) - (len(cfg.Peers)/2 + 1)
+			s.autoQuarCap = true
 		}
 		s.policy = mitigate.NewPolicy(mcfg)
 		s.pace = mcfg.PaceFactor
@@ -381,18 +423,26 @@ func NewServer(cfg Config, e *env.Env, tr transport.Transport, opts ...core.Opti
 	}
 	s.ep = rpc.NewEndpoint(cfg.ID, rt, tr, epOpts...)
 	for _, p := range s.others() {
-		s.outboxes[p] = rpc.NewOutbox(s.ep, p, rpc.OutboxConfig{
-			Window:   cfg.OutboxWindow,
-			Capacity: cfg.OutboxCapacity,
-			Env:      e,
-		})
+		s.outboxes[p] = s.newOutbox(p)
 	}
+	s.publishMembers()
 	s.ep.Handle(TagRequestVote, s.handleRequestVote)
 	s.ep.Handle(TagAppendEntries, s.handleAppendEntries)
 	s.ep.Handle(TagInstallSnapshot, s.handleInstallSnapshot)
 	s.ep.Handle(TagTimeoutNow, s.handleTimeoutNow)
+	s.ep.Handle(TagMemberChange, s.handleMemberChange)
+	s.ep.Handle(TagMembershipQuery, s.handleMembershipQuery)
 	s.ep.Handle(kv.TagClientRequest, s.handleClientRequest)
 	return s
+}
+
+// newOutbox builds the windowed connection toward peer p.
+func (s *Server) newOutbox(p string) *rpc.Outbox {
+	return rpc.NewOutbox(s.ep, p, rpc.OutboxConfig{
+		Window:   s.cfg.OutboxWindow,
+		Capacity: s.cfg.OutboxCapacity,
+		Env:      s.e,
+	})
 }
 
 // TransportHandler returns the inbound message handler for this node.
@@ -420,10 +470,16 @@ func (s *Server) Stop() {
 	s.disk.Close()
 }
 
-// others returns all peers except self.
+// others returns all effective members (voters and learners) except
+// self — the set heartbeats and repair address.
 func (s *Server) others() []string {
-	out := make([]string, 0, len(s.cfg.Peers)-1)
-	for _, p := range s.cfg.Peers {
+	out := make([]string, 0, len(s.mem.voters)+len(s.mem.learners))
+	for _, p := range s.mem.voters {
+		if p != s.cfg.ID {
+			out = append(out, p)
+		}
+	}
+	for _, p := range s.mem.learners {
 		if p != s.cfg.ID {
 			out = append(out, p)
 		}
@@ -431,8 +487,16 @@ func (s *Server) others() []string {
 	return out
 }
 
-// majority returns the quorum size for the full membership.
-func (s *Server) majority() int { return len(s.cfg.Peers)/2 + 1 }
+// majority returns the quorum size over the effective voter set.
+// Learners never count. An idle spare (no config yet) reports a
+// sentinel majority it can never reach alone from a client's view —
+// it also never campaigns (see electionTicker).
+func (s *Server) majority() int {
+	if len(s.mem.voters) == 0 {
+		return 1
+	}
+	return len(s.mem.voters)/2 + 1
+}
 
 // --- introspection (safe from any goroutine) ---
 
@@ -563,15 +627,16 @@ func (s *Server) applyUpTo() {
 		if err != nil {
 			continue // never happens with a well-formed log
 		}
-		req, ok := msg.(*kv.ClientRequest)
-		if !ok {
-			continue
+		switch req := msg.(type) {
+		case *kv.ClientRequest:
+			res := s.sm.Apply(req.ClientID, req.Seq, req.Cmd)
+			if s.role == Leader {
+				s.results[s.lastApplied] = res
+			}
+			s.Commits.Inc()
+		case *ConfChange:
+			s.applyConfChange(req)
 		}
-		res := s.sm.Apply(req.ClientID, req.Seq, req.Cmd)
-		if s.role == Leader {
-			s.results[s.lastApplied] = res
-		}
-		s.Commits.Inc()
 	}
 	// Wake ReadIndex waiters.
 	if len(s.appliedWaiters) > 0 {

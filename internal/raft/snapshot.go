@@ -87,9 +87,35 @@ func (s *Server) maybeSnapshot() {
 	if retained < uint64(s.cfg.SnapshotThreshold) {
 		return
 	}
+	s.takeSnapshot()
+}
+
+// forceSnapshot compacts regardless of threshold; used before
+// bootstrapping a joiner so the InstallSnapshot it receives carries
+// the latest applied state (and its membership config).
+func (s *Server) forceSnapshot() {
+	if s.lastApplied <= s.snapIndex {
+		return
+	}
+	s.takeSnapshot()
+}
+
+// takeSnapshot captures state machine + the config as of lastApplied
+// into the snapshot envelope, so a restart or a bootstrapping learner
+// recovers membership along with data.
+func (s *Server) takeSnapshot() {
 	s.snapTermVal = s.termOf(s.lastApplied) // capture before compaction
 	s.snapIndex = s.lastApplied
-	s.snapData = s.sm.Snapshot()
+	s.snapData = encodeSnapshotEnvelope(s.memApplied, s.sm.Snapshot())
+	s.snapMem = s.memApplied.clone()
+	// Conf records at or below the snapshot can never be truncated away.
+	keep := s.confLog[:0]
+	for _, cr := range s.confLog {
+		if cr.index > s.snapIndex {
+			keep = append(keep, cr)
+		}
+	}
+	s.confLog = keep
 	s.wal.CompactTo(s.lastApplied + 1)
 	s.Snapshots.Inc()
 	s.persistSnapshot(s.snapIndex, s.snapTermVal, s.snapData)
@@ -147,7 +173,8 @@ func (s *Server) handleInstallSnapshot(co *core.Coroutine, from string, req code
 		// Stale: we already have everything it covers.
 		return &InstallSnapshotReply{Term: s.term, Success: true, LastIndex: s.wal.LastIndex(), From: s.cfg.ID}
 	}
-	if err := s.sm.Restore(m.Data); err != nil {
+	mem, smData, hasMem := decodeSnapshotEnvelope(m.Data)
+	if err := s.sm.Restore(smData); err != nil {
 		return &InstallSnapshotReply{Term: s.term, Success: false, LastIndex: s.wal.LastIndex(), From: s.cfg.ID}
 	}
 	s.wal.ResetTo(m.LastIncludedIndex + 1)
@@ -157,6 +184,16 @@ func (s *Server) handleInstallSnapshot(co *core.Coroutine, from string, req code
 	s.commitIndex = m.LastIncludedIndex
 	s.lastApplied = m.LastIncludedIndex
 	s.snapData = m.Data
+	if hasMem {
+		// The snapshot carries the config as of its last included index;
+		// adopting it is how a bare spare learns the group it joined.
+		s.mem = mem.clone()
+		s.snapMem = mem.clone()
+		s.memApplied = mem.clone()
+		s.confLog = nil
+		s.syncPeerPlumbing()
+		s.retuneQuarCap()
+	}
 	s.persistSnapshot(m.LastIncludedIndex, m.LastIncludedTerm, m.Data)
 	s.persistTruncate(m.LastIncludedIndex + 1)
 	s.publish()

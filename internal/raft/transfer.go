@@ -96,7 +96,7 @@ func (s *Server) suspectSet() map[string]bool {
 func (s *Server) transferTarget(exclude map[string]bool) string {
 	var target, fallback string
 	var best, fbBest uint64
-	for _, p := range s.others() {
+	for _, p := range s.otherVoters() {
 		m := s.matchIndex[p]
 		if fallback == "" || m > fbBest {
 			fallback, fbBest = p, m
@@ -119,7 +119,7 @@ func (s *Server) transferTarget(exclude map[string]bool) string {
 // leader stickiness.
 func (s *Server) handleTimeoutNow(co *core.Coroutine, from string, req codec.Message) codec.Message {
 	m := req.(*TimeoutNow)
-	if m.Term < s.term || s.role == Leader {
+	if m.Term < s.term || s.role == Leader || !s.isVoter(s.cfg.ID) {
 		return &TimeoutNowReply{Term: s.term, Accepted: false}
 	}
 	if m.Term > s.term {
@@ -159,9 +159,9 @@ func (s *Server) campaignTransfer(co *core.Coroutine) {
 		return
 	}
 	lastIdx := s.wal.LastIndex()
-	q := core.NewQuorumEvent(len(s.cfg.Peers), s.majority())
+	q := core.NewQuorumEvent(len(s.mem.voters), s.majority())
 	q.AddAck()
-	for _, p := range s.others() {
+	for _, p := range s.otherVoters() {
 		ev := s.ep.Call(p, &RequestVote{
 			Term:         term,
 			Candidate:    s.cfg.ID,

@@ -26,6 +26,7 @@ var (
 	ErrBacklogOverflow = errors.New("rpc: peer outbox full")
 	ErrRemote          = errors.New("rpc: remote handler error")
 	ErrClosed          = errors.New("rpc: endpoint closed")
+	ErrUnreachable     = errors.New("rpc: peer removed from configuration")
 )
 
 // HandlerFunc services one inbound request on a fresh coroutine of the
@@ -39,11 +40,12 @@ type Endpoint struct {
 	rt   *core.Runtime
 	tr   transport.Transport
 
-	mu       sync.Mutex
-	pending  map[uint64]*pendingCall
-	nextID   uint64
-	handlers map[uint32]HandlerFunc
-	closed   bool
+	mu          sync.Mutex
+	pending     map[uint64]*pendingCall
+	nextID      uint64
+	handlers    map[uint32]HandlerFunc
+	closed      bool
+	unreachable map[string]bool
 
 	callTimeout time.Duration
 	observer    func(peer string, rtt time.Duration, timedOut bool)
@@ -147,6 +149,13 @@ func (ep *Endpoint) CallWithEvent(to string, reqPayload []byte, ev *core.ResultE
 		ev.Fire(nil, ErrClosed)
 		return
 	}
+	if ep.unreachable[to] {
+		// Fast-fail instead of burning a full call timeout on a peer the
+		// configuration no longer contains.
+		ep.mu.Unlock()
+		ev.Fire(nil, ErrUnreachable)
+		return
+	}
 	ep.nextID++
 	id := ep.nextID
 	now := time.Now()
@@ -163,6 +172,22 @@ func (ep *Endpoint) CallWithEvent(to string, reqPayload []byte, ev *core.ResultE
 		ep.mu.Unlock()
 		ev.Fire(nil, err)
 	}
+}
+
+// SetUnreachable marks (or clears) peer as removed from the
+// configuration: subsequent calls to it fast-fail with ErrUnreachable
+// rather than waiting out the call timeout.
+func (ep *Endpoint) SetUnreachable(peer string, down bool) {
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	if down {
+		if ep.unreachable == nil {
+			ep.unreachable = make(map[string]bool)
+		}
+		ep.unreachable[peer] = true
+		return
+	}
+	delete(ep.unreachable, peer)
 }
 
 // TransportHandler returns the inbound message handler to register

@@ -1,6 +1,8 @@
 package shard
 
 import (
+	"fmt"
+
 	"depfast/internal/core"
 	"depfast/internal/env"
 	"depfast/internal/obs"
@@ -34,6 +36,14 @@ type ClusterConfig struct {
 	// mitigation, shrink timeouts, or tune batching per group.
 	RaftMutate func(group int, cfg *raft.Config)
 
+	// SparesPerGroup provisions that many idle spare replicas per
+	// group, registered on the network and started but holding no
+	// config until a leader joins them (snapshot bootstrap). Every
+	// member's Config.Spares names its group's pool, so the automated
+	// replacement pipeline (Config.AutoReplace, set via RaftMutate) can
+	// restore a group's replication factor without operator action.
+	SparesPerGroup int
+
 	// RuntimeOpts are passed to every server runtime (tracer wiring).
 	RuntimeOpts []core.Option
 }
@@ -44,7 +54,9 @@ type Group struct {
 	Index int
 	ID    string
 	// Names lists the group's replicas; Servers and Envs index them.
-	Names   []string
+	Names []string
+	// Spares lists the group's idle spare pool (also in Servers/Envs).
+	Spares  []string
 	Servers map[string]*raft.Server
 	Envs    map[string]*env.Env
 	// Recorder is the group's shard-tagged view of the root recorder.
@@ -106,12 +118,35 @@ func NewCluster(cfg ClusterConfig, net *transport.Network) *Cluster {
 			Envs:     make(map[string]*env.Env, len(names)),
 			Recorder: cfg.Recorder.Tagged(cfg.Map.ShardID(g)),
 		}
+		for k := 0; k < cfg.SparesPerGroup; k++ {
+			grp.Spares = append(grp.Spares, fmt.Sprintf("%s-sp%d", grp.ID, k+1))
+		}
 		for i, name := range names {
 			rcfg := raft.DefaultConfig(name, names)
 			if cfg.Seed != nil {
 				rcfg.Seed = cfg.Seed(g, i)
 			}
 			rcfg.Recorder = grp.Recorder
+			rcfg.Spares = append([]string(nil), grp.Spares...)
+			if cfg.RaftMutate != nil {
+				cfg.RaftMutate(g, &rcfg)
+			}
+			e := env.New(name, ecfg)
+			s := raft.NewServer(rcfg, e, net, cfg.RuntimeOpts...)
+			net.Register(name, e, s.TransportHandler())
+			grp.Servers[name] = s
+			grp.Envs[name] = e
+		}
+		for k, name := range grp.Spares {
+			// A spare starts with no peers: an empty voter set never
+			// campaigns, so it idles until a leader's InstallSnapshot
+			// hands it the group's config.
+			rcfg := raft.DefaultConfig(name, nil)
+			if cfg.Seed != nil {
+				rcfg.Seed = cfg.Seed(g, len(names)+k)
+			}
+			rcfg.Recorder = grp.Recorder
+			rcfg.Spares = append([]string(nil), grp.Spares...)
 			if cfg.RaftMutate != nil {
 				cfg.RaftMutate(g, &rcfg)
 			}
@@ -126,10 +161,13 @@ func NewCluster(cfg ClusterConfig, net *transport.Network) *Cluster {
 	return c
 }
 
-// Start launches every server in every group.
+// Start launches every server (members and spares) in every group.
 func (c *Cluster) Start() {
 	for _, g := range c.groups {
 		for _, name := range g.Names {
+			g.Servers[name].Start()
+		}
+		for _, name := range g.Spares {
 			g.Servers[name].Start()
 		}
 	}
@@ -140,6 +178,9 @@ func (c *Cluster) Start() {
 func (c *Cluster) Stop() {
 	for _, g := range c.groups {
 		for _, name := range g.Names {
+			g.Servers[name].Stop()
+		}
+		for _, name := range g.Spares {
 			g.Servers[name].Stop()
 		}
 	}
