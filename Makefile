@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all check build vet test race bench examples figures verify report-smoke shard-smoke replace-smoke clean
+.PHONY: all check build vet test race bench examples figures verify report-smoke shard-smoke replace-smoke explore-smoke clean
 
 all: check
 
@@ -57,6 +57,14 @@ shard-smoke:
 # the whole sequence printed from the flight recorder.
 replace-smoke:
 	$(GO) run ./cmd/depfast-bench -exp replace
+
+# Schedule-explorer smoke: a fixed-seed 50-schedule budget, race-clean,
+# covering both topologies and every scenario class (correlated
+# domains, asymmetric network, churn-over-fault, storms), all
+# invariants green; also emits the exploration throughput benchmark
+# (schedules/sec, invariant-check latency) to BENCH_explore.json.
+explore-smoke:
+	$(GO) run -race ./cmd/depfast-explore -seed 1 -budget 50 -quick -v -bench BENCH_explore.json
 
 examples:
 	$(GO) run ./examples/quickstart

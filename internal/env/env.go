@@ -10,6 +10,7 @@ package env
 
 import (
 	"math"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -91,6 +92,14 @@ type Env struct {
 	netDelay   atomic.Int64 // extra per-message NIC delay, ns
 	memPerMB   atomic.Int64 // pause ns per resident MB per op
 
+	// Asymmetric one-way network delay: extra latency added only to
+	// messages this node sends toward a specific peer (a congested or
+	// degraded link direction, not the whole NIC). asymCount lets the
+	// healthy send path skip the map lock entirely.
+	asymMu    sync.RWMutex
+	asymTo    map[string]time.Duration
+	asymCount atomic.Int32
+
 	resident atomic.Int64 // tracked buffer bytes on this node
 }
 
@@ -131,6 +140,27 @@ func (e *Env) SetDiskStall(p float64, d time.Duration) {
 // NIC (tc netem).
 func (e *Env) SetNetDelay(d time.Duration) { e.netDelay.Store(int64(d)) }
 
+// SetNetDelayTo adds a one-way delay on messages from this node toward
+// peer only (tc netem on a single egress flow): traffic in the reverse
+// direction, and toward every other peer, is unaffected. d <= 0 clears
+// the per-peer delay.
+func (e *Env) SetNetDelayTo(peer string, d time.Duration) {
+	e.asymMu.Lock()
+	defer e.asymMu.Unlock()
+	if d <= 0 {
+		if _, ok := e.asymTo[peer]; ok {
+			delete(e.asymTo, peer)
+			e.asymCount.Store(int32(len(e.asymTo)))
+		}
+		return
+	}
+	if e.asymTo == nil {
+		e.asymTo = make(map[string]time.Duration)
+	}
+	e.asymTo[peer] = d
+	e.asymCount.Store(int32(len(e.asymTo)))
+}
+
 // SetMemPressure makes each memory-touching op pause perMB for every
 // resident megabyte tracked on the node (memory-cgroup reclaim cost).
 func (e *Env) SetMemPressure(perMB time.Duration) { e.memPerMB.Store(int64(perMB)) }
@@ -145,6 +175,12 @@ func (e *Env) ClearFaults() {
 	e.diskStall.Store(0)
 	e.netDelay.Store(0)
 	e.memPerMB.Store(0)
+	if e.asymCount.Load() > 0 {
+		e.asymMu.Lock()
+		e.asymTo = nil
+		e.asymCount.Store(0)
+		e.asymMu.Unlock()
+	}
 }
 
 // --- service-time queries ---
@@ -191,6 +227,19 @@ func (e *Env) stretchDisk(base time.Duration) time.Duration {
 // NetDelay returns the extra NIC delay currently injected on this node.
 func (e *Env) NetDelay() time.Duration {
 	return e.cfg.NetBase + time.Duration(e.netDelay.Load())
+}
+
+// NetDelayTo returns the send-side latency toward peer: the NIC delay
+// plus any asymmetric one-way delay injected for that direction.
+func (e *Env) NetDelayTo(peer string) time.Duration {
+	d := e.NetDelay()
+	if e.asymCount.Load() == 0 {
+		return d
+	}
+	e.asymMu.RLock()
+	extra := e.asymTo[peer]
+	e.asymMu.RUnlock()
+	return d + extra
 }
 
 // memPauseLocked computes the current memory-pressure pause.

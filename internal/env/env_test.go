@@ -82,6 +82,44 @@ func TestNetDelay(t *testing.T) {
 	}
 }
 
+func TestNetDelayToAsymmetric(t *testing.T) {
+	e := New("s1", testCfg())
+	e.SetNetDelayTo("s2", 40*time.Millisecond)
+	if got := e.NetDelayTo("s2"); got != 40*time.Millisecond+10*time.Microsecond {
+		t.Fatalf("delay toward s2 = %v", got)
+	}
+	// Only the injected direction is affected.
+	if got := e.NetDelayTo("s3"); got != 10*time.Microsecond {
+		t.Fatalf("delay toward s3 = %v, want baseline", got)
+	}
+	if got := e.NetDelay(); got != 10*time.Microsecond {
+		t.Fatalf("symmetric delay = %v, want baseline", got)
+	}
+	// Asymmetric and symmetric delays stack.
+	e.SetNetDelay(5 * time.Millisecond)
+	if got := e.NetDelayTo("s2"); got != 45*time.Millisecond+10*time.Microsecond {
+		t.Fatalf("stacked delay toward s2 = %v", got)
+	}
+	// Zero clears one peer without touching the NIC-wide knob.
+	e.SetNetDelayTo("s2", 0)
+	if got := e.NetDelayTo("s2"); got != 5*time.Millisecond+10*time.Microsecond {
+		t.Fatalf("delay toward s2 after per-peer clear = %v", got)
+	}
+}
+
+func TestClearFaultsCoversNetDelayTo(t *testing.T) {
+	e := New("s1", testCfg())
+	e.SetNetDelayTo("s2", 40*time.Millisecond)
+	e.SetNetDelayTo("s3", 20*time.Millisecond)
+	e.ClearFaults()
+	if got := e.NetDelayTo("s2"); got != 10*time.Microsecond {
+		t.Fatalf("delay toward s2 after ClearFaults = %v", got)
+	}
+	if got := e.NetDelayTo("s3"); got != 10*time.Microsecond {
+		t.Fatalf("delay toward s3 after ClearFaults = %v", got)
+	}
+}
+
 func TestMemPressureScalesWithResident(t *testing.T) {
 	e := New("s1", testCfg())
 	e.SetMemPressure(10 * time.Microsecond)
@@ -157,6 +195,7 @@ func TestConcurrentKnobAccess(t *testing.T) {
 			}
 			e.SetCPUFactor(float64(i%10 + 1))
 			e.SetNetDelay(time.Duration(i % 100))
+			e.SetNetDelayTo("peer", time.Duration(i%100))
 			e.TrackAlloc(10)
 			e.TrackFree(10)
 		}
@@ -165,6 +204,7 @@ func TestConcurrentKnobAccess(t *testing.T) {
 		_ = e.ComputeCost(time.Microsecond)
 		_ = e.DiskWriteCost(100)
 		_ = e.NetDelay()
+		_ = e.NetDelayTo("peer")
 	}
 	close(stop)
 	wg.Wait()

@@ -1,0 +1,120 @@
+package explore
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Report is the outcome of one exploration budget: every distinct
+// schedule's verdict plus aggregate timing for benchmarking.
+type Report struct {
+	Seed     int64
+	Budget   int
+	Verdicts []Verdict
+
+	// ByClass counts explored schedules per scenario class.
+	ByClass map[string]int
+	// Failures holds the failing verdicts (subset of Verdicts).
+	Failures []Verdict
+
+	Elapsed  time.Duration
+	CheckDur time.Duration // summed invariant-check time
+}
+
+// Passed reports whether every explored schedule held the invariants.
+func (r Report) Passed() bool { return len(r.Failures) == 0 }
+
+// SchedulesPerSec is the exploration throughput.
+func (r Report) SchedulesPerSec() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(len(r.Verdicts)) / r.Elapsed.Seconds()
+}
+
+// String renders a multi-line text report.
+func (r Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "explored %d schedules (seed=%d) in %s — %d failed\n",
+		len(r.Verdicts), r.Seed, r.Elapsed.Round(time.Millisecond), len(r.Failures))
+	for _, class := range classes {
+		if n := r.ByClass[class]; n > 0 {
+			fmt.Fprintf(&b, "  %-10s %d\n", class, n)
+		}
+	}
+	for _, v := range r.Verdicts {
+		fmt.Fprintf(&b, "%s\n", v)
+	}
+	return b.String()
+}
+
+// Explore runs budget distinct schedules generated from cfg-independent
+// seed enumeration, checking invariants after each. Duplicate specs
+// (the generator can collide on small step counts) are skipped, so the
+// budget counts distinct scenarios. onVerdict, when non-nil, observes
+// each verdict as it lands (progress reporting).
+func Explore(seed int64, budget, steps int, cfg RunnerConfig, onVerdict func(int, Verdict)) (Report, error) {
+	g := NewGenerator(seed, steps)
+	rep := Report{Seed: seed, Budget: budget, ByClass: map[string]int{}}
+	start := time.Now()
+	seen := map[string]bool{}
+	for idx := 0; len(rep.Verdicts) < budget; idx++ {
+		s := g.Schedule(idx)
+		spec := s.Spec()
+		if seen[spec] {
+			continue
+		}
+		seen[spec] = true
+		v, err := Run(s, cfg)
+		if err != nil {
+			return rep, fmt.Errorf("schedule %d (%s): %w", idx, spec, err)
+		}
+		rep.Verdicts = append(rep.Verdicts, v)
+		rep.ByClass[s.Class]++
+		rep.CheckDur += v.CheckDur
+		if !v.Pass {
+			rep.Failures = append(rep.Failures, v)
+		}
+		if onVerdict != nil {
+			onVerdict(len(rep.Verdicts)-1, v)
+		}
+	}
+	rep.Elapsed = time.Since(start)
+	return rep, nil
+}
+
+// ShrinkFailure re-runs reductions of a failing schedule until minimal
+// and returns the shrunk schedule plus its verdict. A schedule whose
+// failure does not reproduce on re-run is returned unchanged with
+// ok=false — flaky failures must not be "shrunk" into noise. A
+// reduction is accepted only when it fails twice in a row: greedy
+// shrinking toward a minimal window would otherwise happily settle on
+// a repro so marginal it fires every other run, and the whole point of
+// the shrunk spec is that replaying it reproduces the failure.
+func ShrinkFailure(s Schedule, cfg RunnerConfig) (Schedule, Verdict, bool) {
+	failsOnce := func(c Schedule) bool {
+		v, err := Run(c, cfg)
+		return err == nil && !v.Pass
+	}
+	fails := func(c Schedule) bool {
+		return failsOnce(c) && failsOnce(c)
+	}
+	if !fails(s) {
+		v, _ := Run(s, cfg)
+		return s, v, false
+	}
+	min := Shrink(s, fails)
+	v, err := Run(min, cfg)
+	if err != nil || v.Pass {
+		// The fixpoint run raced into a pass; re-verify once more and
+		// fall back to the original failure if it will not stick.
+		v2, err2 := Run(min, cfg)
+		if err2 != nil || v2.Pass {
+			v3, _ := Run(s, cfg)
+			return s, v3, true
+		}
+		v = v2
+	}
+	return min, v, true
+}

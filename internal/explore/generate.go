@@ -1,0 +1,151 @@
+package explore
+
+import (
+	"math/rand"
+)
+
+// Generator enumerates schedules deterministically from a seed: the
+// i-th schedule of seed S is the same on every machine, every run. It
+// rotates through scenario classes so any budget covers the whole
+// vocabulary — single faults, correlated failure domains, asymmetric
+// one-way network slowness, membership churn overlapping a fault, and
+// multi-fault storms — across both topologies.
+type Generator struct {
+	seed  int64
+	steps int
+}
+
+// NewGenerator returns a generator for seed; steps is the logical
+// step count of produced schedules (<= 0 means 6).
+func NewGenerator(seed int64, steps int) *Generator {
+	if steps <= 0 {
+		steps = 6
+	}
+	return &Generator{seed: seed, steps: steps}
+}
+
+// Scenario classes, rotated by schedule index.
+var classes = []string{"single", "correlated", "asym", "churn", "storm"}
+
+// raftNodes are the fault targets of the raft topology ("s4" is the
+// standby spare and never a target); shardNodes span the 2×3 sharded
+// deployment, where s1-s3 form group 1 and s4-s6 group 2.
+var (
+	raftNodes  = []string{"s1", "s2", "s3"}
+	shardNodes = [][]string{{"s1", "s2", "s3"}, {"s4", "s5", "s6"}}
+)
+
+// Schedule returns the idx-th schedule of the seed. Every 6th
+// schedule targets the sharded topology (except churn, which needs
+// the raft spare machinery); the rest drive the single raft group.
+func (g *Generator) Schedule(idx int) Schedule {
+	rng := rand.New(rand.NewSource(g.seed*1_000_003 + int64(idx)))
+	class := classes[idx%len(classes)]
+	topo := TopoRaft
+	if idx%6 == 4 && class != "churn" {
+		topo = TopoShard
+	}
+	s := Schedule{Seed: g.seed, Topo: topo, Steps: g.steps, Class: class}
+
+	domain := raftNodes
+	if topo == TopoShard {
+		domain = shardNodes[rng.Intn(len(shardNodes))]
+	}
+
+	switch class {
+	case "single":
+		s.Events = append(s.Events, g.resourceEvent(rng, domain, 1))
+	case "correlated":
+		// One failure domain degrading two replicas at the same
+		// instant — the rack-switch / shared-shelf scenario a
+		// per-node random injector essentially never produces.
+		ev := g.resourceEvent(rng, domain, 2)
+		s.Events = append(s.Events, ev)
+	case "asym":
+		src := domain[rng.Intn(len(domain))]
+		dst := pickOther(rng, domain, src)
+		step := rng.Intn(g.steps - 1)
+		s.Events = append(s.Events, Event{
+			Step:  step,
+			Kind:  FaultAsym,
+			Nodes: []string{src},
+			Peer:  dst,
+			Scale: g.scale(rng),
+			Until: g.until(rng, step),
+		})
+	case "churn":
+		// A resource fault lands first and is still active when the
+		// membership change begins — replacement under degradation.
+		fault := g.resourceEvent(rng, domain, 1)
+		fault.Until = 0 // hold through the churn
+		churnStep := fault.Step + 1
+		if churnStep >= g.steps {
+			churnStep = g.steps - 1
+		}
+		s.Events = append(s.Events,
+			fault,
+			Event{Step: churnStep, Kind: FaultChurn, Nodes: []string{domain[rng.Intn(len(domain))]}, Scale: 1},
+		)
+	case "storm":
+		n := 3
+		for i := 0; i < n; i++ {
+			if rng.Intn(4) == 0 {
+				src := domain[rng.Intn(len(domain))]
+				step := rng.Intn(g.steps - 1)
+				s.Events = append(s.Events, Event{
+					Step:  step,
+					Kind:  FaultAsym,
+					Nodes: []string{src},
+					Peer:  pickOther(rng, domain, src),
+					Scale: g.scale(rng),
+					Until: g.until(rng, step),
+				})
+				continue
+			}
+			s.Events = append(s.Events, g.resourceEvent(rng, domain, 1))
+		}
+	}
+	return s
+}
+
+// resourceEvent draws one cpu/disk/net/mem event on n distinct nodes
+// of the domain.
+func (g *Generator) resourceEvent(rng *rand.Rand, domain []string, n int) Event {
+	kinds := []FaultKind{FaultCPU, FaultDisk, FaultNet, FaultMem}
+	step := rng.Intn(g.steps - 1)
+	targets := make([]string, 0, n)
+	for _, i := range rng.Perm(len(domain)) {
+		if len(targets) == n {
+			break
+		}
+		targets = append(targets, domain[i])
+	}
+	return Event{
+		Step:  step,
+		Kind:  kinds[rng.Intn(len(kinds))],
+		Nodes: targets,
+		Scale: g.scale(rng),
+		Until: g.until(rng, step),
+	}
+}
+
+// until draws a clearing step after step (or 0: hold to run end).
+func (g *Generator) until(rng *rand.Rand, step int) int {
+	if rng.Intn(2) == 0 || step >= g.steps-2 {
+		return 0
+	}
+	return step + 1 + rng.Intn(g.steps-step-2)
+}
+
+func (g *Generator) scale(rng *rand.Rand) float64 {
+	return []float64{0.5, 1, 2}[rng.Intn(3)]
+}
+
+func pickOther(rng *rand.Rand, domain []string, not string) string {
+	for {
+		n := domain[rng.Intn(len(domain))]
+		if n != not {
+			return n
+		}
+	}
+}

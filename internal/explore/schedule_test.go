@@ -1,0 +1,234 @@
+package explore
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestSpecRoundTrip(t *testing.T) {
+	s := Schedule{
+		Seed:  7,
+		Topo:  TopoRaft,
+		Steps: 6,
+		Class: "storm",
+		Events: []Event{
+			{Step: 1, Kind: FaultDisk, Nodes: []string{"s2"}, Scale: 1, Until: 4},
+			{Step: 2, Kind: FaultAsym, Nodes: []string{"s3"}, Peer: "s1", Scale: 2},
+			{Step: 3, Kind: FaultChurn, Nodes: []string{"s2"}, Scale: 1},
+		},
+	}
+	spec := s.Spec()
+	want := "seed=7 topo=raft steps=6 | disk@1 s2 x1 until=4; asym@2 s3>s1 x2; churn@3 s2"
+	if spec != want {
+		t.Fatalf("spec = %q, want %q", spec, want)
+	}
+	got, err := Parse(spec)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if got.Spec() != spec {
+		t.Fatalf("round trip: %q != %q", got.Spec(), spec)
+	}
+	// Events survive structurally, not just textually.
+	s.Class = "replay" // Parse cannot know the generator class
+	// Churn events carry Scale 1 implicitly on the wire.
+	if !reflect.DeepEqual(got.Events, s.Events) {
+		t.Fatalf("events after round trip:\n got %+v\nwant %+v", got.Events, s.Events)
+	}
+}
+
+func TestSpecRoundTripCorrelatedAndScale(t *testing.T) {
+	s := Schedule{
+		Seed: 3, Topo: TopoShard, Steps: 8, Class: "correlated",
+		Events: []Event{
+			{Step: 0, Kind: FaultNet, Nodes: []string{"s4", "s6"}, Scale: 0.5, Until: 3},
+		},
+	}
+	got, err := Parse(s.Spec())
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", s.Spec(), err)
+	}
+	if got.Topo != TopoShard || got.Spec() != s.Spec() {
+		t.Fatalf("round trip: %q", got.Spec())
+	}
+	if len(got.Events[0].Nodes) != 2 || got.Events[0].Scale != 0.5 {
+		t.Fatalf("correlated event mangled: %+v", got.Events[0])
+	}
+}
+
+func TestParseRejectsMalformed(t *testing.T) {
+	bad := []string{
+		"",                                      // no steps
+		"seed=1 topo=raft",                      // no steps
+		"seed=1 topo=mesh steps=4",              // unknown topo
+		"seed=1 topo=raft steps=4 | warp@1 s1",  // unknown kind
+		"seed=1 topo=raft steps=4 | disk@9 s1",  // step out of range
+		"seed=1 topo=raft steps=4 | asym@1 s1",  // asym without peer
+		"seed=1 topo=raft steps=4 | disk@2 s1 until=1", // until before step
+		"seed=1 topo=raft steps=4 | disk@1 s1 x0",      // zero scale
+	}
+	for _, spec := range bad {
+		if _, err := Parse(spec); err == nil {
+			t.Errorf("Parse(%q) accepted", spec)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	ok := Schedule{Steps: 4, Events: []Event{{Step: 1, Kind: FaultCPU, Nodes: []string{"s1"}, Scale: 1}}}
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("valid schedule rejected: %v", err)
+	}
+	cases := []Schedule{
+		{Steps: 0},
+		{Steps: 4, Events: []Event{{Step: 4, Kind: FaultCPU, Nodes: []string{"s1"}}}},
+		{Steps: 4, Events: []Event{{Step: 1, Until: 1, Kind: FaultCPU, Nodes: []string{"s1"}}}},
+		{Steps: 4, Events: []Event{{Step: 1, Kind: FaultCPU}}},
+		{Steps: 4, Events: []Event{{Step: 1, Kind: FaultAsym, Nodes: []string{"s1"}}}},
+		{Steps: 4, Topo: TopoShard, Events: []Event{{Step: 1, Kind: FaultChurn, Nodes: []string{"s1"}}}},
+		{Steps: 4, Events: []Event{
+			{Step: 1, Kind: FaultChurn, Nodes: []string{"s1"}},
+			{Step: 2, Kind: FaultChurn, Nodes: []string{"s2"}},
+		}},
+	}
+	for i, s := range cases {
+		if err := s.Validate(); err == nil {
+			t.Errorf("case %d accepted: %+v", i, s)
+		}
+	}
+}
+
+func TestFaultedNodes(t *testing.T) {
+	s := Schedule{Steps: 4, Events: []Event{
+		{Step: 0, Kind: FaultDisk, Nodes: []string{"s3", "s1"}},
+		{Step: 1, Kind: FaultAsym, Nodes: []string{"s3"}, Peer: "s2"},
+	}}
+	got := s.FaultedNodes()
+	if !reflect.DeepEqual(got, []string{"s1", "s3"}) {
+		t.Fatalf("FaultedNodes = %v", got)
+	}
+}
+
+func TestGeneratorDeterministicAndDistinct(t *testing.T) {
+	a, b := NewGenerator(11, 6), NewGenerator(11, 6)
+	other := NewGenerator(12, 6)
+	differs := false
+	for i := 0; i < 50; i++ {
+		sa, sb := a.Schedule(i), b.Schedule(i)
+		if sa.Spec() != sb.Spec() {
+			t.Fatalf("schedule %d not deterministic:\n%s\n%s", i, sa.Spec(), sb.Spec())
+		}
+		if sa.Spec() != other.Schedule(i).Spec() {
+			differs = true
+		}
+	}
+	if !differs {
+		t.Fatal("different seeds produced identical schedule streams")
+	}
+}
+
+// TestGeneratorCoverage asserts the acceptance criterion directly: 50
+// distinct schedules from a fixed seed are all valid, round-trip
+// through their specs, and include at least one correlated-domain
+// fault, one asymmetric-network fault, one churn-overlap, and one
+// sharded-topology schedule.
+func TestGeneratorCoverage(t *testing.T) {
+	g := NewGenerator(1, 6)
+	seen := map[string]bool{}
+	byClass := map[string]int{}
+	shard := 0
+	for idx := 0; len(seen) < 50; idx++ {
+		if idx > 500 {
+			t.Fatalf("needed >500 indices for 50 distinct schedules (%d found)", len(seen))
+		}
+		s := g.Schedule(idx)
+		spec := s.Spec()
+		if seen[spec] {
+			continue
+		}
+		seen[spec] = true
+		if err := s.Validate(); err != nil {
+			t.Fatalf("schedule %d invalid: %v\n%s", idx, err, spec)
+		}
+		back, err := Parse(spec)
+		if err != nil || back.Spec() != spec {
+			t.Fatalf("schedule %d spec not replayable: %v\n%s", idx, err, spec)
+		}
+		byClass[s.Class]++
+		if s.Topo == TopoShard {
+			shard++
+		}
+	}
+	for _, class := range []string{"single", "correlated", "asym", "churn", "storm"} {
+		if byClass[class] == 0 {
+			t.Errorf("50-schedule budget never produced class %q (%v)", class, byClass)
+		}
+	}
+	if shard == 0 {
+		t.Error("50-schedule budget never targeted the sharded topology")
+	}
+}
+
+// TestShrinkMinimal drives the shrinker with a synthetic failure
+// predicate ("any disk fault touching s2") and asserts it reaches the
+// true minimum: one event, one node, a one-step window, no trailing
+// dead steps.
+func TestShrinkMinimal(t *testing.T) {
+	s := Schedule{
+		Seed: 9, Topo: TopoRaft, Steps: 6, Class: "storm",
+		Events: []Event{
+			{Step: 0, Kind: FaultCPU, Nodes: []string{"s1"}, Scale: 2, Until: 3},
+			{Step: 1, Kind: FaultDisk, Nodes: []string{"s1", "s2"}, Scale: 1},
+			{Step: 4, Kind: FaultNet, Nodes: []string{"s3"}, Scale: 0.5, Until: 5},
+		},
+	}
+	calls := 0
+	fails := func(c Schedule) bool {
+		calls++
+		for _, ev := range c.Events {
+			if ev.Kind != FaultDisk {
+				continue
+			}
+			for _, n := range ev.Nodes {
+				if n == "s2" {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	min := Shrink(s, fails)
+	if err := min.Validate(); err != nil {
+		t.Fatalf("shrunk schedule invalid: %v", err)
+	}
+	if len(min.Events) != 1 {
+		t.Fatalf("shrunk to %d events, want 1: %s", len(min.Events), min.Spec())
+	}
+	ev := min.Events[0]
+	if ev.Kind != FaultDisk || len(ev.Nodes) != 1 || ev.Nodes[0] != "s2" {
+		t.Fatalf("shrunk event wrong: %+v", ev)
+	}
+	if ev.Until != ev.Step+1 {
+		t.Fatalf("window not minimal: step=%d until=%d", ev.Step, ev.Until)
+	}
+	if min.Steps > ev.Until+2 {
+		t.Fatalf("trailing steps not cut: steps=%d until=%d", min.Steps, ev.Until)
+	}
+	if calls == 0 || calls > 200 {
+		t.Fatalf("shrinker made %d probe runs", calls)
+	}
+}
+
+// TestShrinkKeepsFailingSchedule checks the contract that Shrink never
+// returns a passing schedule: if nothing can be reduced, the input
+// comes back unchanged.
+func TestShrinkKeepsFailingSchedule(t *testing.T) {
+	s := Schedule{
+		Seed: 1, Topo: TopoRaft, Steps: 3, Class: "single",
+		Events: []Event{{Step: 0, Kind: FaultMem, Nodes: []string{"s1"}, Scale: 1, Until: 1}},
+	}
+	onlyExact := func(c Schedule) bool { return c.Spec() == s.Spec() }
+	if got := Shrink(s, onlyExact); got.Spec() != s.Spec() {
+		t.Fatalf("irreducible schedule changed: %s", got.Spec())
+	}
+}

@@ -1,0 +1,115 @@
+package explore
+
+// Shrink reduces a failing schedule to a minimal reproduction: it
+// greedily tries simplifications — drop an event, drop a node from a
+// correlated event, shorten a fault's window, cut trailing steps —
+// keeping each one only if the schedule still fails, and repeats to a
+// fixpoint. fails runs a candidate and reports whether it still
+// violates an invariant (typically a closure over Run); it is the
+// expensive part, so candidates are tried most-aggressive first.
+//
+// The result is what a human debugging the failure wants to read: the
+// fewest fault events, on the fewest nodes, held for the shortest
+// time, that still break the system.
+func Shrink(s Schedule, fails func(Schedule) bool) Schedule {
+	for {
+		reduced, ok := shrinkOnce(s, fails)
+		if !ok {
+			return s
+		}
+		s = reduced
+	}
+}
+
+// shrinkOnce tries each simplification on the current schedule and
+// returns the first that still fails.
+func shrinkOnce(s Schedule, fails func(Schedule) bool) (Schedule, bool) {
+	// 1. Drop whole events, most disruptive reduction first.
+	for i := range s.Events {
+		c := s
+		c.Events = dropEvent(s.Events, i)
+		if len(c.Events) > 0 && try(c, fails) {
+			return c, true
+		}
+	}
+	// 2. Drop one node from correlated (multi-node) events.
+	for i, ev := range s.Events {
+		if len(ev.Nodes) < 2 {
+			continue
+		}
+		for j := range ev.Nodes {
+			c := s
+			c.Events = cloneEvents(s.Events)
+			c.Events[i].Nodes = dropString(ev.Nodes, j)
+			if try(c, fails) {
+				return c, true
+			}
+		}
+	}
+	// 3. Shorten fault windows: a held fault (Until 0) becomes a
+	// one-step pulse; an already-bounded fault shrinks by one step.
+	for i, ev := range s.Events {
+		if ev.Kind == FaultChurn {
+			continue
+		}
+		c := s
+		c.Events = cloneEvents(s.Events)
+		switch {
+		case ev.Until == 0 && ev.Step+1 < s.Steps:
+			c.Events[i].Until = ev.Step + 1
+		case ev.Until > ev.Step+1:
+			c.Events[i].Until = ev.Until - 1
+		default:
+			continue
+		}
+		if try(c, fails) {
+			return c, true
+		}
+	}
+	// 4. Cut trailing steps no event needs.
+	if last := lastUsedStep(s); last+2 < s.Steps {
+		c := s
+		c.Steps = last + 2
+		if try(c, fails) {
+			return c, true
+		}
+	}
+	return s, false
+}
+
+// try validates then runs a candidate.
+func try(c Schedule, fails func(Schedule) bool) bool {
+	return c.Validate() == nil && fails(c)
+}
+
+// lastUsedStep returns the highest step any event touches.
+func lastUsedStep(s Schedule) int {
+	last := 0
+	for _, ev := range s.Events {
+		if ev.Step > last {
+			last = ev.Step
+		}
+		if ev.Until > last {
+			last = ev.Until
+		}
+	}
+	return last
+}
+
+func dropEvent(evs []Event, i int) []Event {
+	out := make([]Event, 0, len(evs)-1)
+	out = append(out, evs[:i]...)
+	return append(out, evs[i+1:]...)
+}
+
+func cloneEvents(evs []Event) []Event {
+	out := make([]Event, len(evs))
+	copy(out, evs)
+	return out
+}
+
+func dropString(ss []string, i int) []string {
+	out := make([]string, 0, len(ss)-1)
+	out = append(out, ss[:i]...)
+	return append(out, ss[i+1:]...)
+}

@@ -28,19 +28,28 @@ type RandomFaults struct {
 
 	mu      sync.Mutex
 	rec     *obs.Recorder
-	active  map[*env.Env]Fault
+	active  map[*env.Env]activeEpisode
 	history []Episode
 	stopCh  chan struct{}
 	doneCh  chan struct{}
 	started bool
 }
 
-// Episode records one injected transient fault.
+// Episode records one injected transient fault. End is the scheduled
+// clearance while the episode runs and the actual clearance once it
+// has been healed (including early heals from Stop).
 type Episode struct {
 	Target string
 	Fault  Fault
 	Start  time.Time
 	End    time.Time
+}
+
+// activeEpisode tracks one running episode: its fault plus its index
+// into the history, so an early clear can truncate the recorded End.
+type activeEpisode struct {
+	fault Fault
+	idx   int
 }
 
 // NewRandomFaults builds a scheduler over targets. meanBetween is the
@@ -54,7 +63,7 @@ func NewRandomFaults(targets []*env.Env, in Intensity, meanBetween, meanDuration
 		meanDuration: meanDuration,
 		faults:       Injected,
 		rng:          rand.New(rand.NewSource(seed)),
-		active:       make(map[*env.Env]Fault),
+		active:       make(map[*env.Env]activeEpisode),
 		stopCh:       make(chan struct{}),
 		doneCh:       make(chan struct{}),
 	}
@@ -124,16 +133,17 @@ func (r *RandomFaults) step() {
 	}
 	fault := r.faults[r.rng.Intn(len(r.faults))]
 	dur := r.expDur(r.meanDuration)
-	r.active[target] = fault
 	ep := Episode{Target: target.Node(), Fault: fault, Start: time.Now(), End: time.Now().Add(dur)}
 	r.history = append(r.history, ep)
+	r.active[target] = activeEpisode{fault: fault, idx: len(r.history) - 1}
 	rec := r.rec
 	r.mu.Unlock()
 
 	ApplyObserved(rec, target, fault, r.intensity)
 	time.AfterFunc(dur, func() {
 		r.mu.Lock()
-		if r.active[target] == fault {
+		if a, ok := r.active[target]; ok && a.fault == fault {
+			r.history[a.idx].End = time.Now()
 			delete(r.active, target)
 			ClearObserved(r.rec, target)
 		}
@@ -141,11 +151,17 @@ func (r *RandomFaults) step() {
 	})
 }
 
-// clearAll heals every target.
+// clearAll heals every target, truncating the in-progress episodes'
+// recorded End to the actual clearance instant — so a Stop mid-episode
+// leaves neither a dangling injection on the recorder nor a phantom
+// future End in the history, and MTTR analysis always sees the fault
+// lift when it really did.
 func (r *RandomFaults) clearAll() {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	for t := range r.active {
+	now := time.Now()
+	for t, a := range r.active {
+		r.history[a.idx].End = now
 		ClearObserved(r.rec, t)
 		delete(r.active, t)
 	}

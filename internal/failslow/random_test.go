@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"depfast/internal/env"
+	"depfast/internal/obs"
 )
 
 func TestRandomFaultsInjectsAndHeals(t *testing.T) {
@@ -76,4 +77,79 @@ func TestRandomFaultsStopIdempotent(t *testing.T) {
 	rf.Start()
 	rf.Stop()
 	rf.Stop()
+}
+
+func TestRandomFaultsStopTruncatesInFlightEpisodes(t *testing.T) {
+	rec := obs.NewRecorder(128)
+	targets := []*env.Env{env.New("t1", env.DefaultConfig())}
+	// Episodes nominally last ~10s, far beyond the test window, so any
+	// injected episode is still in flight when Stop heals it.
+	rf := NewRandomFaults(targets, DefaultIntensity(),
+		10*time.Millisecond, 10*time.Second, 3)
+	rf.SetRecorder(rec)
+	rf.Start()
+	time.Sleep(120 * time.Millisecond)
+	rf.Stop()
+	now := time.Now()
+
+	eps := rf.History()
+	if len(eps) == 0 {
+		t.Skip("no episodes on this host; timing too coarse")
+	}
+	for _, ep := range eps {
+		if ep.End.After(now) {
+			t.Errorf("episode End %v still in the future after Stop", ep.End)
+		}
+		if !ep.End.After(ep.Start) {
+			t.Errorf("non-positive episode duration after truncation: %+v", ep)
+		}
+	}
+	var injected, cleared int
+	for _, ev := range rec.Events() {
+		switch ev.Type {
+		case obs.FaultInjected:
+			injected++
+		case obs.FaultCleared:
+			cleared++
+		}
+	}
+	if injected == 0 || cleared == 0 {
+		t.Fatalf("recorder saw %d injections, %d clears; want both > 0", injected, cleared)
+	}
+	if cleared < injected {
+		t.Fatalf("dangling injections on recorder: %d injected vs %d cleared", injected, cleared)
+	}
+}
+
+func TestRandomFaultsExportHistoryIncludesStopClears(t *testing.T) {
+	targets := []*env.Env{env.New("e1", env.DefaultConfig())}
+	rf := NewRandomFaults(targets, DefaultIntensity(),
+		10*time.Millisecond, 10*time.Second, 5)
+	rf.Start()
+	time.Sleep(120 * time.Millisecond)
+	rf.Stop()
+
+	if len(rf.History()) == 0 {
+		t.Skip("no episodes on this host; timing too coarse")
+	}
+	rec := obs.NewRecorder(128)
+	rf.ExportHistory(rec)
+	var injected, cleared int
+	for _, ev := range rec.Events() {
+		switch ev.Type {
+		case obs.FaultInjected:
+			injected++
+		case obs.FaultCleared:
+			cleared++
+		}
+	}
+	// Stop truncated every in-flight episode's End into the past, so the
+	// export emits a clearance for each injection — MTTR analysis never
+	// sees a fault that was healed but looks active.
+	if injected == 0 {
+		t.Fatal("export emitted no injections")
+	}
+	if cleared != injected {
+		t.Fatalf("export: %d injections but %d clears", injected, cleared)
+	}
 }

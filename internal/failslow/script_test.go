@@ -1,0 +1,151 @@
+package failslow
+
+import (
+	"testing"
+	"time"
+
+	"depfast/internal/env"
+	"depfast/internal/obs"
+)
+
+func TestScaleStretchesBeyondHealthy(t *testing.T) {
+	in := DefaultIntensity()
+	half := Scale(in, 0.5)
+	// A 20x CPU fault at half scale is 1 + 19/2 = 10.5x, not 10x.
+	if got := half.CPUSlowFactor; got != 10.5 {
+		t.Errorf("CPUSlowFactor at x0.5 = %v, want 10.5", got)
+	}
+	if got := half.NetDelay; got != in.NetDelay/2 {
+		t.Errorf("NetDelay at x0.5 = %v, want %v", got, in.NetDelay/2)
+	}
+	double := Scale(in, 2)
+	if got := double.CPUSlowFactor; got != 39 {
+		t.Errorf("CPUSlowFactor at x2 = %v, want 39", got)
+	}
+	// Probabilities clamp at 1.
+	if got := Scale(in, 100).DiskStallProb; got != 1 {
+		t.Errorf("DiskStallProb at x100 = %v, want 1", got)
+	}
+	// Identity and degenerate scales return the input untouched.
+	if Scale(in, 1) != in || Scale(in, 0) != in || Scale(in, -3) != in {
+		t.Error("Scale(1/0/negative) must be identity")
+	}
+}
+
+func TestScriptInjectAndClear(t *testing.T) {
+	rec := obs.NewRecorder(64)
+	e := env.New("n1", env.DefaultConfig())
+	s := NewScript(rec, DefaultIntensity())
+
+	s.Inject(e, CPUSlow, 1)
+	if got := e.ComputeCost(time.Millisecond); got != 20*time.Millisecond {
+		t.Fatalf("cpu-slow compute = %v", got)
+	}
+	if s.Active() != 1 {
+		t.Fatalf("active = %d, want 1", s.Active())
+	}
+
+	s.Clear(e)
+	if got := e.ComputeCost(time.Millisecond); got != time.Millisecond {
+		t.Fatalf("compute after clear = %v", got)
+	}
+	if s.Active() != 0 {
+		t.Fatalf("active after clear = %d", s.Active())
+	}
+	// Clearing an already-healthy node is a silent no-op.
+	before := len(rec.Events())
+	s.Clear(e)
+	if len(rec.Events()) != before {
+		t.Error("no-op Clear emitted an event")
+	}
+
+	var injected, cleared int
+	for _, ev := range rec.Events() {
+		switch ev.Type {
+		case obs.FaultInjected:
+			injected++
+		case obs.FaultCleared:
+			cleared++
+		}
+	}
+	if injected != 1 || cleared != 1 {
+		t.Fatalf("recorder saw %d injections, %d clears; want 1/1", injected, cleared)
+	}
+}
+
+func TestScriptInjectScales(t *testing.T) {
+	e := env.New("n1", env.DefaultConfig())
+	s := NewScript(nil, DefaultIntensity())
+	s.Inject(e, CPUSlow, 2)
+	// x2 of a 20x fault stretches to 39x.
+	if got := e.ComputeCost(time.Millisecond); got != 39*time.Millisecond {
+		t.Fatalf("scaled cpu-slow compute = %v", got)
+	}
+	s.ClearAll()
+}
+
+func TestScriptAsymSurvivesReinjection(t *testing.T) {
+	rec := obs.NewRecorder(64)
+	e := env.New("n1", env.DefaultConfig())
+	s := NewScript(rec, DefaultIntensity())
+	base := env.DefaultConfig().NetBase
+
+	s.InjectAsym(e, "n2", 1)
+	want := DefaultIntensity().NetDelay + base
+	if got := e.NetDelayTo("n2"); got != want {
+		t.Fatalf("one-way delay toward n2 = %v, want %v", got, want)
+	}
+	if got := e.NetDelayTo("n3"); got != base {
+		t.Fatalf("delay toward n3 = %v, want baseline", got)
+	}
+
+	// A node-level fault on the same target must not wipe the one-way
+	// delay (env.Apply clears all knobs; the Script re-establishes it).
+	s.Inject(e, CPUSlow, 1)
+	if got := e.NetDelayTo("n2"); got != want {
+		t.Fatalf("one-way delay lost after node fault re-injection: %v", got)
+	}
+	if s.Active() != 1 {
+		t.Fatalf("active = %d, want 1 (same node)", s.Active())
+	}
+
+	s.ClearAll()
+	if got := e.NetDelayTo("n2"); got != base {
+		t.Fatalf("one-way delay after ClearAll = %v, want baseline", got)
+	}
+	if got := e.ComputeCost(time.Millisecond); got != time.Millisecond {
+		t.Fatalf("compute after ClearAll = %v", got)
+	}
+	if s.Active() != 0 {
+		t.Fatalf("active after ClearAll = %d", s.Active())
+	}
+
+	// The asymmetric injection is on the recorder with its direction.
+	var sawAsym bool
+	for _, ev := range rec.Events() {
+		if ev.Type == obs.FaultInjected && ev.Peer == "n2" {
+			sawAsym = true
+		}
+	}
+	if !sawAsym {
+		t.Error("asymmetric injection missing from recorder")
+	}
+}
+
+func TestScriptClearAllHealsEveryTarget(t *testing.T) {
+	s := NewScript(nil, DefaultIntensity())
+	a := env.New("a", env.DefaultConfig())
+	b := env.New("b", env.DefaultConfig())
+	s.Inject(a, DiskSlow, 1)
+	s.InjectAsym(b, "a", 1)
+	if s.Active() != 2 {
+		t.Fatalf("active = %d, want 2", s.Active())
+	}
+	s.ClearAll()
+	if got := a.DiskReadCost(0); got != env.DefaultConfig().DiskReadBase {
+		t.Errorf("a not healed: %v", got)
+	}
+	if got := b.NetDelayTo("a"); got != env.DefaultConfig().NetBase {
+		t.Errorf("b not healed: %v", got)
+	}
+}

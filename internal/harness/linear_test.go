@@ -1,0 +1,205 @@
+package harness
+
+import (
+	"testing"
+	"time"
+)
+
+// hop builds an op with Call/Return at millisecond offsets from a
+// fixed origin, so tests read as interval diagrams.
+func hop(client string, kind HOpKind, key string, callMS, retMS int64) HOp {
+	origin := time.Unix(1700000000, 0)
+	return HOp{
+		Client: client,
+		Kind:   kind,
+		Key:    key,
+		Call:   origin.Add(time.Duration(callMS) * time.Millisecond),
+		Return: origin.Add(time.Duration(retMS) * time.Millisecond),
+	}
+}
+
+func put(client, key, val string, callMS, retMS int64) HOp {
+	op := hop(client, HPut, key, callMS, retMS)
+	op.Value = []byte(val)
+	return op
+}
+
+func get(client, key, val string, found bool, callMS, retMS int64) HOp {
+	op := hop(client, HGet, key, callMS, retMS)
+	op.OutFound = found
+	if found {
+		op.OutValue = []byte(val)
+	}
+	return op
+}
+
+func cas(client, key, expect, val string, ok bool, prev string, callMS, retMS int64) HOp {
+	op := hop(client, HCAS, key, callMS, retMS)
+	op.Expect = []byte(expect)
+	op.Value = []byte(val)
+	op.OutFound = ok
+	if !ok {
+		op.OutValue = []byte(prev)
+	}
+	return op
+}
+
+func TestCheckLinearizableEmptyHistory(t *testing.T) {
+	rep := CheckLinearizable(nil, 0)
+	if rep.Verdict != LinOK {
+		t.Fatalf("empty history: %v", rep.Verdict)
+	}
+	if rep.Ops != 0 || rep.States != 0 {
+		t.Fatalf("empty history counted work: %+v", rep)
+	}
+}
+
+func TestCheckLinearizableSequential(t *testing.T) {
+	h := []HOp{
+		put("a", "k", "1", 0, 10),
+		get("a", "k", "1", true, 20, 30),
+		put("a", "k", "2", 40, 50),
+		get("b", "k", "2", true, 60, 70),
+	}
+	if rep := CheckLinearizable(h, 0); rep.Verdict != LinOK {
+		t.Fatalf("sequential history rejected: %+v", rep)
+	}
+}
+
+func TestCheckLinearizableStaleReadViolation(t *testing.T) {
+	h := []HOp{
+		put("a", "k", "1", 0, 10),
+		put("a", "k", "2", 20, 30),
+		// Reads strictly after both writes returned must see "2".
+		get("b", "k", "1", true, 40, 50),
+	}
+	rep := CheckLinearizable(h, 0)
+	if rep.Verdict != LinViolation {
+		t.Fatalf("stale read accepted: %+v", rep)
+	}
+	if rep.Key != "k" {
+		t.Fatalf("violation key = %q", rep.Key)
+	}
+}
+
+func TestCheckLinearizableReadAbsentBeforeWrite(t *testing.T) {
+	h := []HOp{
+		get("a", "k", "", false, 0, 10),
+		put("b", "k", "1", 20, 30),
+		get("a", "k", "1", true, 40, 50),
+	}
+	if rep := CheckLinearizable(h, 0); rep.Verdict != LinOK {
+		t.Fatalf("absent-then-present rejected: %+v", rep)
+	}
+	// A read of "absent" after an acked write is a lost write.
+	h2 := []HOp{
+		put("b", "k", "1", 0, 10),
+		get("a", "k", "", false, 20, 30),
+	}
+	if rep := CheckLinearizable(h2, 0); rep.Verdict != LinViolation {
+		t.Fatalf("lost acked write accepted: %+v", rep)
+	}
+}
+
+func TestCheckLinearizableConcurrentReadsSeeEitherSide(t *testing.T) {
+	h := []HOp{
+		put("a", "k", "1", 0, 100),
+		// Both reads overlap the write: one sees it, one does not.
+		get("b", "k", "1", true, 10, 40),
+		get("c", "k", "", false, 20, 50),
+	}
+	if rep := CheckLinearizable(h, 0); rep.Verdict != LinOK {
+		t.Fatalf("concurrent reads rejected: %+v", rep)
+	}
+}
+
+func TestCheckLinearizableConcurrentCASOneWinner(t *testing.T) {
+	// Two clients race a CAS from the same precondition. Exactly one
+	// may win; the loser observes the winner's value.
+	ok := []HOp{
+		cas("a", "k", "", "va", true, "", 0, 50),
+		cas("b", "k", "", "vb", false, "va", 10, 60),
+		get("c", "k", "va", true, 70, 80),
+	}
+	if rep := CheckLinearizable(ok, 0); rep.Verdict != LinOK {
+		t.Fatalf("legit CAS race rejected: %+v", rep)
+	}
+	// Both claiming success from the same precondition is impossible.
+	both := []HOp{
+		cas("a", "k", "", "va", true, "", 0, 50),
+		cas("b", "k", "", "vb", true, "", 10, 60),
+	}
+	if rep := CheckLinearizable(both, 0); rep.Verdict != LinViolation {
+		t.Fatalf("double CAS win accepted: %+v", rep)
+	}
+	// A losing CAS that reports a value nobody wrote is a violation.
+	ghost := []HOp{
+		cas("a", "k", "", "va", true, "", 0, 50),
+		cas("b", "k", "", "vb", false, "ghost", 10, 60),
+	}
+	if rep := CheckLinearizable(ghost, 0); rep.Verdict != LinViolation {
+		t.Fatalf("ghost CAS observation accepted: %+v", rep)
+	}
+}
+
+func TestCheckLinearizableMaybeOps(t *testing.T) {
+	// An errored write may or may not have applied: both subsequent
+	// observations are legal.
+	applied := []HOp{
+		put("a", "k", "1", 0, 10),
+	}
+	maybePut := put("b", "k", "2", 20, 30)
+	maybePut.Maybe = true
+	sawNew := append(applied, maybePut, get("c", "k", "2", true, 40, 50))
+	if rep := CheckLinearizable(sawNew, 0); rep.Verdict != LinOK {
+		t.Fatalf("maybe-applied write rejected: %+v", rep)
+	}
+	sawOld := append(applied[:1:1], maybePut, get("c", "k", "1", true, 40, 50))
+	if rep := CheckLinearizable(sawOld, 0); rep.Verdict != LinOK {
+		t.Fatalf("maybe-skipped write rejected: %+v", rep)
+	}
+	// But a read can never see a value nobody (even maybe) wrote.
+	sawGhost := append(applied[:1:1], maybePut, get("c", "k", "3", true, 40, 50))
+	if rep := CheckLinearizable(sawGhost, 0); rep.Verdict != LinViolation {
+		t.Fatalf("ghost value accepted: %+v", rep)
+	}
+	// Maybe reads are uninformative and dropped.
+	maybeGet := get("d", "k", "irrelevant", true, 60, 70)
+	maybeGet.Maybe = true
+	dropped := append(applied[:1:1], maybeGet)
+	if rep := CheckLinearizable(dropped, 0); rep.Verdict != LinOK || rep.Ops != 1 {
+		t.Fatalf("maybe read not dropped: %+v", rep)
+	}
+}
+
+func TestCheckLinearizableKeysIndependent(t *testing.T) {
+	// A violation on one key names that key even when others are fine.
+	h := []HOp{
+		put("a", "good", "1", 0, 10),
+		get("b", "good", "1", true, 20, 30),
+		put("a", "bad", "1", 0, 10),
+		get("b", "bad", "2", true, 20, 30),
+	}
+	rep := CheckLinearizable(h, 0)
+	if rep.Verdict != LinViolation || rep.Key != "bad" {
+		t.Fatalf("per-key verdict wrong: %+v", rep)
+	}
+}
+
+func TestCheckLinearizableBudgetExhaustion(t *testing.T) {
+	// Many concurrent writes plus an impossible read force the DFS to
+	// explore widely; a one-state budget cannot decide.
+	var h []HOp
+	for i := 0; i < 8; i++ {
+		h = append(h, put("c", "k", string(rune('a'+i)), 0, 100))
+	}
+	h = append(h, get("r", "k", "zzz", true, 200, 210))
+	rep := CheckLinearizable(h, 1)
+	if rep.Verdict != LinUnknown {
+		t.Fatalf("budget=1 verdict = %v, want LinUnknown", rep.Verdict)
+	}
+	// With a real budget the same history is decisively rejected.
+	if rep := CheckLinearizable(h, 0); rep.Verdict != LinViolation {
+		t.Fatalf("full budget verdict = %v, want LinViolation", rep.Verdict)
+	}
+}

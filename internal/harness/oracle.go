@@ -1,0 +1,109 @@
+package harness
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"depfast/internal/clock"
+	"depfast/internal/kv"
+	"depfast/internal/raft"
+)
+
+// ConvergenceResult reports whether a cluster reached a terminal
+// healthy configuration — the sentinel-convergence oracle of the
+// schedule explorer. A healthy terminal state has an agreed leader,
+// the expected voter count, no quarantined peers, and every voter's
+// state machine caught up to the same commit index.
+type ConvergenceResult struct {
+	Converged bool
+	Leader    string
+	Voters    []string
+	// Reason names the last unmet condition when the wait timed out —
+	// "no agreed leader", "peer s2 still quarantined", etc.
+	Reason string
+}
+
+// String renders a one-line summary.
+func (c ConvergenceResult) String() string {
+	if c.Converged {
+		return fmt.Sprintf("converged leader=%s voters=%v", c.Leader, c.Voters)
+	}
+	return fmt.Sprintf("NOT converged: %s", c.Reason)
+}
+
+// WaitConvergence polls servers until the cluster is terminally
+// healthy or timeout elapses. wantVoters <= 0 accepts any voter
+// count. Faults must already be cleared: the oracle asks whether the
+// sentinel machinery (quarantine hysteresis, handoff, replacement)
+// ever lets go of a healed cluster — a sentinel stuck condemning a
+// recovered peer fails here, which is exactly the invariant a broken
+// mitigation config trips.
+func WaitConvergence(servers map[string]*raft.Server, wantVoters int, timeout time.Duration) ConvergenceResult {
+	var res ConvergenceResult
+	check := func() bool {
+		res = convergenceSnapshot(servers, wantVoters)
+		return res.Converged
+	}
+	clock.WaitUntil(timeout, 20*time.Millisecond, check)
+	return res
+}
+
+// convergenceSnapshot evaluates the terminal-health predicate once.
+func convergenceSnapshot(servers map[string]*raft.Server, wantVoters int) ConvergenceResult {
+	leader, ok := raft.AgreedLeader(servers)
+	if !ok {
+		return ConvergenceResult{Reason: "no agreed leader"}
+	}
+	res := ConvergenceResult{Leader: leader}
+	voters, _ := servers[leader].Members()
+	sort.Strings(voters)
+	res.Voters = voters
+	if wantVoters > 0 && len(voters) != wantVoters {
+		res.Reason = fmt.Sprintf("%d voters, want %d", len(voters), wantVoters)
+		return res
+	}
+	var want uint64
+	for i, v := range voters {
+		srv, ok := servers[v]
+		if !ok {
+			res.Reason = fmt.Sprintf("voter %s is not a live server", v)
+			return res
+		}
+		if q := srv.Quarantined(); len(q) > 0 {
+			res.Reason = fmt.Sprintf("%s still quarantines %v", v, q)
+			return res
+		}
+		commit, applied := srv.CommitInfo()
+		if applied != commit {
+			res.Reason = fmt.Sprintf("%s applied %d < commit %d", v, applied, commit)
+			return res
+		}
+		if i == 0 {
+			want = applied
+		} else if applied != want {
+			res.Reason = fmt.Sprintf("%s applied %d, others %d", v, applied, want)
+			return res
+		}
+	}
+	res.Converged = true
+	return res
+}
+
+// AuditAcked checks that every acknowledged unique-key write is
+// present in each server's state machine and returns the missing keys
+// (nil when no acked write was lost). Call after WaitConvergence so
+// appliers are caught up — a key missing then is a durability
+// violation, not lag.
+func AuditAcked(servers []*raft.Server, keys []string) []string {
+	var lost []string
+	for _, key := range keys {
+		for _, s := range servers {
+			if r := s.Store().Apply(kv.Command{Op: kv.OpGet, Key: key}); !r.Found {
+				lost = append(lost, key)
+				break
+			}
+		}
+	}
+	return lost
+}

@@ -19,7 +19,7 @@ var LogicPaths = []string{"internal/raft", "internal/kv", "internal/baseline", "
 
 // HarnessPaths lists the experiment-driver packages where raw
 // time.Sleep is flagged in favor of internal/clock primitives.
-var HarnessPaths = []string{"internal/harness"}
+var HarnessPaths = []string{"internal/harness", "internal/explore"}
 
 // Module is a loaded Go module: every package parsed and (best-effort)
 // type-checked from source, stdlib dependencies resolved through the

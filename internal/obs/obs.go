@@ -89,6 +89,18 @@ const (
 	// hottest edges.
 	SPGSnapshot Type = "spg.snapshot"
 
+	// ScheduleStarted / ScheduleVerdict bracket one explored fault
+	// schedule: Detail carries the schedule's replay spec; the verdict's
+	// Fields["pass"] is 1/0 and Fields["index"] the schedule's position
+	// in the exploration budget.
+	ScheduleStarted Type = "explore.schedule"
+	ScheduleVerdict Type = "explore.verdict"
+
+	// InvariantViolated marks one failed run invariant within a
+	// schedule: Detail names the invariant and what it saw
+	// (linearizability, acked-write loss, convergence, containment).
+	InvariantViolated Type = "explore.violation"
+
 	// Phase marks a harness experiment phase boundary (Detail names it:
 	// warmup, pre-window, grace, post-window, clear, ...).
 	Phase Type = "phase"

@@ -39,9 +39,11 @@ var (
 )
 
 // Network is the in-memory transport. Message latency is
-// senderEnv.NetDelay() + receiverEnv.NetDelay(); injecting a NIC delay
-// on one node (Table 1, network slowness) therefore slows both its
-// inbound and outbound traffic, like tc netem on the interface.
+// senderEnv.NetDelayTo(dst) + receiverEnv.NetDelay(); injecting a NIC
+// delay on one node (Table 1, network slowness) therefore slows both
+// its inbound and outbound traffic, like tc netem on the interface,
+// while a per-peer one-way delay (env.SetNetDelayTo) slows only the
+// sender's flow toward that destination.
 type Network struct {
 	mu     sync.Mutex
 	nodes  map[string]*memNode
@@ -154,7 +156,10 @@ func (n *Network) Send(from, to string, payload []byte) error {
 	}
 	var delay time.Duration
 	if e, ok := n.envs[from]; ok {
-		delay += e.NetDelay()
+		// Sender-side latency is directional: an asymmetric one-way
+		// delay toward this destination slows only this flow, while the
+		// reverse path and other peers stay at the NIC baseline.
+		delay += e.NetDelayTo(to)
 	}
 	if e, ok := n.envs[to]; ok {
 		delay += e.NetDelay()

@@ -45,6 +45,51 @@ func TestNetworkUnknownNode(t *testing.T) {
 	}
 }
 
+func TestNetworkAsymmetricOneWayDelay(t *testing.T) {
+	n := NewNetwork()
+	defer n.Close()
+	envA, envB := newEnv("a"), newEnv("b")
+	gotA := make(chan time.Time, 4)
+	gotB := make(chan time.Time, 4)
+	gotC := make(chan time.Time, 4)
+	n.Register("a", envA, func(string, []byte) { gotA <- time.Now() })
+	n.Register("b", envB, func(string, []byte) { gotB <- time.Now() })
+	n.Register("c", newEnv("c"), func(string, []byte) { gotC <- time.Now() })
+
+	// Slow only the a→b direction.
+	envA.SetNetDelayTo("b", 150*time.Millisecond)
+
+	elapsed := func(from, to string, ch chan time.Time) time.Duration {
+		start := time.Now()
+		if err := n.Send(from, to, []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+		select {
+		case at := <-ch:
+			return at.Sub(start)
+		case <-time.After(5 * time.Second):
+			t.Fatalf("%s->%s not delivered", from, to)
+			return 0
+		}
+	}
+
+	if d := elapsed("a", "b", gotB); d < 120*time.Millisecond {
+		t.Fatalf("a->b took %v, want >= ~150ms one-way delay", d)
+	}
+	// The reverse direction and other destinations stay fast.
+	if d := elapsed("b", "a", gotA); d > 60*time.Millisecond {
+		t.Fatalf("b->a took %v, want fast (asym delay is one-way)", d)
+	}
+	if d := elapsed("a", "c", gotC); d > 60*time.Millisecond {
+		t.Fatalf("a->c took %v, want fast (other peers unaffected)", d)
+	}
+	// ClearFaults heals the direction.
+	envA.ClearFaults()
+	if d := elapsed("a", "b", gotB); d > 60*time.Millisecond {
+		t.Fatalf("a->b after ClearFaults took %v, want fast", d)
+	}
+}
+
 func TestNetworkOrderingSameDelay(t *testing.T) {
 	n := NewNetwork()
 	defer n.Close()
