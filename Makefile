@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all check build vet test race bench examples figures verify report-smoke shard-smoke replace-smoke explore-smoke clean
+.PHONY: all check build vet test race bench examples figures verify report-smoke shard-smoke replace-smoke explore-smoke trace-smoke bench-smoke clean
 
 all: check
 
@@ -65,6 +65,18 @@ replace-smoke:
 # (schedules/sec, invariant-check latency) to BENCH_explore.json.
 explore-smoke:
 	$(GO) run -race ./cmd/depfast-explore -seed 1 -budget 50 -quick -v -bench BENCH_explore.json
+
+# Causal-tracing smoke: run the trace experiment once (disk-slow
+# leader, head sampling + tail promotion) and gate on its two
+# acceptance numbers — >=90% of tail-promoted traces blame the injected
+# (node, resource), and tracing costs <5% throughput.
+trace-smoke:
+	$(GO) run -race ./cmd/depfast-bench -exp trace -quick
+
+# Raft throughput/latency matrix (conc x value-size) at CI scale,
+# emitted to BENCH_raft.json for artifact upload.
+bench-smoke:
+	$(GO) run ./cmd/depfast-bench -exp raftbench -quick -out BENCH_raft.json
 
 examples:
 	$(GO) run ./examples/quickstart

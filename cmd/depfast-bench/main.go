@@ -15,6 +15,8 @@
 //	depfast-bench -exp mitigation # sentinel on/off under a CPU-slow leader
 //	depfast-bench -exp shard     # multi-Raft sharded KV: blast-radius containment
 //	depfast-bench -exp replace   # automated replacement of a condemned fail-slow node
+//	depfast-bench -exp trace     # causal tracing: attribution accuracy + overhead gates
+//	depfast-bench -exp raftbench # concurrency × value-size matrix -> BENCH_raft.json
 //
 // One-off custom runs:
 //
@@ -28,6 +30,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -44,7 +47,8 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: table1|figure1|figure2|figure3|verify|transient|sweep|intensity|mitigation|shard|replace|run|all")
+		exp      = flag.String("exp", "all", "experiment: table1|figure1|figure2|figure3|verify|transient|sweep|intensity|mitigation|shard|replace|trace|raftbench|run|all")
+		benchOut = flag.String("out", "BENCH_raft.json", "raftbench: write the matrix JSON to this file")
 		duration = flag.Duration("duration", 3*time.Second, "measurement window per cell")
 		warmup   = flag.Duration("warmup", 750*time.Millisecond, "warmup before measuring")
 		clients  = flag.Int("clients", 24, "closed-loop client population")
@@ -192,6 +196,77 @@ func main() {
 		fmt.Println(harness.RenderSweep(results, counts))
 	}
 
+	runTrace := func() {
+		fmt.Println("== Causal tracing: attribution accuracy + overhead (leader disk-slow) ==")
+		cfg := harness.DefaultTraceExpConfig()
+		if *quick {
+			cfg.OverheadTrials = 1
+		}
+		res, err := harness.RunTraceExperiment(cfg)
+		exitOn(err)
+		fmt.Println(res)
+		fmt.Println(res.Attribution.Render())
+		failed := false
+		if res.MatchFraction < 0.9 {
+			fmt.Fprintf(os.Stderr, "FAIL: only %.0f%% of tail-promoted traces blame (leader, disk); gate is 90%%\n",
+				res.MatchFraction*100)
+			failed = true
+		}
+		if res.OverheadRatio > 0 && res.OverheadRatio < 0.95 {
+			fmt.Fprintf(os.Stderr, "FAIL: tracing costs %.1f%% throughput; gate is 5%%\n",
+				(1-res.OverheadRatio)*100)
+			failed = true
+		}
+		if failed {
+			os.Exit(1)
+		}
+		fmt.Println("gates: attribution >= 90% matched, tracing overhead < 5% — both hold")
+		fmt.Println()
+	}
+	runRaftBench := func() {
+		fmt.Println("== DepFastRaft healthy throughput/latency matrix ==")
+		type cell struct {
+			Conc   int     `json:"conc"`
+			Bytes  int     `json:"bytes"`
+			Tput   float64 `json:"tput"`
+			P50us  float64 `json:"p50_us"`
+			P99us  float64 `json:"p99_us"`
+			Errors int64   `json:"errors"`
+		}
+		dur, warm := *duration, *warmup
+		if *quick {
+			dur, warm = 1*time.Second, 300*time.Millisecond
+		}
+		var cells []cell
+		for _, conc := range []int{8, 32} {
+			for _, bytes := range []int{16, 256} {
+				cfg := harness.DefaultRunConfig(harness.DepFastRaft)
+				cfg.Clients = conc
+				cfg.Records = *records
+				cfg.ValueSize = bytes
+				cfg.Duration = dur
+				cfg.Warmup = warm
+				wl := ycsb.PaperWrite(*records, bytes)
+				cfg.Workload = &wl
+				res, err := harness.Run(cfg)
+				exitOn(err)
+				fmt.Printf("  conc=%-3d bytes=%-4d tput=%8.0f op/s  p50=%8v  p99=%8v\n",
+					conc, bytes, res.Throughput,
+					res.P50.Round(10*time.Microsecond), res.P99.Round(10*time.Microsecond))
+				cells = append(cells, cell{
+					Conc: conc, Bytes: bytes, Tput: res.Throughput,
+					P50us: res.P50.Seconds() * 1e6, P99us: res.P99.Seconds() * 1e6,
+					Errors: res.Errors,
+				})
+			}
+		}
+		out := map[string]any{"name": "raft", "cells": cells}
+		b, err := json.MarshalIndent(out, "", "  ")
+		exitOn(err)
+		exitOn(os.WriteFile(*benchOut, append(b, '\n'), 0o644))
+		fmt.Printf("bench matrix written to %s\n\n", *benchOut)
+	}
+
 	runCustom := func() {
 		sys, err := systemByName(*system)
 		exitOn(err)
@@ -244,6 +319,10 @@ func main() {
 		runSharded()
 	case "replace":
 		runReplace()
+	case "trace":
+		runTrace()
+	case "raftbench":
+		runRaftBench()
 	case "all":
 		runTable1()
 		runFigure1()

@@ -124,6 +124,7 @@ func runExplore(seed int64, budget, steps int, cfg explore.RunnerConfig, shrink,
 			"elapsed_ms":        rep.Elapsed.Milliseconds(),
 			"check_ms":          rep.CheckDur.Milliseconds(),
 			"schedules_per_sec": rep.SchedulesPerSec(),
+			"coverage":          coverageJSON(rep.Coverage),
 		}
 		var vs []map[string]any
 		for _, v := range rep.Verdicts {
@@ -150,19 +151,30 @@ func runExplore(seed int64, budget, steps int, cfg explore.RunnerConfig, shrink,
 // verdictJSON flattens one verdict for machine consumers.
 func verdictJSON(v explore.Verdict) map[string]any {
 	return map[string]any{
-		"spec":       v.Spec,
-		"class":      v.Schedule.Class,
-		"pass":       v.Pass,
-		"failures":   v.Failures,
-		"ops":        v.Ops,
-		"acked":      v.Acked,
-		"lost":       v.Lost,
-		"lin":        v.Lin.Verdict.String(),
-		"lin_states": v.Lin.States,
-		"churned":    v.Churned,
-		"elapsed_ms": v.Elapsed.Milliseconds(),
-		"check_ms":   v.CheckDur.Seconds() * 1000,
+		"spec":        v.Spec,
+		"class":       v.Schedule.Class,
+		"pass":        v.Pass,
+		"failures":    v.Failures,
+		"ops":         v.Ops,
+		"acked":       v.Acked,
+		"lost":        v.Lost,
+		"lin":         v.Lin.Verdict.String(),
+		"lin_states":  v.Lin.States,
+		"churned":     v.Churned,
+		"transitions": coverageJSON(v.Transitions),
+		"elapsed_ms":  v.Elapsed.Milliseconds(),
+		"check_ms":    v.CheckDur.Seconds() * 1000,
 	}
+}
+
+// coverageJSON renders a transition tally with every vocabulary kind
+// present, zeros included — coverage is about what was NOT exercised.
+func coverageJSON(tally map[string]int) map[string]int {
+	out := make(map[string]int, len(explore.TransitionKinds))
+	for _, kind := range explore.TransitionKinds {
+		out[kind] = tally[kind]
+	}
+	return out
 }
 
 // writeBench records the exploration perf trajectory point CI tracks:

@@ -1,0 +1,88 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+
+	"depfast/internal/metrics"
+	"depfast/internal/xtrace"
+)
+
+// obsPlane is the node's live observability surface: the metrics
+// registry and trace collector a running server feeds, scraped over
+// plain HTTP so any curl/jq pipeline can watch a deployment without
+// stopping it.
+//
+//	GET /metrics      counters, gauges, windowed latency histograms,
+//	                  and the trace collector's sampling counters
+//	GET /traces       every kept trace (head-sampled + tail-promoted),
+//	                  full span trees
+//	GET /traces?tail=1  only the tail-promoted (slow) traces
+//	GET /attribution  critical-path blame table over the promoted
+//	                  tail (falls back to all kept traces when the
+//	                  deployment is healthy and nothing was promoted)
+type obsPlane struct {
+	node string
+	reg  *metrics.Registry
+	col  *xtrace.Collector
+}
+
+// serveObs binds the observability endpoints on addr and serves them
+// in the background. Returns the bound address.
+func serveObs(addr string, p obsPlane) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("metrics listener: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", p.handleMetrics)
+	mux.HandleFunc("/traces", p.handleTraces)
+	mux.HandleFunc("/attribution", p.handleAttribution)
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), nil
+}
+
+func (p obsPlane) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, map[string]any{
+		"node":    p.node,
+		"metrics": p.reg.Snapshot(),
+		"tracing": p.col.Stats(),
+	})
+}
+
+func (p obsPlane) handleTraces(w http.ResponseWriter, r *http.Request) {
+	traces := p.col.Traces()
+	if r.URL.Query().Get("tail") != "" {
+		traces = p.col.TailTraces()
+	}
+	writeJSON(w, map[string]any{
+		"node":   p.node,
+		"count":  len(traces),
+		"traces": traces,
+	})
+}
+
+func (p obsPlane) handleAttribution(w http.ResponseWriter, r *http.Request) {
+	att := xtrace.Attribute(p.col.TailTraces())
+	source := "tail"
+	if att.Traces == 0 {
+		att = xtrace.Attribute(p.col.Traces())
+		source = "kept"
+	}
+	writeJSON(w, map[string]any{
+		"node":   p.node,
+		"source": source,
+		"blame":  att,
+	})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

@@ -32,10 +32,12 @@ import (
 	"depfast/internal/core"
 	"depfast/internal/env"
 	"depfast/internal/failslow"
+	"depfast/internal/metrics"
 	"depfast/internal/raft"
 	"depfast/internal/rpc"
 	"depfast/internal/storage"
 	"depfast/internal/transport"
+	"depfast/internal/xtrace"
 )
 
 func main() {
@@ -46,6 +48,7 @@ func main() {
 		client   = flag.Bool("client", false, "run the interactive client instead of a server")
 		fault    = flag.String("fault", "", "inject a fail-slow fault into this node at startup: cpu|cpucontend|disk|diskcontend|mem|net")
 		dataDir  = flag.String("data", "", "directory for durable Raft state (enables crash recovery)")
+		metricsL = flag.String("metrics", "", "serve the live observability plane (/metrics, /traces, /attribution) on this address (server mode)")
 	)
 	flag.Parse()
 
@@ -61,7 +64,7 @@ func main() {
 	if *node == "" || *listen == "" {
 		fail(fmt.Errorf("server mode needs -node and -listen (or use -client)"))
 	}
-	runServer(*node, *listen, peers, addrs, *fault, *dataDir)
+	runServer(*node, *listen, peers, addrs, *fault, *dataDir, *metricsL)
 }
 
 func parsePeers(arg string) ([]string, map[string]string, error) {
@@ -82,7 +85,7 @@ func parsePeers(arg string) ([]string, map[string]string, error) {
 	return names, addrs, nil
 }
 
-func runServer(node, listen string, peers []string, addrs map[string]string, fault, dataDir string) {
+func runServer(node, listen string, peers []string, addrs map[string]string, fault, dataDir, metricsAddr string) {
 	tr := transport.NewTCP()
 	defer tr.Close()
 
@@ -90,6 +93,16 @@ func runServer(node, listen string, peers []string, addrs map[string]string, fau
 	cfg.ElectionTimeoutMin = 300 * time.Millisecond
 	cfg.ElectionTimeoutMax = 600 * time.Millisecond
 	cfg.HeartbeatInterval = 75 * time.Millisecond
+
+	// The node always keeps its live observability plane — bounded
+	// always-on head sampling plus tail promotion of slow requests —
+	// whether or not anyone is scraping it; -metrics only decides
+	// whether it is reachable over HTTP.
+	reg := metrics.NewRegistry(0, 0)
+	col := xtrace.NewCollector(xtrace.Config{})
+	cfg.Metrics = reg
+	cfg.Tracer = col
+
 	e := env.New(node, env.DefaultConfig())
 	if fault != "" {
 		f, err := faultByName(fault)
@@ -127,6 +140,13 @@ func runServer(node, listen string, peers []string, addrs map[string]string, fau
 	}
 	srv.Start()
 	fmt.Printf("%s: serving on %s, peers %v\n", node, bound, peers)
+	if metricsAddr != "" {
+		obsBound, err := serveObs(metricsAddr, obsPlane{node: node, reg: reg, col: col})
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("%s: observability plane on http://%s (/metrics /traces /attribution)\n", node, obsBound)
+	}
 
 	// Periodic status line until interrupted.
 	sig := make(chan os.Signal, 1)
@@ -180,6 +200,10 @@ func runClient(peers []string, addrs map[string]string) {
 		tr.AddPeer(name, addr)
 	}
 	cl := raft.NewClient(uint64(os.Getpid()), ep, peers, 5*time.Second)
+	// Trace every REPL operation: the TraceID rides the wire, so the
+	// server-side commit pipeline appears under the same trace on the
+	// serving node's /traces endpoint.
+	cl.SetTracer(xtrace.NewCollector(xtrace.Config{SampleEvery: 1}))
 
 	fmt.Println("commands: get <k> | put <k> <v> | del <k> | scan <k> <n> | quit")
 	sc := bufio.NewScanner(os.Stdin)

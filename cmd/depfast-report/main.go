@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"time"
 
 	"depfast/internal/obs"
@@ -40,7 +41,7 @@ func main() {
 		defer f.Close()
 		in = f
 	}
-	evs, dropped, err := obs.ReadJSONL(in)
+	evs, dropped, droppedBy, err := obs.ReadJSONL(in)
 	exitOn(err)
 	if len(evs) == 0 {
 		fmt.Println("depfast-report: no events in input")
@@ -62,6 +63,17 @@ func main() {
 	})
 	rep.Dropped += dropped
 	fmt.Println(rep.Render())
+	if len(droppedBy) > 0 {
+		fmt.Println("dropped events by shard (drop-oldest at the recorder limit):")
+		shards := make([]string, 0, len(droppedBy))
+		for sh := range droppedBy {
+			shards = append(shards, sh)
+		}
+		sort.Strings(shards)
+		for _, sh := range shards {
+			fmt.Printf("  %-12s %d\n", sh, droppedBy[sh])
+		}
+	}
 }
 
 func exitOn(err error) {

@@ -1,0 +1,91 @@
+package detect
+
+import (
+	"testing"
+	"time"
+)
+
+// corroborateCfg gives a wide hysteresis band so the eased and
+// stretched thresholds are cleanly separable: entry at 5×median, eased
+// entry at 3×, vetoed entry at 7.5×.
+func corroborateCfg() Config {
+	cfg := DefaultConfig()
+	cfg.MinSamples = 8
+	return cfg
+}
+
+// TestCorroborationLowersEntryThreshold: a peer at 4× the median is
+// below the plain 5× entry bar but above the eased 3× bar — it must be
+// suspected only when traces blame it.
+func TestCorroborationLowersEntryThreshold(t *testing.T) {
+	base := 4 * time.Millisecond
+	run := func(share float64, ok bool) bool {
+		d := New(corroborateCfg())
+		d.SetCorroborator(func(peer string) (float64, bool) {
+			if peer == "slow" {
+				return share, ok
+			}
+			return 0, ok
+		})
+		feed(d, "a", base, 20)
+		feed(d, "b", base, 20)
+		feed(d, "slow", 4*base, 20)
+		return !d.Healthy("slow")
+	}
+	if run(0.9, false) {
+		t.Fatal("suspected at 4× without corroboration evidence")
+	}
+	if run(0.1, true) {
+		t.Fatal("suspected at 4× with a below-threshold blame share")
+	}
+	if !run(0.8, true) {
+		t.Fatal("not suspected at 4× despite dominant blame share")
+	}
+}
+
+// TestVetoRaisesEntryThreshold: a peer at 6× the median clears the
+// plain 5× bar, but a near-zero blame share stretches the bar to 7.5×
+// — the RTT verdict is vetoed until the latency grows past even that.
+func TestVetoRaisesEntryThreshold(t *testing.T) {
+	base := 4 * time.Millisecond
+	run := func(mult time.Duration, share float64) bool {
+		d := New(corroborateCfg())
+		d.SetCorroborator(func(peer string) (float64, bool) { return share, true })
+		feed(d, "a", base, 20)
+		feed(d, "b", base, 20)
+		feed(d, "slow", mult*base, 20)
+		return !d.Healthy("slow")
+	}
+	if run(6, 0.01) {
+		t.Fatal("exonerating traces did not veto a 6× verdict")
+	}
+	if !run(9, 0.01) {
+		t.Fatal("9× latency must override the trace veto")
+	}
+	if !run(6, 0.5) {
+		t.Fatal("6× with corroborating traces must stay suspected")
+	}
+}
+
+// TestCorroborationKeepsHysteresisBand: even a fully-eased entry
+// threshold must stay above the release threshold, or a suspected
+// peer would flap.
+func TestCorroborationKeepsHysteresisBand(t *testing.T) {
+	cfg := corroborateCfg()
+	cfg.SuspectRatio = 4
+	cfg.ReleaseRatio = 3
+	cfg.CorroborateEase = 0.5 // would put entry at 2× — below release
+	d := New(cfg)
+	d.SetCorroborator(func(string) (float64, bool) { return 1, true })
+	if got := d.suspectThresholdLocked("p"); got <= cfg.ReleaseRatio {
+		t.Fatalf("eased entry %0.2f at or below release %0.2f", got, cfg.ReleaseRatio)
+	}
+}
+
+// TestCorroboratorAbsentKeepsPlainThreshold guards the default path.
+func TestCorroboratorAbsentKeepsPlainThreshold(t *testing.T) {
+	d := New(corroborateCfg())
+	if got := d.suspectThresholdLocked("p"); got != d.cfg.SuspectRatio {
+		t.Fatalf("threshold %0.2f without corroborator, want %0.2f", got, d.cfg.SuspectRatio)
+	}
+}

@@ -48,18 +48,34 @@ type Config struct {
 	// TimeoutPenalty is the latency charged for a timed-out call
 	// (default 2× the observed max RTT so far, at least 100ms).
 	TimeoutPenalty time.Duration
+
+	// Trace corroboration (SetCorroborator). A peer whose critical-path
+	// blame share is at least CorroborateShare enters suspicion at
+	// CorroborateEase × SuspectRatio × median — request-path evidence
+	// lowers the bar. A peer whose share is at or below VetoShare must
+	// instead exceed VetoStretch × SuspectRatio × median — traces that
+	// never blame the peer hold the RTT verdict to a stricter standard.
+	// Defaults: 0.3, 0.6, 0.05, 1.5.
+	CorroborateShare float64
+	CorroborateEase  float64
+	VetoShare        float64
+	VetoStretch      float64
 }
 
 // DefaultConfig returns production-ish defaults for the simulated
 // environment.
 func DefaultConfig() Config {
 	return Config{
-		Alpha:         0.125,
-		SuspectRatio:  5,
-		ReleaseRatio:  2.5,
-		RecoveryRatio: 2,
-		MinSamples:    16,
-		Floor:         2 * time.Millisecond,
+		Alpha:            0.125,
+		SuspectRatio:     5,
+		ReleaseRatio:     2.5,
+		RecoveryRatio:    2,
+		MinSamples:       16,
+		Floor:            2 * time.Millisecond,
+		CorroborateShare: 0.3,
+		CorroborateEase:  0.6,
+		VetoShare:        0.05,
+		VetoStretch:      1.5,
 	}
 }
 
@@ -78,9 +94,10 @@ type peerState struct {
 type Detector struct {
 	cfg Config
 
-	mu        sync.Mutex
-	peers     map[string]*peerState
-	onVerdict func(peer string, suspect bool, ewma time.Duration)
+	mu          sync.Mutex
+	peers       map[string]*peerState
+	onVerdict   func(peer string, suspect bool, ewma time.Duration)
+	corroborate func(peer string) (share float64, ok bool)
 }
 
 // SetOnVerdict registers a callback fired on every suspicion
@@ -92,6 +109,20 @@ func (d *Detector) SetOnVerdict(fn func(peer string, suspect bool, ewma time.Dur
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	d.onVerdict = fn
+}
+
+// SetCorroborator registers a source of per-peer critical-path blame
+// shares (xtrace.Collector.BlameShare): the fraction of recent slow
+// requests' critical-path time attributed to the peer. The verdict
+// threshold then flexes — corroborated peers are suspected sooner,
+// trace-exonerated peers later (see Config). fn is called with the
+// detector's lock held and must not call back into the detector; it
+// returns ok=false when there is not enough trace evidence, which
+// leaves the plain RTT threshold in force.
+func (d *Detector) SetCorroborator(fn func(peer string) (share float64, ok bool)) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.corroborate = fn
 }
 
 // New returns a detector; zero-value fields of cfg take defaults.
@@ -117,6 +148,18 @@ func New(cfg Config) *Detector {
 	}
 	if cfg.Floor <= 0 {
 		cfg.Floor = def.Floor
+	}
+	if cfg.CorroborateShare <= 0 {
+		cfg.CorroborateShare = def.CorroborateShare
+	}
+	if cfg.CorroborateEase <= 0 || cfg.CorroborateEase >= 1 {
+		cfg.CorroborateEase = def.CorroborateEase
+	}
+	if cfg.VetoShare <= 0 {
+		cfg.VetoShare = def.VetoShare
+	}
+	if cfg.VetoStretch <= 1 {
+		cfg.VetoStretch = def.VetoStretch
 	}
 	return &Detector{cfg: cfg, peers: make(map[string]*peerState)}
 }
@@ -195,7 +238,7 @@ func (d *Detector) refreshLocked() {
 		}
 		if !st.suspect {
 			if median > 0 && st.ewma > float64(d.cfg.Floor) &&
-				st.ewma > d.cfg.SuspectRatio*median {
+				st.ewma > d.suspectThresholdLocked(peer)*median {
 				st.suspect = true
 				if d.onVerdict != nil {
 					d.onVerdict(peer, true, time.Duration(st.ewma))
@@ -211,6 +254,30 @@ func (d *Detector) refreshLocked() {
 			}
 		}
 	}
+}
+
+// suspectThresholdLocked returns the entry multiple-of-median for
+// peer: SuspectRatio flexed by trace corroboration when available.
+func (d *Detector) suspectThresholdLocked(peer string) float64 {
+	ratio := d.cfg.SuspectRatio
+	if d.corroborate == nil {
+		return ratio
+	}
+	share, ok := d.corroborate(peer)
+	if !ok {
+		return ratio
+	}
+	switch {
+	case share >= d.cfg.CorroborateShare:
+		ratio *= d.cfg.CorroborateEase
+		// Keep the hysteresis band: entry must stay above release.
+		if ratio <= d.cfg.ReleaseRatio {
+			ratio = d.cfg.ReleaseRatio * 1.1
+		}
+	case share <= d.cfg.VetoShare:
+		ratio *= d.cfg.VetoStretch
+	}
+	return ratio
 }
 
 // PeerStat is one peer's exported state.

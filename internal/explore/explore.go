@@ -15,6 +15,11 @@ type Report struct {
 
 	// ByClass counts explored schedules per scenario class.
 	ByClass map[string]int
+	// Coverage sums the sentinel transitions the whole budget
+	// exercised, keyed by TransitionKinds — a budget whose coverage
+	// shows condemn=0 never tested condemnation, however many
+	// schedules it ran.
+	Coverage map[string]int
 	// Failures holds the failing verdicts (subset of Verdicts).
 	Failures []Verdict
 
@@ -43,6 +48,11 @@ func (r Report) String() string {
 			fmt.Fprintf(&b, "  %-10s %d\n", class, n)
 		}
 	}
+	b.WriteString("  sentinel transitions exercised:")
+	for _, kind := range TransitionKinds {
+		fmt.Fprintf(&b, " %s=%d", kind, r.Coverage[kind])
+	}
+	b.WriteByte('\n')
 	for _, v := range r.Verdicts {
 		fmt.Fprintf(&b, "%s\n", v)
 	}
@@ -56,7 +66,7 @@ func (r Report) String() string {
 // each verdict as it lands (progress reporting).
 func Explore(seed int64, budget, steps int, cfg RunnerConfig, onVerdict func(int, Verdict)) (Report, error) {
 	g := NewGenerator(seed, steps)
-	rep := Report{Seed: seed, Budget: budget, ByClass: map[string]int{}}
+	rep := Report{Seed: seed, Budget: budget, ByClass: map[string]int{}, Coverage: map[string]int{}}
 	start := time.Now()
 	seen := map[string]bool{}
 	for idx := 0; len(rep.Verdicts) < budget; idx++ {
@@ -72,6 +82,9 @@ func Explore(seed int64, budget, steps int, cfg RunnerConfig, onVerdict func(int
 		}
 		rep.Verdicts = append(rep.Verdicts, v)
 		rep.ByClass[s.Class]++
+		for kind, n := range v.Transitions {
+			rep.Coverage[kind] += n
+		}
 		rep.CheckDur += v.CheckDur
 		if !v.Pass {
 			rep.Failures = append(rep.Failures, v)

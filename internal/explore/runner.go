@@ -87,6 +87,12 @@ type Verdict struct {
 	Churned  bool
 	Converge string // convergence summary (reason when failed)
 
+	// Transitions tallies the sentinel state transitions this schedule
+	// exercised (quarantine, rehab, handoff, condemn, replace) — the
+	// explorer's coverage signal: a budget that never drives the
+	// sentinel through a transition is not testing that transition.
+	Transitions map[string]int
+
 	Elapsed  time.Duration // whole run
 	CheckDur time.Duration // invariant checking only (lin + audit)
 }
@@ -108,6 +114,12 @@ func Run(s Schedule, cfg RunnerConfig) (Verdict, error) {
 	if err := s.Validate(); err != nil {
 		return Verdict{}, err
 	}
+	if cfg.Recorder == nil {
+		// Transition coverage is read off the sentinel's event stream,
+		// so a run always has a recorder even when the caller wants no
+		// timeline of its own.
+		cfg.Recorder = obs.NewRecorder(4096)
+	}
 	start := time.Now()
 	cfg.Recorder.Emit(obs.Event{Type: obs.ScheduleStarted, Node: "explore", Detail: s.Spec()})
 	var v Verdict
@@ -122,6 +134,7 @@ func Run(s Schedule, cfg RunnerConfig) (Verdict, error) {
 	}
 	v.Elapsed = time.Since(start)
 	v.Pass = len(v.Failures) == 0
+	v.Transitions = sentinelTransitions(cfg.Recorder.Events(), start)
 	pass := 0.0
 	if v.Pass {
 		pass = 1
@@ -132,6 +145,40 @@ func Run(s Schedule, cfg RunnerConfig) (Verdict, error) {
 	cfg.Recorder.Emit(obs.Event{Type: obs.ScheduleVerdict, Node: "explore",
 		Detail: v.Spec, Fields: map[string]float64{"pass": pass}})
 	return v, nil
+}
+
+// TransitionKinds is the sentinel-transition coverage vocabulary, in
+// escalation order.
+var TransitionKinds = []string{"quarantine", "rehab", "handoff", "condemn", "replace"}
+
+// sentinelTransitions tallies which sentinel transitions the recorded
+// events show, keyed by the TransitionKinds vocabulary. Only events
+// stamped at or after start count, so a recorder shared across a whole
+// exploration budget attributes each transition to the schedule that
+// caused it.
+func sentinelTransitions(evs []obs.Event, start time.Time) map[string]int {
+	out := map[string]int{}
+	for _, ev := range evs {
+		if ev.Time.Before(start) {
+			continue
+		}
+		switch ev.Type {
+		case obs.QuarantineEnter:
+			out["quarantine"]++
+		case obs.QuarantineExit:
+			out["rehab"]++
+		case obs.HandoffStarted:
+			out["handoff"]++
+		case obs.MemberRemoved:
+			out["condemn"]++
+		case obs.ReplacementCompleted:
+			out["replace"]++
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
 }
 
 // quickRaftConfig is the sped-up server config schedules run under:

@@ -58,12 +58,12 @@ func TestSpecRoundTripCorrelatedAndScale(t *testing.T) {
 
 func TestParseRejectsMalformed(t *testing.T) {
 	bad := []string{
-		"",                                      // no steps
-		"seed=1 topo=raft",                      // no steps
-		"seed=1 topo=mesh steps=4",              // unknown topo
-		"seed=1 topo=raft steps=4 | warp@1 s1",  // unknown kind
-		"seed=1 topo=raft steps=4 | disk@9 s1",  // step out of range
-		"seed=1 topo=raft steps=4 | asym@1 s1",  // asym without peer
+		"",                                             // no steps
+		"seed=1 topo=raft",                             // no steps
+		"seed=1 topo=mesh steps=4",                     // unknown topo
+		"seed=1 topo=raft steps=4 | warp@1 s1",         // unknown kind
+		"seed=1 topo=raft steps=4 | disk@9 s1",         // step out of range
+		"seed=1 topo=raft steps=4 | asym@1 s1",         // asym without peer
 		"seed=1 topo=raft steps=4 | disk@2 s1 until=1", // until before step
 		"seed=1 topo=raft steps=4 | disk@1 s1 x0",      // zero scale
 	}

@@ -24,6 +24,7 @@ import (
 	"depfast/internal/rpc"
 	"depfast/internal/trace"
 	"depfast/internal/transport"
+	"depfast/internal/xtrace"
 	"depfast/internal/ycsb"
 )
 
@@ -84,6 +85,12 @@ type RunConfig struct {
 
 	// Traced attaches a collector to every runtime.
 	Traced bool
+
+	// XTracer, when set, is the causal per-request trace collector:
+	// the raft servers record their commit trees into it, every client
+	// roots a context per request, and the sampler periodically folds
+	// its critical-path attribution into the recorder.
+	XTracer *xtrace.Collector
 
 	// Recorder, when set, is the flight recorder the whole deployment
 	// publishes into: every raft server's events, fault injections, the
@@ -240,6 +247,7 @@ func startClients(h *clusterHandle, cfg RunConfig, leader string, collector *tra
 		rt.Spawn("ycsb-client", func(co *core.Coroutine) {
 			defer p.wg.Done()
 			cl := raft.NewClient(id, ep, order, 3*time.Second)
+			cl.SetTracer(cfg.XTracer)
 			for !p.stopFlag.Load() {
 				op := gen.Next()
 				cmd := opToCommand(op)
@@ -349,7 +357,7 @@ func Run(cfg RunConfig) (RunResult, error) {
 	// Client population.
 	pool := startClients(h, cfg, leader, collector)
 	defer pool.close()
-	stopSampler := startSampler(cfg.Recorder, pool, h, collector)
+	stopSampler := startSampler(cfg.Recorder, pool, h, collector, cfg.XTracer)
 	defer stopSampler()
 
 	phase(cfg.Recorder, "warmup")
@@ -444,6 +452,7 @@ func buildCluster(cfg RunConfig, collector *trace.Collector) (*clusterHandle, er
 			rcfg := raft.DefaultConfig(name, names)
 			rcfg.Seed = cfg.Seed + int64(i)*7919
 			rcfg.Recorder = cfg.Recorder
+			rcfg.Tracer = cfg.XTracer
 			if cfg.RaftMutate != nil {
 				cfg.RaftMutate(&rcfg)
 			}
@@ -471,7 +480,7 @@ func buildCluster(cfg RunConfig, collector *trace.Collector) (*clusterHandle, er
 				}
 				net.Close()
 			},
-			leader: func() (string, bool) { return raft.AgreedLeader(servers) },
+			leader:  func() (string, bool) { return raft.AgreedLeader(servers) },
 			crashed: func() bool { return false },
 			elections: func() int64 {
 				var total int64

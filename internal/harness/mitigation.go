@@ -182,7 +182,7 @@ func RunMitigation(cfg MitigationRunConfig) (MitigationResult, error) {
 
 	pool := startClients(h, rcfg, leader, collector)
 	defer pool.close()
-	stopSampler := startSampler(rec, pool, h, collector)
+	stopSampler := startSampler(rec, pool, h, collector, rcfg.XTracer)
 	defer stopSampler()
 	phase(rec, "warmup")
 	clock.Precise(cfg.Warmup)

@@ -8,6 +8,7 @@ import (
 	"depfast/internal/metrics"
 	"depfast/internal/obs"
 	"depfast/internal/trace"
+	"depfast/internal/xtrace"
 )
 
 // gaugeInterval is the flight-recorder sampling cadence. 100ms is
@@ -25,7 +26,7 @@ const spgEvery = 10
 // is attached — periodically folds the wait records into an SPG
 // snapshot event. Returns a stop function; a nil recorder yields a
 // no-op.
-func startSampler(rec *obs.Recorder, pool *clientPool, h *clusterHandle, collector *trace.Collector) (stop func()) {
+func startSampler(rec *obs.Recorder, pool *clientPool, h *clusterHandle, collector *trace.Collector, xcol *xtrace.Collector) (stop func()) {
 	if rec == nil {
 		return func() {}
 	}
@@ -60,6 +61,9 @@ func startSampler(rec *obs.Recorder, pool *clientPool, h *clusterHandle, collect
 				if collector != nil && ticks%spgEvery == 0 {
 					emitSPGSnapshot(rec, collector)
 				}
+				if xcol != nil && ticks%spgEvery == 0 {
+					emitAttributionSample(rec, xcol)
+				}
 			}
 		}
 	}()
@@ -93,6 +97,31 @@ func emitSPGSnapshot(rec *obs.Recorder, collector *trace.Collector) {
 			"dropped":     float64(collector.Dropped()),
 			"hot_wait_us": float64(hotWait.Microseconds()),
 		}})
+}
+
+// emitAttributionSample folds the trace collector's current
+// critical-path blame table into the recorder: one event with
+// blame:<node>/<resource> share fields, preferring tail-promoted
+// traces (the requests the deadline flagged) and falling back to the
+// whole retained window before any have been promoted.
+func emitAttributionSample(rec *obs.Recorder, col *xtrace.Collector) {
+	att := xtrace.Attribute(col.TailTraces())
+	if att.Traces == 0 {
+		att = xtrace.Attribute(col.Traces())
+	}
+	if att.Traces == 0 || len(att.Rows) == 0 {
+		return
+	}
+	fields := map[string]float64{
+		"traces": float64(att.Traces),
+		"tail":   float64(att.Tail),
+	}
+	for _, row := range att.Rows {
+		fields["blame:"+row.Node+"/"+string(row.Res)] = row.Share
+	}
+	top := att.Top()
+	rec.Emit(obs.Event{Type: obs.AttributionSample, Node: "harness",
+		Detail: top.Node + "/" + string(top.Res), Fields: fields})
 }
 
 // phase stamps a named experiment-phase marker onto the recorder.

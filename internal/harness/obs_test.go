@@ -98,7 +98,7 @@ func TestFlightRecorderSlowLeaderTimeline(t *testing.T) {
 	if err := obs.WriteRecorderJSONL(&buf, rec); err != nil {
 		t.Fatal(err)
 	}
-	back, dropped, err := obs.ReadJSONL(&buf)
+	back, dropped, _, err := obs.ReadJSONL(&buf)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -67,8 +67,8 @@ type ReplacementRunConfig struct {
 // used by the EXPERIMENTS.md replacement table.
 func DefaultReplacementRunConfig() ReplacementRunConfig {
 	return ReplacementRunConfig{
-		Fault:     failslow.DiskSlow,
-		Intensity: failslow.DefaultIntensity(),
+		Fault:                   failslow.DiskSlow,
+		Intensity:               failslow.DefaultIntensity(),
 		Nodes:                   3,
 		Clients:                 48,
 		ClientRuntimes:          4,
@@ -201,7 +201,7 @@ func RunReplacement(cfg ReplacementRunConfig) (ReplacementResult, error) {
 
 	pool := startClients(h, rcfg, leader, collector)
 	defer pool.close()
-	stopSampler := startSampler(rec, pool, h, collector)
+	stopSampler := startSampler(rec, pool, h, collector, rcfg.XTracer)
 	defer stopSampler()
 
 	// Auditor: one extra client writing unique keys, recording every

@@ -1,0 +1,41 @@
+package harness
+
+import (
+	"testing"
+
+	"depfast/internal/xtrace"
+)
+
+// TestTraceExperimentAttribution runs the scripted leader-disk fault
+// and checks the tracing plane end to end: traces are kept, the frozen
+// deadline promotes a tail, and the critical-path attribution blames
+// the injected (leader, disk) pair. The threshold here is deliberately
+// looser than the CI trace-smoke gate (90%) so scheduler noise on a
+// loaded test machine does not flake the tier-1 suite.
+func TestTraceExperimentAttribution(t *testing.T) {
+	cfg := DefaultTraceExpConfig()
+	cfg.OverheadTrials = 0 // overhead ratio is CI trace-smoke's concern
+	res, err := RunTraceExperiment(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log(res.String())
+	if res.Kept == 0 {
+		t.Fatal("collector kept no traces under load")
+	}
+	if res.Tail == 0 {
+		t.Fatal("frozen deadline promoted no traces despite an injected fault")
+	}
+	if res.MatchFraction < 0.7 {
+		t.Fatalf("only %.0f%% of promoted traces blame (leader, disk); want >= 70%%",
+			res.MatchFraction*100)
+	}
+	top := res.Attribution.Top()
+	if top.Node == "" {
+		t.Fatal("attribution over the promoted tail is empty")
+	}
+	if top.Node != res.Leader || top.Res != xtrace.Disk {
+		t.Fatalf("aggregate top blame is (%s, %s); injected fault was (%s, disk)",
+			top.Node, top.Res, res.Leader)
+	}
+}

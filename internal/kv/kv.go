@@ -225,11 +225,18 @@ const (
 // ClientRequest carries one command from a client session. ClientID
 // and Seq implement exactly-once application: a server remembers the
 // last applied Seq per client and returns the cached result on
-// duplicates.
+// duplicates. TraceID/TraceSpan/TraceSampled propagate the xtrace
+// causal context across the wire: the server parents its commit
+// pipeline spans under TraceSpan (the client's RPC-attempt span) so
+// the client's trace tree spans processes. Zero TraceID = untraced.
 type ClientRequest struct {
 	ClientID uint64
 	Seq      uint64
 	Cmd      Command
+
+	TraceID      uint64
+	TraceSpan    uint64
+	TraceSampled bool
 }
 
 // TypeTag implements codec.Message.
@@ -240,6 +247,9 @@ func (m *ClientRequest) MarshalTo(e *codec.Encoder) {
 	e.Uint64(m.ClientID)
 	e.Uint64(m.Seq)
 	e.BytesField(m.Cmd.Encode())
+	e.Uint64(m.TraceID)
+	e.Uint64(m.TraceSpan)
+	e.Bool(m.TraceSampled)
 }
 
 // UnmarshalFrom implements codec.Message.
@@ -250,6 +260,9 @@ func (m *ClientRequest) UnmarshalFrom(d *codec.Decoder) {
 	if err == nil {
 		m.Cmd = cmd
 	}
+	m.TraceID = d.Uint64()
+	m.TraceSpan = d.Uint64()
+	m.TraceSampled = d.Bool()
 }
 
 // ClientResponse answers a ClientRequest.

@@ -22,13 +22,20 @@ type jsonEvent struct {
 
 // WriteJSONL streams events as JSON lines, prefixed by one Meta record
 // carrying the retained-event and dropped counts so a truncated stream
-// is never mistaken for a complete one.
-func WriteJSONL(w io.Writer, events []Event, dropped int64) error {
+// is never mistaken for a complete one. droppedBy (optional) adds
+// per-shard drop counts as dropped:<shard> fields.
+func WriteJSONL(w io.Writer, events []Event, dropped int64, droppedBy map[string]int64) error {
 	bw := bufio.NewWriter(w)
 	enc := json.NewEncoder(bw)
 	meta := jsonEvent{
 		Type:   string(Meta),
 		Fields: map[string]float64{"events": float64(len(events)), "dropped": float64(dropped)},
+	}
+	for shard, n := range droppedBy {
+		if shard == "" {
+			shard = "untagged"
+		}
+		meta.Fields["dropped:"+shard] = float64(n)
 	}
 	if len(events) > 0 {
 		meta.TimeNs = events[0].Time.UnixNano()
@@ -57,25 +64,35 @@ func WriteJSONL(w io.Writer, events []Event, dropped int64) error {
 
 // WriteRecorderJSONL exports a recorder's full stream.
 func WriteRecorderJSONL(w io.Writer, r *Recorder) error {
-	return WriteJSONL(w, r.Events(), r.Dropped())
+	return WriteJSONL(w, r.Events(), r.Dropped(), r.DroppedByShard())
 }
 
 // ReadJSONL parses a JSONL event stream written by WriteJSONL,
-// returning the events (Meta records excluded) and the dropped count
-// from the stream's metadata.
-func ReadJSONL(r io.Reader) ([]Event, int64, error) {
+// returning the events (Meta records excluded), the dropped count, and
+// the per-shard drop breakdown from the stream's metadata (nil when
+// nothing was dropped).
+func ReadJSONL(r io.Reader) ([]Event, int64, map[string]int64, error) {
 	var out []Event
 	var dropped int64
+	var droppedBy map[string]int64
 	dec := json.NewDecoder(r)
 	for {
 		var je jsonEvent
 		if err := dec.Decode(&je); err == io.EOF {
-			return out, dropped, nil
+			return out, dropped, droppedBy, nil
 		} else if err != nil {
-			return out, dropped, fmt.Errorf("obs: bad json event %d: %w", len(out), err)
+			return out, dropped, droppedBy, fmt.Errorf("obs: bad json event %d: %w", len(out), err)
 		}
 		if Type(je.Type) == Meta {
 			dropped += int64(je.Fields["dropped"])
+			for k, v := range je.Fields {
+				if shard, ok := strings.CutPrefix(k, "dropped:"); ok {
+					if droppedBy == nil {
+						droppedBy = make(map[string]int64)
+					}
+					droppedBy[shard] += int64(v)
+				}
+			}
 			continue
 		}
 		out = append(out, Event{

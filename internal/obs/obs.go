@@ -101,6 +101,12 @@ const (
 	// (linearizability, acked-write loss, convergence, containment).
 	InvariantViolated Type = "explore.violation"
 
+	// AttributionSample is a periodic critical-path blame table from the
+	// trace collector: Fields carry blame:<node>/<resource> shares in
+	// [0,1] plus traces (analyzed) and tail (promoted) counts; Detail
+	// names the top-blamed (node, resource) pair.
+	AttributionSample Type = "attribution.sample"
+
 	// Phase marks a harness experiment phase boundary (Detail names it:
 	// warmup, pre-window, grace, post-window, clear, ...).
 	Phase Type = "phase"
@@ -137,6 +143,10 @@ type Recorder struct {
 	events  []Event
 	limit   int
 	dropped int64
+	// droppedBy tallies discarded events by shard tag ("" for
+	// untagged), so a sharded run can see which replica group's stream
+	// the drop-oldest policy actually truncated.
+	droppedBy map[string]int64
 
 	// Tagged-view state: root points at the storage-owning recorder
 	// (nil for a root) and shard is stamped onto emitted events.
@@ -197,6 +207,12 @@ func (r *Recorder) Emit(ev Event) {
 	defer t.mu.Unlock()
 	if t.limit > 0 && len(t.events) >= t.limit {
 		half := len(t.events) / 2
+		if t.droppedBy == nil {
+			t.droppedBy = make(map[string]int64)
+		}
+		for _, old := range t.events[:half] {
+			t.droppedBy[old.Shard]++
+		}
 		copy(t.events, t.events[half:])
 		t.events = t.events[:len(t.events)-half]
 		t.dropped += int64(half)
@@ -239,6 +255,25 @@ func (r *Recorder) Dropped() int64 {
 	return t.dropped
 }
 
+// DroppedByShard returns the per-shard breakdown of discarded events
+// (key "" counts untagged events). Nil when nothing was dropped.
+func (r *Recorder) DroppedByShard() map[string]int64 {
+	if r == nil {
+		return nil
+	}
+	t := r.target()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.droppedBy) == 0 {
+		return nil
+	}
+	out := make(map[string]int64, len(t.droppedBy))
+	for k, v := range t.droppedBy {
+		out[k] = v
+	}
+	return out
+}
+
 // Reset discards all events and the drop count.
 func (r *Recorder) Reset() {
 	if r == nil {
@@ -249,6 +284,7 @@ func (r *Recorder) Reset() {
 	defer t.mu.Unlock()
 	t.events = nil
 	t.dropped = 0
+	t.droppedBy = nil
 }
 
 // ByTime returns events sorted by timestamp (stable, so same-instant

@@ -120,7 +120,7 @@ func TestJSONLRoundTrip(t *testing.T) {
 	if err := WriteRecorderJSONL(&buf, r); err != nil {
 		t.Fatal(err)
 	}
-	evs, dropped, err := ReadJSONL(&buf)
+	evs, dropped, _, err := ReadJSONL(&buf)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -143,10 +143,10 @@ func TestJSONLRoundTrip(t *testing.T) {
 
 func TestJSONLDroppedMeta(t *testing.T) {
 	var buf bytes.Buffer
-	if err := WriteJSONL(&buf, []Event{{Time: time.Unix(1, 0), Type: FaultInjected, Node: "s1"}}, 42); err != nil {
+	if err := WriteJSONL(&buf, []Event{{Time: time.Unix(1, 0), Type: FaultInjected, Node: "s1"}}, 42, nil); err != nil {
 		t.Fatal(err)
 	}
-	evs, dropped, err := ReadJSONL(&buf)
+	evs, dropped, _, err := ReadJSONL(&buf)
 	if err != nil {
 		t.Fatal(err)
 	}

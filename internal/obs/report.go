@@ -2,6 +2,7 @@ package obs
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 	"time"
 )
@@ -125,6 +126,20 @@ type Report struct {
 	Events     int
 	Dropped    int64
 	Faults     []FaultReport
+
+	// Blame is the latest critical-path attribution sample in the
+	// stream (nil when the run was not traced): which (node, resource)
+	// pairs the tail-promoted request traces blamed, by share.
+	Blame       []BlameRow
+	BlameTraces int
+	BlameTail   int
+}
+
+// BlameRow is one (node, resource) row of an attribution sample.
+type BlameRow struct {
+	Node  string
+	Res   string
+	Share float64
 }
 
 // detectionMatches reports whether e is a detection signal for a
@@ -263,6 +278,35 @@ func Analyze(events []Event, cfg ReportConfig) *Report {
 		fr.After.finish()
 		rep.Faults = append(rep.Faults, fr)
 	}
+
+	// Attribution: keep only the newest sample — it aggregates the
+	// collector's whole retained window, so earlier ones are subsets.
+	for i := len(evs) - 1; i >= 0; i-- {
+		e := evs[i]
+		if e.Type != AttributionSample {
+			continue
+		}
+		rep.BlameTraces = int(e.Field("traces"))
+		rep.BlameTail = int(e.Field("tail"))
+		for k, v := range e.Fields {
+			pair, ok := strings.CutPrefix(k, "blame:")
+			if !ok {
+				continue
+			}
+			node, res := pair, "?"
+			if j := strings.LastIndexByte(pair, '/'); j >= 0 {
+				node, res = pair[:j], pair[j+1:]
+			}
+			rep.Blame = append(rep.Blame, BlameRow{Node: node, Res: res, Share: v})
+		}
+		sort.Slice(rep.Blame, func(a, b int) bool {
+			if rep.Blame[a].Share != rep.Blame[b].Share {
+				return rep.Blame[a].Share > rep.Blame[b].Share
+			}
+			return rep.Blame[a].Node < rep.Blame[b].Node
+		})
+		break
+	}
 	return rep
 }
 
@@ -300,6 +344,7 @@ func (r *Report) Render() string {
 	b.WriteString(" ==\n")
 	if len(r.Faults) == 0 {
 		b.WriteString("no fault injections recorded\n")
+		r.renderBlame(&b)
 		return b.String()
 	}
 	for i := range r.Faults {
@@ -323,5 +368,20 @@ func (r *Report) Render() string {
 		renderStage(&b, "during", f.During)
 		renderStage(&b, "after", f.After)
 	}
+	r.renderBlame(&b)
 	return b.String()
+}
+
+// renderBlame appends the critical-path attribution table, when the
+// stream carried one.
+func (r *Report) renderBlame(b *strings.Builder) {
+	if len(r.Blame) == 0 {
+		return
+	}
+	fmt.Fprintf(b, "\ncritical-path attribution (%d traces, %d tail-promoted):\n",
+		r.BlameTraces, r.BlameTail)
+	fmt.Fprintf(b, "    %-10s %-6s %7s\n", "node", "res", "share")
+	for _, row := range r.Blame {
+		fmt.Fprintf(b, "    %-10s %-6s %6.1f%%\n", row.Node, row.Res, row.Share*100)
+	}
 }

@@ -7,6 +7,7 @@ import (
 	"depfast/internal/core"
 	"depfast/internal/kv"
 	"depfast/internal/rpc"
+	"depfast/internal/xtrace"
 )
 
 // Client errors.
@@ -31,6 +32,7 @@ type Client struct {
 	retries int
 	backoff *Backoff
 	misses  int
+	trc     *xtrace.Collector
 }
 
 // NewClient returns a client with unique id issuing requests through
@@ -50,17 +52,56 @@ func NewClient(id uint64, ep *rpc.Endpoint, servers []string, timeout time.Durat
 	}
 }
 
+// SetTracer attaches a trace collector: every Do call from then on
+// starts (or extends) a causal trace, with one rpc span per attempt.
+// Nil-safe and safe to leave unset.
+func (c *Client) SetTracer(trc *xtrace.Collector) { c.trc = trc }
+
 // Do executes cmd with exactly-once semantics, returning the result.
 func (c *Client) Do(co *core.Coroutine, cmd kv.Command) (kv.Result, error) {
+	return c.DoTraced(co, cmd, xtrace.Context{})
+}
+
+// DoTraced is Do under the caller's trace context. With no collector
+// attached it degrades to plain Do; with a collector but an inactive
+// parent it starts (and owns) a fresh request trace, so the raft
+// client is a valid trace root for harness workloads while still
+// nesting under a router span when one exists.
+func (c *Client) DoTraced(co *core.Coroutine, cmd kv.Command, parent xtrace.Context) (kv.Result, error) {
 	c.seq++
 	req := &kv.ClientRequest{ClientID: c.id, Seq: c.seq, Cmd: cmd}
+	tc := parent
+	owned := false
+	if c.trc != nil && !tc.Active() {
+		tc = c.trc.StartRequest("client."+cmd.Op.String(), "client")
+		owned = true
+	}
+	if owned {
+		defer func() { c.trc.Finish(tc, time.Now()) }()
+	}
+	recordAttempt := func(id uint64, target string, start time.Time) {
+		if c.trc != nil && tc.Active() {
+			c.trc.Record(tc, xtrace.Span{ID: id, Parent: tc.Span, Name: "rpc",
+				Node: target, Res: xtrace.Net, Start: start, End: time.Now()})
+		}
+	}
 	for attempt := 0; attempt < c.retries; attempt++ {
 		target := c.servers[c.leader]
+		var attemptID uint64
+		if c.trc != nil && tc.Active() {
+			// Each attempt gets its own span ID, stamped into the wire
+			// request so the server's commit tree hangs off this rpc span.
+			attemptID = c.trc.NewSpanID()
+			req.TraceID, req.TraceSpan, req.TraceSampled = tc.TraceID, attemptID, tc.Sampled
+		}
+		sendAt := time.Now()
 		ev := c.ep.Call(target, req)
 		switch co.WaitFor(ev, c.timeout) {
 		case core.WaitStopped:
+			recordAttempt(attemptID, target, sendAt)
 			return kv.Result{}, ErrClientStopped
 		case core.WaitTimeout:
+			recordAttempt(attemptID, target, sendAt)
 			// A timed-out call usually means the target is slow, not
 			// dead — retrying instantly would re-dogpile it in lockstep
 			// with every other timed-out client. Jittered backoff
@@ -71,6 +112,7 @@ func (c *Client) Do(co *core.Coroutine, cmd kv.Command) (kv.Result, error) {
 			}
 			continue
 		}
+		recordAttempt(attemptID, target, sendAt)
 		if ev.Err() != nil {
 			c.noteMiss(co)
 			if err := co.Sleep(c.backoff.Delay(0)); err != nil {

@@ -6,6 +6,7 @@ import (
 	"depfast/internal/codec"
 	"depfast/internal/core"
 	"depfast/internal/obs"
+	"depfast/internal/xtrace"
 )
 
 // electionTicker is the long-lived coroutine that watches for leader
@@ -189,7 +190,7 @@ func (s *Server) becomeLeader(co *core.Coroutine, term uint64) {
 	// Commit a no-op barrier so entries from prior terms become
 	// committable (Raft §5.4.2).
 	s.rt.Spawn("noop-barrier", func(nc *core.Coroutine) {
-		_, _, _ = s.propose(nc, nil)
+		_, _, _ = s.propose(nc, nil, xtrace.Context{})
 	})
 }
 

@@ -162,6 +162,11 @@ type AppendEntriesReply struct {
 	// so the verdict rides every reply and the leader's sentinel folds
 	// it into quarantine/replacement decisions.
 	SelfSlow bool
+	// FsyncUs is how long this follower's WAL fsync took for the
+	// appended entries, in microseconds. The leader uses it to split a
+	// replication span's blame between the follower's disk and the
+	// network when attributing a slow request's critical path.
+	FsyncUs int64
 }
 
 // TypeTag implements codec.Message.
@@ -175,6 +180,7 @@ func (m *AppendEntriesReply) MarshalTo(e *codec.Encoder) {
 	e.String(m.From)
 	e.Bool(m.LeaderSlow)
 	e.Bool(m.SelfSlow)
+	e.Int64(m.FsyncUs)
 }
 
 // UnmarshalFrom implements codec.Message.
@@ -185,6 +191,7 @@ func (m *AppendEntriesReply) UnmarshalFrom(d *codec.Decoder) {
 	m.From = d.String()
 	m.LeaderSlow = d.Bool()
 	m.SelfSlow = d.Bool()
+	m.FsyncUs = d.Int64()
 }
 
 func init() {

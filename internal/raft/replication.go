@@ -9,6 +9,7 @@ import (
 	"depfast/internal/kv"
 	"depfast/internal/obs"
 	"depfast/internal/storage"
+	"depfast/internal/xtrace"
 )
 
 // Proposal errors surfaced to clients.
@@ -23,32 +24,60 @@ var (
 // paper's DepFastRaft pattern: one QuorumEvent spanning the local
 // fsync and every follower's AppendEntries, a single quorum wait, and
 // quorum-aware backlog discard afterwards. Returns the entry index.
-func (s *Server) propose(co *core.Coroutine, data []byte) (uint64, kv.Result, error) {
+// tc, when active, threads the client's causal trace through the
+// pipeline: every stage records a (node, resource) span under it.
+func (s *Server) propose(co *core.Coroutine, data []byte, tc xtrace.Context) (uint64, kv.Result, error) {
 	if s.role != Leader {
 		return 0, kv.Result{}, ErrNotLeader
 	}
 	s.Proposals.Inc()
+	traced := s.trc != nil && tc.Active()
+	var rootID, quorumID uint64
+	if traced {
+		// Span ids are pre-allocated so children recorded as they
+		// complete (fsync hook, replication judges) can link to parents
+		// that are only materialized once the quorum lands.
+		rootID = s.trc.NewSpanID()
+		quorumID = s.trc.NewSpanID()
+	}
 	term := s.term
+	start := time.Now()
+	// The write stall is taken BEFORE the entry is appended and
+	// indexed. Stalling after the append would let concurrently stalled
+	// proposes wake in arbitrary order and fan out newer indexes ahead
+	// of older ones; a follower that sees index n+1 before n rejects
+	// the append, and two such rejects veto the quorum — a stall burst
+	// would surface as spurious leadership-lost errors instead of
+	// latency. Admission-side backpressure keeps append→fan-out atomic
+	// (no yield in between), so the wire order always matches the log.
+	s.admitDirtyWAL(co)
+	s.recordStall(tc, quorumID, start)
+	if s.role != Leader || s.term != term || s.stopped {
+		return 0, kv.Result{}, ErrDeposed
+	}
 	idx := s.wal.LastIndex() + 1
 	entry := storage.Entry{Index: idx, Term: term, Data: data}
-	start := time.Now()
+	appendStart := time.Now()
 	fsync, err := s.wal.Append([]storage.Entry{entry})
 	if err != nil {
 		return 0, kv.Result{}, err
 	}
 	var appendDone time.Time
-	if s.rec != nil {
+	if s.rec != nil || traced {
 		// The local fsync is judged into the quorum like any follower
 		// ack, so it can still be in flight when the quorum is met;
 		// capture its completion via hook rather than a wait.
-		core.OnEvent(fsync, func() { appendDone = time.Now() })
+		core.OnEvent(fsync, func() {
+			appendDone = time.Now()
+			if traced {
+				s.trc.Record(tc, xtrace.Span{Parent: quorumID, Name: "wal.fsync",
+					Node: s.cfg.ID, Res: xtrace.Disk, Start: appendStart, End: appendDone})
+			}
+		})
 	}
 	s.cache.Put(entry)
 	s.persistAppend([]storage.Entry{entry})
-	s.stallDirtyWAL(co, fsync)
-	if s.role != Leader || s.term != term {
-		return 0, kv.Result{}, ErrDeposed
-	}
+	s.enrollDirtyFsync(fsync)
 
 	targets := s.broadcastTargets()
 	q := core.NewQuorumEvent(1+len(targets), s.majority())
@@ -65,7 +94,11 @@ func (s *Server) propose(co *core.Coroutine, data []byte) (uint64, kv.Result, er
 			LeaderCommit: s.commitIndex,
 		}
 		ev := core.NewResultEvent("rpc", p)
-		q.AddJudged(ev, s.appendJudge(p, idx, term))
+		judge := s.appendJudge(p, idx, term)
+		if traced {
+			judge = s.tracedJudge(judge, tc, quorumID, p)
+		}
+		q.AddJudged(ev, judge)
 		s.outboxes[p].Send(ae, ev, int64(idx))
 	}
 	s.streamToLearners([]storage.Entry{entry}, idx, term)
@@ -99,8 +132,64 @@ func (s *Server) propose(co *core.Coroutine, data []byte) (uint64, kv.Result, er
 	quorumAt := time.Now()
 	s.advanceCommit(idx)
 	res, _ := s.takeResult(idx)
+	if traced {
+		applyAt := time.Now()
+		s.trc.Record(tc, xtrace.Span{ID: quorumID, Parent: rootID, Name: "quorum",
+			Node: s.cfg.ID, Res: xtrace.Queue, Start: start, End: quorumAt})
+		s.trc.Record(tc, xtrace.Span{Parent: rootID, Name: "apply",
+			Node: s.cfg.ID, Res: xtrace.CPU, Start: quorumAt, End: applyAt})
+		s.trc.Record(tc, xtrace.Span{ID: rootID, Parent: tc.Span, Name: "commit",
+			Node: s.cfg.ID, Res: xtrace.CPU, Start: start, End: applyAt})
+	}
 	s.emitCommitSpan(start, appendDone, fanned, quorumAt, idx, 1)
 	return idx, res, nil
+}
+
+// recordStall attributes a write-stall wait (stallDirtyWAL blocking on
+// the oldest dirty fsync) to this node's disk — the exact mechanism
+// that puts a fail-slow leader disk onto request critical paths.
+// Sub-half-millisecond stalls are noise and skipped.
+func (s *Server) recordStall(tc xtrace.Context, quorumID uint64, stallStart time.Time) {
+	if s.trc == nil || !tc.Active() {
+		return
+	}
+	d := time.Since(stallStart)
+	if d < 500*time.Microsecond {
+		return
+	}
+	s.trc.Record(tc, xtrace.Span{Parent: quorumID, Name: "wal.stall",
+		Node: s.cfg.ID, Res: xtrace.Disk, Start: stallStart, End: stallStart.Add(d)})
+}
+
+// tracedJudge wraps an append judge to record the replication span
+// toward p: the round-trip is (p, net) with the follower's reported
+// fsync time carved out as a (p, disk) child, so a slow follower disk
+// and a slow link are distinguishable in the blame table.
+func (s *Server) tracedJudge(inner func(interface{}, error) bool, tc xtrace.Context, quorumID uint64, p string) func(interface{}, error) bool {
+	sendAt := time.Now()
+	return func(v interface{}, err error) bool {
+		ok := inner(v, err)
+		if err != nil {
+			return ok
+		}
+		reply, isReply := v.(*AppendEntriesReply)
+		if !isReply || !reply.Success {
+			return ok
+		}
+		ackAt := time.Now()
+		rid := s.trc.NewSpanID()
+		s.trc.Record(tc, xtrace.Span{ID: rid, Parent: quorumID, Name: "replicate",
+			Node: p, Res: xtrace.Net, Start: sendAt, End: ackAt})
+		if fs := time.Duration(reply.FsyncUs) * time.Microsecond; fs > 0 {
+			fsStart := ackAt.Add(-fs)
+			if fsStart.Before(sendAt) {
+				fsStart = sendAt
+			}
+			s.trc.Record(tc, xtrace.Span{Parent: rid, Name: "wal.fsync",
+				Node: p, Res: xtrace.Disk, Start: fsStart, End: ackAt})
+		}
+		return ok
+	}
 }
 
 // emitCommitSpan publishes one commit-pipeline span onto the flight
@@ -110,10 +199,13 @@ func (s *Server) propose(co *core.Coroutine, data []byte) (uint64, kv.Result, er
 // quorum was met (a follower majority carried the commit), and the
 // append stage is omitted rather than guessed.
 func (s *Server) emitCommitSpan(start, appendDone, fanned, quorumAt time.Time, idx uint64, count int) {
+	applyAt := time.Now()
+	if s.commitHist != nil {
+		s.commitHist.Record(applyAt.Sub(start))
+	}
 	if s.rec == nil {
 		return
 	}
-	applyAt := time.Now()
 	f := map[string]float64{
 		"index":        float64(idx),
 		"count":        float64(count),
@@ -221,15 +313,21 @@ func (s *Server) handleClientRequest(co *core.Coroutine, from string, req codec.
 		return &kv.ClientResponse{NotLeader: true, LeaderHint: s.transferTo, Err: ErrNotLeader.Error()}
 	}
 	s.e.Compute(s.cfg.LeaderComputePerOp)
+	// Adopt the wire-propagated causal context: server-side pipeline
+	// spans parent under the client's RPC-attempt span.
+	var tc xtrace.Context
+	if s.trc != nil && m.TraceID != 0 {
+		tc = xtrace.Context{TraceID: m.TraceID, Span: m.TraceSpan, Sampled: m.TraceSampled}
+	}
 
 	if s.cfg.ReadIndex && m.Cmd.Op == kv.OpGet {
-		return s.readIndex(co, m)
+		return s.readIndex(co, m, tc)
 	}
 	if s.cfg.BatchProposals {
-		return s.enqueueProposal(co, m)
+		return s.enqueueProposal(co, m, tc)
 	}
 
-	_, res, err := s.propose(co, codec.Marshal(m))
+	_, res, err := s.propose(co, codec.Marshal(m), tc)
 	if err != nil {
 		return &kv.ClientResponse{OK: false, NotLeader: errors.Is(err, ErrNotLeader) || errors.Is(err, ErrDeposed),
 			LeaderHint: s.leaderHint, Err: err.Error()}
@@ -241,8 +339,10 @@ func (s *Server) handleClientRequest(co *core.Coroutine, from string, req codec.
 // leadership with a heartbeat quorum, wait for the state machine to
 // reach the read index, then read locally. The leadership check is —
 // again — a QuorumEvent, so a slow follower cannot delay reads.
-func (s *Server) readIndex(co *core.Coroutine, m *kv.ClientRequest) codec.Message {
+func (s *Server) readIndex(co *core.Coroutine, m *kv.ClientRequest, tc xtrace.Context) codec.Message {
 	s.ReadIndexOps.Inc()
+	traced := s.trc != nil && tc.Active()
+	t0 := time.Now()
 	term := s.term
 	readIdx := s.commitIndex
 	targets := s.broadcastTargets()
@@ -265,6 +365,7 @@ func (s *Server) readIndex(co *core.Coroutine, m *kv.ClientRequest) codec.Messag
 	if s.role != Leader || s.term != term {
 		return &kv.ClientResponse{OK: false, NotLeader: true, LeaderHint: s.leaderHint, Err: ErrDeposed.Error()}
 	}
+	quorumAt := time.Now()
 	if s.lastApplied < readIdx {
 		sig := core.NewSignalEvent()
 		s.appliedWaiters = append(s.appliedWaiters, appliedWaiter{idx: readIdx, sig: sig})
@@ -273,6 +374,18 @@ func (s *Server) readIndex(co *core.Coroutine, m *kv.ClientRequest) codec.Messag
 		}
 	}
 	res := s.sm.Store().Apply(m.Cmd)
+	if traced {
+		end := time.Now()
+		rootID := s.trc.NewSpanID()
+		s.trc.Record(tc, xtrace.Span{Parent: rootID, Name: "readindex.quorum",
+			Node: s.cfg.ID, Res: xtrace.Net, Start: t0, End: quorumAt})
+		if end.Sub(quorumAt) > 500*time.Microsecond {
+			s.trc.Record(tc, xtrace.Span{Parent: rootID, Name: "readindex.apply-wait",
+				Node: s.cfg.ID, Res: xtrace.Queue, Start: quorumAt, End: end})
+		}
+		s.trc.Record(tc, xtrace.Span{ID: rootID, Parent: tc.Span, Name: "readindex",
+			Node: s.cfg.ID, Res: xtrace.CPU, Start: t0, End: end})
+	}
 	return &kv.ClientResponse{OK: true, Found: res.Found, Value: res.Value, Pairs: res.Pairs}
 }
 
@@ -317,6 +430,7 @@ func (s *Server) handleAppendEntries(co *core.Coroutine, from string, req codec.
 
 	// Skip entries already present with matching terms; truncate on
 	// conflict; append the remainder durably before acking.
+	var fsyncUs int64
 	toAppend := m.Entries
 	for len(toAppend) > 0 {
 		e0 := toAppend[0]
@@ -356,10 +470,14 @@ func (s *Server) handleAppendEntries(co *core.Coroutine, from string, req codec.
 		}
 		// Bounded fsync wait: a fail-slow disk turns into an explicit
 		// failed append, and the leader retries or routes around us,
-		// instead of this handler coroutine hanging on local I/O.
+		// instead of this handler coroutine hanging on local I/O. The
+		// measured wait rides the reply so the leader can attribute a
+		// slow replication span to this follower's disk vs the link.
+		fsStart := time.Now()
 		if co.WaitFor(fsync, s.cfg.DiskWaitTimeout) != core.WaitReady {
 			return &AppendEntriesReply{Term: s.term, Success: false, LastIndex: s.wal.LastIndex(), From: s.cfg.ID, LeaderSlow: leaderSlow, SelfSlow: selfSlow}
 		}
+		fsyncUs = time.Since(fsStart).Microseconds()
 	}
 
 	if m.LeaderCommit > s.commitIndex {
@@ -370,7 +488,7 @@ func (s *Server) handleAppendEntries(co *core.Coroutine, from string, req codec.
 		s.commitIndex = limit
 		s.applyUpTo()
 	}
-	return &AppendEntriesReply{Term: s.term, Success: true, LastIndex: s.wal.LastIndex(), From: s.cfg.ID, LeaderSlow: leaderSlow, SelfSlow: selfSlow}
+	return &AppendEntriesReply{Term: s.term, Success: true, LastIndex: s.wal.LastIndex(), From: s.cfg.ID, LeaderSlow: leaderSlow, SelfSlow: selfSlow, FsyncUs: fsyncUs}
 }
 
 // heartbeatLoop broadcasts empty AppendEntries while leader of term.

@@ -2,6 +2,7 @@ package raft
 
 import (
 	"fmt"
+	"hash/fnv"
 	"math/rand"
 	"sync"
 	"time"
@@ -17,6 +18,7 @@ import (
 	"depfast/internal/rpc"
 	"depfast/internal/storage"
 	"depfast/internal/transport"
+	"depfast/internal/xtrace"
 )
 
 // Role is a Raft server role.
@@ -169,6 +171,23 @@ type Config struct {
 	// emission at zero cost.
 	Recorder *obs.Recorder
 
+	// Tracer, when set, records causal per-request span trees: every
+	// client request carrying a trace context gets its commit pipeline
+	// (fsync, write stall, per-peer replication, quorum, apply)
+	// decomposed into (node, resource) spans on this collector. When
+	// the peer detector is also enabled, the collector's critical-path
+	// blame shares corroborate or veto detector verdicts. Nil disables
+	// tracing at zero cost.
+	Tracer *xtrace.Collector
+
+	// Metrics, when set, is the live metrics plane this server joins:
+	// its counters are attached under their raft.* names and each
+	// committed entry's end-to-end latency lands in the
+	// "raft.commit.latency" windowed histogram — the registry a node
+	// process scrapes over HTTP. Nil disables registration at zero
+	// cost.
+	Metrics *metrics.Registry
+
 	// DiskHelpers sizes the I/O helper pool.
 	DiskHelpers int
 
@@ -199,8 +218,21 @@ func DefaultConfig(id string, peers []string) Config {
 		PreVote:              true,
 		SlowLeaderThreshold:  8,
 		DiskHelpers:          16,
-		Seed:                 int64(len(id)) * 7919,
+		Seed:                 seedFor(id),
 	}
+}
+
+// seedFor derives the default election-timeout seed from the full node
+// ID (FNV-1a), not just its length: peers are conventionally named
+// s1/s2/s3, and length-derived seeds gave every process the *same*
+// "random" timeout sequence — separate-process deployments (real TCP,
+// no scheduler jitter to break ties) split the vote in perfect
+// lockstep forever. Same ID still means same sequence, so seeded
+// explorer runs stay reproducible.
+func seedFor(id string) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(id))
+	return int64(h.Sum64())
 }
 
 // Server is one DepFastRaft node: a DepFast runtime hosting the Raft
@@ -241,14 +273,14 @@ type Server struct {
 	outboxes   map[string]*rpc.Outbox
 
 	// Dynamic membership (effective-on-append; see membership.go).
-	mem        memConfig            // effective config: governs quorums now
-	memApplied memConfig            // config as of lastApplied (snapshots)
-	snapMem    memConfig            // config as of snapIndex (rollback floor)
-	confLog    []confRecord         // appended conf entries above snapIndex
-	removed    map[string]bool      // permanently removed members
-	repairing  map[string]uint64    // peer → term with a live repair loop
-	replacing  string               // follower with a replacement in flight
-	autoQuarCap bool                // MaxQuarantined tracks the voter count
+	mem         memConfig         // effective config: governs quorums now
+	memApplied  memConfig         // config as of lastApplied (snapshots)
+	snapMem     memConfig         // config as of snapIndex (rollback floor)
+	confLog     []confRecord      // appended conf entries above snapIndex
+	removed     map[string]bool   // permanently removed members
+	repairing   map[string]uint64 // peer → term with a live repair loop
+	replacing   string            // follower with a replacement in flight
+	autoQuarCap bool              // MaxQuarantined tracks the voter count
 
 	// Snapshot state: the log below snapIndex is compacted away.
 	snapIndex   uint64
@@ -265,23 +297,28 @@ type Server struct {
 	dirtyFsyncs []*core.ResultEvent
 
 	// Mitigation state — baton context only, except where noted.
-	policy      *mitigate.Policy // nil unless cfg.Mitigation
-	quarantined map[string]bool  // peers excluded from quorum waits
-	pace        int              // repair slowdown for quarantined peers
-	selfCPU     *detect.Self     // own-CPU stretch monitor
-	selfDisk    *detect.Self     // own-disk stretch monitor
-	nominalCPU  time.Duration    // healthy cost of the CPU probe
-	nominalDisk time.Duration    // healthy cost of the disk probe
+	policy       *mitigate.Policy     // nil unless cfg.Mitigation
+	quarantined  map[string]bool      // peers excluded from quorum waits
+	pace         int                  // repair slowdown for quarantined peers
+	selfCPU      *detect.Self         // own-CPU stretch monitor
+	selfDisk     *detect.Self         // own-disk stretch monitor
+	nominalCPU   time.Duration        // healthy cost of the CPU probe
+	nominalDisk  time.Duration        // healthy cost of the disk probe
 	slowVotes    map[string]time.Time // followers recently voting LeaderSlow
 	peerSelfSlow map[string]time.Time // followers recently advertising their own fail-slow
 	// learnerStream is, per learner, the last log index streamed to it;
 	// each streamed batch chains onto the previous one so the tip flows
 	// without per-batch acks. Zero = chain broken, repair re-anchors.
 	learnerStream map[string]uint64
-	selfSlowPub bool                 // last published self-verdict (flight recorder)
+	selfSlowPub   bool // last published self-verdict (flight recorder)
 
 	// rec is the flight recorder (nil-safe; see cfg.Recorder).
 	rec *obs.Recorder
+	// trc is the causal trace collector (nil-safe; see cfg.Tracer).
+	trc *xtrace.Collector
+	// commitHist, when metrics are registered, receives each committed
+	// entry's end-to-end latency.
+	commitHist *metrics.Windowed
 
 	// appliedWaiters wake ReadIndex reads when lastApplied advances.
 	appliedWaiters []appliedWaiter
@@ -378,6 +415,16 @@ func NewServer(cfg Config, e *env.Env, tr transport.Transport, opts ...core.Opti
 		repairing:     make(map[string]uint64),
 		pace:          1,
 		rec:           cfg.Recorder,
+		trc:           cfg.Tracer,
+	}
+	if reg := cfg.Metrics; reg != nil {
+		for _, c := range []*metrics.Counter{
+			s.Proposals, s.Commits, s.Elections, s.RepairSends,
+			s.Snapshots, s.ReadIndexOps, s.WALStalls,
+		} {
+			reg.Attach(c)
+		}
+		s.commitHist = reg.Histogram("raft.commit.latency")
 	}
 	s.mem = memConfigFromPeers(cfg.Peers)
 	s.memApplied = s.mem.clone()
@@ -410,6 +457,13 @@ func NewServer(cfg Config, e *env.Env, tr transport.Transport, opts ...core.Opti
 	if cfg.PeerDetector {
 		s.detector = detect.New(detect.DefaultConfig())
 		epOpts = append(epOpts, rpc.WithLatencyObserver(s.detector.Observe))
+		if s.trc != nil {
+			// Trace-derived critical-path blame corroborates or vetoes
+			// RTT-based verdicts: a peer that owns the slow tail's
+			// critical paths is suspected sooner; one that never appears
+			// on them is held to a stricter threshold.
+			s.detector.SetCorroborator(s.trc.BlameShare)
+		}
 		if s.rec != nil {
 			s.detector.SetOnVerdict(func(peer string, suspect bool, ewma time.Duration) {
 				typ := obs.VerdictCleared

@@ -1,0 +1,94 @@
+package raft
+
+import (
+	"testing"
+	"time"
+
+	"depfast/internal/core"
+	"depfast/internal/xtrace"
+)
+
+// TestTraceSurvivesLeaderChange drives a request trace across a
+// leadership handoff: the same TraceID must collect rpc spans against
+// both the old and the new leader, and a commit span on whichever
+// leader finally applied the command — the causal tree stays stitched
+// together even when the request bounces through NotLeader redirects.
+func TestTraceSurvivesLeaderChange(t *testing.T) {
+	col := xtrace.NewCollector(xtrace.Config{SampleEvery: 1})
+	c := newCluster(t, clusterOpts{n: 3, mutate: func(cfg *Config) {
+		cfg.Tracer = col
+	}})
+	first := c.waitLeader()
+
+	cl := c.client(1)
+	cl.SetTracer(col)
+	c.onClient(func(co *core.Coroutine) {
+		if err := cl.Put(co, "warm", []byte("v")); err != nil {
+			t.Errorf("warmup put: %v", err)
+		}
+	})
+
+	// Hand leadership off, then immediately issue the traced request;
+	// the client still points at the old leader and must chase the
+	// NotLeader hint to the successor.
+	c.servers[first].RequestTransfer()
+	deadline := time.Now().Add(10 * time.Second)
+	second := first
+	for time.Now().Before(deadline) {
+		second = c.waitLeader()
+		if second != first {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if second == first {
+		t.Fatal("leadership never transferred")
+	}
+
+	col.Reset()
+	c.onClient(func(co *core.Coroutine) {
+		if err := cl.Put(co, "bounced", []byte("v2")); err != nil {
+			t.Errorf("post-transfer put: %v", err)
+		}
+	})
+
+	// The write's trace should be finished already (Finish runs before
+	// Put returns), but server-side foreign fragments may not matter
+	// here: in in-process transport the server records into the same
+	// collector, under the same TraceID.
+	var tr xtrace.Trace
+	found := false
+	for _, cand := range col.Traces() {
+		if cand.Name == "client.put" {
+			tr = cand
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatalf("no client.put trace collected; have %d traces", len(col.Traces()))
+	}
+
+	rpcNodes := map[string]bool{}
+	commitNode := ""
+	for _, sp := range tr.Spans {
+		switch sp.Name {
+		case "rpc":
+			rpcNodes[sp.Node] = true
+		case "commit":
+			commitNode = sp.Node
+		}
+	}
+	if len(rpcNodes) < 2 {
+		t.Fatalf("trace saw rpc spans to %v; want at least the old and new leader", rpcNodes)
+	}
+	if commitNode == "" {
+		t.Fatal("trace has no commit span from the committing leader")
+	}
+	if commitNode == first {
+		t.Fatalf("commit span on deposed leader %s", first)
+	}
+	if !rpcNodes[commitNode] {
+		t.Fatalf("commit node %s has no rpc span in the same trace (nodes %v)", commitNode, rpcNodes)
+	}
+}

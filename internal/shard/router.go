@@ -10,6 +10,7 @@ import (
 	"depfast/internal/kv"
 	"depfast/internal/raft"
 	"depfast/internal/rpc"
+	"depfast/internal/xtrace"
 	"depfast/internal/ycsb"
 )
 
@@ -45,6 +46,7 @@ type Router struct {
 	timeout time.Duration
 	clients []*raft.Client
 	met     *Metrics
+	trc     *xtrace.Collector
 }
 
 // NewRouter returns a router over the mapped deployment, issuing
@@ -59,6 +61,17 @@ func NewRouter(m Map, ep *rpc.Endpoint, timeout time.Duration) *Router {
 		r.clients = append(r.clients, raft.NewClient(nextClientID(), ep, m.Replicas(g), timeout))
 	}
 	return r
+}
+
+// SetTracer attaches a trace collector to the router and every
+// per-group raft client: each routed command then becomes one causal
+// trace rooted at the router, with the raft client's rpc attempts and
+// the leader's commit tree nested underneath. Nil-safe.
+func (r *Router) SetTracer(trc *xtrace.Collector) {
+	r.trc = trc
+	for _, cl := range r.clients {
+		cl.SetTracer(trc)
+	}
 }
 
 // Map returns the router's shard map.
@@ -78,9 +91,16 @@ func (r *Router) Metrics() *Metrics { return r.met }
 // latency against that shard.
 func (r *Router) Do(co *core.Coroutine, cmd kv.Command) (kv.Result, error) {
 	g := r.m.Owner(cmd.Key)
+	var tc xtrace.Context
+	if r.trc != nil {
+		tc = r.trc.StartRequest("route."+r.m.ShardID(g)+"."+cmd.Op.String(), "router")
+	}
 	start := time.Now()
-	res, err := r.clients[g].Do(co, cmd)
+	res, err := r.clients[g].DoTraced(co, cmd, tc)
 	r.met.observe(g, time.Since(start), err)
+	if r.trc != nil {
+		r.trc.Finish(tc, time.Now())
+	}
 	return res, err
 }
 

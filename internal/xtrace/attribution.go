@@ -1,0 +1,226 @@
+// Critical-path attribution: walk each trace's span tree backwards
+// from the end of a span, descending into the child whose completion
+// gated progress, and charge every interval to the (node, resource)
+// that owned it. Aggregated over a window of traces this yields the
+// blame table — "P99 is 6x because n2's fsync owns 78% of slow-request
+// critical paths" as a computed artifact.
+package xtrace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Segment is one interval of a trace's critical path, charged to the
+// span that owned it.
+type Segment struct {
+	Node string
+	Res  Resource
+	Name string
+	Dur  time.Duration
+}
+
+// criticalEps absorbs clock jitter between "child completed" and
+// "parent proceeded": a child ending within eps after the cursor still
+// counts as the gating completion.
+const criticalEps = 200 * time.Microsecond
+
+// CriticalPath computes the blame segments of one trace.
+//
+// The walk is backwards-in-time: starting from a span's end, the
+// gating child is the one whose End is latest but not after the
+// cursor (+eps) — the completion the parent was waiting on when it
+// proceeded. The walk recurses into that child over the overlap, moves
+// the cursor to the child's start, and repeats; intervals no child
+// covers are charged to the span's own (node, resource). A child still
+// in flight when the parent proceeded (a leader fsync outpaced by the
+// follower quorum) ends after the cursor and is correctly skipped — it
+// never gated anything.
+func CriticalPath(t Trace) []Segment {
+	if len(t.Spans) == 0 {
+		return nil
+	}
+	byID := make(map[uint64]*Span, len(t.Spans))
+	children := make(map[uint64][]*Span)
+	for i := range t.Spans {
+		sp := &t.Spans[i]
+		byID[sp.ID] = sp
+	}
+	var roots []*Span
+	for i := range t.Spans {
+		sp := &t.Spans[i]
+		if sp.Parent != 0 && byID[sp.Parent] != nil && byID[sp.Parent] != sp {
+			children[sp.Parent] = append(children[sp.Parent], sp)
+		} else {
+			roots = append(roots, sp)
+		}
+	}
+	// Deterministic candidate order for equal timestamps.
+	for _, cs := range children {
+		sort.Slice(cs, func(i, j int) bool { return cs[i].ID < cs[j].ID })
+	}
+	var segs []Segment
+	emit := func(sp *Span, d time.Duration) {
+		if d <= 0 {
+			return
+		}
+		segs = append(segs, Segment{Node: sp.Node, Res: sp.Res, Name: sp.Name, Dur: d})
+	}
+	var walk func(sp *Span, lo, hi time.Time, depth int)
+	walk = func(sp *Span, lo, hi time.Time, depth int) {
+		if depth > 64 || !hi.After(lo) {
+			return
+		}
+		cursor := hi
+		for cursor.After(lo) {
+			// The gating child: latest End at or (within eps) before
+			// the cursor, overlapping (lo, cursor).
+			var pick *Span
+			for _, ch := range children[sp.ID] {
+				if ch.End.After(cursor.Add(criticalEps)) || !ch.End.After(lo) ||
+					!ch.Start.Before(cursor) {
+					continue
+				}
+				if pick == nil || ch.End.After(pick.End) ||
+					(ch.End.Equal(pick.End) && ch.Start.After(pick.Start)) {
+					pick = ch
+				}
+			}
+			if pick == nil {
+				emit(sp, cursor.Sub(lo))
+				return
+			}
+			// Gap between the gating child's completion and the cursor
+			// is the span's own time (scheduling, post-processing).
+			chEnd := minTime(pick.End, cursor)
+			emit(sp, cursor.Sub(chEnd))
+			chLo := maxTime(pick.Start, lo)
+			walk(pick, chLo, chEnd, depth+1)
+			cursor = chLo
+		}
+	}
+	for _, r := range roots {
+		walk(r, r.Start, r.End, 0)
+	}
+	return segs
+}
+
+func minTime(a, b time.Time) time.Time {
+	if a.Before(b) {
+		return a
+	}
+	return b
+}
+
+func maxTime(a, b time.Time) time.Time {
+	if a.After(b) {
+		return a
+	}
+	return b
+}
+
+// TopBlame returns the single (node, resource) charged the most
+// critical-path time in one trace. ok is false for empty traces.
+func TopBlame(t Trace) (node string, res Resource, d time.Duration, ok bool) {
+	type key struct {
+		node string
+		res  Resource
+	}
+	acc := make(map[key]time.Duration)
+	for _, s := range CriticalPath(t) {
+		acc[key{s.Node, s.Res}] += s.Dur
+	}
+	for k, v := range acc {
+		if !ok || v > d || (v == d && (k.node < node || (k.node == node && k.res < res))) {
+			node, res, d, ok = k.node, k.res, v, true
+		}
+	}
+	return node, res, d, ok
+}
+
+// Row is one line of the aggregated blame table.
+type Row struct {
+	Node  string        `json:"node"`
+	Res   Resource      `json:"res"`
+	Dur   time.Duration `json:"-"`
+	MS    float64       `json:"ms"`
+	Share float64       `json:"share"`
+}
+
+// Attribution is a (node, resource) → blame table over a trace window.
+type Attribution struct {
+	Traces int           `json:"traces"`
+	Tail   int           `json:"tail_traces"`
+	Total  time.Duration `json:"-"`
+	TotalM float64       `json:"total_ms"`
+	Rows   []Row         `json:"rows"`
+}
+
+// Attribute aggregates critical-path blame over traces into a table
+// sorted by descending share.
+func Attribute(traces []Trace) Attribution {
+	type key struct {
+		node string
+		res  Resource
+	}
+	acc := make(map[key]time.Duration)
+	a := Attribution{}
+	for i := range traces {
+		segs := CriticalPath(traces[i])
+		if len(segs) == 0 {
+			continue
+		}
+		a.Traces++
+		if traces[i].Promoted {
+			a.Tail++
+		}
+		for _, s := range segs {
+			acc[key{s.Node, s.Res}] += s.Dur
+			a.Total += s.Dur
+		}
+	}
+	a.TotalM = a.Total.Seconds() * 1000
+	for k, v := range acc {
+		r := Row{Node: k.node, Res: k.res, Dur: v, MS: v.Seconds() * 1000}
+		if a.Total > 0 {
+			r.Share = float64(v) / float64(a.Total)
+		}
+		a.Rows = append(a.Rows, r)
+	}
+	sort.Slice(a.Rows, func(i, j int) bool {
+		if a.Rows[i].Dur != a.Rows[j].Dur {
+			return a.Rows[i].Dur > a.Rows[j].Dur
+		}
+		if a.Rows[i].Node != a.Rows[j].Node {
+			return a.Rows[i].Node < a.Rows[j].Node
+		}
+		return a.Rows[i].Res < a.Rows[j].Res
+	})
+	return a
+}
+
+// Top returns the table's dominant row (zero Row when empty).
+func (a Attribution) Top() Row {
+	if len(a.Rows) == 0 {
+		return Row{}
+	}
+	return a.Rows[0]
+}
+
+// Render prints the blame table, one row per (node, resource).
+func (a Attribution) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "critical-path attribution over %d traces (%d tail-promoted), %.1fms blamed\n",
+		a.Traces, a.Tail, a.TotalM)
+	if len(a.Rows) == 0 {
+		b.WriteString("  (no blame segments)\n")
+		return b.String()
+	}
+	fmt.Fprintf(&b, "  %-10s %-6s %10s %7s\n", "node", "res", "ms", "share")
+	for _, r := range a.Rows {
+		fmt.Fprintf(&b, "  %-10s %-6s %10.1f %6.1f%%\n", r.Node, r.Res, r.MS, r.Share*100)
+	}
+	return b.String()
+}

@@ -1,0 +1,172 @@
+package xtrace
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// mkTrace builds a trace from spans with a synthetic root covering the
+// whole window.
+func mkTrace(id uint64, spans ...Span) Trace {
+	var lo, hi time.Time
+	for _, sp := range spans {
+		if lo.IsZero() || sp.Start.Before(lo) {
+			lo = sp.Start
+		}
+		if sp.End.After(hi) {
+			hi = sp.End
+		}
+	}
+	return Trace{ID: id, Name: "req", Node: "client", Start: lo, End: hi,
+		Dur: hi.Sub(lo), Spans: spans}
+}
+
+func at(base time.Time, ms int) time.Time { return base.Add(time.Duration(ms) * time.Millisecond) }
+
+// TestCriticalPathPicksGatingChild models a commit: root [0,100],
+// quorum child [0,95] with two acks — a fast follower [0,10] and the
+// quorum-completing one [0,90] — plus a leader fsync [0,99] that
+// outlasted the quorum. Blame must go to the gating ack, not the
+// in-flight fsync and not the fast ack.
+func TestCriticalPathPicksGatingChild(t *testing.T) {
+	base := time.Now()
+	root := Span{ID: 1, Name: "commit", Node: "leader", Res: CPU, Start: at(base, 0), End: at(base, 100)}
+	quorum := Span{ID: 2, Parent: 1, Name: "quorum", Node: "leader", Res: Queue, Start: at(base, 0), End: at(base, 95)}
+	fastAck := Span{ID: 3, Parent: 2, Name: "replicate", Node: "s2", Res: Net, Start: at(base, 0), End: at(base, 10)}
+	slowAck := Span{ID: 4, Parent: 2, Name: "replicate", Node: "s3", Res: Net, Start: at(base, 0), End: at(base, 90)}
+	fsync := Span{ID: 5, Parent: 2, Name: "fsync", Node: "leader", Res: Disk, Start: at(base, 0), End: at(base, 99)}
+
+	tr := mkTrace(7, root, quorum, fastAck, slowAck, fsync)
+	node, res, d, ok := TopBlame(tr)
+	if !ok {
+		t.Fatal("no blame")
+	}
+	if node != "s3" || res != Net {
+		t.Fatalf("top blame (%s,%s), want (s3,net); dur=%v", node, res, d)
+	}
+	if d < 85*time.Millisecond {
+		t.Fatalf("gating ack charged only %v", d)
+	}
+	// The in-flight fsync (ends after the quorum proceeded) must not
+	// appear on the path at all.
+	for _, s := range CriticalPath(tr) {
+		if s.Name == "fsync" {
+			t.Fatalf("in-flight fsync on critical path: %+v", s)
+		}
+	}
+}
+
+// TestCriticalPathStallThenAck models the leader-disk write stall: the
+// quorum span's children are a stall [0,80] (disk, leader) and the ack
+// [80,95]. Both are sequential gates; blame splits between them with
+// the stall dominating.
+func TestCriticalPathStallThenAck(t *testing.T) {
+	base := time.Now()
+	spans := []Span{
+		{ID: 1, Name: "commit", Node: "leader", Res: CPU, Start: at(base, 0), End: at(base, 100)},
+		{ID: 2, Parent: 1, Name: "quorum", Node: "leader", Res: Queue, Start: at(base, 0), End: at(base, 95)},
+		{ID: 3, Parent: 2, Name: "wal.stall", Node: "leader", Res: Disk, Start: at(base, 0), End: at(base, 80)},
+		{ID: 4, Parent: 2, Name: "replicate", Node: "s2", Res: Net, Start: at(base, 80), End: at(base, 95)},
+	}
+	tr := mkTrace(1, spans...)
+	node, res, _, _ := TopBlame(tr)
+	if node != "leader" || res != Disk {
+		t.Fatalf("top blame (%s,%s), want (leader,disk)", node, res)
+	}
+	var disk, net time.Duration
+	for _, s := range CriticalPath(tr) {
+		switch s.Res {
+		case Disk:
+			disk += s.Dur
+		case Net:
+			net += s.Dur
+		}
+	}
+	if disk < 75*time.Millisecond || net < 10*time.Millisecond {
+		t.Fatalf("split disk=%v net=%v", disk, net)
+	}
+}
+
+// TestCriticalPathUncoveredGapChargesParent: time no child covers is
+// the span's own.
+func TestCriticalPathUncoveredGapChargesParent(t *testing.T) {
+	base := time.Now()
+	spans := []Span{
+		{ID: 1, Name: "route", Node: "router", Res: CPU, Start: at(base, 0), End: at(base, 50)},
+		{ID: 2, Parent: 1, Name: "rpc", Node: "s1", Res: Net, Start: at(base, 0), End: at(base, 20)},
+	}
+	var own time.Duration
+	for _, s := range CriticalPath(mkTrace(1, spans...)) {
+		if s.Node == "router" {
+			own += s.Dur
+		}
+	}
+	if own < 28*time.Millisecond || own > 32*time.Millisecond {
+		t.Fatalf("router charged %v for the uncovered gap, want ~30ms", own)
+	}
+}
+
+// TestCriticalPathForeignRoots: spans whose parents live in another
+// process (foreign fragments) walk as their own roots.
+func TestCriticalPathForeignRoots(t *testing.T) {
+	base := time.Now()
+	spans := []Span{
+		// Parent 100 is not in this trace.
+		{ID: 5, Parent: 100, Name: "commit", Node: "s1", Res: CPU, Start: at(base, 0), End: at(base, 40)},
+		{ID: 6, Parent: 5, Name: "fsync", Node: "s1", Res: Disk, Start: at(base, 0), End: at(base, 35)},
+	}
+	tr := Trace{ID: 2, Spans: spans}
+	node, res, _, ok := TopBlame(tr)
+	if !ok || node != "s1" || res != Disk {
+		t.Fatalf("foreign root blame (%s,%s,%v)", node, res, ok)
+	}
+}
+
+func TestCriticalPathDegenerateSpans(t *testing.T) {
+	base := time.Now()
+	// Zero-duration child exactly at the parent end, plus a child
+	// ending before the window: the walk must terminate and charge the
+	// parent.
+	spans := []Span{
+		{ID: 1, Name: "p", Node: "n", Res: CPU, Start: at(base, 0), End: at(base, 10)},
+		{ID: 2, Parent: 1, Name: "z", Node: "n", Res: Net, Start: at(base, 10), End: at(base, 10)},
+		{ID: 3, Parent: 1, Name: "early", Node: "n", Res: Net, Start: at(base, -5), End: at(base, 0)},
+	}
+	segs := CriticalPath(mkTrace(3, spans...))
+	var total time.Duration
+	for _, s := range segs {
+		total += s.Dur
+	}
+	if total < 9*time.Millisecond || total > 11*time.Millisecond {
+		t.Fatalf("degenerate walk accounted %v, want ~10ms", total)
+	}
+}
+
+func TestAttributeAggregatesAndRenders(t *testing.T) {
+	base := time.Now()
+	mk := func(id uint64, node string, ms int) Trace {
+		return mkTrace(id,
+			Span{ID: 1, Name: "commit", Node: "leader", Res: CPU, Start: at(base, 0), End: at(base, ms)},
+			Span{ID: 2, Parent: 1, Name: "fsync", Node: node, Res: Disk, Start: at(base, 0), End: at(base, ms)},
+		)
+	}
+	tr1, tr2 := mk(1, "s1", 90), mk(2, "s2", 10)
+	tr1.Promoted = true
+	a := Attribute([]Trace{tr1, tr2})
+	if a.Traces != 2 || a.Tail != 1 {
+		t.Fatalf("counts: %+v", a)
+	}
+	top := a.Top()
+	if top.Node != "s1" || top.Res != Disk || top.Share < 0.8 {
+		t.Fatalf("top row %+v", top)
+	}
+	out := a.Render()
+	if !strings.Contains(out, "s1") || !strings.Contains(out, "disk") ||
+		!strings.Contains(out, "tail-promoted") {
+		t.Fatalf("render:\n%s", out)
+	}
+	if Attribute(nil).Top() != (Row{}) {
+		t.Fatal("empty attribution top not zero")
+	}
+}
