@@ -24,11 +24,12 @@ vet:
 test:
 	$(GO) test ./...
 
-# Race-detect the library packages (the cmd/ mains are covered by
-# `test`; -race across the seconds-long experiment suites is where the
-# signal is).
+# Race-detect every package. The seconds-long experiment suites under
+# internal/ are where most of the signal is, but the cmd/ and examples/
+# trees now carry their own concurrency (REPL spawns, shutdown paths),
+# so the whole module runs under the detector.
 race:
-	$(GO) test -race ./internal/...
+	$(GO) test -race ./...
 
 # Every table/figure of the paper plus the ablations, as benchmarks.
 bench:

@@ -221,6 +221,7 @@ func runClient(peers []string, addrs map[string]string) {
 		}
 		out := make(chan string, 1)
 		ok := rt.Spawn("cmd", func(co *core.Coroutine) {
+			//depfast:allow deadline-propagation single send into a dedicated 1-buffered channel: cannot block
 			out <- execute(co, cl, parts)
 		})
 		if !ok {

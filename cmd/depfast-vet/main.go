@@ -1,8 +1,11 @@
 // Command depfast-vet statically enforces the DepFast programming
 // model over this module: bounded quorum-shaped waits, no scheduler
-// blocking inside coroutines, logic behind the framework split. It is
-// built entirely on the standard library's go/ast, go/parser,
-// go/types, and go/token — no external analysis frameworks.
+// blocking inside coroutines, logic behind the framework split — and,
+// interprocedurally over the module call graph, deadline propagation
+// along every blocking path, consistent locksets, and a cycle-free
+// lock-acquisition order. It is built entirely on the standard
+// library's go/ast, go/parser, go/types, and go/token — no external
+// analysis frameworks.
 //
 // Usage:
 //
@@ -10,23 +13,32 @@
 //
 // The module containing the working directory (or -dir) is always
 // analyzed as a whole; the ./... argument is accepted for familiarity.
-// Exit status is 1 when unsuppressed violations exist, 2 on load
+// Exit status is 1 when the run should fail the build (new or
+// unsuppressed error findings; warnings too under -werror), 2 on load
 // errors.
 //
 // Flags:
 //
-//	-json        machine-readable report (includes suppressed findings)
-//	-checks s    comma-separated subset of checks to run
-//	-list        list the checks and exit
-//	-suppressed  show //depfast:allow'd findings in text output
-//	-dir d       directory inside the module to analyze (default ".")
-//	-v           print best-effort type-check diagnostics to stderr
+//	-json            machine-readable report (includes suppressed findings)
+//	-sarif           SARIF 2.1.0 report for code-scanning consumers
+//	-checks s        comma-separated subset of checks to run
+//	-list            list the checks and exit
+//	-suppressed      show //depfast:allow'd findings in text output
+//	-dir d           directory inside the module to analyze (default ".")
+//	-baseline f      enforce a recorded baseline: only NEW findings fail
+//	-write-baseline f  snapshot current findings as the baseline and exit
+//	-diff ref        only findings in files changed since the git ref fail
+//	-werror          treat warning-severity findings as build-failing
+//	-v               print best-effort type-check diagnostics to stderr
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
 
 	"depfast/internal/lint"
 )
@@ -34,10 +46,15 @@ import (
 func main() {
 	var (
 		jsonOut    = flag.Bool("json", false, "emit the machine-readable JSON report")
+		sarifOut   = flag.Bool("sarif", false, "emit a SARIF 2.1.0 report")
 		checkNames = flag.String("checks", "", "comma-separated checks to run (default: all)")
 		list       = flag.Bool("list", false, "list available checks and exit")
 		suppressed = flag.Bool("suppressed", false, "show allowed findings in text output")
 		dir        = flag.String("dir", ".", "directory inside the module to analyze")
+		baseline   = flag.String("baseline", "", "baseline file to enforce (only new findings fail)")
+		writeBase  = flag.String("write-baseline", "", "write the current findings as a baseline file and exit")
+		diffRef    = flag.String("diff", "", "git ref: only findings in files changed since it fail")
+		werror     = flag.Bool("werror", false, "warning-severity findings fail the build")
 		verbose    = flag.Bool("v", false, "print type-check diagnostics to stderr")
 	)
 	flag.Parse()
@@ -49,7 +66,7 @@ func main() {
 	}
 	if *list {
 		for _, c := range checks {
-			fmt.Printf("%-26s %s\n", c.Name(), c.Doc())
+			fmt.Printf("%-26s [%s] %s\n", c.Name(), c.Severity(), c.Doc())
 		}
 		return
 	}
@@ -72,15 +89,121 @@ func main() {
 
 	findings := lint.Run(mod.Packages, checks)
 	report := lint.NewReport(mod.Path, mod.Dir, checks, findings, typeErrs)
-	if *jsonOut {
+
+	if *writeBase != "" {
+		b := lint.NewBaseline(report)
+		f, err := os.Create(*writeBase)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "depfast-vet: %v\n", err)
+			os.Exit(2)
+		}
+		if err := b.WriteBaseline(f); err == nil {
+			err = f.Close()
+		} else {
+			f.Close()
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "depfast-vet: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Printf("depfast-vet: wrote baseline with %d finding(s) to %s\n", len(b.Findings), *writeBase)
+		return
+	}
+
+	// The build-failing set: unsuppressed errors (and warnings under
+	// -werror); with a baseline, only findings the baseline does not
+	// cover; with -diff, only findings in files changed since the ref.
+	failing := map[int]bool{}
+	for i, f := range report.Findings {
+		if f.Suppressed {
+			continue
+		}
+		if f.Severity == string(lint.SeverityWarning) && !*werror && *baseline == "" {
+			continue
+		}
+		failing[i] = true
+	}
+	if *baseline != "" {
+		b, err := lint.LoadBaseline(*baseline)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "depfast-vet: %v\n", err)
+			os.Exit(2)
+		}
+		newFindings, stale := lint.ApplyBaseline(report, b)
+		if stale > 0 && *verbose {
+			fmt.Fprintf(os.Stderr, "depfast-vet: %d stale baseline entr(ies); regenerate with -write-baseline\n", stale)
+		}
+		isNew := map[string]int{}
+		for _, f := range newFindings {
+			isNew[findingKey(f)]++
+		}
+		for i, f := range report.Findings {
+			if !failing[i] {
+				continue
+			}
+			k := findingKey(f)
+			if isNew[k] > 0 {
+				isNew[k]--
+			} else {
+				delete(failing, i)
+			}
+		}
+	}
+	if *diffRef != "" {
+		changed, err := changedFiles(mod.Dir, *diffRef)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "depfast-vet: -diff: %v\n", err)
+			os.Exit(2)
+		}
+		for i, f := range report.Findings {
+			if failing[i] && !changed[filepath.ToSlash(f.File)] {
+				delete(failing, i)
+			}
+		}
+	}
+
+	switch {
+	case *jsonOut:
 		if err := report.WriteJSON(os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
 		}
-	} else {
+	case *sarifOut:
+		if err := report.WriteSARIF(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	default:
 		report.WriteText(os.Stdout, *suppressed)
+		if *baseline != "" || *diffRef != "" {
+			fmt.Printf("depfast-vet: %d finding(s) fail after baseline/diff gating\n", len(failing))
+		}
 	}
-	if report.Unsuppressed > 0 {
+	if len(failing) > 0 {
 		os.Exit(1)
 	}
+}
+
+// findingKey matches the baseline's identity for a finding.
+func findingKey(f lint.JSONFinding) string {
+	return f.Check + "\x00" + f.File + "\x00" + f.Message
+}
+
+// changedFiles lists module-relative paths changed since ref,
+// according to git.
+func changedFiles(dir, ref string) (map[string]bool, error) {
+	cmd := exec.Command("git", "diff", "--name-only", ref, "--", "*.go")
+	cmd.Dir = dir
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("git diff --name-only %s: %w", ref, err)
+	}
+	changed := map[string]bool{}
+	for _, line := range strings.Split(string(out), "\n") {
+		line = strings.TrimSpace(line)
+		if line != "" {
+			changed[line] = true
+		}
+	}
+	return changed, nil
 }

@@ -75,6 +75,7 @@ func main() {
 			_ = rc.Sleep(20 * time.Millisecond)
 			ev.Fire("late", nil)
 		})
+		//depfast:allow deadline-propagation deliberate demo: this unbounded singular wait is the bug the SPG verifier exists to catch
 		_ = co.Wait(ev) // singular cross-node wait: slowness can propagate
 	})
 	<-bugDone

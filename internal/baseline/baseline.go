@@ -462,7 +462,7 @@ func (s *Server) handleClientRequest(co *core.Coroutine, from string, req codec.
 	}
 	if s.crashed {
 		// A crashed process answers nothing; the client times out.
-		//depfast:allow untimed-wait deliberate: simulates a crashed process that never replies (client-side timeout is the test subject)
+		//depfast:allow untimed-wait,deadline-propagation deliberate: simulates a crashed process that never replies (client-side timeout is the test subject)
 		_ = co.Wait(core.NewNeverEvent())
 		return &kv.ClientResponse{OK: false, Err: ErrCrashed.Error()}
 	}

@@ -75,7 +75,7 @@ func (s *Server) processBatch(co *core.Coroutine, batch []*proposal) {
 	}
 	// The region thread waits for its own fsync before fanning out —
 	// one more serialization point of the pattern.
-	//depfast:allow untimed-wait deliberate anti-pattern: SyncRSM serializes on its fsync with no bound (the baseline under study)
+	//depfast:allow untimed-wait,deadline-propagation deliberate anti-pattern: SyncRSM serializes on its fsync with no bound (the baseline under study)
 	if werr := co.Wait(fsync); werr != nil {
 		return
 	}
@@ -112,7 +112,7 @@ func (s *Server) processBatch(co *core.Coroutine, batch []*proposal) {
 						end = hi
 					}
 					s.BlockingReads.Inc()
-					//depfast:allow framework-split deliberate anti-pattern: synchronous WAL read on the region thread, the confirmed TiDB root cause
+					//depfast:allow framework-split,deadline-propagation deliberate anti-pattern: synchronous WAL read on the region thread, the confirmed TiDB root cause
 					send = append(send, s.wal.ReadBlocking(chunk, end)...)
 				}
 			}
@@ -188,7 +188,7 @@ func (s *Server) bufferPropose(co *core.Coroutine, m *kv.ClientRequest) codec.Me
 		s.crashed = true
 		s.OOMKills.Inc()
 		s.publish()
-		//depfast:allow untimed-wait deliberate: simulates an OOM-killed process that never replies
+		//depfast:allow untimed-wait,deadline-propagation deliberate: simulates an OOM-killed process that never replies
 		_ = co.Wait(core.NewNeverEvent()) // the process is gone
 		return &kv.ClientResponse{OK: false, Err: ErrCrashed.Error()}
 	}

@@ -654,6 +654,7 @@ func startChurn(net *transport.Network, servers map[string]*raft.Server, spare, 
 	d.ep = rpc.NewEndpoint(name, d.rt, net, rpc.WithCallTimeout(2*time.Second))
 	net.Register(name, env.New(name, env.DefaultConfig()), d.ep.TransportHandler())
 	d.rt.Spawn("churn", func(co *core.Coroutine) {
+		//depfast:allow deadline-propagation single send into the driver's 1-buffered done channel: cannot block
 		d.done <- d.run(co, servers, spare, victim, cfg.ChurnWait)
 	})
 	return d

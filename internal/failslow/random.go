@@ -85,12 +85,12 @@ func (r *RandomFaults) expDur(mean time.Duration) time.Duration {
 // Start launches the episode loop. Stop must be called to end it.
 func (r *RandomFaults) Start() {
 	r.mu.Lock()
-	if r.started {
-		r.mu.Unlock()
-		return
-	}
+	already := r.started
 	r.started = true
 	r.mu.Unlock()
+	if already {
+		return
+	}
 	go r.loop()
 }
 
@@ -123,22 +123,14 @@ func (r *RandomFaults) nextDelay() time.Duration {
 }
 
 // step either starts an episode on an idle target or does nothing
-// this round (the target may already be faulted).
+// this round (the target may already be faulted). The bookkeeping
+// happens in beginEpisode under the lock; the injection itself runs
+// outside it.
 func (r *RandomFaults) step() {
-	r.mu.Lock()
-	target := r.targets[r.rng.Intn(len(r.targets))]
-	if _, busy := r.active[target]; busy {
-		r.mu.Unlock()
+	target, fault, dur, rec, ok := r.beginEpisode()
+	if !ok {
 		return
 	}
-	fault := r.faults[r.rng.Intn(len(r.faults))]
-	dur := r.expDur(r.meanDuration)
-	ep := Episode{Target: target.Node(), Fault: fault, Start: time.Now(), End: time.Now().Add(dur)}
-	r.history = append(r.history, ep)
-	r.active[target] = activeEpisode{fault: fault, idx: len(r.history) - 1}
-	rec := r.rec
-	r.mu.Unlock()
-
 	ApplyObserved(rec, target, fault, r.intensity)
 	time.AfterFunc(dur, func() {
 		r.mu.Lock()
@@ -149,6 +141,23 @@ func (r *RandomFaults) step() {
 		}
 		r.mu.Unlock()
 	})
+}
+
+// beginEpisode picks a target and, if it is idle, records the new
+// episode under the lock, handing back what the injection needs.
+func (r *RandomFaults) beginEpisode() (target *env.Env, fault Fault, dur time.Duration, rec *obs.Recorder, ok bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	target = r.targets[r.rng.Intn(len(r.targets))]
+	if _, busy := r.active[target]; busy {
+		return
+	}
+	fault = r.faults[r.rng.Intn(len(r.faults))]
+	dur = r.expDur(r.meanDuration)
+	ep := Episode{Target: target.Node(), Fault: fault, Start: time.Now(), End: time.Now().Add(dur)}
+	r.history = append(r.history, ep)
+	r.active[target] = activeEpisode{fault: fault, idx: len(r.history) - 1}
+	return target, fault, dur, r.rec, true
 }
 
 // clearAll heals every target, truncating the in-progress episodes'

@@ -332,10 +332,12 @@ func Figure2(duration time.Duration, opsPerClient int) (*trace.SPG, *trace.Colle
 			for i := 0; i < opsPerClient && time.Now().Before(deadline); i++ {
 				op := gen.Next()
 				if _, err := cl.Do(co, kv.Command{Op: kv.OpPut, Key: op.Key, Value: op.Value}); err != nil {
+					//depfast:allow deadline-propagation one send per client into a channel buffered for all clients: cannot block
 					done <- err
 					return
 				}
 			}
+			//depfast:allow deadline-propagation one send per client into a channel buffered for all clients: cannot block
 			done <- nil
 		})
 	}

@@ -1,0 +1,100 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// Baseline is the adoption mechanism for new checks over an existing
+// tree: a recorded snapshot of accepted findings. Enforcement compares
+// the current run against the snapshot and fails only on *new*
+// findings, so a check can land before the last legacy finding is
+// triaged — while the tree can never get worse. Entries are keyed by
+// (check, file, message) rather than line numbers, so unrelated edits
+// that shift code do not churn the baseline; the multiset count
+// handles several identical findings in one file.
+type Baseline struct {
+	// Version guards the format.
+	Version int `json:"version"`
+	// Module is the module path the baseline was recorded against.
+	Module string `json:"module"`
+	// Findings are the accepted findings.
+	Findings []BaselineEntry `json:"findings"`
+}
+
+// BaselineEntry is one accepted finding.
+type BaselineEntry struct {
+	Check   string `json:"check"`
+	File    string `json:"file"`
+	Message string `json:"message"`
+}
+
+// baselineKey is the multiset key.
+func (e BaselineEntry) key() string {
+	return e.Check + "\x00" + e.File + "\x00" + e.Message
+}
+
+// NewBaseline snapshots a report's unsuppressed findings.
+func NewBaseline(r Report) Baseline {
+	b := Baseline{Version: 1, Module: r.Module}
+	for _, f := range r.Findings {
+		if f.Suppressed {
+			continue
+		}
+		b.Findings = append(b.Findings, BaselineEntry{Check: f.Check, File: f.File, Message: f.Message})
+	}
+	sort.Slice(b.Findings, func(i, j int) bool { return b.Findings[i].key() < b.Findings[j].key() })
+	return b
+}
+
+// WriteBaseline emits the baseline as indented JSON.
+func (b Baseline) WriteBaseline(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(b)
+}
+
+// LoadBaseline reads a baseline file.
+func LoadBaseline(path string) (Baseline, error) {
+	var b Baseline
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return b, err
+	}
+	if err := json.Unmarshal(data, &b); err != nil {
+		return b, fmt.Errorf("lint: baseline %s: %w", path, err)
+	}
+	if b.Version != 1 {
+		return b, fmt.Errorf("lint: baseline %s: unsupported version %d", path, b.Version)
+	}
+	return b, nil
+}
+
+// ApplyBaseline returns the report's unsuppressed findings that are
+// NOT covered by the baseline — the ones that should fail the build —
+// plus the number of baseline entries that no longer occur (stale
+// entries worth regenerating away).
+func ApplyBaseline(r Report, b Baseline) (newFindings []JSONFinding, stale int) {
+	budget := map[string]int{}
+	for _, e := range b.Findings {
+		budget[e.key()]++
+	}
+	for _, f := range r.Findings {
+		if f.Suppressed {
+			continue
+		}
+		k := BaselineEntry{Check: f.Check, File: f.File, Message: f.Message}.key()
+		if budget[k] > 0 {
+			budget[k]--
+			continue
+		}
+		newFindings = append(newFindings, f)
+	}
+	for _, n := range budget {
+		stale += n
+	}
+	return newFindings, stale
+}

@@ -1,0 +1,173 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func testReport(findings ...Finding) Report {
+	return NewReport("depfast", "/mod", AllChecks(), findings, nil)
+}
+
+func mkFinding(check, file string, line int, msg string, suppressed bool) Finding {
+	f := Finding{
+		Check:      check,
+		Pos:        token.Position{Filename: filepath.Join("/mod", file), Line: line, Column: 2},
+		Message:    msg,
+		Suppressed: suppressed,
+	}
+	if suppressed {
+		f.Reason = "deliberate"
+	}
+	// Stamp the owning check's severity, as Run does.
+	for _, c := range AllChecks() {
+		if c.Name() == check {
+			f.Severity = c.Severity()
+		}
+	}
+	return f
+}
+
+// TestBaselineRoundTrip: snapshot → write → load → enforce. Only
+// findings absent from the snapshot come back as new; line-number
+// drift does not churn the baseline; vanished entries count as stale.
+func TestBaselineRoundTrip(t *testing.T) {
+	r := testReport(
+		mkFinding("untimed-wait", "a.go", 10, "msg one", false),
+		mkFinding("untimed-wait", "a.go", 20, "msg one", false), // same key twice: multiset
+		mkFinding("lockset", "b.go", 5, "msg two", false),
+		mkFinding("lockset", "b.go", 6, "suppressed stays out", true),
+	)
+	b := NewBaseline(r)
+	if len(b.Findings) != 3 {
+		t.Fatalf("baseline has %d entries, want 3 (suppressed excluded): %+v", len(b.Findings), b.Findings)
+	}
+
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.WriteBaseline(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	loaded, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Same findings at shifted lines: fully covered, nothing new.
+	shifted := testReport(
+		mkFinding("untimed-wait", "a.go", 110, "msg one", false),
+		mkFinding("untimed-wait", "a.go", 120, "msg one", false),
+		mkFinding("lockset", "b.go", 50, "msg two", false),
+	)
+	newF, stale := ApplyBaseline(shifted, loaded)
+	if len(newF) != 0 || stale != 0 {
+		t.Errorf("line drift must not churn: new=%v stale=%d", newF, stale)
+	}
+
+	// One genuinely new finding, one baseline entry gone.
+	next := testReport(
+		mkFinding("untimed-wait", "a.go", 10, "msg one", false),
+		mkFinding("untimed-wait", "a.go", 20, "msg one", false),
+		mkFinding("lock-order", "c.go", 3, "brand new", false),
+	)
+	newF, stale = ApplyBaseline(next, loaded)
+	if len(newF) != 1 || newF[0].Check != "lock-order" {
+		t.Errorf("want exactly the new lock-order finding, got %v", newF)
+	}
+	if stale != 1 {
+		t.Errorf("want 1 stale entry (the vanished lockset one), got %d", stale)
+	}
+}
+
+func TestBaselineVersionGuard(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(path, []byte(`{"version": 99, "module": "x"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadBaseline(path); err == nil {
+		t.Error("unsupported baseline version must error")
+	}
+}
+
+// TestSARIF pins the export subset code-scanning consumers need:
+// schema/version, one rule per check, error/warning levels, physical
+// locations, and in-source suppression records with justifications.
+func TestSARIF(t *testing.T) {
+	r := testReport(
+		mkFinding("deadline-propagation", "a.go", 10, "unbounded wait", false),
+		mkFinding("lockset", "b.go", 5, "candidate race", true),
+	)
+	// NewReport stamps severity from the check suite.
+	var buf bytes.Buffer
+	if err := r.WriteSARIF(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var log struct {
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID string `json:"id"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID    string `json:"ruleId"`
+				Level     string `json:"level"`
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI string `json:"uri"`
+						} `json:"artifactLocation"`
+						Region struct {
+							StartLine int `json:"startLine"`
+						} `json:"region"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+				Suppressions []struct {
+					Kind          string `json:"kind"`
+					Justification string `json:"justification"`
+				} `json:"suppressions"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &log); err != nil {
+		t.Fatalf("SARIF output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if log.Version != "2.1.0" || len(log.Runs) != 1 {
+		t.Fatalf("bad SARIF envelope: %s", buf.String())
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "depfast-vet" || len(run.Tool.Driver.Rules) != len(AllChecks()) {
+		t.Errorf("driver must list every check as a rule")
+	}
+	if len(run.Results) != 2 {
+		t.Fatalf("want 2 results, got %d", len(run.Results))
+	}
+	first := run.Results[0]
+	if first.Level != "error" || first.Locations[0].PhysicalLocation.Region.StartLine != 10 {
+		t.Errorf("error-severity finding mangled: %+v", first)
+	}
+	second := run.Results[1]
+	if second.Level != "warning" {
+		t.Errorf("lockset finding must export as warning, got %q", second.Level)
+	}
+	if len(second.Suppressions) != 1 || second.Suppressions[0].Kind != "inSource" ||
+		second.Suppressions[0].Justification != "deliberate" {
+		t.Errorf("suppressed finding must carry an inSource suppression record: %+v", second.Suppressions)
+	}
+	if strings.Contains(buf.String(), `"results": null`) {
+		t.Error("results array must never be null")
+	}
+}

@@ -1,0 +1,646 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// This file builds the module-wide static call graph the
+// interprocedural checks run over. The graph is deliberately an
+// over-approximation in the direction that matters for fail-slow
+// reasoning: a call through an interface method fans out to every
+// module type whose method set satisfies the interface, so a blocking
+// operation behind an abstraction is still charged to the callers
+// that can reach it. Three boundaries keep the approximation honest:
+//
+//   - function literals with a *core.Coroutine parameter are graph
+//     nodes of their own (they are spawned as coroutine bodies, not
+//     executed inline), while plain literals — hooks, Post closures —
+//     are folded into the enclosing function, matching the runtime's
+//     execution model and the intraprocedural checks' convention;
+//   - go statements cut the walk: a spawned goroutine blocks itself,
+//     not the caller's path (raw-goroutine polices the spawn itself);
+//   - internal/core and internal/clock are exempt leaves. They are
+//     the implementation of the sanctioned wait primitives; charging
+//     their internal parks to every caller would flag the cure as the
+//     disease.
+//
+// Calls through function-typed variables stay unresolved (no edge).
+// That is the one under-approximation; the framework split keeps the
+// repo's hot paths free of them.
+
+// ExemptPaths lists the import-path suffixes whose bodies implement
+// the wait primitives themselves and are excluded from blocking-path
+// traversal.
+var ExemptPaths = []string{"internal/core", "internal/clock"}
+
+// CallGraph is the module-wide static call graph plus per-function
+// facts consumed by the interprocedural checks.
+type CallGraph struct {
+	// Pkgs are the packages under analysis.
+	Pkgs []*Package
+	// Nodes lists every function in deterministic (position) order.
+	Nodes []*FuncNode
+
+	byObj map[*types.Func]*FuncNode
+	byLit map[*ast.FuncLit]*FuncNode
+	named []*types.Named
+}
+
+// FuncNode is one function, method, or coroutine-body literal.
+type FuncNode struct {
+	// Pkg is the declaring package.
+	Pkg *Package
+	// Name is the qualified human-readable name, e.g.
+	// "raft.(*Server).electionTicker" or "harness.Run.func(co)".
+	Name string
+	// Obj is the type-checker object (nil for literals).
+	Obj *types.Func
+	// Decl is the declaration (nil for literals).
+	Decl *ast.FuncDecl
+	// Lit is the coroutine-body literal (nil for declarations).
+	Lit *ast.FuncLit
+	// Entry marks a coroutine entry point: the function declares a
+	// *core.Coroutine parameter, so the cooperative scheduler can run
+	// it — RPC handlers, raft step loops, spawned protocol loops.
+	Entry bool
+	// Exempt marks primitive-implementation packages (internal/core,
+	// internal/clock): no blocking facts, no outgoing traversal.
+	Exempt bool
+	// Calls lists resolved call sites in source order.
+	Calls []*CallSite
+	// Blocking lists the function's own blocking operations.
+	Blocking []*BlockSite
+	// DeadlineParams names the parameters that carry a caller's
+	// deadline (time.Duration/time.Time with timeout/deadline-style
+	// names). Non-empty means the function participates in deadline
+	// propagation.
+	DeadlineParams []string
+}
+
+// CallSite is one resolved call.
+type CallSite struct {
+	// Pos locates the call.
+	Pos token.Position
+	// Callees are the possible module-internal targets: exactly one
+	// for static dispatch, every satisfying type's method for an
+	// interface call.
+	Callees []*FuncNode
+	// Interface marks an interface-method over-approximation.
+	Interface bool
+}
+
+// BlockSite is one blocking operation inside a function body.
+type BlockSite struct {
+	// Pos locates the operation.
+	Pos token.Position
+	// Desc names the operation for diagnostics ("co.Wait(ev)",
+	// "channel receive <-ch").
+	Desc string
+	// Bounded reports whether the operation carries its own deadline.
+	Bounded bool
+	// Timeout is the deadline argument of a bounded operation.
+	Timeout ast.Expr
+	// ConstTimeout reports a bounded operation whose deadline is a
+	// compile-time constant (the dropped-propagation candidate).
+	ConstTimeout bool
+}
+
+// BuildCallGraph constructs the graph over pkgs.
+func BuildCallGraph(pkgs []*Package) *CallGraph {
+	g := &CallGraph{
+		Pkgs:  pkgs,
+		byObj: make(map[*types.Func]*FuncNode),
+		byLit: make(map[*ast.FuncLit]*FuncNode),
+	}
+	g.collectNamed()
+
+	// Pass 1: create nodes for declarations and coroutine-body
+	// literals, so pass 2 can resolve edges and skip literal bodies.
+	for _, p := range pkgs {
+		if p.Info == nil {
+			continue // no type info: interprocedural analysis impossible
+		}
+		exempt := pathInList(p.Path, ExemptPaths)
+		for _, f := range p.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				n := &FuncNode{
+					Pkg:    p,
+					Name:   declName(p, fd),
+					Decl:   fd,
+					Exempt: exempt,
+					Entry:  !exempt && p.coroutineEntry(fd.Type),
+				}
+				if obj, ok := p.Info.Defs[fd.Name].(*types.Func); ok {
+					n.Obj = obj
+				}
+				n.DeadlineParams = deadlineParams(p, fd.Type)
+				g.Nodes = append(g.Nodes, n)
+				if n.Obj != nil {
+					g.byObj[n.Obj] = n
+				}
+				// Coroutine-body literals nested anywhere inside.
+				enclosing := n.Name
+				ast.Inspect(fd.Body, func(x ast.Node) bool {
+					lit, ok := x.(*ast.FuncLit)
+					if !ok {
+						return true
+					}
+					if p.coroutineEntry(lit.Type) {
+						ln := &FuncNode{
+							Pkg:            p,
+							Name:           enclosing + ".func(co)",
+							Lit:            lit,
+							Exempt:         exempt,
+							Entry:          !exempt,
+							DeadlineParams: deadlineParams(p, lit.Type),
+						}
+						g.Nodes = append(g.Nodes, ln)
+						g.byLit[lit] = ln
+						return false // its own inner lits fold into it
+					}
+					return true
+				})
+			}
+		}
+	}
+
+	// Pass 2: per-node facts.
+	for _, n := range g.Nodes {
+		if n.Exempt {
+			continue
+		}
+		g.fillFacts(n)
+	}
+	sort.Slice(g.Nodes, func(i, j int) bool {
+		a, b := g.Nodes[i], g.Nodes[j]
+		return a.Pos().Offset < b.Pos().Offset ||
+			(a.Pos().Offset == b.Pos().Offset && a.Name < b.Name)
+	})
+	return g
+}
+
+// Pos returns the node's declaration position.
+func (n *FuncNode) Pos() token.Position {
+	if n.Decl != nil {
+		return n.Pkg.Fset.Position(n.Decl.Pos())
+	}
+	return n.Pkg.Fset.Position(n.Lit.Pos())
+}
+
+// Body returns the node's body block.
+func (n *FuncNode) Body() *ast.BlockStmt {
+	if n.Decl != nil {
+		return n.Decl.Body
+	}
+	return n.Lit.Body
+}
+
+// NodeByName finds a node by qualified name (tests, diagnostics).
+func (g *CallGraph) NodeByName(name string) *FuncNode {
+	for _, n := range g.Nodes {
+		if n.Name == name {
+			return n
+		}
+	}
+	return nil
+}
+
+// WalkBody visits the node's body in the graph's boundary convention:
+// coroutine-body literals (separate nodes) and go-spawned subtrees are
+// skipped, deferred calls are visited with deferred=true. visit
+// returning false prunes the subtree.
+func (g *CallGraph) WalkBody(n *FuncNode, visit func(x ast.Node, deferred bool) bool) {
+	var walk func(root ast.Node, deferred bool)
+	walk = func(root ast.Node, deferred bool) {
+		ast.Inspect(root, func(x ast.Node) bool {
+			switch v := x.(type) {
+			case *ast.FuncLit:
+				if ln := g.byLit[v]; ln != nil && v != n.Lit {
+					return false // a node of its own
+				}
+			case *ast.GoStmt:
+				return false // off the caller's blocking path
+			case *ast.DeferStmt:
+				walk(v.Call, true)
+				return false
+			}
+			return visit(x, deferred)
+		})
+	}
+	walk(n.Body(), false)
+}
+
+// fillFacts records the node's call sites and blocking operations.
+func (g *CallGraph) fillFacts(n *FuncNode) {
+	p := n.Pkg
+	// Channel operations that are a select's comm clauses belong to
+	// the select's classification, not to the generic handlers below.
+	inComm := map[ast.Node]bool{}
+	g.WalkBody(n, func(x ast.Node, deferred bool) bool {
+		switch v := x.(type) {
+		case *ast.CallExpr:
+			if callees, iface := g.resolve(p, v); len(callees) > 0 {
+				n.Calls = append(n.Calls, &CallSite{
+					Pos:       p.Fset.Position(v.Pos()),
+					Callees:   callees,
+					Interface: iface,
+				})
+			}
+			if bs := p.classifyBlockingCall(v); bs != nil {
+				n.Blocking = append(n.Blocking, bs)
+			}
+		case *ast.SendStmt:
+			if inComm[v] {
+				return true
+			}
+			n.Blocking = append(n.Blocking, &BlockSite{
+				Pos:  p.Fset.Position(v.Pos()),
+				Desc: fmt.Sprintf("channel send %s <- ...", exprString(v.Chan)),
+			})
+		case *ast.UnaryExpr:
+			if v.Op == token.ARROW && !inComm[v] {
+				n.Blocking = append(n.Blocking, p.classifyReceive(v))
+			}
+		case *ast.SelectStmt:
+			if bs := p.classifySelect(v, inComm); bs != nil {
+				n.Blocking = append(n.Blocking, bs)
+			}
+			return true
+		case *ast.RangeStmt:
+			if t := p.typeOf(v.X); t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					n.Blocking = append(n.Blocking, &BlockSite{
+						Pos:  p.Fset.Position(v.Pos()),
+						Desc: fmt.Sprintf("range over channel %s", exprString(v.X)),
+					})
+				}
+			}
+		}
+		return true
+	})
+}
+
+// resolve maps a call expression to its possible module-internal
+// targets. The bool result marks interface over-approximation.
+func (g *CallGraph) resolve(p *Package, call *ast.CallExpr) ([]*FuncNode, bool) {
+	fun := call.Fun
+	for {
+		par, ok := fun.(*ast.ParenExpr)
+		if !ok {
+			break
+		}
+		fun = par.X
+	}
+	if lit, ok := fun.(*ast.FuncLit); ok {
+		// Immediately-invoked literal: folded into this body by
+		// WalkBody unless it is a coroutine node.
+		if ln := g.byLit[lit]; ln != nil {
+			return []*FuncNode{ln}, false
+		}
+		return nil, false
+	}
+	if p.Info == nil {
+		return nil, false
+	}
+	switch f := fun.(type) {
+	case *ast.Ident:
+		if obj, ok := p.Info.Uses[f].(*types.Func); ok {
+			if n := g.byObj[obj]; n != nil {
+				return []*FuncNode{n}, false
+			}
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := p.Info.Selections[f]; ok && sel.Kind() == types.MethodVal {
+			m, ok := sel.Obj().(*types.Func)
+			if !ok {
+				return nil, false
+			}
+			recv := sel.Recv()
+			if types.IsInterface(recv) {
+				iface, _ := recv.Underlying().(*types.Interface)
+				return g.implementers(iface, m), true
+			}
+			if n := g.byObj[m]; n != nil {
+				return []*FuncNode{n}, false
+			}
+			return nil, false
+		}
+		// Package-qualified function (pkg.Func).
+		if obj, ok := p.Info.Uses[f.Sel].(*types.Func); ok {
+			if n := g.byObj[obj]; n != nil {
+				return []*FuncNode{n}, false
+			}
+		}
+	}
+	return nil, false
+}
+
+// implementers over-approximates an interface-method call: every
+// module named type whose method set satisfies the interface
+// contributes its concrete method.
+func (g *CallGraph) implementers(iface *types.Interface, m *types.Func) []*FuncNode {
+	if iface == nil || iface.Empty() {
+		return nil
+	}
+	var out []*FuncNode
+	for _, named := range g.named {
+		var impl types.Type
+		switch {
+		case types.Implements(named, iface):
+			impl = named
+		case types.Implements(types.NewPointer(named), iface):
+			impl = types.NewPointer(named)
+		default:
+			continue
+		}
+		obj, _, _ := types.LookupFieldOrMethod(impl, true, m.Pkg(), m.Name())
+		if fn, ok := obj.(*types.Func); ok {
+			if n := g.byObj[fn]; n != nil {
+				out = append(out, n)
+			}
+		}
+	}
+	return out
+}
+
+// collectNamed gathers the module's named types for interface
+// expansion.
+func (g *CallGraph) collectNamed() {
+	for _, p := range g.Pkgs {
+		if p.Types == nil {
+			continue
+		}
+		scope := p.Types.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() {
+				continue
+			}
+			if named, ok := tn.Type().(*types.Named); ok {
+				g.named = append(g.named, named)
+			}
+		}
+	}
+}
+
+// --- blocking classification ---------------------------------------
+
+// classifyBlockingCall recognizes the wait primitives and raw blocking
+// calls. Bounded primitives record their deadline argument.
+func (p *Package) classifyBlockingCall(call *ast.CallExpr) *BlockSite {
+	recv, name, ok := selectorCall(call)
+	if !ok {
+		return nil
+	}
+	site := func(desc string, timeout ast.Expr) *BlockSite {
+		bs := &BlockSite{
+			Pos:     p.Fset.Position(call.Pos()),
+			Desc:    desc,
+			Bounded: timeout != nil,
+			Timeout: timeout,
+		}
+		if timeout != nil {
+			bs.ConstTimeout = p.isConstExpr(timeout)
+		}
+		return bs
+	}
+	switch name {
+	case "Wait":
+		if len(call.Args) == 1 && p.isCoroutine(recv) {
+			if t := p.typeOf(call.Args[0]); t != nil {
+				if namedIn(t, "internal/core", "SignalEvent") || namedIn(t, "internal/core", "IntEvent") {
+					return nil // local-state wait: no cross-resource dependence
+				}
+			}
+			return site(fmt.Sprintf("unbounded %s.Wait(%s)", exprString(recv), exprString(call.Args[0])), nil)
+		}
+		if len(call.Args) == 0 {
+			if t := p.typeOf(recv); t == nil || namedIn(t, "sync", "WaitGroup") {
+				return site(fmt.Sprintf("%s.Wait() (sync.WaitGroup)", exprString(recv)), nil)
+			}
+		}
+	case "PopWait", "DrainWait":
+		if len(call.Args) == 1 {
+			if t := p.typeOf(recv); t == nil || namedIn(t, "internal/core", "Queue") {
+				return site(fmt.Sprintf("unbounded %s.%s", exprString(recv), name), nil)
+			}
+		}
+	case "WaitFor", "WaitQuorum":
+		if len(call.Args) == 2 && p.isCoroutine(recv) {
+			return site(fmt.Sprintf("%s.%s", exprString(recv), name), call.Args[1])
+		}
+	case "Select":
+		if len(call.Args) >= 1 && p.isCoroutine(recv) {
+			return site(fmt.Sprintf("%s.Select", exprString(recv)), call.Args[0])
+		}
+	case "DrainWaitTimeout":
+		if len(call.Args) == 2 {
+			if t := p.typeOf(recv); t == nil || namedIn(t, "internal/core", "Queue") {
+				return site(fmt.Sprintf("%s.DrainWaitTimeout", exprString(recv)), call.Args[1])
+			}
+		}
+	case "Sleep":
+		if len(call.Args) == 1 {
+			if p.isCoroutine(recv) {
+				return site(fmt.Sprintf("%s.Sleep", exprString(recv)), call.Args[0])
+			}
+			if id, ok := recv.(*ast.Ident); ok && p.pkgIdent(id, "time") {
+				return site("time.Sleep", call.Args[0])
+			}
+		}
+	case "Precise":
+		if len(call.Args) == 1 {
+			if id, ok := recv.(*ast.Ident); ok && p.pkgIdent(id, "internal/clock") {
+				return site("clock.Precise", call.Args[0])
+			}
+		}
+	case "WaitUntil":
+		if len(call.Args) == 3 {
+			if id, ok := recv.(*ast.Ident); ok && p.pkgIdent(id, "internal/clock") {
+				return site("clock.WaitUntil", call.Args[0])
+			}
+		}
+	case "ReadBlocking", "WriteBlocking":
+		if t := p.typeOf(recv); t == nil || namedInAny(t, splitTargets) {
+			return site(fmt.Sprintf("%s.%s (blocking framework I/O)", exprString(recv), name), nil)
+		}
+	}
+	return nil
+}
+
+// classifyReceive handles <-ch, treating <-time.After(d) and friends
+// as a bounded sleep.
+func (p *Package) classifyReceive(u *ast.UnaryExpr) *BlockSite {
+	if call, ok := u.X.(*ast.CallExpr); ok {
+		if recv, name, ok := selectorCall(call); ok && len(call.Args) == 1 {
+			if id, isIdent := recv.(*ast.Ident); isIdent && p.pkgIdent(id, "time") && (name == "After" || name == "Tick") {
+				return &BlockSite{
+					Pos:          p.Fset.Position(u.Pos()),
+					Desc:         "<-time." + name,
+					Bounded:      true,
+					Timeout:      call.Args[0],
+					ConstTimeout: p.isConstExpr(call.Args[0]),
+				}
+			}
+		}
+	}
+	return &BlockSite{
+		Pos:  p.Fset.Position(u.Pos()),
+		Desc: fmt.Sprintf("channel receive <-%s", exprString(u.X)),
+	}
+}
+
+// classifySelect classifies a select statement: a default case makes
+// it non-blocking (nil), a <-time.After case bounds it, anything else
+// is an unbounded park. The comm-clause channel operations are
+// recorded in inComm so the generic handlers skip them.
+func (p *Package) classifySelect(s *ast.SelectStmt, inComm map[ast.Node]bool) *BlockSite {
+	var timeout ast.Expr
+	hasDefault := false
+	for _, cl := range s.Body.List {
+		cc, ok := cl.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		if cc.Comm == nil {
+			hasDefault = true
+			continue
+		}
+		recvArm := func(u *ast.UnaryExpr) {
+			inComm[u] = true
+			if bs := p.classifyReceive(u); bs.Bounded {
+				timeout = bs.Timeout
+			}
+		}
+		switch v := cc.Comm.(type) {
+		case *ast.ExprStmt:
+			if u, ok := v.X.(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+				recvArm(u)
+			}
+		case *ast.AssignStmt:
+			if len(v.Rhs) == 1 {
+				if u, ok := v.Rhs[0].(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+					recvArm(u)
+				}
+			}
+		case *ast.SendStmt:
+			inComm[v] = true
+		}
+	}
+	if hasDefault {
+		return nil // non-blocking poll
+	}
+	bs := &BlockSite{
+		Pos:  p.Fset.Position(s.Pos()),
+		Desc: "select",
+	}
+	if timeout != nil {
+		bs.Bounded = true
+		bs.Timeout = timeout
+		bs.ConstTimeout = p.isConstExpr(timeout)
+	}
+	return bs
+}
+
+// isConstExpr reports whether the type checker evaluated e to a
+// compile-time constant.
+func (p *Package) isConstExpr(e ast.Expr) bool {
+	if p.Info == nil {
+		return false
+	}
+	tv, ok := p.Info.Types[e]
+	return ok && tv.Value != nil
+}
+
+// --- signature facts ------------------------------------------------
+
+// coroutineEntry reports whether ft declares a *core.Coroutine
+// parameter, typed when possible with the syntactic fallback.
+func (p *Package) coroutineEntry(ft *ast.FuncType) bool {
+	if ft == nil || ft.Params == nil {
+		return false
+	}
+	for _, f := range ft.Params.List {
+		if t := p.typeOf(f.Type); t != nil {
+			if namedIn(t, "internal/core", "Coroutine") {
+				return true
+			}
+			continue
+		}
+		if isCoroutineParamType(f.Type) {
+			return true
+		}
+	}
+	return false
+}
+
+// deadlineParams returns the names of parameters that carry a
+// caller-supplied deadline: time.Duration or time.Time parameters
+// whose names speak of timeouts.
+func deadlineParams(p *Package, ft *ast.FuncType) []string {
+	if ft == nil || ft.Params == nil {
+		return nil
+	}
+	var out []string
+	for _, f := range ft.Params.List {
+		t := p.typeOf(f.Type)
+		if t == nil || !isTimeType(t) {
+			continue
+		}
+		for _, name := range f.Names {
+			if isDeadlineName(name.Name) {
+				out = append(out, name.Name)
+			}
+		}
+	}
+	return out
+}
+
+// isTimeType reports time.Duration or time.Time.
+func isTimeType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "time" {
+		return false
+	}
+	return obj.Name() == "Duration" || obj.Name() == "Time"
+}
+
+// isDeadlineName matches parameter names that carry a deadline.
+func isDeadlineName(name string) bool {
+	l := strings.ToLower(name)
+	return strings.Contains(l, "timeout") || strings.Contains(l, "deadline") ||
+		l == "budget" || l == "bound" || l == "ttl"
+}
+
+// pathInList reports whether path ends with one of the suffixes.
+func pathInList(path string, suffixes []string) bool {
+	for _, s := range suffixes {
+		if strings.HasSuffix(path, s) {
+			return true
+		}
+	}
+	return false
+}
+
+// declName renders the qualified name of a declaration.
+func declName(p *Package, fd *ast.FuncDecl) string {
+	base := pkgBase(p.Path)
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return base + "." + fd.Name.Name
+	}
+	recv := fd.Recv.List[0].Type
+	return fmt.Sprintf("%s.(%s).%s", base, exprString(recv), fd.Name.Name)
+}

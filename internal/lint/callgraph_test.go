@@ -1,0 +1,135 @@
+package lint
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// loadFixturePkg is a small helper for the interprocedural tests.
+func loadFixturePkg(t *testing.T, name string) *Package {
+	t.Helper()
+	m := testModule(t)
+	pkg, err := m.LoadFixture(filepath.Join("testdata", "src", name), false, false)
+	if err != nil {
+		t.Fatalf("LoadFixture(%s): %v", name, err)
+	}
+	if len(pkg.TypeErrors) > 0 {
+		t.Fatalf("fixture %s must type-check cleanly, got %v", name, pkg.TypeErrors)
+	}
+	return pkg
+}
+
+// TestCallGraphShape pins the graph conventions the interprocedural
+// checks rely on: entry detection from *core.Coroutine parameters,
+// static edges across plain function calls, goroutine bodies cut off
+// the path, and blocking classification of raw channel operations.
+func TestCallGraphShape(t *testing.T) {
+	pkg := loadFixturePkg(t, "deadlineprop")
+	g := BuildCallGraph([]*Package{pkg})
+
+	entries := map[string]bool{}
+	for _, n := range g.Nodes {
+		if n.Entry {
+			entries[n.Name] = true
+		}
+	}
+	for _, want := range []string{"deadlineprop.entry", "deadlineprop.entry2", "deadlineprop.dropsTimeout"} {
+		if !entries[want] {
+			t.Errorf("%s should be a coroutine entry; entries = %v", want, entries)
+		}
+	}
+	for _, not := range []string{"deadlineprop.relay", "deadlineprop.leaf", "deadlineprop.unreached"} {
+		if entries[not] {
+			t.Errorf("%s must not be an entry", not)
+		}
+	}
+
+	leaf := g.NodeByName("deadlineprop.leaf")
+	if leaf == nil {
+		t.Fatal("leaf node missing from graph")
+	}
+	unbounded := 0
+	for _, bs := range leaf.Blocking {
+		if !bs.Bounded {
+			unbounded++
+		}
+	}
+	if unbounded != 4 {
+		t.Errorf("leaf has %d unbounded blocking sites, want 4 (recv, send, WaitGroup.Wait, select)", unbounded)
+	}
+
+	entry2 := g.NodeByName("deadlineprop.entry2")
+	if entry2 == nil {
+		t.Fatal("entry2 node missing from graph")
+	}
+	calledNames := map[string]bool{}
+	for _, cs := range entry2.Calls {
+		for _, c := range cs.Callees {
+			calledNames[c.Name] = true
+		}
+	}
+	if !calledNames["deadlineprop.relay"] {
+		t.Errorf("entry2 should have a static edge to relay; edges = %v", calledNames)
+	}
+
+	// The goroutine body inside spawns is cut: spawns itself must have
+	// no blocking facts.
+	spawns := g.NodeByName("deadlineprop.spawns")
+	if spawns == nil {
+		t.Fatal("spawns node missing from graph")
+	}
+	if len(spawns.Blocking) != 0 {
+		t.Errorf("goroutine-spawned blocking charged to spawns: %v", spawns.Blocking[0].Desc)
+	}
+
+	drop := g.NodeByName("deadlineprop.dropsTimeout")
+	if drop == nil {
+		t.Fatal("dropsTimeout node missing from graph")
+	}
+	if len(drop.DeadlineParams) != 1 || drop.DeadlineParams[0] != "timeout" {
+		t.Errorf("dropsTimeout deadline params = %v, want [timeout]", drop.DeadlineParams)
+	}
+}
+
+// TestCrossPackageDeadlineDrop is the acceptance case: a handler that
+// bounds its own waits reaches, two call-hops away and across a
+// package boundary, an unbounded channel receive. The finding must
+// land in the helper package and carry the chain back to the entry.
+func TestCrossPackageDeadlineDrop(t *testing.T) {
+	m := testModule(t)
+	cross, err := m.LoadFixture(filepath.Join("testdata", "src", "deadlinecross"), false, false)
+	if err != nil {
+		t.Fatalf("LoadFixture(deadlinecross): %v", err)
+	}
+	helper, err := m.LoadFixture(filepath.Join("testdata", "src", "deadlinehelper"), false, false)
+	if err != nil {
+		t.Fatalf("LoadFixture(deadlinehelper): %v", err)
+	}
+	if len(cross.TypeErrors) > 0 || len(helper.TypeErrors) > 0 {
+		t.Fatalf("fixtures must type-check cleanly: %v %v", cross.TypeErrors, helper.TypeErrors)
+	}
+
+	checks, err := CheckByName("deadline-propagation")
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings := Run([]*Package{cross, helper}, checks)
+	if len(findings) != 1 {
+		t.Fatalf("want exactly one cross-package finding, got %d: %v", len(findings), findings)
+	}
+	f := findings[0]
+	if filepath.Base(f.Pos.Filename) != "deadlinehelper.go" {
+		t.Errorf("finding should land in the helper package, got %s", f.Pos.Filename)
+	}
+	wantChain := "deadlinecross.handler → deadlinecross.viaWrapper → deadlinehelper.Consume"
+	if !strings.Contains(f.Message, wantChain) {
+		t.Errorf("finding must carry the two-hop cross-package chain %q; got %q", wantChain, f.Message)
+	}
+
+	// Run over the helper alone: with no entry reaching it, the same
+	// site is silent — the hazard is the composition, not the helper.
+	if solo := Run([]*Package{helper}, checks); len(solo) != 0 {
+		t.Errorf("helper alone should be silent, got %v", solo)
+	}
+}

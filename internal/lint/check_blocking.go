@@ -27,6 +27,8 @@ type rawBlocking struct{}
 
 func (rawBlocking) Name() string { return "raw-blocking-in-coroutine" }
 
+func (rawBlocking) Severity() Severity { return SeverityError }
+
 func (rawBlocking) Doc() string {
 	return "time.Sleep, bare channel operation, select, or WaitGroup.Wait blocks the scheduler inside a coroutine body (logic packages); raw time.Sleep anywhere in the harness — use scheduler or internal/clock primitives"
 }

@@ -1,0 +1,155 @@
+package lint
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// deadlineProp is the interprocedural deadline-propagation /
+// blocking-path check — the analyzer's answer to the fail-slow escape
+// that the intraprocedural suite cannot see: a bounded wait that calls
+// into an unbounded helper passes every single-function check, yet the
+// composed path can stall forever on one slow disk or peer.
+//
+// Two invariants, both over the module call graph:
+//
+//  1. Blocking path: every unbounded blocking operation — co.Wait on
+//     an I/O-fed event, Queue.PopWait/DrainWait, bare channel
+//     operations, select without default or deadline arm,
+//     sync.WaitGroup.Wait, ReadBlocking/WriteBlocking — that is
+//     transitively reachable from a coroutine entry point (any
+//     function with a *core.Coroutine parameter: RPC handlers, raft
+//     step loops, spawned protocol loops) is reported with the call
+//     chain that reaches it. Goroutine spawns cut the path (the
+//     spawned body blocks itself, not the caller), and the primitive
+//     implementations in internal/core and internal/clock are exempt.
+//
+//  2. Dropped propagation: a function that receives a deadline
+//     parameter (time.Duration/time.Time named like a timeout) but
+//     issues a bounded wait with a compile-time-constant deadline has
+//     dropped the caller's bound on the floor — the callee decides how
+//     long the caller may stall, which is exactly the fail-slow escape
+//     the paper's programming model exists to prevent.
+type deadlineProp struct{}
+
+func (deadlineProp) Name() string { return "deadline-propagation" }
+
+func (deadlineProp) Severity() Severity { return SeverityError }
+
+func (deadlineProp) Doc() string {
+	return "interprocedural: an unbounded blocking operation is reachable from a coroutine entry point, or a deadline-receiving function waits on a constant timeout instead of propagating its bound (fail-slow escape)"
+}
+
+// Run is intraprocedural and intentionally empty; RunGraph does the
+// work.
+func (deadlineProp) Run(*Package) []Finding { return nil }
+
+// maxChainHops bounds the rendered call chain in diagnostics.
+const maxChainHops = 6
+
+func (deadlineProp) RunGraph(g *CallGraph) []Finding {
+	var out []Finding
+
+	// --- 1. blocking-path: BFS from every entry point -------------
+	parent := map[*FuncNode]*pathStep{}
+	var queue []*pathStep
+	for _, n := range g.Nodes {
+		if n.Entry && !n.Exempt {
+			v := &pathStep{node: n}
+			parent[n] = v
+			queue = append(queue, v)
+		}
+	}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, cs := range v.node.Calls {
+			for _, callee := range cs.Callees {
+				if callee.Exempt {
+					continue
+				}
+				if _, seen := parent[callee]; seen {
+					continue
+				}
+				nv := &pathStep{node: callee, prev: v}
+				parent[callee] = nv
+				queue = append(queue, nv)
+			}
+		}
+	}
+	// Report each unbounded site of each reached node once, with the
+	// chain from the entry that discovered it.
+	reported := map[string]bool{}
+	var reached []*FuncNode
+	for n := range parent {
+		reached = append(reached, n)
+	}
+	sort.Slice(reached, func(i, j int) bool { return reached[i].Pos().Offset < reached[j].Pos().Offset })
+	for _, n := range reached {
+		chain := renderChain(parent[n])
+		for _, bs := range n.Blocking {
+			if bs.Bounded {
+				continue
+			}
+			key := bs.Pos.String()
+			if reported[key] {
+				continue
+			}
+			reported[key] = true
+			msg := fmt.Sprintf("%s blocks without a bound on a coroutine path (%s); bound the wait or derive the deadline from the caller", bs.Desc, chain)
+			out = append(out, Finding{
+				Check:   "deadline-propagation",
+				Pos:     bs.Pos,
+				Message: msg,
+			})
+		}
+	}
+
+	// --- 2. dropped propagation ------------------------------------
+	for _, n := range g.Nodes {
+		if n.Exempt || len(n.DeadlineParams) == 0 {
+			continue
+		}
+		for _, bs := range n.Blocking {
+			if !bs.Bounded || !bs.ConstTimeout {
+				continue
+			}
+			out = append(out, Finding{
+				Check: "deadline-propagation",
+				Pos:   bs.Pos,
+				Message: fmt.Sprintf(
+					"fail-slow escape: %s receives a deadline (%s) but %s waits on the constant %s; derive the bound from the caller's deadline",
+					n.Name, strings.Join(n.DeadlineParams, ", "), bs.Desc, exprString(bs.Timeout)),
+			})
+		}
+	}
+	return out
+}
+
+// pathStep is one BFS step; prev links back toward the entry point.
+type pathStep struct {
+	node *FuncNode
+	prev *pathStep
+}
+
+// renderChain renders the entry→…→node path recorded by the BFS,
+// elided in the middle past maxChainHops.
+func renderChain(v *pathStep) string {
+	var names []string
+	for s := v; s != nil; s = s.prev {
+		names = append(names, s.node.Name)
+	}
+	// names is node→entry; reverse to entry→node.
+	for i, j := 0, len(names)-1; i < j; i, j = i+1, j-1 {
+		names[i], names[j] = names[j], names[i]
+	}
+	if len(names) == 1 {
+		return "coroutine entry " + names[0]
+	}
+	if len(names) > maxChainHops {
+		head := names[:maxChainHops-2]
+		names = append(append(head, "…"), names[len(names)-1])
+	}
+	return "reachable from coroutine entry " + strings.Join(names, " → ")
+}

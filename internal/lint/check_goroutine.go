@@ -13,6 +13,8 @@ type rawGoroutine struct{}
 
 func (rawGoroutine) Name() string { return "raw-goroutine" }
 
+func (rawGoroutine) Severity() Severity { return SeverityError }
+
 func (rawGoroutine) Doc() string {
 	return "go statement in a logic package; spawn coroutines through Runtime.Spawn so the scheduler owns them"
 }

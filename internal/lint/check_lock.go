@@ -22,6 +22,8 @@ type waitWhileLocked struct{}
 
 func (waitWhileLocked) Name() string { return "wait-while-locked" }
 
+func (waitWhileLocked) Severity() Severity { return SeverityError }
+
 func (waitWhileLocked) Doc() string {
 	return "a sync.Mutex/RWMutex is held across a coroutine wait point; release the lock before parking"
 }

@@ -1,0 +1,391 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// lockOrder builds the module-wide lock-acquisition-order graph and
+// reports cycles. Lock identity is the *class* (declaring type plus
+// field name, e.g. "raft.Server.mu", or package plus variable name for
+// package-level mutexes): acquiring class B while holding class A adds
+// the edge A→B. Acquisition is tracked through calls — if a function
+// holds A and calls (possibly through an interface) a function that
+// transitively acquires B, the A→B edge is added at the call site — so
+// an inconsistent order split across helper layers is still caught. A
+// cycle in the graph means two executions can interleave into a
+// deadlock, which under fail-slow conditions presents as an
+// unexplained stall rather than a crash: the worst kind of slow.
+//
+// Same-class edges (A→A) are reported only when they arise inside one
+// function body via two distinct receiver expressions — nested
+// acquisition of two instances of the same class, where no static
+// instance order exists. Call-propagated same-class edges are dropped:
+// they are overwhelmingly re-entry false positives on sibling
+// instances (and true same-mutex re-entry deadlocks surface
+// immediately under any test).
+type lockOrder struct{}
+
+func (lockOrder) Name() string { return "lock-order" }
+
+func (lockOrder) Severity() Severity { return SeverityError }
+
+func (lockOrder) Doc() string {
+	return "interprocedural: the module-wide lock-acquisition-order graph (tracked across calls, interface calls over-approximated) contains a cycle — inconsistent acquisition order can deadlock"
+}
+
+func (lockOrder) Run(*Package) []Finding { return nil }
+
+// loEdge is one acquisition-order edge with an example site.
+type loEdge struct {
+	from, to string
+	pos      token.Position
+	via      string // human-readable provenance
+}
+
+func (lockOrder) RunGraph(g *CallGraph) []Finding {
+	// Per-node facts: ordered lock events and call sites, direct
+	// acquisition sets.
+	facts := map[*FuncNode]*nodeFactsLO{}
+	for _, n := range g.Nodes {
+		if n.Exempt {
+			continue
+		}
+		facts[n] = lockOrderScan(g, n)
+	}
+
+	// Transitive acquisition sets, to a fixpoint over the call graph.
+	trans := map[*FuncNode]map[string]bool{}
+	for n, f := range facts {
+		set := map[string]bool{}
+		for c := range f.direct {
+			set[c] = true
+		}
+		trans[n] = set
+	}
+	for changed := true; changed; {
+		changed = false
+		for n := range facts {
+			for _, cs := range n.Calls {
+				for _, callee := range cs.Callees {
+					for c := range trans[callee] {
+						if !trans[n][c] {
+							trans[n][c] = true
+							changed = true
+						}
+					}
+				}
+			}
+		}
+	}
+
+	// Assemble the class graph: direct edges plus call-propagated
+	// ones (held A at a call whose callee transitively acquires B).
+	edges := map[string]map[string]loEdge{}
+	addEdge := func(e loEdge) {
+		if edges[e.from] == nil {
+			edges[e.from] = map[string]loEdge{}
+		}
+		if _, ok := edges[e.from][e.to]; !ok {
+			edges[e.from][e.to] = e
+		}
+	}
+	for n, f := range facts {
+		for _, e := range f.edges {
+			addEdge(e)
+		}
+		for _, ca := range f.callsAt {
+			for _, callee := range ca.site.Callees {
+				for to := range trans[callee] {
+					for _, from := range ca.held {
+						if from == to {
+							continue // call-propagated same-class: re-entry noise
+						}
+						addEdge(loEdge{
+							from: from, to: to,
+							pos: ca.site.Pos,
+							via: fmt.Sprintf("%s holds %s and calls %s, which acquires %s", n.Name, from, callee.Name, to),
+						})
+					}
+				}
+			}
+		}
+	}
+
+	// Cycle detection: SCCs of the class graph; any SCC with more
+	// than one class (or a direct self-loop) is reportable.
+	return lockOrderCycles(edges)
+}
+
+// lockOrderScan simulates one node's body linearly, producing direct
+// edges, the direct acquisition set, and call sites with held classes.
+func lockOrderScan(g *CallGraph, n *FuncNode) *nodeFactsLO {
+	p := n.Pkg
+	type evt struct {
+		pos   int
+		kind  string // "lock", "unlock", "call"
+		class string
+		recv  string // receiver expression, for same-class instance edges
+		site  *CallSite
+	}
+	var events []evt
+	calls := map[int]*CallSite{}
+	for _, cs := range n.Calls {
+		calls[cs.Pos.Offset] = cs
+	}
+	g.WalkBody(n, func(x ast.Node, deferred bool) bool {
+		call, ok := x.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if cs := calls[p.Fset.Position(call.Pos()).Offset]; cs != nil {
+			events = append(events, evt{pos: int(call.Pos()), kind: "call", site: cs})
+		}
+		recv, name, ok := selectorCall(call)
+		if !ok || len(call.Args) != 0 {
+			return true
+		}
+		switch name {
+		case "Lock", "RLock", "Unlock", "RUnlock":
+			if t := p.typeOf(recv); t == nil || !(namedIn(t, "sync", "Mutex") || namedIn(t, "sync", "RWMutex")) {
+				return true
+			}
+			class := p.lockClass(recv)
+			if class == "" {
+				return true
+			}
+			kind := "lock"
+			if name == "Unlock" || name == "RUnlock" {
+				if deferred {
+					return true // deferred unlock: held to end of body
+				}
+				kind = "unlock"
+			}
+			events = append(events, evt{pos: int(call.Pos()), kind: kind, class: class, recv: exprString(recv)})
+		}
+		return true
+	})
+	sort.Slice(events, func(i, j int) bool { return events[i].pos < events[j].pos })
+
+	f := &nodeFactsLO{direct: map[string]bool{}}
+	type heldLock struct {
+		class string
+		recv  string
+	}
+	var held []heldLock
+	for _, e := range events {
+		switch e.kind {
+		case "lock":
+			f.direct[e.class] = true
+			for _, h := range held {
+				if h.class == e.class && h.recv == e.recv {
+					continue // linear-model re-lock of the same expression
+				}
+				f.edges = append(f.edges, loEdge{
+					from: h.class, to: e.class,
+					pos: p.Fset.Position(token.Pos(e.pos)),
+					via: fmt.Sprintf("%s acquires %s while holding %s", n.Name, e.class, h.class),
+				})
+			}
+			held = append(held, heldLock{e.class, e.recv})
+		case "unlock":
+			for i := len(held) - 1; i >= 0; i-- {
+				if held[i].class == e.class {
+					held = append(held[:i], held[i+1:]...)
+					break
+				}
+			}
+		case "call":
+			if len(held) > 0 {
+				classes := make([]string, len(held))
+				for i, h := range held {
+					classes[i] = h.class
+				}
+				f.callsAt = append(f.callsAt, callAtLO{held: classes, site: e.site})
+			}
+		}
+	}
+	return f
+}
+
+// nodeFactsLO and callAtLO are the lock-order per-node summaries.
+type callAtLO struct {
+	held []string
+	site *CallSite
+}
+
+type nodeFactsLO struct {
+	edges   []loEdge
+	direct  map[string]bool
+	callsAt []callAtLO
+}
+
+// lockOrderCycles finds strongly connected components in the class
+// graph and reports each cycle once.
+func lockOrderCycles(edges map[string]map[string]loEdge) []Finding {
+	var classes []string
+	seen := map[string]bool{}
+	add := func(c string) {
+		if !seen[c] {
+			seen[c] = true
+			classes = append(classes, c)
+		}
+	}
+	for from, tos := range edges {
+		add(from)
+		for to := range tos {
+			add(to)
+		}
+	}
+	sort.Strings(classes)
+
+	// Tarjan SCC.
+	index := map[string]int{}
+	low := map[string]int{}
+	onStack := map[string]bool{}
+	var stack []string
+	next := 0
+	var sccs [][]string
+	var strong func(v string)
+	strong = func(v string) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		var tos []string
+		for to := range edges[v] {
+			tos = append(tos, to)
+		}
+		sort.Strings(tos)
+		for _, w := range tos {
+			if _, ok := index[w]; !ok {
+				strong(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			var scc []string
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				scc = append(scc, w)
+				if w == v {
+					break
+				}
+			}
+			sccs = append(sccs, scc)
+		}
+	}
+	for _, c := range classes {
+		if _, ok := index[c]; !ok {
+			strong(c)
+		}
+	}
+
+	var out []Finding
+	for _, scc := range sccs {
+		selfLoop := false
+		if len(scc) == 1 {
+			if _, ok := edges[scc[0]][scc[0]]; ok {
+				selfLoop = true
+			}
+		}
+		if len(scc) < 2 && !selfLoop {
+			continue
+		}
+		sort.Strings(scc)
+		inSCC := map[string]bool{}
+		for _, c := range scc {
+			inSCC[c] = true
+		}
+		// Collect the cycle's edges for the message, anchored at the
+		// first edge's site.
+		var parts []string
+		var anchor *loEdge
+		for _, from := range scc {
+			var tos []string
+			for to := range edges[from] {
+				if inSCC[to] {
+					tos = append(tos, to)
+				}
+			}
+			sort.Strings(tos)
+			for _, to := range tos {
+				e := edges[from][to]
+				if anchor == nil {
+					anchor = &e
+				}
+				parts = append(parts, fmt.Sprintf("%s → %s (%s at %s:%d)", from, to, e.via, pathBase(e.pos.Filename), e.pos.Line))
+			}
+		}
+		out = append(out, Finding{
+			Check: "lock-order",
+			Pos:   anchor.pos,
+			Message: fmt.Sprintf("lock-order cycle over {%s}: %s; normalize the acquisition order or annotate why these cannot interleave",
+				strings.Join(scc, ", "), strings.Join(parts, "; ")),
+		})
+	}
+	return out
+}
+
+// lockClass names the lock's class: "Type.field" qualified by package
+// for struct fields, "pkg.var" for package-level mutexes, "" for
+// locals (no cross-function order exists for an unescaped local).
+func (p *Package) lockClass(e ast.Expr) string {
+	for {
+		par, ok := e.(*ast.ParenExpr)
+		if !ok {
+			break
+		}
+		e = par.X
+	}
+	switch v := e.(type) {
+	case *ast.SelectorExpr:
+		if p.Info != nil {
+			if sel, ok := p.Info.Selections[v]; ok && sel.Kind() == types.FieldVal {
+				t := sel.Recv()
+				for {
+					ptr, ok := t.(*types.Pointer)
+					if !ok {
+						break
+					}
+					t = ptr.Elem()
+				}
+				if named, ok := t.(*types.Named); ok && named.Obj() != nil && named.Obj().Pkg() != nil {
+					return pkgBase(named.Obj().Pkg().Path()) + "." + named.Obj().Name() + "." + v.Sel.Name
+				}
+				return ""
+			}
+			if id, ok := v.X.(*ast.Ident); ok {
+				if pn, ok := p.Info.Uses[id].(*types.PkgName); ok {
+					return pkgBase(pn.Imported().Path()) + "." + v.Sel.Name
+				}
+			}
+		}
+	case *ast.Ident:
+		if p.Info != nil && p.Types != nil {
+			if obj, ok := p.Info.Uses[v].(*types.Var); ok && obj.Parent() == p.Types.Scope() {
+				return pkgBase(p.Path) + "." + v.Name
+			}
+		}
+	}
+	return ""
+}
+
+// pathBase returns the file name without its directory.
+func pathBase(p string) string {
+	if i := strings.LastIndexByte(p, '/'); i >= 0 {
+		return p[i+1:]
+	}
+	return p
+}

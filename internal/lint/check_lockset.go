@@ -1,0 +1,376 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// locksetCheck is the static lockset pass: for every module struct
+// that embeds a sync.Mutex/RWMutex, it classifies each access to the
+// struct's other fields as guarded (the receiver's mutex is held at
+// the access) or unguarded, extending lock state across calls between
+// the type's methods. A field that is mostly accessed under the mutex
+// but sometimes outside it is a candidate data race — exactly the kind
+// the runtime -race suite only catches when the right schedule
+// happens, which under fail-slow conditions it rarely does.
+//
+// Lock state is the same linear per-body simulation wait-while-locked
+// uses (control flow is not modeled; a deferred Unlock holds to the
+// end of the body). Interprocedural extension: an unexported method
+// that never locks or unlocks the receiver's mutex itself and whose
+// every intra-type call site runs with the mutex held is analyzed as
+// "lock-expected" — its accesses count as guarded — iterated to a
+// fixpoint so chains of *Locked-style helpers resolve. Methods with a
+// "...Locked" name suffix are lock-expected by convention. Function
+// literals are excluded from the simulation: a closure runs on its own
+// schedule, not under the enclosing lock state.
+//
+// Findings are warnings: the pass over-approximates (a field may be
+// confined to one goroutine before publication), so each hit is a
+// triage obligation — guard it, or annotate why it is safe.
+type locksetCheck struct{}
+
+func (locksetCheck) Name() string { return "lockset" }
+
+func (locksetCheck) Severity() Severity { return SeverityWarning }
+
+func (locksetCheck) Doc() string {
+	return "interprocedural: a struct field is accessed both under and outside its guarding sync.Mutex/RWMutex across the type's methods (candidate race the -race suite needs the right schedule to catch)"
+}
+
+func (locksetCheck) Run(*Package) []Finding { return nil }
+
+// lsAccess is one field access with its lock state.
+type lsAccess struct {
+	field  string
+	pos    token.Position
+	locked bool
+}
+
+// lsCall is one intra-type method call with its lock state.
+type lsCall struct {
+	caller string
+	method string
+	locked bool
+}
+
+// lsMethod is the per-method summary for one guarded struct.
+type lsMethod struct {
+	name      string
+	exported  bool
+	locksSelf bool
+	accesses  []lsAccess
+	calls     []lsCall
+}
+
+func (locksetCheck) RunGraph(g *CallGraph) []Finding {
+	var out []Finding
+	for _, p := range g.Pkgs {
+		if p.Types == nil || pathInList(p.Path, ExemptPaths) {
+			continue
+		}
+		out = append(out, locksetPackage(g, p)...)
+	}
+	return out
+}
+
+// locksetPackage analyzes every mutex-bearing struct declared in p.
+func locksetPackage(g *CallGraph, p *Package) []Finding {
+	type guarded struct {
+		tn     *types.TypeName
+		mutexs map[string]bool // mutex field names
+	}
+	var structs []guarded
+	scope := p.Types.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || tn.IsAlias() {
+			continue
+		}
+		st, ok := tn.Type().Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		mutexs := map[string]bool{}
+		for i := 0; i < st.NumFields(); i++ {
+			f := st.Field(i)
+			if namedIn(f.Type(), "sync", "Mutex") || namedIn(f.Type(), "sync", "RWMutex") {
+				mutexs[f.Name()] = true
+			}
+		}
+		if len(mutexs) > 0 {
+			structs = append(structs, guarded{tn, mutexs})
+		}
+	}
+	var out []Finding
+	for _, s := range structs {
+		out = append(out, locksetStruct(g, p, s.tn, s.mutexs)...)
+	}
+	return out
+}
+
+// locksetStruct runs the lockset analysis for one struct type.
+func locksetStruct(g *CallGraph, p *Package, tn *types.TypeName, mutexs map[string]bool) []Finding {
+	var methods []*lsMethod
+	for _, n := range g.Nodes {
+		if n.Pkg != p || n.Decl == nil || n.Decl.Recv == nil {
+			continue
+		}
+		rv := receiverVar(p, n.Decl)
+		if rv == nil || receiverBase(rv) != tn {
+			continue
+		}
+		methods = append(methods, summarizeMethod(p, n.Decl, rv, tn, mutexs))
+	}
+	if len(methods) < 2 {
+		return nil
+	}
+
+	// Fixpoint: lock-expected methods.
+	expected := map[string]bool{}
+	byName := map[string]*lsMethod{}
+	for _, m := range methods {
+		byName[m.name] = m
+		if strings.HasSuffix(m.name, "Locked") {
+			expected[m.name] = true
+		}
+	}
+	callsTo := map[string][]lsCall{}
+	for _, m := range methods {
+		for _, c := range m.calls {
+			callsTo[c.method] = append(callsTo[c.method], c)
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, m := range methods {
+			if expected[m.name] || m.exported || m.locksSelf {
+				continue
+			}
+			sites := callsTo[m.name]
+			if len(sites) == 0 {
+				continue
+			}
+			all := true
+			for _, c := range sites {
+				if !c.locked && !expected[c.caller] {
+					all = false
+					break
+				}
+			}
+			if all {
+				expected[m.name] = true
+				changed = true
+			}
+		}
+	}
+
+	// Tally per field.
+	type tally struct {
+		guarded   int
+		unguarded []lsAccess
+	}
+	fields := map[string]*tally{}
+	for _, m := range methods {
+		runsLocked := expected[m.name]
+		for _, a := range m.accesses {
+			t := fields[a.field]
+			if t == nil {
+				t = &tally{}
+				fields[a.field] = t
+			}
+			if a.locked || runsLocked {
+				t.guarded++
+			} else {
+				t.unguarded = append(t.unguarded, a)
+			}
+		}
+	}
+	var names []string
+	for f := range fields {
+		names = append(names, f)
+	}
+	sort.Strings(names)
+	typeName := pkgBase(p.Path) + "." + tn.Name()
+	var out []Finding
+	for _, f := range names {
+		t := fields[f]
+		if t.guarded < 2 || len(t.unguarded) == 0 || t.guarded < len(t.unguarded) {
+			continue
+		}
+		for _, a := range t.unguarded {
+			out = append(out, Finding{
+				Check: "lockset",
+				Pos:   a.pos,
+				Message: fmt.Sprintf(
+					"field %s.%s is guarded by its mutex at %d site(s) but accessed here without it; candidate race — hold the mutex or annotate why this access is safe",
+					typeName, f, t.guarded),
+			})
+		}
+	}
+	return out
+}
+
+// summarizeMethod runs the linear lock simulation over one method
+// body, excluding function literals (closures run on their own
+// schedule) and treating deferred unlocks as held-to-end.
+func summarizeMethod(p *Package, fd *ast.FuncDecl, rv *types.Var, tn *types.TypeName, mutexs map[string]bool) *lsMethod {
+	m := &lsMethod{name: fd.Name.Name, exported: ast.IsExported(fd.Name.Name)}
+
+	type evt struct {
+		pos    int
+		kind   string // "lock", "unlock", "access", "call"
+		field  string
+		method string
+		node   ast.Node
+	}
+	var events []evt
+
+	isRecv := func(e ast.Expr) bool {
+		for {
+			par, ok := e.(*ast.ParenExpr)
+			if !ok {
+				break
+			}
+			e = par.X
+		}
+		id, ok := e.(*ast.Ident)
+		if !ok {
+			return false
+		}
+		return p.Info.Uses[id] == rv
+	}
+
+	var walk func(n ast.Node, deferred bool)
+	walk = func(root ast.Node, deferred bool) {
+		ast.Inspect(root, func(x ast.Node) bool {
+			switch v := x.(type) {
+			case *ast.FuncLit:
+				return false
+			case *ast.DeferStmt:
+				walk(v.Call, true)
+				return false
+			case *ast.CallExpr:
+				// recv.mu.Lock() / recv.mu.Unlock()
+				if recv, name, ok := selectorCall(v); ok {
+					switch name {
+					case "Lock", "RLock", "Unlock", "RUnlock":
+						if sel, ok := recv.(*ast.SelectorExpr); ok && isRecv(sel.X) && mutexs[sel.Sel.Name] {
+							m.locksSelf = true
+							kind := "lock"
+							if name == "Unlock" || name == "RUnlock" {
+								kind = "unlock"
+								if deferred {
+									return true // held to end of body
+								}
+							}
+							events = append(events, evt{pos: int(v.Pos()), kind: kind})
+							return true
+						}
+					default:
+						// recv.method(...) — intra-type call.
+						if sel, ok := v.Fun.(*ast.SelectorExpr); ok && isRecv(sel.X) {
+							if obj, ok := p.Info.Uses[sel.Sel].(*types.Func); ok && obj.Type() != nil {
+								if sig, ok := obj.Type().(*types.Signature); ok && sig.Recv() != nil {
+									events = append(events, evt{pos: int(v.Pos()), kind: "call", method: sel.Sel.Name})
+								}
+							}
+						}
+					}
+				}
+			case *ast.SelectorExpr:
+				if !isRecv(v.X) {
+					return true
+				}
+				sel, ok := p.Info.Selections[v]
+				if !ok || sel.Kind() != types.FieldVal {
+					return true
+				}
+				fv, ok := sel.Obj().(*types.Var)
+				if !ok || mutexs[fv.Name()] {
+					return true
+				}
+				if selfSyncedField(fv.Type()) {
+					return true
+				}
+				events = append(events, evt{pos: int(v.Pos()), kind: "access", field: fv.Name(), node: v})
+			}
+			return true
+		})
+	}
+	walk(fd.Body, false)
+
+	sort.Slice(events, func(i, j int) bool { return events[i].pos < events[j].pos })
+	held := 0
+	for _, e := range events {
+		switch e.kind {
+		case "lock":
+			held++
+		case "unlock":
+			if held > 0 {
+				held--
+			}
+		case "access":
+			m.accesses = append(m.accesses, lsAccess{
+				field:  e.field,
+				pos:    p.Fset.Position(token.Pos(e.pos)),
+				locked: held > 0,
+			})
+		case "call":
+			m.calls = append(m.calls, lsCall{
+				caller: m.name,
+				method: e.method,
+				locked: held > 0,
+			})
+		}
+	}
+	return m
+}
+
+// selfSyncedField reports fields that synchronize themselves: sync.*
+// and sync/atomic types need no external guard.
+func selfSyncedField(t types.Type) bool {
+	for {
+		ptr, ok := t.(*types.Pointer)
+		if !ok {
+			break
+		}
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	path := obj.Pkg().Path()
+	return path == "sync" || path == "sync/atomic"
+}
+
+// receiverVar returns the method's receiver variable, or nil for
+// anonymous receivers.
+func receiverVar(p *Package, fd *ast.FuncDecl) *types.Var {
+	if p.Info == nil || fd.Recv == nil || len(fd.Recv.List) == 0 || len(fd.Recv.List[0].Names) == 0 {
+		return nil
+	}
+	v, _ := p.Info.Defs[fd.Recv.List[0].Names[0]].(*types.Var)
+	return v
+}
+
+// receiverBase resolves the receiver's base named type.
+func receiverBase(rv *types.Var) *types.TypeName {
+	t := rv.Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj()
+	}
+	return nil
+}

@@ -20,6 +20,8 @@ type frameworkSplit struct{}
 
 func (frameworkSplit) Name() string { return "framework-split" }
 
+func (frameworkSplit) Severity() Severity { return SeverityError }
+
 func (frameworkSplit) Doc() string {
 	return "logic package uses internal/storage or internal/transport concretely (construction, package functions, or *Blocking I/O); only framework data types may cross the split"
 }

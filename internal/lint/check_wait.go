@@ -21,6 +21,8 @@ type untimedWait struct{}
 
 func (untimedWait) Name() string { return "untimed-wait" }
 
+func (untimedWait) Severity() Severity { return SeverityError }
+
 func (untimedWait) Doc() string {
 	return "unbounded Coroutine.Wait / Queue.PopWait / Queue.DrainWait on an I/O-fed event in a logic package; use WaitFor, WaitQuorum, Select, or DrainWaitTimeout with explicit timeout handling"
 }

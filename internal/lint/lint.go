@@ -54,6 +54,17 @@ import (
 	"strings"
 )
 
+// Severity ranks a check's findings for reporting and gating.
+type Severity string
+
+const (
+	// SeverityError findings fail the build.
+	SeverityError Severity = "error"
+	// SeverityWarning findings are reported (and baseline-tracked) but
+	// only fail the build under -werror.
+	SeverityWarning Severity = "warning"
+)
+
 // Finding is one diagnostic produced by a check.
 type Finding struct {
 	// Check names the check that fired (e.g. "untimed-wait").
@@ -62,6 +73,8 @@ type Finding struct {
 	Pos token.Position
 	// Message explains the violation and the sanctioned alternative.
 	Message string
+	// Severity is inherited from the check ("error" unless set).
+	Severity Severity
 	// Suppressed marks a finding covered by a //depfast:allow directive.
 	Suppressed bool
 	// Reason carries the directive's justification when suppressed.
@@ -83,11 +96,24 @@ type Check interface {
 	Name() string
 	// Doc is a one-paragraph description of the invariant.
 	Doc() string
+	// Severity ranks the check's findings.
+	Severity() Severity
 	// Run analyzes one package.
 	Run(p *Package) []Finding
 }
 
-// AllChecks returns the full check suite in reporting order.
+// ModuleCheck is an interprocedural invariant: it runs once over the
+// whole-module call graph instead of package by package. Its Run
+// method returns nil; RunGraph does the work.
+type ModuleCheck interface {
+	Check
+	// RunGraph analyzes the module call graph built over every
+	// package under analysis.
+	RunGraph(g *CallGraph) []Finding
+}
+
+// AllChecks returns the full check suite in reporting order: the five
+// intraprocedural checks, then the three interprocedural ones.
 func AllChecks() []Check {
 	return []Check{
 		untimedWait{},
@@ -95,6 +121,9 @@ func AllChecks() []Check {
 		rawBlocking{},
 		rawGoroutine{},
 		frameworkSplit{},
+		deadlineProp{},
+		locksetCheck{},
+		lockOrder{},
 	}
 }
 
@@ -152,19 +181,36 @@ type Package struct {
 // Directives returns the package's parsed //depfast:allow directives.
 func (p *Package) Directives() []*Directive { return p.directives }
 
-// Run executes checks over pkgs, applies suppression directives, adds
-// findings for malformed directives, and returns everything sorted by
-// position.
+// Run executes checks over pkgs — intraprocedural checks per package,
+// interprocedural ones over a call graph built across all of pkgs —
+// applies suppression directives, adds findings for malformed
+// directives, and returns everything sorted by position.
 func Run(pkgs []*Package, checks []Check) []Finding {
 	var out []Finding
-	for _, p := range pkgs {
-		var pf []Finding
-		for _, c := range checks {
-			pf = append(pf, c.Run(p)...)
+	var g *CallGraph
+	for _, c := range checks {
+		mc, ok := c.(ModuleCheck)
+		if !ok {
+			continue
 		}
-		pf = append(pf, p.suppress(pf)...)
-		out = append(out, pf...)
+		if g == nil {
+			g = BuildCallGraph(pkgs)
+		}
+		out = append(out, withSeverity(mc.RunGraph(g), c.Severity())...)
 	}
+	for _, p := range pkgs {
+		for _, c := range checks {
+			out = append(out, withSeverity(c.Run(p), c.Severity())...)
+		}
+	}
+	// Directives live in the package that owns the file, but a module
+	// check's finding may land in any package — match by filename
+	// across the whole set.
+	var directives []*Directive
+	for _, p := range pkgs {
+		directives = append(directives, p.directives...)
+	}
+	out = append(out, suppress(directives, out)...)
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i].Pos, out[j].Pos
 		if a.Filename != b.Filename {
@@ -176,6 +222,17 @@ func Run(pkgs []*Package, checks []Check) []Finding {
 		return a.Column < b.Column
 	})
 	return out
+}
+
+// withSeverity stamps the check's severity on findings that did not
+// set their own.
+func withSeverity(fs []Finding, s Severity) []Finding {
+	for i := range fs {
+		if fs[i].Severity == "" {
+			fs[i].Severity = s
+		}
+	}
+	return fs
 }
 
 // Unsuppressed filters findings down to the ones that should fail the
@@ -192,14 +249,15 @@ func Unsuppressed(findings []Finding) []Finding {
 
 // suppress marks findings covered by a directive (mutating pf in
 // place) and returns extra findings for malformed directives.
-func (p *Package) suppress(pf []Finding) []Finding {
+func suppress(directives []*Directive, pf []Finding) []Finding {
 	var extra []Finding
-	for _, d := range p.directives {
+	for _, d := range directives {
 		if d.Malformed != "" {
 			extra = append(extra, Finding{
-				Check:   "directive",
-				Pos:     d.Pos,
-				Message: d.Malformed,
+				Check:    "directive",
+				Pos:      d.Pos,
+				Message:  d.Malformed,
+				Severity: SeverityError,
 			})
 			continue
 		}
@@ -349,6 +407,12 @@ func exprString(e ast.Expr) string {
 		return exprString(v.X) + "[...]"
 	case *ast.CallExpr:
 		return exprString(v.Fun) + "(...)"
+	case *ast.BasicLit:
+		return v.Value
+	case *ast.BinaryExpr:
+		return exprString(v.X) + v.Op.String() + exprString(v.Y)
+	case *ast.UnaryExpr:
+		return v.Op.String() + exprString(v.X)
 	}
 	return "?"
 }

@@ -109,6 +109,11 @@ func TestFixtures(t *testing.T) {
 		{"harnesssleep", "raw-blocking-in-coroutine", false, true},
 		{"rawgoroutine", "raw-goroutine", true, false},
 		{"frameworksplit", "framework-split", true, false},
+		// Interprocedural checks: the fixture package is the whole
+		// module for the run, so the call graph covers exactly it.
+		{"deadlineprop", "deadline-propagation", false, false},
+		{"lockset", "lockset", false, false},
+		{"lockorder", "lock-order", false, false},
 	}
 	m := testModule(t)
 	for _, tc := range cases {
@@ -282,8 +287,8 @@ func TestCheckByName(t *testing.T) {
 	if len(checks) != 2 || checks[0].Name() != "untimed-wait" || checks[1].Name() != "raw-goroutine" {
 		t.Errorf("subset resolution broken: %v", checks)
 	}
-	if got := len(AllChecks()); got != 5 {
-		t.Errorf("suite has %d checks, want 5", got)
+	if got := len(AllChecks()); got != 8 {
+		t.Errorf("suite has %d checks, want 8", got)
 	}
 }
 

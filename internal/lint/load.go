@@ -138,13 +138,23 @@ func LoadModule(dir string) (*Module, error) {
 
 // LoadFixture loads a single directory (e.g. a testdata fixture) as a
 // package of this module's universe, with the given model scope. The
-// fixture may import module packages and the standard library.
+// fixture may import module packages and the standard library —
+// including other fixtures: a directory under the module root is
+// loaded under its real module-relative import path, so a fixture
+// importing "depfast/internal/lint/testdata/src/<other>" shares the
+// same package object (and the same type identities) with a fixture
+// loaded directly. Cross-package interprocedural fixtures depend on
+// that unification.
 func (m *Module) LoadFixture(dir string, logic, harness bool) (*Package, error) {
 	abs, err := filepath.Abs(dir)
 	if err != nil {
 		return nil, err
 	}
-	pkg, err := m.imp.load("fixture/"+filepath.Base(abs), abs)
+	ip := "fixture/" + filepath.Base(abs)
+	if rel, err := filepath.Rel(m.Dir, abs); err == nil && rel != ".." && !strings.HasPrefix(rel, "../") {
+		ip = m.Path + "/" + filepath.ToSlash(rel)
+	}
+	pkg, err := m.imp.load(ip, abs)
 	if err != nil {
 		return nil, err
 	}

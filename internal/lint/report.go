@@ -17,14 +17,18 @@ type Report struct {
 	Findings []JSONFinding `json:"findings"`
 	// Unsuppressed counts the findings that fail the build.
 	Unsuppressed int `json:"unsuppressed"`
+	// Errors and Warnings split Unsuppressed by severity.
+	Errors   int `json:"errors"`
+	Warnings int `json:"warnings"`
 	// TypeErrors surfaces best-effort type-check diagnostics.
 	TypeErrors []string `json:"type_errors,omitempty"`
 }
 
 // CheckDoc documents one check for tooling.
 type CheckDoc struct {
-	Name string `json:"name"`
-	Doc  string `json:"doc"`
+	Name     string `json:"name"`
+	Doc      string `json:"doc"`
+	Severity string `json:"severity"`
 }
 
 // JSONFinding is the wire form of a Finding with a stable,
@@ -35,6 +39,7 @@ type JSONFinding struct {
 	Line       int    `json:"line"`
 	Col        int    `json:"col"`
 	Message    string `json:"message"`
+	Severity   string `json:"severity"`
 	Suppressed bool   `json:"suppressed"`
 	Reason     string `json:"reason,omitempty"`
 }
@@ -44,12 +49,16 @@ type JSONFinding struct {
 func NewReport(module, root string, checks []Check, findings []Finding, typeErrs []error) Report {
 	r := Report{Module: module}
 	for _, c := range checks {
-		r.Checks = append(r.Checks, CheckDoc{Name: c.Name(), Doc: c.Doc()})
+		r.Checks = append(r.Checks, CheckDoc{Name: c.Name(), Doc: c.Doc(), Severity: string(c.Severity())})
 	}
 	for _, f := range findings {
 		file := f.Pos.Filename
 		if rel, err := filepath.Rel(root, file); err == nil && !filepath.IsAbs(rel) && rel[0] != '.' {
 			file = rel
+		}
+		sev := f.Severity
+		if sev == "" {
+			sev = SeverityError
 		}
 		r.Findings = append(r.Findings, JSONFinding{
 			Check:      f.Check,
@@ -57,11 +66,17 @@ func NewReport(module, root string, checks []Check, findings []Finding, typeErrs
 			Line:       f.Pos.Line,
 			Col:        f.Pos.Column,
 			Message:    f.Message,
+			Severity:   string(sev),
 			Suppressed: f.Suppressed,
 			Reason:     f.Reason,
 		})
 		if !f.Suppressed {
 			r.Unsuppressed++
+			if sev == SeverityWarning {
+				r.Warnings++
+			} else {
+				r.Errors++
+			}
 		}
 	}
 	for _, e := range typeErrs {
@@ -93,12 +108,14 @@ func (r Report) WriteText(w io.Writer, showSuppressed bool) {
 		if f.Suppressed {
 			mark = "allowed: "
 			reason = fmt.Sprintf(" (%s)", f.Reason)
+		} else if f.Severity == string(SeverityWarning) {
+			mark = "warning: "
 		}
 		fmt.Fprintf(w, "%s:%d:%d: %s[%s] %s%s\n", f.File, f.Line, f.Col, mark, f.Check, f.Message, reason)
 	}
 	if r.Unsuppressed == 0 {
 		fmt.Fprintf(w, "depfast-vet: ok (%d findings allowed by //depfast:allow)\n", suppressed)
 	} else {
-		fmt.Fprintf(w, "depfast-vet: %d violation(s), %d allowed\n", r.Unsuppressed, suppressed)
+		fmt.Fprintf(w, "depfast-vet: %d violation(s) (%d error, %d warning), %d allowed\n", r.Unsuppressed, r.Errors, r.Warnings, suppressed)
 	}
 }

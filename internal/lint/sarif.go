@@ -1,0 +1,120 @@
+package lint
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// SARIF-style export: the subset of SARIF 2.1.0 that code-scanning
+// UIs consume — one run, the check suite as rules, findings as
+// results with physical locations. Suppressed findings are carried
+// with suppression records so dashboards can show the annotated
+// exceptions instead of silently dropping them.
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID       string             `json:"ruleId"`
+	Level        string             `json:"level"`
+	Message      sarifMessage       `json:"message"`
+	Locations    []sarifLocation    `json:"locations"`
+	Suppressions []sarifSuppression `json:"suppressions,omitempty"`
+}
+
+type sarifSuppression struct {
+	Kind          string `json:"kind"`
+	Justification string `json:"justification,omitempty"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           sarifRegion   `json:"region"`
+}
+
+type sarifArtifact struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// WriteSARIF emits the report in SARIF 2.1.0 form.
+func (r Report) WriteSARIF(w io.Writer) error {
+	run := sarifRun{
+		Tool: sarifTool{Driver: sarifDriver{Name: "depfast-vet"}},
+		// Code-scanning consumers reject null results arrays.
+		Results: []sarifResult{},
+	}
+	for _, c := range r.Checks {
+		run.Tool.Driver.Rules = append(run.Tool.Driver.Rules, sarifRule{
+			ID:               c.Name,
+			ShortDescription: sarifMessage{Text: c.Doc},
+		})
+	}
+	for _, f := range r.Findings {
+		level := "error"
+		if f.Severity == string(SeverityWarning) {
+			level = "warning"
+		}
+		res := sarifResult{
+			RuleID:  f.Check,
+			Level:   level,
+			Message: sarifMessage{Text: f.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysical{
+					ArtifactLocation: sarifArtifact{URI: f.File},
+					Region:           sarifRegion{StartLine: f.Line, StartColumn: f.Col},
+				},
+			}},
+		}
+		if f.Suppressed {
+			res.Suppressions = []sarifSuppression{{
+				Kind:          "inSource",
+				Justification: f.Reason,
+			}}
+		}
+		run.Results = append(run.Results, res)
+	}
+	log := sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs:    []sarifRun{run},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(log)
+}

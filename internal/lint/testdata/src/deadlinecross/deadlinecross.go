@@ -1,0 +1,26 @@
+// Package deadlinecross exercises the interprocedural, cross-package
+// arm of the deadline-propagation check: a handler that bounds its
+// own waits still reaches — two call-hops away, in another package —
+// an unbounded blocking op. The finding lands in deadlinehelper with
+// a chain that starts at this package's entry.
+package deadlinecross
+
+import (
+	"time"
+
+	"depfast/internal/core"
+	helper "depfast/internal/lint/testdata/src/deadlinehelper"
+)
+
+// handler is the RPC-handler-shaped entry: it waits with a bound
+// itself, then delegates down into the helper package.
+func handler(co *core.Coroutine, ch chan int) int {
+	ev := core.NewResultEvent("rpc", "peer")
+	_ = co.WaitFor(ev, time.Second) // bounded here...
+	return viaWrapper(ch)           // ...but not where this ends up
+}
+
+// viaWrapper is the intermediate hop; it neither blocks nor bounds.
+func viaWrapper(ch chan int) int {
+	return helper.Consume(ch)
+}

@@ -1,0 +1,11 @@
+// Package deadlinehelper is the victim package for the cross-package
+// deadline-propagation fixture: a library routine with no coroutine
+// parameter and no bound of its own. On its own it is silent — it is
+// only a hazard once some entry in another package reaches it.
+package deadlinehelper
+
+// Consume blocks until a producer shows up; no caller deadline can
+// bound it from the outside.
+func Consume(ch chan int) int {
+	return <-ch // want deadline-propagation
+}

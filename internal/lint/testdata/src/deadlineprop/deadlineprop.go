@@ -1,0 +1,108 @@
+// Package deadlineprop exercises the deadline-propagation check: an
+// unbounded blocking op transitively reachable from a coroutine entry
+// is a fail-slow hazard, a constant timeout inside a function that
+// already receives a deadline is a dropped propagation, and bounded
+// or off-path blocking passes.
+package deadlineprop
+
+import (
+	"sync"
+	"time"
+
+	"depfast/internal/core"
+)
+
+// entry is a coroutine entry point (it takes *core.Coroutine):
+// everything transitively reachable from here must block only with a
+// bound.
+func entry(co *core.Coroutine, q *core.Queue[int]) {
+	ev := core.NewResultEvent("rpc", "peer")
+	_ = co.WaitFor(ev, time.Second) // bounded: ok
+	hopOne(co, q)
+	spawns()
+}
+
+// hopOne is one call-hop from the entry.
+func hopOne(co *core.Coroutine, q *core.Queue[int]) {
+	hopTwo(co, q)
+}
+
+// hopTwo is two hops out: its unbounded waits escape every deadline
+// the entry's caller may have had.
+func hopTwo(co *core.Coroutine, q *core.Queue[int]) {
+	ev := core.NewResultEvent("rpc", "peer")
+	_ = co.Wait(ev)      // want deadline-propagation
+	_, _ = q.PopWait(co) // want deadline-propagation
+}
+
+// entry2 reaches raw channel blocking two hops down.
+func entry2(co *core.Coroutine, ch chan int, wg *sync.WaitGroup) {
+	relay(ch, wg)
+	polls(ch)
+	_ = drains(ch)
+}
+
+func relay(ch chan int, wg *sync.WaitGroup) {
+	leaf(ch, wg)
+}
+
+// leaf has no coroutine parameter of its own; it is on the blocking
+// path only because entry2 reaches it through relay.
+func leaf(ch chan int, wg *sync.WaitGroup) {
+	<-ch      // want deadline-propagation
+	ch <- 1   // want deadline-propagation
+	wg.Wait() // want deadline-propagation
+	select {  // want deadline-propagation
+	case v := <-ch:
+		_ = v
+	case ch <- 2:
+	}
+}
+
+// polls never blocks: its select has a default arm, and its second
+// select is bounded by the time.After arm.
+func polls(ch chan int) {
+	select {
+	case <-ch:
+	default:
+	}
+	select {
+	case <-ch:
+	case <-time.After(time.Second):
+	}
+}
+
+// drains ranges over a channel: blocking until close, unbounded.
+func drains(ch chan int) int {
+	total := 0
+	for v := range ch { // want deadline-propagation
+		total += v
+	}
+	return total
+}
+
+// spawns hands its blocking work to a new goroutine: the goroutine
+// blocks itself, not the caller's path, so the walk stops at go.
+func spawns() {
+	ch := make(chan int)
+	go func() {
+		<-ch // ok: off the caller's blocking path
+	}()
+}
+
+// unreached blocks but no entry reaches it: the blocking-path arm
+// stays silent.
+func unreached(ch chan int) {
+	<-ch // ok: not on any coroutine path
+}
+
+// dropsTimeout receives the caller's deadline but waits on constants:
+// the bound the caller computed is dropped on the floor.
+func dropsTimeout(co *core.Coroutine, timeout time.Duration) {
+	ev := core.NewResultEvent("disk", "wal")
+	_ = co.WaitFor(ev, 50*time.Millisecond) // want deadline-propagation
+	_ = co.WaitFor(ev, timeout)             // ok: propagates the bound
+	_ = co.WaitFor(ev, timeout/2)           // ok: derived from the bound
+	//depfast:allow deadline-propagation fixture: justified constant sub-deadline
+	_ = co.WaitFor(ev, time.Millisecond) // want allowed deadline-propagation
+}

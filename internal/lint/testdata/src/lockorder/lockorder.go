@@ -1,0 +1,60 @@
+// Package lockorder exercises the lock-order check: two lock classes
+// acquired in opposite orders on different code paths (one of them
+// through a call) form a cycle in the acquisition-order graph — a
+// static deadlock candidate. Two instances of one class locked with
+// no fixed order are a self-loop. A consistently ordered pair is a
+// DAG and stays silent.
+package lockorder
+
+import "sync"
+
+type A struct{ mu sync.Mutex }
+type B struct{ mu sync.Mutex }
+type C struct{ mu sync.Mutex }
+type D struct{ mu sync.Mutex }
+type E struct{ mu sync.Mutex }
+
+// abPath acquires A.mu then B.mu.
+func abPath(a *A, b *B) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b.mu.Lock() // want lock-order
+	defer b.mu.Unlock()
+}
+
+// baPath acquires B.mu then — through lockA, one call-hop away —
+// A.mu: the reverse order, closing the cycle.
+func baPath(a *A, b *B) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	lockA(a)
+}
+
+func lockA(a *A) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+}
+
+// twins locks two instances of the same class with no static order
+// between them: a self-loop on the class.
+func twins(c1, c2 *C) {
+	c1.mu.Lock()
+	defer c1.mu.Unlock()
+	c2.mu.Lock() // want lock-order
+	defer c2.mu.Unlock()
+}
+
+// dePath and deAgain always take D.mu before E.mu: a DAG, no finding.
+func dePath(d *D, e *E) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+}
+
+func deAgain(d *D, e *E) {
+	d.mu.Lock()
+	e.mu.Lock()
+	e.mu.Unlock()
+	d.mu.Unlock()
+}

@@ -1,0 +1,81 @@
+// Package lockset exercises the lockset check: a field consistently
+// guarded by its struct's mutex is flagged where it is also accessed
+// without the lock. Lock-expected helpers (called only under the
+// lock, or named ...Locked), closures, and unguarded-majority fields
+// stay silent.
+package lockset
+
+import "sync"
+
+type counter struct {
+	mu   sync.Mutex
+	n    int
+	peak int
+}
+
+func (c *counter) Inc() {
+	c.mu.Lock()
+	c.n++
+	if c.n > c.peak {
+		c.peak = c.n
+	}
+	c.mu.Unlock()
+}
+
+func (c *counter) Value() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// Racy reads the guarded field without the mutex: the candidate race.
+func (c *counter) Racy() int {
+	return c.n // want lockset
+}
+
+// Snapshot is a deliberate unlocked read with a recorded reason.
+func (c *counter) Snapshot() int {
+	//depfast:allow lockset fixture: snapshot read is staleness-tolerant by design
+	return c.n // want allowed lockset
+}
+
+// resetLocked follows the ...Locked naming convention: the caller
+// holds the lock, so its bare accesses count as guarded.
+func (c *counter) resetLocked() {
+	c.n = 0
+	c.peak = 0
+}
+
+// bump never locks, but its only call sites hold mu: the lockset
+// analysis extends the callers' locksets across the call.
+func (c *counter) bump(d int) {
+	c.n += d
+}
+
+func (c *counter) Add(d int) {
+	c.mu.Lock()
+	c.resetLocked()
+	c.bump(d)
+	c.mu.Unlock()
+}
+
+// Async returns a closure: closures run on their own schedule, so
+// their accesses are not attributed to this function's lockset.
+func (c *counter) Async() func() int {
+	return func() int { return c.n }
+}
+
+// stats is the majority-rule negative: one locked access out of three
+// does not make hits a guarded field, so nothing fires.
+type stats struct {
+	mu   sync.Mutex
+	hits int
+}
+
+func (s *stats) Touch()  { s.hits++ }
+func (s *stats) Touch2() { s.hits++ }
+func (s *stats) Rare() {
+	s.mu.Lock()
+	s.hits++
+	s.mu.Unlock()
+}

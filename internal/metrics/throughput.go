@@ -42,7 +42,11 @@ func (t *Throughput) Total() int64 { return t.ops.Load() }
 
 // Rate returns the average ops/sec since the counter started.
 func (t *Throughput) Rate() float64 {
-	el := time.Since(t.start).Seconds()
+	// start moves under Reset; read it under the same lock.
+	t.mu.Lock()
+	start := t.start
+	t.mu.Unlock()
+	el := time.Since(start).Seconds()
 	if el <= 0 {
 		return 0
 	}

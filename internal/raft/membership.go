@@ -748,7 +748,13 @@ func (s *Server) waitReplicated(co *core.Coroutine, p string, lag uint64, deadli
 		if time.Now().After(deadline) {
 			return false
 		}
-		if err := co.Sleep(5 * time.Millisecond); err != nil {
+		// Poll cadence derived from the caller's deadline: never sleep
+		// past the budget, so a slow follower costs at most `deadline`.
+		nap := 5 * time.Millisecond
+		if rem := time.Until(deadline); rem < nap {
+			nap = rem
+		}
+		if err := co.Sleep(nap); err != nil {
 			return false
 		}
 	}

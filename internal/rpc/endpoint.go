@@ -143,24 +143,11 @@ func (ep *Endpoint) Call(to string, req codec.Message) *core.ResultEvent {
 // logic already holds.
 func (ep *Endpoint) CallWithEvent(to string, reqPayload []byte, ev *core.ResultEvent) {
 	ep.Calls.Inc()
-	ep.mu.Lock()
-	if ep.closed {
-		ep.mu.Unlock()
-		ev.Fire(nil, ErrClosed)
+	id, err := ep.register(to, ev)
+	if err != nil {
+		ev.Fire(nil, err)
 		return
 	}
-	if ep.unreachable[to] {
-		// Fast-fail instead of burning a full call timeout on a peer the
-		// configuration no longer contains.
-		ep.mu.Unlock()
-		ev.Fire(nil, ErrUnreachable)
-		return
-	}
-	ep.nextID++
-	id := ep.nextID
-	now := time.Now()
-	ep.pending[id] = &pendingCall{ev: ev, to: to, sentAt: now, deadline: now.Add(ep.callTimeout)}
-	ep.mu.Unlock()
 
 	e := codec.NewEncoder(len(reqPayload) + 16)
 	e.Uint64(id)
@@ -172,6 +159,25 @@ func (ep *Endpoint) CallWithEvent(to string, reqPayload []byte, ev *core.ResultE
 		ep.mu.Unlock()
 		ev.Fire(nil, err)
 	}
+}
+
+// register books the pending call under the lock, fast-failing when
+// the endpoint is closed or the peer is out of the configuration (so
+// a removed peer costs an error, not a full call timeout).
+func (ep *Endpoint) register(to string, ev *core.ResultEvent) (uint64, error) {
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	if ep.closed {
+		return 0, ErrClosed
+	}
+	if ep.unreachable[to] {
+		return 0, ErrUnreachable
+	}
+	ep.nextID++
+	id := ep.nextID
+	now := time.Now()
+	ep.pending[id] = &pendingCall{ev: ev, to: to, sentAt: now, deadline: now.Add(ep.callTimeout)}
+	return id, nil
 }
 
 // SetUnreachable marks (or clears) peer as removed from the

@@ -147,12 +147,13 @@ func (d *Disk) ReadBlocking(n int) {
 // Close drains helpers; queued operations still complete.
 func (d *Disk) Close() {
 	d.mu.Lock()
-	if d.closed {
-		d.mu.Unlock()
-		return
-	}
+	already := d.closed
 	d.closed = true
-	close(d.ops)
+	if !already {
+		close(d.ops)
+	}
 	d.mu.Unlock()
-	d.wg.Wait()
+	if !already {
+		d.wg.Wait()
+	}
 }

@@ -149,6 +149,7 @@ func (w *WAL) ReadAsync(lo, hi uint64) *core.ResultEvent {
 // anti-pattern, used by the SyncRSM baseline.
 func (w *WAL) ReadBlocking(lo, hi uint64) []Entry {
 	out, bytes := w.slice(lo, hi)
+	//depfast:allow deadline-propagation deliberately blocking escape hatch: the SyncRSM baseline's synchronous read (framework-split polices the callers)
 	w.disk.ReadBlocking(bytes)
 	return out
 }

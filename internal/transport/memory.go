@@ -134,27 +134,38 @@ func (n *Network) lossDraw() float64 {
 
 // Send implements Transport.
 func (n *Network) Send(from, to string, payload []byte) error {
+	dst, delay, drop, err := n.route(from, to)
+	if err != nil {
+		return err
+	}
+	if drop {
+		n.Dropped.Inc()
+		return nil
+	}
+	n.Sent.Inc()
+	dst.enqueue(from, payload, time.Now().Add(delay))
+	return nil
+}
+
+// route decides one send under the lock: the destination node, the
+// link's modeled delay, and whether the partition/loss model dropped
+// the message silently (like the wire would).
+func (n *Network) route(from, to string) (dst *memNode, delay time.Duration, drop bool, err error) {
 	n.mu.Lock()
+	defer n.mu.Unlock()
 	if n.closed {
-		n.mu.Unlock()
-		return ErrClosed
+		return nil, 0, false, ErrClosed
 	}
 	dst, ok := n.nodes[to]
 	if !ok {
-		n.mu.Unlock()
-		return fmt.Errorf("%w: %q", ErrUnknownNode, to)
+		return nil, 0, false, fmt.Errorf("%w: %q", ErrUnknownNode, to)
 	}
 	if n.down[[2]string{from, to}] {
-		n.mu.Unlock()
-		n.Dropped.Inc()
-		return nil // partitioned links drop silently, like the wire
+		return nil, 0, true, nil // partitioned links drop silently
 	}
 	if p := n.loss[from] + n.loss[to]; p > 0 && n.lossDraw() < p {
-		n.mu.Unlock()
-		n.Dropped.Inc()
-		return nil // lossy link ate the message
+		return nil, 0, true, nil // lossy link ate the message
 	}
-	var delay time.Duration
 	if e, ok := n.envs[from]; ok {
 		// Sender-side latency is directional: an asymmetric one-way
 		// delay toward this destination slows only this flow, while the
@@ -164,11 +175,7 @@ func (n *Network) Send(from, to string, payload []byte) error {
 	if e, ok := n.envs[to]; ok {
 		delay += e.NetDelay()
 	}
-	n.mu.Unlock()
-
-	n.Sent.Inc()
-	dst.enqueue(from, payload, time.Now().Add(delay))
-	return nil
+	return dst, delay, false, nil
 }
 
 // Close implements Transport.
@@ -252,33 +259,43 @@ func (mn *memNode) close() { mn.once.Do(func() { close(mn.closed) }) }
 // dispatch delivers queued messages at their due times, in order.
 func (mn *memNode) dispatch() {
 	for {
-		mn.mu.Lock()
-		if len(mn.queue) == 0 {
-			mn.mu.Unlock()
+		msg, wait, empty := mn.pop()
+		switch {
+		case empty:
 			select {
 			case <-mn.wake:
-				continue
 			case <-mn.closed:
 				return
 			}
-		}
-		d := time.Until(mn.queue[0].at)
-		if d <= 0 {
-			msg := heap.Pop(&mn.queue).(*delivery)
-			mn.mu.Unlock()
+		case msg != nil:
 			mn.delivered.Inc()
 			mn.h(msg.from, msg.payload)
-			continue
-		}
-		mn.mu.Unlock()
-		tm := time.NewTimer(d)
-		select {
-		case <-mn.wake: // an earlier message may have arrived
-			tm.Stop()
-		case <-tm.C:
-		case <-mn.closed:
-			tm.Stop()
-			return
+		default:
+			tm := time.NewTimer(wait)
+			select {
+			case <-mn.wake: // an earlier message may have arrived
+				tm.Stop()
+			case <-tm.C:
+			case <-mn.closed:
+				tm.Stop()
+				return
+			}
 		}
 	}
+}
+
+// pop takes the queue's next due delivery under the lock: a message
+// when the head is due now, the wait until it is due otherwise, or
+// empty when there is nothing queued.
+func (mn *memNode) pop() (msg *delivery, wait time.Duration, empty bool) {
+	mn.mu.Lock()
+	defer mn.mu.Unlock()
+	if len(mn.queue) == 0 {
+		return nil, 0, true
+	}
+	d := time.Until(mn.queue[0].at)
+	if d <= 0 {
+		return heap.Pop(&mn.queue).(*delivery), 0, false
+	}
+	return nil, d, false
 }

@@ -51,20 +51,28 @@ func (t *TCP) Listen(node, addr string, h Handler) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	t.mu.Lock()
-	if t.closed {
-		t.mu.Unlock()
+	if !t.register(node, ln, h) {
 		ln.Close()
 		return "", ErrClosed
 	}
-	t.listeners[node] = ln
-	t.handlers[node] = h
-	t.peers[node] = ln.Addr().String()
-	t.mu.Unlock()
 
 	t.wg.Add(1)
 	go t.acceptLoop(node, ln)
 	return ln.Addr().String(), nil
+}
+
+// register records a bound listener under the lock; it reports false if
+// the transport is already closed.
+func (t *TCP) register(node string, ln net.Listener, h Handler) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return false
+	}
+	t.listeners[node] = ln
+	t.handlers[node] = h
+	t.peers[node] = ln.Addr().String()
+	return true
 }
 
 // AddPeer records the address of a remote node for outgoing sends.
@@ -82,14 +90,15 @@ func (t *TCP) acceptLoop(node string, ln net.Listener) {
 			return // listener closed
 		}
 		t.mu.Lock()
-		if t.closed {
-			t.mu.Unlock()
+		stopped := t.closed
+		if !stopped {
+			t.inbound[conn] = &tcpConn{conn: conn}
+		}
+		t.mu.Unlock()
+		if stopped {
 			conn.Close()
 			return
 		}
-		tc := &tcpConn{conn: conn}
-		t.inbound[conn] = tc
-		t.mu.Unlock()
 		t.wg.Add(1)
 		go t.readLoop(node, conn)
 	}
@@ -165,49 +174,63 @@ func (t *TCP) Send(from, to string, payload []byte) error {
 // handler, so replies flowing back over the same connection are
 // delivered (peers do not dial back).
 func (t *TCP) connFor(from, to string) (*tcpConn, error) {
-	t.mu.Lock()
-	if t.closed {
-		t.mu.Unlock()
-		return nil, ErrClosed
+	tc, addr, err := t.cachedConn(to)
+	if err != nil || tc != nil {
+		return tc, err
 	}
-	if tc, ok := t.conns[to]; ok {
-		t.mu.Unlock()
-		return tc, nil
-	}
-	addr, ok := t.peers[to]
-	if !ok {
-		// No dialable address: fall back to a connection the peer
-		// opened toward us.
-		if tc, okIn := t.inboundByPeer[to]; okIn {
-			t.mu.Unlock()
-			return tc, nil
-		}
-		t.mu.Unlock()
-		return nil, fmt.Errorf("%w: %q", ErrUnknownNode, to)
-	}
-	t.mu.Unlock()
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	tc := &tcpConn{conn: conn}
-	t.mu.Lock()
-	if t.closed {
-		t.mu.Unlock()
+	tc, adopted, err := t.adoptConn(to, conn)
+	if err != nil || !adopted {
 		conn.Close()
-		return nil, ErrClosed
+		return tc, err
 	}
-	if existing, ok := t.conns[to]; ok {
-		t.mu.Unlock()
-		conn.Close()
-		return existing, nil
-	}
-	t.conns[to] = tc
-	t.inbound[conn] = tc // so Close tears the read loop down
-	t.mu.Unlock()
 	t.wg.Add(1)
 	go t.readLoop(from, conn)
 	return tc, nil
+}
+
+// cachedConn resolves `to` under one lock span: an existing dialed
+// connection, a peer-opened inbound fallback, or the address to dial.
+func (t *TCP) cachedConn(to string) (*tcpConn, string, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return nil, "", ErrClosed
+	}
+	if tc, ok := t.conns[to]; ok {
+		return tc, "", nil
+	}
+	addr, ok := t.peers[to]
+	if !ok {
+		// No dialable address: fall back to a connection the peer
+		// opened toward us (peers do not dial back).
+		if tc, okIn := t.inboundByPeer[to]; okIn {
+			return tc, "", nil
+		}
+		return nil, "", fmt.Errorf("%w: %q", ErrUnknownNode, to)
+	}
+	return nil, addr, nil
+}
+
+// adoptConn registers a freshly dialed connection unless the transport
+// closed or a concurrent dial already cached one; adopted reports
+// whether conn itself became the cached connection.
+func (t *TCP) adoptConn(to string, conn net.Conn) (tc *tcpConn, adopted bool, err error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return nil, false, ErrClosed
+	}
+	if existing, ok := t.conns[to]; ok {
+		return existing, false, nil
+	}
+	tc = &tcpConn{conn: conn}
+	t.conns[to] = tc
+	t.inbound[conn] = tc // so Close tears the read loop down
+	return tc, true, nil
 }
 
 func (t *TCP) dropConn(to string, tc *tcpConn) {
@@ -222,21 +245,22 @@ func (t *TCP) dropConn(to string, tc *tcpConn) {
 // Close implements Transport: stops listeners and closes connections.
 func (t *TCP) Close() {
 	t.mu.Lock()
-	if t.closed {
-		t.mu.Unlock()
-		return
-	}
+	already := t.closed
 	t.closed = true
-	for _, ln := range t.listeners {
-		ln.Close()
+	if !already {
+		for _, ln := range t.listeners {
+			ln.Close()
+		}
+		for _, tc := range t.conns {
+			tc.conn.Close()
+		}
+		for conn := range t.inbound {
+			conn.Close()
+		}
+		t.inboundByPeer = make(map[string]*tcpConn)
 	}
-	for _, tc := range t.conns {
-		tc.conn.Close()
-	}
-	for conn := range t.inbound {
-		conn.Close()
-	}
-	t.inboundByPeer = make(map[string]*tcpConn)
 	t.mu.Unlock()
-	t.wg.Wait()
+	if !already {
+		t.wg.Wait()
+	}
 }
