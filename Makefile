@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all check build vet test race bench examples figures verify report-smoke shard-smoke replace-smoke explore-smoke trace-smoke bench-smoke clean
+.PHONY: all check build vet test race bench examples figures verify report-smoke shard-smoke replace-smoke explore-smoke trace-smoke bench-smoke hedge-smoke clean
 
 all: check
 
@@ -78,6 +78,13 @@ trace-smoke:
 # emitted to BENCH_raft.json for artifact upload.
 bench-smoke:
 	$(GO) run ./cmd/depfast-bench -exp raftbench -quick -out BENCH_raft.json
+
+# Request-hedging smoke: a sub-detection-threshold fail-slow episode,
+# speculation off vs on, gated on read-tail gain >= 2x, a linearizable
+# audit history, zero acked-write loss, and a silent server-side
+# detector plane; phase latencies emitted to BENCH_hedge.json.
+hedge-smoke:
+	$(GO) run -race ./cmd/depfast-bench -exp hedge -quick -out BENCH_hedge.json
 
 examples:
 	$(GO) run ./examples/quickstart

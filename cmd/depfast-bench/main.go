@@ -16,6 +16,7 @@
 //	depfast-bench -exp shard     # multi-Raft sharded KV: blast-radius containment
 //	depfast-bench -exp replace   # automated replacement of a condemned fail-slow node
 //	depfast-bench -exp trace     # causal tracing: attribution accuracy + overhead gates
+//	depfast-bench -exp hedge     # request hedging under a sub-threshold episode -> BENCH_hedge.json
 //	depfast-bench -exp raftbench # concurrency × value-size matrix -> BENCH_raft.json
 //
 // One-off custom runs:
@@ -47,8 +48,8 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: table1|figure1|figure2|figure3|verify|transient|sweep|intensity|mitigation|shard|replace|trace|raftbench|run|all")
-		benchOut = flag.String("out", "BENCH_raft.json", "raftbench: write the matrix JSON to this file")
+		exp      = flag.String("exp", "all", "experiment: table1|figure1|figure2|figure3|verify|transient|sweep|intensity|mitigation|shard|replace|trace|hedge|raftbench|run|all")
+		benchOut = flag.String("out", "BENCH_raft.json", "raftbench/hedge: write the result JSON to this file")
 		duration = flag.Duration("duration", 3*time.Second, "measurement window per cell")
 		warmup   = flag.Duration("warmup", 750*time.Millisecond, "warmup before measuring")
 		clients  = flag.Int("clients", 24, "closed-loop client population")
@@ -223,6 +224,70 @@ func main() {
 		fmt.Println("gates: attribution >= 90% matched, tracing overhead < 5% — both hold")
 		fmt.Println()
 	}
+	runHedge := func() {
+		fmt.Println("== Request hedging under a sub-threshold fail-slow episode ==")
+		cfg := harness.DefaultHedgeConfig()
+		if *quick {
+			cfg = harness.QuickHedgeConfig()
+		}
+		cfg.Recorder = recorder
+		res, err := harness.RunHedge(cfg)
+		exitOn(err)
+		fmt.Println(res)
+		failed := false
+		if res.ReadGain < 2 {
+			fmt.Fprintf(os.Stderr, "FAIL: hedged read p99 only %.2fx better than unhedged; gate is 2x\n",
+				res.ReadGain)
+			failed = true
+		}
+		if res.Lin.Verdict == harness.LinViolation {
+			fmt.Fprintf(os.Stderr, "FAIL: hedged history not linearizable (key %q, %d ops)\n",
+				res.Lin.Key, res.Lin.Ops)
+			failed = true
+		}
+		if res.AckedLoss != 0 {
+			fmt.Fprintf(os.Stderr, "FAIL: %d acked writes lost under speculation\n", res.AckedLoss)
+			failed = true
+		}
+		if res.HealthyWastedRate > res.BudgetRatio {
+			fmt.Fprintf(os.Stderr, "FAIL: healthy-window wasted-hedge rate %.3f exceeds budget ratio %.2f\n",
+				res.HealthyWastedRate, res.BudgetRatio)
+			failed = true
+		}
+		if res.SuspectEvents != 0 || res.ElectionsDelta != 0 {
+			fmt.Fprintf(os.Stderr, "FAIL: episode leaked into the server plane (suspects=%d elections=%d); it must stay sub-threshold\n",
+				res.SuspectEvents, res.ElectionsDelta)
+			failed = true
+		}
+		if failed {
+			os.Exit(1)
+		}
+		out := map[string]any{
+			"name": "hedge",
+			"cells": []map[string]any{
+				{"phase": "healthy-hedged", "read_p99_us": res.Healthy.ReadP99.Seconds() * 1e6,
+					"write_p99_us": res.Healthy.WriteP99.Seconds() * 1e6, "tput": res.Healthy.Tput},
+				{"phase": "episode-unhedged", "read_p99_us": res.Unhedged.ReadP99.Seconds() * 1e6,
+					"write_p99_us": res.Unhedged.WriteP99.Seconds() * 1e6, "tput": res.Unhedged.Tput},
+				{"phase": "episode-hedged", "read_p99_us": res.Hedged.ReadP99.Seconds() * 1e6,
+					"write_p99_us": res.Hedged.WriteP99.Seconds() * 1e6, "tput": res.Hedged.Tput},
+			},
+			"read_gain":           res.ReadGain,
+			"fired":               res.Fired,
+			"won":                 res.Won,
+			"wasted":              res.Wasted,
+			"put_retries":         res.PutRetries,
+			"healthy_wasted_rate": res.HealthyWastedRate,
+			"lin_verdict":         res.Lin.Verdict.String(),
+			"acked_loss":          res.AckedLoss,
+		}
+		b, err := json.MarshalIndent(out, "", "  ")
+		exitOn(err)
+		exitOn(os.WriteFile(*benchOut, append(b, '\n'), 0o644))
+		fmt.Printf("gates: read p99 gain >= 2x, linearizable, zero acked-write loss,\n"+
+			"       wasted rate <= budget, server plane silent — all hold\n"+
+			"hedge results written to %s\n\n", *benchOut)
+	}
 	runRaftBench := func() {
 		fmt.Println("== DepFastRaft healthy throughput/latency matrix ==")
 		type cell struct {
@@ -321,6 +386,8 @@ func main() {
 		runReplace()
 	case "trace":
 		runTrace()
+	case "hedge":
+		runHedge()
 	case "raftbench":
 		runRaftBench()
 	case "all":

@@ -56,6 +56,10 @@ func main() {
 		fmt.Println(obs.RenderEvents(evs, obs.CommitSpan, obs.GaugeSample))
 	}
 
+	if tbl := obs.SummarizeHedges(evs).Render(); tbl != "" {
+		fmt.Println(tbl)
+	}
+
 	rep := obs.Analyze(evs, obs.ReportConfig{
 		RecoveryFraction: *recovery,
 		SustainSamples:   *sustain,

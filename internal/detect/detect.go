@@ -338,6 +338,35 @@ func (d *Detector) Healthy(peer string) bool {
 	return st == nil || !st.suspect
 }
 
+// DeadlineHint derives a per-peer latency deadline for request-path
+// speculation: mult × the larger of the peer's EWMA and the median
+// peer EWMA, floored at Floor. Taking the max of peer and median
+// keeps the hint two-sided — a peer whose own estimate has gone stale
+// still inherits the cluster's current baseline, and a peer faster
+// than its siblings isn't hedged on noise. ok is false until the peer
+// has MinSamples observations; callers should then not speculate at
+// all rather than guess.
+func (d *Detector) DeadlineHint(peer string, mult float64) (time.Duration, bool) {
+	if mult <= 0 {
+		mult = 1
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	st := d.peers[peer]
+	if st == nil || st.samples < d.cfg.MinSamples {
+		return 0, false
+	}
+	base := st.ewma
+	if m := d.medianLocked(); m > base {
+		base = m
+	}
+	hint := time.Duration(mult * base)
+	if hint < d.cfg.Floor {
+		hint = d.cfg.Floor
+	}
+	return hint, true
+}
+
 // ConsecutiveHealthy returns peer's current run of healthy
 // round-trips (zero for unknown peers).
 func (d *Detector) ConsecutiveHealthy(peer string) int {

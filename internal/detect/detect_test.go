@@ -300,3 +300,34 @@ func TestRender(t *testing.T) {
 		t.Fatalf("render:\n%s", out)
 	}
 }
+
+func TestDeadlineHint(t *testing.T) {
+	d := New(DefaultConfig())
+	if _, ok := d.DeadlineHint("s2", 3); ok {
+		t.Fatal("hint available before MinSamples")
+	}
+	feed(d, "s2", 4*time.Millisecond, 50)
+	feed(d, "s3", 4*time.Millisecond, 50)
+	hint, ok := d.DeadlineHint("s2", 3)
+	if !ok {
+		t.Fatal("hint unavailable after MinSamples")
+	}
+	if hint < 10*time.Millisecond || hint > 14*time.Millisecond {
+		t.Fatalf("hint = %v, want ≈3× the 4ms EWMA", hint)
+	}
+	// A peer whose EWMA collapsed below the healthy median still gets a
+	// median-based hint: hedging against scheduler noise is the failure
+	// mode the max(peer, median) base exists to prevent.
+	feed(d, "s4", 100*time.Microsecond, 50)
+	fast, ok := d.DeadlineHint("s4", 3)
+	if !ok || fast < 10*time.Millisecond {
+		t.Fatalf("fast-peer hint = %v/%v, want median-based ≈12ms", fast, ok)
+	}
+	// The floor backstops everything.
+	d2 := New(DefaultConfig())
+	feed(d2, "s2", 50*time.Microsecond, 50)
+	low, ok := d2.DeadlineHint("s2", 1.5)
+	if !ok || low < d2.cfg.Floor {
+		t.Fatalf("hint = %v/%v, want floored at %v", low, ok, d2.cfg.Floor)
+	}
+}

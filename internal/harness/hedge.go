@@ -1,0 +1,559 @@
+package harness
+
+import (
+	"fmt"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"depfast/internal/clock"
+	"depfast/internal/core"
+	"depfast/internal/env"
+	"depfast/internal/hedge"
+	"depfast/internal/metrics"
+	"depfast/internal/obs"
+	"depfast/internal/raft"
+	"depfast/internal/rpc"
+)
+
+// HedgeConfig parameterizes the request-hedging experiment: a
+// fail-slow episode deliberately injected *below* the server-side
+// detector's horizon — a bursty one-way delay on the leader→client
+// links, leaving all server↔server traffic healthy — measured with
+// speculation off and on at equal offered load. The sentinel cannot
+// help here (nothing it can see is slow); any tail improvement must
+// come from the request-path hedging layer alone.
+type HedgeConfig struct {
+	Nodes   int
+	Readers int // closed-loop read clients
+	Writers int // single-writer-per-key counter clients
+
+	Warmup        time.Duration
+	HealthyWindow time.Duration // hedged measurement, no fault
+	EpisodeWindow time.Duration // per episode phase (unhedged, then hedged)
+
+	Records   int // unused keys beyond the writer counters; reserved
+	ValueSize int
+
+	// Episode shape: Delay is the one-way leader→client delay during a
+	// burst; bursts last BurstOn out of every BurstOn+BurstOff.
+	Delay    time.Duration
+	BurstOn  time.Duration
+	BurstOff time.Duration
+
+	// Hedger tuning (zero values take hedge defaults).
+	DeadlineMult float64
+	BudgetRatio  float64
+	BudgetBurst  float64
+
+	// LinBudget caps the linearizability DFS (<=0: checker default).
+	LinBudget int
+
+	Recorder *obs.Recorder
+	Seed     int64
+}
+
+// DefaultHedgeConfig returns the full-size episode scenario.
+func DefaultHedgeConfig() HedgeConfig {
+	return HedgeConfig{
+		Nodes:         3,
+		Readers:       12,
+		Writers:       2,
+		Warmup:        700 * time.Millisecond,
+		HealthyWindow: 800 * time.Millisecond,
+		EpisodeWindow: 1000 * time.Millisecond,
+		ValueSize:     100,
+		Delay:         80 * time.Millisecond,
+		BurstOn:       40 * time.Millisecond,
+		BurstOff:      160 * time.Millisecond,
+		DeadlineMult:  2.5,
+		BudgetRatio:   0.3,
+		BudgetBurst:   32,
+		Seed:          42,
+	}
+}
+
+// QuickHedgeConfig returns the CI-sized variant.
+func QuickHedgeConfig() HedgeConfig {
+	cfg := DefaultHedgeConfig()
+	cfg.Readers = 8
+	cfg.Warmup = 500 * time.Millisecond
+	cfg.HealthyWindow = 500 * time.Millisecond
+	cfg.EpisodeWindow = 700 * time.Millisecond
+	return cfg
+}
+
+// HedgePhaseStats is one measurement window's latency picture, with
+// reads and writes kept separate — the hedging gate is a read-tail
+// claim and must not be diluted by write latencies.
+type HedgePhaseStats struct {
+	Name   string
+	Reads  int64
+	Writes int64
+	Errs   int64
+	Tput   float64 // total ops/sec over the window
+
+	ReadMean time.Duration
+	ReadP50  time.Duration
+	ReadP95  time.Duration
+	ReadP99  time.Duration
+	WriteP99 time.Duration
+}
+
+// String renders one phase row.
+func (p HedgePhaseStats) String() string {
+	return fmt.Sprintf("%-16s reads=%-5d writes=%-4d errs=%-3d tput=%6.0f op/s read p50=%-8v p99=%-8v write p99=%v",
+		p.Name, p.Reads, p.Writes, p.Errs, p.Tput,
+		p.ReadP50.Round(10*time.Microsecond), p.ReadP99.Round(10*time.Microsecond),
+		p.WriteP99.Round(10*time.Microsecond))
+}
+
+// HedgeResult is the experiment's verdict.
+type HedgeResult struct {
+	Leader string
+
+	Healthy  HedgePhaseStats // hedged, no fault: the waste measurement
+	Unhedged HedgePhaseStats // episode, speculation off
+	Hedged   HedgePhaseStats // episode, speculation on
+
+	// Hedger counters over the whole run.
+	Fired, Won, Wasted, Exhausted, PutRetries int64
+	// HealthyWastedRate is wasted hedges per request in the healthy
+	// window — the "speculation must not melt a healthy cluster" gate;
+	// it is bounded by BudgetRatio by construction.
+	HealthyWastedRate float64
+	BudgetRatio       float64
+
+	// ReadGain is unhedged read P99 / hedged read P99 during the
+	// episode: the headline number.
+	ReadGain float64
+
+	// Detector-silence assertions: the episode must be invisible to the
+	// server-side plane.
+	SuspectEvents  int
+	ElectionsDelta int64
+
+	// Safety audit over the recorded episode history.
+	Lin       LinReport
+	AckedLoss int
+
+	// Lease traffic on the leader (observability).
+	LeaseReads, LeaseFallbacks int64
+}
+
+// String renders a multi-line summary.
+func (r HedgeResult) String() string {
+	return fmt.Sprintf(
+		"hedge: leader=%s\n  %v\n  %v\n  %v\n"+
+			"  hedges fired=%d won=%d wasted=%d exhausted=%d put-retries=%d healthy-wasted-rate=%.3f (budget %.2f)\n"+
+			"  read p99 gain=%.2fx  suspects=%d elections-delta=%d\n"+
+			"  audit: %v over %d ops, acked-loss=%d  lease reads=%d fallbacks=%d",
+		r.Leader, r.Healthy, r.Unhedged, r.Hedged,
+		r.Fired, r.Won, r.Wasted, r.Exhausted, r.PutRetries, r.HealthyWastedRate, r.BudgetRatio,
+		r.ReadGain, r.SuspectEvents, r.ElectionsDelta,
+		r.Lin.Verdict, r.Lin.Ops, r.AckedLoss, r.LeaseReads, r.LeaseFallbacks)
+}
+
+// hedgePool is the experiment's client population: Readers closed-loop
+// Get clients plus Writers single-key counter writers, all sharing one
+// hedger whose use is toggled per phase (same clients, same load —
+// only the speculation flag differs between episode windows).
+type hedgePool struct {
+	rts    []*core.Runtime
+	eps    []*rpc.Endpoint
+	names  []string // client runtime names (the delayed links)
+	hedger *hedge.Hedger
+
+	hedging   atomic.Bool
+	recording atomic.Bool
+	stopFlag  atomic.Bool
+	wg        sync.WaitGroup
+
+	readHist  atomic.Pointer[metrics.Histogram]
+	writeHist atomic.Pointer[metrics.Histogram]
+	reads     atomic.Int64
+	writes    atomic.Int64
+	errs      atomic.Int64
+
+	mu      sync.Mutex
+	history []HOp
+
+	lastAcked []atomic.Int64 // per writer: highest acked counter value
+}
+
+func hedgeWriterKey(i int) string { return fmt.Sprintf("hedge-w%d", i) }
+
+// record appends op to the audit history.
+func (p *hedgePool) record(op HOp) {
+	p.mu.Lock()
+	p.history = append(p.history, op)
+	p.mu.Unlock()
+}
+
+// snapshotPhase swaps in fresh histograms and zeroes the window
+// counters, returning a closure that finalizes the phase's stats.
+func (p *hedgePool) snapshotPhase(name string) func() HedgePhaseStats {
+	rh, wh := metrics.NewHistogram(), metrics.NewHistogram()
+	p.readHist.Store(rh)
+	p.writeHist.Store(wh)
+	p.reads.Store(0)
+	p.writes.Store(0)
+	p.errs.Store(0)
+	start := time.Now()
+	return func() HedgePhaseStats {
+		el := time.Since(start).Seconds()
+		s := HedgePhaseStats{
+			Name:     name,
+			Reads:    p.reads.Load(),
+			Writes:   p.writes.Load(),
+			Errs:     p.errs.Load(),
+			ReadMean: rh.Mean(),
+			ReadP50:  rh.P50(),
+			ReadP95:  rh.P95(),
+			ReadP99:  rh.P99(),
+			WriteP99: wh.P99(),
+		}
+		if el > 0 {
+			s.Tput = float64(s.Reads+s.Writes) / el
+		}
+		return s
+	}
+}
+
+// startHedgePool launches the population against the cluster.
+func startHedgePool(h *clusterHandle, cfg HedgeConfig, leader string) *hedgePool {
+	runtimes := 2
+	p := &hedgePool{
+		rts:       make([]*core.Runtime, runtimes),
+		eps:       make([]*rpc.Endpoint, runtimes),
+		lastAcked: make([]atomic.Int64, cfg.Writers),
+	}
+	p.hedger = hedge.New(hedge.Config{
+		DeadlineMult:      cfg.DeadlineMult,
+		BudgetRatio:       cfg.BudgetRatio,
+		BudgetBurst:       cfg.BudgetBurst,
+		SpeculativeWrites: true,
+		Node:              "hedge-client",
+		Recorder:          cfg.Recorder,
+	})
+	p.hedging.Store(true)
+	p.readHist.Store(metrics.NewHistogram())
+	p.writeHist.Store(metrics.NewHistogram())
+	ecfg := env.DefaultConfig()
+	for i := range p.rts {
+		name := fmt.Sprintf("hclient-%d", i)
+		p.names = append(p.names, name)
+		p.rts[i] = core.NewRuntime(name)
+		p.eps[i] = rpc.NewEndpoint(name, p.rts[i], h.net, rpc.WithCallTimeout(3*time.Second))
+		h.net.Register(name, env.New(name, ecfg), p.eps[i].TransportHandler())
+	}
+	order := append([]string{leader}, otherNames(h.names, leader)...)
+
+	for w := 0; w < cfg.Writers; w++ {
+		w := w
+		rt, ep := p.rts[w%runtimes], p.eps[w%runtimes]
+		id := uint64(2000 + w)
+		p.wg.Add(1)
+		rt.Spawn("hedge-writer", func(co *core.Coroutine) {
+			defer p.wg.Done()
+			cl := raft.NewClient(id, ep, order, 3*time.Second)
+			key := hedgeWriterKey(w)
+			for n := int64(1); !p.stopFlag.Load(); n++ {
+				if p.hedging.Load() {
+					cl.SetHedger(p.hedger)
+				} else {
+					cl.SetHedger(nil)
+				}
+				val := []byte(strconv.FormatInt(n, 10))
+				call := time.Now()
+				err := cl.Put(co, key, val)
+				ret := time.Now()
+				if p.stopFlag.Load() && err != nil {
+					// Aborted by shutdown — but the proposal may still commit,
+					// so the audit must know it might exist.
+					p.record(HOp{Client: fmt.Sprintf("w%d", w), Kind: HPut, Key: key,
+						Value: val, Call: call, Return: ret, Maybe: true})
+					return
+				}
+				if err == nil {
+					p.lastAcked[w].Store(n)
+					p.writes.Add(1)
+					p.writeHist.Load().Record(ret.Sub(call))
+				} else {
+					p.errs.Add(1)
+				}
+				// Writes are recorded unconditionally: the audit's reads are
+				// window-gated, and a windowed read may observe a value written
+				// in an unrecorded gap — the checker needs every put on the key
+				// or that read looks like a phantom. A complete write history
+				// plus partial read history stays sound (reads are pure).
+				p.record(HOp{Client: fmt.Sprintf("w%d", w), Kind: HPut, Key: key,
+					Value: val, Call: call, Return: ret, Maybe: err != nil})
+				if err == raft.ErrClientStopped || co.Sleep(3*time.Millisecond) != nil {
+					return
+				}
+			}
+		})
+	}
+
+	for rdr := 0; rdr < cfg.Readers; rdr++ {
+		rdr := rdr
+		rt, ep := p.rts[rdr%runtimes], p.eps[rdr%runtimes]
+		id := uint64(3000 + rdr)
+		p.wg.Add(1)
+		rt.Spawn("hedge-reader", func(co *core.Coroutine) {
+			defer p.wg.Done()
+			cl := raft.NewClient(id, ep, order, 3*time.Second)
+			for k := rdr; !p.stopFlag.Load(); k++ {
+				if p.hedging.Load() {
+					cl.SetHedger(p.hedger)
+				} else {
+					cl.SetHedger(nil)
+				}
+				key := hedgeWriterKey(k % cfg.Writers)
+				rec := p.recording.Load()
+				call := time.Now()
+				v, found, err := cl.Get(co, key)
+				ret := time.Now()
+				if p.stopFlag.Load() && err != nil {
+					return
+				}
+				if err == nil {
+					p.reads.Add(1)
+					p.readHist.Load().Record(ret.Sub(call))
+				} else {
+					p.errs.Add(1)
+				}
+				if rec {
+					op := HOp{Client: fmt.Sprintf("r%d", rdr), Kind: HGet, Key: key,
+						Call: call, Return: ret, Maybe: err != nil}
+					if err == nil {
+						op.OutFound, op.OutValue = found, v
+					}
+					p.record(op)
+				}
+				if err == raft.ErrClientStopped {
+					return
+				}
+			}
+		})
+	}
+	return p
+}
+
+func (p *hedgePool) stop() {
+	p.stopFlag.Store(true)
+	done := make(chan struct{})
+	go func() { p.wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+	}
+}
+
+func (p *hedgePool) close() {
+	for i := range p.rts {
+		p.eps[i].Close()
+		p.rts[i].Stop()
+	}
+}
+
+// burster toggles the one-way leader→client delays on a duty cycle
+// from its own goroutine; Stop clears the delays.
+type burster struct {
+	e       *env.Env
+	targets []string
+	delay   time.Duration
+	on, off time.Duration
+	stopCh  chan struct{}
+	doneCh  chan struct{}
+}
+
+func startBurster(e *env.Env, targets []string, delay, on, off time.Duration) *burster {
+	b := &burster{e: e, targets: targets, delay: delay, on: on, off: off,
+		stopCh: make(chan struct{}), doneCh: make(chan struct{})}
+	go b.run()
+	return b
+}
+
+func (b *burster) set(d time.Duration) {
+	for _, t := range b.targets {
+		b.e.SetNetDelayTo(t, d)
+	}
+}
+
+func (b *burster) run() {
+	defer close(b.doneCh)
+	for {
+		select {
+		case <-b.stopCh:
+			b.set(0)
+			return
+		default:
+		}
+		b.set(b.delay)
+		clock.Precise(b.on)
+		b.set(0)
+		clock.Precise(b.off)
+	}
+}
+
+func (b *burster) Stop() {
+	close(b.stopCh)
+	<-b.doneCh
+	b.set(0)
+}
+
+// RunHedge drives the speculation layer end to end: warm up hedged on
+// a healthy cluster (measuring the waste rate), then run an identical
+// offered load through a bursty leader→client one-way delay twice —
+// speculation off, speculation on — and audit the recorded episode
+// history for linearizability and acked-write loss. The injected
+// fault never touches a server↔server link, so the server-side
+// detector and election machinery are asserted silent throughout:
+// whatever the tail gains, the hedging layer earned alone.
+func RunHedge(cfg HedgeConfig) (HedgeResult, error) {
+	if cfg.Nodes <= 0 {
+		cfg.Nodes = 3
+	}
+	if cfg.Readers <= 0 {
+		cfg.Readers = 12
+	}
+	if cfg.Writers <= 0 {
+		cfg.Writers = 2
+	}
+	rec := cfg.Recorder
+	res := HedgeResult{BudgetRatio: cfg.BudgetRatio}
+
+	rcfg := RunConfig{
+		System:   DepFastRaft,
+		Nodes:    cfg.Nodes,
+		Seed:     cfg.Seed,
+		Recorder: rec,
+		RaftMutate: func(rc *raft.Config) {
+			rc.ReadIndex = true
+			rc.LeaderLease = true
+			rc.PeerDetector = true
+			// Deliberately no mitigation and no slow-leader detector:
+			// the episode is designed to be invisible to them, and the
+			// experiment must show the hedging layer standing alone.
+			rc.Mitigation = false
+			rc.SlowLeaderDetector = false
+		},
+	}
+	h, err := buildCluster(rcfg, nil)
+	if err != nil {
+		return res, err
+	}
+	defer h.stop()
+	leader, err := h.waitLeader(15 * time.Second)
+	if err != nil {
+		return res, err
+	}
+	res.Leader = leader
+	electionsBefore := h.elections()
+
+	pool := startHedgePool(h, cfg, leader)
+	defer pool.close()
+
+	phase(rec, "warmup")
+	clock.Precise(cfg.Warmup)
+
+	// Phase 1: healthy cluster, speculation on — the waste measurement.
+	phase(rec, "healthy-hedged")
+	wastedBefore, firedBefore := pool.hedger.Wasted.Value(), pool.hedger.Fired.Value()
+	finish := pool.snapshotPhase("healthy-hedged")
+	clock.Precise(cfg.HealthyWindow)
+	res.Healthy = finish()
+	if reqs := res.Healthy.Reads + res.Healthy.Writes; reqs > 0 {
+		res.HealthyWastedRate = float64(pool.hedger.Wasted.Value()-wastedBefore) / float64(reqs)
+	}
+	_ = firedBefore
+
+	// Episode: bursty one-way delay, leader → every client runtime.
+	b := startBurster(h.envs[leader], pool.names, cfg.Delay, cfg.BurstOn, cfg.BurstOff)
+	pool.recording.Store(true)
+
+	phase(rec, "episode-unhedged")
+	pool.hedging.Store(false)
+	finish = pool.snapshotPhase("episode-unhedged")
+	clock.Precise(cfg.EpisodeWindow)
+	res.Unhedged = finish()
+
+	phase(rec, "episode-hedged")
+	pool.hedging.Store(true)
+	finish = pool.snapshotPhase("episode-hedged")
+	clock.Precise(cfg.EpisodeWindow)
+	res.Hedged = finish()
+
+	b.Stop()
+	phase(rec, "audit")
+	pool.recording.Store(false)
+	pool.stop()
+
+	// Final reads: one plain (unhedged) Get per writer key, both for
+	// the acked-write-loss check and as the history's closing reads.
+	type finalRead struct {
+		val []byte
+		ok  bool
+	}
+	finals := make([]finalRead, cfg.Writers)
+	done := make(chan struct{})
+	order := append([]string{leader}, otherNames(h.names, leader)...)
+	pool.rts[0].Spawn("hedge-final-read", func(co *core.Coroutine) {
+		defer close(done)
+		cl := raft.NewClient(4999, pool.eps[0], order, 3*time.Second)
+		for w := 0; w < cfg.Writers; w++ {
+			call := time.Now()
+			v, found, err := cl.Get(co, hedgeWriterKey(w))
+			if err != nil {
+				continue
+			}
+			finals[w] = finalRead{val: v, ok: true}
+			pool.record(HOp{Client: "final", Kind: HGet, Key: hedgeWriterKey(w),
+				OutFound: found, OutValue: v, Call: call, Return: time.Now()})
+		}
+	})
+	select {
+	case <-done:
+	case <-time.After(15 * time.Second):
+	}
+	for w := 0; w < cfg.Writers; w++ {
+		acked := pool.lastAcked[w].Load()
+		if acked == 0 {
+			continue
+		}
+		if !finals[w].ok {
+			res.AckedLoss++
+			continue
+		}
+		got, err := strconv.ParseInt(string(finals[w].val), 10, 64)
+		if err != nil || got < acked {
+			res.AckedLoss++
+		}
+	}
+
+	res.Fired = pool.hedger.Fired.Value()
+	res.Won = pool.hedger.Won.Value()
+	res.Wasted = pool.hedger.Wasted.Value()
+	res.Exhausted = pool.hedger.Exhausted.Value()
+	res.PutRetries = pool.hedger.PutRetry.Value()
+	res.ElectionsDelta = h.elections() - electionsBefore
+	for _, s := range h.raftServers {
+		res.LeaseReads += s.LeaseReads.Value()
+		res.LeaseFallbacks += s.LeaseFallbacks.Value()
+	}
+	if rec != nil {
+		for _, e := range rec.Events() {
+			if e.Type == obs.VerdictSuspect {
+				res.SuspectEvents++
+			}
+		}
+	}
+	if res.Hedged.ReadP99 > 0 {
+		res.ReadGain = float64(res.Unhedged.ReadP99) / float64(res.Hedged.ReadP99)
+	}
+	res.Lin = CheckLinearizable(pool.history, cfg.LinBudget)
+	return res, nil
+}

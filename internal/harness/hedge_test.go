@@ -1,0 +1,55 @@
+package harness
+
+import (
+	"testing"
+
+	"depfast/internal/obs"
+)
+
+// TestHedgeChaosLinearizable is the speculation-safety chaos test:
+// hedged reads and speculative write re-proposals race their primaries
+// under an asymmetric one-way-delay schedule (bursty leader→client
+// delay, server links healthy), and the recorded history must stay
+// linearizable with no acked write lost. It also asserts the
+// episode's defining property — the server-side plane never noticed.
+func TestHedgeChaosLinearizable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second experiment")
+	}
+	cfg := QuickHedgeConfig()
+	cfg.Recorder = obs.NewRecorder(16384)
+	res, err := RunHedge(cfg)
+	if err != nil {
+		t.Fatalf("RunHedge: %v", err)
+	}
+	t.Logf("\n%v", res)
+	if res.Lin.Verdict == LinViolation {
+		t.Fatalf("hedged history NOT linearizable (key %q, %d ops)", res.Lin.Key, res.Lin.Ops)
+	}
+	if res.AckedLoss != 0 {
+		t.Fatalf("acked-write loss: %d writer keys regressed", res.AckedLoss)
+	}
+	if res.Fired == 0 {
+		t.Fatal("episode fired no hedges; the experiment exercised nothing")
+	}
+	if res.Won == 0 {
+		t.Fatalf("no hedge won (%d fired); follower reads never dodged the slow link", res.Fired)
+	}
+	// The injected delay must stay below the server-side detector's
+	// horizon: zero suspicion verdicts, zero extra elections.
+	if res.SuspectEvents != 0 {
+		t.Fatalf("server-side detector raised %d suspicions; episode was not sub-threshold", res.SuspectEvents)
+	}
+	if res.ElectionsDelta != 0 {
+		t.Fatalf("%d elections during the episode; fault leaked into the consensus plane", res.ElectionsDelta)
+	}
+	// Budget bound by construction: fired ≤ ratio × requests + burst.
+	reqs := res.Healthy.Reads + res.Healthy.Writes +
+		res.Unhedged.Reads + res.Unhedged.Writes +
+		res.Hedged.Reads + res.Hedged.Writes
+	cap := cfg.BudgetRatio*float64(reqs)*1.5 + cfg.BudgetBurst
+	if float64(res.Fired) > cap {
+		t.Fatalf("fired %d hedges over ~%d requests; budget bound breached (cap %.0f)",
+			res.Fired, reqs, cap)
+	}
+}

@@ -1,0 +1,62 @@
+package hedge
+
+import "sync"
+
+// Budget is a ratio token bucket bounding speculation: every observed
+// request accrues Ratio tokens (capped at Burst) and every hedge
+// spends one, so hedges can never exceed Ratio × requests + Burst no
+// matter how wrong the deadline estimate is. That bound is what keeps
+// speculation from melting a healthy cluster into a metastable storm
+// — a misestimated deadline costs a bounded fraction of extra load,
+// not a doubling.
+type Budget struct {
+	mu     sync.Mutex
+	ratio  float64
+	burst  float64
+	tokens float64
+}
+
+// NewBudget returns a bucket accruing ratio tokens per request with
+// capacity burst. Non-positive arguments take the package defaults
+// (0.1, 8): at most one hedge per ten requests at steady state.
+func NewBudget(ratio, burst float64) *Budget {
+	if ratio <= 0 {
+		ratio = 0.1
+	}
+	if burst <= 0 {
+		burst = 8
+	}
+	return &Budget{ratio: ratio, burst: burst, tokens: burst}
+}
+
+// NoteRequest accrues one request's worth of hedge allowance.
+func (b *Budget) NoteRequest() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.tokens += b.ratio
+	if b.tokens > b.burst {
+		b.tokens = b.burst
+	}
+}
+
+// TryTake spends one token; false means the budget is exhausted and
+// the caller must not hedge.
+func (b *Budget) TryTake() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// Tokens reports the current balance (tests, introspection).
+func (b *Budget) Tokens() float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.tokens
+}
+
+// Ratio reports the per-request accrual rate.
+func (b *Budget) Ratio() float64 { return b.ratio }

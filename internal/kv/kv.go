@@ -237,6 +237,11 @@ type ClientRequest struct {
 	TraceID      uint64
 	TraceSpan    uint64
 	TraceSampled bool
+
+	// FollowerRead asks a non-leader replica to serve this Get locally
+	// (after confirming a read index with the leader) instead of
+	// bouncing NotLeader — the hedged-read path. Leaders ignore it.
+	FollowerRead bool
 }
 
 // TypeTag implements codec.Message.
@@ -250,6 +255,7 @@ func (m *ClientRequest) MarshalTo(e *codec.Encoder) {
 	e.Uint64(m.TraceID)
 	e.Uint64(m.TraceSpan)
 	e.Bool(m.TraceSampled)
+	e.Bool(m.FollowerRead)
 }
 
 // UnmarshalFrom implements codec.Message.
@@ -263,6 +269,7 @@ func (m *ClientRequest) UnmarshalFrom(d *codec.Decoder) {
 	m.TraceID = d.Uint64()
 	m.TraceSpan = d.Uint64()
 	m.TraceSampled = d.Bool()
+	m.FollowerRead = d.Bool()
 }
 
 // ClientResponse answers a ClientRequest.

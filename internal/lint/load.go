@@ -15,7 +15,7 @@ import (
 
 // LogicPaths lists the import-path suffixes of the protocol-logic
 // packages the full programming model applies to.
-var LogicPaths = []string{"internal/raft", "internal/kv", "internal/baseline", "internal/shard"}
+var LogicPaths = []string{"internal/raft", "internal/kv", "internal/baseline", "internal/shard", "internal/hedge"}
 
 // HarnessPaths lists the experiment-driver packages where raw
 // time.Sleep is flagged in favor of internal/clock primitives.

@@ -1,0 +1,108 @@
+package obs
+
+// This file aggregates HedgeFired/HedgeWon/HedgeCancelled events into
+// a per-target table — how often clients speculated, how often the
+// hedge actually beat the primary, and how much of the budget was
+// burned for nothing. depfast-report renders it whenever a stream
+// carries hedge events.
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// HedgeRow is one hedge target's speculation tally.
+type HedgeRow struct {
+	Target    string
+	Fired     int
+	Won       int
+	Cancelled int // abandoned hedges, including primary-won (wasted)
+	Wasted    int // the primary-won subset of Cancelled
+	// WonMean is the mean winning-hedge latency (zero when none won).
+	WonMean time.Duration
+}
+
+// HedgeSummary aggregates a stream's speculation events.
+type HedgeSummary struct {
+	Rows      []HedgeRow
+	Fired     int
+	Won       int
+	Cancelled int
+	Wasted    int
+	Writes    int // fired hedges that were speculative write re-proposals
+}
+
+// SummarizeHedges tallies hedge events by target, most-fired first.
+func SummarizeHedges(events []Event) *HedgeSummary {
+	rows := make(map[string]*HedgeRow)
+	row := func(target string) *HedgeRow {
+		r := rows[target]
+		if r == nil {
+			r = &HedgeRow{Target: target}
+			rows[target] = r
+		}
+		return r
+	}
+	sum := &HedgeSummary{}
+	wonTotal := make(map[string]time.Duration)
+	for _, e := range events {
+		switch e.Type {
+		case HedgeFired:
+			row(e.Peer).Fired++
+			sum.Fired++
+			if strings.HasPrefix(e.Detail, "write") {
+				sum.Writes++
+			}
+		case HedgeWon:
+			row(e.Peer).Won++
+			sum.Won++
+			wonTotal[e.Peer] += time.Duration(e.Field("latency_us")) * time.Microsecond
+		case HedgeCancelled:
+			r := row(e.Peer)
+			r.Cancelled++
+			sum.Cancelled++
+			if e.Detail == "primary won" {
+				r.Wasted++
+				sum.Wasted++
+			}
+		}
+	}
+	if sum.Fired == 0 {
+		return sum
+	}
+	for target, r := range rows {
+		if r.Won > 0 {
+			r.WonMean = wonTotal[target] / time.Duration(r.Won)
+		}
+		sum.Rows = append(sum.Rows, *r)
+	}
+	sort.Slice(sum.Rows, func(i, j int) bool {
+		if sum.Rows[i].Fired != sum.Rows[j].Fired {
+			return sum.Rows[i].Fired > sum.Rows[j].Fired
+		}
+		return sum.Rows[i].Target < sum.Rows[j].Target
+	})
+	return sum
+}
+
+// Render formats the summary as a table; empty string when the stream
+// carried no hedge events.
+func (s *HedgeSummary) Render() string {
+	if s == nil || s.Fired == 0 {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "hedged requests: %d fired (%d writes), %d won, %d wasted\n",
+		s.Fired, s.Writes, s.Won, s.Wasted)
+	fmt.Fprintf(&b, "    %-10s %6s %6s %7s %10s\n", "target", "fired", "won", "wasted", "won-mean")
+	for _, r := range s.Rows {
+		mean := "-"
+		if r.Won > 0 {
+			mean = r.WonMean.Round(10 * time.Microsecond).String()
+		}
+		fmt.Fprintf(&b, "    %-10s %6d %6d %7d %10s\n", r.Target, r.Fired, r.Won, r.Wasted, mean)
+	}
+	return b.String()
+}

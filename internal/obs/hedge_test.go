@@ -1,0 +1,44 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSummarizeHedges(t *testing.T) {
+	events := []Event{
+		{Type: HedgeFired, Peer: "s2", Detail: "read slow=s1"},
+		{Type: HedgeWon, Peer: "s2", Fields: map[string]float64{"latency_us": 4000}},
+		{Type: HedgeFired, Peer: "s2", Detail: "read slow=s1"},
+		{Type: HedgeCancelled, Peer: "s2", Detail: "primary won"},
+		{Type: HedgeFired, Peer: "s3", Detail: "write slow=s1"},
+		{Type: HedgeWon, Peer: "s3", Fields: map[string]float64{"latency_us": 8000}},
+		{Type: HedgeCancelled, Peer: "s3", Detail: "timeout"},
+		{Type: Phase, Detail: "unrelated"},
+	}
+	s := SummarizeHedges(events)
+	if s.Fired != 3 || s.Won != 2 || s.Cancelled != 2 || s.Wasted != 1 || s.Writes != 1 {
+		t.Fatalf("summary = %+v, want fired 3 / won 2 / cancelled 2 / wasted 1 / writes 1", s)
+	}
+	if len(s.Rows) != 2 || s.Rows[0].Target != "s2" {
+		t.Fatalf("rows = %+v, want s2 (most fired) first", s.Rows)
+	}
+	if s.Rows[0].Wasted != 1 || s.Rows[0].WonMean != 4*time.Millisecond {
+		t.Fatalf("s2 row = %+v, want wasted 1, won-mean 4ms", s.Rows[0])
+	}
+	out := s.Render()
+	if !strings.Contains(out, "3 fired (1 writes), 2 won, 1 wasted") {
+		t.Fatalf("render header missing tallies:\n%s", out)
+	}
+	if !strings.Contains(out, "s2") || !strings.Contains(out, "s3") {
+		t.Fatalf("render missing per-target rows:\n%s", out)
+	}
+}
+
+func TestSummarizeHedgesEmpty(t *testing.T) {
+	s := SummarizeHedges([]Event{{Type: Phase}})
+	if s.Fired != 0 || s.Render() != "" {
+		t.Fatalf("empty stream should render nothing, got %q", s.Render())
+	}
+}

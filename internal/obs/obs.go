@@ -107,6 +107,16 @@ const (
 	// names the top-blamed (node, resource) pair.
 	AttributionSample Type = "attribution.sample"
 
+	// HedgeFired / HedgeWon / HedgeCancelled trace request-path
+	// speculation: Node is the hedging client, Peer the hedge target.
+	// Fired's Detail carries the kind ("read"/"write") and the slow
+	// primary; Won's Fields["latency_us"] is the winning hedge's
+	// latency; Cancelled marks an abandoned hedge (Detail says why —
+	// "primary won", a useless answer, or a double timeout).
+	HedgeFired     Type = "hedge.fired"
+	HedgeWon       Type = "hedge.won"
+	HedgeCancelled Type = "hedge.cancelled"
+
 	// Phase marks a harness experiment phase boundary (Detail names it:
 	// warmup, pre-window, grace, post-window, clear, ...).
 	Phase Type = "phase"

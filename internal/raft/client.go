@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"depfast/internal/core"
+	"depfast/internal/hedge"
 	"depfast/internal/kv"
 	"depfast/internal/rpc"
 	"depfast/internal/xtrace"
@@ -33,6 +34,11 @@ type Client struct {
 	backoff *Backoff
 	misses  int
 	trc     *xtrace.Collector
+	// hedger, when set, speculates on slow attempts (client_hedge.go).
+	hedger *hedge.Hedger
+	// suspects mirrors the latest membership probe's fail-slow list;
+	// rotation and hedge-target selection skip these servers.
+	suspects map[string]bool
 }
 
 // NewClient returns a client with unique id issuing requests through
@@ -70,6 +76,9 @@ func (c *Client) Do(co *core.Coroutine, cmd kv.Command) (kv.Result, error) {
 func (c *Client) DoTraced(co *core.Coroutine, cmd kv.Command, parent xtrace.Context) (kv.Result, error) {
 	c.seq++
 	req := &kv.ClientRequest{ClientID: c.id, Seq: c.seq, Cmd: cmd}
+	if c.hedger != nil {
+		c.hedger.NoteRequest()
+	}
 	tc := parent
 	owned := false
 	if c.trc != nil && !tc.Active() {
@@ -96,7 +105,13 @@ func (c *Client) DoTraced(co *core.Coroutine, cmd kv.Command, parent xtrace.Cont
 		}
 		sendAt := time.Now()
 		ev := c.ep.Call(target, req)
-		switch co.WaitFor(ev, c.timeout) {
+		win, wres := ev, core.WaitReady
+		if c.hedger != nil {
+			win, wres = c.awaitMaybeHedged(co, ev, target, req, sendAt, tc)
+		} else {
+			wres = co.WaitFor(ev, c.timeout)
+		}
+		switch wres {
 		case core.WaitStopped:
 			recordAttempt(attemptID, target, sendAt)
 			return kv.Result{}, ErrClientStopped
@@ -113,14 +128,14 @@ func (c *Client) DoTraced(co *core.Coroutine, cmd kv.Command, parent xtrace.Cont
 			continue
 		}
 		recordAttempt(attemptID, target, sendAt)
-		if ev.Err() != nil {
+		if win.Err() != nil {
 			c.noteMiss(co)
 			if err := co.Sleep(c.backoff.Delay(0)); err != nil {
 				return kv.Result{}, ErrClientStopped
 			}
 			continue
 		}
-		resp, ok := ev.Value().(*kv.ClientResponse)
+		resp, ok := win.Value().(*kv.ClientResponse)
 		if !ok {
 			c.rotate()
 			continue
@@ -188,8 +203,22 @@ func (c *Client) Scan(co *core.Coroutine, key string, n int) ([]kv.Pair, error) 
 	return res.Pairs, err
 }
 
-// rotate moves to the next candidate server.
-func (c *Client) rotate() { c.leader = (c.leader + 1) % len(c.servers) }
+// rotate moves to the next candidate server, preferring the nearest
+// one not known to be fail-slow (from membership probes and the
+// hedger's detector): a rotating client should land on the last known
+// healthy replica, not blindly walk onto the suspect it just fled.
+// When every other server is suspected it degrades to blind modular
+// rotation — staying put would starve retries entirely.
+func (c *Client) rotate() {
+	for k := 1; k < len(c.servers); k++ {
+		j := (c.leader + k) % len(c.servers)
+		if c.healthyServer(c.servers[j]) {
+			c.leader = j
+			return
+		}
+	}
+	c.leader = (c.leader + 1) % len(c.servers)
+}
 
 // noteMiss rotates after a failed or timed-out call and, once every
 // configured server has missed in a row, refreshes the member set —
@@ -219,6 +248,15 @@ func (c *Client) refreshMembership(co *core.Coroutine) {
 	c.servers = append(append([]string(nil), info.Voters...), info.Learners...)
 	c.retries = 10 * len(c.servers)
 	c.leader = 0
+	// Remember which members the probed node's detector suspects, so
+	// rotation and hedge targeting skip known-slow replicas.
+	c.suspects = nil
+	if len(info.Suspects) > 0 {
+		c.suspects = make(map[string]bool, len(info.Suspects))
+		for _, p := range info.Suspects {
+			c.suspects[p] = true
+		}
+	}
 	if !c.follow(info.LeaderHint) {
 		c.follow(cur)
 	}

@@ -1,0 +1,181 @@
+// Client-side request hedging: the raft client's half of the
+// internal/hedge speculation layer. When an attempt overruns its
+// detector-informed deadline, the client launches exactly one hedge —
+// a FollowerRead to a different healthy replica for Gets, a
+// re-proposal of the same (ClientID, Seq) for writes (the session
+// table makes the duplicate apply exactly once) — takes the first
+// usable answer, and abandons the loser. Every hedge spends a budget
+// token and never targets a currently-suspected peer.
+package raft
+
+import (
+	"time"
+
+	"depfast/internal/core"
+	"depfast/internal/hedge"
+	"depfast/internal/kv"
+	"depfast/internal/xtrace"
+)
+
+// SetHedger attaches a hedger: requests then speculate per its
+// deadlines and budget. The hedger's detector is fed this client's
+// observed RTTs. Nil-safe and safe to leave unset.
+func (c *Client) SetHedger(h *hedge.Hedger) { c.hedger = h }
+
+// Hedger returns the attached hedger (nil when none).
+func (c *Client) Hedger() *hedge.Hedger { return c.hedger }
+
+// hedgeKind classifies cmd for speculation: "read" for Gets (served
+// via FollowerRead on another replica), "write" for mutations when
+// the hedger allows speculative writes, "" for unhedgeable commands
+// (scans fan out through their own sub-clients).
+func (c *Client) hedgeKind(op kv.OpKind) string {
+	switch op {
+	case kv.OpGet:
+		return "read"
+	case kv.OpScan:
+		return ""
+	default:
+		if c.hedger.SpeculativeWrites() {
+			return "write"
+		}
+		return ""
+	}
+}
+
+// hedgeTarget picks the hedge destination: for writes the current
+// leader guess when healthy (the duplicate proposal dedups there),
+// otherwise — and always for reads, which need a *different* replica
+// — the next healthy server after the primary. Empty when no healthy
+// candidate exists: better no hedge than one aimed at a suspect.
+func (c *Client) hedgeTarget(kind string) string {
+	primary := c.servers[c.leader]
+	if kind == "write" && c.healthyServer(primary) {
+		return primary
+	}
+	for k := 1; k < len(c.servers); k++ {
+		name := c.servers[(c.leader+k)%len(c.servers)]
+		if name != primary && c.healthyServer(name) {
+			return name
+		}
+	}
+	return ""
+}
+
+// healthyServer reports whether name is suspected by neither the
+// membership probes nor the hedger's own detector.
+func (c *Client) healthyServer(name string) bool {
+	if c.suspects[name] {
+		return false
+	}
+	return c.hedger == nil || c.hedger.Healthy(name)
+}
+
+// usableResponse reports whether ev completed with an answer the
+// caller can return (not an error, bounce, or commit failure).
+func usableResponse(ev *core.ResultEvent) bool {
+	if ev.Err() != nil {
+		return false
+	}
+	resp, ok := ev.Value().(*kv.ClientResponse)
+	return ok && resp.OK
+}
+
+// observeAttempt feeds one completed or timed-out attempt's RTT into
+// the hedger's detector.
+func (c *Client) observeAttempt(peer string, sendAt time.Time, res core.WaitResult) {
+	if c.hedger != nil && res != core.WaitStopped {
+		c.hedger.Observe(peer, time.Since(sendAt), res == core.WaitTimeout)
+	}
+}
+
+// awaitMaybeHedged waits out one attempt under the hedger: if the
+// primary overruns its per-peer deadline and the budget allows, race
+// a single hedge against it and return whichever answers usefully
+// first. The overall attempt still respects c.timeout; the caller
+// handles the returned event exactly as it would the primary.
+func (c *Client) awaitMaybeHedged(co *core.Coroutine, primary *core.ResultEvent,
+	target string, req *kv.ClientRequest, sendAt time.Time, tc xtrace.Context) (*core.ResultEvent, core.WaitResult) {
+	h := c.hedger
+	kind := c.hedgeKind(req.Cmd.Op)
+	deadline, ok := h.Deadline(target)
+	if kind == "" || !ok || deadline >= c.timeout {
+		res := co.WaitFor(primary, c.timeout)
+		c.observeAttempt(target, sendAt, res)
+		return primary, res
+	}
+
+	if _, res := co.Select(deadline, primary); res != core.WaitTimeout {
+		c.observeAttempt(target, sendAt, res)
+		return primary, res
+	}
+
+	// Deadline overrun: hedge if a healthy target and a token exist.
+	hedgeTo := c.hedgeTarget(kind)
+	if hedgeTo == "" || !h.TryFire(target, hedgeTo, kind) {
+		res := co.WaitFor(primary, c.timeout-time.Since(sendAt))
+		c.observeAttempt(target, sendAt, res)
+		return primary, res
+	}
+	hreq := *req
+	if kind == "read" {
+		hreq.FollowerRead = true
+	}
+	var hedgeID uint64
+	if c.trc != nil && tc.Active() {
+		hedgeID = c.trc.NewSpanID()
+		hreq.TraceID, hreq.TraceSpan, hreq.TraceSampled = tc.TraceID, hedgeID, tc.Sampled
+	}
+	hedgeAt := time.Now()
+	hev := c.ep.Call(hedgeTo, &hreq)
+	recordHedge := func() {
+		if c.trc != nil && tc.Active() {
+			c.trc.Record(tc, xtrace.Span{ID: hedgeID, Parent: tc.Span, Name: "rpc.hedge",
+				Node: hedgeTo, Res: xtrace.Net, Start: hedgeAt, End: time.Now()})
+		}
+	}
+
+	rem := c.timeout - time.Since(sendAt)
+	idx, res := co.Select(rem, primary, hev)
+	switch res {
+	case core.WaitStopped:
+		return primary, res
+	case core.WaitTimeout:
+		recordHedge()
+		h.NoteCancelled(hedgeTo, "timeout")
+		c.observeAttempt(target, sendAt, core.WaitTimeout)
+		return primary, core.WaitTimeout
+	}
+	if idx == 1 {
+		// Hedge answered first.
+		recordHedge()
+		c.observeAttempt(hedgeTo, hedgeAt, core.WaitReady)
+		if usableResponse(hev) {
+			h.NoteWon(hedgeTo, time.Since(sendAt))
+			return hev, core.WaitReady
+		}
+		// Useless answer (bounce, error): fall back to the primary.
+		h.NoteCancelled(hedgeTo, "unusable")
+		res = co.WaitFor(primary, c.timeout-time.Since(sendAt))
+		c.observeAttempt(target, sendAt, res)
+		return primary, res
+	}
+	// Primary answered first.
+	c.observeAttempt(target, sendAt, core.WaitReady)
+	if usableResponse(primary) {
+		h.NoteWasted(hedgeTo)
+		return primary, core.WaitReady
+	}
+	// Primary failed; the hedge is already in flight — wait it out.
+	res = co.WaitFor(hev, c.timeout-time.Since(sendAt))
+	recordHedge()
+	if res == core.WaitReady {
+		c.observeAttempt(hedgeTo, hedgeAt, core.WaitReady)
+		if usableResponse(hev) {
+			h.NoteWon(hedgeTo, time.Since(sendAt))
+			return hev, core.WaitReady
+		}
+	}
+	h.NoteCancelled(hedgeTo, "unusable")
+	return primary, core.WaitReady
+}

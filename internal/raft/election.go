@@ -170,6 +170,11 @@ func (s *Server) becomeLeader(co *core.Coroutine, term uint64) {
 		s.nextIndex[p] = last + 1
 		s.matchIndex[p] = 0
 	}
+	// Lease state starts cold: acks are earned from this term's own
+	// traffic, and lease reads additionally wait for the no-op barrier
+	// (the first entry of this term) to commit.
+	s.leaseAcks = make(map[string]time.Time)
+	s.termStart = last + 1
 	// Quarantine verdicts from a previous term are void; the sentinel
 	// re-earns them from fresh observations.
 	s.clearQuarantine()

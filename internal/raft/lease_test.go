@@ -1,0 +1,233 @@
+package raft
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"depfast/internal/core"
+	"depfast/internal/hedge"
+	"depfast/internal/kv"
+)
+
+// leaseCluster builds a 3-node cluster with ReadIndex + LeaderLease on.
+func leaseCluster(t *testing.T) *cluster {
+	return newCluster(t, clusterOpts{n: 3, mutate: func(cfg *Config) {
+		cfg.ReadIndex = true
+		cfg.LeaderLease = true
+	}})
+}
+
+func TestLeaseReadsSkipQuorum(t *testing.T) {
+	c := leaseCluster(t)
+	leader := c.waitLeader()
+	cl := c.client(31)
+	c.onClient(func(co *core.Coroutine) {
+		if err := cl.Put(co, "k", []byte("v1")); err != nil {
+			t.Errorf("put: %v", err)
+			return
+		}
+		// The heartbeat traffic renews the lease; after a couple of
+		// intervals reads should ride it.
+		_ = co.Sleep(100 * time.Millisecond)
+		for i := 0; i < 20; i++ {
+			v, found, err := cl.Get(co, "k")
+			if err != nil || !found || !bytes.Equal(v, []byte("v1")) {
+				t.Errorf("get %d = %q/%v/%v", i, v, found, err)
+				return
+			}
+		}
+	})
+	if got := c.servers[leader].LeaseReads.Value(); got == 0 {
+		t.Fatalf("lease reads = 0 (fallbacks = %d); reads never rode the lease",
+			c.servers[leader].LeaseFallbacks.Value())
+	}
+}
+
+// TestLeaseSafetyAcrossLeaderChange is the lease-safety check: after a
+// new leader commits a write the deposed leader — which may still
+// believe it leads — must never serve the stale value under its old
+// lease. The lease window is clamped below the vote-stickiness window,
+// so by the time a rival could win, the lease has lapsed and the old
+// leader's reads fall back to a quorum round it can no longer win.
+func TestLeaseSafetyAcrossLeaderChange(t *testing.T) {
+	c := leaseCluster(t)
+	old := c.waitLeader()
+	cl := c.client(32)
+	c.onClient(func(co *core.Coroutine) {
+		if err := cl.Put(co, "k", []byte("old")); err != nil {
+			t.Errorf("seed put: %v", err)
+		}
+	})
+	// Cut the old leader off from its peers (client links stay up:
+	// the dangerous read is precisely one the old leader can still
+	// receive and answer).
+	for _, n := range c.names {
+		if n != old {
+			c.net.SetLinkDown(old, n, true)
+		}
+	}
+	// Wait for a successor among the majority side.
+	var succ string
+	deadline := time.Now().Add(15 * time.Second)
+	for succ == "" && time.Now().Before(deadline) {
+		for _, n := range c.names {
+			if n == old {
+				continue
+			}
+			if _, role, _ := c.servers[n].Status(); role == Leader {
+				succ = n
+			}
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if succ == "" {
+		t.Fatal("no re-election after leader partition")
+	}
+	// Commit the new value through the successor.
+	cl2 := NewClient(33, c.clientEP, []string{succ}, 2*time.Second)
+	c.onClient(func(co *core.Coroutine) {
+		if err := cl2.Put(co, "k", []byte("new")); err != nil {
+			t.Errorf("put via successor: %v", err)
+		}
+	})
+	// Now read directly from the deposed leader. Any OK answer must
+	// carry the new value; the stale "old" under a lapsed lease is the
+	// linearizability violation this test exists to catch. (A refusal —
+	// quorum loss or a NotLeader bounce — is equally correct.)
+	c.onClient(func(co *core.Coroutine) {
+		req := &kv.ClientRequest{ClientID: 34, Seq: 1,
+			Cmd: kv.Command{Op: kv.OpGet, Key: "k"}}
+		ev := c.clientEP.Call(old, req)
+		if co.WaitFor(ev, 5*time.Second) != core.WaitReady || ev.Err() != nil {
+			return // bounded refusal: fine
+		}
+		resp, ok := ev.Value().(*kv.ClientResponse)
+		if !ok {
+			return
+		}
+		if resp.OK && bytes.Equal(resp.Value, []byte("old")) {
+			t.Error("deposed leader served the stale value under a lapsed lease")
+		}
+	})
+}
+
+func TestFollowerReadServesLocally(t *testing.T) {
+	c := leaseCluster(t)
+	leader := c.waitLeader()
+	cl := c.client(35)
+	c.onClient(func(co *core.Coroutine) {
+		if err := cl.Put(co, "fr", []byte("v")); err != nil {
+			t.Errorf("put: %v", err)
+		}
+	})
+	var follower string
+	for _, n := range c.names {
+		if n != leader {
+			follower = n
+			break
+		}
+	}
+	c.onClient(func(co *core.Coroutine) {
+		req := &kv.ClientRequest{ClientID: 36, Seq: 1,
+			Cmd: kv.Command{Op: kv.OpGet, Key: "fr"}, FollowerRead: true}
+		ev := c.clientEP.Call(follower, req)
+		if co.WaitFor(ev, 5*time.Second) != core.WaitReady || ev.Err() != nil {
+			t.Errorf("follower read failed: %v", ev.Err())
+			return
+		}
+		resp, ok := ev.Value().(*kv.ClientResponse)
+		if !ok || !resp.OK || !resp.Found || !bytes.Equal(resp.Value, []byte("v")) {
+			t.Errorf("follower read = %+v, want OK with value v", resp)
+		}
+	})
+}
+
+// TestHedgedReadsDodgeSlowLeaderLink injects a one-way delay on the
+// leader→client link — below any server-side detector's horizon, since
+// server↔server traffic is untouched — and checks that read hedges to
+// a follower win while every answer stays correct.
+func TestHedgedReadsDodgeSlowLeaderLink(t *testing.T) {
+	c := leaseCluster(t)
+	leader := c.waitLeader()
+	cl := c.client(37)
+	h := hedge.New(hedge.Config{BudgetRatio: 0.5, BudgetBurst: 16, Node: "client-0"})
+	cl.SetHedger(h)
+	c.onClient(func(co *core.Coroutine) {
+		if err := cl.Put(co, "hk", []byte("hv")); err != nil {
+			t.Errorf("put: %v", err)
+			return
+		}
+		// Warm the client-side detector past MinSamples on the leader.
+		for i := 0; i < 12; i++ {
+			if _, _, err := cl.Get(co, "hk"); err != nil {
+				t.Errorf("warmup get: %v", err)
+				return
+			}
+		}
+		c.envs[leader].SetNetDelayTo("client-0", 40*time.Millisecond)
+		defer c.envs[leader].SetNetDelayTo("client-0", 0)
+		for i := 0; i < 20; i++ {
+			v, found, err := cl.Get(co, "hk")
+			if err != nil || !found || !bytes.Equal(v, []byte("hv")) {
+				t.Errorf("hedged get %d = %q/%v/%v", i, v, found, err)
+				return
+			}
+		}
+	})
+	if h.Fired.Value() == 0 {
+		t.Fatal("no hedges fired against a 40ms one-way leader→client delay")
+	}
+	if h.Won.Value() == 0 {
+		t.Fatalf("hedges fired (%d) but none won; follower path never beat the slow link",
+			h.Fired.Value())
+	}
+}
+
+// TestHedgedWritesApplyExactlyOnce drives a chain of dependent CAS
+// increments with speculative writes racing duplicate proposals: if a
+// duplicate ever applied twice, a later CAS in the chain would see an
+// unexpected value and fail.
+func TestHedgedWritesApplyExactlyOnce(t *testing.T) {
+	c := leaseCluster(t)
+	leader := c.waitLeader()
+	cl := c.client(38)
+	h := hedge.New(hedge.Config{BudgetRatio: 1, BudgetBurst: 32,
+		SpeculativeWrites: true, Node: "client-0"})
+	cl.SetHedger(h)
+	c.onClient(func(co *core.Coroutine) {
+		if err := cl.Put(co, "ctr", []byte("0")); err != nil {
+			t.Errorf("seed: %v", err)
+			return
+		}
+		for i := 0; i < 12; i++ { // detector warm-up
+			if _, _, err := cl.Get(co, "ctr"); err != nil {
+				t.Errorf("warmup: %v", err)
+				return
+			}
+		}
+		c.envs[leader].SetNetDelayTo("client-0", 40*time.Millisecond)
+		defer c.envs[leader].SetNetDelayTo("client-0", 0)
+		for i := 0; i < 15; i++ {
+			expect := []byte(fmt.Sprintf("%d", i))
+			next := []byte(fmt.Sprintf("%d", i+1))
+			swapped, cur, err := cl.CAS(co, "ctr", expect, next)
+			if err != nil {
+				t.Errorf("cas %d: %v", i, err)
+				return
+			}
+			if !swapped {
+				t.Errorf("cas %d failed: current %q — a duplicate apply broke the chain", i, cur)
+				return
+			}
+		}
+		v, _, err := cl.Get(co, "ctr")
+		if err != nil || !bytes.Equal(v, []byte("15")) {
+			t.Errorf("final counter = %q/%v, want 15", v, err)
+		}
+	})
+	if h.PutRetry.Value() == 0 {
+		t.Log("note: no speculative write fired this run (timing-dependent); correctness still checked")
+	}
+}

@@ -145,6 +145,10 @@ type MembershipInfo struct {
 	Voters     []string
 	Learners   []string
 	LeaderHint string
+	// Suspects lists members the answering node's fail-slow detector
+	// currently suspects, so clients can steer failover rotation and
+	// hedge targets away from known-slow replicas.
+	Suspects []string
 }
 
 // TypeTag implements codec.Message.
@@ -155,6 +159,7 @@ func (m *MembershipInfo) MarshalTo(e *codec.Encoder) {
 	encodeStrings(e, m.Voters)
 	encodeStrings(e, m.Learners)
 	e.String(m.LeaderHint)
+	encodeStrings(e, m.Suspects)
 }
 
 // UnmarshalFrom implements codec.Message.
@@ -162,6 +167,7 @@ func (m *MembershipInfo) UnmarshalFrom(d *codec.Decoder) {
 	m.Voters = decodeStrings(d)
 	m.Learners = decodeStrings(d)
 	m.LeaderHint = d.String()
+	m.Suspects = decodeStrings(d)
 }
 
 func init() {
@@ -679,11 +685,15 @@ func (s *Server) handleMemberChange(co *core.Coroutine, from string, req codec.M
 // handleMembershipQuery reports the effective configuration from any
 // role; clients use it to relearn the member set after a replacement.
 func (s *Server) handleMembershipQuery(co *core.Coroutine, from string, req codec.Message) codec.Message {
-	return &MembershipInfo{
+	info := &MembershipInfo{
 		Voters:     append([]string(nil), s.mem.voters...),
 		Learners:   append([]string(nil), s.mem.learners...),
 		LeaderHint: s.leaderHint,
 	}
+	if s.detector != nil {
+		info.Suspects = s.detector.Suspects()
+	}
+	return info
 }
 
 // streamToLearners forwards freshly appended entries to learners

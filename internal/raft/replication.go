@@ -250,8 +250,12 @@ func (s *Server) broadcastTargets() []string {
 
 // appendJudge classifies one follower's AppendEntries outcome and
 // folds its progress into leader bookkeeping. Judges run under the
-// baton when the reply event fires.
+// baton when the reply event fires. The construction time is the
+// (conservative) send timestamp fed to the leader lease: judges are
+// built immediately before their message is dispatched, so an acked
+// reply proves the voter was reachable after sentAt.
 func (s *Server) appendJudge(p string, idx, term uint64) func(interface{}, error) bool {
+	sentAt := time.Now()
 	return func(v interface{}, err error) bool {
 		if err != nil {
 			return false // timeout / discard / overflow: no ack
@@ -279,6 +283,7 @@ func (s *Server) appendJudge(p string, idx, term uint64) func(interface{}, error
 		}
 		if reply.Success {
 			s.noteProgress(p, reply.LastIndex)
+			s.noteLeaseAck(p, sentAt, term)
 			return reply.LastIndex >= idx
 		}
 		// Log mismatch: back nextIndex up to the follower's hint.
@@ -305,6 +310,15 @@ func (s *Server) noteProgress(p string, lastIndex uint64) {
 func (s *Server) handleClientRequest(co *core.Coroutine, from string, req codec.Message) codec.Message {
 	m := req.(*kv.ClientRequest)
 	if s.role != Leader {
+		// A hedged read may ask this replica to serve locally instead of
+		// bouncing: confirm a read index with the leader, then read here.
+		if m.FollowerRead && s.cfg.ReadIndex && s.role == Follower && m.Cmd.Op == kv.OpGet {
+			var ftc xtrace.Context
+			if s.trc != nil && m.TraceID != 0 {
+				ftc = xtrace.Context{TraceID: m.TraceID, Span: m.TraceSpan, Sampled: m.TraceSampled}
+			}
+			return s.followerRead(co, m, ftc)
+		}
 		return &kv.ClientResponse{NotLeader: true, LeaderHint: s.leaderHint, Err: ErrNotLeader.Error()}
 	}
 	if s.transferPending {
@@ -336,34 +350,16 @@ func (s *Server) handleClientRequest(co *core.Coroutine, from string, req codec.
 }
 
 // readIndex serves a linearizable read without a log entry: confirm
-// leadership with a heartbeat quorum, wait for the state machine to
-// reach the read index, then read locally. The leadership check is —
-// again — a QuorumEvent, so a slow follower cannot delay reads.
+// leadership (instantly under a valid lease, else with a heartbeat
+// quorum), wait for the state machine to reach the read index, then
+// read locally. The leadership check is — again — a QuorumEvent, so a
+// slow follower cannot delay reads.
 func (s *Server) readIndex(co *core.Coroutine, m *kv.ClientRequest, tc xtrace.Context) codec.Message {
-	s.ReadIndexOps.Inc()
 	traced := s.trc != nil && tc.Active()
 	t0 := time.Now()
-	term := s.term
-	readIdx := s.commitIndex
-	targets := s.broadcastTargets()
-	q := core.NewQuorumEvent(1+len(targets), s.majority())
-	q.AddAck() // self
-	for _, p := range targets {
-		ae := &AppendEntries{
-			Term:         term,
-			Leader:       s.cfg.ID,
-			PrevLogIndex: s.nextIndex[p] - 1,
-			PrevLogTerm:  s.termOf(s.nextIndex[p] - 1),
-			LeaderCommit: s.commitIndex,
-		}
-		ev := s.ep.Call(p, ae)
-		q.AddJudged(ev, s.appendJudge(p, 0, term))
-	}
-	if out := co.WaitQuorum(q, s.cfg.CommitTimeout); out != core.QuorumOK {
-		return &kv.ClientResponse{OK: false, Err: "readindex: lost quorum"}
-	}
-	if s.role != Leader || s.term != term {
-		return &kv.ClientResponse{OK: false, NotLeader: true, LeaderHint: s.leaderHint, Err: ErrDeposed.Error()}
+	readIdx, leased, fail := s.confirmReadIndex(co)
+	if fail != nil {
+		return fail
 	}
 	quorumAt := time.Now()
 	if s.lastApplied < readIdx {
@@ -377,7 +373,11 @@ func (s *Server) readIndex(co *core.Coroutine, m *kv.ClientRequest, tc xtrace.Co
 	if traced {
 		end := time.Now()
 		rootID := s.trc.NewSpanID()
-		s.trc.Record(tc, xtrace.Span{Parent: rootID, Name: "readindex.quorum",
+		confirm := "readindex.quorum"
+		if leased {
+			confirm = "readindex.lease"
+		}
+		s.trc.Record(tc, xtrace.Span{Parent: rootID, Name: confirm,
 			Node: s.cfg.ID, Res: xtrace.Net, Start: t0, End: quorumAt})
 		if end.Sub(quorumAt) > 500*time.Microsecond {
 			s.trc.Record(tc, xtrace.Span{Parent: rootID, Name: "readindex.apply-wait",

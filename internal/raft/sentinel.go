@@ -270,6 +270,11 @@ func (s *Server) beginTransfer() {
 	s.transferPending = true
 	s.transferTo = target
 	s.transferExpire = time.Now().Add(transferDrainTimeout)
+	// TimeoutNow elections bypass voter stickiness, so the lease's
+	// safety argument is void from here on: block it for the whole
+	// term, not just while transferPending (the expiry path can clear
+	// the flag while the TimeoutNow is still electing the target).
+	s.leaseBlockedTerm = s.term
 	s.Mitigation.MarkDetected(time.Now())
 	s.rec.Emit(obs.Event{Type: obs.HandoffStarted, Node: s.cfg.ID, Peer: target,
 		Fields: map[string]float64{"term": float64(s.term)}})

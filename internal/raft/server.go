@@ -95,6 +95,15 @@ type Config struct {
 	// quorum instead of replicating a log entry.
 	ReadIndex bool
 
+	// LeaderLease lets a leader serve ReadIndex reads without the
+	// heartbeat quorum while a majority of voters acked traffic sent
+	// within the lease window (see lease.go for the safety argument).
+	// Requires ReadIndex; expiry falls back to the classic quorum.
+	LeaderLease bool
+	// LeaseDuration bounds the lease window; it is always clamped to
+	// 4/5 × ElectionTimeoutMin (zero takes the clamp itself).
+	LeaseDuration time.Duration
+
 	// MaxDirtyAppends bounds how many un-fsynced leader appends may be
 	// outstanding before the commit path takes a bounded wait on the
 	// oldest flush — the RocksDB-style write stall from the paper's
@@ -323,6 +332,15 @@ type Server struct {
 	// appliedWaiters wake ReadIndex reads when lastApplied advances.
 	appliedWaiters []appliedWaiter
 
+	// Leader-lease state (baton context only; see lease.go). leaseAcks
+	// records, per voter, the send time of the newest successfully
+	// acked AppendEntries this term; leaseBlockedTerm poisons the lease
+	// for a term that started a leadership transfer; termStart is the
+	// own-term no-op barrier's index, gating lease reads on its commit.
+	leaseAcks        map[string]time.Time
+	leaseBlockedTerm uint64
+	termStart        uint64
+
 	stopped bool
 
 	// Metrics.
@@ -331,9 +349,14 @@ type Server struct {
 	Elections    *metrics.Counter
 	RepairSends  *metrics.Counter
 	ReadIndexOps *metrics.Counter
-	Snapshots    *metrics.Counter
-	WALStalls    *metrics.Counter
-	Mitigation   *metrics.Mitigation
+	// LeaseReads counts reads served off the lease (no quorum round);
+	// LeaseFallbacks counts reads that found the lease invalid and ran
+	// the classic ReadIndex quorum instead.
+	LeaseReads     *metrics.Counter
+	LeaseFallbacks *metrics.Counter
+	Snapshots      *metrics.Counter
+	WALStalls      *metrics.Counter
+	Mitigation     *metrics.Mitigation
 
 	// mu guards cross-goroutine introspection (tests, harness).
 	mu sync.Mutex
@@ -387,40 +410,44 @@ func NewServer(cfg Config, e *env.Env, tr transport.Transport, opts ...core.Opti
 	}
 	rt := core.NewRuntime(cfg.ID, opts...)
 	s := &Server{
-		cfg:           cfg,
-		rt:            rt,
-		e:             e,
-		role:          Follower,
-		nextIndex:     make(map[string]uint64),
-		matchIndex:    make(map[string]uint64),
-		outboxes:      make(map[string]*rpc.Outbox),
-		results:       make(map[uint64]kv.Result),
-		sm:            kv.NewSessions(kv.NewStore()),
-		Proposals:     metrics.NewCounter("raft.proposals"),
-		Commits:       metrics.NewCounter("raft.commits"),
-		Elections:     metrics.NewCounter("raft.elections"),
-		RepairSends:   metrics.NewCounter("raft.repair_sends"),
-		Snapshots:     metrics.NewCounter("raft.snapshots"),
-		ReadIndexOps:  metrics.NewCounter("raft.readindex"),
-		WALStalls:     metrics.NewCounter("raft.wal_stalls"),
-		Mitigation:    metrics.NewMitigation(),
-		rng:           rand.New(rand.NewSource(cfg.Seed)),
-		lastHeartbeat: time.Now(),
-		propQ:         core.NewQueue[*pendingProposal](),
-		quarantined:   make(map[string]bool),
-		slowVotes:     make(map[string]time.Time),
-		peerSelfSlow:  make(map[string]time.Time),
-		learnerStream: make(map[string]uint64),
-		removed:       make(map[string]bool),
-		repairing:     make(map[string]uint64),
-		pace:          1,
-		rec:           cfg.Recorder,
-		trc:           cfg.Tracer,
+		cfg:            cfg,
+		rt:             rt,
+		e:              e,
+		role:           Follower,
+		nextIndex:      make(map[string]uint64),
+		matchIndex:     make(map[string]uint64),
+		outboxes:       make(map[string]*rpc.Outbox),
+		results:        make(map[uint64]kv.Result),
+		sm:             kv.NewSessions(kv.NewStore()),
+		Proposals:      metrics.NewCounter("raft.proposals"),
+		Commits:        metrics.NewCounter("raft.commits"),
+		Elections:      metrics.NewCounter("raft.elections"),
+		RepairSends:    metrics.NewCounter("raft.repair_sends"),
+		Snapshots:      metrics.NewCounter("raft.snapshots"),
+		ReadIndexOps:   metrics.NewCounter("raft.readindex"),
+		LeaseReads:     metrics.NewCounter("raft.lease_reads"),
+		LeaseFallbacks: metrics.NewCounter("raft.lease_fallbacks"),
+		WALStalls:      metrics.NewCounter("raft.wal_stalls"),
+		Mitigation:     metrics.NewMitigation(),
+		rng:            rand.New(rand.NewSource(cfg.Seed)),
+		lastHeartbeat:  time.Now(),
+		propQ:          core.NewQueue[*pendingProposal](),
+		quarantined:    make(map[string]bool),
+		slowVotes:      make(map[string]time.Time),
+		peerSelfSlow:   make(map[string]time.Time),
+		learnerStream:  make(map[string]uint64),
+		removed:        make(map[string]bool),
+		repairing:      make(map[string]uint64),
+		leaseAcks:      make(map[string]time.Time),
+		pace:           1,
+		rec:            cfg.Recorder,
+		trc:            cfg.Tracer,
 	}
 	if reg := cfg.Metrics; reg != nil {
 		for _, c := range []*metrics.Counter{
 			s.Proposals, s.Commits, s.Elections, s.RepairSends,
-			s.Snapshots, s.ReadIndexOps, s.WALStalls,
+			s.Snapshots, s.ReadIndexOps, s.LeaseReads, s.LeaseFallbacks,
+			s.WALStalls,
 		} {
 			reg.Attach(c)
 		}
@@ -486,6 +513,7 @@ func NewServer(cfg Config, e *env.Env, tr transport.Transport, opts ...core.Opti
 	s.ep.Handle(TagTimeoutNow, s.handleTimeoutNow)
 	s.ep.Handle(TagMemberChange, s.handleMemberChange)
 	s.ep.Handle(TagMembershipQuery, s.handleMembershipQuery)
+	s.ep.Handle(TagReadIndexQuery, s.handleReadIndexQuery)
 	s.ep.Handle(kv.TagClientRequest, s.handleClientRequest)
 	return s
 }

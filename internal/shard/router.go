@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"depfast/internal/core"
+	"depfast/internal/hedge"
 	"depfast/internal/kv"
 	"depfast/internal/raft"
 	"depfast/internal/rpc"
@@ -47,6 +48,7 @@ type Router struct {
 	clients []*raft.Client
 	met     *Metrics
 	trc     *xtrace.Collector
+	hdg     *hedge.Hedger
 }
 
 // NewRouter returns a router over the mapped deployment, issuing
@@ -71,6 +73,18 @@ func (r *Router) SetTracer(trc *xtrace.Collector) {
 	r.trc = trc
 	for _, cl := range r.clients {
 		cl.SetTracer(trc)
+	}
+}
+
+// SetHedger attaches a hedger to the router and every per-group raft
+// client (and future scan sub-clients): slow attempts then speculate
+// per the hedger's detector-informed deadlines, sharing one budget
+// across the whole router so a multi-shard fault cannot multiply the
+// speculation load. Nil-safe.
+func (r *Router) SetHedger(h *hedge.Hedger) {
+	r.hdg = h
+	for _, cl := range r.clients {
+		cl.SetHedger(h)
 	}
 }
 
@@ -158,6 +172,7 @@ func (r *Router) Scan(co *core.Coroutine, start string, n int) ([]kv.Pair, error
 		names := r.m.Replicas(g)
 		spawned := rt.Spawn(fmt.Sprintf("scan:%s", r.m.ShardID(g)), func(sub *core.Coroutine) {
 			cl := raft.NewClient(nextClientID(), r.ep, names, r.timeout)
+			cl.SetHedger(r.hdg)
 			pairs, err := cl.Scan(sub, start, n)
 			results[i], errs[i] = pairs, err
 			ev.Fire(pairs, err)
